@@ -1,0 +1,139 @@
+// Ablation: the §4 label-comparison cache.
+//
+// "The kernel performs several key optimizations. It caches the result of
+// comparisons between immutable labels." — this bench measures that claim
+// by running a label-check-heavy syscall loop (segment reads, which perform
+// a CanObserve ⊑ check on every call) with the cache enabled and disabled,
+// across labels of increasing explicit-entry counts. The win should grow
+// with label size: an uncached ⊑ walks both entry lists, a cached one is a
+// hash probe.
+//
+// A second group measures the raw Label::Leq cost by entry count, which is
+// the quantity the cache amortizes (and why §6.2 notes that small labels
+// keep gate operations fast).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace histar::bench {
+namespace {
+
+// A segment read performs one observe check (L_O ⊑ L_T^J) per syscall.
+void BM_SegmentReadLabelCheck(::benchmark::State& state) {
+  const int categories = static_cast<int>(state.range(0));
+  const bool cache_on = state.range(1) != 0;
+
+  World w = BootWorld(/*with_store=*/false);
+  Kernel* k = w.kernel.get();
+  ObjectId self = w.init();
+
+  // Build a thread and an object whose labels share `categories` explicit
+  // entries (the worst case for Leq: every entry must be compared).
+  Label obj_label;
+  Label thread_label;
+  Label thread_clear(Level::k2);
+  for (int i = 0; i < categories; ++i) {
+    Result<CategoryId> c = k->sys_cat_create(self);
+    if (!c.ok()) {
+      state.SkipWithError("cat_create failed");
+      return;
+    }
+    obj_label.set(c.value(), Level::k2);
+    thread_label.set(c.value(), Level::k2);
+    thread_clear.set(c.value(), Level::k3);
+  }
+  // The probe lives in a container at the same taint — a 2-tainted thread
+  // cannot write the untainted root. Created while we still own every
+  // category, before self-tainting.
+  CreateSpec cspec;
+  cspec.container = k->root_container();
+  cspec.label = obj_label;
+  cspec.descrip = "probe-ct";
+  cspec.quota = 1 << 20;
+  Result<ObjectId> ct = k->sys_container_create(self, cspec, 0);
+  if (!ct.ok()) {
+    state.SkipWithError("container_create failed");
+    return;
+  }
+  if (k->sys_self_set_label(self, thread_label) != Status::kOk) {
+    state.SkipWithError("set_label failed");
+    return;
+  }
+  CreateSpec spec;
+  spec.container = ct.value();
+  spec.label = obj_label;
+  spec.descrip = "probe";
+  spec.quota = kObjectOverheadBytes + 2 * kPageSize;
+  Result<ObjectId> seg = k->sys_segment_create(self, spec, 64);
+  if (!seg.ok()) {
+    state.SkipWithError("segment_create failed");
+    return;
+  }
+
+  k->label_cache().set_enabled(cache_on);
+  k->label_cache().ResetStats();
+  uint64_t buf = 0;
+  ContainerEntry ce{ct.value(), seg.value()};
+  for (auto _ : state) {
+    if (k->sys_segment_read(self, ce, &buf, 0, 8) != Status::kOk) {
+      state.SkipWithError("read failed");
+      return;
+    }
+    ::benchmark::DoNotOptimize(buf);
+  }
+  state.counters["cache_hits"] =
+      ::benchmark::Counter(static_cast<double>(k->label_cache().hits()));
+  k->label_cache().set_enabled(true);
+  CurrentThread::Set(kInvalidObject);
+}
+BENCHMARK(BM_SegmentReadLabelCheck)
+    ->ArgsProduct({{1, 4, 16, 64}, {1, 0}})
+    ->ArgNames({"cats", "cache"})
+    ->Unit(::benchmark::kNanosecond);
+
+// Raw ⊑ cost as a function of explicit entries — what the cache short-cuts.
+void BM_RawLabelLeq(::benchmark::State& state) {
+  const int categories = static_cast<int>(state.range(0));
+  CategoryAllocator alloc;
+  Label l1;
+  Label l2;
+  for (int i = 0; i < categories; ++i) {
+    CategoryId c = alloc.Allocate();
+    l1.set(c, Level::k1);
+    l2.set(c, Level::k2);
+  }
+  bool r = false;
+  for (auto _ : state) {
+    r ^= l1.Leq(l2);
+    ::benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RawLabelLeq)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->ArgName("cats")
+    ->Unit(::benchmark::kNanosecond);
+
+// Join cost, the other hot label operation (every gate call computes one).
+void BM_RawLabelJoin(::benchmark::State& state) {
+  const int categories = static_cast<int>(state.range(0));
+  CategoryAllocator alloc;
+  Label l1;
+  Label l2;
+  for (int i = 0; i < categories; ++i) {
+    CategoryId c = alloc.Allocate();
+    (i % 2 == 0 ? l1 : l2).set(c, Level::k3);
+  }
+  for (auto _ : state) {
+    Label j = l1.Join(l2);
+    ::benchmark::DoNotOptimize(j);
+  }
+}
+BENCHMARK(BM_RawLabelJoin)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->ArgName("cats")
+    ->Unit(::benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace histar::bench
+
+BENCHMARK_MAIN();

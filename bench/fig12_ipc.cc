@@ -1,0 +1,120 @@
+// Figure 12, "IPC benchmark, per RTT": the average round-trip time of an
+// 8-byte message over a pair of uni-directional pipes between two processes.
+//
+//   paper: HiStar 3.11 µs · Linux 4.32 µs · OpenBSD 2.13 µs
+//
+// The HiStar row exercises the full user-level pipe stack: fd segments,
+// shared pipe-buffer segments, segment-mutex locking and kernel futexes. The
+// baseline row is the monolithic in-kernel pipe (one lock, one buffer) that
+// the Linux column enjoys. The paper's point is the *closeness* of the two —
+// a user-level Unix implementation does not forfeit IPC performance.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "bench/bench_util.h"
+#include "src/baseline/mono_fs.h"
+
+namespace histar::bench {
+namespace {
+
+// HiStar: parent and echo child connected by two pipes; the child bounces
+// every 8-byte message back.
+void BM_HiStarPipeRTT(::benchmark::State& state) {
+  World w = BootWorld(/*with_store=*/false);
+  ProcessContext& ctx = w.ctx();
+  Kernel* k = w.kernel.get();
+
+  FdTable fds(k, ctx.ids, Label());
+  Result<std::pair<int, int>> ping = fds.CreatePipe(w.init());   // parent → child
+  Result<std::pair<int, int>> pong = fds.CreatePipe(w.init());   // child → parent
+  if (!ping.ok() || !pong.ok()) {
+    state.SkipWithError("pipe setup failed");
+    return;
+  }
+
+  std::atomic<bool> stop{false};
+  w.unix->procs().RegisterProgram("echo", [&stop](ProcessContext& c) -> int64_t {
+    // fd 0 = ping read end, fd 1 = pong write end (adoption order).
+    char buf[8];
+    while (!stop.load(std::memory_order_relaxed)) {
+      Result<uint64_t> n = c.fds->ReadTimeout(c.self, 0, buf, sizeof(buf), 200);
+      if (n.ok() && n.value() > 0) {
+        c.fds->Write(c.self, 1, buf, n.value());
+      } else if (!n.ok() && n.status() != Status::kAgain) {
+        break;
+      }
+    }
+    return 0;
+  });
+  ProcessOpts opts;
+  opts.inherit_fds = {fds.Entry(ping.value().first).value(),
+                      fds.Entry(pong.value().second).value()};
+  Result<std::unique_ptr<ProcHandle>> child = w.unix->procs().Spawn(ctx, "echo", {}, opts);
+  if (!child.ok()) {
+    state.SkipWithError("spawn failed");
+    return;
+  }
+
+  char msg[8] = {'p', 'i', 'n', 'g', '1', '2', '3', '4'};
+  char back[8];
+  for (auto _ : state) {
+    fds.Write(w.init(), ping.value().second, msg, sizeof(msg));
+    uint64_t got = 0;
+    while (got < sizeof(back)) {
+      Result<uint64_t> n =
+          fds.Read(w.init(), pong.value().first, back + got, sizeof(back) - got);
+      if (!n.ok()) {
+        state.SkipWithError("pipe read failed");
+        return;
+      }
+      got += n.value();
+    }
+    ::benchmark::DoNotOptimize(back);
+  }
+  stop.store(true);
+  child.value()->Wait(w.init());
+  PaperCounter(state, 3.11e-6);  // seconds per RTT
+  CurrentThread::Set(kInvalidObject);
+}
+BENCHMARK(BM_HiStarPipeRTT)->Unit(::benchmark::kMicrosecond);
+
+// Baseline: the monolithic kernel's pipe — the Linux 4.32 µs column's moral
+// equivalent in this simulator.
+void BM_BaselinePipeRTT(::benchmark::State& state) {
+  monosim::MonoPipe ping;
+  monosim::MonoPipe pong;
+  std::atomic<bool> stop{false};
+  std::thread echo([&]() {
+    char buf[8];
+    while (!stop.load(std::memory_order_relaxed)) {
+      uint64_t n = ping.Read(buf, sizeof(buf));
+      if (n == 0) {
+        return;  // peer closed
+      }
+      pong.Write(buf, n);
+    }
+  });
+
+  char msg[8] = {'p', 'o', 'n', 'g', '1', '2', '3', '4'};
+  char back[8];
+  for (auto _ : state) {
+    ping.Write(msg, sizeof(msg));
+    uint64_t got = 0;
+    while (got < sizeof(back)) {
+      got += pong.Read(back + got, sizeof(back) - got);
+    }
+    ::benchmark::DoNotOptimize(back);
+  }
+  stop.store(true);
+  // Unblock the echo thread if it sits in Read.
+  ping.Write(msg, sizeof(msg));
+  echo.join();
+  PaperCounter(state, 4.32e-6);  // the Linux column
+}
+BENCHMARK(BM_BaselinePipeRTT)->Unit(::benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace histar::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// The paper's running example (§1, §6.1): an untrusted virus scanner that
+// cannot leak the files it scans.
+//
+//   $ ./examples/virus_scan
+//
+// Recreates Figure 2: bob's files are tainted with his read category; wrap
+// allocates a fresh category v, launches the scanner {br⋆, v3, 1} with a
+// private /tmp, and relays only the verdict. A second run swaps in a
+// *malicious* scanner that attempts the §1 leak vectors — every attempt
+// dies on a label check, with no scanner-specific policy anywhere.
+#include <cstdio>
+#include <string>
+
+#include "src/apps/wrap.h"
+#include "src/net/netd.h"
+
+using namespace histar;
+
+int main() {
+  Kernel kernel;
+  std::unique_ptr<UnixWorld> world = UnixWorld::Boot(&kernel);
+  ObjectId init = world->init_thread();
+  CurrentThread::Set(init);
+  RegisterScannerPrograms(&world->procs());
+
+  // A network to (fail to) leak over.
+  NetSwitch net;
+  std::unique_ptr<NetDaemon> netd = NetDaemon::Start(world.get(), net.NewPort(), "netd");
+
+  std::printf("== untrusted virus scanning (paper §6.1) ==\n\n");
+
+  // Bob, his files, and the signature database.
+  UnixUser bob = world->AddUser("bob").value();
+  FileSystem& fs = world->fs();
+
+  auto write_file = [&](const std::string& name, const std::string& content) {
+    ObjectId f = fs.Create(init, bob.home, name, bob.FileLabel()).value();
+    fs.WriteAt(init, bob.home, f, content.data(), 0, content.size());
+  };
+  write_file("taxes.txt", "agi: redacted");
+  write_file("mail.mbox", "From: alice\n\nEICAR-STANDARD-ANTIVIRUS-TEST-FILE in body");
+  write_file("packed.bin", "R13:RVPNE-FGNAQNEQ-NAGVIVEHF-GRFG-SVYR");  // rot13-encoded
+
+  ObjectId db_dir = fs.MakeDir(init, world->fs_root(), "db", Label()).value();
+  std::vector<Signature> sigs;
+  Signature s;
+  s.name = "Eicar.Test";
+  std::string pat = "EICAR-STANDARD-ANTIVIRUS-TEST-FILE";
+  s.pattern.assign(pat.begin(), pat.end());
+  sigs.push_back(s);
+  std::string db = SerializeDb(sigs);
+  ObjectId dbf = fs.Create(init, db_dir, "virus.db", Label(),
+                           kObjectOverheadBytes + db.size() + kPageSize).value();
+  fs.WriteAt(init, db_dir, dbf, db.data(), 0, db.size());
+
+  // --- 1. The honest scan ---------------------------------------------------------
+  WrapOptions opts;
+  opts.read_categories = {bob.ur};  // wrap runs with bob's read privilege
+  Result<WrapResult> r = WrapScan(
+      world->init_context(),
+      {"/home/bob/taxes.txt", "/home/bob/mail.mbox", "/home/bob/packed.bin"}, opts);
+  std::printf("scan completed: %s\n", r.value().completed ? "yes" : "no");
+  std::printf("files scanned : %llu (the rot13 one went through a helper process,\n"
+              "                which inherited the v3 taint automatically)\n",
+              static_cast<unsigned long long>(r.value().report.files_scanned));
+  for (const std::string& hit : r.value().report.infected) {
+    std::printf("  INFECTED: %s\n", hit.c_str());
+  }
+
+  // --- 2. The compromised scanner -------------------------------------------------
+  // Replace the scanner binary wholesale (the paper's nightmare: a malicious
+  // update). It reads the secret, then tries to get it out.
+  std::printf("\nnow the scanner is malicious (tries to exfiltrate):\n");
+  NetDaemon* nd = netd.get();
+  ObjectId real_tmp = world->tmp_dir();
+  Kernel* k = &kernel;
+  world->procs().RegisterProgram("avscan", [nd, real_tmp, k](ProcessContext& ctx) -> int64_t {
+    // It CAN read the user's files — that is its job.
+    FileSystem pfs(ctx.kernel);
+    Result<ObjectId> f = ctx.fs.Walk(ctx.self, ctx.cwd, "/home/bob/taxes.txt");
+    char loot[64] = {};
+    if (f.ok()) {
+      Result<std::pair<ObjectId, std::string>> loc =
+          ctx.fs.WalkParent(ctx.self, ctx.cwd, "/home/bob/taxes.txt");
+      ctx.fs.ReadAt(ctx.self, loc.value().first, f.value(), loot, 0, sizeof(loot));
+    }
+    std::printf("  [scanner] read the secret: \"%.13s\" — now to leak it...\n", loot);
+
+    Result<uint64_t> sock = nd->Connect(ctx.self, MacFromIndex(99), 80);
+    std::printf("  [scanner] open TCP connection          -> %s\n",
+                std::string(StatusName(sock.status())).c_str());
+
+    Result<ObjectId> drop = pfs.Create(ctx.self, real_tmp, "loot", Label());
+    std::printf("  [scanner] drop file in the real /tmp   -> %s\n",
+                std::string(StatusName(drop.status())).c_str());
+
+    CreateSpec spec;
+    spec.container = ctx.kernel->root_container();
+    spec.descrip = "loot";
+    Result<ObjectId> ct = ctx.kernel->sys_container_create(ctx.self, spec, 0);
+    std::printf("  [scanner] allocate untainted container -> %s\n",
+                std::string(StatusName(ct.status())).c_str());
+
+    // Report "clean", hoping nobody notices.
+    ScanReport rep;
+    rep.ok = true;
+    rep.files_scanned = 1;
+    std::string out = SerializeReport(rep);
+    ctx.fds->Write(ctx.self, 0, out.data(), out.size());
+    return 0;
+  });
+
+  Result<WrapResult> evil = WrapScan(world->init_context(), {"/home/bob/taxes.txt"}, opts);
+  std::printf("scan \"completed\": %s — and the secret stayed inside the sandbox;\n"
+              "wrap then revoked the scan area, destroying every v3 object.\n",
+              evil.value().completed ? "yes" : "no");
+  std::printf("\nno ClamAV-specific policy exists anywhere: only the labels of Figure 4.\n");
+
+  netd->Stop();
+  CurrentThread::Set(kInvalidObject);
+  return 0;
+}

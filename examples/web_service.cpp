@@ -1,0 +1,88 @@
+// Web services with per-user isolation (paper §6.4).
+//
+//   $ ./examples/web_service
+//
+// The Asbestos motivating application, rebuilt on HiStar: a connection
+// demultiplexer that owns no user data, per-request worker processes that
+// acquire a user's categories only through the §6.2 login protocol, and a
+// privilege-separated store whose records are labeled with their owner's
+// categories. Buggy or malicious service code is contained per user.
+#include <cstdio>
+#include <string>
+
+#include "src/apps/webserver.h"
+
+using namespace histar;
+
+int main() {
+  Kernel kernel;
+  std::unique_ptr<UnixWorld> world = UnixWorld::Boot(&kernel);
+  ObjectId init = world->init_thread();
+  CurrentThread::Set(init);
+
+  std::printf("== web services with user isolation (paper §6.4) ==\n\n");
+
+  // The service stack: logger, auth, store, demux.
+  std::unique_ptr<LogService> log = LogService::Start(world.get());
+  std::unique_ptr<AuthSystem> auth = AuthSystem::Start(world.get(), log.get());
+  std::unique_ptr<UserStore> store = UserStore::Create(world.get());
+
+  UnixUser alice = auth->AddUser("alice", "wonderland").value();
+  UnixUser bob = auth->AddUser("bob", "builder").value();
+  store->AddUser(init, alice);
+  store->AddUser(init, bob);
+  store->Put(init, "alice", "card", "4111-1111-1111-1111");
+  store->Put(init, "bob", "card", "5500-0000-0000-0004");
+  std::printf("two users; each record is a segment labeled with its owner's\n"
+              "categories — the store itself could not read them if it tried.\n\n");
+
+  NetSwitch net;
+  std::unique_ptr<NetDaemon> srv_stack = NetDaemon::Start(world.get(), net.NewPort(), "netd-s");
+  std::unique_ptr<NetDaemon> cli_stack = NetDaemon::Start(world.get(), net.NewPort(), "netd-c");
+  std::unique_ptr<WebServer> web =
+      WebServer::Start(world.get(), srv_stack.get(), auth.get(), store.get(), 80);
+
+  Label cl = cli_stack->ClientTaint();
+  Label cc(Level::k2, {{cli_stack->taint().i, Level::k3}});
+  ObjectId browser = kernel.BootstrapThread(cl, cc, "browser");
+  CurrentThread bind(browser);
+
+  auto request = [&](const std::string& line) {
+    Result<uint64_t> conn = cli_stack->Connect(browser, srv_stack->mac(), 80);
+    std::string msg = line + "\n";
+    cli_stack->Send(browser, conn.value(), msg.data(), msg.size());
+    std::string resp;
+    char buf[256];
+    for (;;) {
+      Result<uint64_t> n = cli_stack->Recv(browser, conn.value(), buf, sizeof(buf), 10000);
+      if (!n.ok() || n.value() == 0 || resp.find('\n') != std::string::npos) {
+        break;
+      }
+      resp.append(buf, n.value());
+    }
+    cli_stack->CloseSocket(browser, conn.value());
+    while (!resp.empty() && resp.back() == '\n') {
+      resp.pop_back();
+    }
+    std::printf("  %-52s -> %s\n", line.c_str(), resp.c_str());
+  };
+
+  std::printf("each request spawns a fresh worker in a demux-donated container;\n"
+              "the worker holds a user's categories only after a real login:\n\n");
+  request("GET alice/card PASS wonderland");
+  request("GET bob/card PASS builder");
+  request("GET alice/card PASS letmein");          // one bit leaks: "no"
+  request("GET bob/card PASS wonderland");         // alice's password, bob's data
+  request("PUT alice/note PASS wonderland DATA remember the hatter");
+  request("GET alice/note PASS wonderland");
+
+  std::printf("\n%llu requests served; the demux revoked every worker's container\n"
+              "afterwards — resource control without observing the workers (§3.2).\n",
+              static_cast<unsigned long long>(web->requests_served()));
+
+  web->Stop();
+  srv_stack->Stop();
+  cli_stack->Stop();
+  CurrentThread::Set(kInvalidObject);
+  return 0;
+}

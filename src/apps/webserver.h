@@ -1,0 +1,126 @@
+// Asbestos-style web services on HiStar (paper §6.4).
+//
+// "The original motivating application for Asbestos was its web server,
+// which isolated different users' data to tolerate buggy or malicious web
+// service code. We have built a similar web server for HiStar... HiStar's
+// connection demultiplexer controls resources granted to each worker daemon
+// through containers. Authentication uses an instance of the daemon
+// described in Section 6.2. HiStar also has an experimental privilege-
+// separated database."
+//
+// The decomposition, mirroring that paragraph:
+//  * `UserStore` — the privilege-separated database. The store itself holds
+//    NO user privileges: every record is a segment labeled {ur3, uw0, 1},
+//    and callers bring their own categories. A fully compromised store can
+//    neither read nor forge any user's records; it is pure untrusted
+//    bookkeeping (naming and quota), like the Unix library itself.
+//  * worker processes — one per request, launched by the demultiplexer with
+//    only the resources of a donated per-worker container and *no* user
+//    privileges. A worker acquires its user's categories exclusively by
+//    running the §6.2 login protocol with the credentials presented on the
+//    connection; service code compromise therefore exposes at most the data
+//    of users whose (correct) passwords the attacker already holds.
+//  * `WebServer` — the demultiplexer: accepts connections on an untrusted
+//    netd stack, parses a minimal request, spawns the worker, relays the
+//    response. It owns nothing but the listen socket and the workers' quota
+//    pool.
+//
+// Request wire format (one line, LF-terminated):
+//   GET <user>/<key> PASS <password>
+//   PUT <user>/<key> PASS <password> DATA <bytes...>
+// Response: "200 <data>" | "403 denied" | "404 not-found" | "400 bad".
+#ifndef SRC_APPS_WEBSERVER_H_
+#define SRC_APPS_WEBSERVER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "src/auth/auth.h"
+#include "src/net/netd.h"
+
+namespace histar {
+
+// The privilege-separated user-data store (the paper's "experimental
+// privilege-separated database"; ours is a labeled key-value store, not
+// SQL — the paper's is "unlike the Asbestos database" too).
+class UserStore {
+ public:
+  // Creates the store's container tree under the filesystem root. The
+  // creating thread keeps no special access: all privilege is per-record.
+  static std::unique_ptr<UserStore> Create(UnixWorld* world);
+
+  // Creates the per-user area. Called with a thread owning the user's
+  // categories (account creation time); the area is labeled {ur3, uw0, 1}.
+  Status AddUser(ObjectId self, const UnixUser& user);
+
+  // Record access. `self` must carry the right categories — the store adds
+  // none. Get returns kLabelCheckFailed/kNotFound exactly as the kernel
+  // decides.
+  Status Put(ObjectId self, const std::string& user, const std::string& key,
+             const std::string& value);
+  Result<std::string> Get(ObjectId self, const std::string& user, const std::string& key);
+
+  ObjectId root() const { return root_; }
+
+ private:
+  UserStore() = default;
+
+  UnixWorld* world_ = nullptr;
+  ObjectId root_ = kInvalidObject;  // /srv: one subdirectory per user
+};
+
+struct WebRequest {
+  enum class Op { kGet, kPut, kBad } op = Op::kBad;
+  std::string user;
+  std::string key;
+  std::string password;
+  std::string data;
+};
+
+WebRequest ParseRequest(const std::string& line);
+
+// One worker execution: log in as the requester, touch only their records.
+// Runs on the calling thread (the spawned worker process's). Returns the
+// response string. Exposed for tests; the demultiplexer drives it through a
+// worker process.
+std::string ServeOne(ProcessContext& ctx, AuthSystem* auth, UserStore* store,
+                     const WebRequest& req);
+
+// The connection demultiplexer.
+class WebServer {
+ public:
+  static std::unique_ptr<WebServer> Start(UnixWorld* world, NetDaemon* net, AuthSystem* auth,
+                                          UserStore* store, uint16_t port);
+  ~WebServer();
+
+  void Stop();
+  uint16_t port() const { return port_; }
+  uint64_t requests_served() const { return served_.load(); }
+  // Quota donated to each worker's container (tests poke at exhaustion).
+  uint64_t worker_quota() const { return kWorkerQuota; }
+
+ private:
+  static constexpr uint64_t kWorkerQuota = 8 << 20;
+
+  WebServer() = default;
+  void AcceptLoop();
+  std::string HandleConnection(uint64_t conn);
+
+  UnixWorld* world_ = nullptr;
+  Kernel* kernel_ = nullptr;
+  NetDaemon* net_ = nullptr;
+  AuthSystem* auth_ = nullptr;
+  UserStore* store_ = nullptr;
+  uint16_t port_ = 0;
+  uint64_t listen_sock_ = 0;
+  ObjectId self_ = kInvalidObject;   // the demux thread (unprivileged + i2)
+  ObjectId workers_ct_ = kInvalidObject;  // quota pool for worker containers
+  std::thread host_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> served_{0};
+};
+
+}  // namespace histar
+
+#endif  // SRC_APPS_WEBSERVER_H_

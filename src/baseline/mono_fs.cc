@@ -1,0 +1,263 @@
+#include "src/baseline/mono_fs.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+
+namespace monosim {
+
+MonoFs::MonoFs(DiskModel* disk) : disk_(disk) {}
+
+Status MonoFs::Mkfs() {
+  uint64_t magic = 0x4d4f4e4f46530000ULL;
+  Status st = disk_->Write(0, &magic, 8);
+  if (st != Status::kOk) {
+    return st;
+  }
+  next_block_ = kDataStart / kBlockSize;
+  return Status::kOk;
+}
+
+uint64_t MonoFs::AllocBlock() {
+  // Directory clustering: hand out strictly increasing block numbers, so
+  // files created back-to-back sit next to each other on the platter.
+  return next_block_++;
+}
+
+Result<uint64_t> MonoFs::Create(const std::string& name) {
+  if (dir_.count(name) != 0) {
+    return Status::kExists;
+  }
+  MonoInode ino;
+  ino.inum = next_inum_++;
+  ino.dirty_meta = true;
+  dir_[name] = ino.inum;
+  inodes_[ino.inum] = std::move(ino);
+  return dir_[name];
+}
+
+Result<uint64_t> MonoFs::LookupFile(const std::string& name) {
+  auto it = dir_.find(name);
+  if (it == dir_.end()) {
+    return Status::kNotFound;
+  }
+  return it->second;
+}
+
+Status MonoFs::Unlink(const std::string& name) {
+  auto it = dir_.find(name);
+  if (it == dir_.end()) {
+    return Status::kNotFound;
+  }
+  inodes_.erase(it->second);
+  cache_.erase(it->second);
+  cached_.erase(it->second);
+  dir_.erase(it);
+  return Status::kOk;
+}
+
+Status MonoFs::Write(uint64_t inum, uint64_t off, const void* buf, uint64_t len) {
+  auto it = inodes_.find(inum);
+  if (it == inodes_.end()) {
+    return Status::kNotFound;
+  }
+  MonoInode& ino = it->second;
+  uint64_t end = off + len;
+  while (ino.blocks.size() * kBlockSize < end) {
+    ino.blocks.push_back(AllocBlock());
+    ino.dirty_meta = true;
+  }
+  if (end > ino.size) {
+    ino.size = end;
+    ino.dirty_meta = true;
+  }
+  // Into the page cache; blocks become dirty and are written at fsync/sync.
+  std::vector<uint8_t>& data = cache_[inum];
+  if (data.size() < end) {
+    data.resize(end, 0);
+  }
+  memcpy(data.data() + off, buf, len);
+  cached_.insert(inum);
+  for (uint64_t b = off / kBlockSize; b <= (end - 1) / kBlockSize; ++b) {
+    ino.dirty_blocks.insert(b);
+  }
+  return Status::kOk;
+}
+
+Result<uint64_t> MonoFs::Read(uint64_t inum, uint64_t off, void* buf, uint64_t len) {
+  auto it = inodes_.find(inum);
+  if (it == inodes_.end()) {
+    return Status::kNotFound;
+  }
+  MonoInode& ino = it->second;
+  if (off >= ino.size) {
+    return uint64_t{0};
+  }
+  uint64_t n = std::min(len, ino.size - off);
+  if (cached_.count(inum) != 0) {
+    const std::vector<uint8_t>& data = cache_[inum];
+    memcpy(buf, data.data() + off, std::min<uint64_t>(n, data.size() - off));
+    return n;
+  }
+  // Cache miss: read the covering blocks from disk (the DiskModel decides
+  // whether lookahead turns this into a free ride).
+  uint64_t first = off / kBlockSize;
+  uint64_t last = (off + n - 1) / kBlockSize;
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint64_t b = first; b <= last && b < ino.blocks.size(); ++b) {
+    Status st = disk_->Read(ino.blocks[b] * kBlockSize, block.data(), kBlockSize);
+    if (st != Status::kOk) {
+      return st;
+    }
+  }
+  memset(buf, 0, n);
+  return n;
+}
+
+Status MonoFs::JournalCommit(uint64_t payload_bytes) {
+  // Journal record + commit block, written sequentially, then a barrier —
+  // the ext3 commit sequence.
+  if (journal_head_ + payload_bytes + kBlockSize > kJournalBytes) {
+    journal_head_ = 0;  // wrap (checkpointing the journal is free here)
+  }
+  std::vector<uint8_t> rec(payload_bytes + kBlockSize, 0);
+  Status st = disk_->Write(kJournalStart + journal_head_, rec.data(), rec.size());
+  if (st != Status::kOk) {
+    return st;
+  }
+  journal_head_ += rec.size();
+  ++journal_commits_;
+  return disk_->Flush();
+}
+
+Status MonoFs::WriteBlock(const MonoInode& ino, uint64_t block_index) {
+  std::vector<uint8_t> block(kBlockSize, 0);
+  return disk_->Write(ino.blocks[block_index] * kBlockSize, block.data(), kBlockSize);
+}
+
+Status MonoFs::Fsync(uint64_t inum) {
+  auto it = inodes_.find(inum);
+  if (it == inodes_.end()) {
+    return Status::kNotFound;
+  }
+  MonoInode& ino = it->second;
+  // Ordered mode: data first, in ascending block order (the elevator).
+  std::vector<uint64_t> blocks(ino.dirty_blocks.begin(), ino.dirty_blocks.end());
+  std::sort(blocks.begin(), blocks.end());
+  for (uint64_t b : blocks) {
+    if (b < ino.blocks.size()) {
+      Status st = WriteBlock(ino, b);
+      if (st != Status::kOk) {
+        return st;
+      }
+    }
+  }
+  ino.dirty_blocks.clear();
+  if (!ino.dirty_meta) {
+    // Pure data overwrite: no metadata changed, so ordered mode needs no
+    // journal commit — just the data barrier. This is why ext3's sync
+    // random-write column stays close to HiStar's in-place page flush.
+    return disk_->Flush();
+  }
+  // ...then the metadata journal commit.
+  Status st = JournalCommit(kBlockSize);
+  if (st != Status::kOk) {
+    return st;
+  }
+  ino.dirty_meta = false;
+  return Status::kOk;
+}
+
+Status MonoFs::FsyncDir() { return JournalCommit(kBlockSize); }
+
+Status MonoFs::SyncAll() {
+  // Batched writeback: dirty blocks stream out in block order (the elevator
+  // earns its keep), followed by a single journal commit.
+  std::map<uint64_t, std::pair<const MonoInode*, uint64_t>> sorted;
+  for (auto& [inum, ino] : inodes_) {
+    for (uint64_t b : ino.dirty_blocks) {
+      if (b < ino.blocks.size()) {
+        sorted[ino.blocks[b]] = {&ino, b};
+      }
+    }
+  }
+  for (const auto& [disk_block, what] : sorted) {
+    Status st = WriteBlock(*what.first, what.second);
+    if (st != Status::kOk) {
+      return st;
+    }
+  }
+  for (auto& [inum, ino] : inodes_) {
+    ino.dirty_blocks.clear();
+    ino.dirty_meta = false;
+  }
+  return JournalCommit(kBlockSize);
+}
+
+void MonoFs::DropCaches() {
+  cache_.clear();
+  cached_.clear();
+}
+
+// ---- MonoPipe ---------------------------------------------------------------------
+
+struct MonoPipe::Impl {
+  std::mutex mu;
+  std::condition_variable readable;
+  std::condition_variable writable;
+  std::vector<uint8_t> buf;
+  size_t rpos = 0;
+  size_t wpos = 0;
+  uint64_t syscalls = 0;
+  static constexpr size_t kCap = 65536;
+};
+
+MonoPipe::MonoPipe() : impl_(new Impl) { impl_->buf.resize(Impl::kCap); }
+MonoPipe::~MonoPipe() { delete impl_; }
+
+void MonoPipe::Write(const void* buf, uint64_t len) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  ++impl_->syscalls;
+  impl_->writable.wait(lock,
+                       [this, len] { return impl_->wpos - impl_->rpos + len <= Impl::kCap; });
+  const uint8_t* src = static_cast<const uint8_t*>(buf);
+  for (uint64_t i = 0; i < len; ++i) {
+    impl_->buf[(impl_->wpos + i) % Impl::kCap] = src[i];
+  }
+  impl_->wpos += len;
+  impl_->readable.notify_one();
+}
+
+uint64_t MonoPipe::Read(void* buf, uint64_t len) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  ++impl_->syscalls;
+  impl_->readable.wait(lock, [this] { return impl_->wpos > impl_->rpos; });
+  uint64_t avail = impl_->wpos - impl_->rpos;
+  uint64_t n = std::min(len, avail);
+  uint8_t* dst = static_cast<uint8_t*>(buf);
+  for (uint64_t i = 0; i < n; ++i) {
+    dst[i] = impl_->buf[(impl_->rpos + i) % Impl::kCap];
+  }
+  impl_->rpos += n;
+  impl_->writable.notify_one();
+  return n;
+}
+
+uint64_t MonoPipe::syscalls() const { return impl_->syscalls; }
+
+// ---- MonoProcessModel ----------------------------------------------------------------
+
+uint64_t MonoProcessModel::ForkExecTrue() const {
+  // Simulate the monolithic kernel's work: copy the parent image (fork),
+  // zero a fresh image (exec), and account the fixed syscall budget.
+  std::vector<uint8_t> parent(image_bytes, 1);
+  std::vector<uint8_t> child(parent);           // fork: dup the image
+  std::vector<uint8_t> fresh(image_bytes, 0);   // exec: new zeroed image
+  // Touch the copies so the optimizer cannot elide them.
+  volatile uint8_t sink = child[image_bytes / 2] + fresh[image_bytes / 3];
+  (void)sink;
+  return syscalls_per_forkexec;
+}
+
+}  // namespace monosim

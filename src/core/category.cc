@@ -1,0 +1,80 @@
+#include "src/core/category.h"
+
+namespace histar {
+namespace {
+
+// splitmix64 finalizer; good avalanche, cheap, and has no data dependence on
+// secrets beyond the key schedule (we are closing a storage channel, not
+// building crypto).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr uint32_t kLeftBits = 30;           // high half width
+constexpr uint32_t kRightBits = 31;          // low half width
+constexpr uint32_t kLeftMask = (1u << kLeftBits) - 1;
+constexpr uint32_t kRightMask = (1u << kRightBits) - 1;
+
+}  // namespace
+
+CategoryCipher::CategoryCipher(uint64_t key) {
+  for (int i = 0; i < 4; ++i) {
+    round_keys_[i] = Mix64(key + static_cast<uint64_t>(i) * 0xa0761d6478bd642fULL);
+  }
+}
+
+uint32_t CategoryCipher::Round(uint32_t half, uint64_t round_key) {
+  return static_cast<uint32_t>(Mix64(half ^ round_key));
+}
+
+// Unbalanced Feistel: L is 30 bits, R is 31 bits. Each round XORs a masked
+// round function of one half into the other, then swaps roles; masking keeps
+// every intermediate inside its own width so the whole map is a bijection on
+// 61-bit values.
+uint64_t CategoryCipher::Encrypt(uint64_t plain) const {
+  uint32_t left = static_cast<uint32_t>(plain >> kRightBits) & kLeftMask;
+  uint32_t right = static_cast<uint32_t>(plain) & kRightMask;
+  for (int i = 0; i < 4; ++i) {
+    uint32_t f = Round(right, round_keys_[i]) & kLeftMask;
+    uint32_t tmp = left ^ f;
+    // Swap with width change: the 30-bit (left ^ F(right)) becomes part of
+    // the new right; the old right's top bit is carried into the new left.
+    left = (right >> 1) & kLeftMask;
+    right = ((tmp << 1) | (right & 1)) & kRightMask;
+  }
+  return ((static_cast<uint64_t>(left) & kLeftMask) << kRightBits) |
+         (static_cast<uint64_t>(right) & kRightMask);
+}
+
+uint64_t CategoryCipher::Decrypt(uint64_t cipher) const {
+  uint32_t left = static_cast<uint32_t>(cipher >> kRightBits) & kLeftMask;
+  uint32_t right = static_cast<uint32_t>(cipher) & kRightMask;
+  for (int i = 3; i >= 0; --i) {
+    uint32_t prev_right_low = right & 1;
+    uint32_t tmp = (right >> 1) & kLeftMask;                 // left ^ F(prev_right)
+    uint32_t prev_right = ((left << 1) | prev_right_low) & kRightMask;
+    uint32_t f = Round(prev_right, round_keys_[i]) & kLeftMask;
+    uint32_t prev_left = tmp ^ f;
+    left = prev_left & kLeftMask;
+    right = prev_right;
+  }
+  return ((static_cast<uint64_t>(left) & kLeftMask) << kRightBits) |
+         (static_cast<uint64_t>(right) & kRightMask);
+}
+
+CategoryAllocator::CategoryAllocator(uint64_t key) : cipher_(key), counter_(1) {}
+
+CategoryId CategoryAllocator::Allocate() {
+  for (;;) {
+    uint64_t c = counter_.fetch_add(1, std::memory_order_relaxed);
+    CategoryId id = cipher_.Encrypt(c & kCategoryMask) & kCategoryMask;
+    if (id != kInvalidCategory) {
+      return id;
+    }
+  }
+}
+
+}  // namespace histar

@@ -1,0 +1,38 @@
+#include "src/core/label_cache.h"
+
+namespace histar {
+
+uint32_t LabelCache::Intern(const Label& l) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = intern_.emplace(l, static_cast<uint32_t>(intern_.size() + 1));
+  return it->second;
+}
+
+bool LabelCache::CachedLeq(uint32_t id1, const Label& l1, uint32_t id2, const Label& l2) {
+  if (!enabled()) {
+    return l1.Leq(l2);
+  }
+  uint64_t key = (static_cast<uint64_t>(id1) << 32) | id2;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = results_.find(key);
+    if (it != results_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  bool r = l1.Leq(l2);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    results_.emplace(key, r);
+  }
+  return r;
+}
+
+void LabelCache::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace histar

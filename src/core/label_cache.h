@@ -1,0 +1,54 @@
+// Cache of ⊑ comparisons between immutable labels (paper §4).
+//
+// The HiStar kernel "caches the result of comparisons between immutable
+// labels" as a key optimization: object labels are fixed at creation, so a
+// (label, label) pair always compares the same way. We assign each distinct
+// frozen label a small id via an intern table and memoize Leq results keyed
+// by the id pair. The ablation bench (bench_ablation_labels) measures the
+// win by toggling `set_enabled`.
+#ifndef SRC_CORE_LABEL_CACHE_H_
+#define SRC_CORE_LABEL_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/core/label.h"
+
+namespace histar {
+
+class LabelCache {
+ public:
+  LabelCache() = default;
+  LabelCache(const LabelCache&) = delete;
+  LabelCache& operator=(const LabelCache&) = delete;
+
+  // Interns `l`, returning a stable small id. Identical labels get the same
+  // id, which is what makes pair-memoization sound.
+  uint32_t Intern(const Label& l);
+
+  // Memoized l1 ⊑ l2 where both labels were interned (ids from Intern()).
+  // Falls back to a direct comparison when disabled.
+  bool CachedLeq(uint32_t id1, const Label& l1, uint32_t id2, const Label& l2);
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  void ResetStats();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+
+  std::mutex mu_;
+  std::unordered_map<Label, uint32_t, LabelHash> intern_;
+  std::unordered_map<uint64_t, bool> results_;  // (id1 << 32 | id2) → leq
+};
+
+}  // namespace histar
+
+#endif  // SRC_CORE_LABEL_CACHE_H_

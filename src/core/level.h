@@ -1,0 +1,56 @@
+// Taint levels (paper §2, Figure 3).
+//
+// An object's label assigns one of {⋆, 0, 1, 2, 3} per category; the
+// pseudo-level J ("HiStar") is used only during label comparisons, where a
+// thread's ownership ⋆ must sometimes be treated as higher than any numeric
+// level (reading) and sometimes lower (writing). The total order is
+//   ⋆ < 0 < 1 < 2 < 3 < J.
+#ifndef SRC_CORE_LEVEL_H_
+#define SRC_CORE_LEVEL_H_
+
+#include <cstdint>
+
+namespace histar {
+
+enum class Level : uint8_t {
+  kStar = 0,  // ownership / untainting privilege (threads and gates only)
+  k0 = 1,     // cannot be written/modified by default
+  k1 = 2,     // system default — no restriction
+  k2 = 3,     // cannot be untainted/exported by default
+  k3 = 4,     // cannot be read/observed by default
+  kHi = 5,    // "J": ownership treated as high; never stored in object labels
+};
+
+inline bool LevelLeq(Level a, Level b) {
+  return static_cast<uint8_t>(a) <= static_cast<uint8_t>(b);
+}
+
+inline Level LevelMax(Level a, Level b) { return LevelLeq(a, b) ? b : a; }
+inline Level LevelMin(Level a, Level b) { return LevelLeq(a, b) ? a : b; }
+
+// Character used in the textual rendering of labels: {bw0, br3, 1}.
+inline char LevelChar(Level l) {
+  switch (l) {
+    case Level::kStar:
+      return '*';
+    case Level::k0:
+      return '0';
+    case Level::k1:
+      return '1';
+    case Level::k2:
+      return '2';
+    case Level::k3:
+      return '3';
+    case Level::kHi:
+      return 'J';
+  }
+  return '?';
+}
+
+// True for levels that may appear in a stored (object) label. kHi exists
+// only transiently inside comparisons.
+inline bool LevelStorable(Level l) { return l != Level::kHi; }
+
+}  // namespace histar
+
+#endif  // SRC_CORE_LEVEL_H_

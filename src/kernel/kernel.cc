@@ -1,0 +1,728 @@
+// Kernel core: construction, label-check helpers, containers, generic object
+// syscalls, and the quota system.
+#include "src/kernel/kernel.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace histar {
+
+namespace {
+thread_local ObjectId g_current_thread = kInvalidObject;
+}  // namespace
+
+ObjectId CurrentThread::Get() { return g_current_thread; }
+void CurrentThread::Set(ObjectId id) { g_current_thread = id; }
+
+bool Container::HasLink(ObjectId o) const {
+  return std::find(links_.begin(), links_.end(), o) != links_.end();
+}
+
+const Mapping* AddressSpace::Lookup(uint64_t va) const {
+  for (const Mapping& m : mappings_) {
+    if (m.Covers(va)) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+Kernel::Kernel() {
+  // The root container: label {1}, quota ∞, never deallocated. Its "fake
+  // parent" is labeled {3} in the paper; we model that by making the parent
+  // id invalid and refusing get_parent on the root.
+  Result<ObjectId> id = AllocObjectId();
+  auto root = std::make_unique<Container>(id.value(), Label(Level::k1), 0, kInvalidObject);
+  root->set_quota_internal(kQuotaInfinite);
+  root->set_descrip_internal("root");
+  root->add_link_internal();  // permanent anchor link
+  InternLabels(root.get());
+  root_ = root->id();
+  InsertObject(std::move(root));
+}
+
+Kernel::~Kernel() = default;
+
+// ---- boot -------------------------------------------------------------------
+
+ObjectId Kernel::BootstrapThread(const Label& label, const Label& clearance,
+                                 const std::string& descrip, ObjectId container) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (container == kInvalidObject) {
+    container = root_;
+  }
+  Container* d = GetContainer(container);
+  if (d == nullptr) {
+    return kInvalidObject;
+  }
+  Result<ObjectId> id = AllocObjectId();
+  auto t = std::make_unique<Thread>(id.value(), label, clearance);
+  t->set_quota_internal(64 * kPageSize);
+  t->set_descrip_internal(descrip);
+  InternThreadLabels(t.get());
+  Thread* raw = t.get();
+  InsertObject(std::move(t));
+  LinkInto(d, raw);
+  MarkDirty(raw->id());
+  return raw->id();
+}
+
+ObjectId Kernel::BootstrapDevice(DeviceKind kind, const Label& label,
+                                 const std::string& descrip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Container* d = GetContainer(root_);
+  Result<ObjectId> id = AllocObjectId();
+  auto dev = std::make_unique<Device>(id.value(), label, kind);
+  dev->set_quota_internal(64 * kPageSize);
+  dev->set_descrip_internal(descrip);
+  InternLabels(dev.get());
+  Device* raw = dev.get();
+  InsertObject(std::move(dev));
+  LinkInto(d, raw);
+  MarkDirty(raw->id());
+  return raw->id();
+}
+
+bool Kernel::AttachNetPort(ObjectId device, NetPort* port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Object* o = Get(device);
+  if (o == nullptr || o->type() != ObjectType::kDevice) {
+    return false;
+  }
+  static_cast<Device*>(o)->set_net_port(port);
+  return true;
+}
+
+void Kernel::RegisterGateEntry(const std::string& name, GateEntryFn fn) {
+  std::lock_guard<std::mutex> lock(gate_entries_mu_);
+  gate_entries_[name] = std::move(fn);
+}
+
+bool Kernel::HasGateEntry(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(gate_entries_mu_);
+  return gate_entries_.count(name) > 0;
+}
+
+uint64_t Kernel::thread_syscall_count(ObjectId t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = thread_syscalls_.find(t);
+  return it == thread_syscalls_.end() ? 0 : it->second;
+}
+
+// ---- internal helpers (mu_ held) ---------------------------------------------
+
+Object* Kernel::Get(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+Thread* Kernel::GetThread(ObjectId id) const {
+  Object* o = Get(id);
+  return (o != nullptr && o->type() == ObjectType::kThread) ? static_cast<Thread*>(o) : nullptr;
+}
+
+Container* Kernel::GetContainer(ObjectId id) const {
+  Object* o = Get(id);
+  return (o != nullptr && o->type() == ObjectType::kContainer) ? static_cast<Container*>(o)
+                                                               : nullptr;
+}
+
+void Kernel::InternLabels(Object* o) {
+  o->set_label_intern(label_cache_.Intern(o->label()));
+  o->set_label_hi_intern(label_cache_.Intern(o->label().ToHi()));
+}
+
+void Kernel::InternThreadLabels(Thread* t) {
+  InternLabels(t);
+  t->set_clearance_intern(label_cache_.Intern(t->clearance()));
+}
+
+bool Kernel::LeqCached(uint32_t id1, const Label& l1, uint32_t id2, const Label& l2) {
+  if (id1 != 0 && id2 != 0) {
+    return label_cache_.CachedLeq(id1, l1, id2, l2);
+  }
+  return l1.Leq(l2);
+}
+
+bool Kernel::CanObserve(const Thread& t, const Object& o) {
+  // L_O ⊑ L_T^J. (Thread labels as observed objects are handled by the
+  // caller where the §3.2 special rule applies; for alerts and similar the
+  // plain rule is correct.)
+  return LeqCached(o.label_intern(), o.label(), t.label_hi_intern(), t.label().ToHi());
+}
+
+bool Kernel::CanModifyLabels(const Thread& t, const Object& o) {
+  // L_T ⊑ L_O ⊑ L_T^J — modification implies observation.
+  return LeqCached(t.label_intern(), t.label(), o.label_intern(), o.label()) &&
+         CanObserve(t, o);
+}
+
+Status Kernel::CheckModify(const Thread& t, const Object& o) {
+  if (!CanModifyLabels(t, o)) {
+    return Status::kLabelCheckFailed;
+  }
+  if (o.immutable()) {
+    return Status::kImmutable;
+  }
+  return Status::kOk;
+}
+
+Result<Object*> Kernel::ResolveEntry(const Thread& t, ContainerEntry ce) {
+  // §3.2: for thread T to use ⟨D,O⟩, D must link O and T must read D
+  // (L_D ⊑ L_T^J). Every container contains itself: ⟨D,D⟩ needs only the
+  // read check on D.
+  Container* d = GetContainer(ce.container);
+  if (d == nullptr) {
+    return Status::kNotFound;
+  }
+  if (!CanObserve(t, *d)) {
+    return Status::kLabelCheckFailed;
+  }
+  if (ce.object == ce.container) {
+    return static_cast<Object*>(d);
+  }
+  if (!d->HasLink(ce.object)) {
+    return Status::kNotFound;
+  }
+  Object* o = Get(ce.object);
+  if (o == nullptr) {
+    return Status::kNotFound;
+  }
+  return o;
+}
+
+Result<Container*> Kernel::CheckCreate(const Thread& t, ObjectId d_id, const Label& l,
+                                       ObjectType type, uint64_t quota) {
+  Container* d = GetContainer(d_id);
+  if (d == nullptr) {
+    return Status::kNotFound;
+  }
+  // Creation requires write access to D...
+  Status ms = CheckModify(t, *d);
+  if (ms != Status::kOk) {
+    return ms;
+  }
+  // ...a label within the creator's range L_T ⊑ L ⊑ C_T...
+  if (!t.label().Leq(l) || !l.Leq(t.clearance())) {
+    return Status::kLabelCheckFailed;
+  }
+  // Object labels other than gates' may not contain ⋆ (Figure 3).
+  if (type != ObjectType::kGate && type != ObjectType::kThread && l.HasLevel(Level::kStar)) {
+    return Status::kInvalidArg;
+  }
+  // ...a type the container tree permits...
+  if ((d->avoid_types() & TypeBit(type)) != 0) {
+    return Status::kNoPerm;
+  }
+  // ...and quota headroom in D.
+  if (quota == kQuotaInfinite && d->quota() != kQuotaInfinite) {
+    return Status::kQuotaExceeded;
+  }
+  if (quota != kQuotaInfinite && ContainerFree(*d) < quota) {
+    return Status::kQuotaExceeded;
+  }
+  return d;
+}
+
+Status Kernel::LinkInto(Container* d, Object* obj) {
+  if (d->quota() != kQuotaInfinite) {
+    uint64_t charge = obj->quota() == kQuotaInfinite ? 0 : obj->quota();
+    if (ContainerFree(*d) < charge) {
+      return Status::kQuotaExceeded;
+    }
+  }
+  d->links_mutable().push_back(obj->id());
+  obj->add_link_internal();
+  if (obj->quota() != kQuotaInfinite) {
+    d->set_usage_internal(d->usage() + obj->quota());
+  }
+  MarkDirty(d->id());
+  return Status::kOk;
+}
+
+void Kernel::UnlinkFrom(Container* d, ObjectId obj_id) {
+  auto& links = d->links_mutable();
+  auto it = std::find(links.begin(), links.end(), obj_id);
+  if (it == links.end()) {
+    return;
+  }
+  links.erase(it);
+  Object* obj = Get(obj_id);
+  if (obj != nullptr) {
+    obj->drop_link_internal();
+    if (obj->quota() != kQuotaInfinite) {
+      d->set_usage_internal(d->usage() - obj->quota());
+    }
+  }
+  MarkDirty(d->id());
+}
+
+void Kernel::DestroyObject(ObjectId id, std::vector<ObjectId>* destroyed_segments) {
+  Object* o = Get(id);
+  if (o == nullptr) {
+    return;
+  }
+  if (o->type() == ObjectType::kContainer) {
+    Container* c = static_cast<Container*>(o);
+    // Recursively unreference the whole subtree (paper §3.2).
+    std::vector<ObjectId> children = c->links();
+    for (ObjectId child : children) {
+      Object* co = Get(child);
+      if (co == nullptr) {
+        continue;
+      }
+      co->drop_link_internal();
+      if (co->link_count() == 0) {
+        DestroyObject(child, destroyed_segments);
+      }
+    }
+  } else if (o->type() == ObjectType::kSegment) {
+    destroyed_segments->push_back(id);
+  } else if (o->type() == ObjectType::kThread) {
+    static_cast<Thread*>(o)->set_halted_internal();
+    destroyed_segments->push_back(id);  // wake any futex wait by this thread
+  }
+  dirty_.erase(id);
+  pf_handlers_.erase(id);
+  thread_syscalls_.erase(id);
+  objects_.erase(id);
+}
+
+uint64_t Kernel::ContainerFree(const Container& d) const {
+  if (d.quota() == kQuotaInfinite) {
+    return kQuotaInfinite;
+  }
+  uint64_t used = d.usage() + d.OwnUsage();
+  return d.quota() > used ? d.quota() - used : 0;
+}
+
+void Kernel::MarkDirty(ObjectId id) { dirty_.insert(id); }
+
+void Kernel::InsertObject(std::unique_ptr<Object> obj) {
+  obj->set_creation_seq(++creation_counter_);
+  ObjectId id = obj->id();
+  objects_[id] = std::move(obj);
+}
+
+Result<ObjectId> Kernel::AllocObjectId() {
+  for (;;) {
+    ObjectId id = objid_alloc_.Allocate();
+    if (id != kLocalSegmentId && objects_.find(id) == objects_.end()) {
+      return id;
+    }
+  }
+}
+
+void Kernel::CountSyscall(ObjectId self) {
+  syscall_count_.fetch_add(1, std::memory_order_relaxed);
+  ++thread_syscalls_[self];
+}
+
+void Kernel::WakeAllFutexes(const std::vector<ObjectId>& segs) {
+  for (auto& [key, q] : futexes_) {
+    if (std::find(segs.begin(), segs.end(), key.seg) != segs.end()) {
+      ++q->wake_seq;
+      q->wake_budget += q->waiters;
+      q->cv.notify_all();
+    }
+  }
+}
+
+// ---- containers ---------------------------------------------------------------
+
+Result<ObjectId> Kernel::sys_container_create(ObjectId self, const CreateSpec& spec,
+                                              uint32_t avoid_types) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Container*> d = CheckCreate(*t, spec.container, spec.label, ObjectType::kContainer,
+                                     spec.quota);
+  if (!d.ok()) {
+    return d.status();
+  }
+  Result<ObjectId> id = AllocObjectId();
+  // avoid_types restrictions are inherited by all descendants.
+  uint32_t avoid = avoid_types | d.value()->avoid_types();
+  auto c = std::make_unique<Container>(id.value(), spec.label, avoid, spec.container);
+  c->set_quota_internal(spec.quota);
+  c->set_descrip_internal(spec.descrip);
+  InternLabels(c.get());
+  Container* raw = c.get();
+  InsertObject(std::move(c));
+  Status ls = LinkInto(d.value(), raw);
+  if (ls != Status::kOk) {
+    objects_.erase(raw->id());
+    return ls;
+  }
+  MarkDirty(raw->id());
+  return raw->id();
+}
+
+Status Kernel::sys_container_unref(ObjectId self, ContainerEntry ce) {
+  std::vector<ObjectId> destroyed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CountSyscall(self);
+    Thread* t = GetThread(self);
+    if (t == nullptr || t->halted()) {
+      return Status::kHalted;
+    }
+    Container* d = GetContainer(ce.container);
+    if (d == nullptr) {
+      return Status::kNotFound;
+    }
+    // Unreferencing requires write access on D — and nothing about O. This
+    // is the §3.2 point: resource revocation is separate from access.
+    Status ms = CheckModify(*t, *d);
+    if (ms != Status::kOk) {
+      return ms;
+    }
+    if (ce.object == ce.container || ce.object == root_) {
+      return Status::kInvalidArg;  // the root (and self-entries) cannot be unlinked
+    }
+    if (!d->HasLink(ce.object)) {
+      return Status::kNotFound;
+    }
+    Object* o = Get(ce.object);
+    UnlinkFrom(d, ce.object);
+    if (o != nullptr && o->link_count() == 0) {
+      DestroyObject(ce.object, &destroyed);
+    }
+    WakeAllFutexes(destroyed);
+  }
+  return Status::kOk;
+}
+
+Result<ObjectId> Kernel::sys_container_get_parent(ObjectId self, ObjectId container) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Container* d = GetContainer(container);
+  if (d == nullptr) {
+    return Status::kNotFound;
+  }
+  if (!CanObserve(*t, *d)) {
+    return Status::kLabelCheckFailed;
+  }
+  if (d->parent() == kInvalidObject) {
+    // The root's fake parent is labeled {3}: unobservable by anyone.
+    return Status::kLabelCheckFailed;
+  }
+  return d->parent();
+}
+
+Result<std::vector<ObjectId>> Kernel::sys_container_list(ObjectId self, ObjectId container) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Container* d = GetContainer(container);
+  if (d == nullptr) {
+    return Status::kNotFound;
+  }
+  if (!CanObserve(*t, *d)) {
+    return Status::kLabelCheckFailed;
+  }
+  return d->links();
+}
+
+Status Kernel::sys_container_link(ObjectId self, ObjectId container, ContainerEntry src) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, src);
+  if (!o.ok()) {
+    return o.status();
+  }
+  Container* d = GetContainer(container);
+  if (d == nullptr) {
+    return Status::kNotFound;
+  }
+  Status ms = CheckModify(*t, *d);
+  if (ms != Status::kOk) {
+    return ms;
+  }
+  // Hard-linking prolongs the object's life; the creator must have clearance
+  // to allocate at the object's label (L_S ⊑ C_T, §3.2)...
+  if (!o.value()->label().Leq(t->clearance())) {
+    return Status::kLabelCheckFailed;
+  }
+  // ...and the object's quota must be frozen first (§3.3).
+  if (!o.value()->fixed_quota()) {
+    return Status::kNoPerm;
+  }
+  if (d->HasLink(o.value()->id())) {
+    return Status::kExists;
+  }
+  return LinkInto(d, o.value());
+}
+
+Result<bool> Kernel::sys_container_has(ObjectId self, ObjectId container, ObjectId obj) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Container* d = GetContainer(container);
+  if (d == nullptr) {
+    return Status::kNotFound;
+  }
+  if (!CanObserve(*t, *d)) {
+    return Status::kLabelCheckFailed;
+  }
+  return d->HasLink(obj);
+}
+
+// ---- generic object syscalls ---------------------------------------------------
+
+Result<ObjectType> Kernel::sys_obj_get_type(ObjectId self, ContainerEntry ce) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, ce);
+  if (!o.ok()) {
+    return o.status();
+  }
+  return o.value()->type();
+}
+
+Result<Label> Kernel::sys_obj_get_label(ObjectId self, ContainerEntry ce) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, ce);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (o.value()->type() == ObjectType::kThread) {
+    // Thread labels are mutable, so being able to use the entry is not
+    // enough: §3.2 requires L_T'^J ⊑ L_T^J.
+    const Thread* other = static_cast<const Thread*>(o.value());
+    if (!other->label().ToHi().Leq(t->label().ToHi())) {
+      return Status::kLabelCheckFailed;
+    }
+  }
+  return o.value()->label();
+}
+
+Result<std::string> Kernel::sys_obj_get_descrip(ObjectId self, ContainerEntry ce) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, ce);
+  if (!o.ok()) {
+    return o.status();
+  }
+  return o.value()->descrip();
+}
+
+Result<uint64_t> Kernel::sys_obj_get_quota(ObjectId self, ContainerEntry ce) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, ce);
+  if (!o.ok()) {
+    return o.status();
+  }
+  // Quota is observable state: require observation of O itself.
+  if (!CanObserve(*t, *o.value())) {
+    return Status::kLabelCheckFailed;
+  }
+  return o.value()->quota();
+}
+
+Result<std::vector<uint8_t>> Kernel::sys_obj_get_metadata(ObjectId self, ContainerEntry ce) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, ce);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (!CanObserve(*t, *o.value())) {
+    return Status::kLabelCheckFailed;
+  }
+  const auto& md = o.value()->metadata();
+  return std::vector<uint8_t>(md.begin(), md.end());
+}
+
+Status Kernel::sys_obj_set_metadata(ObjectId self, ContainerEntry ce, const void* data,
+                                    size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  if (len > kMetadataLen) {
+    return Status::kRange;
+  }
+  Result<Object*> o = ResolveEntry(*t, ce);
+  if (!o.ok()) {
+    return o.status();
+  }
+  Status ms = CheckModify(*t, *o.value());
+  if (ms != Status::kOk) {
+    return ms;
+  }
+  memcpy(o.value()->metadata_mutable().data(), data, len);
+  MarkDirty(o.value()->id());
+  return Status::kOk;
+}
+
+Status Kernel::sys_obj_set_fixed_quota(ObjectId self, ContainerEntry ce) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, ce);
+  if (!o.ok()) {
+    return o.status();
+  }
+  Status ms = CheckModify(*t, *o.value());
+  if (ms != Status::kOk) {
+    return ms;
+  }
+  o.value()->set_fixed_quota_internal();
+  MarkDirty(o.value()->id());
+  return Status::kOk;
+}
+
+Status Kernel::sys_obj_set_immutable(ObjectId self, ContainerEntry ce) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, ce);
+  if (!o.ok()) {
+    return o.status();
+  }
+  Status ms = CheckModify(*t, *o.value());
+  if (ms != Status::kOk) {
+    return ms;
+  }
+  o.value()->set_immutable_internal();
+  MarkDirty(o.value()->id());
+  return Status::kOk;
+}
+
+Status Kernel::sys_quota_move(ObjectId self, ObjectId d_id, ObjectId o_id, int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Container* d = GetContainer(d_id);
+  if (d == nullptr) {
+    return Status::kNotFound;
+  }
+  // §3.3: T must write D and have L_T ⊑ L_O ⊑ C_T.
+  Status ms = CheckModify(*t, *d);
+  if (ms != Status::kOk) {
+    return ms;
+  }
+  if (!d->HasLink(o_id)) {
+    return Status::kNotFound;
+  }
+  Object* o = Get(o_id);
+  if (o == nullptr) {
+    return Status::kNotFound;
+  }
+  if (!t->label().Leq(o->label()) || !o->label().Leq(t->clearance())) {
+    return Status::kLabelCheckFailed;
+  }
+  if (o->fixed_quota()) {
+    return Status::kImmutable;
+  }
+  if (o->quota() == kQuotaInfinite) {
+    return Status::kInvalidArg;
+  }
+  if (n < 0) {
+    // Shrinking returns an error when O has fewer than |n| spare bytes, which
+    // conveys information about O — hence the extra L_O ⊑ L_T^J requirement.
+    if (!CanObserve(*t, *o)) {
+      return Status::kLabelCheckFailed;
+    }
+    uint64_t shrink = static_cast<uint64_t>(-n);
+    uint64_t spare = o->quota() - o->OwnUsage();
+    if (o->type() == ObjectType::kContainer) {
+      const Container* oc = static_cast<const Container*>(o);
+      uint64_t used = oc->usage() + oc->OwnUsage();
+      spare = o->quota() > used ? o->quota() - used : 0;
+    }
+    if (spare < shrink) {
+      return Status::kQuotaExceeded;
+    }
+    o->set_quota_internal(o->quota() - shrink);
+    if (d->quota() != kQuotaInfinite) {
+      d->set_usage_internal(d->usage() - shrink);
+    }
+  } else {
+    uint64_t grow = static_cast<uint64_t>(n);
+    if (ContainerFree(*d) < grow) {
+      return Status::kQuotaExceeded;
+    }
+    o->set_quota_internal(o->quota() + grow);
+    if (d->quota() != kQuotaInfinite) {
+      d->set_usage_internal(d->usage() + grow);
+    }
+  }
+  MarkDirty(d_id);
+  MarkDirty(o_id);
+  return Status::kOk;
+}
+
+// ---- introspection ---------------------------------------------------------------
+
+bool Kernel::ObjectExists(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.count(id) > 0;
+}
+
+size_t Kernel::ObjectCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+std::string Kernel::ConsoleContents(ObjectId dev) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Object* o = Get(dev);
+  if (o == nullptr || o->type() != ObjectType::kDevice) {
+    return "";
+  }
+  return static_cast<Device*>(o)->console_buffer();
+}
+
+}  // namespace histar

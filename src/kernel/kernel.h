@@ -1,0 +1,362 @@
+// The HiStar kernel simulator: object table, label enforcement, and the
+// complete system-call surface (paper §3).
+//
+// Concurrency model: kernel state is guarded by one mutex (`mu_`), the moral
+// equivalent of the big kernel lock in the real single-processor prototype.
+// Host threads stand in for hardware threads; each host thread binds itself
+// to a kernel Thread object and passes that id as the first argument of
+// every syscall (the `self` register). User code — everything in unixlib and
+// above — can only interact with kernel state through these syscalls, so all
+// information flow is mediated by the label checks here.
+//
+// Two access rules from §2.2 underpin everything:
+//   observe O:  L_O ⊑ L_T^J                     ("no read up")
+//   modify  O:  L_T ⊑ L_O and L_O ⊑ L_T^J       ("no write down")
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/category.h"
+#include "src/core/label.h"
+#include "src/core/label_cache.h"
+#include "src/core/status.h"
+#include "src/kernel/object.h"
+#include "src/kernel/types.h"
+
+namespace histar {
+
+class PersistTarget;  // src/store: receives checkpoints / per-object syncs
+
+// Parameters for creating any object: the destination container, the new
+// object's label, descriptive string and quota.
+struct CreateSpec {
+  ObjectId container = kInvalidObject;
+  Label label;
+  std::string descrip;
+  uint64_t quota = 16 * kPageSize;
+};
+
+class Kernel {
+ public:
+  Kernel();
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // ---- Boot interface (not reachable from user code) ----------------------
+
+  // The root container: quota ∞, label {1}, can never be deallocated.
+  ObjectId root_container() const { return root_; }
+
+  // Creates the first thread with the given label/clearance, bypassing the
+  // spawn rule — the analogue of the kernel handing control to init. The
+  // thread is linked into `container` (defaults to root).
+  ObjectId BootstrapThread(const Label& label, const Label& clearance,
+                           const std::string& descrip,
+                           ObjectId container = kInvalidObject);
+
+  // Creates a device object in the root container. Network devices are
+  // conventionally labeled {nr3, nw0, i2, 1} by the boot procedure (§5.7);
+  // the caller supplies the label because categories are caller-allocated.
+  ObjectId BootstrapDevice(DeviceKind kind, const Label& label, const std::string& descrip);
+
+  // Attaches a NIC backend to a network device object (boot-time; a NIC is
+  // re-attached after every restore, like real hardware re-probing).
+  bool AttachNetPort(ObjectId device, NetPort* port);
+
+  // Registers a gate entry function under a stable name. Entry names stand
+  // in for code segments: they are persisted with the gate and must be
+  // re-registered after a restore, just as code must be present on disk.
+  void RegisterGateEntry(const std::string& name, GateEntryFn fn);
+  bool HasGateEntry(const std::string& name) const;
+
+  LabelCache& label_cache() { return label_cache_; }
+  CategoryAllocator& category_allocator() { return cat_alloc_; }
+
+  // ---- Syscall counters (the fork/exec analysis in §7.1 is stated in
+  //      syscalls, so counting is first-class) --------------------------------
+  uint64_t syscall_count() const { return syscall_count_.load(std::memory_order_relaxed); }
+  uint64_t thread_syscall_count(ObjectId t) const;
+
+  // ---- Threads (§3.1) ------------------------------------------------------
+
+  Result<CategoryId> sys_cat_create(ObjectId self);
+  Status sys_self_set_label(ObjectId self, const Label& l);
+  Status sys_self_set_clearance(ObjectId self, const Label& c);
+  Result<Label> sys_self_get_label(ObjectId self);
+  Result<Label> sys_self_get_clearance(ObjectId self);
+  Status sys_self_set_as(ObjectId self, ContainerEntry as);
+  Result<ContainerEntry> sys_self_get_as(ObjectId self);
+  Status sys_self_halt(ObjectId self);
+
+  // Creates a thread object subject to the spawn rule L_T ⊑ L_T' ⊑ C_T' ⊑ C_T.
+  Result<ObjectId> sys_thread_create(ObjectId self, const CreateSpec& spec,
+                                     const Label& new_label, const Label& new_clearance);
+  // Sends an alert (the signal substrate, §3.4): requires write access to the
+  // target's address space and observation of the target.
+  Status sys_thread_alert(ObjectId self, ContainerEntry thread, uint64_t code);
+  // Pops a pending alert for the calling thread; kNotFound if none.
+  Result<uint64_t> sys_self_next_alert(ObjectId self);
+
+  // Thread-local segment access (always permitted for self).
+  Status sys_self_local_read(ObjectId self, void* buf, uint64_t off, uint64_t len);
+  Status sys_self_local_write(ObjectId self, const void* buf, uint64_t off, uint64_t len);
+
+  // ---- Containers (§3.2) ---------------------------------------------------
+
+  Result<ObjectId> sys_container_create(ObjectId self, const CreateSpec& spec,
+                                        uint32_t avoid_types);
+  // Unlinks ce.object from ce.container; recursively destroys unreferenced
+  // subtrees.
+  Status sys_container_unref(ObjectId self, ContainerEntry ce);
+  Result<ObjectId> sys_container_get_parent(ObjectId self, ObjectId container);
+  Result<std::vector<ObjectId>> sys_container_list(ObjectId self, ObjectId container);
+  // Hard-links src.object into `container` (requires the object's quota to be
+  // fixed; charges the full quota again — "double-charging", §3.3).
+  Status sys_container_link(ObjectId self, ObjectId container, ContainerEntry src);
+  // True if the container directly links the object (observe-checked).
+  Result<bool> sys_container_has(ObjectId self, ObjectId container, ObjectId obj);
+
+  // ---- Generic object calls ------------------------------------------------
+
+  Result<ObjectType> sys_obj_get_type(ObjectId self, ContainerEntry ce);
+  Result<Label> sys_obj_get_label(ObjectId self, ContainerEntry ce);
+  Result<std::string> sys_obj_get_descrip(ObjectId self, ContainerEntry ce);
+  Result<uint64_t> sys_obj_get_quota(ObjectId self, ContainerEntry ce);
+  Result<std::vector<uint8_t>> sys_obj_get_metadata(ObjectId self, ContainerEntry ce);
+  Status sys_obj_set_metadata(ObjectId self, ContainerEntry ce, const void* data, size_t len);
+  Status sys_obj_set_fixed_quota(ObjectId self, ContainerEntry ce);
+  Status sys_obj_set_immutable(ObjectId self, ContainerEntry ce);
+
+  // Moves n bytes of quota from container d to object o (or back if n < 0);
+  // the asymmetric extra check for n < 0 is the paper's: failure would reveal
+  // o's free space to the caller (§3.3).
+  Status sys_quota_move(ObjectId self, ObjectId d, ObjectId o, int64_t n);
+
+  // ---- Segments ------------------------------------------------------------
+
+  Result<ObjectId> sys_segment_create(ObjectId self, const CreateSpec& spec, uint64_t len);
+  // Copy with a (possibly) different label — the efficient relabel-by-copy
+  // the paper mentions in §3.
+  Result<ObjectId> sys_segment_copy(ObjectId self, const CreateSpec& spec, ContainerEntry src);
+  Status sys_segment_resize(ObjectId self, ContainerEntry ce, uint64_t len);
+  Result<uint64_t> sys_segment_get_len(ObjectId self, ContainerEntry ce);
+  Status sys_segment_read(ObjectId self, ContainerEntry ce, void* buf, uint64_t off,
+                          uint64_t len);
+  Status sys_segment_write(ObjectId self, ContainerEntry ce, const void* buf, uint64_t off,
+                           uint64_t len);
+
+  // ---- Address spaces (§3.4) -----------------------------------------------
+
+  Result<ObjectId> sys_as_create(ObjectId self, const CreateSpec& spec);
+  Status sys_as_set(ObjectId self, ContainerEntry ce, const std::vector<Mapping>& mappings);
+  Result<std::vector<Mapping>> sys_as_get(ObjectId self, ContainerEntry ce);
+
+  // Simulated paged access through the current address space: resolves `va`,
+  // performs the fault-time label checks, and copies bytes. On a check
+  // failure the thread's page-fault handler (if any) runs; if it declines,
+  // the access fails with the original status ("by default kills the
+  // process" is the unixlib handler's policy, not the kernel's).
+  Status sys_as_access(ObjectId self, uint64_t va, void* buf, uint64_t len, bool write);
+  void SetPageFaultHandler(ObjectId thread, std::function<bool(uint64_t va, bool write)> h);
+
+  // ---- Gates (§3.5) --------------------------------------------------------
+
+  Result<ObjectId> sys_gate_create(ObjectId self, const CreateSpec& spec,
+                                   const Label& gate_label, const Label& gate_clearance,
+                                   const std::string& entry_name,
+                                   const std::vector<uint64_t>& closure);
+  // Crosses the gate: validates L_T ⊑ C_G, L_T ⊑ L_V, and
+  // (L_T^J ⊔ L_G^J)^⋆ ⊑ L_R ⊑ C_R ⊑ (C_T ⊔ C_G); relabels the thread to
+  // (L_R, C_R) and runs the entry function on the calling host thread. The
+  // verify label L_V proves category possession without granting it.
+  Status sys_gate_invoke(ObjectId self, ContainerEntry gate, const Label& request_label,
+                         const Label& request_clearance, const Label& verify_label);
+  // Closure words of a gate, readable by anyone who can use the entry
+  // (needed by callers constructing return-gate protocols).
+  Result<std::vector<uint64_t>> sys_gate_get_closure(ObjectId self, ContainerEntry ce);
+
+  // ---- Futexes (§4.1: the only kernel IPC besides memory and gates) --------
+
+  Status sys_futex_wait(ObjectId self, ContainerEntry seg, uint64_t offset, uint64_t expected,
+                        uint32_t timeout_ms);
+  Result<uint32_t> sys_futex_wake(ObjectId self, ContainerEntry seg, uint64_t offset,
+                                  uint32_t max_count);
+
+  // ---- Devices (§4.1 network API: mac address, buffers, wait) --------------
+
+  Result<std::array<uint8_t, 6>> sys_net_macaddr(ObjectId self, ContainerEntry dev);
+  Status sys_net_transmit(ObjectId self, ContainerEntry dev, ContainerEntry seg, uint64_t off,
+                          uint64_t len);
+  Result<uint64_t> sys_net_receive(ObjectId self, ContainerEntry dev, ContainerEntry seg,
+                                   uint64_t off, uint64_t maxlen);
+  Status sys_net_wait(ObjectId self, ContainerEntry dev, uint32_t timeout_ms);
+  Status sys_console_write(ObjectId self, ContainerEntry dev, const std::string& text);
+
+  // ---- Persistence hooks (single-level store, §3/§4) ------------------------
+
+  // Attaches the store that receives checkpoints. May be null (volatile run).
+  void AttachPersistTarget(PersistTarget* target) { persist_ = target; }
+
+  // Group sync: serialize every dirty object and hand the batch (plus the
+  // live set) to the store, which commits atomically.
+  Status sys_sync(ObjectId self);
+  // Per-object sync (the fsync path): write-ahead-log just this object.
+  Status sys_sync_object(ObjectId self, ContainerEntry ce);
+  // In-place flush of a page range of one segment (no checkpoint).
+  Status sys_sync_pages(ObjectId self, ContainerEntry ce, uint64_t offset, uint64_t len);
+
+  // Serialization used by the store (and by tests).
+  bool SerializeObject(ObjectId id, std::vector<uint8_t>* out) const;
+  // Restores one serialized object into the table (boot-time only).
+  Status RestoreObject(const std::vector<uint8_t>& bytes);
+  // All live object ids (store iteration order).
+  std::vector<ObjectId> LiveObjects() const;
+  // Ids of objects mutated since the last ClearDirty (incremental sync).
+  std::vector<ObjectId> DirtyObjects() const;
+  void ClearDirty();
+  // After RestoreObject calls, rebuild derived state (intern ids, usages).
+  void FinishRestore(ObjectId root);
+
+  // ---- Introspection for tests ---------------------------------------------
+
+  bool ObjectExists(ObjectId id) const;
+  size_t ObjectCount() const;
+  // Direct peek at a device's console buffer.
+  std::string ConsoleContents(ObjectId dev) const;
+
+ private:
+  struct FutexKey {
+    ObjectId seg;
+    uint64_t offset;
+    bool operator==(const FutexKey&) const = default;
+  };
+  struct FutexKeyHash {
+    size_t operator()(const FutexKey& k) const {
+      return std::hash<uint64_t>()(k.seg * 0x9e3779b97f4a7c15ULL ^ k.offset);
+    }
+  };
+  struct FutexWaitQueue {
+    std::condition_variable cv;
+    uint64_t wake_seq = 0;
+    uint32_t wake_budget = 0;
+    uint32_t waiters = 0;
+  };
+
+  // -- all helpers below require mu_ held --
+
+  Object* Get(ObjectId id) const;
+  Thread* GetThread(ObjectId id) const;
+  Container* GetContainer(ObjectId id) const;
+
+  // Interns the label (and its ToHi form) into the cache, stamping the ids
+  // onto the object.
+  void InternLabels(Object* o);
+  void InternThreadLabels(Thread* t);
+
+  bool LeqCached(uint32_t id1, const Label& l1, uint32_t id2, const Label& l2);
+
+  // L_O ⊑ L_T^J — with the thread-label special case from §3.2: reading the
+  // label of another *thread* requires L_T'^J ⊑ L_T^J instead.
+  bool CanObserve(const Thread& t, const Object& o);
+  bool CanModifyLabels(const Thread& t, const Object& o);  // label rules only
+  Status CheckModify(const Thread& t, const Object& o);    // adds immutable check
+
+  // Validates the container entry ⟨D,O⟩ for thread t per §3.2 and returns O.
+  Result<Object*> ResolveEntry(const Thread& t, ContainerEntry ce);
+
+  // Checks the creation rule into container D with label L; on success
+  // returns the container. Charges happen in LinkInto.
+  Result<Container*> CheckCreate(const Thread& t, ObjectId d, const Label& l,
+                                 ObjectType type, uint64_t quota);
+
+  // Links obj into d, charging d's usage. Assumes all checks done.
+  Status LinkInto(Container* d, Object* obj);
+  void UnlinkFrom(Container* d, ObjectId obj);
+  // Destroys an object whose link count reached zero (recursive for
+  // containers). Collects destroyed segment ids for futex wakeups.
+  void DestroyObject(ObjectId id, std::vector<ObjectId>* destroyed_segments);
+
+  uint64_t ContainerFree(const Container& d) const;
+  void MarkDirty(ObjectId id);
+
+  Result<ObjectId> AllocObjectId();
+
+  // Stamps the creation sequence number and inserts into the object table.
+  void InsertObject(std::unique_ptr<Object> obj);
+
+  // Entry bookkeeping common to every syscall.
+  void CountSyscall(ObjectId self);
+
+  // Wakes futex waiters on a destroyed segment so they fail promptly.
+  void WakeAllFutexes(const std::vector<ObjectId>& segs);
+
+  mutable std::mutex mu_;
+  std::unordered_map<ObjectId, std::unique_ptr<Object>> objects_;
+  uint64_t creation_counter_ = 0;
+  ObjectId root_ = kInvalidObject;
+
+  CategoryAllocator cat_alloc_;
+  CategoryAllocator objid_alloc_{0x4f424a4944ULL /* "OBJID" */};
+  LabelCache label_cache_;
+
+  std::unordered_map<std::string, GateEntryFn> gate_entries_;
+  mutable std::mutex gate_entries_mu_;
+
+  std::unordered_map<FutexKey, std::unique_ptr<FutexWaitQueue>, FutexKeyHash> futexes_;
+
+  std::unordered_map<ObjectId, std::function<bool(uint64_t, bool)>> pf_handlers_;
+  std::unordered_map<ObjectId, uint64_t> thread_syscalls_;
+  std::unordered_set<ObjectId> dirty_;
+
+  std::atomic<uint64_t> syscall_count_{0};
+  PersistTarget* persist_ = nullptr;
+};
+
+// Interface the kernel uses to push state to the single-level store.
+class PersistTarget {
+ public:
+  virtual ~PersistTarget() = default;
+  // Atomically advance the on-disk system state: `dirty` carries serialized
+  // images of objects mutated since the last sync; `live` is the complete
+  // set of live ids (objects absent from it are dropped from disk). Commits
+  // with a superblock flip — all or nothing.
+  virtual Status Checkpoint(const std::vector<std::pair<ObjectId, std::vector<uint8_t>>>& dirty,
+                            const std::vector<ObjectId>& live, ObjectId root) = 0;
+  // Write-ahead-log a single object's new state (fsync of one object).
+  virtual Status SyncOne(ObjectId id, const std::vector<uint8_t>& bytes) = 0;
+  // Flush a byte range of an already-persisted object in place — the §7.1
+  // "modified segment pages flushed without checkpointing the entire system
+  // state" path used by random writes to pre-existing segments.
+  virtual Status SyncPages(ObjectId id, uint64_t offset, uint64_t len) = 0;
+};
+
+// RAII binding of the calling host thread to a kernel thread id, so that
+// library code can recover "current thread" without threading it through
+// every call (the analogue of the hardware thread register).
+class CurrentThread {
+ public:
+  static ObjectId Get();
+  static void Set(ObjectId id);
+
+  explicit CurrentThread(ObjectId id) : prev_(Get()) { Set(id); }
+  ~CurrentThread() { Set(prev_); }
+
+ private:
+  ObjectId prev_;
+};
+
+}  // namespace histar
+
+#endif  // SRC_KERNEL_KERNEL_H_

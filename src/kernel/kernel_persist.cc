@@ -1,0 +1,482 @@
+// Object serialization and the single-level-store interface (paper §3, §4).
+//
+// Every kernel object can be flattened into a byte vector and restored; the
+// store (src/store) persists these blobs. Gate entry functions are not
+// serialized — the entry *name* is, standing in for the on-disk code segment
+// that the real system would map; names must be re-registered at boot.
+#include <algorithm>
+#include <cstring>
+
+#include "src/kernel/kernel.h"
+
+namespace histar {
+
+namespace {
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutBytes(std::vector<uint8_t>* out, const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), p, p + len);
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  PutBytes(out, s.data(), s.size());
+}
+
+// Cursor-based reader with bounds checking.
+struct Reader {
+  const uint8_t* data;
+  size_t len;
+  size_t pos = 0;
+  bool fail = false;
+
+  uint8_t U8() {
+    if (pos + 1 > len) {
+      fail = true;
+      return 0;
+    }
+    return data[pos++];
+  }
+  uint32_t U32() {
+    if (pos + 4 > len) {
+      fail = true;
+      return 0;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data[pos + static_cast<size_t>(i)]) << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (pos + 8 > len) {
+      fail = true;
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data[pos + static_cast<size_t>(i)]) << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  bool Bytes(void* out, size_t n) {
+    if (pos + n > len) {
+      fail = true;
+      return false;
+    }
+    memcpy(out, data + pos, n);
+    pos += n;
+    return true;
+  }
+  std::string String() {
+    uint32_t n = U32();
+    if (fail || pos + n > len) {
+      fail = true;
+      return "";
+    }
+    std::string s(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return s;
+  }
+  bool ReadLabel(histar::Label* out) {
+    size_t consumed = 0;
+    if (fail || !histar::Label::Deserialize(data + pos, len - pos, &consumed, out)) {
+      fail = true;
+      return false;
+    }
+    pos += consumed;
+    return true;
+  }
+};
+
+void PutLabel(std::vector<uint8_t>* out, const Label& l) { l.Serialize(out); }
+
+}  // namespace
+
+bool Kernel::SerializeObject(ObjectId id, std::vector<uint8_t>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Object* o = Get(id);
+  if (o == nullptr) {
+    return false;
+  }
+  out->clear();
+  PutU8(out, static_cast<uint8_t>(o->type()));
+  PutU64(out, o->id());
+  PutU64(out, o->creation_seq());
+  PutLabel(out, o->label());
+  PutU64(out, o->quota());
+  PutU8(out, o->fixed_quota() ? 1 : 0);
+  PutU8(out, o->immutable() ? 1 : 0);
+  PutString(out, o->descrip());
+  PutBytes(out, o->metadata().data(), kMetadataLen);
+
+  switch (o->type()) {
+    case ObjectType::kSegment: {
+      const Segment* s = static_cast<const Segment*>(o);
+      PutU64(out, s->bytes().size());
+      PutBytes(out, s->bytes().data(), s->bytes().size());
+      break;
+    }
+    case ObjectType::kContainer: {
+      const Container* c = static_cast<const Container*>(o);
+      PutU32(out, c->avoid_types());
+      PutU64(out, c->parent());
+      PutU32(out, static_cast<uint32_t>(c->links().size()));
+      for (ObjectId l : c->links()) {
+        PutU64(out, l);
+      }
+      break;
+    }
+    case ObjectType::kThread: {
+      const Thread* t = static_cast<const Thread*>(o);
+      PutLabel(out, t->clearance());
+      PutU8(out, t->halted() ? 1 : 0);
+      PutU64(out, t->address_space().container);
+      PutU64(out, t->address_space().object);
+      PutBytes(out, const_cast<Thread*>(t)->local_segment().data(), kPageSize);
+      break;
+    }
+    case ObjectType::kAddressSpace: {
+      const AddressSpace* as = static_cast<const AddressSpace*>(o);
+      PutU32(out, static_cast<uint32_t>(as->mappings().size()));
+      for (const Mapping& m : as->mappings()) {
+        PutU64(out, m.va);
+        PutU64(out, m.segment.container);
+        PutU64(out, m.segment.object);
+        PutU64(out, m.start_page);
+        PutU64(out, m.npages);
+        PutU32(out, m.flags);
+      }
+      break;
+    }
+    case ObjectType::kGate: {
+      const Gate* g = static_cast<const Gate*>(o);
+      PutLabel(out, g->clearance());
+      PutString(out, g->entry_name());
+      PutU32(out, static_cast<uint32_t>(g->closure().size()));
+      for (uint64_t w : g->closure()) {
+        PutU64(out, w);
+      }
+      break;
+    }
+    case ObjectType::kDevice: {
+      const Device* d = static_cast<const Device*>(o);
+      PutU8(out, static_cast<uint8_t>(d->kind()));
+      break;
+    }
+  }
+  return true;
+}
+
+Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
+  Reader r{bytes.data(), bytes.size()};
+  uint8_t type_raw = r.U8();
+  if (r.fail || type_raw >= kNumObjectTypes) {
+    return Status::kCorrupt;
+  }
+  ObjectType type = static_cast<ObjectType>(type_raw);
+  ObjectId id = r.U64();
+  uint64_t creation_seq = r.U64();
+  Label label;
+  if (!r.ReadLabel(&label)) {
+    return Status::kCorrupt;
+  }
+  uint64_t quota = r.U64();
+  bool fixed = r.U8() != 0;
+  bool immutable = r.U8() != 0;
+  std::string descrip = r.String();
+  std::array<uint8_t, kMetadataLen> metadata;
+  r.Bytes(metadata.data(), kMetadataLen);
+  if (r.fail) {
+    return Status::kCorrupt;
+  }
+
+  std::unique_ptr<Object> obj;
+  switch (type) {
+    case ObjectType::kSegment: {
+      uint64_t len = r.U64();
+      if (r.fail || r.pos + len > r.len) {
+        return Status::kCorrupt;
+      }
+      auto s = std::make_unique<Segment>(id, label);
+      s->bytes().resize(len);
+      r.Bytes(s->bytes().data(), len);
+      obj = std::move(s);
+      break;
+    }
+    case ObjectType::kContainer: {
+      uint32_t avoid = r.U32();
+      ObjectId parent = r.U64();
+      uint32_t n = r.U32();
+      if (r.fail) {
+        return Status::kCorrupt;
+      }
+      auto c = std::make_unique<Container>(id, label, avoid, parent);
+      for (uint32_t i = 0; i < n && !r.fail; ++i) {
+        c->links_mutable().push_back(r.U64());
+      }
+      obj = std::move(c);
+      break;
+    }
+    case ObjectType::kThread: {
+      Label clearance;
+      if (!r.ReadLabel(&clearance)) {
+        return Status::kCorrupt;
+      }
+      bool halted = r.U8() != 0;
+      ContainerEntry as{r.U64(), r.U64()};
+      auto t = std::make_unique<Thread>(id, label, clearance);
+      r.Bytes(t->local_segment().data(), kPageSize);
+      t->set_address_space_internal(as);
+      if (halted) {
+        t->set_halted_internal();
+      }
+      obj = std::move(t);
+      break;
+    }
+    case ObjectType::kAddressSpace: {
+      uint32_t n = r.U32();
+      auto as = std::make_unique<AddressSpace>(id, label);
+      for (uint32_t i = 0; i < n && !r.fail; ++i) {
+        Mapping m;
+        m.va = r.U64();
+        m.segment.container = r.U64();
+        m.segment.object = r.U64();
+        m.start_page = r.U64();
+        m.npages = r.U64();
+        m.flags = r.U32();
+        as->mappings_mutable().push_back(m);
+      }
+      obj = std::move(as);
+      break;
+    }
+    case ObjectType::kGate: {
+      Label clearance;
+      if (!r.ReadLabel(&clearance)) {
+        return Status::kCorrupt;
+      }
+      std::string entry = r.String();
+      uint32_t n = r.U32();
+      std::vector<uint64_t> closure;
+      for (uint32_t i = 0; i < n && !r.fail; ++i) {
+        closure.push_back(r.U64());
+      }
+      obj = std::make_unique<Gate>(id, label, clearance, entry, closure);
+      break;
+    }
+    case ObjectType::kDevice: {
+      uint8_t kind = r.U8();
+      obj = std::make_unique<Device>(id, label, static_cast<DeviceKind>(kind));
+      break;
+    }
+  }
+  if (r.fail || obj == nullptr) {
+    return Status::kCorrupt;
+  }
+  obj->set_quota_internal(quota);
+  if (fixed) {
+    obj->set_fixed_quota_internal();
+  }
+  if (immutable) {
+    obj->set_immutable_internal();
+  }
+  obj->set_descrip_internal(descrip);
+  obj->metadata_mutable() = metadata;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  obj->set_creation_seq(creation_seq);
+  if (creation_seq > creation_counter_) {
+    creation_counter_ = creation_seq;
+  }
+  objects_[id] = std::move(obj);
+  return Status::kOk;
+}
+
+void Kernel::FinishRestore(ObjectId root) {
+  std::lock_guard<std::mutex> lock(mu_);
+  root_ = root;
+  // Rebuild link counts and container usages from the link graph, and intern
+  // all labels into a fresh cache.
+  for (auto& [id, obj] : objects_) {
+    while (obj->link_count() > 0) {
+      obj->drop_link_internal();
+    }
+  }
+  for (auto& [id, obj] : objects_) {
+    if (obj->type() != ObjectType::kContainer) {
+      continue;
+    }
+    Container* c = static_cast<Container*>(obj.get());
+    uint64_t usage = 0;
+    for (ObjectId child : c->links()) {
+      Object* co = Get(child);
+      if (co != nullptr) {
+        co->add_link_internal();
+        if (co->quota() != kQuotaInfinite) {
+          usage += co->quota();
+        }
+      }
+    }
+    c->set_usage_internal(usage);
+  }
+  Object* root_obj = Get(root_);
+  if (root_obj != nullptr) {
+    root_obj->add_link_internal();  // permanent anchor
+  }
+  for (auto& [id, obj] : objects_) {
+    if (obj->type() == ObjectType::kThread) {
+      InternThreadLabels(static_cast<Thread*>(obj.get()));
+    } else {
+      InternLabels(obj.get());
+    }
+  }
+  dirty_.clear();
+}
+
+std::vector<ObjectId> Kernel::LiveObjects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Creation order, so checkpoints lay out consecutively created objects
+  // contiguously (delayed allocation keeps related data together on disk).
+  std::vector<std::pair<uint64_t, ObjectId>> seq;
+  seq.reserve(objects_.size());
+  for (const auto& [id, obj] : objects_) {
+    seq.emplace_back(obj->creation_seq(), id);
+  }
+  std::sort(seq.begin(), seq.end());
+  std::vector<ObjectId> out;
+  out.reserve(seq.size());
+  for (const auto& [s, id] : seq) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ObjectId> Kernel::DirtyObjects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Creation order, like LiveObjects: the checkpoint writes the batch to
+  // contiguous extents in this order, so consecutively created files end up
+  // physically adjacent (what makes uncached directory-order reads mostly
+  // sequential).
+  std::vector<std::pair<uint64_t, ObjectId>> seq;
+  seq.reserve(dirty_.size());
+  for (ObjectId id : dirty_) {
+    const Object* obj = Get(id);
+    if (obj != nullptr) {
+      seq.emplace_back(obj->creation_seq(), id);
+    }
+  }
+  std::sort(seq.begin(), seq.end());
+  std::vector<ObjectId> out;
+  out.reserve(seq.size());
+  for (const auto& [s, id] : seq) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+void Kernel::ClearDirty() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dirty_.clear();
+}
+
+Status Kernel::sys_sync(ObjectId self) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CountSyscall(self);
+    Thread* t = GetThread(self);
+    if (t == nullptr || t->halted()) {
+      return Status::kHalted;
+    }
+  }
+  if (persist_ == nullptr) {
+    return Status::kOk;  // volatile configuration: sync is a no-op
+  }
+  // Group sync (§7.1): checkpoint the system state. Only objects mutated
+  // since the last sync are re-serialized; the live-id set lets the store
+  // drop deleted objects. The store commits atomically (superblock flip).
+  std::vector<ObjectId> live = LiveObjects();
+  std::vector<ObjectId> dirty_ids = DirtyObjects();
+  std::vector<std::pair<ObjectId, std::vector<uint8_t>>> batch;
+  batch.reserve(dirty_ids.size());
+  for (ObjectId id : dirty_ids) {
+    std::vector<uint8_t> bytes;
+    if (SerializeObject(id, &bytes)) {
+      batch.emplace_back(id, std::move(bytes));
+    }
+  }
+  Status st = persist_->Checkpoint(batch, live, root_);
+  if (st == Status::kOk) {
+    ClearDirty();
+  }
+  return st;
+}
+
+Status Kernel::sys_sync_pages(ObjectId self, ContainerEntry ce, uint64_t offset, uint64_t len) {
+  ObjectId target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CountSyscall(self);
+    Thread* t = GetThread(self);
+    if (t == nullptr || t->halted()) {
+      return Status::kHalted;
+    }
+    Result<Object*> o = ResolveEntry(*t, ce);
+    if (!o.ok()) {
+      return o.status();
+    }
+    if (!CanObserve(*t, *o.value())) {
+      return Status::kLabelCheckFailed;
+    }
+    target = o.value()->id();
+  }
+  if (persist_ == nullptr) {
+    return Status::kOk;
+  }
+  return persist_->SyncPages(target, offset, len);
+}
+
+Status Kernel::sys_sync_object(ObjectId self, ContainerEntry ce) {
+  ObjectId target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CountSyscall(self);
+    Thread* t = GetThread(self);
+    if (t == nullptr || t->halted()) {
+      return Status::kHalted;
+    }
+    Result<Object*> o = ResolveEntry(*t, ce);
+    if (!o.ok()) {
+      return o.status();
+    }
+    if (!CanObserve(*t, *o.value())) {
+      return Status::kLabelCheckFailed;
+    }
+    target = o.value()->id();
+  }
+  if (persist_ == nullptr) {
+    return Status::kOk;
+  }
+  std::vector<uint8_t> bytes;
+  if (!SerializeObject(target, &bytes)) {
+    return Status::kNotFound;
+  }
+  return persist_->SyncOne(target, bytes);
+}
+
+}  // namespace histar

@@ -1,0 +1,665 @@
+// Segment, address-space, futex and device syscalls (paper §3.4, §4.1, §5.7).
+#include <chrono>
+#include <cstring>
+
+#include "src/kernel/kernel.h"
+
+namespace histar {
+
+// ---- segments ----------------------------------------------------------------
+
+Result<ObjectId> Kernel::sys_segment_create(ObjectId self, const CreateSpec& spec,
+                                            uint64_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Container*> d = CheckCreate(*t, spec.container, spec.label, ObjectType::kSegment,
+                                     spec.quota);
+  if (!d.ok()) {
+    return d.status();
+  }
+  if (kObjectOverheadBytes + len > spec.quota) {
+    return Status::kQuotaExceeded;
+  }
+  Result<ObjectId> id = AllocObjectId();
+  auto s = std::make_unique<Segment>(id.value(), spec.label);
+  s->bytes().resize(len, 0);
+  s->set_quota_internal(spec.quota);
+  s->set_descrip_internal(spec.descrip);
+  InternLabels(s.get());
+  Segment* raw = s.get();
+  InsertObject(std::move(s));
+  Status ls = LinkInto(d.value(), raw);
+  if (ls != Status::kOk) {
+    objects_.erase(raw->id());
+    return ls;
+  }
+  MarkDirty(raw->id());
+  return raw->id();
+}
+
+Result<ObjectId> Kernel::sys_segment_copy(ObjectId self, const CreateSpec& spec,
+                                          ContainerEntry src) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, src);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (o.value()->type() != ObjectType::kSegment) {
+    return Status::kWrongType;
+  }
+  Segment* s = static_cast<Segment*>(o.value());
+  // Copying reads the source...
+  if (!CanObserve(*t, *s)) {
+    return Status::kLabelCheckFailed;
+  }
+  // ...and creates a new object at the requested label; the usual creation
+  // rule keeps the copy at least as tainted as the thread that read it.
+  Result<Container*> d = CheckCreate(*t, spec.container, spec.label, ObjectType::kSegment,
+                                     spec.quota);
+  if (!d.ok()) {
+    return d.status();
+  }
+  if (kObjectOverheadBytes + s->bytes().size() > spec.quota) {
+    return Status::kQuotaExceeded;
+  }
+  Result<ObjectId> id = AllocObjectId();
+  auto ns = std::make_unique<Segment>(id.value(), spec.label);
+  ns->bytes() = s->bytes();
+  ns->set_quota_internal(spec.quota);
+  ns->set_descrip_internal(spec.descrip);
+  InternLabels(ns.get());
+  Segment* raw = ns.get();
+  InsertObject(std::move(ns));
+  Status ls = LinkInto(d.value(), raw);
+  if (ls != Status::kOk) {
+    objects_.erase(raw->id());
+    return ls;
+  }
+  MarkDirty(raw->id());
+  return raw->id();
+}
+
+Status Kernel::sys_segment_resize(ObjectId self, ContainerEntry ce, uint64_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, ce);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (o.value()->type() != ObjectType::kSegment) {
+    return Status::kWrongType;
+  }
+  Segment* s = static_cast<Segment*>(o.value());
+  Status ms = CheckModify(*t, *s);
+  if (ms != Status::kOk) {
+    return ms;
+  }
+  if (kObjectOverheadBytes + len > s->quota()) {
+    return Status::kQuotaExceeded;
+  }
+  s->bytes().resize(len, 0);
+  MarkDirty(s->id());
+  return Status::kOk;
+}
+
+Result<uint64_t> Kernel::sys_segment_get_len(ObjectId self, ContainerEntry ce) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, ce);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (o.value()->type() != ObjectType::kSegment) {
+    return Status::kWrongType;
+  }
+  if (!CanObserve(*t, *o.value())) {
+    return Status::kLabelCheckFailed;
+  }
+  return static_cast<Segment*>(o.value())->bytes().size();
+}
+
+Status Kernel::sys_segment_read(ObjectId self, ContainerEntry ce, void* buf, uint64_t off,
+                                uint64_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, ce);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (o.value()->type() != ObjectType::kSegment) {
+    return Status::kWrongType;
+  }
+  Segment* s = static_cast<Segment*>(o.value());
+  if (!CanObserve(*t, *s)) {
+    return Status::kLabelCheckFailed;
+  }
+  if (off + len > s->bytes().size()) {
+    return Status::kRange;
+  }
+  memcpy(buf, s->bytes().data() + off, len);
+  return Status::kOk;
+}
+
+Status Kernel::sys_segment_write(ObjectId self, ContainerEntry ce, const void* buf,
+                                 uint64_t off, uint64_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, ce);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (o.value()->type() != ObjectType::kSegment) {
+    return Status::kWrongType;
+  }
+  Segment* s = static_cast<Segment*>(o.value());
+  Status ms = CheckModify(*t, *s);
+  if (ms != Status::kOk) {
+    return ms;
+  }
+  if (off + len > s->bytes().size()) {
+    return Status::kRange;
+  }
+  memcpy(s->bytes().data() + off, buf, len);
+  MarkDirty(s->id());
+  return Status::kOk;
+}
+
+// ---- address spaces -------------------------------------------------------------
+
+Result<ObjectId> Kernel::sys_as_create(ObjectId self, const CreateSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Container*> d = CheckCreate(*t, spec.container, spec.label, ObjectType::kAddressSpace,
+                                     spec.quota);
+  if (!d.ok()) {
+    return d.status();
+  }
+  Result<ObjectId> id = AllocObjectId();
+  auto as = std::make_unique<AddressSpace>(id.value(), spec.label);
+  as->set_quota_internal(spec.quota);
+  as->set_descrip_internal(spec.descrip);
+  InternLabels(as.get());
+  AddressSpace* raw = as.get();
+  InsertObject(std::move(as));
+  Status ls = LinkInto(d.value(), raw);
+  if (ls != Status::kOk) {
+    objects_.erase(raw->id());
+    return ls;
+  }
+  MarkDirty(raw->id());
+  return raw->id();
+}
+
+Status Kernel::sys_as_set(ObjectId self, ContainerEntry ce, const std::vector<Mapping>& mappings) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, ce);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (o.value()->type() != ObjectType::kAddressSpace) {
+    return Status::kWrongType;
+  }
+  AddressSpace* as = static_cast<AddressSpace*>(o.value());
+  Status ms = CheckModify(*t, *as);
+  if (ms != Status::kOk) {
+    return ms;
+  }
+  for (const Mapping& m : mappings) {
+    if (m.va % kPageSize != 0 || m.npages == 0) {
+      return Status::kInvalidArg;
+    }
+  }
+  as->mappings_mutable() = mappings;
+  MarkDirty(as->id());
+  return Status::kOk;
+}
+
+Result<std::vector<Mapping>> Kernel::sys_as_get(ObjectId self, ContainerEntry ce) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, ce);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (o.value()->type() != ObjectType::kAddressSpace) {
+    return Status::kWrongType;
+  }
+  if (!CanObserve(*t, *o.value())) {
+    return Status::kLabelCheckFailed;
+  }
+  return static_cast<AddressSpace*>(o.value())->mappings();
+}
+
+void Kernel::SetPageFaultHandler(ObjectId thread,
+                                 std::function<bool(uint64_t va, bool write)> h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pf_handlers_[thread] = std::move(h);
+}
+
+Status Kernel::sys_as_access(ObjectId self, uint64_t va, void* buf, uint64_t len, bool write) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Status st = Status::kOk;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (attempt == 0) {
+        CountSyscall(self);
+      }
+      Thread* t = GetThread(self);
+      if (t == nullptr || t->halted()) {
+        return Status::kHalted;
+      }
+      AddressSpace* as = nullptr;
+      Object* aso = Get(t->address_space().object);
+      if (aso != nullptr && aso->type() == ObjectType::kAddressSpace) {
+        as = static_cast<AddressSpace*>(aso);
+      }
+      const Mapping* m = as != nullptr ? as->Lookup(va) : nullptr;
+      if (m == nullptr || !m->Covers(va + (len == 0 ? 0 : len - 1))) {
+        st = Status::kNotFound;
+      } else if ((write && (m->flags & kMapWrite) == 0) ||
+                 (!write && (m->flags & kMapRead) == 0)) {
+        st = Status::kNoPerm;
+      } else if (m->segment.object == kLocalSegmentId) {
+        // Thread-local segments are always accessible by the current thread.
+        uint64_t off = va - m->va + m->start_page * kPageSize;
+        if (off + len > t->local_segment().size()) {
+          st = Status::kRange;
+        } else if (write) {
+          memcpy(t->local_segment().data() + off, buf, len);
+        } else {
+          memcpy(buf, t->local_segment().data() + off, len);
+        }
+      } else {
+        // Fault-time checks (§3.4): read D and O; for writes also L_T ⊑ L_O.
+        Result<Object*> o = ResolveEntry(*t, m->segment);
+        if (!o.ok()) {
+          st = o.status();
+        } else if (o.value()->type() != ObjectType::kSegment) {
+          st = Status::kWrongType;
+        } else {
+          Segment* s = static_cast<Segment*>(o.value());
+          if (!CanObserve(*t, *s)) {
+            st = Status::kLabelCheckFailed;
+          } else if (write && (!t->label().Leq(s->label()) || s->immutable())) {
+            st = s->immutable() ? Status::kImmutable : Status::kLabelCheckFailed;
+          } else {
+            uint64_t off = va - m->va + m->start_page * kPageSize;
+            if (off + len > s->bytes().size()) {
+              st = Status::kRange;
+            } else if (write) {
+              memcpy(s->bytes().data() + off, buf, len);
+              MarkDirty(s->id());
+            } else {
+              memcpy(buf, s->bytes().data() + off, len);
+            }
+          }
+        }
+      }
+    }
+    if (st == Status::kOk) {
+      return st;
+    }
+    // Call up to the user-mode page-fault handler; if it claims to have
+    // repaired the fault (remapped something), retry once.
+    std::function<bool(uint64_t, bool)> handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pf_handlers_.find(self);
+      if (it != pf_handlers_.end()) {
+        handler = it->second;
+      }
+    }
+    if (!handler || attempt == 1 || !handler(va, write)) {
+      return st;
+    }
+  }
+  return Status::kInvalidArg;
+}
+
+// ---- futexes ----------------------------------------------------------------------
+
+Status Kernel::sys_futex_wait(ObjectId self, ContainerEntry seg, uint64_t offset,
+                              uint64_t expected, uint32_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, seg);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (o.value()->type() != ObjectType::kSegment) {
+    return Status::kWrongType;
+  }
+  Segment* s = static_cast<Segment*>(o.value());
+  if (!CanObserve(*t, *s)) {
+    return Status::kLabelCheckFailed;
+  }
+  if (offset + 8 > s->bytes().size()) {
+    return Status::kRange;
+  }
+  uint64_t current;
+  memcpy(&current, s->bytes().data() + offset, 8);
+  if (current != expected) {
+    return Status::kAgain;
+  }
+  FutexKey key{s->id(), offset};
+  auto it = futexes_.find(key);
+  if (it == futexes_.end()) {
+    it = futexes_.emplace(key, std::make_unique<FutexWaitQueue>()).first;
+  }
+  FutexWaitQueue* q = it->second.get();
+  uint64_t seq = q->wake_seq;
+  ++q->waiters;
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  Status result = Status::kOk;
+  for (;;) {
+    // Re-check world state each wakeup: consumed a wake token, halted,
+    // alerted, or timed out.
+    Thread* self_t = GetThread(self);
+    if (self_t == nullptr || self_t->halted()) {
+      result = Status::kHalted;
+      break;
+    }
+    if (!self_t->alerts().empty()) {
+      result = Status::kAgain;  // interrupted by alert (EINTR analogue)
+      break;
+    }
+    if (q->wake_seq != seq && q->wake_budget > 0) {
+      --q->wake_budget;
+      result = Status::kOk;
+      break;
+    }
+    if (timeout_ms != 0) {
+      if (q->cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+        result = Status::kTimedOut;
+        break;
+      }
+    } else {
+      // Untimed waits still poll so that thread destruction is noticed even
+      // if no explicit wake ever arrives.
+      q->cv.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+  --q->waiters;
+  return result;
+}
+
+Result<uint32_t> Kernel::sys_futex_wake(ObjectId self, ContainerEntry seg, uint64_t offset,
+                                        uint32_t max_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, seg);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (o.value()->type() != ObjectType::kSegment) {
+    return Status::kWrongType;
+  }
+  Segment* s = static_cast<Segment*>(o.value());
+  // Waking waiters conveys information to them: require modify access, the
+  // same as writing the futex word.
+  Status ms = CheckModify(*t, *s);
+  if (ms != Status::kOk) {
+    return ms;
+  }
+  FutexKey key{s->id(), offset};
+  auto it = futexes_.find(key);
+  if (it == futexes_.end()) {
+    return 0u;
+  }
+  FutexWaitQueue* q = it->second.get();
+  uint32_t woken = std::min(max_count, q->waiters);
+  ++q->wake_seq;
+  q->wake_budget += woken;
+  q->cv.notify_all();
+  return woken;
+}
+
+// ---- devices -----------------------------------------------------------------------
+
+Result<std::array<uint8_t, 6>> Kernel::sys_net_macaddr(ObjectId self, ContainerEntry dev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, dev);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (o.value()->type() != ObjectType::kDevice) {
+    return Status::kWrongType;
+  }
+  Device* d = static_cast<Device*>(o.value());
+  if (d->kind() != DeviceKind::kNet || d->net_port() == nullptr) {
+    return Status::kWrongType;
+  }
+  if (!CanObserve(*t, *d)) {
+    return Status::kLabelCheckFailed;
+  }
+  return d->net_port()->MacAddress();
+}
+
+Status Kernel::sys_net_transmit(ObjectId self, ContainerEntry dev, ContainerEntry seg,
+                                uint64_t off, uint64_t len) {
+  NetPort* port = nullptr;
+  std::vector<uint8_t> frame;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CountSyscall(self);
+    Thread* t = GetThread(self);
+    if (t == nullptr || t->halted()) {
+      return Status::kHalted;
+    }
+    Result<Object*> od = ResolveEntry(*t, dev);
+    if (!od.ok()) {
+      return od.status();
+    }
+    if (od.value()->type() != ObjectType::kDevice) {
+      return Status::kWrongType;
+    }
+    Device* d = static_cast<Device*>(od.value());
+    if (d->kind() != DeviceKind::kNet || d->net_port() == nullptr) {
+      return Status::kWrongType;
+    }
+    // Transmitting writes the device: the boot-time label {nr3, nw0, i2, 1}
+    // means a thread tainted in any unowned category above the device's
+    // level cannot transmit — this single check is what "tainted data cannot
+    // leave the machine" reduces to.
+    Status ms = CheckModify(*t, *d);
+    if (ms != Status::kOk) {
+      return ms;
+    }
+    Result<Object*> os = ResolveEntry(*t, seg);
+    if (!os.ok()) {
+      return os.status();
+    }
+    if (os.value()->type() != ObjectType::kSegment) {
+      return Status::kWrongType;
+    }
+    Segment* s = static_cast<Segment*>(os.value());
+    if (!CanObserve(*t, *s)) {
+      return Status::kLabelCheckFailed;
+    }
+    if (off + len > s->bytes().size()) {
+      return Status::kRange;
+    }
+    frame.assign(s->bytes().begin() + static_cast<ptrdiff_t>(off),
+                 s->bytes().begin() + static_cast<ptrdiff_t>(off + len));
+    port = d->net_port();
+  }
+  return port->Transmit(frame) ? Status::kOk : Status::kAgain;
+}
+
+Result<uint64_t> Kernel::sys_net_receive(ObjectId self, ContainerEntry dev, ContainerEntry seg,
+                                         uint64_t off, uint64_t maxlen) {
+  NetPort* port = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CountSyscall(self);
+    Thread* t = GetThread(self);
+    if (t == nullptr || t->halted()) {
+      return Status::kHalted;
+    }
+    Result<Object*> od = ResolveEntry(*t, dev);
+    if (!od.ok()) {
+      return od.status();
+    }
+    if (od.value()->type() != ObjectType::kDevice) {
+      return Status::kWrongType;
+    }
+    Device* d = static_cast<Device*>(od.value());
+    if (d->kind() != DeviceKind::kNet || d->net_port() == nullptr) {
+      return Status::kWrongType;
+    }
+    // Receiving observes the device; the device's label (i2 component)
+    // forces the receive buffer — and hence the reader — to carry the
+    // network taint.
+    if (!CanObserve(*t, *d)) {
+      return Status::kLabelCheckFailed;
+    }
+    Result<Object*> os = ResolveEntry(*t, seg);
+    if (!os.ok()) {
+      return os.status();
+    }
+    if (os.value()->type() != ObjectType::kSegment) {
+      return Status::kWrongType;
+    }
+    Segment* s = static_cast<Segment*>(os.value());
+    Status ms = CheckModify(*t, *s);
+    if (ms != Status::kOk) {
+      return ms;
+    }
+    // The receive buffer must be at least as tainted as the device, or data
+    // arriving from the wire would shed its taint. L_D ⊑ L_S^J.
+    if (!d->label().Leq(s->label().ToHi())) {
+      return Status::kLabelCheckFailed;
+    }
+    port = d->net_port();
+  }
+  std::vector<uint8_t> frame;
+  if (!port->Receive(&frame)) {
+    return Status::kAgain;
+  }
+  uint64_t n = std::min<uint64_t>(frame.size(), maxlen);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Thread* t = GetThread(self);
+    if (t == nullptr || t->halted()) {
+      return Status::kHalted;
+    }
+    Result<Object*> os = ResolveEntry(*t, seg);
+    if (!os.ok()) {
+      return os.status();
+    }
+    Segment* s = static_cast<Segment*>(os.value());
+    if (off + n > s->bytes().size()) {
+      return Status::kRange;
+    }
+    memcpy(s->bytes().data() + off, frame.data(), n);
+    MarkDirty(s->id());
+  }
+  return n;
+}
+
+Status Kernel::sys_net_wait(ObjectId self, ContainerEntry dev, uint32_t timeout_ms) {
+  NetPort* port = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CountSyscall(self);
+    Thread* t = GetThread(self);
+    if (t == nullptr || t->halted()) {
+      return Status::kHalted;
+    }
+    Result<Object*> od = ResolveEntry(*t, dev);
+    if (!od.ok()) {
+      return od.status();
+    }
+    if (od.value()->type() != ObjectType::kDevice) {
+      return Status::kWrongType;
+    }
+    Device* d = static_cast<Device*>(od.value());
+    if (d->kind() != DeviceKind::kNet || d->net_port() == nullptr) {
+      return Status::kWrongType;
+    }
+    if (!CanObserve(*t, *d)) {
+      return Status::kLabelCheckFailed;
+    }
+    port = d->net_port();
+  }
+  return port->WaitForFrame(timeout_ms) ? Status::kOk : Status::kTimedOut;
+}
+
+Status Kernel::sys_console_write(ObjectId self, ContainerEntry dev, const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, dev);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (o.value()->type() != ObjectType::kDevice) {
+    return Status::kWrongType;
+  }
+  Device* d = static_cast<Device*>(o.value());
+  if (d->kind() != DeviceKind::kConsole) {
+    return Status::kWrongType;
+  }
+  Status ms = CheckModify(*t, *d);
+  if (ms != Status::kOk) {
+    return ms;
+  }
+  d->console_buffer() += text;
+  return Status::kOk;
+}
+
+}  // namespace histar

@@ -1,0 +1,376 @@
+// Thread and gate syscalls (paper §3.1, §3.5).
+#include <cstring>
+
+#include "src/kernel/kernel.h"
+
+namespace histar {
+
+// ---- threads -----------------------------------------------------------------
+
+Result<CategoryId> Kernel::sys_cat_create(ObjectId self) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  // The allocating thread becomes the category's only owner: L_T(c) ← ⋆ and
+  // C_T(c) ← 3. Labels are egalitarian — no other thread is below default.
+  CategoryId c = cat_alloc_.Allocate();
+  Label l = t->label();
+  l.set(c, Level::kStar);
+  t->set_label_internal(std::move(l));
+  Label cl = t->clearance();
+  cl.set(c, Level::k3);
+  t->set_clearance_internal(std::move(cl));
+  InternThreadLabels(t);
+  MarkDirty(self);
+  return c;
+}
+
+Status Kernel::sys_self_set_label(ObjectId self, const Label& l) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  // L_T ⊑ L ⊑ C_T: a thread may taint itself up to its clearance, and may
+  // drop ownership, but may never shed taint.
+  if (!t->label().Leq(l) || !l.Leq(t->clearance())) {
+    return Status::kLabelCheckFailed;
+  }
+  t->set_label_internal(l);
+  InternThreadLabels(t);
+  MarkDirty(self);
+  return Status::kOk;
+}
+
+Status Kernel::sys_self_set_clearance(ObjectId self, const Label& c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  // L_T ⊑ C ⊑ (C_T ⊔ L_T^J): clearance may be lowered freely (not below the
+  // label) and raised only in owned categories.
+  if (!t->label().Leq(c) || !c.Leq(t->clearance().Join(t->label().ToHi()))) {
+    return Status::kLabelCheckFailed;
+  }
+  if (c.HasLevel(Level::kHi)) {
+    return Status::kInvalidArg;
+  }
+  t->set_clearance_internal(c);
+  InternThreadLabels(t);
+  MarkDirty(self);
+  return Status::kOk;
+}
+
+Result<Label> Kernel::sys_self_get_label(ObjectId self) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  return t->label();
+}
+
+Result<Label> Kernel::sys_self_get_clearance(ObjectId self) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  return t->clearance();
+}
+
+Status Kernel::sys_self_set_as(ObjectId self, ContainerEntry as) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, as);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (o.value()->type() != ObjectType::kAddressSpace) {
+    return Status::kWrongType;
+  }
+  // Using an address space requires observing it (L_A ⊑ L_T^J).
+  if (!CanObserve(*t, *o.value())) {
+    return Status::kLabelCheckFailed;
+  }
+  t->set_address_space_internal(as);
+  MarkDirty(self);
+  return Status::kOk;
+}
+
+Result<ContainerEntry> Kernel::sys_self_get_as(ObjectId self) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  return t->address_space();
+}
+
+Status Kernel::sys_self_halt(ObjectId self) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr) {
+    return Status::kNotFound;
+  }
+  t->set_halted_internal();
+  MarkDirty(self);
+  std::vector<ObjectId> ids = {self};
+  WakeAllFutexes(ids);
+  return Status::kOk;
+}
+
+Result<ObjectId> Kernel::sys_thread_create(ObjectId self, const CreateSpec& spec,
+                                           const Label& new_label,
+                                           const Label& new_clearance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  // Spawn rule (§3.1): L_T ⊑ L_T' ⊑ C_T' ⊑ C_T.
+  if (!t->label().Leq(new_label) || !new_label.Leq(new_clearance) ||
+      !new_clearance.Leq(t->clearance())) {
+    return Status::kLabelCheckFailed;
+  }
+  Result<Container*> d = CheckCreate(*t, spec.container, new_label, ObjectType::kThread,
+                                     spec.quota);
+  if (!d.ok()) {
+    return d.status();
+  }
+  Result<ObjectId> id = AllocObjectId();
+  auto nt = std::make_unique<Thread>(id.value(), new_label, new_clearance);
+  nt->set_quota_internal(spec.quota);
+  nt->set_descrip_internal(spec.descrip);
+  InternThreadLabels(nt.get());
+  Thread* raw = nt.get();
+  InsertObject(std::move(nt));
+  Status ls = LinkInto(d.value(), raw);
+  if (ls != Status::kOk) {
+    objects_.erase(raw->id());
+    return ls;
+  }
+  MarkDirty(raw->id());
+  return raw->id();
+}
+
+Status Kernel::sys_thread_alert(ObjectId self, ContainerEntry thread, uint64_t code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, thread);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (o.value()->type() != ObjectType::kThread) {
+    return Status::kWrongType;
+  }
+  Thread* target = static_cast<Thread*>(o.value());
+  // §3.4: the sender must be able to write the target's address space — the
+  // alert vector lives there and this also implies the sender could have
+  // taken the target over entirely — and observe the target.
+  Object* as = Get(target->address_space().object);
+  if (as == nullptr) {
+    return Status::kNotFound;
+  }
+  Status ms = CheckModify(*t, *as);
+  if (ms != Status::kOk) {
+    return ms;
+  }
+  if (!CanObserve(*t, *target)) {
+    return Status::kLabelCheckFailed;
+  }
+  target->alerts().push_back(code);
+  std::vector<ObjectId> ids = {target->id()};
+  WakeAllFutexes(ids);  // interrupt the target's futex waits
+  return Status::kOk;
+}
+
+Result<uint64_t> Kernel::sys_self_next_alert(ObjectId self) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  if (t->alerts().empty()) {
+    return Status::kNotFound;
+  }
+  uint64_t code = t->alerts().front();
+  t->alerts().pop_front();
+  return code;
+}
+
+Status Kernel::sys_self_local_read(ObjectId self, void* buf, uint64_t off, uint64_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  if (off + len > t->local_segment().size()) {
+    return Status::kRange;
+  }
+  memcpy(buf, t->local_segment().data() + off, len);
+  return Status::kOk;
+}
+
+Status Kernel::sys_self_local_write(ObjectId self, const void* buf, uint64_t off,
+                                    uint64_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  if (off + len > t->local_segment().size()) {
+    return Status::kRange;
+  }
+  memcpy(t->local_segment().data() + off, buf, len);
+  MarkDirty(self);
+  return Status::kOk;
+}
+
+// ---- gates -------------------------------------------------------------------
+
+Result<ObjectId> Kernel::sys_gate_create(ObjectId self, const CreateSpec& spec,
+                                         const Label& gate_label, const Label& gate_clearance,
+                                         const std::string& entry_name,
+                                         const std::vector<uint64_t>& closure) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  // §3.5: L_T' ⊑ L_G ⊑ C_G ⊑ C_T'. A gate may carry ⋆ — this is how stored
+  // privilege works — but only ⋆ the creator already owns (enforced by
+  // L_T ⊑ L_G: a non-owner's level-1 never fits below a requested ⋆).
+  if (!t->label().Leq(gate_label) || !gate_label.Leq(gate_clearance) ||
+      !gate_clearance.Leq(t->clearance())) {
+    return Status::kLabelCheckFailed;
+  }
+  Result<Container*> d = CheckCreate(*t, spec.container, gate_label, ObjectType::kGate,
+                                     spec.quota);
+  if (!d.ok()) {
+    return d.status();
+  }
+  {
+    std::lock_guard<std::mutex> glock(gate_entries_mu_);
+    if (gate_entries_.find(entry_name) == gate_entries_.end()) {
+      return Status::kNotFound;  // entry code segment missing
+    }
+  }
+  Result<ObjectId> id = AllocObjectId();
+  auto g = std::make_unique<Gate>(id.value(), gate_label, gate_clearance, entry_name, closure);
+  g->set_quota_internal(spec.quota);
+  g->set_descrip_internal(spec.descrip);
+  InternLabels(g.get());
+  Gate* raw = g.get();
+  InsertObject(std::move(g));
+  Status ls = LinkInto(d.value(), raw);
+  if (ls != Status::kOk) {
+    objects_.erase(raw->id());
+    return ls;
+  }
+  MarkDirty(raw->id());
+  return raw->id();
+}
+
+Status Kernel::sys_gate_invoke(ObjectId self, ContainerEntry gate, const Label& request_label,
+                               const Label& request_clearance, const Label& verify_label) {
+  GateEntryFn entry;
+  GateCall call;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CountSyscall(self);
+    Thread* t = GetThread(self);
+    if (t == nullptr || t->halted()) {
+      return Status::kHalted;
+    }
+    Result<Object*> o = ResolveEntry(*t, gate);
+    if (!o.ok()) {
+      return o.status();
+    }
+    if (o.value()->type() != ObjectType::kGate) {
+      return Status::kWrongType;
+    }
+    Gate* g = static_cast<Gate*>(o.value());
+    // §3.5 invocation rule: L_T ⊑ C_G, L_T ⊑ L_V, and
+    // (L_T^J ⊔ L_G^J)^⋆ ⊑ L_R ⊑ C_R ⊑ (C_T ⊔ C_G).
+    if (!t->label().Leq(g->clearance())) {
+      return Status::kLabelCheckFailed;
+    }
+    if (!t->label().Leq(verify_label)) {
+      return Status::kLabelCheckFailed;
+    }
+    Label floor = t->label().ToHi().Join(g->label().ToHi()).ToStar();
+    if (!floor.Leq(request_label) || !request_label.Leq(request_clearance) ||
+        !request_clearance.Leq(t->clearance().Join(g->clearance()))) {
+      return Status::kLabelCheckFailed;
+    }
+    if (request_label.HasLevel(Level::kHi) || request_clearance.HasLevel(Level::kHi)) {
+      return Status::kInvalidArg;
+    }
+    // The thread crosses the gate: its label and clearance become exactly
+    // what it requested (the kernel verified, user code specified — §3.5).
+    t->set_label_internal(request_label);
+    t->set_clearance_internal(request_clearance);
+    InternThreadLabels(t);
+    MarkDirty(self);
+    {
+      std::lock_guard<std::mutex> glock(gate_entries_mu_);
+      auto it = gate_entries_.find(g->entry_name());
+      if (it == gate_entries_.end()) {
+        return Status::kNotFound;
+      }
+      entry = it->second;
+    }
+    call.kernel = this;
+    call.thread = self;
+    call.closure = g->closure();
+    call.gate = gate;
+    call.verify = verify_label;
+  }
+  // Run the entry point outside the kernel lock: this is user code executing
+  // in the gate creator's protection domain.
+  entry(call);
+  return Status::kOk;
+}
+
+Result<std::vector<uint64_t>> Kernel::sys_gate_get_closure(ObjectId self, ContainerEntry ce) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountSyscall(self);
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Result<Object*> o = ResolveEntry(*t, ce);
+  if (!o.ok()) {
+    return o.status();
+  }
+  if (o.value()->type() != ObjectType::kGate) {
+    return Status::kWrongType;
+  }
+  return static_cast<Gate*>(o.value())->closure();
+}
+
+}  // namespace histar

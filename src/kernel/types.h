@@ -1,0 +1,75 @@
+// Shared kernel types: object IDs, object types, container entries.
+#ifndef SRC_KERNEL_TYPES_H_
+#define SRC_KERNEL_TYPES_H_
+
+#include <cstdint>
+
+#include "src/core/category.h"
+
+namespace histar {
+
+// Objects, like categories, are named by unique 61-bit identifiers produced
+// by encrypting an allocation counter (paper §3).
+using ObjectId = uint64_t;
+inline constexpr ObjectId kInvalidObject = 0;
+
+// Reserved pseudo-object id meaning "the current thread's local segment"
+// when it appears in an address-space mapping (paper §3.4).
+inline constexpr ObjectId kLocalSegmentId = ~uint64_t{0};
+
+// The six kernel object types (paper §3). The enum values are also the bit
+// positions used by container avoid_types masks.
+enum class ObjectType : uint8_t {
+  kContainer = 0,
+  kThread = 1,
+  kSegment = 2,
+  kAddressSpace = 3,
+  kGate = 4,
+  kDevice = 5,
+};
+
+inline constexpr int kNumObjectTypes = 6;
+
+inline uint32_t TypeBit(ObjectType t) { return 1u << static_cast<uint32_t>(t); }
+
+// Most system calls name objects by ⟨container, object⟩ pairs so the kernel
+// can verify the caller is entitled to know the object exists (paper §3.2).
+struct ContainerEntry {
+  ObjectId container = kInvalidObject;
+  ObjectId object = kInvalidObject;
+
+  bool operator==(const ContainerEntry&) const = default;
+};
+
+// Shorthand for the common self-referential entry ⟨D,D⟩: every container
+// contains itself.
+inline ContainerEntry SelfEntry(ObjectId d) { return ContainerEntry{d, d}; }
+
+// Address-space mapping permission bits.
+inline constexpr uint32_t kMapRead = 1u << 0;
+inline constexpr uint32_t kMapWrite = 1u << 1;
+inline constexpr uint32_t kMapExec = 1u << 2;
+// Convenience bits reserved for user-level software (paper §3.4); the kernel
+// stores but never interprets them.
+inline constexpr uint32_t kMapUserFlag0 = 1u << 16;
+inline constexpr uint32_t kMapUserFlag1 = 1u << 17;
+
+// Simulated page size. Segment lengths are byte-granular but address-space
+// mappings are page-granular, like the real kernel.
+inline constexpr uint64_t kPageSize = 4096;
+
+// Quota value meaning "unlimited" (the root container always has it).
+inline constexpr uint64_t kQuotaInfinite = ~uint64_t{0};
+
+// Fixed bookkeeping charge for any object, standing in for the kernel data
+// structures that the real system charges to the enclosing container.
+inline constexpr uint64_t kObjectOverheadBytes = 128;
+
+// Length of the descriptive string attached to every object.
+inline constexpr size_t kDescripLen = 32;
+// Mutable user-defined metadata bytes on every object (paper §3).
+inline constexpr size_t kMetadataLen = 64;
+
+}  // namespace histar
+
+#endif  // SRC_KERNEL_TYPES_H_

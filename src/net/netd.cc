@@ -1,0 +1,690 @@
+#include "src/net/netd.h"
+
+#include <cstring>
+
+#include "src/kernel/thread_runner.h"
+#include "src/unixlib/mutex.h"
+
+namespace histar {
+
+namespace {
+
+// Shared socket segment layout: a control header followed by two rings.
+constexpr uint64_t kOffMutex = 0;
+constexpr uint64_t kOffTxR = 8;
+constexpr uint64_t kOffTxW = 16;
+constexpr uint64_t kOffRxR = 24;
+constexpr uint64_t kOffRxW = 32;
+constexpr uint64_t kOffFlags = 40;
+constexpr uint64_t kRingBytes = 64 * 1024;
+constexpr uint64_t kOffTxData = 48;
+constexpr uint64_t kOffRxData = kOffTxData + kRingBytes;
+constexpr uint64_t kSocketSegBytes = kOffRxData + kRingBytes;
+
+constexpr uint64_t kFlagEstablished = 1;
+constexpr uint64_t kFlagPeerClosed = 2;
+constexpr uint64_t kFlagLocalClosed = 4;
+
+// Stream protocol message types.
+constexpr uint8_t kMsgSyn = 1;
+constexpr uint8_t kMsgSynAck = 2;
+constexpr uint8_t kMsgData = 3;
+constexpr uint8_t kMsgFin = 4;
+constexpr uint16_t kMss = 1400;
+
+// Stream header after the 14-byte frame header:
+// [type u8][sport u16][dport u16][len u16] = 7 bytes.
+constexpr size_t kStreamHeader = 7;
+
+uint64_t PackMac(const MacAddr& m) {
+  uint64_t v = 0;
+  for (int i = 0; i < 6; ++i) {
+    v = (v << 8) | m[static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+MacAddr UnpackMac(uint64_t v) {
+  MacAddr m;
+  for (int i = 5; i >= 0; --i) {
+    m[static_cast<size_t>(i)] = static_cast<uint8_t>(v);
+    v >>= 8;
+  }
+  return m;
+}
+
+uint64_t ReadWord(Kernel* k, ObjectId self, ContainerEntry seg, uint64_t off) {
+  uint64_t v = 0;
+  k->sys_segment_read(self, seg, &v, off, 8);
+  return v;
+}
+
+void WriteWord(Kernel* k, ObjectId self, ContainerEntry seg, uint64_t off, uint64_t v) {
+  k->sys_segment_write(self, seg, &v, off, 8);
+}
+
+// Chunked ring write: data → ring[base..base+size) at position w.
+Status RingPut(Kernel* k, ObjectId self, ContainerEntry seg, uint64_t base, uint64_t w,
+               const uint8_t* data, uint64_t len) {
+  uint64_t pos = w % kRingBytes;
+  uint64_t first = std::min(len, kRingBytes - pos);
+  Status st = k->sys_segment_write(self, seg, data, base + pos, first);
+  if (st != Status::kOk) {
+    return st;
+  }
+  if (first < len) {
+    st = k->sys_segment_write(self, seg, data + first, base, len - first);
+  }
+  return st;
+}
+
+Status RingGet(Kernel* k, ObjectId self, ContainerEntry seg, uint64_t base, uint64_t r,
+               uint8_t* data, uint64_t len) {
+  uint64_t pos = r % kRingBytes;
+  uint64_t first = std::min(len, kRingBytes - pos);
+  Status st = k->sys_segment_read(self, seg, data, base + pos, first);
+  if (st != Status::kOk) {
+    return st;
+  }
+  if (first < len) {
+    st = k->sys_segment_read(self, seg, data + first, base, len - first);
+  }
+  return st;
+}
+
+}  // namespace
+
+std::mutex NetDaemon::registry_mu_;
+std::map<uint64_t, NetDaemon*> NetDaemon::registry_;
+uint64_t NetDaemon::next_registry_id_ = 1;
+
+struct NetDaemon::Socket {
+  enum class State { kListening, kSynSent, kEstablished, kClosed };
+  State state = State::kClosed;
+  uint16_t local_port = 0;
+  uint16_t peer_port = 0;
+  MacAddr peer{};
+  ObjectId seg = kInvalidObject;  // shared ring segment (in netd's proc ct)
+  std::deque<std::pair<MacAddr, uint16_t>> backlog;  // pending SYNs
+  std::deque<uint8_t> rx_staging;  // overflow when the rx ring is full
+  bool fin_pending = false;  // FIN seen while staging still holds data
+  std::condition_variable cv;      // state changes (connect/accept)
+};
+
+// The control-gate entry: ferries one operation from the caller's local
+// segment into the daemon. Executes on the *caller's* thread, relabeled with
+// netd's privileges by the gate — exactly the paper's RPC-without-server-
+// resources model (§3.5).
+void NetdCtlEntry(GateCall& call) {
+  NetDaemon* d = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(NetDaemon::registry_mu_);
+    auto it = NetDaemon::registry_.find(call.closure[0]);
+    if (it == NetDaemon::registry_.end()) {
+      return;
+    }
+    d = it->second;
+  }
+  uint64_t req[4] = {};
+  call.kernel->sys_self_local_read(call.thread, req, 0, sizeof(req));
+  uint64_t resp = d->CtlOp(call.thread, req[0], req[1], req[2], req[3]);
+  call.kernel->sys_self_local_write(call.thread, &resp, 32, 8);
+}
+
+std::unique_ptr<NetDaemon> NetDaemon::Start(UnixWorld* world, SimNetPort* port,
+                                            const std::string& name, const NetTaint* taint) {
+  auto d = std::unique_ptr<NetDaemon>(new NetDaemon());
+  d->world_ = world;
+  d->kernel_ = world->kernel();
+  d->port_ = port;
+  d->mac_ = port->MacAddress();
+  Kernel* k = d->kernel_;
+  ObjectId boot = world->init_thread();
+
+  if (taint != nullptr) {
+    d->taint_ = *taint;
+  } else {
+    d->taint_.nr = k->sys_cat_create(boot).value();
+    d->taint_.nw = k->sys_cat_create(boot).value();
+    d->taint_.i = k->sys_cat_create(boot).value();
+  }
+
+  // The device: {nr3, nw0, i2, 1} — reads taint with i, writes need nw.
+  Label dev_label(Level::k1, {{d->taint_.nr, Level::k3},
+                              {d->taint_.nw, Level::k0},
+                              {d->taint_.i, Level::k2}});
+  d->device_ = k->BootstrapDevice(DeviceKind::kNet, dev_label, name + "-dev");
+  k->AttachNetPort(d->device_, port);
+
+  // netd process: owns nr/nw, tainted i2 (Figure 11's lwIP stack label).
+  ProcessOpts opts;
+  opts.extra_ownership =
+      Label(Level::k1, {{d->taint_.nr, Level::kStar}, {d->taint_.nw, Level::kStar}});
+  opts.taint = Label(Level::k1, {{d->taint_.i, Level::k2}});
+  opts.quota = 64 << 20;
+  Result<ProcessIds> ids = world->procs().CreateProcessObjects(boot, name, opts);
+  if (!ids.ok()) {
+    return nullptr;
+  }
+  d->ids_ = ids.value();
+  d->pump_thread_ = d->ids_.thread;
+
+  // Device receive staging buffer, labeled like the device.
+  CreateSpec rspec;
+  rspec.container = d->ids_.proc_ct;
+  rspec.label = dev_label;
+  rspec.descrip = "rxbuf";
+  rspec.quota = kObjectOverheadBytes + 4 * kPageSize;
+  Result<ObjectId> rxbuf = k->sys_segment_create(boot, rspec, 2048);
+  if (!rxbuf.ok()) {
+    return nullptr;
+  }
+  d->rxbuf_seg_ = rxbuf.value();
+
+  // Control gate.
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    d->registry_id_ = next_registry_id_++;
+    registry_[d->registry_id_] = d.get();
+  }
+  k->RegisterGateEntry("netd.ctl", NetdCtlEntry);
+  // The control gate carries netd's process and device privileges; callers
+  // must already carry the i2 network taint (the shared segments and the
+  // device force it anyway).
+  Label glabel(Level::k1, {{d->ids_.pr, Level::kStar},
+                           {d->ids_.pw, Level::kStar},
+                           {d->taint_.nr, Level::kStar},
+                           {d->taint_.nw, Level::kStar}});
+  Label gclear(Level::k2);
+  CreateSpec gspec;
+  gspec.container = d->ids_.proc_ct;
+  gspec.descrip = "netd-ctl";
+  Result<ObjectId> gate =
+      k->sys_gate_create(boot, gspec, glabel, gclear, "netd.ctl", {d->registry_id_});
+  if (!gate.ok()) {
+    return nullptr;
+  }
+  d->ctl_gate_ = gate.value();
+
+  // Start the pump on the process's thread.
+  d->running_.store(true);
+  NetDaemon* raw = d.get();
+  d->pump_host_ = RunOnHostThread(k, d->ids_.thread, [raw]() { raw->PumpLoop(); });
+  return d;
+}
+
+NetDaemon::~NetDaemon() {
+  Stop();
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  registry_.erase(registry_id_);
+}
+
+void NetDaemon::Stop() {
+  running_.store(false);
+  if (pump_host_.joinable()) {
+    pump_host_.join();
+  }
+}
+
+// ---- control path ---------------------------------------------------------------
+
+Result<uint64_t> NetDaemon::MakeSocketWithSegment() {
+  // Runs on a thread holding netd's pw* (gate-granted) and i2 taint.
+  ObjectId self = CurrentThread::Get();
+  Label seg_label(Level::k1, {{taint_.i, Level::k2}});
+  CreateSpec spec;
+  spec.container = ids_.proc_ct;
+  spec.label = seg_label;
+  spec.descrip = "sock";
+  spec.quota = kObjectOverheadBytes + kSocketSegBytes + kPageSize;
+  Result<ObjectId> seg = kernel_->sys_segment_create(self, spec, kSocketSegBytes);
+  if (!seg.ok()) {
+    return seg.status();
+  }
+  auto s = std::make_unique<Socket>();
+  s->seg = seg.value();
+  uint64_t id = next_sock_++;
+  sockets_[id] = std::move(s);
+  return id;
+}
+
+uint64_t NetDaemon::CtlOp(ObjectId self, uint64_t op, uint64_t a, uint64_t b, uint64_t c) {
+  std::unique_lock<std::mutex> lock(mu_);
+  switch (op) {
+    case 1: {  // Listen(port)
+      Result<uint64_t> sock = MakeSocketWithSegment();
+      if (!sock.ok()) {
+        return 0;
+      }
+      Socket* s = sockets_[sock.value()].get();
+      s->state = Socket::State::kListening;
+      s->local_port = static_cast<uint16_t>(a);
+      return sock.value();
+    }
+    case 2: {  // Accept(listen_sock, timeout_ms)
+      auto it = sockets_.find(a);
+      if (it == sockets_.end() || it->second->state != Socket::State::kListening) {
+        return 0;
+      }
+      Socket* ls = it->second.get();
+      if (!ls->cv.wait_for(lock, std::chrono::milliseconds(b),
+                           [ls] { return !ls->backlog.empty(); })) {
+        return 0;
+      }
+      auto [peer, peer_port] = ls->backlog.front();
+      ls->backlog.pop_front();
+      Result<uint64_t> sock = MakeSocketWithSegment();
+      if (!sock.ok()) {
+        return 0;
+      }
+      Socket* s = sockets_[sock.value()].get();
+      s->state = Socket::State::kEstablished;
+      s->local_port = ls->local_port;
+      s->peer = peer;
+      s->peer_port = peer_port;
+      ContainerEntry seg{ids_.proc_ct, s->seg};
+      WriteWord(kernel_, self, seg, kOffFlags,
+                ReadWord(kernel_, self, seg, kOffFlags) | kFlagEstablished);
+      SendFrame(peer, kMsgSynAck, s->local_port, peer_port, nullptr, 0);
+      return sock.value();
+    }
+    case 3: {  // Connect(packed_mac, port)
+      Result<uint64_t> sock = MakeSocketWithSegment();
+      if (!sock.ok()) {
+        return 0;
+      }
+      Socket* s = sockets_[sock.value()].get();
+      s->state = Socket::State::kSynSent;
+      s->peer = UnpackMac(a);
+      s->peer_port = static_cast<uint16_t>(b);
+      s->local_port = static_cast<uint16_t>(40000 + next_sock_);
+      SendFrame(s->peer, kMsgSyn, s->local_port, s->peer_port, nullptr, 0);
+      if (!s->cv.wait_for(lock, std::chrono::milliseconds(2000), [s] {
+            return s->state == Socket::State::kEstablished;
+          })) {
+        return 0;
+      }
+      ContainerEntry seg{ids_.proc_ct, s->seg};
+      // OR, don't overwrite: a fast peer may have already FIN'd.
+      WriteWord(kernel_, self, seg, kOffFlags,
+                ReadWord(kernel_, self, seg, kOffFlags) | kFlagEstablished);
+      return sock.value();
+    }
+    case 4: {  // Close(sock)
+      auto it = sockets_.find(a);
+      if (it == sockets_.end()) {
+        return 0;
+      }
+      Socket* s = it->second.get();
+      if (s->state == Socket::State::kEstablished) {
+        // Flush bytes still queued in the tx ring before the FIN — else the
+        // FIN overtakes them on the wire and the peer sees a truncated
+        // stream (a send-close immediately after a large send is the common
+        // pattern: ServeDbOnce, HTTP responses).
+        DrainTx(s);
+        SendFrame(s->peer, kMsgFin, s->local_port, s->peer_port, nullptr, 0);
+      }
+      s->state = Socket::State::kClosed;
+      return 1;
+    }
+    default:
+      return 0;
+  }
+}
+
+namespace {
+
+// Invokes the daemon's control gate with one request, taking the gate's
+// privilege grant and restoring the caller's label afterwards.
+Result<uint64_t> CtlCall(Kernel* k, ObjectId self, ContainerEntry gate, uint64_t op,
+                         uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t req[4] = {op, a, b, c};
+  Status st = k->sys_self_local_write(self, req, 0, sizeof(req));
+  if (st != Status::kOk) {
+    return st;
+  }
+  Result<Label> mine = k->sys_self_get_label(self);
+  Result<Label> myclear = k->sys_self_get_clearance(self);
+  Result<Label> glabel = k->sys_obj_get_label(self, gate);
+  if (!mine.ok() || !myclear.ok() || !glabel.ok()) {
+    return Status::kLabelCheckFailed;
+  }
+  // Request exactly the floor: own taint plus the gate's ownership.
+  Label request = mine.value().ToHi().Join(glabel.value().ToHi()).ToStar();
+  st = k->sys_gate_invoke(self, gate, request, myclear.value(), mine.value());
+  if (st != Status::kOk) {
+    return st;
+  }
+  uint64_t resp = 0;
+  k->sys_self_local_read(self, &resp, 32, 8);
+  // Drop the borrowed ownership (raising ⋆ back to the old level).
+  k->sys_self_set_label(self, mine.value());
+  k->sys_self_set_clearance(self, myclear.value());
+  if (resp == 0) {
+    return Status::kAgain;
+  }
+  return resp;
+}
+
+}  // namespace
+
+Result<uint64_t> NetDaemon::Listen(ObjectId self, uint16_t port) {
+  return CtlCall(kernel_, self, ContainerEntry{ids_.proc_ct, ctl_gate_}, 1, port, 0, 0);
+}
+
+Result<uint64_t> NetDaemon::Accept(ObjectId self, uint64_t listen_sock, uint32_t timeout_ms) {
+  return CtlCall(kernel_, self, ContainerEntry{ids_.proc_ct, ctl_gate_}, 2, listen_sock,
+                 timeout_ms, 0);
+}
+
+Result<uint64_t> NetDaemon::Connect(ObjectId self, MacAddr dst, uint16_t port) {
+  return CtlCall(kernel_, self, ContainerEntry{ids_.proc_ct, ctl_gate_}, 3, PackMac(dst), port,
+                 0);
+}
+
+Status NetDaemon::CloseSocket(ObjectId self, uint64_t sock) {
+  Result<uint64_t> r =
+      CtlCall(kernel_, self, ContainerEntry{ids_.proc_ct, ctl_gate_}, 4, sock, 0, 0);
+  return r.ok() ? Status::kOk : r.status();
+}
+
+Result<ContainerEntry> NetDaemon::SocketSegment(uint64_t sock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sockets_.find(sock);
+  if (it == sockets_.end()) {
+    return Status::kNotFound;
+  }
+  return ContainerEntry{ids_.proc_ct, it->second->seg};
+}
+
+// ---- fast path (shared segment rings) ----------------------------------------------
+
+Result<uint64_t> NetDaemon::Send(ObjectId self, uint64_t sock, const void* buf, uint64_t len) {
+  Result<ContainerEntry> seg = SocketSegment(sock);
+  if (!seg.ok()) {
+    return seg.status();
+  }
+  const uint8_t* src = static_cast<const uint8_t*>(buf);
+  uint64_t sent = 0;
+  SegmentMutex mu(kernel_, seg.value(), kOffMutex);
+  while (sent < len) {
+    if (!mu.Lock(self)) {
+      return Status::kLabelCheckFailed;
+    }
+    uint64_t txr = ReadWord(kernel_, self, seg.value(), kOffTxR);
+    uint64_t txw = ReadWord(kernel_, self, seg.value(), kOffTxW);
+    uint64_t flags = ReadWord(kernel_, self, seg.value(), kOffFlags);
+    if ((flags & (kFlagPeerClosed | kFlagLocalClosed)) != 0) {
+      mu.Unlock(self);
+      return sent > 0 ? Result<uint64_t>(sent) : Result<uint64_t>(Status::kNoPerm);
+    }
+    uint64_t space = kRingBytes - (txw - txr);
+    if (space > 0) {
+      uint64_t n = std::min(len - sent, space);
+      Status st = RingPut(kernel_, self, seg.value(), kOffTxData, txw, src + sent, n);
+      if (st != Status::kOk) {
+        mu.Unlock(self);
+        return st;
+      }
+      WriteWord(kernel_, self, seg.value(), kOffTxW, txw + n);
+      sent += n;
+      mu.Unlock(self);
+      kernel_->sys_futex_wake(self, seg.value(), kOffTxW, UINT32_MAX);
+      continue;
+    }
+    uint64_t seen = txr;
+    mu.Unlock(self);
+    kernel_->sys_futex_wait(self, seg.value(), kOffTxR, seen, 50);
+  }
+  return sent;
+}
+
+Result<uint64_t> NetDaemon::Recv(ObjectId self, uint64_t sock, void* buf, uint64_t len,
+                                 uint32_t timeout_ms) {
+  Result<ContainerEntry> seg = SocketSegment(sock);
+  if (!seg.ok()) {
+    return seg.status();
+  }
+  uint8_t* dst = static_cast<uint8_t*>(buf);
+  SegmentMutex mu(kernel_, seg.value(), kOffMutex);
+  uint32_t waited = 0;
+  for (;;) {
+    if (!mu.Lock(self)) {
+      return Status::kLabelCheckFailed;
+    }
+    uint64_t rxr = ReadWord(kernel_, self, seg.value(), kOffRxR);
+    uint64_t rxw = ReadWord(kernel_, self, seg.value(), kOffRxW);
+    uint64_t flags = ReadWord(kernel_, self, seg.value(), kOffFlags);
+    uint64_t avail = rxw - rxr;
+    if (avail > 0) {
+      uint64_t n = std::min(len, avail);
+      Status st = RingGet(kernel_, self, seg.value(), kOffRxData, rxr, dst, n);
+      if (st != Status::kOk) {
+        mu.Unlock(self);
+        return st;
+      }
+      WriteWord(kernel_, self, seg.value(), kOffRxR, rxr + n);
+      mu.Unlock(self);
+      kernel_->sys_futex_wake(self, seg.value(), kOffRxR, UINT32_MAX);
+      return n;
+    }
+    if ((flags & kFlagPeerClosed) != 0) {
+      mu.Unlock(self);
+      return uint64_t{0};  // orderly EOF
+    }
+    uint64_t seen = rxw;
+    mu.Unlock(self);
+    Status ws = kernel_->sys_futex_wait(self, seg.value(), kOffRxW, seen, 50);
+    if (ws == Status::kHalted || ws == Status::kLabelCheckFailed) {
+      return ws;
+    }
+    waited += 50;
+    if (waited >= timeout_ms) {
+      return Status::kTimedOut;
+    }
+  }
+}
+
+// ---- the pump -------------------------------------------------------------------------
+
+bool NetDaemon::SendFrame(const MacAddr& dst, uint8_t type, uint16_t sport, uint16_t dport,
+                          const uint8_t* data, uint16_t len) {
+  // Compose the frame in the device staging segment, then transmit.
+  ObjectId self = CurrentThread::Get();
+  std::vector<uint8_t> frame(kFrameHeader + kStreamHeader + len);
+  memcpy(frame.data(), dst.data(), 6);
+  memcpy(frame.data() + 6, mac_.data(), 6);
+  frame[12] = static_cast<uint8_t>(kProtoStream >> 8);
+  frame[13] = static_cast<uint8_t>(kProtoStream);
+  frame[14] = type;
+  memcpy(frame.data() + 15, &sport, 2);
+  memcpy(frame.data() + 17, &dport, 2);
+  memcpy(frame.data() + 19, &len, 2);
+  if (len > 0) {
+    memcpy(frame.data() + 21, data, len);
+  }
+  ContainerEntry rx{ids_.proc_ct, rxbuf_seg_};
+  Status st = kernel_->sys_segment_write(self, rx, frame.data(), 0, frame.size());
+  if (st != Status::kOk) {
+    return false;
+  }
+  st = kernel_->sys_net_transmit(self, ContainerEntry{kernel_->root_container(), device_}, rx,
+                                 0, frame.size());
+  if (st == Status::kOk) {
+    frames_sent_.fetch_add(1);
+    return true;
+  }
+  return false;
+}
+
+void NetDaemon::HandleFrame(const std::vector<uint8_t>& frame) {
+  if (frame.size() < kFrameHeader + kStreamHeader) {
+    return;
+  }
+  uint16_t proto = static_cast<uint16_t>((frame[12] << 8) | frame[13]);
+  if (proto != kProtoStream) {
+    return;
+  }
+  uint8_t type = frame[14];
+  uint16_t sport;
+  uint16_t dport;
+  uint16_t len;
+  memcpy(&sport, frame.data() + 15, 2);
+  memcpy(&dport, frame.data() + 17, 2);
+  memcpy(&len, frame.data() + 19, 2);
+  MacAddr src;
+  memcpy(src.data(), frame.data() + 6, 6);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (type) {
+    case kMsgSyn: {
+      for (auto& [id, s] : sockets_) {
+        if (s->state == Socket::State::kListening && s->local_port == dport) {
+          s->backlog.emplace_back(src, sport);
+          s->cv.notify_all();
+          return;
+        }
+      }
+      break;
+    }
+    case kMsgSynAck: {
+      for (auto& [id, s] : sockets_) {
+        if (s->state == Socket::State::kSynSent && s->local_port == dport &&
+            s->peer_port == sport) {
+          s->state = Socket::State::kEstablished;
+          s->cv.notify_all();
+          return;
+        }
+      }
+      break;
+    }
+    case kMsgData: {
+      for (auto& [id, s] : sockets_) {
+        if (s->state == Socket::State::kEstablished && s->local_port == dport &&
+            s->peer_port == sport && s->peer == src) {
+          const uint8_t* payload = frame.data() + kFrameHeader + kStreamHeader;
+          s->rx_staging.insert(s->rx_staging.end(), payload, payload + len);
+          return;
+        }
+      }
+      break;
+    }
+    case kMsgFin: {
+      ObjectId self = CurrentThread::Get();
+      for (auto& [id, s] : sockets_) {
+        if (s->local_port == dport && s->peer_port == sport) {
+          if (!s->rx_staging.empty()) {
+            // Data is still queued behind this FIN; surfacing EOF now would
+            // make the receiver drop it. DrainTx raises the flag once the
+            // staging queue empties into the rx ring.
+            s->fin_pending = true;
+            return;
+          }
+          ContainerEntry seg{ids_.proc_ct, s->seg};
+          uint64_t flags = ReadWord(kernel_, self, seg, kOffFlags);
+          WriteWord(kernel_, self, seg, kOffFlags, flags | kFlagPeerClosed);
+          kernel_->sys_futex_wake(self, seg, kOffRxW, UINT32_MAX);
+          s->cv.notify_all();
+          return;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void NetDaemon::DrainTx(Socket* s) {
+  // Move bytes tx-ring → wire and staging → rx-ring. Called with mu_ held.
+  ObjectId self = CurrentThread::Get();
+  ContainerEntry seg{ids_.proc_ct, s->seg};
+  if (s->state == Socket::State::kEstablished) {
+    uint64_t txr = ReadWord(kernel_, self, seg, kOffTxR);
+    uint64_t txw = ReadWord(kernel_, self, seg, kOffTxW);
+    while (txr < txw) {
+      uint16_t n = static_cast<uint16_t>(std::min<uint64_t>(txw - txr, kMss));
+      uint8_t chunk[kMss];
+      if (RingGet(kernel_, self, seg, kOffTxData, txr, chunk, n) != Status::kOk) {
+        break;
+      }
+      if (!SendFrame(s->peer, kMsgData, s->local_port, s->peer_port, chunk, n)) {
+        break;
+      }
+      txr += n;
+      WriteWord(kernel_, self, seg, kOffTxR, txr);
+      kernel_->sys_futex_wake(self, seg, kOffTxR, UINT32_MAX);
+    }
+  }
+  if (!s->rx_staging.empty()) {
+    uint64_t rxr = ReadWord(kernel_, self, seg, kOffRxR);
+    uint64_t rxw = ReadWord(kernel_, self, seg, kOffRxW);
+    uint64_t space = kRingBytes - (rxw - rxr);
+    uint64_t n = std::min<uint64_t>(space, s->rx_staging.size());
+    if (n > 0) {
+      std::vector<uint8_t> chunk(s->rx_staging.begin(),
+                                 s->rx_staging.begin() + static_cast<ptrdiff_t>(n));
+      if (RingPut(kernel_, self, seg, kOffRxData, rxw, chunk.data(), n) == Status::kOk) {
+        s->rx_staging.erase(s->rx_staging.begin(),
+                            s->rx_staging.begin() + static_cast<ptrdiff_t>(n));
+        WriteWord(kernel_, self, seg, kOffRxW, rxw + n);
+        kernel_->sys_futex_wake(self, seg, kOffRxW, UINT32_MAX);
+      }
+    }
+  }
+  if (s->fin_pending && s->rx_staging.empty()) {
+    // The deferred FIN: every byte that preceded it is now in the ring.
+    s->fin_pending = false;
+    uint64_t flags = ReadWord(kernel_, self, seg, kOffFlags);
+    WriteWord(kernel_, self, seg, kOffFlags, flags | kFlagPeerClosed);
+    kernel_->sys_futex_wake(self, seg, kOffRxW, UINT32_MAX);
+    s->cv.notify_all();
+  }
+}
+
+void NetDaemon::PumpLoop() {
+  ObjectId self = ids_.thread;
+  ContainerEntry dev{kernel_->root_container(), device_};
+  ContainerEntry rx{ids_.proc_ct, rxbuf_seg_};
+  while (running_.load()) {
+    bool idle = true;
+    // Drain the NIC.
+    for (;;) {
+      Result<uint64_t> n = kernel_->sys_net_receive(self, dev, rx, 0, 2048);
+      if (!n.ok()) {
+        break;
+      }
+      std::vector<uint8_t> frame(n.value());
+      if (kernel_->sys_segment_read(self, rx, frame.data(), 0, n.value()) != Status::kOk) {
+        break;
+      }
+      frames_received_.fetch_add(1);
+      HandleFrame(frame);
+      idle = false;
+    }
+    // Service every socket.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [id, s] : sockets_) {
+        uint64_t before = frames_sent_.load();
+        DrainTx(s.get());
+        if (frames_sent_.load() != before || !s->rx_staging.empty()) {
+          idle = false;
+        }
+      }
+    }
+    if (idle) {
+      kernel_->sys_net_wait(self, dev, 5);
+    }
+  }
+}
+
+Result<NetDaemon::Socket*> NetDaemon::FindSocket(uint64_t sock) {
+  auto it = sockets_.find(sock);
+  if (it == sockets_.end()) {
+    return Status::kNotFound;
+  }
+  return it->second.get();
+}
+
+}  // namespace histar

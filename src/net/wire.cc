@@ -1,0 +1,102 @@
+#include "src/net/wire.h"
+
+#include <chrono>
+#include <cstring>
+
+namespace histar {
+
+MacAddr MacFromIndex(uint32_t idx) {
+  return MacAddr{0x02, 0x48, 0x53,  // locally administered, "HS"
+                 static_cast<uint8_t>(idx >> 16), static_cast<uint8_t>(idx >> 8),
+                 static_cast<uint8_t>(idx)};
+}
+
+MacAddr BroadcastMac() { return MacAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}; }
+
+bool SimNetPort::Transmit(const std::vector<uint8_t>& frame) {
+  if (frame.size() < kFrameHeader || frame.size() > kMaxFrame) {
+    return false;
+  }
+  net_->Forward(this, frame);
+  return true;
+}
+
+bool SimNetPort::Receive(std::vector<uint8_t>* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rx_.empty()) {
+    return false;
+  }
+  *frame = std::move(rx_.front());
+  rx_.pop_front();
+  space_cv_.notify_all();
+  return true;
+}
+
+bool SimNetPort::WaitForFrame(uint32_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!rx_.empty()) {
+    return true;
+  }
+  if (timeout_ms == 0) {
+    timeout_ms = 50;  // bounded poll so daemon shutdown is prompt
+  }
+  return rx_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                         [this] { return !rx_.empty(); });
+}
+
+void SimNetPort::Deliver(const std::vector<uint8_t>& frame) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Backpressure: wait for ring space. Give up after a bounded delay (dead
+  // receiver) and drop, so a stopped daemon cannot wedge the whole switch.
+  space_cv_.wait_for(lock, std::chrono::seconds(2),
+                     [this] { return rx_.size() < kRxQueueLimit; });
+  if (rx_.size() >= kRxQueueLimit) {
+    return;
+  }
+  rx_.push_back(frame);
+  rx_cv_.notify_all();
+}
+
+NetSwitch::NetSwitch(uint64_t line_rate_bits_per_sec) : line_rate_(line_rate_bits_per_sec) {}
+
+SimNetPort* NetSwitch::NewPort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ports_.push_back(std::make_unique<SimNetPort>(this, MacFromIndex(next_index_++)));
+  return ports_.back().get();
+}
+
+void NetSwitch::Forward(SimNetPort* from, const std::vector<uint8_t>& frame) {
+  std::vector<SimNetPort*> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++frames_;
+    if (line_rate_ > 0) {
+      sim_time_ns_ += frame.size() * 8ULL * 1'000'000'000ULL / line_rate_;
+    }
+    MacAddr dst;
+    memcpy(dst.data(), frame.data(), 6);
+    for (auto& p : ports_) {
+      if (p.get() == from) {
+        continue;
+      }
+      if (hub_mode_ || dst == BroadcastMac() || p->MacAddress() == dst) {
+        targets.push_back(p.get());
+      }
+    }
+  }
+  for (SimNetPort* p : targets) {
+    p->Deliver(frame);
+  }
+}
+
+uint64_t NetSwitch::sim_time_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sim_time_ns_;
+}
+
+void NetSwitch::ResetSimTime() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sim_time_ns_ = 0;
+}
+
+}  // namespace histar

@@ -1,0 +1,91 @@
+// The simulated network: a virtual Ethernet switch and the NIC endpoints
+// that plug into the kernel's three-syscall device interface (§4.1).
+//
+// The switch is lossless and ordered (a benign LAN), carries a configurable
+// line rate for the Figure 13 wget experiment, and accounts transferred
+// bytes in virtual time like the DiskModel.
+#ifndef SRC_NET_WIRE_H_
+#define SRC_NET_WIRE_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "src/kernel/object.h"
+
+namespace histar {
+
+using MacAddr = std::array<uint8_t, 6>;
+
+// Frame header: [dst 6][src 6][proto 2] then payload.
+inline constexpr size_t kFrameHeader = 14;
+inline constexpr size_t kMaxFrame = 1514;
+
+MacAddr MacFromIndex(uint32_t idx);
+MacAddr BroadcastMac();
+
+class NetSwitch;
+
+// A NIC endpoint implementing the kernel's NetPort interface.
+class SimNetPort : public NetPort {
+ public:
+  SimNetPort(NetSwitch* net, MacAddr mac) : net_(net), mac_(mac) {}
+
+  std::array<uint8_t, 6> MacAddress() override { return mac_; }
+  bool Transmit(const std::vector<uint8_t>& frame) override;
+  bool Receive(std::vector<uint8_t>* frame) override;
+  bool WaitForFrame(uint32_t timeout_ms) override;
+
+  // Called by the switch to deliver a frame into the RX queue. Applies
+  // backpressure (bounded wait) when the ring is full: the mini stream
+  // protocol has no retransmission, so the wire must be lossless under
+  // congestion; only a dead receiver causes a drop.
+  void Deliver(const std::vector<uint8_t>& frame);
+
+ private:
+  static constexpr size_t kRxQueueLimit = 256;
+
+  NetSwitch* net_;
+  MacAddr mac_;
+  std::mutex mu_;
+  std::condition_variable rx_cv_;
+  std::condition_variable space_cv_;
+  std::deque<std::vector<uint8_t>> rx_;
+};
+
+class NetSwitch {
+ public:
+  // line_rate of 0 means "infinite" (no virtual-time accounting).
+  explicit NetSwitch(uint64_t line_rate_bits_per_sec = 100'000'000);
+
+  // Hub mode: deliver every frame to every other port regardless of the
+  // destination MAC (used by the tun pair, where the "remote" MACs live on
+  // the far side of the tunnel).
+  void set_hub_mode(bool on) { hub_mode_ = on; }
+
+  // Creates a port with a fresh MAC.
+  SimNetPort* NewPort();
+
+  // Forwarding: unicast by destination MAC, flood on broadcast/unknown.
+  void Forward(SimNetPort* from, const std::vector<uint8_t>& frame);
+
+  uint64_t sim_time_ns() const;
+  void ResetSimTime();
+  uint64_t frames_forwarded() const { return frames_; }
+
+ private:
+  uint64_t line_rate_;
+  bool hub_mode_ = false;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SimNetPort>> ports_;
+  uint64_t sim_time_ns_ = 0;
+  uint64_t frames_ = 0;
+  uint32_t next_index_ = 1;
+};
+
+}  // namespace histar
+
+#endif  // SRC_NET_WIRE_H_

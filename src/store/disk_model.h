@@ -1,0 +1,108 @@
+// A latency-modeled virtual disk.
+//
+// The paper's evaluation ran on a 7,200 RPM Seagate ST340014A EIDE drive
+// (8.3 ms rotational period, ~58 MB/s sustained bandwidth). We reproduce the
+// I/O-bound rows of Figure 12 on a virtual-time model of that drive: every
+// read/write advances a simulated-nanosecond clock by seek + rotation +
+// transfer, with sequential accesses paying transfer cost only and an
+// optional read-lookahead window emulating the drive's prefetch cache (the
+// paper's "no IDE disk prefetch" row is this flag turned off).
+//
+// Two storage modes:
+//  * data mode: bytes are stored in memory (used by tests and recovery)
+//  * latency-only mode: bytes are discarded; only the clock advances (used
+//    by benchmarks that push hundreds of MB)
+#ifndef SRC_STORE_DISK_MODEL_H_
+#define SRC_STORE_DISK_MODEL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/core/status.h"
+
+namespace histar {
+
+struct DiskGeometry {
+  uint64_t capacity_bytes = 40ULL << 30;        // 40 GB
+  uint64_t avg_seek_ns = 8'500'000;             // 8.5 ms average seek
+  // Short head movements (within a few tracks) settle much faster than the
+  // capacity-average seek; nearby extents therefore cost ~1 ms, not 8.5 ms.
+  uint64_t track_seek_ns = 1'000'000;
+  uint64_t near_seek_bytes = 32 << 20;          // "nearby" radius
+  uint64_t rotation_ns = 8'333'333;             // 8.33 ms per revolution (7200 RPM)
+  uint64_t bandwidth_bytes_per_sec = 58'000'000;  // sustained media rate
+  uint64_t lookahead_window_bytes = 256 * 1024;   // drive prefetch reach
+  bool lookahead_enabled = true;
+  // Cost of a synchronous barrier (Flush) when writes are outstanding: the
+  // time until the sector passes under the head and the drive acknowledges.
+  uint64_t sync_barrier_ns = 8'333'333;  // one rotation
+  // Per-request setup cost charged to every write (controller/DMA setup and
+  // completion). This is what separates block-granular writeback (ext3
+  // submits one request per 4 kB block) from extent-granular writeback
+  // (HiStar submits one request per object image) — the paper's explanation
+  // for ext3's slower large-file streaming.
+  uint64_t write_request_overhead_ns = 64'000;
+  // If false, latency-only mode: contents are not retained.
+  bool store_data = true;
+  // If true, every operation costs zero simulated time (unit tests).
+  bool zero_latency = false;
+};
+
+class DiskModel {
+ public:
+  explicit DiskModel(const DiskGeometry& geometry);
+
+  // Reads `len` bytes at `offset`. In latency-only mode the buffer is
+  // zero-filled. Returns kRange past capacity, kCrashed after a simulated
+  // crash point has been hit.
+  Status Read(uint64_t offset, void* buf, uint64_t len);
+  // Writes `len` bytes. In a torn-write crash, a prefix may be persisted.
+  Status Write(uint64_t offset, const void* buf, uint64_t len);
+  // Barrier: orders all prior writes (the model charges no extra time; the
+  // EIDE write cache of the paper's OpenBSD footnote is out of scope).
+  Status Flush();
+
+  // Simulated time consumed so far, in nanoseconds.
+  uint64_t sim_time_ns() const;
+  double sim_time_seconds() const { return static_cast<double>(sim_time_ns()) / 1e9; }
+  void ResetSimTime();
+
+  // Operation counters for benchmarks and tests.
+  uint64_t read_ops() const { return read_ops_; }
+  uint64_t write_ops() const { return write_ops_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  // Crash injection: after `n` more bytes have been written, fail every
+  // subsequent operation with kCrashed; the write that crosses the boundary
+  // persists only its first bytes (a torn write).
+  void CrashAfterBytes(uint64_t n);
+  // Clears the crash condition (the machine "reboots"; contents survive).
+  void Repair();
+  bool crashed() const { return crashed_; }
+
+  const DiskGeometry& geometry() const { return geo_; }
+  void set_lookahead_enabled(bool on) { geo_.lookahead_enabled = on; }
+
+ private:
+  // Service-time model, mu_ held.
+  uint64_t AccessCost(uint64_t offset, uint64_t len, bool is_read);
+
+  DiskGeometry geo_;
+  mutable std::mutex mu_;
+  std::vector<uint8_t> data_;       // only in data mode
+  uint64_t sim_time_ns_ = 0;
+  uint64_t head_pos_ = 0;           // byte offset the head is "at"
+  uint64_t prefetch_end_ = 0;       // end of the current lookahead window
+  uint64_t read_ops_ = 0;
+  uint64_t write_ops_ = 0;
+  uint64_t writes_since_flush_ = 0;
+  uint64_t bytes_written_ = 0;
+  bool crash_armed_ = false;
+  uint64_t crash_after_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace histar
+
+#endif  // SRC_STORE_DISK_MODEL_H_

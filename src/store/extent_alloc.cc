@@ -1,0 +1,102 @@
+#include "src/store/extent_alloc.h"
+
+namespace histar {
+
+ExtentAllocator::ExtentAllocator(uint64_t start, uint64_t length)
+    : start_(start), length_(length) {
+  Reset();
+}
+
+void ExtentAllocator::Reset() {
+  by_size_.Clear();
+  by_offset_.Clear();
+  by_size_.Insert(Key128{length_, start_}, 0);
+  by_offset_.Insert(start_, length_);
+  free_bytes_ = length_;
+}
+
+Result<uint64_t> ExtentAllocator::Allocate(uint64_t len) {
+  if (len == 0) {
+    return Status::kInvalidArg;
+  }
+  // Best fit: smallest extent with size ≥ len.
+  std::optional<std::pair<Key128, uint64_t>> fit = by_size_.FirstGeq(Key128{len, 0});
+  if (!fit.has_value()) {
+    return Status::kNoSpace;
+  }
+  uint64_t esize = fit->first.hi;
+  uint64_t eoff = fit->first.lo;
+  by_size_.Erase(fit->first);
+  by_offset_.Erase(eoff);
+  if (esize > len) {
+    // Return the tail to the pool.
+    uint64_t rest_off = eoff + len;
+    uint64_t rest_len = esize - len;
+    by_size_.Insert(Key128{rest_len, rest_off}, 0);
+    by_offset_.Insert(rest_off, rest_len);
+  }
+  free_bytes_ -= len;
+  return eoff;
+}
+
+bool ExtentAllocator::ReserveRange(uint64_t offset, uint64_t len) {
+  if (len == 0) {
+    return true;
+  }
+  // The free extent containing `offset` is the last one starting ≤ offset.
+  std::optional<std::pair<uint64_t, uint64_t>> host = by_offset_.LastLess(offset + 1);
+  if (!host.has_value() || host->first > offset ||
+      host->first + host->second < offset + len) {
+    return false;
+  }
+  by_offset_.Erase(host->first);
+  by_size_.Erase(Key128{host->second, host->first});
+  uint64_t left_len = offset - host->first;
+  uint64_t right_off = offset + len;
+  uint64_t right_len = host->first + host->second - right_off;
+  if (left_len > 0) {
+    by_offset_.Insert(host->first, left_len);
+    by_size_.Insert(Key128{left_len, host->first}, 0);
+  }
+  if (right_len > 0) {
+    by_offset_.Insert(right_off, right_len);
+    by_size_.Insert(Key128{right_len, right_off}, 0);
+  }
+  free_bytes_ -= len;
+  return true;
+}
+
+bool ExtentAllocator::ReserveExtents(const std::vector<Extent>& extents) {
+  for (const Extent& e : extents) {
+    if (!ReserveRange(e.offset, e.length)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ExtentAllocator::Free(uint64_t offset, uint64_t len) {
+  if (len == 0) {
+    return;
+  }
+  free_bytes_ += len;
+  // Coalesce with the right neighbor...
+  std::optional<std::pair<uint64_t, uint64_t>> right = by_offset_.FirstGeq(offset + len);
+  if (right.has_value() && right->first == offset + len) {
+    by_offset_.Erase(right->first);
+    by_size_.Erase(Key128{right->second, right->first});
+    len += right->second;
+  }
+  // ...and the left neighbor.
+  std::optional<std::pair<uint64_t, uint64_t>> left = by_offset_.LastLess(offset);
+  if (left.has_value() && left->first + left->second == offset) {
+    by_offset_.Erase(left->first);
+    by_size_.Erase(Key128{left->second, left->first});
+    offset = left->first;
+    len += left->second;
+  }
+  by_offset_.Insert(offset, len);
+  by_size_.Insert(Key128{len, offset}, 0);
+}
+
+}  // namespace histar

@@ -1,0 +1,433 @@
+#include "src/store/single_level_store.h"
+
+#include <cstring>
+
+namespace histar {
+
+SingleLevelStore::SingleLevelStore(DiskModel* disk, const StoreTuning& tuning)
+    : disk_(disk),
+      tuning_(tuning),
+      alloc_(2 * 4096 + tuning.log_region_bytes,
+             disk->geometry().capacity_bytes - (2 * 4096 + tuning.log_region_bytes)) {}
+
+uint64_t SingleLevelStore::Checksum(const void* data, size_t len) {
+  // FNV-1a, folded over 8-byte words where possible. Not cryptographic —
+  // it only needs to catch torn writes.
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Status SingleLevelStore::Format() {
+  std::lock_guard<std::mutex> lock(mu_);
+  objmap_.Clear();
+  alloc_.Reset();
+  root_ = kInvalidObject;
+  generation_ = 0;
+  which_sb_ = false;
+  log_head_ = 0;
+  log_seq_ = 0;
+  log_applied_seq_ = 0;
+  log_pending_ = 0;
+  log_tail_.clear();
+  return WriteSuperblock();
+}
+
+Status SingleLevelStore::WriteSuperblock() {
+  Superblock sb;
+  sb.magic = kMagic;
+  sb.generation = ++generation_;
+  sb.root = root_;
+  // objmap location was stamped by WriteObjMap into objmap_extent_ fields —
+  // we pass them via members set there; see WriteObjMap.
+  sb.objmap_offset = objmap_extent_offset_;
+  sb.objmap_length = objmap_extent_length_;
+  sb.log_applied_seq = log_applied_seq_;
+  sb.checksum = 0;
+  sb.checksum = Checksum(&sb, sizeof(sb));
+  uint64_t slot = which_sb_ ? 4096 : 0;
+  which_sb_ = !which_sb_;
+  Status st = disk_->Write(slot, &sb, sizeof(sb));
+  if (st != Status::kOk) {
+    return st;
+  }
+  return disk_->Flush();
+}
+
+Status SingleLevelStore::ReadSuperblocks(Superblock* out) {
+  Superblock best;
+  bool found = false;
+  for (uint64_t slot : {uint64_t{0}, uint64_t{4096}}) {
+    Superblock sb;
+    if (disk_->Read(slot, &sb, sizeof(sb)) != Status::kOk) {
+      continue;
+    }
+    uint64_t want = sb.checksum;
+    sb.checksum = 0;
+    if (sb.magic != kMagic || Checksum(&sb, sizeof(sb)) != want) {
+      continue;
+    }
+    sb.checksum = want;
+    if (!found || sb.generation > best.generation) {
+      best = sb;
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::kNotFound;
+  }
+  *out = best;
+  return Status::kOk;
+}
+
+Status SingleLevelStore::WriteObject(ObjectId id, const std::vector<uint8_t>& bytes) {
+  // Shadow write: new extent first, then retire the old one, so a crash
+  // mid-checkpoint leaves the previous snapshot intact.
+  Result<uint64_t> off = alloc_.Allocate(bytes.size() + 8);
+  if (!off.ok()) {
+    return off.status();
+  }
+  uint64_t csum = Checksum(bytes.data(), bytes.size());
+  Status st = disk_->Write(off.value(), bytes.data(), bytes.size());
+  if (st == Status::kOk) {
+    st = disk_->Write(off.value() + bytes.size(), &csum, 8);
+  }
+  if (st != Status::kOk) {
+    alloc_.Free(off.value(), bytes.size() + 8);
+    return st;
+  }
+  if (std::optional<Extent> old = objmap_.Find(id); old.has_value()) {
+    pending_frees_.push_back(*old);
+  }
+  objmap_.Insert(id, Extent{off.value(), bytes.size() + 8});
+  return Status::kOk;
+}
+
+Status SingleLevelStore::WriteObjMap() {
+  std::vector<uint8_t> image;
+  objmap_.Serialize(&image);
+  Result<uint64_t> off = alloc_.Allocate(image.size() + 8);
+  if (!off.ok()) {
+    return off.status();
+  }
+  uint64_t csum = Checksum(image.data(), image.size());
+  Status st = disk_->Write(off.value(), image.data(), image.size());
+  if (st == Status::kOk) {
+    st = disk_->Write(off.value() + image.size(), &csum, 8);
+  }
+  if (st != Status::kOk) {
+    alloc_.Free(off.value(), image.size() + 8);
+    return st;
+  }
+  if (objmap_extent_length_ != 0) {
+    pending_frees_.push_back(Extent{objmap_extent_offset_, objmap_extent_length_});
+  }
+  objmap_extent_offset_ = off.value();
+  objmap_extent_length_ = image.size() + 8;
+  return Status::kOk;
+}
+
+Status SingleLevelStore::Checkpoint(
+    const std::vector<std::pair<ObjectId, std::vector<uint8_t>>>& dirty,
+    const std::vector<ObjectId>& live, ObjectId root) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Drop objects that no longer exist.
+  std::unordered_map<uint64_t, bool> live_set;
+  live_set.reserve(live.size());
+  for (ObjectId id : live) {
+    live_set[id] = true;
+  }
+  std::vector<uint64_t> dead;
+  objmap_.ForEach([&](const uint64_t& id, const Extent& e) {
+    if (live_set.find(id) == live_set.end()) {
+      dead.push_back(id);
+      pending_frees_.push_back(e);
+    }
+  });
+  for (uint64_t id : dead) {
+    objmap_.Erase(id);
+  }
+  // Write every dirty object image to a fresh extent (delayed allocation:
+  // the batch lands contiguously, in creation order).
+  for (const auto& [id, bytes] : dirty) {
+    Status st = WriteObject(id, bytes);
+    if (st != Status::kOk) {
+      return st;
+    }
+  }
+  root_ = root;
+  Status st = WriteObjMap();
+  if (st != Status::kOk) {
+    return st;
+  }
+  st = disk_->Flush();
+  if (st != Status::kOk) {
+    return st;
+  }
+  // The checkpoint subsumes everything in the log.
+  log_applied_seq_ = log_seq_;
+  log_head_ = 0;
+  log_pending_ = 0;
+  log_tail_.clear();
+  st = WriteSuperblock();
+  if (st != Status::kOk) {
+    return st;
+  }
+  // Only after the superblock flip is it safe to reuse old extents.
+  for (const Extent& e : pending_frees_) {
+    alloc_.Free(e.offset, e.length);
+  }
+  pending_frees_.clear();
+  return Status::kOk;
+}
+
+Status SingleLevelStore::SyncOne(ObjectId id, const std::vector<uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes.size() > tuning_.log_region_bytes / 4) {
+    // Too big for the log: write straight to a fresh extent and commit.
+    Status st = WriteObject(id, bytes);
+    if (st != Status::kOk) {
+      return st;
+    }
+    st = WriteObjMap();
+    if (st != Status::kOk) {
+      return st;
+    }
+    st = disk_->Flush();
+    if (st != Status::kOk) {
+      return st;
+    }
+    st = WriteSuperblock();
+    if (st != Status::kOk) {
+      return st;
+    }
+    for (const Extent& e : pending_frees_) {
+      alloc_.Free(e.offset, e.length);
+    }
+    pending_frees_.clear();
+    return Status::kOk;
+  }
+  // Record: [magic][seq][id][len][bytes][checksum-of-all-prior].
+  uint64_t header[4] = {kLogMagic, ++log_seq_, id, bytes.size()};
+  uint64_t record_len = sizeof(header) + bytes.size() + 8;
+  if (log_head_ + record_len > tuning_.log_region_bytes) {
+    // Log full: fold it into a checkpoint of the logged objects.
+    Status st = ApplyLog();
+    if (st != Status::kOk) {
+      return st;
+    }
+  }
+  uint64_t base = log_start() + log_head_;
+  Status st = disk_->Write(base, header, sizeof(header));
+  if (st == Status::kOk && !bytes.empty()) {
+    st = disk_->Write(base + sizeof(header), bytes.data(), bytes.size());
+  }
+  if (st == Status::kOk) {
+    uint64_t csum = Checksum(header, sizeof(header)) ^ Checksum(bytes.data(), bytes.size());
+    st = disk_->Write(base + sizeof(header) + bytes.size(), &csum, 8);
+  }
+  if (st != Status::kOk) {
+    return st;
+  }
+  st = disk_->Flush();
+  if (st != Status::kOk) {
+    return st;
+  }
+  log_head_ += record_len;
+  ++log_pending_;
+  ++log_records_total_;
+  log_tail_[id] = bytes;
+  if (log_pending_ >= tuning_.log_apply_threshold) {
+    return ApplyLog();
+  }
+  return Status::kOk;
+}
+
+Status SingleLevelStore::ApplyLog() {
+  ++log_applies_;
+  for (const auto& [id, bytes] : log_tail_) {
+    Status st = WriteObject(id, bytes);
+    if (st != Status::kOk) {
+      return st;
+    }
+  }
+  Status st = WriteObjMap();
+  if (st != Status::kOk) {
+    return st;
+  }
+  st = disk_->Flush();
+  if (st != Status::kOk) {
+    return st;
+  }
+  log_applied_seq_ = log_seq_;
+  log_head_ = 0;
+  log_pending_ = 0;
+  log_tail_.clear();
+  st = WriteSuperblock();
+  if (st != Status::kOk) {
+    return st;
+  }
+  for (const Extent& e : pending_frees_) {
+    alloc_.Free(e.offset, e.length);
+  }
+  pending_frees_.clear();
+  return Status::kOk;
+}
+
+Status SingleLevelStore::SyncPages(ObjectId id, uint64_t offset, uint64_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::optional<Extent> e = objmap_.Find(id);
+  if (!e.has_value()) {
+    return Status::kNotFound;  // never checkpointed: nothing to flush into
+  }
+  uint64_t start = std::min(e->offset + offset, e->offset + e->length);
+  uint64_t n = std::min<uint64_t>(len, e->offset + e->length - start);
+  if (n == 0) {
+    return Status::kOk;
+  }
+  std::vector<uint8_t> pages(n, 0);
+  Status st = disk_->Write(start, pages.data(), n);
+  if (st != Status::kOk) {
+    return st;
+  }
+  return disk_->Flush();
+}
+
+Result<uint64_t> SingleLevelStore::TouchObject(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::optional<Extent> e = objmap_.Find(id);
+  if (!e.has_value()) {
+    return Status::kNotFound;
+  }
+  std::vector<uint8_t> buf(std::min<uint64_t>(e->length, 64 * 1024));
+  uint64_t pos = 0;
+  while (pos < e->length) {
+    uint64_t n = std::min<uint64_t>(buf.size(), e->length - pos);
+    Status st = disk_->Read(e->offset + pos, buf.data(), n);
+    if (st != Status::kOk) {
+      return st;
+    }
+    pos += n;
+  }
+  return e->length;
+}
+
+Status SingleLevelStore::Recover(Kernel* kernel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Superblock sb;
+  Status st = ReadSuperblocks(&sb);
+  if (st != Status::kOk) {
+    return st;
+  }
+  generation_ = sb.generation;
+  root_ = sb.root;
+  log_applied_seq_ = sb.log_applied_seq;
+  objmap_extent_offset_ = sb.objmap_offset;
+  objmap_extent_length_ = sb.objmap_length;
+
+  objmap_.Clear();
+  if (sb.objmap_length >= 8) {
+    std::vector<uint8_t> image(sb.objmap_length);
+    st = disk_->Read(sb.objmap_offset, image.data(), image.size());
+    if (st != Status::kOk) {
+      return st;
+    }
+    uint64_t want;
+    memcpy(&want, image.data() + image.size() - 8, 8);
+    if (Checksum(image.data(), image.size() - 8) != want) {
+      return Status::kCorrupt;
+    }
+    if (!objmap_.Deserialize(image.data(), image.size() - 8, nullptr)) {
+      return Status::kCorrupt;
+    }
+  }
+
+  // Rebuild the allocator: carve out live extents (and the objmap image)
+  // from a freshly reset free pool.
+  alloc_.Reset();
+  std::vector<std::pair<uint64_t, Extent>> entries;
+  objmap_.ForEach([&](const uint64_t& id, const Extent& e) { entries.emplace_back(id, e); });
+  std::vector<Extent> used;
+  used.reserve(entries.size() + 1);
+  for (const auto& [id, e] : entries) {
+    used.push_back(e);
+  }
+  if (objmap_extent_length_ != 0) {
+    used.push_back(Extent{objmap_extent_offset_, objmap_extent_length_});
+  }
+  if (!alloc_.ReserveExtents(used)) {
+    return Status::kCorrupt;
+  }
+
+  // Load every object into the kernel.
+  for (const auto& [id, e] : entries) {
+    std::vector<uint8_t> blob(e.length);
+    st = disk_->Read(e.offset, blob.data(), blob.size());
+    if (st != Status::kOk) {
+      return st;
+    }
+    uint64_t want;
+    memcpy(&want, blob.data() + blob.size() - 8, 8);
+    if (Checksum(blob.data(), blob.size() - 8) != want) {
+      return Status::kCorrupt;
+    }
+    blob.resize(blob.size() - 8);
+    st = kernel->RestoreObject(blob);
+    if (st != Status::kOk) {
+      return st;
+    }
+  }
+
+  // Replay the log tail: records with seq > applied and a valid checksum.
+  uint64_t pos = 0;
+  log_head_ = 0;
+  log_seq_ = log_applied_seq_;
+  log_pending_ = 0;
+  log_tail_.clear();
+  for (;;) {
+    if (pos + 32 > tuning_.log_region_bytes) {
+      break;
+    }
+    uint64_t header[4];
+    if (disk_->Read(log_start() + pos, header, sizeof(header)) != Status::kOk) {
+      break;
+    }
+    if (header[0] != kLogMagic || header[1] <= log_applied_seq_) {
+      break;
+    }
+    uint64_t len = header[3];
+    if (pos + sizeof(header) + len + 8 > tuning_.log_region_bytes) {
+      break;
+    }
+    std::vector<uint8_t> bytes(len);
+    if (disk_->Read(log_start() + pos + sizeof(header), bytes.data(), len) != Status::kOk) {
+      break;
+    }
+    uint64_t want;
+    if (disk_->Read(log_start() + pos + sizeof(header) + len, &want, 8) != Status::kOk) {
+      break;
+    }
+    if ((Checksum(header, sizeof(header)) ^ Checksum(bytes.data(), bytes.size())) != want) {
+      break;  // torn record: end of valid log
+    }
+    st = kernel->RestoreObject(bytes);
+    if (st != Status::kOk) {
+      return st;
+    }
+    log_seq_ = header[1];
+    log_tail_[header[2]] = bytes;
+    pos += sizeof(header) + len + 8;
+    log_head_ = pos;
+    ++log_pending_;
+  }
+
+  kernel->FinishRestore(root_);
+  kernel->AttachPersistTarget(this);
+  return Status::kOk;
+}
+
+}  // namespace histar

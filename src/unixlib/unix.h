@@ -1,0 +1,78 @@
+// Boot helper: assembles a complete Unix-like world on top of the kernel —
+// console, file system root, /bin, /tmp, /proc analogue, users (§5.4) — and
+// hands back a ProcessContext for "init". Everything here is untrusted
+// library code issuing plain syscalls.
+#ifndef SRC_UNIXLIB_UNIX_H_
+#define SRC_UNIXLIB_UNIX_H_
+
+#include <memory>
+#include <string>
+
+#include "src/kernel/kernel.h"
+#include "src/unixlib/fs.h"
+#include "src/unixlib/process.h"
+
+namespace histar {
+
+// One Unix user: a pair of categories ur (read privilege) and uw (write
+// privilege). Threads acting for the user own both; the user's files are
+// labeled {ur3, uw0, 1} (§5.4).
+struct UnixUser {
+  std::string name;
+  CategoryId ur = kInvalidCategory;
+  CategoryId uw = kInvalidCategory;
+  ObjectId home = kInvalidObject;  // home directory container
+
+  Label FileLabel() const {
+    return Label(Level::k1, {{ur, Level::k3}, {uw, Level::k0}});
+  }
+  Label OwnershipEntries() const {
+    return Label(Level::k1, {{ur, Level::kStar}, {uw, Level::kStar}});
+  }
+};
+
+class UnixWorld {
+ public:
+  // Boots a world inside `kernel`: creates the init thread (label {1},
+  // clearance {2}), console device, fs root with /bin /tmp /home, and the
+  // process root container.
+  static std::unique_ptr<UnixWorld> Boot(Kernel* kernel);
+
+  Kernel* kernel() { return env_.kernel; }
+  const UnixEnv& env() const { return env_; }
+  ProcessManager& procs() { return *procs_; }
+  FileSystem& fs() { return *fs_; }
+
+  ObjectId init_thread() const { return init_; }
+  ObjectId fs_root() const { return env_.fs_root; }
+  ObjectId console() const { return env_.console; }
+
+  // A context for code running as init (the boot shell).
+  ProcessContext& init_context() { return *init_ctx_; }
+
+  // Creates a user: allocates ur/uw (owned by init, who acts as the
+  // authentication authority at boot) and a home directory labeled with
+  // them. Section 6.2's auth service hands the categories out at login.
+  Result<UnixUser> AddUser(const std::string& name);
+
+  // Well-known directories.
+  ObjectId bin_dir() const { return bin_; }
+  ObjectId tmp_dir() const { return tmp_; }
+  ObjectId home_dir() const { return home_; }
+
+ private:
+  UnixWorld() = default;
+
+  UnixEnv env_;
+  ObjectId init_ = kInvalidObject;
+  ObjectId bin_ = kInvalidObject;
+  ObjectId tmp_ = kInvalidObject;
+  ObjectId home_ = kInvalidObject;
+  std::unique_ptr<FileSystem> fs_;
+  std::unique_ptr<ProcessManager> procs_;
+  std::unique_ptr<ProcessContext> init_ctx_;
+};
+
+}  // namespace histar
+
+#endif  // SRC_UNIXLIB_UNIX_H_

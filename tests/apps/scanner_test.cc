@@ -1,0 +1,123 @@
+// Unit tests for clamav-mini: the matcher, the database format, and the
+// report protocol.
+#include "src/apps/scanner.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace histar {
+namespace {
+
+Signature Sig(const std::string& name, const std::string& pattern) {
+  Signature s;
+  s.name = name;
+  s.pattern.assign(pattern.begin(), pattern.end());
+  return s;
+}
+
+TEST(AhoCorasick, FindsSinglePattern) {
+  AhoCorasick ac({Sig("EICAR", "virus-body")});
+  std::string data = "harmless prefix virus-body harmless suffix";
+  std::vector<std::string> found =
+      ac.Scan(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], "EICAR");
+}
+
+TEST(AhoCorasick, NoFalsePositives) {
+  AhoCorasick ac({Sig("A", "abcdef"), Sig("B", "zzzyyy")});
+  std::string data = "abcdex zzzyy abcde fabcdef?";  // contains abcdef at the end? no: 'fabcdef' yes!
+  std::vector<std::string> found =
+      ac.Scan(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], "A");
+  std::string clean = "abcde abcdeg zzzyy";
+  EXPECT_TRUE(ac.Scan(reinterpret_cast<const uint8_t*>(clean.data()), clean.size()).empty());
+}
+
+TEST(AhoCorasick, OverlappingPatterns) {
+  AhoCorasick ac({Sig("SHORT", "her"), Sig("LONG", "hershey")});
+  std::string data = "hershey";
+  std::vector<std::string> found =
+      ac.Scan(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  EXPECT_EQ(found.size(), 2u);
+}
+
+TEST(AhoCorasick, SharedPrefixPatterns) {
+  AhoCorasick ac({Sig("A", "abcx"), Sig("B", "abcy"), Sig("C", "abc")});
+  std::string data = "zabcyz";
+  std::vector<std::string> found =
+      ac.Scan(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  EXPECT_EQ(found.size(), 2u);  // B and C
+}
+
+TEST(AhoCorasick, MatchesAgainstNaiveSearchRandomized) {
+  std::mt19937_64 rng(2026);
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 20; ++i) {
+    std::string p;
+    int len = 2 + static_cast<int>(rng() % 6);
+    for (int j = 0; j < len; ++j) {
+      p += static_cast<char>('a' + rng() % 4);  // tiny alphabet → collisions
+    }
+    sigs.push_back(Sig("S" + std::to_string(i), p));
+  }
+  AhoCorasick ac(sigs);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string data;
+    for (int j = 0; j < 400; ++j) {
+      data += static_cast<char>('a' + rng() % 4);
+    }
+    std::vector<std::string> got =
+        ac.Scan(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+    std::vector<std::string> want;
+    for (const Signature& s : sigs) {
+      std::string pat(s.pattern.begin(), s.pattern.end());
+      if (data.find(pat) != std::string::npos) {
+        want.push_back(s.name);
+      }
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    want.erase(std::unique(want.begin(), want.end()), want.end());
+    EXPECT_EQ(got, want) << "trial " << trial;
+  }
+}
+
+TEST(SignatureDb, SerializeParseRoundTrip) {
+  std::vector<Signature> sigs = {Sig("Worm.A", "payload-1"), Sig("Troj.B", "\x01\x02\xff")};
+  std::string text = SerializeDb(sigs);
+  std::vector<Signature> back = ParseDb(text);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name, "Worm.A");
+  EXPECT_EQ(back[0].pattern, sigs[0].pattern);
+  EXPECT_EQ(back[1].pattern, sigs[1].pattern);
+}
+
+TEST(SignatureDb, ParseSkipsGarbage) {
+  std::vector<Signature> back = ParseDb("no-colon-line\n:\nX:zz\nok:414243\n");
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].name, "ok");
+  EXPECT_EQ(back[0].pattern, (std::vector<uint8_t>{'A', 'B', 'C'}));
+}
+
+TEST(ScanReport, SerializeParseRoundTrip) {
+  ScanReport r;
+  r.files_scanned = 7;
+  r.infected = {"/home/bob/a: Worm.A", "/home/bob/b: Troj.B"};
+  r.ok = true;
+  ScanReport back = ParseReport(SerializeReport(r));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.files_scanned, 7u);
+  EXPECT_EQ(back.infected, r.infected);
+}
+
+TEST(ScanReport, IncompleteReportNotOk) {
+  ScanReport r = ParseReport("scanned 3\nFOUND x: Y\n");  // no "done"
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.files_scanned, 3u);
+}
+
+}  // namespace
+}  // namespace histar

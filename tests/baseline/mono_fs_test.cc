@@ -1,0 +1,127 @@
+// Baseline monolithic FS + pipe sanity tests: the comparison system must be
+// believable for the Figure 12 columns to mean anything.
+#include "src/baseline/mono_fs.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace monosim {
+namespace {
+
+DiskModel MakeDisk(bool zero_latency) {
+  histar::DiskGeometry g;
+  g.capacity_bytes = 2ULL << 30;
+  g.zero_latency = zero_latency;
+  g.store_data = false;  // latency-only: contents don't matter here
+  return DiskModel(g);
+}
+
+TEST(MonoFs, CreateWriteReadRoundTrip) {
+  DiskModel disk = MakeDisk(true);
+  MonoFs fs(&disk);
+  ASSERT_EQ(fs.Mkfs(), Status::kOk);
+  Result<uint64_t> f = fs.Create("a");
+  ASSERT_TRUE(f.ok());
+  char buf[1024] = {1};
+  ASSERT_EQ(fs.Write(f.value(), 0, buf, sizeof(buf)), Status::kOk);
+  Result<uint64_t> n = fs.Read(f.value(), 0, buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), sizeof(buf));
+  EXPECT_EQ(fs.LookupFile("a").value(), f.value());
+  ASSERT_EQ(fs.Unlink("a"), Status::kOk);
+  EXPECT_EQ(fs.LookupFile("a").status(), Status::kNotFound);
+}
+
+TEST(MonoFs, AsyncWritesAreCachedFsyncHitsDisk) {
+  DiskModel disk = MakeDisk(false);
+  MonoFs fs(&disk);
+  ASSERT_EQ(fs.Mkfs(), Status::kOk);
+  disk.ResetSimTime();
+  Result<uint64_t> f = fs.Create("a");
+  char buf[1024] = {};
+  ASSERT_EQ(fs.Write(f.value(), 0, buf, sizeof(buf)), Status::kOk);
+  EXPECT_EQ(disk.sim_time_ns(), 0u);  // pure cache
+  ASSERT_EQ(fs.Fsync(f.value()), Status::kOk);
+  EXPECT_GT(disk.sim_time_ns(), 0u);
+  EXPECT_EQ(fs.journal_commits(), 1u);
+}
+
+TEST(MonoFs, FsyncPerFileCostsMoreThanOneBatchedSync) {
+  DiskModel d1 = MakeDisk(false);
+  MonoFs fs1(&d1);
+  ASSERT_EQ(fs1.Mkfs(), Status::kOk);
+  char buf[1024] = {};
+  for (int i = 0; i < 100; ++i) {
+    Result<uint64_t> f = fs1.Create("f" + std::to_string(i));
+    fs1.Write(f.value(), 0, buf, sizeof(buf));
+    fs1.Fsync(f.value());
+  }
+  DiskModel d2 = MakeDisk(false);
+  MonoFs fs2(&d2);
+  ASSERT_EQ(fs2.Mkfs(), Status::kOk);
+  for (int i = 0; i < 100; ++i) {
+    Result<uint64_t> f = fs2.Create("f" + std::to_string(i));
+    fs2.Write(f.value(), 0, buf, sizeof(buf));
+  }
+  ASSERT_EQ(fs2.SyncAll(), Status::kOk);
+  EXPECT_GT(d1.sim_time_ns(), d2.sim_time_ns() * 20);
+}
+
+TEST(MonoFs, ClusteredLayoutMakesColdReadsCheapWithLookahead) {
+  DiskModel disk = MakeDisk(false);
+  MonoFs fs(&disk);
+  ASSERT_EQ(fs.Mkfs(), Status::kOk);
+  char buf[1024] = {};
+  std::vector<uint64_t> files;
+  for (int i = 0; i < 200; ++i) {
+    Result<uint64_t> f = fs.Create("f" + std::to_string(i));
+    fs.Write(f.value(), 0, buf, sizeof(buf));
+    files.push_back(f.value());
+  }
+  ASSERT_EQ(fs.SyncAll(), Status::kOk);
+  fs.DropCaches();
+  disk.ResetSimTime();
+  for (uint64_t f : files) {
+    ASSERT_TRUE(fs.Read(f, 0, buf, sizeof(buf)).ok());
+  }
+  uint64_t with_la = disk.sim_time_ns();
+
+  fs.DropCaches();
+  disk.set_lookahead_enabled(false);
+  disk.ResetSimTime();
+  for (uint64_t f : files) {
+    ASSERT_TRUE(fs.Read(f, 0, buf, sizeof(buf)).ok());
+  }
+  uint64_t without_la = disk.sim_time_ns();
+  EXPECT_GT(without_la, with_la * 5);
+}
+
+TEST(MonoPipe, RoundTripAcrossThreads) {
+  MonoPipe a;  // parent → child
+  MonoPipe b;  // child → parent
+  std::thread child([&]() {
+    char buf[8];
+    for (int i = 0; i < 100; ++i) {
+      a.Read(buf, 8);
+      b.Write(buf, 8);
+    }
+  });
+  char msg[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (int i = 0; i < 100; ++i) {
+    a.Write(msg, 8);
+    char echo[8] = {};
+    b.Read(echo, 8);
+    ASSERT_EQ(memcmp(msg, echo, 8), 0);
+  }
+  child.join();
+  EXPECT_GE(a.syscalls(), 200u);
+}
+
+TEST(MonoProcessModel, ForkExecUsesNineSyscalls) {
+  MonoProcessModel m;
+  EXPECT_EQ(m.ForkExecTrue(), 9u);
+}
+
+}  // namespace
+}  // namespace monosim

@@ -1,0 +1,107 @@
+// Tests for the category allocator and its 61-bit block cipher (paper §2).
+#include "src/core/category.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace histar {
+namespace {
+
+TEST(CategoryCipher, EncryptDecryptRoundTrip) {
+  CategoryCipher c(0xdeadbeef);
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t p = rng() & kCategoryMask;
+    uint64_t e = c.Encrypt(p);
+    EXPECT_LE(e, kCategoryMask);
+    EXPECT_EQ(c.Decrypt(e), p);
+  }
+}
+
+TEST(CategoryCipher, SequentialCountersLookUnrelated) {
+  // The point of encrypting the counter: adjacent allocations must not have
+  // adjacent names, or a thread could estimate how many categories another
+  // thread allocated (a storage channel). Check Hamming-ish dispersion.
+  CategoryCipher c(1);
+  int small_deltas = 0;
+  for (uint64_t i = 1; i < 1000; ++i) {
+    uint64_t a = c.Encrypt(i);
+    uint64_t b = c.Encrypt(i + 1);
+    uint64_t delta = a > b ? a - b : b - a;
+    if (delta < 1024) {
+      ++small_deltas;
+    }
+  }
+  EXPECT_LT(small_deltas, 5);
+}
+
+TEST(CategoryCipher, DifferentKeysDifferentPermutations) {
+  CategoryCipher c1(1);
+  CategoryCipher c2(2);
+  int same = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if (c1.Encrypt(i) == c2.Encrypt(i)) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(CategoryCipher, BijectionOnSample) {
+  CategoryCipher c(7);
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(seen.insert(c.Encrypt(i)).second) << "collision at " << i;
+  }
+}
+
+TEST(CategoryAllocator, NeverReturnsInvalidOrOverWidth) {
+  CategoryAllocator a;
+  for (int i = 0; i < 10000; ++i) {
+    CategoryId id = a.Allocate();
+    EXPECT_NE(id, kInvalidCategory);
+    EXPECT_LE(id, kCategoryMask);
+  }
+}
+
+TEST(CategoryAllocator, AllUnique) {
+  CategoryAllocator a;
+  std::unordered_set<CategoryId> seen;
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_TRUE(seen.insert(a.Allocate()).second);
+  }
+}
+
+TEST(CategoryAllocator, ThreadSafeUnderContention) {
+  CategoryAllocator a;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<CategoryId>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&a, &results, t]() {
+      results[static_cast<size_t>(t)].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        results[static_cast<size_t>(t)].push_back(a.Allocate());
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::unordered_set<CategoryId> seen;
+  for (const auto& v : results) {
+    for (CategoryId id : v) {
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace histar

@@ -1,0 +1,67 @@
+// Tests for the immutable-label comparison cache (paper §4).
+#include "src/core/label_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace histar {
+namespace {
+
+TEST(LabelCache, InternIsStableForEqualLabels) {
+  LabelCache cache;
+  Label a(Level::k1, {{5, Level::k3}});
+  Label b(Level::k1, {{5, Level::k3}});
+  EXPECT_EQ(cache.Intern(a), cache.Intern(b));
+  Label c(Level::k1, {{5, Level::k2}});
+  EXPECT_NE(cache.Intern(a), cache.Intern(c));
+}
+
+TEST(LabelCache, CachedLeqMatchesDirect) {
+  LabelCache cache;
+  Label a(Level::k1, {{1, Level::k0}});
+  Label b(Level::k1, {{2, Level::k3}});
+  uint32_t ia = cache.Intern(a);
+  uint32_t ib = cache.Intern(b);
+  EXPECT_EQ(cache.CachedLeq(ia, a, ib, b), a.Leq(b));
+  EXPECT_EQ(cache.CachedLeq(ib, b, ia, a), b.Leq(a));
+}
+
+TEST(LabelCache, SecondLookupHits) {
+  LabelCache cache;
+  Label a;
+  Label b(Level::k2);
+  uint32_t ia = cache.Intern(a);
+  uint32_t ib = cache.Intern(b);
+  cache.ResetStats();
+  cache.CachedLeq(ia, a, ib, b);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  cache.CachedLeq(ia, a, ib, b);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(LabelCache, DisabledFallsBackToDirect) {
+  LabelCache cache;
+  cache.set_enabled(false);
+  Label a;
+  Label b(Level::k2);
+  uint32_t ia = cache.Intern(a);
+  uint32_t ib = cache.Intern(b);
+  cache.ResetStats();
+  EXPECT_TRUE(cache.CachedLeq(ia, a, ib, b));
+  EXPECT_TRUE(cache.CachedLeq(ia, a, ib, b));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(LabelCache, OrderMattersInKey) {
+  LabelCache cache;
+  Label lo;                 // {1}
+  Label hi(Level::k2);      // {2}
+  uint32_t il = cache.Intern(lo);
+  uint32_t ih = cache.Intern(hi);
+  EXPECT_TRUE(cache.CachedLeq(il, lo, ih, hi));
+  EXPECT_FALSE(cache.CachedLeq(ih, hi, il, lo));
+}
+
+}  // namespace
+}  // namespace histar

@@ -1,0 +1,243 @@
+// Unit tests for the label algebra (paper §2).
+#include "src/core/label.h"
+
+#include <gtest/gtest.h>
+
+namespace histar {
+namespace {
+
+// Fixed category names used throughout; real ids are opaque 61-bit values,
+// but the algebra does not care.
+constexpr CategoryId kBr = 101;  // "Bob read"
+constexpr CategoryId kBw = 102;  // "Bob write"
+constexpr CategoryId kV = 103;   // wrap's taint category
+
+TEST(Level, TotalOrder) {
+  // ⋆ < 0 < 1 < 2 < 3 < J.
+  EXPECT_TRUE(LevelLeq(Level::kStar, Level::k0));
+  EXPECT_TRUE(LevelLeq(Level::k0, Level::k1));
+  EXPECT_TRUE(LevelLeq(Level::k1, Level::k2));
+  EXPECT_TRUE(LevelLeq(Level::k2, Level::k3));
+  EXPECT_TRUE(LevelLeq(Level::k3, Level::kHi));
+  EXPECT_FALSE(LevelLeq(Level::k1, Level::kStar));
+  EXPECT_FALSE(LevelLeq(Level::kHi, Level::k3));
+}
+
+TEST(Label, DefaultIsLevelOne) {
+  Label l;
+  EXPECT_EQ(l.default_level(), Level::k1);
+  EXPECT_EQ(l.get(kBr), Level::k1);
+  EXPECT_EQ(l.entry_count(), 0u);
+}
+
+TEST(Label, SetAndGet) {
+  Label l;
+  l.set(kBr, Level::k3);
+  l.set(kBw, Level::k0);
+  EXPECT_EQ(l.get(kBr), Level::k3);
+  EXPECT_EQ(l.get(kBw), Level::k0);
+  EXPECT_EQ(l.get(kV), Level::k1);
+  EXPECT_EQ(l.entry_count(), 2u);
+}
+
+TEST(Label, SettingDefaultErasesEntry) {
+  Label l;
+  l.set(kBr, Level::k3);
+  EXPECT_EQ(l.entry_count(), 1u);
+  l.set(kBr, Level::k1);
+  EXPECT_EQ(l.entry_count(), 0u);
+  // Structural equality after round trip.
+  EXPECT_EQ(l, Label());
+}
+
+TEST(Label, PaperExampleLabelFunction) {
+  // L = {w0, r3, 1}: L(w)=0, L(r)=3, otherwise 1 (§2).
+  constexpr CategoryId w = 1;
+  constexpr CategoryId r = 2;
+  Label l(Level::k1, {{w, Level::k0}, {r, Level::k3}});
+  EXPECT_EQ(l.get(w), Level::k0);
+  EXPECT_EQ(l.get(r), Level::k3);
+  EXPECT_EQ(l.get(999), Level::k1);
+}
+
+TEST(Label, LeqBasicTaintFlow) {
+  // Thread {1} cannot observe object {c3, 1}: object ⋢ thread.
+  Label thread_label;
+  Label obj(Level::k1, {{kV, Level::k3}});
+  EXPECT_FALSE(obj.Leq(thread_label));
+  EXPECT_TRUE(thread_label.Leq(obj));
+}
+
+TEST(Label, LeqWriteRestriction) {
+  // Object {c0, 1} is less tainted than thread {1}: thread cannot write it.
+  Label thread_label;
+  Label obj(Level::k1, {{kBw, Level::k0}});
+  EXPECT_FALSE(thread_label.Leq(obj));
+  EXPECT_TRUE(obj.Leq(thread_label));
+}
+
+TEST(Label, LeqComparesDefaults) {
+  EXPECT_TRUE(Label(Level::k1).Leq(Label(Level::k2)));
+  EXPECT_FALSE(Label(Level::k2).Leq(Label(Level::k1)));
+}
+
+TEST(Label, LeqMixedEntriesAndDefaults) {
+  // {a0, 2} vs {b3, 1}: a: 0 vs 1 ok; b: 2 vs 3 ok; default: 2 vs 1 fails.
+  Label l1(Level::k2, {{1, Level::k0}});
+  Label l2(Level::k1, {{2, Level::k3}});
+  EXPECT_FALSE(l1.Leq(l2));
+  // And {a0,1} ⊑ {b3,1} does hold: a: 0≤1, b: 1≤3, default 1≤1.
+  Label l3(Level::k1, {{1, Level::k0}});
+  EXPECT_TRUE(l3.Leq(l2));
+}
+
+TEST(Label, StarShifting) {
+  Label l(Level::k1, {{kBr, Level::kStar}, {kV, Level::k3}});
+  Label hi = l.ToHi();
+  EXPECT_EQ(hi.get(kBr), Level::kHi);
+  EXPECT_EQ(hi.get(kV), Level::k3);
+  Label back = hi.ToStar();
+  EXPECT_EQ(back, l);
+}
+
+TEST(Label, OwnershipBypassesReadCheck) {
+  // Thread owning v can observe {v3, 1}: L_O ⊑ L_T^J.
+  Label thread_label(Level::k1, {{kV, Level::kStar}});
+  Label obj(Level::k1, {{kV, Level::k3}});
+  EXPECT_FALSE(obj.Leq(thread_label));          // without shifting: blocked
+  EXPECT_TRUE(obj.Leq(thread_label.ToHi()));    // with J: allowed
+}
+
+TEST(Label, OwnershipBypassesWriteCheck) {
+  // Thread owning bw can modify {bw0, 1}: L_T ⊑ L_O requires ⋆ ≤ 0.
+  Label thread_label(Level::k1, {{kBw, Level::kStar}});
+  Label obj(Level::k1, {{kBw, Level::k0}});
+  EXPECT_TRUE(thread_label.Leq(obj));
+  EXPECT_TRUE(obj.Leq(thread_label.ToHi()));
+}
+
+TEST(Label, JoinTakesMax) {
+  Label a(Level::k1, {{kBr, Level::k3}, {kBw, Level::k0}});
+  Label b(Level::k1, {{kBw, Level::k2}, {kV, Level::k0}});
+  Label j = a.Join(b);
+  EXPECT_EQ(j.get(kBr), Level::k3);
+  EXPECT_EQ(j.get(kBw), Level::k2);
+  EXPECT_EQ(j.get(kV), Level::k1);  // max(1, 0) = 1
+  EXPECT_EQ(j.default_level(), Level::k1);
+}
+
+TEST(Label, MeetTakesMin) {
+  Label a(Level::k1, {{kBr, Level::k3}});
+  Label b(Level::k2, {{kBr, Level::k2}});
+  Label m = a.Meet(b);
+  EXPECT_EQ(m.get(kBr), Level::k2);
+  EXPECT_EQ(m.default_level(), Level::k1);
+}
+
+TEST(Label, RaiseForReadPaperFormula) {
+  // §2.2: to observe O labeled {v3,1}, thread {1} must raise to {v3,1}.
+  Label t;
+  Label o(Level::k1, {{kV, Level::k3}});
+  Label raised = Label::RaiseForRead(t, o);
+  EXPECT_EQ(raised.get(kV), Level::k3);
+  EXPECT_EQ(raised.default_level(), Level::k1);
+  // Both conditions hold at the raised label.
+  EXPECT_TRUE(t.Leq(raised));
+  EXPECT_TRUE(o.Leq(raised.ToHi()));
+}
+
+TEST(Label, RaiseForReadPreservesOwnership) {
+  // A thread owning br raising for a {br3, v3, 1} object keeps br at ⋆
+  // (ownership already dominates) and gains v3.
+  Label t(Level::k1, {{kBr, Level::kStar}});
+  Label o(Level::k1, {{kBr, Level::k3}, {kV, Level::k3}});
+  Label raised = Label::RaiseForRead(t, o);
+  EXPECT_EQ(raised.get(kBr), Level::kStar);
+  EXPECT_EQ(raised.get(kV), Level::k3);
+}
+
+TEST(Label, ClamAvScenarioFromFigure4) {
+  // wrap: {br*, v*, 1}; scanner: {br*, v3, 1}; user data: {br3, bw0, 1};
+  // network: {1} effectively (untainted); update daemon: {1}.
+  Label wrap(Level::k1, {{kBr, Level::kStar}, {kV, Level::kStar}});
+  Label scanner(Level::k1, {{kBr, Level::kStar}, {kV, Level::k3}});
+  Label user_data(Level::k1, {{kBr, Level::k3}, {kBw, Level::k0}});
+  Label untainted;
+
+  // Scanner can observe user data (owns br, and v-taint doesn't matter).
+  EXPECT_TRUE(user_data.Leq(scanner.ToHi()));
+  // Scanner cannot write anything untainted: scanner ⋢ {1} because v3 > 1.
+  EXPECT_FALSE(scanner.Leq(untainted));
+  // wrap can both observe scanner-tainted data and write untainted objects.
+  Label tainted_result(Level::k1, {{kV, Level::k3}});
+  EXPECT_TRUE(tainted_result.Leq(wrap.ToHi()));
+  EXPECT_TRUE(wrap.Leq(untainted));
+  // Update daemon cannot observe user data.
+  EXPECT_FALSE(user_data.Leq(untainted.ToHi()));
+}
+
+TEST(Label, EqualityAndHash) {
+  Label a(Level::k1, {{kBr, Level::k3}});
+  Label b(Level::k1, {{kBr, Level::k3}});
+  Label c(Level::k1, {{kBr, Level::k2}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(Label, ToStringRendersLevels) {
+  Label l(Level::k1, {{kBr, Level::kStar}, {kV, Level::k3}});
+  std::string s = l.ToString();
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find('3'), std::string::npos);
+  EXPECT_EQ(s.back(), '}');
+}
+
+TEST(Label, SerializeRoundTrip) {
+  Label l(Level::k2, {{kBr, Level::kStar}, {kBw, Level::k0}, {kV, Level::k3}});
+  std::vector<uint8_t> bytes;
+  l.Serialize(&bytes);
+  Label out;
+  size_t consumed = 0;
+  ASSERT_TRUE(Label::Deserialize(bytes.data(), bytes.size(), &consumed, &out));
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(out, l);
+}
+
+TEST(Label, DeserializeRejectsTruncation) {
+  Label l(Level::k1, {{kBr, Level::k3}});
+  std::vector<uint8_t> bytes;
+  l.Serialize(&bytes);
+  Label out;
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(Label::Deserialize(bytes.data(), cut, nullptr, &out));
+  }
+}
+
+TEST(Label, DeserializeRejectsUnsortedEntries) {
+  // Hand-build a blob with two entries out of order.
+  std::vector<uint8_t> bytes;
+  bytes.push_back(static_cast<uint8_t>(Level::k1));
+  uint32_t n = 2;
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<uint8_t>(n >> (8 * i)));
+  }
+  uint64_t e1 = (uint64_t{50} << 3) | 4;
+  uint64_t e2 = (uint64_t{10} << 3) | 4;
+  for (uint64_t e : {e1, e2}) {
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<uint8_t>(e >> (8 * i)));
+    }
+  }
+  Label out;
+  EXPECT_FALSE(Label::Deserialize(bytes.data(), bytes.size(), nullptr, &out));
+}
+
+TEST(Label, DeserializeRejectsHiDefault) {
+  std::vector<uint8_t> bytes = {static_cast<uint8_t>(Level::kHi), 0, 0, 0, 0};
+  Label out;
+  EXPECT_FALSE(Label::Deserialize(bytes.data(), bytes.size(), nullptr, &out));
+}
+
+}  // namespace
+}  // namespace histar

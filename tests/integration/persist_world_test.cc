@@ -1,0 +1,209 @@
+// Whole-world persistence (paper §3: "HiStar has a single-level store — on
+// bootup, the entire system state is restored from the most recent on-disk
+// snapshot. This eliminates the need for trusted boot scripts...").
+//
+// Integration across kernel + store + unixlib: build a populated Unix world
+// (users, files, labels, a gate), checkpoint, boot a *fresh kernel* from the
+// disk image, and verify that not just the data but the security state
+// survives — categories still protect files, clearances still bound access,
+// gates still require their entry code to be re-registered (code lives on
+// disk, not in the object).
+#include <gtest/gtest.h>
+
+#include "src/store/single_level_store.h"
+#include "src/unixlib/unix.h"
+
+namespace histar {
+namespace {
+
+class PersistWorldTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DiskGeometry g;
+    g.capacity_bytes = 512 << 20;
+    g.zero_latency = true;
+    g.store_data = true;
+    disk_ = std::make_unique<DiskModel>(g);
+    store_ = std::make_unique<SingleLevelStore>(disk_.get());
+    ASSERT_EQ(store_->Format(), Status::kOk);
+    kernel_ = std::make_unique<Kernel>();
+    kernel_->AttachPersistTarget(store_.get());
+    world_ = UnixWorld::Boot(kernel_.get());
+    ASSERT_NE(world_, nullptr);
+    CurrentThread::Set(world_->init_thread());
+  }
+  void TearDown() override { CurrentThread::Set(kInvalidObject); }
+
+  std::unique_ptr<Kernel> RebootKernel() {
+    store2_ = std::make_unique<SingleLevelStore>(disk_.get());
+    auto k = std::make_unique<Kernel>();
+    EXPECT_EQ(store2_->Recover(k.get()), Status::kOk);
+    return k;
+  }
+
+  std::unique_ptr<DiskModel> disk_;
+  std::unique_ptr<SingleLevelStore> store_;
+  std::unique_ptr<SingleLevelStore> store2_;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<UnixWorld> world_;
+};
+
+TEST_F(PersistWorldTest, UserFilesAndLabelsSurviveReboot) {
+  ObjectId init = world_->init_thread();
+  UnixUser bob = world_->AddUser("bob").value();
+  FileSystem& fs = world_->fs();
+  ObjectId diary = fs.Create(init, bob.home, "diary", bob.FileLabel()).value();
+  const char text[] = "persists";
+  ASSERT_EQ(fs.WriteAt(init, bob.home, diary, text, 0, sizeof(text)), Status::kOk);
+  ASSERT_EQ(kernel_->sys_sync(init), Status::kOk);
+
+  std::unique_ptr<Kernel> k2 = RebootKernel();
+  CurrentThread bind(init);
+
+  // The file's bytes came back...
+  char buf[16] = {};
+  FileSystem fs2(k2.get());
+  ASSERT_EQ(k2->sys_segment_read(init, ContainerEntry{bob.home, diary}, buf, 0, sizeof(text)),
+            Status::kOk);
+  EXPECT_STREQ(buf, "persists");
+  // ...with its label intact: a fresh unprivileged thread still bounces.
+  ObjectId stranger = k2->BootstrapThread(Label(), Label(Level::k2), "stranger");
+  EXPECT_EQ(k2->sys_segment_read(stranger, ContainerEntry{bob.home, diary}, buf, 0, 4),
+            Status::kLabelCheckFailed);
+  // The recovered label matches bit for bit.
+  Result<Label> l = k2->sys_obj_get_label(init, ContainerEntry{bob.home, diary});
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(l.value(), bob.FileLabel());
+}
+
+TEST_F(PersistWorldTest, DirectoryTreeWalksAfterReboot) {
+  ObjectId init = world_->init_thread();
+  FileSystem& fs = world_->fs();
+  // Nested quotas must shrink: a child container's quota is charged against
+  // its parent's.
+  ObjectId a = fs.MakeDir(init, world_->fs_root(), "a", Label(), 8 << 20).value();
+  ObjectId b = fs.MakeDir(init, a, "b", Label(), 2 << 20).value();
+  ObjectId f = fs.Create(init, b, "deep.txt", Label()).value();
+  ASSERT_NE(f, kInvalidObject);
+  ASSERT_EQ(fs.WriteAt(init, b, f, "x", 0, 1), Status::kOk);
+  ASSERT_EQ(kernel_->sys_sync(init), Status::kOk);
+
+  std::unique_ptr<Kernel> k2 = RebootKernel();
+  CurrentThread bind(init);
+  FileSystem fs2(k2.get());
+  Result<ObjectId> found = fs2.Walk(init, world_->fs_root(), "/a/b/deep.txt");
+  ASSERT_TRUE(found.ok()) << StatusName(found.status());
+  EXPECT_EQ(found.value(), f);
+  // ".." via container_get_parent still works on recovered containers.
+  Result<ObjectId> up = fs2.Walk(init, b, "..");
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up.value(), a);
+}
+
+TEST_F(PersistWorldTest, ThreadLabelsAndClearancesSurvive) {
+  ObjectId init = world_->init_thread();
+  Result<CategoryId> c = kernel_->sys_cat_create(init);
+  ASSERT_TRUE(c.ok());
+  // A tainted thread (halted — persisted threads resume as data; execution
+  // state is out of scope for the reproduction).
+  Label tl(Level::k1, {{c.value(), Level::k2}});
+  ObjectId t = kernel_->BootstrapThread(tl, Label(Level::k2, {{c.value(), Level::k3}}),
+                                        "sleeper");
+  ASSERT_EQ(kernel_->sys_sync(init), Status::kOk);
+
+  std::unique_ptr<Kernel> k2 = RebootKernel();
+  CurrentThread bind(init);
+  // init still owns c after reboot: its own label carries the ⋆.
+  Result<Label> init_label = k2->sys_self_get_label(init);
+  ASSERT_TRUE(init_label.ok());
+  EXPECT_TRUE(init_label.value().Owns(c.value()));
+  // The sleeper's taint came back too (init can read its label: c ⋆ ⊒ 2).
+  Result<Label> sl = k2->sys_obj_get_label(init, ContainerEntry{k2->root_container(), t});
+  ASSERT_TRUE(sl.ok());
+  EXPECT_EQ(sl.value().get(c.value()), Level::k2);
+}
+
+TEST_F(PersistWorldTest, GatesNeedTheirEntryCodeReRegistered) {
+  // Gates persist by entry *name*; the code segment must be present after
+  // boot (just as on-disk binaries must exist), or invocation fails.
+  ObjectId init = world_->init_thread();
+  kernel_->RegisterGateEntry("test.echo", [](GateCall& call) {
+    uint64_t v = 0;
+    call.kernel->sys_self_local_read(call.thread, &v, 0, 8);
+    v *= 2;
+    call.kernel->sys_self_local_write(call.thread, &v, 8, 8);
+  });
+  CreateSpec spec;
+  spec.container = kernel_->root_container();
+  spec.descrip = "echo-gate";
+  Result<ObjectId> gate = kernel_->sys_gate_create(init, spec, Label(), Label(Level::k2),
+                                                   "test.echo", {});
+  ASSERT_TRUE(gate.ok());
+  ASSERT_EQ(kernel_->sys_sync(init), Status::kOk);
+
+  std::unique_ptr<Kernel> k2 = RebootKernel();
+  CurrentThread bind(init);
+  ContainerEntry ce{k2->root_container(), gate.value()};
+  uint64_t v = 21;
+  ASSERT_EQ(k2->sys_self_local_write(init, &v, 0, 8), Status::kOk);
+  Result<Label> mine = k2->sys_self_get_label(init);
+  Result<Label> clear = k2->sys_self_get_clearance(init);
+  ASSERT_TRUE(mine.ok() && clear.ok());
+
+  // Before re-registration: the gate exists but its code does not.
+  EXPECT_EQ(k2->sys_gate_invoke(init, ce, mine.value(), clear.value(), mine.value()),
+            Status::kNotFound);
+
+  // After: invocation works as before the reboot.
+  k2->RegisterGateEntry("test.echo", [](GateCall& call) {
+    uint64_t x = 0;
+    call.kernel->sys_self_local_read(call.thread, &x, 0, 8);
+    x *= 2;
+    call.kernel->sys_self_local_write(call.thread, &x, 8, 8);
+  });
+  ASSERT_EQ(k2->sys_gate_invoke(init, ce, mine.value(), clear.value(), mine.value()),
+            Status::kOk);
+  uint64_t out = 0;
+  ASSERT_EQ(k2->sys_self_local_read(init, &out, 8, 8), Status::kOk);
+  EXPECT_EQ(out, 42u);
+}
+
+TEST_F(PersistWorldTest, SecondGenerationSupersedesFirst) {
+  ObjectId init = world_->init_thread();
+  FileSystem& fs = world_->fs();
+  ObjectId f = fs.Create(init, world_->tmp_dir(), "gen", Label()).value();
+  ASSERT_EQ(fs.WriteAt(init, world_->tmp_dir(), f, "one", 0, 3), Status::kOk);
+  ASSERT_EQ(kernel_->sys_sync(init), Status::kOk);
+  ASSERT_EQ(fs.WriteAt(init, world_->tmp_dir(), f, "two", 0, 3), Status::kOk);
+  ASSERT_EQ(kernel_->sys_sync(init), Status::kOk);
+
+  std::unique_ptr<Kernel> k2 = RebootKernel();
+  CurrentThread bind(init);
+  char buf[4] = {};
+  ASSERT_EQ(k2->sys_segment_read(init, ContainerEntry{world_->tmp_dir(), f}, buf, 0, 3),
+            Status::kOk);
+  EXPECT_STREQ(buf, "two");
+}
+
+TEST_F(PersistWorldTest, UnsyncedChangesAreLostCleanly) {
+  // The flip side of group sync: work after the last checkpoint vanishes on
+  // reboot — "the application either runs to completion or appears never to
+  // have started" (§7.1).
+  ObjectId init = world_->init_thread();
+  FileSystem& fs = world_->fs();
+  ObjectId f = fs.Create(init, world_->tmp_dir(), "early", Label()).value();
+  ASSERT_EQ(kernel_->sys_sync(init), Status::kOk);
+  Result<ObjectId> late = fs.Create(init, world_->tmp_dir(), "late", Label());
+  ASSERT_TRUE(late.ok());
+
+  std::unique_ptr<Kernel> k2 = RebootKernel();
+  CurrentThread bind(init);
+  FileSystem fs2(k2.get());
+  EXPECT_TRUE(fs2.Lookup(init, world_->tmp_dir(), "early").ok());
+  EXPECT_FALSE(k2->ObjectExists(late.value()));
+  EXPECT_EQ(fs2.Lookup(init, world_->tmp_dir(), "late").status(), Status::kNotFound);
+  EXPECT_EQ(f, fs2.Lookup(init, world_->tmp_dir(), "early").value());
+}
+
+}  // namespace
+}  // namespace histar

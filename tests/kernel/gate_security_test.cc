@@ -1,0 +1,194 @@
+// Adversarial gate tests (§3.5): every way a thread might try to launder
+// privilege or taint through the gate mechanism, and the §5.5 return-gate
+// protocol's properties.
+#include <gtest/gtest.h>
+
+#include "tests/kernel/kernel_test_util.h"
+
+namespace histar {
+namespace {
+
+class GateSecurityTest : public KernelTest {
+ protected:
+  void SetUp() override {
+    KernelTest::SetUp();
+    kernel_->RegisterGateEntry("noop", [](GateCall&) {});
+    kernel_->RegisterGateEntry("record-label", [](GateCall& call) {
+      Result<Label> l = call.kernel->sys_self_get_label(call.thread);
+      uint8_t ok = l.ok() ? 1 : 0;
+      call.kernel->sys_self_local_write(call.thread, &ok, 63, 1);
+    });
+  }
+
+  // A gate owned by a category-owner, carrying that ownership.
+  std::pair<ObjectId, CategoryId> MakePrivilegedGate(const Label& clearance) {
+    Result<CategoryId> c = kernel_->sys_cat_create(init_);
+    EXPECT_TRUE(c.ok());
+    CreateSpec spec;
+    spec.container = kernel_->root_container();
+    spec.descrip = "priv-gate";
+    Label glabel(Level::k1, {{c.value(), Level::kStar}});
+    Result<ObjectId> g =
+        kernel_->sys_gate_create(init_, spec, glabel, clearance, "noop", {});
+    EXPECT_TRUE(g.ok()) << StatusName(g.status());
+    return {g.ok() ? g.value() : kInvalidObject, c.value()};
+  }
+};
+
+TEST_F(GateSecurityTest, TaintedThreadCannotEnterLowClearanceGate) {
+  // The wrap/§6.1 mechanism: clearance {2} keeps 3-tainted threads out —
+  // this is precisely why the sandboxed scanner cannot invoke a victim's
+  // signal gate.
+  auto [gate, c] = MakePrivilegedGate(Label(Level::k2));
+  Result<CategoryId> taint = kernel_->sys_cat_create(init_);
+  ASSERT_TRUE(taint.ok());
+  Label tl(Level::k1, {{taint.value(), Level::k3}});
+  Label tc(Level::k2, {{taint.value(), Level::k3}});
+  ObjectId sandboxed = kernel_->BootstrapThread(tl, tc, "sandboxed");
+
+  ContainerEntry ce{kernel_->root_container(), gate};
+  Label request = tl.ToHi().Join(Label(Level::k1, {{c, Level::kStar}}).ToHi()).ToStar();
+  EXPECT_EQ(kernel_->sys_gate_invoke(sandboxed, ce, request, tc, tl),
+            Status::kLabelCheckFailed);
+}
+
+TEST_F(GateSecurityTest, RequestBelowTheFloorIsRejected) {
+  // The floor (L_T^J ⊔ L_G^J)^⋆ means taint follows the thread through the
+  // gate: requesting a label that sheds it must fail.
+  auto [gate, c] = MakePrivilegedGate(Label(Level::k2));
+  Result<CategoryId> taint = kernel_->sys_cat_create(init_);
+  ASSERT_TRUE(taint.ok());
+  Label tl(Level::k1, {{taint.value(), Level::k2}});
+  Label tc(Level::k2);
+  ObjectId t = kernel_->BootstrapThread(tl, tc, "tainted2");
+
+  ContainerEntry ce{kernel_->root_container(), gate};
+  // Request = untainted + the gate's star: drops our own t2. Must fail.
+  Label request(Level::k1, {{c, Level::kStar}});
+  EXPECT_EQ(kernel_->sys_gate_invoke(t, ce, request, tc, tl), Status::kLabelCheckFailed);
+  // The honest request (floor) succeeds and carries both.
+  Label honest = tl.ToHi().Join(Label(Level::k1, {{c, Level::kStar}}).ToHi()).ToStar();
+  EXPECT_EQ(kernel_->sys_gate_invoke(t, ce, honest, tc.Join(honest), tl), Status::kOk);
+  Result<Label> after = kernel_->sys_self_get_label(t);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().Owns(c));
+  EXPECT_EQ(after.value().get(taint.value()), Level::k2);
+}
+
+TEST_F(GateSecurityTest, RequestAboveTheGateGrantIsRejected) {
+  // Stars not in (thread ∪ gate) cannot be requested: the gate grants its
+  // own categories, nothing more.
+  auto [gate, c] = MakePrivilegedGate(Label(Level::k2));
+  ObjectId t = kernel_->BootstrapThread(Label(), Label(Level::k2), "greedy");
+  Result<CategoryId> other = kernel_->sys_cat_create(init_);  // init's, not the gate's
+  ASSERT_TRUE(other.ok());
+
+  ContainerEntry ce{kernel_->root_container(), gate};
+  Label request(Level::k1, {{c, Level::kStar}, {other.value(), Level::kStar}});
+  EXPECT_EQ(kernel_->sys_gate_invoke(t, ce, request, Label(Level::k2), Label()),
+            Status::kLabelCheckFailed);
+}
+
+TEST_F(GateSecurityTest, VerifyLabelMustBeProvable) {
+  // L_T ⊑ L_V: a thread cannot "prove" ownership it lacks. (The verify label
+  // is how the §6.2 check gate distinguishes the root override.)
+  auto [gate, c] = MakePrivilegedGate(Label(Level::k2));
+  ObjectId t = kernel_->BootstrapThread(Label(), Label(Level::k2), "claimant");
+  Result<CategoryId> claimed = kernel_->sys_cat_create(init_);
+  ASSERT_TRUE(claimed.ok());
+
+  ContainerEntry ce{kernel_->root_container(), gate};
+  Label request = Label().ToHi().Join(Label(Level::k1, {{c, Level::kStar}}).ToHi()).ToStar();
+  // Verify label asserts ownership of `claimed`, which t does not have:
+  Label verify(Level::k1, {{claimed.value(), Level::kStar}});
+  EXPECT_EQ(kernel_->sys_gate_invoke(t, ce, request, Label(Level::k2), verify),
+            Status::kLabelCheckFailed);
+  // With an honest verify label the same call passes.
+  EXPECT_EQ(kernel_->sys_gate_invoke(t, ce, request, Label(Level::k2), Label()), Status::kOk);
+}
+
+TEST_F(GateSecurityTest, ClearanceRequestBoundedByThreadPlusGate) {
+  // C_R ⊑ (C_T ⊔ C_G): a gate with low clearance cannot be used to raise a
+  // thread's clearance beyond the union.
+  Result<CategoryId> c = kernel_->sys_cat_create(init_);
+  ASSERT_TRUE(c.ok());
+  CreateSpec spec;
+  spec.container = kernel_->root_container();
+  spec.descrip = "low-gate";
+  Result<ObjectId> gate = kernel_->sys_gate_create(init_, spec, Label(), Label(Level::k2),
+                                                   "noop", {});
+  ASSERT_TRUE(gate.ok());
+  ObjectId t = kernel_->BootstrapThread(Label(), Label(Level::k2), "climber");
+
+  ContainerEntry ce{kernel_->root_container(), gate.value()};
+  // Request clearance 3 in c: neither the thread (2) nor the gate (2) has it.
+  Label high_clear(Level::k2, {{c.value(), Level::k3}});
+  EXPECT_EQ(kernel_->sys_gate_invoke(t, ce, Label(), high_clear, Label()),
+            Status::kLabelCheckFailed);
+}
+
+TEST_F(GateSecurityTest, ReturnGateRestoresCallerPrivilege) {
+  // §5.5: the caller mints a return gate carrying its own stars, guarded by
+  // a fresh return category r granted across the service call. After the
+  // service gate strips the caller's stars (explicit request), the return
+  // gate — and only the return gate — brings them back.
+  Result<CategoryId> mine = kernel_->sys_cat_create(init_);   // caller's privilege
+  Result<CategoryId> r = kernel_->sys_cat_create(init_);      // return category
+  ASSERT_TRUE(mine.ok() && r.ok());
+
+  CreateSpec spec;
+  spec.container = kernel_->root_container();
+  spec.descrip = "return-gate";
+  Label rlabel(Level::k1, {{mine.value(), Level::kStar}, {r.value(), Level::kStar}});
+  Label rclear(Level::k2, {{r.value(), Level::k0}});  // requires owning r to enter
+  Result<ObjectId> ret = kernel_->sys_gate_create(init_, spec, rlabel, rclear, "noop", {});
+  ASSERT_TRUE(ret.ok());
+  ContainerEntry ret_ce{kernel_->root_container(), ret.value()};
+
+  // The "service" left our thread with r⋆ but none of its old privilege
+  // (the state after an honest service-gate crossing).
+  Label stripped(Level::k1, {{r.value(), Level::kStar}});
+  ObjectId t = kernel_->BootstrapThread(stripped, Label(Level::k2, {{r.value(), Level::k3}}),
+                                        "returning");
+  Label request = stripped.ToHi().Join(rlabel.ToHi()).ToStar();
+  ASSERT_EQ(kernel_->sys_gate_invoke(t, ret_ce, request, Label(Level::k2), stripped),
+            Status::kOk);
+  Result<Label> after = kernel_->sys_self_get_label(t);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().Owns(mine.value()));
+
+  // A thread without r cannot even enter the return gate (clearance r0).
+  ObjectId imposter = kernel_->BootstrapThread(Label(), Label(Level::k2), "imposter");
+  EXPECT_EQ(kernel_->sys_gate_invoke(imposter, ret_ce, request, Label(Level::k2), Label()),
+            Status::kLabelCheckFailed);
+}
+
+TEST_F(GateSecurityTest, GateLabelsReadableOnlyViaUsableEntry) {
+  // Gate labels are immutable creation-time state: whoever can use the
+  // container entry may read them (§3.2) — and nobody else.
+  auto [gate, c] = MakePrivilegedGate(Label(Level::k2));
+  ObjectId t = kernel_->BootstrapThread(Label(), Label(Level::k2), "reader");
+  Result<Label> l =
+      kernel_->sys_obj_get_label(t, ContainerEntry{kernel_->root_container(), gate});
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(l.value().Owns(c));
+
+  // Hide an identical gate inside an unobservable container: the label (and
+  // the gate's existence) disappears with it.
+  Result<CategoryId> hidden_cat = kernel_->sys_cat_create(init_);
+  Label hidden_label(Level::k1, {{hidden_cat.value(), Level::k3}});
+  ObjectId hidden_ct = MakeContainer(hidden_label);
+  CreateSpec spec;
+  spec.container = hidden_ct;
+  spec.descrip = "hidden-gate";
+  Result<ObjectId> hidden_gate = kernel_->sys_gate_create(
+      init_, spec, Label(Level::k1, {{hidden_cat.value(), Level::kStar}}),
+      Label(Level::k2, {{hidden_cat.value(), Level::k3}}), "noop", {});
+  ASSERT_TRUE(hidden_gate.ok());
+  EXPECT_EQ(kernel_->sys_obj_get_label(t, ContainerEntry{hidden_ct, hidden_gate.value()})
+                .status(),
+            Status::kLabelCheckFailed);
+}
+
+}  // namespace
+}  // namespace histar

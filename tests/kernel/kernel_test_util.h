@@ -1,0 +1,80 @@
+// Shared fixture for kernel tests: a kernel with a bootstrap thread bound to
+// the host test thread, plus helpers for the common label patterns.
+#ifndef TESTS_KERNEL_KERNEL_TEST_UTIL_H_
+#define TESTS_KERNEL_KERNEL_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/thread_runner.h"
+
+namespace histar {
+
+class KernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_ = std::make_unique<Kernel>();
+    // The conventional starting point: label {1}, clearance {2}.
+    init_ = kernel_->BootstrapThread(Label(Level::k1), Label(Level::k2), "init");
+    ASSERT_NE(init_, kInvalidObject);
+    CurrentThread::Set(init_);
+  }
+
+  void TearDown() override { CurrentThread::Set(kInvalidObject); }
+
+  // Creates a plain segment of `len` bytes with label `l` in `parent`
+  // (defaults to root), asserting success.
+  ObjectId MakeSegment(const Label& l, uint64_t len, ObjectId parent = kInvalidObject,
+                       ObjectId creator = kInvalidObject) {
+    CreateSpec spec;
+    spec.container = parent == kInvalidObject ? kernel_->root_container() : parent;
+    spec.label = l;
+    spec.descrip = "test-seg";
+    spec.quota = kObjectOverheadBytes + len + kPageSize;
+    Result<ObjectId> r =
+        kernel_->sys_segment_create(creator == kInvalidObject ? init_ : creator, spec, len);
+    EXPECT_TRUE(r.ok()) << StatusName(r.status());
+    return r.ok() ? r.value() : kInvalidObject;
+  }
+
+  // Creates a container with label `l`, asserting success.
+  ObjectId MakeContainer(const Label& l, ObjectId parent = kInvalidObject,
+                         uint64_t quota = 1 << 20, uint32_t avoid = 0,
+                         ObjectId creator = kInvalidObject) {
+    CreateSpec spec;
+    spec.container = parent == kInvalidObject ? kernel_->root_container() : parent;
+    spec.label = l;
+    spec.descrip = "test-ctr";
+    spec.quota = quota;
+    Result<ObjectId> r = kernel_->sys_container_create(
+        creator == kInvalidObject ? init_ : creator, spec, avoid);
+    EXPECT_TRUE(r.ok()) << StatusName(r.status());
+    return r.ok() ? r.value() : kInvalidObject;
+  }
+
+  // Spawns a second kernel thread with the given labels (object only; the
+  // test temporarily binds to it with CurrentThread to act as it).
+  ObjectId MakeThread(const Label& l, const Label& c, ObjectId creator = kInvalidObject) {
+    CreateSpec spec;
+    spec.container = kernel_->root_container();
+    spec.descrip = "test-thread";
+    spec.quota = 128 * kPageSize;
+    Result<ObjectId> r =
+        kernel_->sys_thread_create(creator == kInvalidObject ? init_ : creator, spec, l, c);
+    EXPECT_TRUE(r.ok()) << StatusName(r.status());
+    return r.ok() ? r.value() : kInvalidObject;
+  }
+
+  ContainerEntry RootEntry(ObjectId o) const {
+    return ContainerEntry{kernel_->root_container(), o};
+  }
+
+  std::unique_ptr<Kernel> kernel_;
+  ObjectId init_ = kInvalidObject;
+};
+
+}  // namespace histar
+
+#endif  // TESTS_KERNEL_KERNEL_TEST_UTIL_H_

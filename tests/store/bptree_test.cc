@@ -1,0 +1,176 @@
+// B+-tree unit and property tests (paper §4: fixed-size keys and values).
+#include "src/store/bptree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+namespace histar {
+namespace {
+
+TEST(BPlusTree, InsertFindErase) {
+  BPlusTree<uint64_t, uint64_t> t;
+  EXPECT_TRUE(t.empty());
+  t.Insert(5, 50);
+  t.Insert(3, 30);
+  t.Insert(9, 90);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.Find(5).value(), 50u);
+  EXPECT_EQ(t.Find(3).value(), 30u);
+  EXPECT_FALSE(t.Find(4).has_value());
+  EXPECT_TRUE(t.Erase(3));
+  EXPECT_FALSE(t.Erase(3));
+  EXPECT_FALSE(t.Find(3).has_value());
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(BPlusTree, InsertOverwrites) {
+  BPlusTree<uint64_t, uint64_t> t;
+  t.Insert(1, 10);
+  t.Insert(1, 11);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.Find(1).value(), 11u);
+}
+
+TEST(BPlusTree, FirstGeqFindsCeiling) {
+  BPlusTree<uint64_t, uint64_t> t;
+  for (uint64_t k : {10, 20, 30, 40}) {
+    t.Insert(k, k * 10);
+  }
+  EXPECT_EQ(t.FirstGeq(15)->first, 20u);
+  EXPECT_EQ(t.FirstGeq(20)->first, 20u);
+  EXPECT_EQ(t.FirstGeq(41), std::nullopt);
+  EXPECT_EQ(t.FirstGeq(0)->first, 10u);
+}
+
+TEST(BPlusTree, LastLessFindsFloor) {
+  BPlusTree<uint64_t, uint64_t> t;
+  for (uint64_t k : {10, 20, 30, 40}) {
+    t.Insert(k, k);
+  }
+  EXPECT_EQ(t.LastLess(15)->first, 10u);
+  EXPECT_EQ(t.LastLess(10), std::nullopt);
+  EXPECT_EQ(t.LastLess(100)->first, 40u);
+}
+
+TEST(BPlusTree, SplitsGrowHeight) {
+  BPlusTree<uint64_t, uint64_t, 4> t;  // tiny fanout forces deep trees
+  for (uint64_t i = 0; i < 1000; ++i) {
+    t.Insert(i, i);
+  }
+  EXPECT_GT(t.Height(), 3);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(t.Find(i).value(), i);
+  }
+}
+
+TEST(BPlusTree, Key128LexicographicOrder) {
+  BPlusTree<Key128, uint64_t> t;
+  t.Insert(Key128{1, 100}, 1);
+  t.Insert(Key128{1, 200}, 2);
+  t.Insert(Key128{2, 0}, 3);
+  auto r = t.FirstGeq(Key128{1, 150});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->second, 2u);
+  auto r2 = t.FirstGeq(Key128{1, 201});
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->second, 3u);
+}
+
+TEST(BPlusTree, SerializeRoundTrip) {
+  BPlusTree<uint64_t, Extent> t;
+  for (uint64_t i = 0; i < 500; ++i) {
+    t.Insert(i * 7, Extent{i * 100, i});
+  }
+  std::vector<uint8_t> image;
+  t.Serialize(&image);
+  BPlusTree<uint64_t, Extent> u;
+  size_t consumed = 0;
+  ASSERT_TRUE(u.Deserialize(image.data(), image.size(), &consumed));
+  EXPECT_EQ(consumed, image.size());
+  EXPECT_EQ(u.size(), t.size());
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_EQ(u.Find(i * 7).value(), (Extent{i * 100, i}));
+  }
+}
+
+TEST(BPlusTree, DeserializeRejectsTruncation) {
+  BPlusTree<uint64_t, uint64_t> t;
+  t.Insert(1, 2);
+  std::vector<uint8_t> image;
+  t.Serialize(&image);
+  BPlusTree<uint64_t, uint64_t> u;
+  EXPECT_FALSE(u.Deserialize(image.data(), image.size() - 1, nullptr));
+  EXPECT_FALSE(u.Deserialize(image.data(), 3, nullptr));
+}
+
+// Property sweep: the tree must agree with std::map under random workloads.
+class BPlusTreeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreeProperty, MatchesReferenceMap) {
+  std::mt19937_64 rng(GetParam());
+  BPlusTree<uint64_t, uint64_t, 8> t;
+  std::map<uint64_t, uint64_t> ref;
+  std::uniform_int_distribution<uint64_t> key_dist(0, 500);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t k = key_dist(rng);
+    switch (rng() % 3) {
+      case 0: {
+        uint64_t v = rng();
+        t.Insert(k, v);
+        ref[k] = v;
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(t.Erase(k), ref.erase(k) > 0);
+        break;
+      }
+      default: {
+        auto it = ref.find(k);
+        auto got = t.Find(k);
+        if (it == ref.end()) {
+          EXPECT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          EXPECT_EQ(*got, it->second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(t.size(), ref.size());
+  // Ordered iteration agrees.
+  std::vector<uint64_t> keys;
+  t.ForEach([&](const uint64_t& k, const uint64_t&) { keys.push_back(k); });
+  std::vector<uint64_t> ref_keys;
+  for (const auto& [k, v] : ref) {
+    ref_keys.push_back(k);
+  }
+  EXPECT_EQ(keys, ref_keys);
+  // FirstGeq / LastLess agree at random probes.
+  for (int i = 0; i < 200; ++i) {
+    uint64_t probe = key_dist(rng);
+    auto geq = t.FirstGeq(probe);
+    auto it = ref.lower_bound(probe);
+    if (it == ref.end()) {
+      EXPECT_FALSE(geq.has_value());
+    } else {
+      ASSERT_TRUE(geq.has_value());
+      EXPECT_EQ(geq->first, it->first);
+    }
+    auto less = t.LastLess(probe);
+    auto lit = ref.lower_bound(probe);
+    if (lit == ref.begin()) {
+      EXPECT_FALSE(less.has_value());
+    } else {
+      --lit;
+      ASSERT_TRUE(less.has_value());
+      EXPECT_EQ(less->first, lit->first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeProperty, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace histar

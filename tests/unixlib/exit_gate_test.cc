@@ -1,0 +1,173 @@
+// §5.8 exit declassification: "Currently our Unix library provides
+// untainting gates for up to three operations: process exit, quota
+// adjustment, and file creation. ... Not all categories have untainting
+// gates; whether or not to create one is up to the category's owner."
+//
+// These tests pin down the exit-gate contract: a process that taints itself
+// after launch can report its exit iff the spawner pre-authorized that leak
+// in exactly the right categories — and the gate grants nothing else.
+#include <gtest/gtest.h>
+
+#include "src/unixlib/unix.h"
+
+namespace histar {
+namespace {
+
+class ExitGateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_ = std::make_unique<Kernel>();
+    world_ = UnixWorld::Boot(kernel_.get());
+    ASSERT_NE(world_, nullptr);
+    CurrentThread::Set(world_->init_thread());
+    // A taint category owned by init (the "network i" stand-in).
+    Result<CategoryId> t = kernel_->sys_cat_create(world_->init_thread());
+    ASSERT_TRUE(t.ok());
+    taint_ = t.value();
+  }
+  void TearDown() override { CurrentThread::Set(kInvalidObject); }
+
+  // A program that taints itself in `taint_` at level 2 and exits 7.
+  ProgramFn SelfTaintingProgram() {
+    CategoryId c = taint_;
+    return [c](ProcessContext& ctx) -> int64_t {
+      Result<Label> mine = ctx.kernel->sys_self_get_label(ctx.self);
+      Label l = mine.value();
+      l.set(c, Level::k2);
+      if (ctx.kernel->sys_self_set_label(ctx.self, l) != Status::kOk) {
+        return -100;
+      }
+      return 7;
+    };
+  }
+
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<UnixWorld> world_;
+  CategoryId taint_ = kInvalidCategory;
+};
+
+TEST_F(ExitGateTest, SelfTaintedProcessExitsThroughAuthorizedGate) {
+  world_->procs().RegisterProgram("taintme", SelfTaintingProgram());
+  ProcessOpts opts;
+  opts.exit_untaint = {taint_};
+  Result<std::unique_ptr<ProcHandle>> h =
+      world_->procs().Spawn(world_->init_context(), "taintme", {}, opts);
+  ASSERT_TRUE(h.ok());
+  Result<int64_t> status = h.value()->Wait(world_->init_thread(), 5000);
+  ASSERT_TRUE(status.ok()) << StatusName(status.status());
+  EXPECT_EQ(status.value(), 7);
+}
+
+TEST_F(ExitGateTest, WithoutGateTheExitIsInvisible) {
+  // The default: the spawner authorizes nothing, so the tainted process's
+  // exit write fails and the parent's wait times out. That silence *is* the
+  // security property — not even the one "I exited" bit escapes.
+  world_->procs().RegisterProgram("taintme", SelfTaintingProgram());
+  Result<std::unique_ptr<ProcHandle>> h =
+      world_->procs().Spawn(world_->init_context(), "taintme", {});
+  ASSERT_TRUE(h.ok());
+  Result<int64_t> status = h.value()->Wait(world_->init_thread(), 600);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.status(), Status::kTimedOut);
+}
+
+TEST_F(ExitGateTest, GateInWrongCategoryDoesNotHelp) {
+  // The spawner authorized a *different* category than the one the process
+  // tainted itself with; the declassification must not extend.
+  Result<CategoryId> other = kernel_->sys_cat_create(world_->init_thread());
+  ASSERT_TRUE(other.ok());
+  world_->procs().RegisterProgram("taintme", SelfTaintingProgram());
+  ProcessOpts opts;
+  opts.exit_untaint = {other.value()};
+  Result<std::unique_ptr<ProcHandle>> h =
+      world_->procs().Spawn(world_->init_context(), "taintme", {}, opts);
+  ASSERT_TRUE(h.ok());
+  Result<int64_t> status = h.value()->Wait(world_->init_thread(), 600);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(ExitGateTest, SpawnerCannotAuthorizeCategoriesItDoesNotOwn) {
+  // Gate creation requires L_T ⊑ L_G: listing someone else's category must
+  // fail the spawn outright rather than minting an illegitimate
+  // declassifier.
+  ObjectId stranger = kernel_->BootstrapThread(Label(), Label(Level::k2), "stranger");
+  Result<CategoryId> foreign = kernel_->sys_cat_create(stranger);
+  ASSERT_TRUE(foreign.ok());
+
+  world_->procs().RegisterProgram("noop", [](ProcessContext&) -> int64_t { return 0; });
+  ProcessOpts opts;
+  opts.exit_untaint = {foreign.value()};
+  Result<std::unique_ptr<ProcHandle>> h =
+      world_->procs().Spawn(world_->init_context(), "noop", {}, opts);
+  EXPECT_FALSE(h.ok());
+  EXPECT_EQ(h.status(), Status::kLabelCheckFailed);
+}
+
+TEST_F(ExitGateTest, UntaintedProcessNeedsNoGate) {
+  world_->procs().RegisterProgram("noop", [](ProcessContext&) -> int64_t { return 3; });
+  Result<std::unique_ptr<ProcHandle>> h =
+      world_->procs().Spawn(world_->init_context(), "noop", {});
+  ASSERT_TRUE(h.ok());
+  Result<int64_t> status = h.value()->Wait(world_->init_thread(), 5000);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value(), 3);
+}
+
+TEST_F(ExitGateTest, TaintedAtSpawnExitSegmentCarriesTheTaint) {
+  // Processes tainted at spawn need no exit gate: their exit segment is
+  // labeled with the taint, so the (taint-owning) spawner reads it directly.
+  world_->procs().RegisterProgram("noop", [](ProcessContext&) -> int64_t { return 9; });
+  ProcessOpts opts;
+  opts.taint = Label(Level::k1, {{taint_, Level::k2}});
+  Result<std::unique_ptr<ProcHandle>> h =
+      world_->procs().Spawn(world_->init_context(), "noop", {}, opts);
+  ASSERT_TRUE(h.ok());
+  // The exit segment's label includes the taint — an unrelated thread
+  // cannot even observe the exit status.
+  Result<Label> exit_label = kernel_->sys_obj_get_label(
+      world_->init_thread(), ContainerEntry{h.value()->ids().proc_ct, h.value()->ids().exit_seg});
+  ASSERT_TRUE(exit_label.ok());
+  EXPECT_EQ(exit_label.value().get(taint_), Level::k2);
+  Result<int64_t> status = h.value()->Wait(world_->init_thread(), 5000);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value(), 9);
+
+  ObjectId stranger = kernel_->BootstrapThread(Label(), Label(Level::k2), "stranger");
+  int64_t probe = 0;
+  EXPECT_EQ(kernel_->sys_segment_read(
+                stranger, ContainerEntry{h.value()->ids().proc_ct, h.value()->ids().exit_seg},
+                &probe, 8, 8),
+            Status::kLabelCheckFailed);
+}
+
+TEST_F(ExitGateTest, ExitGateEntryOnlyWritesTheExitRecord) {
+  // Even with the gate present, a malicious tainted program gains nothing
+  // but the exit write: its attempts to use the gate-granted ownership for
+  // anything else happen inside library code it does not control, and after
+  // exit its thread is halted.
+  CategoryId c = taint_;
+  FileSystem* fs = &world_->fs();
+  ObjectId tmp = world_->tmp_dir();
+  world_->procs().RegisterProgram("sneak", [c, fs, tmp](ProcessContext& ctx) -> int64_t {
+    Label l = ctx.kernel->sys_self_get_label(ctx.self).value();
+    l.set(c, Level::k2);
+    ctx.kernel->sys_self_set_label(ctx.self, l);
+    // Tainted: cannot create untainted files...
+    Result<ObjectId> leak = fs->Create(ctx.self, tmp, "leak", Label());
+    EXPECT_FALSE(leak.ok());
+    return 1;
+  });
+  ProcessOpts opts;
+  opts.exit_untaint = {taint_};
+  Result<std::unique_ptr<ProcHandle>> h =
+      world_->procs().Spawn(world_->init_context(), "sneak", {}, opts);
+  ASSERT_TRUE(h.ok());
+  Result<int64_t> status = h.value()->Wait(world_->init_thread(), 5000);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value(), 1);
+  // The thread is halted after exit; the gate cannot be replayed from it.
+  EXPECT_EQ(kernel_->sys_self_get_label(h.value()->ids().thread).status(), Status::kHalted);
+}
+
+}  // namespace
+}  // namespace histar

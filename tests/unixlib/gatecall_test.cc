@@ -1,0 +1,231 @@
+// The §5.5 gate-call scenario, Figure 7's three thread states end to end:
+// a timestamped-signature daemon D, a client P that does not trust D with
+// its input, and the return-gate protocol that launders the taint.
+//
+//  state 1: T_P = {pr⋆, pw⋆, r⋆, 1}            — before the service call
+//  state 2: T_P = {dr⋆, dw⋆, r⋆, t3, 1}        — inside D, tainted t3
+//  state 3: T_P = {pr⋆, pw⋆, r⋆, t⋆, 1}        — back via the return gate
+//
+// The properties pinned here:
+//  * the tainted thread can READ the daemon's state (the signing key) but
+//    cannot MODIFY it — it must work in a tainted copy (the "fork D" move);
+//  * the daemon donates nothing: the client pre-creates a {t3, r0, 1}
+//    container for the tainted work (resource donation, §5.5);
+//  * only the return gate restores ownership — the tainted thread cannot
+//    shed t3 by itself;
+//  * after return, the client owns t and can declassify the signature.
+#include <gtest/gtest.h>
+
+#include "tests/kernel/kernel_test_util.h"
+
+namespace histar {
+namespace {
+
+// Daemon state shared with the gate entries via closure words (the closure
+// stands in for the daemon's address-space pointers).
+struct DaemonWorld {
+  Kernel* kernel = nullptr;
+  ObjectId daemon_ct = kInvalidObject;   // {dr3, dw0, 1}
+  ObjectId key_seg = kInvalidObject;     // the signing key, {dr3, dw0, 1}
+  ObjectId counter_seg = kInvalidObject; // mutable daemon state, {dr3, dw0, 1}
+};
+DaemonWorld* g_world = nullptr;
+
+// The service entry: sign the 8-byte message in the invoker's local segment
+// with key ⊕ counter. Also *try* to bump the daemon's counter — which must
+// fail for tainted invocations and succeed for untainted ones; the outcome
+// is reported back so the test can assert both sides.
+void SignEntry(GateCall& call) {
+  Kernel* k = call.kernel;
+  uint64_t msg = 0;
+  k->sys_self_local_read(call.thread, &msg, 0, 8);
+  uint64_t key = 0;
+  k->sys_segment_read(call.thread, ContainerEntry{g_world->daemon_ct, g_world->key_seg}, &key,
+                      0, 8);
+  uint64_t counter = 0;
+  ContainerEntry counter_ce{g_world->daemon_ct, g_world->counter_seg};
+  k->sys_segment_read(call.thread, counter_ce, &counter, 0, 8);
+
+  uint64_t bumped = counter + 1;
+  Status wr = k->sys_segment_write(call.thread, counter_ce, &bumped, 0, 8);
+
+  uint64_t sig = msg ^ key ^ counter;
+  k->sys_self_local_write(call.thread, &sig, 8, 8);
+  int64_t wr_status = static_cast<int64_t>(wr);
+  k->sys_self_local_write(call.thread, &wr_status, 16, 8);
+}
+
+class GateCallTest : public KernelTest {
+ protected:
+  void SetUp() override {
+    KernelTest::SetUp();
+    kernel_->RegisterGateEntry("ts.sign", SignEntry);
+    kernel_->RegisterGateEntry("noop", [](GateCall&) {});
+
+    // The daemon: its own read/write categories, a private container with
+    // the key and a mutable counter, and the service gate carrying dr⋆/dw⋆.
+    dr_ = kernel_->sys_cat_create(init_).value();
+    dw_ = kernel_->sys_cat_create(init_).value();
+    Label dlabel(Level::k1, {{dr_, Level::k3}, {dw_, Level::k0}});
+    world_.kernel = kernel_.get();
+    world_.daemon_ct = MakeContainer(dlabel);
+    world_.key_seg = MakeSegment(dlabel, 16, world_.daemon_ct);
+    world_.counter_seg = MakeSegment(dlabel, 16, world_.daemon_ct);
+    uint64_t key = 0x5157415a5157415aULL;
+    ASSERT_EQ(kernel_->sys_segment_write(
+                  init_, ContainerEntry{world_.daemon_ct, world_.key_seg}, &key, 0, 8),
+              Status::kOk);
+    g_world = &world_;
+
+    CreateSpec gspec;
+    gspec.container = kernel_->root_container();
+    gspec.descrip = "sign-gate";
+    Label glabel(Level::k1, {{dr_, Level::kStar}, {dw_, Level::kStar}});
+    service_gate_ =
+        kernel_->sys_gate_create(init_, gspec, glabel, Label(Level::k2), "ts.sign", {}).value();
+  }
+  void TearDown() override {
+    g_world = nullptr;
+    KernelTest::TearDown();
+  }
+
+  CategoryId dr_ = kInvalidCategory;
+  CategoryId dw_ = kInvalidCategory;
+  DaemonWorld world_;
+  ObjectId service_gate_ = kInvalidObject;
+};
+
+TEST_F(GateCallTest, Figure7TaintedCallRoundTrip) {
+  // The client process: its own pr/pw, plus the fresh return and taint
+  // categories of §5.5.
+  CategoryId pr = kernel_->sys_cat_create(init_).value();
+  CategoryId pw = kernel_->sys_cat_create(init_).value();
+  CategoryId r = kernel_->sys_cat_create(init_).value();
+  CategoryId t = kernel_->sys_cat_create(init_).value();
+  Label client_label(Level::k1, {{pr, Level::kStar}, {pw, Level::kStar}, {r, Level::kStar},
+                                 {t, Level::kStar}});
+  Label client_clear(Level::k2, {{pr, Level::k3}, {pw, Level::k3}, {r, Level::k3},
+                                 {t, Level::k3}});
+  ObjectId tp = kernel_->BootstrapThread(client_label, client_clear, "Tp");
+
+  // Resource donation: a container the tainted thread will be able to write
+  // ({t3, r0, 1}) — creating it requires owning t AND r, which the client
+  // does; nothing inside the daemon must be writable.
+  Label donation_label(Level::k1, {{t, Level::k3}, {r, Level::k0}});
+  CreateSpec dspec;
+  dspec.container = kernel_->root_container();
+  dspec.label = donation_label;
+  dspec.descrip = "donated";
+  dspec.quota = 1 << 16;
+  Result<ObjectId> donated = kernel_->sys_container_create(tp, dspec, 0);
+  ASSERT_TRUE(donated.ok()) << StatusName(donated.status());
+
+  // The return gate: carries the client's full privilege, enterable only
+  // with ownership of r (clearance r0) — and with clearance t3, since the
+  // caller will arrive still tainted in its own t.
+  CreateSpec rspec;
+  rspec.container = kernel_->root_container();
+  rspec.descrip = "return-gate";
+  Label rclear(Level::k2, {{r, Level::k0}, {t, Level::k3}});
+  Result<ObjectId> ret =
+      kernel_->sys_gate_create(tp, rspec, client_label, rclear, "noop", {});
+  ASSERT_TRUE(ret.ok());
+
+  // State 1 → 2: invoke the service gate *requesting* taint t3 and the
+  // daemon's categories, shedding pr/pw (the client does not trust D with
+  // them) but keeping r⋆ to come home with.
+  uint64_t msg = 0x6d657373616765ULL;
+  ASSERT_EQ(kernel_->sys_self_local_write(tp, &msg, 0, 8), Status::kOk);
+  Label state2(Level::k1, {{dr_, Level::kStar}, {dw_, Level::kStar}, {r, Level::kStar},
+                           {t, Level::k3}});
+  ASSERT_EQ(kernel_->sys_gate_invoke(tp, ContainerEntry{kernel_->root_container(),
+                                                        service_gate_},
+                                     state2, client_clear, client_label),
+            Status::kOk);
+
+  // Inside D the entry ran with state 2. It could read the key, but its
+  // write to the daemon's counter bounced off the t3 taint:
+  int64_t wr_status = 0;
+  ASSERT_EQ(kernel_->sys_self_local_read(tp, &wr_status, 16, 8), Status::kOk);
+  EXPECT_EQ(static_cast<Status>(wr_status), Status::kLabelCheckFailed);
+
+  // ...but it can work in the donated container (tainted fork of D).
+  CreateSpec cspec;
+  cspec.container = donated.value();
+  cspec.label = Label(Level::k1, {{t, Level::k3}});
+  cspec.descrip = "fork-scratch";
+  cspec.quota = kObjectOverheadBytes + kPageSize;
+  EXPECT_TRUE(kernel_->sys_segment_create(tp, cspec, 64).ok());
+
+  // Still in state 2, the thread cannot shed t3 by itself:
+  EXPECT_EQ(kernel_->sys_self_set_label(tp, client_label), Status::kLabelCheckFailed);
+  // ...and cannot write anything untainted (the whole point of t):
+  CreateSpec leak;
+  leak.container = kernel_->root_container();
+  leak.descrip = "leak";
+  EXPECT_EQ(kernel_->sys_segment_create(tp, leak, 16).status(), Status::kLabelCheckFailed);
+
+  // State 2 → 3: home through the return gate (allowed: it owns r), which
+  // restores pr/pw/t ownership. The floor keeps nothing above it since the
+  // return gate's label owns t? No — t⋆ comes from the *gate*, dr/dw taint
+  // none, so the request below is exactly the floor.
+  Label mine = kernel_->sys_self_get_label(tp).value();
+  Result<Label> rlabel = kernel_->sys_obj_get_label(
+      tp, ContainerEntry{kernel_->root_container(), ret.value()});
+  ASSERT_TRUE(rlabel.ok());
+  Label state3 = mine.ToHi().Join(rlabel.value().ToHi()).ToStar();
+  ASSERT_EQ(kernel_->sys_gate_invoke(tp, ContainerEntry{kernel_->root_container(), ret.value()},
+                                     state3, client_clear, mine),
+            Status::kOk);
+  Label after = kernel_->sys_self_get_label(tp).value();
+  EXPECT_TRUE(after.Owns(pr));
+  EXPECT_TRUE(after.Owns(pw));
+  EXPECT_TRUE(after.Owns(t));  // regained: the signature can be declassified
+
+  // The signature round-tripped and verifies against the daemon's key.
+  uint64_t sig = 0;
+  ASSERT_EQ(kernel_->sys_self_local_read(tp, &sig, 8, 8), Status::kOk);
+  EXPECT_EQ(sig, msg ^ 0x5157415a5157415aULL ^ 0u);
+
+  // Owning t again, the client can copy the result somewhere untainted.
+  CreateSpec pub;
+  pub.container = kernel_->root_container();
+  pub.descrip = "published-sig";
+  Result<ObjectId> out = kernel_->sys_segment_create(tp, pub, 16);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(kernel_->sys_segment_write(
+                tp, ContainerEntry{kernel_->root_container(), out.value()}, &sig, 0, 8),
+            Status::kOk);
+
+  // Meanwhile the daemon's counter is untouched by the whole episode.
+  uint64_t counter = 0;
+  ASSERT_EQ(kernel_->sys_segment_read(
+                init_, ContainerEntry{world_.daemon_ct, world_.counter_seg}, &counter, 0, 8),
+            Status::kOk);
+  EXPECT_EQ(counter, 0u);
+}
+
+TEST_F(GateCallTest, UntaintedCallMayMutateTheDaemon) {
+  // The contrast case: a caller that does not taint itself lets the daemon
+  // code update its own state (stateful services refuse tainted calls and
+  // serve untainted ones in place, §5.5's last paragraph).
+  ObjectId caller = kernel_->BootstrapThread(Label(), Label(Level::k2), "plain");
+  uint64_t msg = 42;
+  ASSERT_EQ(kernel_->sys_self_local_write(caller, &msg, 0, 8), Status::kOk);
+  Label request(Level::k1, {{dr_, Level::kStar}, {dw_, Level::kStar}});
+  ASSERT_EQ(kernel_->sys_gate_invoke(caller,
+                                     ContainerEntry{kernel_->root_container(), service_gate_},
+                                     request, Label(Level::k2), Label()),
+            Status::kOk);
+  int64_t wr_status = -1;
+  ASSERT_EQ(kernel_->sys_self_local_read(caller, &wr_status, 16, 8), Status::kOk);
+  EXPECT_EQ(static_cast<Status>(wr_status), Status::kOk);
+  uint64_t counter = 0;
+  ASSERT_EQ(kernel_->sys_segment_read(
+                init_, ContainerEntry{world_.daemon_ct, world_.counter_seg}, &counter, 0, 8),
+            Status::kOk);
+  EXPECT_EQ(counter, 1u);
+}
+
+}  // namespace
+}  // namespace histar
