@@ -1,0 +1,29 @@
+#include "src/core/label_memo.h"
+
+namespace histar {
+
+Label GateFloorMemo::Floor(const Label& thread_label, const Label& gate_label) {
+  Key key{thread_label, gate_label};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = floors_.find(key);
+  if (it != floors_.end()) {
+    return it->second;
+  }
+  if (floors_.size() >= kMaxEntries) {
+    floors_.clear();
+  }
+  Label floor = thread_label.ToHi().Join(gate_label.ToHi()).ToStar();
+  return floors_.emplace(std::move(key), std::move(floor)).first->second;
+}
+
+GateFloorMemo& GateFloorMemo::Global() {
+  static GateFloorMemo memo;
+  return memo;
+}
+
+size_t GateFloorMemo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return floors_.size();
+}
+
+}  // namespace histar

@@ -1,0 +1,71 @@
+// User-level label interning (paper §3.5, §6.2).
+//
+// The kernel's LabelRegistry memoizes checks on its side of the syscall
+// boundary, but library code (unixlib, auth, netd) still used to rebuild the
+// gate-crossing request label (L_T^J ⊔ L_G^J)^⋆ — three allocations and a
+// merge walk — on every single gate call. Thread and gate labels barely ever
+// change between calls, so the floor is memoized here once per distinct
+// (thread label, gate label) pair and handed back by reference.
+//
+// This is untrusted library state: it affects only how fast user code can
+// compute the label it asks for; the kernel re-validates every request.
+#ifndef SRC_CORE_LABEL_MEMO_H_
+#define SRC_CORE_LABEL_MEMO_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "src/core/label.h"
+
+namespace histar {
+
+class GateFloorMemo {
+ public:
+  GateFloorMemo() = default;
+  GateFloorMemo(const GateFloorMemo&) = delete;
+  GateFloorMemo& operator=(const GateFloorMemo&) = delete;
+
+  // (thread_label^J ⊔ gate_label^J)^⋆ — computed once per distinct pair.
+  // Returned by value: the memo is bounded (see kMaxEntries) and flushes
+  // wholesale when full, so handing out references would dangle. A copy of
+  // a small label is far cheaper than the two shifts and the merge walk
+  // this avoids.
+  Label Floor(const Label& thread_label, const Label& gate_label);
+
+  // Long-lived daemons see a fresh caller taint per session (logins mint
+  // new categories), so an unbounded memo would leak an entry per client
+  // forever. Past this many entries the memo drops everything and rebuilds;
+  // recomputation is cheap and the working set at any instant is small.
+  static constexpr size_t kMaxEntries = 4096;
+
+  // Process-wide instance shared by unixlib, auth and netd (the moral
+  // equivalent of one libc per address space).
+  static GateFloorMemo& Global();
+
+  size_t size() const;
+
+ private:
+  struct Key {
+    Label thread_label;
+    Label gate_label;
+    bool operator==(const Key& o) const {
+      return thread_label == o.thread_label && gate_label == o.gate_label;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      size_t h = k.thread_label.Hash();
+      return h ^ (k.gate_label.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    }
+  };
+
+  mutable std::mutex mu_;
+  // unordered_map mapped-value references are stable across rehash, which is
+  // what lets Floor return a reference without holding mu_.
+  std::unordered_map<Key, Label, KeyHash> floors_;
+};
+
+}  // namespace histar
+
+#endif  // SRC_CORE_LABEL_MEMO_H_

@@ -1,0 +1,173 @@
+#include "src/core/label_registry.h"
+
+#include <mutex>
+
+namespace histar {
+
+namespace {
+
+size_t FloorLog2(size_t v) {
+  size_t bits = 0;
+  while ((size_t{1} << (bits + 1)) <= v) {
+    ++bits;
+  }
+  return bits;
+}
+
+size_t ClampShardCount(size_t requested) {
+  if (requested < 1) {
+    return 1;
+  }
+  if (requested > LabelRegistry::kMaxShardCount) {
+    requested = LabelRegistry::kMaxShardCount;
+  }
+  // Round down to a power of two so shard selection is a mask.
+  return size_t{1} << FloorLog2(requested);
+}
+
+}  // namespace
+
+LabelRegistry::LabelRegistry(size_t shard_count)
+    : shard_count_(ClampShardCount(shard_count)),
+      shard_bits_(FloorLog2(shard_count_)) {
+  intern_shards_.reserve(shard_count_);
+  result_shards_.reserve(shard_count_);
+  for (size_t i = 0; i < shard_count_; ++i) {
+    intern_shards_.push_back(std::make_unique<InternShard>());
+    result_shards_.push_back(std::make_unique<ResultShard>());
+  }
+}
+
+LabelId LabelRegistry::Intern(const Label& l) {
+  size_t shard_index = l.Hash() & (shard_count_ - 1);
+  InternShard& shard = *intern_shards_[shard_index];
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.ids.find(l);
+    if (it != shard.ids.end()) {
+      return it->second;
+    }
+  }
+  // Precompute the shifted variants before taking the writer lock: the two
+  // O(entries) walks would otherwise stall every reader hashing to this
+  // shard. A losing race just discards the work below.
+  Label hi = l.ToHi();
+  Label star = l.ToStar();
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.ids.find(l);
+  if (it != shard.ids.end()) {
+    return it->second;
+  }
+  LabelId id = MakeId(shard_index, shard.entries.size());
+  shard.entries.emplace_back(l, std::move(hi), std::move(star));
+  shard.ids.emplace(l, id);
+  return id;
+}
+
+const LabelRegistry::Entry& LabelRegistry::EntryOf(LabelId id) const {
+  const InternShard& shard = *intern_shards_[ShardOf(id)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  // Entries are append-only and deque elements have stable addresses, so the
+  // reference outlives the lock.
+  return shard.entries[SlotOf(id)];
+}
+
+const Label& LabelRegistry::Get(LabelId id) const { return EntryOf(id).label; }
+
+const Label& LabelRegistry::GetHi(LabelId id) const { return EntryOf(id).hi; }
+
+const Label& LabelRegistry::GetStar(LabelId id) const { return EntryOf(id).star; }
+
+LabelId LabelRegistry::HiOf(LabelId id) {
+  const Entry& e = EntryOf(id);
+  LabelId hi = e.hi_id.load(std::memory_order_acquire);
+  if (hi != kInvalidLabelId) {
+    return hi;
+  }
+  // Intern is idempotent, so a race here converges on the same id.
+  hi = Intern(e.hi);
+  e.hi_id.store(hi, std::memory_order_release);
+  return hi;
+}
+
+LabelId LabelRegistry::StarOf(LabelId id) {
+  const Entry& e = EntryOf(id);
+  LabelId star = e.star_id.load(std::memory_order_acquire);
+  if (star != kInvalidLabelId) {
+    return star;
+  }
+  star = Intern(e.star);
+  e.star_id.store(star, std::memory_order_release);
+  return star;
+}
+
+bool LabelRegistry::Leq(LabelId id1, LabelId id2) {
+  if (id1 == id2) {
+    return true;  // reflexivity: free, no memo traffic
+  }
+  if (!enabled()) {
+    return Get(id1).Leq(Get(id2));
+  }
+  uint64_t key = PairKey(id1, id2);
+  ResultShard& shard = ResultShardFor(key);
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.leq.find(key);
+    if (it != shard.leq.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  bool r = Get(id1).Leq(Get(id2));
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.leq.emplace(key, r);
+  }
+  return r;
+}
+
+LabelId LabelRegistry::Join(LabelId id1, LabelId id2) {
+  if (id1 == id2) {
+    return id1;  // idempotence
+  }
+  // ⊔ is commutative; canonicalize the key so both orders share one memo slot.
+  LabelId a = id1 < id2 ? id1 : id2;
+  LabelId b = id1 < id2 ? id2 : id1;
+  uint64_t key = PairKey(a, b);
+  if (enabled()) {
+    ResultShard& shard = ResultShardFor(key);
+    {
+      std::shared_lock<std::shared_mutex> lock(shard.mu);
+      auto it = shard.join.find(key);
+      if (it != shard.join.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    LabelId joined = Intern(Get(a).Join(Get(b)));
+    {
+      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      shard.join.emplace(key, joined);
+    }
+    return joined;
+  }
+  return Intern(Get(a).Join(Get(b)));
+}
+
+void LabelRegistry::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+size_t LabelRegistry::size() const {
+  size_t n = 0;
+  for (const auto& shard : intern_shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    n += shard->entries.size();
+  }
+  return n;
+}
+
+}  // namespace histar

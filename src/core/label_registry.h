@@ -1,0 +1,155 @@
+// Interned immutable labels behind every kernel IFC check (paper §4).
+//
+// HiStar's key label optimization is that object labels are immutable after
+// creation, so the kernel can cache the result of every ⊑ comparison between
+// label pairs. The registry takes that one step further than a comparison
+// cache: every distinct label is interned exactly once and named by a small
+// dense LabelId handle; the canonical Label, its precomputed ToHi (⋆ → J)
+// and ToStar (J → ⋆) variants all live in the registry, so hot-path checks
+// never allocate a shifted label — they look up the id of the shifted form.
+//
+// Concurrency: everything is sharded. The intern table is split into
+// kShardCount shards by label hash; Leq/Join memo tables are split by key
+// hash. Each shard is guarded by its own shared_mutex (readers concurrent,
+// writers exclusive), so concurrent label checks on different label pairs
+// never serialize on one kernel-wide lock the way the old LabelCache's
+// single std::mutex did.
+//
+// Ids are volatile: they are assigned in intern order, are never persisted,
+// and are rebuilt from the serialized labels on recovery (kernel_persist.cc),
+// exactly as the real kernel's in-memory comparison cache is discarded
+// across reboots.
+#ifndef SRC_CORE_LABEL_REGISTRY_H_
+#define SRC_CORE_LABEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/label.h"
+
+namespace histar {
+
+// Handle to an interned label. 0 is never handed out; it marks "no label".
+using LabelId = uint32_t;
+inline constexpr LabelId kInvalidLabelId = 0;
+
+class LabelRegistry {
+ public:
+  // Shard counts must be powers of two; ids embed the shard index in their
+  // low bits. 16 shards keeps per-shard contention negligible at the thread
+  // counts the simulator runs while costing ~nothing at one thread.
+  static constexpr size_t kDefaultShardCount = 16;
+  static constexpr size_t kMaxShardCount = 64;
+
+  explicit LabelRegistry(size_t shard_count = kDefaultShardCount);
+  LabelRegistry(const LabelRegistry&) = delete;
+  LabelRegistry& operator=(const LabelRegistry&) = delete;
+
+  // Interns `l`, returning its stable id. Structurally equal labels always
+  // yield the same id — that identity is what makes pair-memoization sound.
+  LabelId Intern(const Label& l);
+
+  // Canonical label for an interned id. The reference stays valid for the
+  // registry's lifetime (entries are never removed or moved).
+  const Label& Get(LabelId id) const;
+
+  // Precomputed shifted variants. GetHi/GetStar return the label; HiOf and
+  // StarOf return the (lazily interned) id of the shifted form, so a check
+  // like L_O ⊑ L_T^J is Leq(o, HiOf(t)) — no allocation, fully memoized.
+  const Label& GetHi(LabelId id) const;
+  const Label& GetStar(LabelId id) const;
+  LabelId HiOf(LabelId id);
+  LabelId StarOf(LabelId id);
+
+  // Memoized id1 ⊑ id2. Falls back to a direct comparison when disabled
+  // (the ablation bench toggles this to measure the win).
+  bool Leq(LabelId id1, LabelId id2);
+
+  // Non-interning comparisons for validating caller-supplied labels at the
+  // syscall boundary. These create no registry entry and no memo slot, so a
+  // failed syscall allocates nothing — otherwise rejected labels would be a
+  // quota-free unbounded-memory channel (callers intern only after every
+  // check passes). Not memoized: by definition one side has no identity yet.
+  bool LeqWith(LabelId a, const Label& b) const { return Get(a).Leq(b); }
+  bool LeqOf(const Label& a, LabelId b) const { return a.Leq(Get(b)); }
+  static bool LeqDirect(const Label& a, const Label& b) { return a.Leq(b); }
+
+  // Memoized ⊔; the result is itself interned. Gate invocation computes
+  // (L_T^J ⊔ L_G^J)^⋆ per crossing, which this turns into two id lookups
+  // after the first.
+  LabelId Join(LabelId id1, LabelId id2);
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  void ResetStats();
+
+  // Number of distinct labels interned so far.
+  size_t size() const;
+  size_t shard_count() const { return shard_count_; }
+
+ private:
+  struct Entry {
+    Label label;
+    Label hi;    // label.ToHi(), precomputed at intern time
+    Label star;  // label.ToStar(), precomputed at intern time
+    mutable std::atomic<LabelId> hi_id{kInvalidLabelId};    // lazily interned
+    mutable std::atomic<LabelId> star_id{kInvalidLabelId};  // lazily interned
+
+    Entry(Label l, Label h, Label s)
+        : label(std::move(l)), hi(std::move(h)), star(std::move(s)) {}
+  };
+
+  struct InternShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Label, LabelId, LabelHash> ids;
+    // Deque: stable element addresses under push_back, indexable by slot.
+    std::deque<Entry> entries;
+  };
+
+  struct ResultShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<uint64_t, bool> leq;
+    std::unordered_map<uint64_t, LabelId> join;
+  };
+
+  // id = ((slot + 1) << shard_bits) | shard, so id 0 is never produced.
+  LabelId MakeId(size_t shard, size_t slot) const {
+    return static_cast<LabelId>(((slot + 1) << shard_bits_) | shard);
+  }
+  size_t ShardOf(LabelId id) const { return id & (shard_count_ - 1); }
+  size_t SlotOf(LabelId id) const { return (id >> shard_bits_) - 1; }
+
+  const Entry& EntryOf(LabelId id) const;
+
+  static uint64_t PairKey(LabelId a, LabelId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+  ResultShard& ResultShardFor(uint64_t key) {
+    // Splittable 64-bit mix so adjacent id pairs spread across shards.
+    uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return *result_shards_[h & (shard_count_ - 1)];
+  }
+
+  const size_t shard_count_;
+  const size_t shard_bits_;
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+
+  std::vector<std::unique_ptr<InternShard>> intern_shards_;
+  std::vector<std::unique_ptr<ResultShard>> result_shards_;
+};
+
+}  // namespace histar
+
+#endif  // SRC_CORE_LABEL_REGISTRY_H_

@@ -32,11 +32,11 @@ Kernel::Kernel() {
   // parent" is labeled {3} in the paper; we model that by making the parent
   // id invalid and refusing get_parent on the root.
   Result<ObjectId> id = AllocObjectId();
-  auto root = std::make_unique<Container>(id.value(), Label(Level::k1), 0, kInvalidObject);
+  auto root = std::make_unique<Container>(id.value(), registry_.Intern(Label(Level::k1)), 0,
+                                          kInvalidObject);
   root->set_quota_internal(kQuotaInfinite);
   root->set_descrip_internal("root");
   root->add_link_internal();  // permanent anchor link
-  InternLabels(root.get());
   root_ = root->id();
   InsertObject(std::move(root));
 }
@@ -56,10 +56,10 @@ ObjectId Kernel::BootstrapThread(const Label& label, const Label& clearance,
     return kInvalidObject;
   }
   Result<ObjectId> id = AllocObjectId();
-  auto t = std::make_unique<Thread>(id.value(), label, clearance);
+  auto t = std::make_unique<Thread>(id.value(), registry_.Intern(label),
+                                    registry_.Intern(clearance));
   t->set_quota_internal(64 * kPageSize);
   t->set_descrip_internal(descrip);
-  InternThreadLabels(t.get());
   Thread* raw = t.get();
   InsertObject(std::move(t));
   LinkInto(d, raw);
@@ -72,10 +72,9 @@ ObjectId Kernel::BootstrapDevice(DeviceKind kind, const Label& label,
   std::lock_guard<std::mutex> lock(mu_);
   Container* d = GetContainer(root_);
   Result<ObjectId> id = AllocObjectId();
-  auto dev = std::make_unique<Device>(id.value(), label, kind);
+  auto dev = std::make_unique<Device>(id.value(), registry_.Intern(label), kind);
   dev->set_quota_internal(64 * kPageSize);
   dev->set_descrip_internal(descrip);
-  InternLabels(dev.get());
   Device* raw = dev.get();
   InsertObject(std::move(dev));
   LinkInto(d, raw);
@@ -127,34 +126,17 @@ Container* Kernel::GetContainer(ObjectId id) const {
                                                                : nullptr;
 }
 
-void Kernel::InternLabels(Object* o) {
-  o->set_label_intern(label_cache_.Intern(o->label()));
-  o->set_label_hi_intern(label_cache_.Intern(o->label().ToHi()));
-}
-
-void Kernel::InternThreadLabels(Thread* t) {
-  InternLabels(t);
-  t->set_clearance_intern(label_cache_.Intern(t->clearance()));
-}
-
-bool Kernel::LeqCached(uint32_t id1, const Label& l1, uint32_t id2, const Label& l2) {
-  if (id1 != 0 && id2 != 0) {
-    return label_cache_.CachedLeq(id1, l1, id2, l2);
-  }
-  return l1.Leq(l2);
-}
-
 bool Kernel::CanObserve(const Thread& t, const Object& o) {
   // L_O ⊑ L_T^J. (Thread labels as observed objects are handled by the
   // caller where the §3.2 special rule applies; for alerts and similar the
-  // plain rule is correct.)
-  return LeqCached(o.label_intern(), o.label(), t.label_hi_intern(), t.label().ToHi());
+  // plain rule is correct.) The raised form of the thread label is a
+  // precomputed id — no shifted label is built per check.
+  return registry_.Leq(o.label_id(), registry_.HiOf(t.label_id()));
 }
 
 bool Kernel::CanModifyLabels(const Thread& t, const Object& o) {
   // L_T ⊑ L_O ⊑ L_T^J — modification implies observation.
-  return LeqCached(t.label_intern(), t.label(), o.label_intern(), o.label()) &&
-         CanObserve(t, o);
+  return registry_.Leq(t.label_id(), o.label_id()) && CanObserve(t, o);
 }
 
 Status Kernel::CheckModify(const Thread& t, const Object& o) {
@@ -192,7 +174,7 @@ Result<Object*> Kernel::ResolveEntry(const Thread& t, ContainerEntry ce) {
 }
 
 Result<Container*> Kernel::CheckCreate(const Thread& t, ObjectId d_id, const Label& l,
-                                       ObjectType type, uint64_t quota) {
+                                       ObjectType type, uint64_t quota, LabelId* out_lid) {
   Container* d = GetContainer(d_id);
   if (d == nullptr) {
     return Status::kNotFound;
@@ -202,8 +184,10 @@ Result<Container*> Kernel::CheckCreate(const Thread& t, ObjectId d_id, const Lab
   if (ms != Status::kOk) {
     return ms;
   }
-  // ...a label within the creator's range L_T ⊑ L ⊑ C_T...
-  if (!t.label().Leq(l) || !l.Leq(t.clearance())) {
+  // ...a label within the creator's range L_T ⊑ L ⊑ C_T. Validated without
+  // interning: `l` is caller-supplied and gets a registry entry only after
+  // every check passes, so rejected creations cannot grow kernel state.
+  if (!registry_.LeqWith(t.label_id(), l) || !registry_.LeqOf(l, t.clearance_id())) {
     return Status::kLabelCheckFailed;
   }
   // Object labels other than gates' may not contain ⋆ (Figure 3).
@@ -221,6 +205,7 @@ Result<Container*> Kernel::CheckCreate(const Thread& t, ObjectId d_id, const Lab
   if (quota != kQuotaInfinite && ContainerFree(*d) < quota) {
     return Status::kQuotaExceeded;
   }
+  *out_lid = registry_.Intern(l);
   return d;
 }
 
@@ -338,18 +323,18 @@ Result<ObjectId> Kernel::sys_container_create(ObjectId self, const CreateSpec& s
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
   }
+  LabelId lid = kInvalidLabelId;
   Result<Container*> d = CheckCreate(*t, spec.container, spec.label, ObjectType::kContainer,
-                                     spec.quota);
+                                     spec.quota, &lid);
   if (!d.ok()) {
     return d.status();
   }
   Result<ObjectId> id = AllocObjectId();
   // avoid_types restrictions are inherited by all descendants.
   uint32_t avoid = avoid_types | d.value()->avoid_types();
-  auto c = std::make_unique<Container>(id.value(), spec.label, avoid, spec.container);
+  auto c = std::make_unique<Container>(id.value(), lid, avoid, spec.container);
   c->set_quota_internal(spec.quota);
   c->set_descrip_internal(spec.descrip);
-  InternLabels(c.get());
   Container* raw = c.get();
   InsertObject(std::move(c));
   Status ls = LinkInto(d.value(), raw);
@@ -455,7 +440,7 @@ Status Kernel::sys_container_link(ObjectId self, ObjectId container, ContainerEn
   }
   // Hard-linking prolongs the object's life; the creator must have clearance
   // to allocate at the object's label (L_S ⊑ C_T, §3.2)...
-  if (!o.value()->label().Leq(t->clearance())) {
+  if (!registry_.Leq(o.value()->label_id(), t->clearance_id())) {
     return Status::kLabelCheckFailed;
   }
   // ...and the object's quota must be frozen first (§3.3).
@@ -514,13 +499,14 @@ Result<Label> Kernel::sys_obj_get_label(ObjectId self, ContainerEntry ce) {
   }
   if (o.value()->type() == ObjectType::kThread) {
     // Thread labels are mutable, so being able to use the entry is not
-    // enough: §3.2 requires L_T'^J ⊑ L_T^J.
+    // enough: §3.2 requires L_T'^J ⊑ L_T^J. Both raised forms are
+    // precomputed registry ids, so this is one memoized probe.
     const Thread* other = static_cast<const Thread*>(o.value());
-    if (!other->label().ToHi().Leq(t->label().ToHi())) {
+    if (!registry_.Leq(registry_.HiOf(other->label_id()), registry_.HiOf(t->label_id()))) {
       return Status::kLabelCheckFailed;
     }
   }
-  return o.value()->label();
+  return LabelOf(*o.value());
 }
 
 Result<std::string> Kernel::sys_obj_get_descrip(ObjectId self, ContainerEntry ce) {
@@ -660,7 +646,8 @@ Status Kernel::sys_quota_move(ObjectId self, ObjectId d_id, ObjectId o_id, int64
   if (o == nullptr) {
     return Status::kNotFound;
   }
-  if (!t->label().Leq(o->label()) || !o->label().Leq(t->clearance())) {
+  if (!registry_.Leq(t->label_id(), o->label_id()) ||
+      !registry_.Leq(o->label_id(), t->clearance_id())) {
     return Status::kLabelCheckFailed;
   }
   if (o->fixed_quota()) {

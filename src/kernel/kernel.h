@@ -28,7 +28,7 @@
 
 #include "src/core/category.h"
 #include "src/core/label.h"
-#include "src/core/label_cache.h"
+#include "src/core/label_registry.h"
 #include "src/core/status.h"
 #include "src/kernel/object.h"
 #include "src/kernel/types.h"
@@ -81,8 +81,16 @@ class Kernel {
   void RegisterGateEntry(const std::string& name, GateEntryFn fn);
   bool HasGateEntry(const std::string& name) const;
 
-  LabelCache& label_cache() { return label_cache_; }
+  // The registry owning every canonical label in this kernel. Exposed for
+  // the ablation bench (enable/disable, stats) and for tests.
+  LabelRegistry& label_registry() { return registry_; }
   CategoryAllocator& category_allocator() { return cat_alloc_; }
+
+  // Resolves an object's / thread's / gate's label handle to the canonical
+  // immutable Label held by the registry.
+  const Label& LabelOf(const Object& o) const { return registry_.Get(o.label_id()); }
+  const Label& ClearanceOf(const Thread& t) const { return registry_.Get(t.clearance_id()); }
+  const Label& ClearanceOf(const Gate& g) const { return registry_.Get(g.clearance_id()); }
 
   // ---- Syscall counters (the fork/exec analysis in §7.1 is stated in
   //      syscalls, so counting is first-class) --------------------------------
@@ -260,15 +268,10 @@ class Kernel {
   Thread* GetThread(ObjectId id) const;
   Container* GetContainer(ObjectId id) const;
 
-  // Interns the label (and its ToHi form) into the cache, stamping the ids
-  // onto the object.
-  void InternLabels(Object* o);
-  void InternThreadLabels(Thread* t);
-
-  bool LeqCached(uint32_t id1, const Label& l1, uint32_t id2, const Label& l2);
-
   // L_O ⊑ L_T^J — with the thread-label special case from §3.2: reading the
-  // label of another *thread* requires L_T'^J ⊑ L_T^J instead.
+  // label of another *thread* requires L_T'^J ⊑ L_T^J instead. All three
+  // route through the registry's memoized id-pair comparisons; no label is
+  // materialized or shifted per check.
   bool CanObserve(const Thread& t, const Object& o);
   bool CanModifyLabels(const Thread& t, const Object& o);  // label rules only
   Status CheckModify(const Thread& t, const Object& o);    // adds immutable check
@@ -276,10 +279,12 @@ class Kernel {
   // Validates the container entry ⟨D,O⟩ for thread t per §3.2 and returns O.
   Result<Object*> ResolveEntry(const Thread& t, ContainerEntry ce);
 
-  // Checks the creation rule into container D with label L; on success
-  // returns the container. Charges happen in LinkInto.
+  // Checks the creation rule into container D with label `l`; on success
+  // interns the label into `*out_lid` and returns the container. Validation
+  // uses non-interning comparisons so a rejected creation allocates no
+  // registry state. Charges happen in LinkInto.
   Result<Container*> CheckCreate(const Thread& t, ObjectId d, const Label& l,
-                                 ObjectType type, uint64_t quota);
+                                 ObjectType type, uint64_t quota, LabelId* out_lid);
 
   // Links obj into d, charging d's usage. Assumes all checks done.
   Status LinkInto(Container* d, Object* obj);
@@ -309,7 +314,8 @@ class Kernel {
 
   CategoryAllocator cat_alloc_;
   CategoryAllocator objid_alloc_{0x4f424a4944ULL /* "OBJID" */};
-  LabelCache label_cache_;
+  // Sharded and internally synchronized: label checks do not rely on mu_.
+  mutable LabelRegistry registry_;
 
   std::unordered_map<std::string, GateEntryFn> gate_entries_;
   mutable std::mutex gate_entries_mu_;

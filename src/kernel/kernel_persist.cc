@@ -119,7 +119,10 @@ bool Kernel::SerializeObject(ObjectId id, std::vector<uint8_t>* out) const {
   PutU8(out, static_cast<uint8_t>(o->type()));
   PutU64(out, o->id());
   PutU64(out, o->creation_seq());
-  PutLabel(out, o->label());
+  // Objects hold registry handles; the canonical label bytes come from the
+  // registry. LabelIds themselves are volatile and never written to disk —
+  // restore re-interns and rebuilds them (see FinishRestore).
+  PutLabel(out, LabelOf(*o));
   PutU64(out, o->quota());
   PutU8(out, o->fixed_quota() ? 1 : 0);
   PutU8(out, o->immutable() ? 1 : 0);
@@ -145,7 +148,7 @@ bool Kernel::SerializeObject(ObjectId id, std::vector<uint8_t>* out) const {
     }
     case ObjectType::kThread: {
       const Thread* t = static_cast<const Thread*>(o);
-      PutLabel(out, t->clearance());
+      PutLabel(out, ClearanceOf(*t));
       PutU8(out, t->halted() ? 1 : 0);
       PutU64(out, t->address_space().container);
       PutU64(out, t->address_space().object);
@@ -167,7 +170,7 @@ bool Kernel::SerializeObject(ObjectId id, std::vector<uint8_t>* out) const {
     }
     case ObjectType::kGate: {
       const Gate* g = static_cast<const Gate*>(o);
-      PutLabel(out, g->clearance());
+      PutLabel(out, ClearanceOf(*g));
       PutString(out, g->entry_name());
       PutU32(out, static_cast<uint32_t>(g->closure().size()));
       for (uint64_t w : g->closure()) {
@@ -207,6 +210,12 @@ Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
     return Status::kCorrupt;
   }
 
+  // Re-intern on recovery: the blob carries label bytes, the live object
+  // carries only the registry handle. This is the rebuild-on-recover path —
+  // ids are assigned fresh each boot, like the in-memory comparison cache
+  // the paper's kernel discards across reboots.
+  LabelId label_id = registry_.Intern(label);
+
   std::unique_ptr<Object> obj;
   switch (type) {
     case ObjectType::kSegment: {
@@ -214,7 +223,7 @@ Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
       if (r.fail || r.pos + len > r.len) {
         return Status::kCorrupt;
       }
-      auto s = std::make_unique<Segment>(id, label);
+      auto s = std::make_unique<Segment>(id, label_id);
       s->bytes().resize(len);
       r.Bytes(s->bytes().data(), len);
       obj = std::move(s);
@@ -227,7 +236,7 @@ Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
       if (r.fail) {
         return Status::kCorrupt;
       }
-      auto c = std::make_unique<Container>(id, label, avoid, parent);
+      auto c = std::make_unique<Container>(id, label_id, avoid, parent);
       for (uint32_t i = 0; i < n && !r.fail; ++i) {
         c->links_mutable().push_back(r.U64());
       }
@@ -241,7 +250,7 @@ Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
       }
       bool halted = r.U8() != 0;
       ContainerEntry as{r.U64(), r.U64()};
-      auto t = std::make_unique<Thread>(id, label, clearance);
+      auto t = std::make_unique<Thread>(id, label_id, registry_.Intern(clearance));
       r.Bytes(t->local_segment().data(), kPageSize);
       t->set_address_space_internal(as);
       if (halted) {
@@ -252,7 +261,7 @@ Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
     }
     case ObjectType::kAddressSpace: {
       uint32_t n = r.U32();
-      auto as = std::make_unique<AddressSpace>(id, label);
+      auto as = std::make_unique<AddressSpace>(id, label_id);
       for (uint32_t i = 0; i < n && !r.fail; ++i) {
         Mapping m;
         m.va = r.U64();
@@ -277,12 +286,12 @@ Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
       for (uint32_t i = 0; i < n && !r.fail; ++i) {
         closure.push_back(r.U64());
       }
-      obj = std::make_unique<Gate>(id, label, clearance, entry, closure);
+      obj = std::make_unique<Gate>(id, label_id, registry_.Intern(clearance), entry, closure);
       break;
     }
     case ObjectType::kDevice: {
       uint8_t kind = r.U8();
-      obj = std::make_unique<Device>(id, label, static_cast<DeviceKind>(kind));
+      obj = std::make_unique<Device>(id, label_id, static_cast<DeviceKind>(kind));
       break;
     }
   }
@@ -311,8 +320,9 @@ Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
 void Kernel::FinishRestore(ObjectId root) {
   std::lock_guard<std::mutex> lock(mu_);
   root_ = root;
-  // Rebuild link counts and container usages from the link graph, and intern
-  // all labels into a fresh cache.
+  // Rebuild link counts and container usages from the link graph. Labels
+  // were already re-interned object-by-object in RestoreObject, so the
+  // registry is fully populated by the time restore finishes.
   for (auto& [id, obj] : objects_) {
     while (obj->link_count() > 0) {
       obj->drop_link_internal();
@@ -338,13 +348,6 @@ void Kernel::FinishRestore(ObjectId root) {
   Object* root_obj = Get(root_);
   if (root_obj != nullptr) {
     root_obj->add_link_internal();  // permanent anchor
-  }
-  for (auto& [id, obj] : objects_) {
-    if (obj->type() == ObjectType::kThread) {
-      InternThreadLabels(static_cast<Thread*>(obj.get()));
-    } else {
-      InternLabels(obj.get());
-    }
   }
   dirty_.clear();
 }

@@ -16,8 +16,9 @@ Result<ObjectId> Kernel::sys_segment_create(ObjectId self, const CreateSpec& spe
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
   }
+  LabelId lid = kInvalidLabelId;
   Result<Container*> d = CheckCreate(*t, spec.container, spec.label, ObjectType::kSegment,
-                                     spec.quota);
+                                     spec.quota, &lid);
   if (!d.ok()) {
     return d.status();
   }
@@ -25,11 +26,10 @@ Result<ObjectId> Kernel::sys_segment_create(ObjectId self, const CreateSpec& spe
     return Status::kQuotaExceeded;
   }
   Result<ObjectId> id = AllocObjectId();
-  auto s = std::make_unique<Segment>(id.value(), spec.label);
+  auto s = std::make_unique<Segment>(id.value(), lid);
   s->bytes().resize(len, 0);
   s->set_quota_internal(spec.quota);
   s->set_descrip_internal(spec.descrip);
-  InternLabels(s.get());
   Segment* raw = s.get();
   InsertObject(std::move(s));
   Status ls = LinkInto(d.value(), raw);
@@ -63,8 +63,9 @@ Result<ObjectId> Kernel::sys_segment_copy(ObjectId self, const CreateSpec& spec,
   }
   // ...and creates a new object at the requested label; the usual creation
   // rule keeps the copy at least as tainted as the thread that read it.
+  LabelId lid = kInvalidLabelId;
   Result<Container*> d = CheckCreate(*t, spec.container, spec.label, ObjectType::kSegment,
-                                     spec.quota);
+                                     spec.quota, &lid);
   if (!d.ok()) {
     return d.status();
   }
@@ -72,11 +73,10 @@ Result<ObjectId> Kernel::sys_segment_copy(ObjectId self, const CreateSpec& spec,
     return Status::kQuotaExceeded;
   }
   Result<ObjectId> id = AllocObjectId();
-  auto ns = std::make_unique<Segment>(id.value(), spec.label);
+  auto ns = std::make_unique<Segment>(id.value(), lid);
   ns->bytes() = s->bytes();
   ns->set_quota_internal(spec.quota);
   ns->set_descrip_internal(spec.descrip);
-  InternLabels(ns.get());
   Segment* raw = ns.get();
   InsertObject(std::move(ns));
   Status ls = LinkInto(d.value(), raw);
@@ -198,16 +198,16 @@ Result<ObjectId> Kernel::sys_as_create(ObjectId self, const CreateSpec& spec) {
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
   }
+  LabelId lid = kInvalidLabelId;
   Result<Container*> d = CheckCreate(*t, spec.container, spec.label, ObjectType::kAddressSpace,
-                                     spec.quota);
+                                     spec.quota, &lid);
   if (!d.ok()) {
     return d.status();
   }
   Result<ObjectId> id = AllocObjectId();
-  auto as = std::make_unique<AddressSpace>(id.value(), spec.label);
+  auto as = std::make_unique<AddressSpace>(id.value(), lid);
   as->set_quota_internal(spec.quota);
   as->set_descrip_internal(spec.descrip);
-  InternLabels(as.get());
   AddressSpace* raw = as.get();
   InsertObject(std::move(as));
   Status ls = LinkInto(d.value(), raw);
@@ -318,7 +318,8 @@ Status Kernel::sys_as_access(ObjectId self, uint64_t va, void* buf, uint64_t len
           Segment* s = static_cast<Segment*>(o.value());
           if (!CanObserve(*t, *s)) {
             st = Status::kLabelCheckFailed;
-          } else if (write && (!t->label().Leq(s->label()) || s->immutable())) {
+          } else if (write &&
+                     (!registry_.Leq(t->label_id(), s->label_id()) || s->immutable())) {
             st = s->immutable() ? Status::kImmutable : Status::kLabelCheckFailed;
           } else {
             uint64_t off = va - m->va + m->start_page * kPageSize;
@@ -578,7 +579,7 @@ Result<uint64_t> Kernel::sys_net_receive(ObjectId self, ContainerEntry dev, Cont
     }
     // The receive buffer must be at least as tainted as the device, or data
     // arriving from the wire would shed its taint. L_D ⊑ L_S^J.
-    if (!d->label().Leq(s->label().ToHi())) {
+    if (!registry_.Leq(d->label_id(), registry_.HiOf(s->label_id()))) {
       return Status::kLabelCheckFailed;
     }
     port = d->net_port();

@@ -16,14 +16,15 @@ Result<CategoryId> Kernel::sys_cat_create(ObjectId self) {
   }
   // The allocating thread becomes the category's only owner: L_T(c) ← ⋆ and
   // C_T(c) ← 3. Labels are egalitarian — no other thread is below default.
+  // This is the one place thread labels legitimately mutate: build the new
+  // label and swap the handle.
   CategoryId c = cat_alloc_.Allocate();
-  Label l = t->label();
+  Label l = LabelOf(*t);
   l.set(c, Level::kStar);
-  t->set_label_internal(std::move(l));
-  Label cl = t->clearance();
+  t->set_label_id_internal(registry_.Intern(l));
+  Label cl = ClearanceOf(*t);
   cl.set(c, Level::k3);
-  t->set_clearance_internal(std::move(cl));
-  InternThreadLabels(t);
+  t->set_clearance_id_internal(registry_.Intern(cl));
   MarkDirty(self);
   return c;
 }
@@ -36,12 +37,12 @@ Status Kernel::sys_self_set_label(ObjectId self, const Label& l) {
     return Status::kHalted;
   }
   // L_T ⊑ L ⊑ C_T: a thread may taint itself up to its clearance, and may
-  // drop ownership, but may never shed taint.
-  if (!t->label().Leq(l) || !l.Leq(t->clearance())) {
+  // drop ownership, but may never shed taint. Validated before interning so
+  // a rejected relabel leaves no trace in the registry.
+  if (!registry_.LeqWith(t->label_id(), l) || !registry_.LeqOf(l, t->clearance_id())) {
     return Status::kLabelCheckFailed;
   }
-  t->set_label_internal(l);
-  InternThreadLabels(t);
+  t->set_label_id_internal(registry_.Intern(l));
   MarkDirty(self);
   return Status::kOk;
 }
@@ -54,15 +55,18 @@ Status Kernel::sys_self_set_clearance(ObjectId self, const Label& c) {
     return Status::kHalted;
   }
   // L_T ⊑ C ⊑ (C_T ⊔ L_T^J): clearance may be lowered freely (not below the
-  // label) and raised only in owned categories.
-  if (!t->label().Leq(c) || !c.Leq(t->clearance().Join(t->label().ToHi()))) {
+  // label) and raised only in owned categories. The bound is a registry Join
+  // of two existing ids — no label arithmetic on this path after the first
+  // crossing at a given (clearance, label) pair; `c` itself is interned only
+  // once it has passed every check.
+  LabelId bound = registry_.Join(t->clearance_id(), registry_.HiOf(t->label_id()));
+  if (!registry_.LeqWith(t->label_id(), c) || !registry_.LeqOf(c, bound)) {
     return Status::kLabelCheckFailed;
   }
   if (c.HasLevel(Level::kHi)) {
     return Status::kInvalidArg;
   }
-  t->set_clearance_internal(c);
-  InternThreadLabels(t);
+  t->set_clearance_id_internal(registry_.Intern(c));
   MarkDirty(self);
   return Status::kOk;
 }
@@ -74,7 +78,7 @@ Result<Label> Kernel::sys_self_get_label(ObjectId self) {
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
   }
-  return t->label();
+  return LabelOf(*t);
 }
 
 Result<Label> Kernel::sys_self_get_clearance(ObjectId self) {
@@ -84,7 +88,7 @@ Result<Label> Kernel::sys_self_get_clearance(ObjectId self) {
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
   }
-  return t->clearance();
+  return ClearanceOf(*t);
 }
 
 Status Kernel::sys_self_set_as(ObjectId self, ContainerEntry as) {
@@ -143,21 +147,22 @@ Result<ObjectId> Kernel::sys_thread_create(ObjectId self, const CreateSpec& spec
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
   }
-  // Spawn rule (§3.1): L_T ⊑ L_T' ⊑ C_T' ⊑ C_T.
-  if (!t->label().Leq(new_label) || !new_label.Leq(new_clearance) ||
-      !new_clearance.Leq(t->clearance())) {
+  // Spawn rule (§3.1): L_T ⊑ L_T' ⊑ C_T' ⊑ C_T, validated before interning.
+  if (!registry_.LeqWith(t->label_id(), new_label) ||
+      !LabelRegistry::LeqDirect(new_label, new_clearance) ||
+      !registry_.LeqOf(new_clearance, t->clearance_id())) {
     return Status::kLabelCheckFailed;
   }
+  LabelId nl = kInvalidLabelId;
   Result<Container*> d = CheckCreate(*t, spec.container, new_label, ObjectType::kThread,
-                                     spec.quota);
+                                     spec.quota, &nl);
   if (!d.ok()) {
     return d.status();
   }
   Result<ObjectId> id = AllocObjectId();
-  auto nt = std::make_unique<Thread>(id.value(), new_label, new_clearance);
+  auto nt = std::make_unique<Thread>(id.value(), nl, registry_.Intern(new_clearance));
   nt->set_quota_internal(spec.quota);
   nt->set_descrip_internal(spec.descrip);
-  InternThreadLabels(nt.get());
   Thread* raw = nt.get();
   InsertObject(std::move(nt));
   Status ls = LinkInto(d.value(), raw);
@@ -264,12 +269,15 @@ Result<ObjectId> Kernel::sys_gate_create(ObjectId self, const CreateSpec& spec,
   // §3.5: L_T' ⊑ L_G ⊑ C_G ⊑ C_T'. A gate may carry ⋆ — this is how stored
   // privilege works — but only ⋆ the creator already owns (enforced by
   // L_T ⊑ L_G: a non-owner's level-1 never fits below a requested ⋆).
-  if (!t->label().Leq(gate_label) || !gate_label.Leq(gate_clearance) ||
-      !gate_clearance.Leq(t->clearance())) {
+  // Validated before interning, like every caller-supplied label.
+  if (!registry_.LeqWith(t->label_id(), gate_label) ||
+      !LabelRegistry::LeqDirect(gate_label, gate_clearance) ||
+      !registry_.LeqOf(gate_clearance, t->clearance_id())) {
     return Status::kLabelCheckFailed;
   }
+  LabelId gl = kInvalidLabelId;
   Result<Container*> d = CheckCreate(*t, spec.container, gate_label, ObjectType::kGate,
-                                     spec.quota);
+                                     spec.quota, &gl);
   if (!d.ok()) {
     return d.status();
   }
@@ -280,10 +288,10 @@ Result<ObjectId> Kernel::sys_gate_create(ObjectId self, const CreateSpec& spec,
     }
   }
   Result<ObjectId> id = AllocObjectId();
-  auto g = std::make_unique<Gate>(id.value(), gate_label, gate_clearance, entry_name, closure);
+  auto g = std::make_unique<Gate>(id.value(), gl, registry_.Intern(gate_clearance),
+                                  entry_name, closure);
   g->set_quota_internal(spec.quota);
   g->set_descrip_internal(spec.descrip);
-  InternLabels(g.get());
   Gate* raw = g.get();
   InsertObject(std::move(g));
   Status ls = LinkInto(d.value(), raw);
@@ -315,26 +323,36 @@ Status Kernel::sys_gate_invoke(ObjectId self, ContainerEntry gate, const Label& 
     }
     Gate* g = static_cast<Gate*>(o.value());
     // §3.5 invocation rule: L_T ⊑ C_G, L_T ⊑ L_V, and
-    // (L_T^J ⊔ L_G^J)^⋆ ⊑ L_R ⊑ C_R ⊑ (C_T ⊔ C_G).
-    if (!t->label().Leq(g->clearance())) {
+    // (L_T^J ⊔ L_G^J)^⋆ ⊑ L_R ⊑ C_R ⊑ (C_T ⊔ C_G). The floor and both
+    // bounds are registry ids: after the first crossing of a given gate by a
+    // thread at a given label, the whole rule is a handful of hash probes
+    // and allocates nothing.
+    if (!registry_.Leq(t->label_id(), g->clearance_id())) {
       return Status::kLabelCheckFailed;
     }
-    if (!t->label().Leq(verify_label)) {
+    // Verify labels are per-call proofs, never stored — compared directly,
+    // never interned (an attacker could otherwise mint unbounded registry
+    // entries with throwaway verify labels).
+    if (!registry_.LeqWith(t->label_id(), verify_label)) {
       return Status::kLabelCheckFailed;
     }
-    Label floor = t->label().ToHi().Join(g->label().ToHi()).ToStar();
-    if (!floor.Leq(request_label) || !request_label.Leq(request_clearance) ||
-        !request_clearance.Leq(t->clearance().Join(g->clearance()))) {
+    LabelId floor = registry_.StarOf(
+        registry_.Join(registry_.HiOf(t->label_id()), registry_.HiOf(g->label_id())));
+    LabelId clear_bound = registry_.Join(t->clearance_id(), g->clearance_id());
+    if (!registry_.LeqWith(floor, request_label) ||
+        !LabelRegistry::LeqDirect(request_label, request_clearance) ||
+        !registry_.LeqOf(request_clearance, clear_bound)) {
       return Status::kLabelCheckFailed;
     }
     if (request_label.HasLevel(Level::kHi) || request_clearance.HasLevel(Level::kHi)) {
       return Status::kInvalidArg;
     }
     // The thread crosses the gate: its label and clearance become exactly
-    // what it requested (the kernel verified, user code specified — §3.5).
-    t->set_label_internal(request_label);
-    t->set_clearance_internal(request_clearance);
-    InternThreadLabels(t);
+    // what it requested (the kernel verified, user code specified — §3.5);
+    // only now, with every check passed, do the request labels earn a
+    // registry entry.
+    t->set_label_id_internal(registry_.Intern(request_label));
+    t->set_clearance_id_internal(registry_.Intern(request_clearance));
     MarkDirty(self);
     {
       std::lock_guard<std::mutex> glock(gate_entries_mu_);

@@ -6,7 +6,11 @@
 // (required before the object can be multiply hard-linked).
 //
 // Objects are passive data; all rule enforcement lives in Kernel. Except for
-// threads, labels are specified at creation and then immutable.
+// threads, labels are specified at creation and then immutable — which is
+// why objects do not store a Label at all: they hold a LabelId handle into
+// the kernel's LabelRegistry, where the canonical label and its precomputed
+// shifted variants live. Resolving an id back to a Label goes through
+// Kernel::LabelOf / the registry.
 #ifndef SRC_KERNEL_OBJECT_H_
 #define SRC_KERNEL_OBJECT_H_
 
@@ -19,14 +23,15 @@
 #include <vector>
 
 #include "src/core/label.h"
+#include "src/core/label_registry.h"
 #include "src/kernel/types.h"
 
 namespace histar {
 
 class Object {
  public:
-  Object(ObjectId id, ObjectType type, Label label)
-      : id_(id), type_(type), label_(std::move(label)) {
+  Object(ObjectId id, ObjectType type, LabelId label_id)
+      : id_(id), type_(type), label_id_(label_id) {
     descrip_.fill(0);
     metadata_.fill(0);
   }
@@ -44,17 +49,12 @@ class Object {
   uint64_t creation_seq() const { return creation_seq_; }
   void set_creation_seq(uint64_t s) { creation_seq_ = s; }
 
-  const Label& label() const { return label_; }
+  // Handle of this object's label in the kernel's LabelRegistry. The ToHi
+  // form needed by observation checks is reached through the registry
+  // (HiOf), not stored here.
+  LabelId label_id() const { return label_id_; }
   // Only Kernel may relabel, and only for threads (self_set_label).
-  void set_label_internal(Label l) { label_ = std::move(l); }
-
-  // Interned id of label() in the kernel's LabelCache; 0 if not interned.
-  uint32_t label_intern() const { return label_intern_; }
-  void set_label_intern(uint32_t v) { label_intern_ = v; }
-  // Interned id of label().ToHi(), kept alongside because observation checks
-  // always compare against the raised form.
-  uint32_t label_hi_intern() const { return label_hi_intern_; }
-  void set_label_hi_intern(uint32_t v) { label_hi_intern_ = v; }
+  void set_label_id_internal(LabelId v) { label_id_ = v; }
 
   uint64_t quota() const { return quota_; }
   void set_quota_internal(uint64_t q) { quota_ = q; }
@@ -90,9 +90,7 @@ class Object {
   const ObjectId id_;
   const ObjectType type_;
   uint64_t creation_seq_ = 0;
-  Label label_;
-  uint32_t label_intern_ = 0;
-  uint32_t label_hi_intern_ = 0;
+  LabelId label_id_ = kInvalidLabelId;
   uint64_t quota_ = 0;
   bool fixed_quota_ = false;
   bool immutable_ = false;
@@ -104,7 +102,7 @@ class Object {
 // Segment: a variable-length byte array — the file/memory primitive.
 class Segment : public Object {
  public:
-  Segment(ObjectId id, Label label) : Object(id, ObjectType::kSegment, std::move(label)) {}
+  Segment(ObjectId id, LabelId label_id) : Object(id, ObjectType::kSegment, label_id) {}
 
   std::vector<uint8_t>& bytes() { return bytes_; }
   const std::vector<uint8_t>& bytes() const { return bytes_; }
@@ -118,8 +116,8 @@ class Segment : public Object {
 // Container: holds hard links to objects and anchors the quota hierarchy.
 class Container : public Object {
  public:
-  Container(ObjectId id, Label label, uint32_t avoid_types, ObjectId parent)
-      : Object(id, ObjectType::kContainer, std::move(label)),
+  Container(ObjectId id, LabelId label_id, uint32_t avoid_types, ObjectId parent)
+      : Object(id, ObjectType::kContainer, label_id),
         avoid_types_(avoid_types),
         parent_(parent) {}
 
@@ -161,8 +159,8 @@ struct Mapping {
 
 class AddressSpace : public Object {
  public:
-  AddressSpace(ObjectId id, Label label)
-      : Object(id, ObjectType::kAddressSpace, std::move(label)) {}
+  AddressSpace(ObjectId id, LabelId label_id)
+      : Object(id, ObjectType::kAddressSpace, label_id) {}
 
   const std::vector<Mapping>& mappings() const { return mappings_; }
   std::vector<Mapping>& mappings_mutable() { return mappings_; }
@@ -183,16 +181,13 @@ class AddressSpace : public Object {
 // thread-local segment, and a queue of pending alerts.
 class Thread : public Object {
  public:
-  Thread(ObjectId id, Label label, Label clearance)
-      : Object(id, ObjectType::kThread, std::move(label)), clearance_(std::move(clearance)) {
+  Thread(ObjectId id, LabelId label_id, LabelId clearance_id)
+      : Object(id, ObjectType::kThread, label_id), clearance_id_(clearance_id) {
     local_segment_.resize(kPageSize, 0);
   }
 
-  const Label& clearance() const { return clearance_; }
-  void set_clearance_internal(Label c) { clearance_ = std::move(c); }
-
-  uint32_t clearance_intern() const { return clearance_intern_; }
-  void set_clearance_intern(uint32_t v) { clearance_intern_ = v; }
+  LabelId clearance_id() const { return clearance_id_; }
+  void set_clearance_id_internal(LabelId v) { clearance_id_ = v; }
 
   ContainerEntry address_space() const { return address_space_; }
   void set_address_space_internal(ContainerEntry as) { address_space_ = as; }
@@ -207,8 +202,7 @@ class Thread : public Object {
   uint64_t OwnUsage() const override { return kObjectOverheadBytes + kPageSize; }
 
  private:
-  Label clearance_;
-  uint32_t clearance_intern_ = 0;
+  LabelId clearance_id_ = kInvalidLabelId;
   ContainerEntry address_space_;
   std::vector<uint8_t> local_segment_;
   bool halted_ = false;
@@ -235,14 +229,14 @@ using GateEntryFn = std::function<void(GateCall&)>;
 // labels, unlike other object labels, may contain ⋆.
 class Gate : public Object {
  public:
-  Gate(ObjectId id, Label label, Label clearance, std::string entry_name,
+  Gate(ObjectId id, LabelId label_id, LabelId clearance_id, std::string entry_name,
        std::vector<uint64_t> closure)
-      : Object(id, ObjectType::kGate, std::move(label)),
-        clearance_(std::move(clearance)),
+      : Object(id, ObjectType::kGate, label_id),
+        clearance_id_(clearance_id),
         entry_name_(std::move(entry_name)),
         closure_(std::move(closure)) {}
 
-  const Label& clearance() const { return clearance_; }
+  LabelId clearance_id() const { return clearance_id_; }
   const std::string& entry_name() const { return entry_name_; }
   const std::vector<uint64_t>& closure() const { return closure_; }
 
@@ -251,7 +245,7 @@ class Gate : public Object {
   }
 
  private:
-  const Label clearance_;
+  const LabelId clearance_id_;
   const std::string entry_name_;
   const std::vector<uint64_t> closure_;
 };
@@ -280,8 +274,8 @@ class NetPort {
 
 class Device : public Object {
  public:
-  Device(ObjectId id, Label label, DeviceKind kind)
-      : Object(id, ObjectType::kDevice, std::move(label)), kind_(kind) {}
+  Device(ObjectId id, LabelId label_id, DeviceKind kind)
+      : Object(id, ObjectType::kDevice, label_id), kind_(kind) {}
 
   DeviceKind kind() const { return kind_; }
 

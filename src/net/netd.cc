@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/core/label_memo.h"
 #include "src/kernel/thread_runner.h"
 #include "src/unixlib/mutex.h"
 
@@ -349,8 +350,10 @@ Result<uint64_t> CtlCall(Kernel* k, ObjectId self, ContainerEntry gate, uint64_t
   if (!mine.ok() || !myclear.ok() || !glabel.ok()) {
     return Status::kLabelCheckFailed;
   }
-  // Request exactly the floor: own taint plus the gate's ownership.
-  Label request = mine.value().ToHi().Join(glabel.value().ToHi()).ToStar();
+  // Request exactly the floor: own taint plus the gate's ownership. The
+  // floor is interned per (caller label, gate label) pair — daemon clients
+  // cross this gate on every socket op, with the same two labels each time.
+  Label request = GateFloorMemo::Global().Floor(mine.value(), glabel.value());
   st = k->sys_gate_invoke(self, gate, request, myclear.value(), mine.value());
   if (st != Status::kOk) {
     return st;

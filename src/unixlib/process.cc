@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/core/label_memo.h"
 #include "src/kernel/thread_runner.h"
 #include "src/unixlib/mutex.h"
 
@@ -809,7 +810,7 @@ void ProcessManager::Exit(ProcessContext& ctx, int64_t status) {
     Result<Label> glabel =
         k->sys_obj_get_label(ctx.self, ContainerEntry{ctx.ids.proc_ct, ctx.ids.exit_gate});
     if (mine.ok() && clear.ok() && glabel.ok()) {
-      Label request = mine.value().ToHi().Join(glabel.value().ToHi()).ToStar();
+      Label request = GateFloorMemo::Global().Floor(mine.value(), glabel.value());
       // The clearance must dominate the requested label's numeric (taint)
       // entries; Join with `request` does exactly that, since ⋆ is low.
       k->sys_gate_invoke(ctx.self, ContainerEntry{ctx.ids.proc_ct, ctx.ids.exit_gate}, request,

@@ -113,6 +113,42 @@ TEST_P(LabelLatticeProperty, JoinIsAssociative) {
   }
 }
 
+TEST_P(LabelLatticeProperty, MeetIsAssociative) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Label a = RandomLabel(&rng, true);
+    Label b = RandomLabel(&rng, true);
+    Label c = RandomLabel(&rng, true);
+    EXPECT_EQ(a.Meet(b).Meet(c), a.Meet(b.Meet(c)));
+  }
+}
+
+TEST_P(LabelLatticeProperty, JoinAndMeetSatisfyAbsorption) {
+  // a ⊔ (a ⊓ b) = a and a ⊓ (a ⊔ b) = a — together with associativity,
+  // commutativity and idempotence these make (⊔, ⊓) a lattice, which is
+  // exactly the structure the registry's memoization relies on.
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Label a = RandomLabel(&rng, true);
+    Label b = RandomLabel(&rng, true);
+    EXPECT_EQ(a.Join(a.Meet(b)), a) << a.ToString() << " vs " << b.ToString();
+    EXPECT_EQ(a.Meet(a.Join(b)), a) << a.ToString() << " vs " << b.ToString();
+  }
+}
+
+TEST_P(LabelLatticeProperty, LeqIsConsistentWithJoinAndMeet) {
+  // The order and the algebra must define each other:
+  //   a ⊑ b ⟺ a ⊔ b = b ⟺ a ⊓ b = a.
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Label a = RandomLabel(&rng, true);
+    Label b = RandomLabel(&rng, true);
+    bool leq = a.Leq(b);
+    EXPECT_EQ(leq, a.Join(b) == b) << a.ToString() << " vs " << b.ToString();
+    EXPECT_EQ(leq, a.Meet(b) == a) << a.ToString() << " vs " << b.ToString();
+  }
+}
+
 TEST_P(LabelLatticeProperty, ShiftOperatorsAreInverse) {
   std::mt19937_64 rng(GetParam());
   for (int i = 0; i < 200; ++i) {

@@ -1,0 +1,103 @@
+// Source audit: kernel hot paths may not bypass the label registry.
+//
+// The §4 optimization only holds if *every* label check in the kernel goes
+// through the memoized LabelRegistry — one stray Label::Leq on a by-value
+// label, or one per-check ToHi() allocation, silently reintroduces the cost
+// the registry exists to remove (this happened: the seed had four such
+// bypasses, at the old kernel.cc:206/458/519/663). This test greps the
+// kernel translation units and fails on any direct label-algebra call, so a
+// regression is caught at test time rather than in a profile.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace histar {
+namespace {
+
+#ifndef HISTAR_SOURCE_DIR
+#define HISTAR_SOURCE_DIR ""
+#endif
+
+// Kernel translation units whose label checks must be registry-mediated.
+const char* kKernelSources[] = {
+    "src/kernel/kernel.cc",
+    "src/kernel/kernel_seg.cc",
+    "src/kernel/kernel_thread.cc",
+    "src/kernel/kernel_persist.cc",
+};
+
+// Label-algebra calls that allocate or walk entry lists per invocation. The
+// registry exposes HiOf/StarOf/Leq/Join equivalents that are precomputed or
+// memoized; kernel code must use those.
+const char* kForbidden[] = {".ToHi(", ".ToStar(", "RaiseForRead("};
+
+// Methods that are legal only as registry calls (registry_.Leq et al. are
+// the memoized path; label.Leq(...) is the bypass).
+const char* kRegistryOnly[] = {".Leq(", ".Join(", ".Meet("};
+
+std::string StripLineComment(const std::string& line) {
+  size_t pos = line.find("//");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+bool EndsWithRegistryReceiver(const std::string& code, size_t dot_pos) {
+  const std::string receiver = "registry_";
+  if (dot_pos < receiver.size()) {
+    return false;
+  }
+  return code.compare(dot_pos - receiver.size(), receiver.size(), receiver) == 0;
+}
+
+TEST(HotPathAudit, KernelLabelChecksGoThroughRegistry) {
+  std::string root = HISTAR_SOURCE_DIR;
+  if (root.empty()) {
+    GTEST_SKIP() << "HISTAR_SOURCE_DIR not defined";
+  }
+  std::vector<std::string> violations;
+  bool any_file = false;
+  for (const char* rel : kKernelSources) {
+    std::ifstream in(root + "/" + rel);
+    if (!in.is_open()) {
+      continue;  // source tree not present (e.g. installed-test run)
+    }
+    any_file = true;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      std::string code = StripLineComment(line);
+      for (const char* pat : kForbidden) {
+        if (code.find(pat) != std::string::npos) {
+          violations.push_back(std::string(rel) + ":" + std::to_string(lineno) + ": " + pat);
+        }
+      }
+      for (const char* pat : kRegistryOnly) {
+        size_t pos = 0;
+        while ((pos = code.find(pat, pos)) != std::string::npos) {
+          if (!EndsWithRegistryReceiver(code, pos)) {
+            violations.push_back(std::string(rel) + ":" + std::to_string(lineno) +
+                                 ": non-registry " + pat);
+          }
+          pos += 1;
+        }
+      }
+    }
+  }
+  if (!any_file) {
+    GTEST_SKIP() << "kernel sources not found under " << root;
+  }
+  EXPECT_TRUE(violations.empty()) << [&] {
+    std::ostringstream os;
+    os << "label-registry bypasses in kernel hot paths:\n";
+    for (const std::string& v : violations) {
+      os << "  " << v << "\n";
+    }
+    return os.str();
+  }();
+}
+
+}  // namespace
+}  // namespace histar
