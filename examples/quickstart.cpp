@@ -7,6 +7,13 @@
 // protects a file with a read category, an unprivileged thread bounces off
 // it, a thread that taints itself may read — and is then barred from
 // writing anything untainted, which is the whole trick.
+//
+// Every kernel call made below is one row of docs/syscalls.md, which
+// tabulates the full syscall surface: the §3 label-check rule each call
+// enforces and the object-table shard locks it takes (the kernel is
+// internally sharded — see ARCHITECTURE.md "Concurrency model" — but none
+// of that is visible here: syscalls are linearizable, just no longer
+// serialized behind one big lock).
 #include <cstdio>
 #include <string>
 

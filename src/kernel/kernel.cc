@@ -1,5 +1,14 @@
 // Kernel core: construction, label-check helpers, containers, generic object
 // syscalls, and the quota system.
+//
+// Locking convention used throughout the syscall implementations: the
+// syscall computes the ObjectIds it will touch (self, the ⟨D,O⟩ entries,
+// any freshly allocated id), takes ONE TableLock over their shards — shared
+// for read-only paths, exclusive when anything is mutated — and holds it for
+// the duration of the checks and the state change. Operations whose object
+// set cannot be known up front (recursive destroy, alerts through a target's
+// address space) take TableLock::All. Futex wakeups happen strictly after
+// the table locks are released (futex_mu_ and shard locks never nest).
 #include "src/kernel/kernel.h"
 
 #include <algorithm>
@@ -27,7 +36,7 @@ const Mapping* AddressSpace::Lookup(uint64_t va) const {
   return nullptr;
 }
 
-Kernel::Kernel() {
+Kernel::Kernel(size_t table_shards) : table_(table_shards) {
   // The root container: label {1}, quota ∞, never deallocated. Its "fake
   // parent" is labeled {3} in the paper; we model that by making the parent
   // id invalid and refusing get_parent on the root.
@@ -38,6 +47,7 @@ Kernel::Kernel() {
   root->set_descrip_internal("root");
   root->add_link_internal();  // permanent anchor link
   root_ = root->id();
+  TableLock lk(table_, TableLock::Mode::kExclusive, {root_});
   InsertObject(std::move(root));
 }
 
@@ -47,15 +57,15 @@ Kernel::~Kernel() = default;
 
 ObjectId Kernel::BootstrapThread(const Label& label, const Label& clearance,
                                  const std::string& descrip, ObjectId container) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (container == kInvalidObject) {
     container = root_;
   }
+  Result<ObjectId> id = AllocObjectId();
+  TableLock lk(table_, TableLock::Mode::kExclusive, {container, id.value()});
   Container* d = GetContainer(container);
   if (d == nullptr) {
     return kInvalidObject;
   }
-  Result<ObjectId> id = AllocObjectId();
   auto t = std::make_unique<Thread>(id.value(), registry_.Intern(label),
                                     registry_.Intern(clearance));
   t->set_quota_internal(64 * kPageSize);
@@ -69,9 +79,9 @@ ObjectId Kernel::BootstrapThread(const Label& label, const Label& clearance,
 
 ObjectId Kernel::BootstrapDevice(DeviceKind kind, const Label& label,
                                  const std::string& descrip) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Container* d = GetContainer(root_);
   Result<ObjectId> id = AllocObjectId();
+  TableLock lk(table_, TableLock::Mode::kExclusive, {root_, id.value()});
+  Container* d = GetContainer(root_);
   auto dev = std::make_unique<Device>(id.value(), registry_.Intern(label), kind);
   dev->set_quota_internal(64 * kPageSize);
   dev->set_descrip_internal(descrip);
@@ -83,7 +93,7 @@ ObjectId Kernel::BootstrapDevice(DeviceKind kind, const Label& label,
 }
 
 bool Kernel::AttachNetPort(ObjectId device, NetPort* port) {
-  std::lock_guard<std::mutex> lock(mu_);
+  TableLock lk(table_, TableLock::Mode::kExclusive, {device});
   Object* o = Get(device);
   if (o == nullptr || o->type() != ObjectType::kDevice) {
     return false;
@@ -103,17 +113,15 @@ bool Kernel::HasGateEntry(const std::string& name) const {
 }
 
 uint64_t Kernel::thread_syscall_count(ObjectId t) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = thread_syscalls_.find(t);
-  return it == thread_syscalls_.end() ? 0 : it->second;
+  CountStripe& stripe = CountStripeFor(t);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.counts.find(t);
+  return it == stripe.counts.end() ? 0 : it->second;
 }
 
-// ---- internal helpers (mu_ held) ---------------------------------------------
+// ---- internal helpers (shard-lock requirements in kernel.h) ------------------
 
-Object* Kernel::Get(ObjectId id) const {
-  auto it = objects_.find(id);
-  return it == objects_.end() ? nullptr : it->second.get();
-}
+Object* Kernel::Get(ObjectId id) const { return table_.GetLocked(id); }
 
 Thread* Kernel::GetThread(ObjectId id) const {
   Object* o = Get(id);
@@ -249,7 +257,10 @@ void Kernel::DestroyObject(ObjectId id, std::vector<ObjectId>* destroyed_segment
   }
   if (o->type() == ObjectType::kContainer) {
     Container* c = static_cast<Container*>(o);
-    // Recursively unreference the whole subtree (paper §3.2).
+    // Recursively unreference the whole subtree (paper §3.2). The subtree
+    // can land in any shard, which is why destroying a *container* requires
+    // ALL shards exclusive (kernel.h); callers reach this case via
+    // TableLock::All (UnrefOnce escalates before it gets here).
     std::vector<ObjectId> children = c->links();
     for (ObjectId child : children) {
       Object* co = Get(child);
@@ -263,14 +274,24 @@ void Kernel::DestroyObject(ObjectId id, std::vector<ObjectId>* destroyed_segment
     }
   } else if (o->type() == ObjectType::kSegment) {
     destroyed_segments->push_back(id);
-  } else if (o->type() == ObjectType::kThread) {
-    static_cast<Thread*>(o)->set_halted_internal();
-    destroyed_segments->push_back(id);  // wake any futex wait by this thread
   }
-  dirty_.erase(id);
-  pf_handlers_.erase(id);
-  thread_syscalls_.erase(id);
-  objects_.erase(id);
+  // Destroyed threads need no flag or futex wake: the erase below makes
+  // every later GetThread return nullptr, which a wait by this thread
+  // observes as kHalted at its next bounded-slice state peek (≤50 ms).
+  {
+    std::lock_guard<std::mutex> dl(dirty_mu_);
+    dirty_.erase(id);
+  }
+  {
+    std::lock_guard<std::mutex> pl(pf_mu_);
+    pf_handlers_.erase(id);
+  }
+  {
+    CountStripe& stripe = CountStripeFor(id);
+    std::lock_guard<std::mutex> cl(stripe.mu);
+    stripe.counts.erase(id);
+  }
+  table_.EraseLocked(id);
 }
 
 uint64_t Kernel::ContainerFree(const Container& d) const {
@@ -281,18 +302,28 @@ uint64_t Kernel::ContainerFree(const Container& d) const {
   return d.quota() > used ? d.quota() - used : 0;
 }
 
-void Kernel::MarkDirty(ObjectId id) { dirty_.insert(id); }
+void Kernel::MarkDirty(ObjectId id) {
+  std::lock_guard<std::mutex> lock(dirty_mu_);
+  dirty_[id] = ++dirty_seq_;
+}
 
 void Kernel::InsertObject(std::unique_ptr<Object> obj) {
-  obj->set_creation_seq(++creation_counter_);
-  ObjectId id = obj->id();
-  objects_[id] = std::move(obj);
+  obj->set_creation_seq(creation_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
+  table_.InsertLocked(std::move(obj));
 }
 
 Result<ObjectId> Kernel::AllocObjectId() {
+  // Called with no shard lock held (kernel.h): the existence probe takes the
+  // candidate's shard briefly. The allocator is a counter behind a cipher,
+  // so two concurrent calls never produce the same id — the probe only
+  // guards against collision with restored objects.
   for (;;) {
     ObjectId id = objid_alloc_.Allocate();
-    if (id != kLocalSegmentId && objects_.find(id) == objects_.end()) {
+    if (id == kLocalSegmentId) {
+      continue;
+    }
+    TableLock lk(table_, TableLock::Mode::kShared, {id});
+    if (!table_.ContainsLocked(id)) {
       return id;
     }
   }
@@ -300,10 +331,16 @@ Result<ObjectId> Kernel::AllocObjectId() {
 
 void Kernel::CountSyscall(ObjectId self) {
   syscall_count_.fetch_add(1, std::memory_order_relaxed);
-  ++thread_syscalls_[self];
+  CountStripe& stripe = CountStripeFor(self);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  ++stripe.counts[self];
 }
 
 void Kernel::WakeAllFutexes(const std::vector<ObjectId>& segs) {
+  if (segs.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(futex_mu_);
   for (auto& [key, q] : futexes_) {
     if (std::find(segs.begin(), segs.end(), key.seg) != segs.end()) {
       ++q->wake_seq;
@@ -317,8 +354,9 @@ void Kernel::WakeAllFutexes(const std::vector<ObjectId>& segs) {
 
 Result<ObjectId> Kernel::sys_container_create(ObjectId self, const CreateSpec& spec,
                                               uint32_t avoid_types) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  Result<ObjectId> id = AllocObjectId();
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self, spec.container, id.value()});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -329,7 +367,6 @@ Result<ObjectId> Kernel::sys_container_create(ObjectId self, const CreateSpec& s
   if (!d.ok()) {
     return d.status();
   }
-  Result<ObjectId> id = AllocObjectId();
   // avoid_types restrictions are inherited by all descendants.
   uint32_t avoid = avoid_types | d.value()->avoid_types();
   auto c = std::make_unique<Container>(id.value(), lid, avoid, spec.container);
@@ -339,51 +376,83 @@ Result<ObjectId> Kernel::sys_container_create(ObjectId self, const CreateSpec& s
   InsertObject(std::move(c));
   Status ls = LinkInto(d.value(), raw);
   if (ls != Status::kOk) {
-    objects_.erase(raw->id());
+    table_.EraseLocked(raw->id());
     return ls;
   }
   MarkDirty(raw->id());
   return raw->id();
 }
 
-Status Kernel::sys_container_unref(ObjectId self, ContainerEntry ce) {
-  std::vector<ObjectId> destroyed;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    CountSyscall(self);
-    Thread* t = GetThread(self);
-    if (t == nullptr || t->halted()) {
-      return Status::kHalted;
-    }
-    Container* d = GetContainer(ce.container);
-    if (d == nullptr) {
-      return Status::kNotFound;
-    }
-    // Unreferencing requires write access on D — and nothing about O. This
-    // is the §3.2 point: resource revocation is separate from access.
-    Status ms = CheckModify(*t, *d);
-    if (ms != Status::kOk) {
-      return ms;
-    }
-    if (ce.object == ce.container || ce.object == root_) {
-      return Status::kInvalidArg;  // the root (and self-entries) cannot be unlinked
-    }
-    if (!d->HasLink(ce.object)) {
-      return Status::kNotFound;
-    }
-    Object* o = Get(ce.object);
-    UnlinkFrom(d, ce.object);
-    if (o != nullptr && o->link_count() == 0) {
-      DestroyObject(ce.object, &destroyed);
-    }
-    WakeAllFutexes(destroyed);
+Status Kernel::UnrefOnce(ObjectId self, ContainerEntry ce, bool allow_destroy,
+                         bool* need_all, std::vector<ObjectId>* destroyed) {
+  *need_all = false;
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  Container* d = GetContainer(ce.container);
+  if (d == nullptr) {
+    return Status::kNotFound;
+  }
+  // Unreferencing requires write access on D — and nothing about O. This
+  // is the §3.2 point: resource revocation is separate from access.
+  Status ms = CheckModify(*t, *d);
+  if (ms != Status::kOk) {
+    return ms;
+  }
+  if (ce.object == ce.container || ce.object == root_) {
+    return Status::kInvalidArg;  // the root (and self-entries) cannot be unlinked
+  }
+  if (!d->HasLink(ce.object)) {
+    return Status::kNotFound;
+  }
+  Object* o = Get(ce.object);
+  if (o != nullptr && o->link_count() == 1 && o->type() == ObjectType::kContainer &&
+      !allow_destroy) {
+    // Dropping a container's last link destroys its whole subtree, which
+    // can reach any shard; back out untouched and let the caller retake
+    // all shards. Non-containers destroy in place: their teardown touches
+    // only their own shard (held exclusive here) plus leaf maps.
+    *need_all = true;
+    return Status::kOk;
+  }
+  UnlinkFrom(d, ce.object);
+  if (o != nullptr && o->link_count() == 0) {
+    DestroyObject(ce.object, destroyed);
   }
   return Status::kOk;
 }
 
-Result<ObjectId> Kernel::sys_container_get_parent(ObjectId self, ObjectId container) {
-  std::lock_guard<std::mutex> lock(mu_);
+Status Kernel::sys_container_unref(ObjectId self, ContainerEntry ce) {
   CountSyscall(self);
+  std::vector<ObjectId> destroyed;
+  Status st;
+  bool need_all = false;
+  {
+    // Fast path: the common non-destroying unlink (hard links remain)
+    // touches only D and O, so targeted exclusive locks suffice.
+    TableLock lk(table_, TableLock::Mode::kExclusive, {self, ce.container, ce.object});
+    st = UnrefOnce(self, ce, /*allow_destroy=*/false, &need_all, &destroyed);
+  }
+  if (need_all) {
+    // Destroy path: recursive destruction can reach any shard — the
+    // canonical cross-shard operation, every shard exclusive (ascending
+    // order inside TableLock). All checks re-run under the new lock; the
+    // world may have changed in the gap (another unref may even have won
+    // the race, in which case this reports kNotFound, same as if it had
+    // run second under the old big lock).
+    TableLock lk = TableLock::All(table_, TableLock::Mode::kExclusive);
+    st = UnrefOnce(self, ce, /*allow_destroy=*/true, &need_all, &destroyed);
+  }
+  // Futex wakeups strictly after the shard locks drop (lock hierarchy:
+  // futex_mu_ and shard locks never nest).
+  WakeAllFutexes(destroyed);
+  return st;
+}
+
+Result<ObjectId> Kernel::sys_container_get_parent(ObjectId self, ObjectId container) {
+  CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self, container});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -403,8 +472,8 @@ Result<ObjectId> Kernel::sys_container_get_parent(ObjectId self, ObjectId contai
 }
 
 Result<std::vector<ObjectId>> Kernel::sys_container_list(ObjectId self, ObjectId container) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self, container});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -420,8 +489,9 @@ Result<std::vector<ObjectId>> Kernel::sys_container_list(ObjectId self, ObjectId
 }
 
 Status Kernel::sys_container_link(ObjectId self, ObjectId container, ContainerEntry src) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kExclusive,
+               {self, container, src.container, src.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -454,8 +524,8 @@ Status Kernel::sys_container_link(ObjectId self, ObjectId container, ContainerEn
 }
 
 Result<bool> Kernel::sys_container_has(ObjectId self, ObjectId container, ObjectId obj) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self, container});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -473,8 +543,8 @@ Result<bool> Kernel::sys_container_has(ObjectId self, ObjectId container, Object
 // ---- generic object syscalls ---------------------------------------------------
 
 Result<ObjectType> Kernel::sys_obj_get_type(ObjectId self, ContainerEntry ce) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -487,8 +557,8 @@ Result<ObjectType> Kernel::sys_obj_get_type(ObjectId self, ContainerEntry ce) {
 }
 
 Result<Label> Kernel::sys_obj_get_label(ObjectId self, ContainerEntry ce) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -510,8 +580,8 @@ Result<Label> Kernel::sys_obj_get_label(ObjectId self, ContainerEntry ce) {
 }
 
 Result<std::string> Kernel::sys_obj_get_descrip(ObjectId self, ContainerEntry ce) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -524,8 +594,8 @@ Result<std::string> Kernel::sys_obj_get_descrip(ObjectId self, ContainerEntry ce
 }
 
 Result<uint64_t> Kernel::sys_obj_get_quota(ObjectId self, ContainerEntry ce) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -542,8 +612,8 @@ Result<uint64_t> Kernel::sys_obj_get_quota(ObjectId self, ContainerEntry ce) {
 }
 
 Result<std::vector<uint8_t>> Kernel::sys_obj_get_metadata(ObjectId self, ContainerEntry ce) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -561,8 +631,8 @@ Result<std::vector<uint8_t>> Kernel::sys_obj_get_metadata(ObjectId self, Contain
 
 Status Kernel::sys_obj_set_metadata(ObjectId self, ContainerEntry ce, const void* data,
                                     size_t len) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -584,8 +654,8 @@ Status Kernel::sys_obj_set_metadata(ObjectId self, ContainerEntry ce, const void
 }
 
 Status Kernel::sys_obj_set_fixed_quota(ObjectId self, ContainerEntry ce) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -604,8 +674,8 @@ Status Kernel::sys_obj_set_fixed_quota(ObjectId self, ContainerEntry ce) {
 }
 
 Status Kernel::sys_obj_set_immutable(ObjectId self, ContainerEntry ce) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -624,8 +694,10 @@ Status Kernel::sys_obj_set_immutable(ObjectId self, ContainerEntry ce) {
 }
 
 Status Kernel::sys_quota_move(ObjectId self, ObjectId d_id, ObjectId o_id, int64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  // D and O hash to independent shards; this is the cross-shard quota-move
+  // the lock hierarchy exists for (both shards exclusive, ascending order).
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self, d_id, o_id});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -694,17 +766,17 @@ Status Kernel::sys_quota_move(ObjectId self, ObjectId d_id, ObjectId o_id, int64
 // ---- introspection ---------------------------------------------------------------
 
 bool Kernel::ObjectExists(ObjectId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return objects_.count(id) > 0;
+  TableLock lk(table_, TableLock::Mode::kShared, {id});
+  return table_.ContainsLocked(id);
 }
 
 size_t Kernel::ObjectCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return objects_.size();
+  TableLock lk = TableLock::All(table_, TableLock::Mode::kShared);
+  return table_.SizeLocked();
 }
 
 std::string Kernel::ConsoleContents(ObjectId dev) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  TableLock lk(table_, TableLock::Mode::kShared, {dev});
   Object* o = Get(dev);
   if (o == nullptr || o->type() != ObjectType::kDevice) {
     return "";

@@ -1,8 +1,16 @@
 // The HiStar kernel simulator: object table, label enforcement, and the
 // complete system-call surface (paper §3).
 //
-// Concurrency model: kernel state is guarded by one mutex (`mu_`), the moral
-// equivalent of the big kernel lock in the real single-processor prototype.
+// Concurrency model: kernel state is no longer guarded by one big lock. The
+// object table is sharded (src/kernel/object_table.h): each syscall computes
+// the set of objects it touches, locks the covering shards in ascending
+// index order — shared for read-only paths, exclusive for mutation — and
+// auxiliary state (futex queues, dirty set, per-thread counters, page-fault
+// handlers, gate entries) lives under its own leaf mutex. The full lock
+// hierarchy and per-helper requirements are documented in ARCHITECTURE.md
+// ("Concurrency model"); the per-syscall locking footprint is tabulated in
+// docs/syscalls.md.
+//
 // Host threads stand in for hardware threads; each host thread binds itself
 // to a kernel Thread object and passes that id as the first argument of
 // every syscall (the `self` register). User code — everything in unixlib and
@@ -15,6 +23,7 @@
 #ifndef SRC_KERNEL_KERNEL_H_
 #define SRC_KERNEL_KERNEL_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <functional>
@@ -31,6 +40,7 @@
 #include "src/core/label_registry.h"
 #include "src/core/status.h"
 #include "src/kernel/object.h"
+#include "src/kernel/object_table.h"
 #include "src/kernel/types.h"
 
 namespace histar {
@@ -48,7 +58,10 @@ struct CreateSpec {
 
 class Kernel {
  public:
-  Kernel();
+  // `table_shards` sizes the object-table shard array (power of two; the
+  // ablation bench pits 1 — the old single-lock design — against the
+  // default under contended threads).
+  explicit Kernel(size_t table_shards = ObjectTable::kDefaultShardCount);
   ~Kernel();
 
   Kernel(const Kernel&) = delete;
@@ -85,6 +98,11 @@ class Kernel {
   // the ablation bench (enable/disable, stats) and for tests.
   LabelRegistry& label_registry() { return registry_; }
   CategoryAllocator& category_allocator() { return cat_alloc_; }
+
+  // The sharded object table. Exposed (const) so tests and the ablation
+  // bench can compute shard placement; all access still goes through
+  // syscalls.
+  const ObjectTable& object_table() const { return table_; }
 
   // Resolves an object's / thread's / gate's label handle to the canonical
   // immutable Label held by the registry.
@@ -262,7 +280,24 @@ class Kernel {
     uint32_t waiters = 0;
   };
 
-  // -- all helpers below require mu_ held --
+  // -- Helper lock requirements (ARCHITECTURE.md "Concurrency model" has the
+  //    full hierarchy; docs/syscalls.md the per-syscall footprint) --
+  //
+  //   Get / GetThread / GetContainer     shard of `id` held (any mode)
+  //   CanObserve / CanModifyLabels /     shards keeping the operand objects
+  //     CheckModify                        alive held (any mode)
+  //   ResolveEntry                       shards of ce.container + ce.object
+  //   CheckCreate                        shard of `d` held (exclusive — the
+  //                                        create path ends in LinkInto)
+  //   LinkInto / UnlinkFrom              shards of both operands, exclusive
+  //   DestroyObject                      container: ALL shards exclusive
+  //                                        (recursive); other types: own
+  //                                        shard exclusive
+  //   InsertObject                       shard of obj->id(), exclusive
+  //   SerializeObjectLocked              shard of the object held (any mode)
+  //   LiveLocked                         ALL shards held (any mode)
+  //   MarkDirty / CountSyscall           no shard requirement (leaf mutexes)
+  //   AllocObjectId / WakeAllFutexes     must be called with NO shard held
 
   Object* Get(ObjectId id) const;
   Thread* GetThread(ObjectId id) const;
@@ -293,6 +328,13 @@ class Kernel {
   // containers). Collects destroyed segment ids for futex wakeups.
   void DestroyObject(ObjectId id, std::vector<ObjectId>* destroyed_segments);
 
+  // Body of sys_container_unref. Requires the shards of {self, ce} held
+  // exclusive; if the unlink would drop O's last link, destruction needs
+  // ALL shards — with `allow_destroy` false the call then backs out without
+  // mutating and sets *need_all so the caller can retake the full lock.
+  Status UnrefOnce(ObjectId self, ContainerEntry ce, bool allow_destroy, bool* need_all,
+                   std::vector<ObjectId>* destroyed);
+
   uint64_t ContainerFree(const Container& d) const;
   void MarkDirty(ObjectId id);
 
@@ -307,24 +349,71 @@ class Kernel {
   // Wakes futex waiters on a destroyed segment so they fail promptly.
   void WakeAllFutexes(const std::vector<ObjectId>& segs);
 
-  mutable std::mutex mu_;
-  std::unordered_map<ObjectId, std::unique_ptr<Object>> objects_;
-  uint64_t creation_counter_ = 0;
+  // One resolve-check-copy pass of sys_as_access (the per-`attempt` body).
+  Status AsAccessOnce(ObjectId self, uint64_t va, void* buf, uint64_t len, bool write);
+
+  // Resolves `seg` for thread `self`, runs the §3.2 observe + range checks,
+  // and reads the 8-byte futex word at `offset` into *word (and the
+  // segment's id into *sid). Takes its own shared TableLock. One helper for
+  // both the validation pass and the post-registration recheck of
+  // sys_futex_wait, so the two passes cannot drift apart.
+  Status ReadFutexWord(ObjectId self, ContainerEntry seg, uint64_t offset, uint64_t* word,
+                       ObjectId* sid);
+
+  // Serialization body shared by SerializeObject and the checkpoint snapshot.
+  bool SerializeObjectLocked(const Object& o, std::vector<uint8_t>* out) const;
+  // Live ids in creation order; requires all shards held.
+  std::vector<ObjectId> LiveLocked() const;
+  // Dirty (id, mark-generation) pairs in creation order; requires all
+  // shards held (takes dirty_mu_ itself). The generation lets sys_sync
+  // retire exactly the marks it serialized and no newer ones.
+  std::vector<std::pair<ObjectId, uint64_t>> DirtySnapshotLocked() const;
+
+  // The sharded object table — PR 2 split the old single `mu_` into
+  // per-shard shared_mutexes; see ARCHITECTURE.md "Concurrency model".
+  ObjectTable table_;
+  std::atomic<uint64_t> creation_counter_{0};
+  // Boot-time only: set by the constructor / FinishRestore before any
+  // concurrent syscalls run, immutable afterwards.
   ObjectId root_ = kInvalidObject;
 
   CategoryAllocator cat_alloc_;
   CategoryAllocator objid_alloc_{0x4f424a4944ULL /* "OBJID" */};
-  // Sharded and internally synchronized: label checks do not rely on mu_.
+  // Sharded and internally synchronized: label checks never serialize on
+  // any table shard lock.
   mutable LabelRegistry registry_;
 
+  // Leaf state, each under its own mutex (all ordered AFTER the table
+  // shards; futex_mu_ is never held together with any shard lock):
   std::unordered_map<std::string, GateEntryFn> gate_entries_;
   mutable std::mutex gate_entries_mu_;
 
   std::unordered_map<FutexKey, std::unique_ptr<FutexWaitQueue>, FutexKeyHash> futexes_;
+  mutable std::mutex futex_mu_;
 
   std::unordered_map<ObjectId, std::function<bool(uint64_t, bool)>> pf_handlers_;
-  std::unordered_map<ObjectId, uint64_t> thread_syscalls_;
-  std::unordered_set<ObjectId> dirty_;
+  mutable std::mutex pf_mu_;
+
+  // Per-thread syscall counters, striped by thread id so the entry
+  // bookkeeping of concurrent syscalls (one `self` per host thread) lands
+  // on different mutexes — a single counts mutex would put a kernel-wide
+  // lock round-trip back on every syscall the shard split parallelized.
+  static constexpr size_t kCountStripes = 16;
+  struct CountStripe {
+    std::mutex mu;
+    std::unordered_map<ObjectId, uint64_t> counts;
+  };
+  CountStripe& CountStripeFor(ObjectId id) const {
+    return count_stripes_[ObjectTable::ShardIndexFor(id, kCountStripes)];
+  }
+  mutable std::array<CountStripe, kCountStripes> count_stripes_;
+
+  // id → generation of its latest MarkDirty. sys_sync retires an id only if
+  // its generation still matches the snapshot it serialized, so a write
+  // landing while the store commits (no shard lock held) keeps its mark.
+  std::unordered_map<ObjectId, uint64_t> dirty_;
+  uint64_t dirty_seq_ = 0;
+  mutable std::mutex dirty_mu_;
 
   std::atomic<uint64_t> syscall_count_{0};
   PersistTarget* persist_ = nullptr;

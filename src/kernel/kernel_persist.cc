@@ -4,6 +4,13 @@
 // store (src/store) persists these blobs. Gate entry functions are not
 // serialized — the entry *name* is, standing in for the on-disk code segment
 // that the real system would map; names must be re-registered at boot.
+//
+// Snapshot locking: sys_sync builds its batch (live set + serialized dirty
+// objects) under ONE all-shards shared lock — TableLock::All acquires the
+// shards in ascending index order — so the checkpoint image is a consistent
+// cut of the object graph even while reader syscalls proceed on other
+// threads. The store commit itself runs with no kernel lock held, exactly
+// like the old single-mutex code.
 #include <algorithm>
 #include <cstring>
 
@@ -109,56 +116,51 @@ void PutLabel(std::vector<uint8_t>* out, const Label& l) { l.Serialize(out); }
 
 }  // namespace
 
-bool Kernel::SerializeObject(ObjectId id, std::vector<uint8_t>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const Object* o = Get(id);
-  if (o == nullptr) {
-    return false;
-  }
+bool Kernel::SerializeObjectLocked(const Object& o, std::vector<uint8_t>* out) const {
   out->clear();
-  PutU8(out, static_cast<uint8_t>(o->type()));
-  PutU64(out, o->id());
-  PutU64(out, o->creation_seq());
+  PutU8(out, static_cast<uint8_t>(o.type()));
+  PutU64(out, o.id());
+  PutU64(out, o.creation_seq());
   // Objects hold registry handles; the canonical label bytes come from the
   // registry. LabelIds themselves are volatile and never written to disk —
   // restore re-interns and rebuilds them (see FinishRestore).
-  PutLabel(out, LabelOf(*o));
-  PutU64(out, o->quota());
-  PutU8(out, o->fixed_quota() ? 1 : 0);
-  PutU8(out, o->immutable() ? 1 : 0);
-  PutString(out, o->descrip());
-  PutBytes(out, o->metadata().data(), kMetadataLen);
+  PutLabel(out, LabelOf(o));
+  PutU64(out, o.quota());
+  PutU8(out, o.fixed_quota() ? 1 : 0);
+  PutU8(out, o.immutable() ? 1 : 0);
+  PutString(out, o.descrip());
+  PutBytes(out, o.metadata().data(), kMetadataLen);
 
-  switch (o->type()) {
+  switch (o.type()) {
     case ObjectType::kSegment: {
-      const Segment* s = static_cast<const Segment*>(o);
-      PutU64(out, s->bytes().size());
-      PutBytes(out, s->bytes().data(), s->bytes().size());
+      const Segment& s = static_cast<const Segment&>(o);
+      PutU64(out, s.bytes().size());
+      PutBytes(out, s.bytes().data(), s.bytes().size());
       break;
     }
     case ObjectType::kContainer: {
-      const Container* c = static_cast<const Container*>(o);
-      PutU32(out, c->avoid_types());
-      PutU64(out, c->parent());
-      PutU32(out, static_cast<uint32_t>(c->links().size()));
-      for (ObjectId l : c->links()) {
+      const Container& c = static_cast<const Container&>(o);
+      PutU32(out, c.avoid_types());
+      PutU64(out, c.parent());
+      PutU32(out, static_cast<uint32_t>(c.links().size()));
+      for (ObjectId l : c.links()) {
         PutU64(out, l);
       }
       break;
     }
     case ObjectType::kThread: {
-      const Thread* t = static_cast<const Thread*>(o);
-      PutLabel(out, ClearanceOf(*t));
-      PutU8(out, t->halted() ? 1 : 0);
-      PutU64(out, t->address_space().container);
-      PutU64(out, t->address_space().object);
-      PutBytes(out, const_cast<Thread*>(t)->local_segment().data(), kPageSize);
+      const Thread& t = static_cast<const Thread&>(o);
+      PutLabel(out, ClearanceOf(t));
+      PutU8(out, t.halted() ? 1 : 0);
+      PutU64(out, t.address_space().container);
+      PutU64(out, t.address_space().object);
+      PutBytes(out, const_cast<Thread&>(t).local_segment().data(), kPageSize);
       break;
     }
     case ObjectType::kAddressSpace: {
-      const AddressSpace* as = static_cast<const AddressSpace*>(o);
-      PutU32(out, static_cast<uint32_t>(as->mappings().size()));
-      for (const Mapping& m : as->mappings()) {
+      const AddressSpace& as = static_cast<const AddressSpace&>(o);
+      PutU32(out, static_cast<uint32_t>(as.mappings().size()));
+      for (const Mapping& m : as.mappings()) {
         PutU64(out, m.va);
         PutU64(out, m.segment.container);
         PutU64(out, m.segment.object);
@@ -169,22 +171,31 @@ bool Kernel::SerializeObject(ObjectId id, std::vector<uint8_t>* out) const {
       break;
     }
     case ObjectType::kGate: {
-      const Gate* g = static_cast<const Gate*>(o);
-      PutLabel(out, ClearanceOf(*g));
-      PutString(out, g->entry_name());
-      PutU32(out, static_cast<uint32_t>(g->closure().size()));
-      for (uint64_t w : g->closure()) {
+      const Gate& g = static_cast<const Gate&>(o);
+      PutLabel(out, ClearanceOf(g));
+      PutString(out, g.entry_name());
+      PutU32(out, static_cast<uint32_t>(g.closure().size()));
+      for (uint64_t w : g.closure()) {
         PutU64(out, w);
       }
       break;
     }
     case ObjectType::kDevice: {
-      const Device* d = static_cast<const Device*>(o);
-      PutU8(out, static_cast<uint8_t>(d->kind()));
+      const Device& d = static_cast<const Device&>(o);
+      PutU8(out, static_cast<uint8_t>(d.kind()));
       break;
     }
   }
   return true;
+}
+
+bool Kernel::SerializeObject(ObjectId id, std::vector<uint8_t>* out) const {
+  TableLock lk(table_, TableLock::Mode::kShared, {id});
+  const Object* o = Get(id);
+  if (o == nullptr) {
+    return false;
+  }
+  return SerializeObjectLocked(*o, out);
 }
 
 Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
@@ -308,31 +319,35 @@ Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
   obj->set_descrip_internal(descrip);
   obj->metadata_mutable() = metadata;
 
-  std::lock_guard<std::mutex> lock(mu_);
   obj->set_creation_seq(creation_seq);
-  if (creation_seq > creation_counter_) {
-    creation_counter_ = creation_seq;
+  // Monotonic max: restore runs object-by-object, and fresh allocations must
+  // sequence after everything already on disk.
+  uint64_t prev = creation_counter_.load(std::memory_order_relaxed);
+  while (prev < creation_seq &&
+         !creation_counter_.compare_exchange_weak(prev, creation_seq,
+                                                  std::memory_order_relaxed)) {
   }
-  objects_[id] = std::move(obj);
+  TableLock lk(table_, TableLock::Mode::kExclusive, {id});
+  table_.InsertLocked(std::move(obj));
   return Status::kOk;
 }
 
 void Kernel::FinishRestore(ObjectId root) {
-  std::lock_guard<std::mutex> lock(mu_);
+  TableLock lk = TableLock::All(table_, TableLock::Mode::kExclusive);
   root_ = root;
   // Rebuild link counts and container usages from the link graph. Labels
   // were already re-interned object-by-object in RestoreObject, so the
   // registry is fully populated by the time restore finishes.
-  for (auto& [id, obj] : objects_) {
+  table_.ForEachLocked([](ObjectId, Object* obj) {
     while (obj->link_count() > 0) {
       obj->drop_link_internal();
     }
-  }
-  for (auto& [id, obj] : objects_) {
+  });
+  table_.ForEachLocked([this](ObjectId, Object* obj) {
     if (obj->type() != ObjectType::kContainer) {
-      continue;
+      return;
     }
-    Container* c = static_cast<Container*>(obj.get());
+    Container* c = static_cast<Container*>(obj);
     uint64_t usage = 0;
     for (ObjectId child : c->links()) {
       Object* co = Get(child);
@@ -344,23 +359,23 @@ void Kernel::FinishRestore(ObjectId root) {
       }
     }
     c->set_usage_internal(usage);
-  }
+  });
   Object* root_obj = Get(root_);
   if (root_obj != nullptr) {
     root_obj->add_link_internal();  // permanent anchor
   }
+  std::lock_guard<std::mutex> dl(dirty_mu_);
   dirty_.clear();
 }
 
-std::vector<ObjectId> Kernel::LiveObjects() const {
-  std::lock_guard<std::mutex> lock(mu_);
+std::vector<ObjectId> Kernel::LiveLocked() const {
   // Creation order, so checkpoints lay out consecutively created objects
   // contiguously (delayed allocation keeps related data together on disk).
   std::vector<std::pair<uint64_t, ObjectId>> seq;
-  seq.reserve(objects_.size());
-  for (const auto& [id, obj] : objects_) {
+  seq.reserve(table_.SizeLocked());
+  table_.ForEachLocked([&seq](ObjectId id, const Object* obj) {
     seq.emplace_back(obj->creation_seq(), id);
-  }
+  });
   std::sort(seq.begin(), seq.end());
   std::vector<ObjectId> out;
   out.reserve(seq.size());
@@ -370,38 +385,58 @@ std::vector<ObjectId> Kernel::LiveObjects() const {
   return out;
 }
 
-std::vector<ObjectId> Kernel::DirtyObjects() const {
-  std::lock_guard<std::mutex> lock(mu_);
+std::vector<ObjectId> Kernel::LiveObjects() const {
+  TableLock lk = TableLock::All(table_, TableLock::Mode::kShared);
+  return LiveLocked();
+}
+
+std::vector<std::pair<ObjectId, uint64_t>> Kernel::DirtySnapshotLocked() const {
+  // Shard locks before dirty_mu_ (lock hierarchy): the caller holds the
+  // table, so the creation_seq reads below are stable.
+  std::vector<std::pair<ObjectId, uint64_t>> marks;
+  {
+    std::lock_guard<std::mutex> dl(dirty_mu_);
+    marks.assign(dirty_.begin(), dirty_.end());
+  }
   // Creation order, like LiveObjects: the checkpoint writes the batch to
   // contiguous extents in this order, so consecutively created files end up
   // physically adjacent (what makes uncached directory-order reads mostly
   // sequential).
-  std::vector<std::pair<uint64_t, ObjectId>> seq;
-  seq.reserve(dirty_.size());
-  for (ObjectId id : dirty_) {
+  std::vector<std::pair<uint64_t, std::pair<ObjectId, uint64_t>>> seq;
+  seq.reserve(marks.size());
+  for (const auto& [id, gen] : marks) {
     const Object* obj = Get(id);
     if (obj != nullptr) {
-      seq.emplace_back(obj->creation_seq(), id);
+      seq.emplace_back(obj->creation_seq(), std::make_pair(id, gen));
     }
   }
   std::sort(seq.begin(), seq.end());
-  std::vector<ObjectId> out;
+  std::vector<std::pair<ObjectId, uint64_t>> out;
   out.reserve(seq.size());
-  for (const auto& [s, id] : seq) {
+  for (const auto& [s, mark] : seq) {
+    out.push_back(mark);
+  }
+  return out;
+}
+
+std::vector<ObjectId> Kernel::DirtyObjects() const {
+  TableLock lk = TableLock::All(table_, TableLock::Mode::kShared);
+  std::vector<ObjectId> out;
+  for (const auto& [id, gen] : DirtySnapshotLocked()) {
     out.push_back(id);
   }
   return out;
 }
 
 void Kernel::ClearDirty() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(dirty_mu_);
   dirty_.clear();
 }
 
 Status Kernel::sys_sync(ObjectId self) {
+  CountSyscall(self);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    CountSyscall(self);
+    TableLock lk(table_, TableLock::Mode::kShared, {self});
     Thread* t = GetThread(self);
     if (t == nullptr || t->halted()) {
       return Status::kHalted;
@@ -412,29 +447,45 @@ Status Kernel::sys_sync(ObjectId self) {
   }
   // Group sync (§7.1): checkpoint the system state. Only objects mutated
   // since the last sync are re-serialized; the live-id set lets the store
-  // drop deleted objects. The store commits atomically (superblock flip).
-  std::vector<ObjectId> live = LiveObjects();
-  std::vector<ObjectId> dirty_ids = DirtyObjects();
+  // drop deleted objects. The whole batch is built under one all-shards
+  // shared lock (a consistent cut); the store then commits atomically
+  // (superblock flip) with no kernel lock held.
+  std::vector<ObjectId> live;
+  std::vector<std::pair<ObjectId, uint64_t>> snapshot;
   std::vector<std::pair<ObjectId, std::vector<uint8_t>>> batch;
-  batch.reserve(dirty_ids.size());
-  for (ObjectId id : dirty_ids) {
-    std::vector<uint8_t> bytes;
-    if (SerializeObject(id, &bytes)) {
-      batch.emplace_back(id, std::move(bytes));
+  {
+    TableLock lk = TableLock::All(table_, TableLock::Mode::kShared);
+    live = LiveLocked();
+    snapshot = DirtySnapshotLocked();
+    batch.reserve(snapshot.size());
+    for (const auto& [id, gen] : snapshot) {
+      std::vector<uint8_t> bytes;
+      if (SerializeObjectLocked(*Get(id), &bytes)) {
+        batch.emplace_back(id, std::move(bytes));
+      }
     }
   }
   Status st = persist_->Checkpoint(batch, live, root_);
   if (st == Status::kOk) {
-    ClearDirty();
+    // Retire only marks whose generation still matches what was serialized:
+    // an object re-dirtied while the store was committing (no shard lock
+    // held) carries a newer generation and stays dirty for the next sync.
+    std::lock_guard<std::mutex> dl(dirty_mu_);
+    for (const auto& [id, gen] : snapshot) {
+      auto it = dirty_.find(id);
+      if (it != dirty_.end() && it->second == gen) {
+        dirty_.erase(it);
+      }
+    }
   }
   return st;
 }
 
 Status Kernel::sys_sync_pages(ObjectId self, ContainerEntry ce, uint64_t offset, uint64_t len) {
+  CountSyscall(self);
   ObjectId target;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    CountSyscall(self);
+    TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
     Thread* t = GetThread(self);
     if (t == nullptr || t->halted()) {
       return Status::kHalted;
@@ -455,10 +506,10 @@ Status Kernel::sys_sync_pages(ObjectId self, ContainerEntry ce, uint64_t offset,
 }
 
 Status Kernel::sys_sync_object(ObjectId self, ContainerEntry ce) {
+  CountSyscall(self);
   ObjectId target;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    CountSyscall(self);
+    TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
     Thread* t = GetThread(self);
     if (t == nullptr || t->halted()) {
       return Status::kHalted;

@@ -1,4 +1,19 @@
 // Segment, address-space, futex and device syscalls (paper §3.4, §4.1, §5.7).
+//
+// Locking footprint per syscall is tabulated in docs/syscalls.md. Two paths
+// here deserve note (full discussion in ARCHITECTURE.md "Concurrency
+// model"):
+//   * sys_as_access cannot know its shard footprint up front (the backing
+//     segment comes out of the address space, which comes out of the
+//     thread), so it discovers it optimistically: lock the shards known so
+//     far, derive the next id, widen and retry if it escapes the locked
+//     set — typically two to three short targeted rounds (shared for
+//     reads, exclusive for writes), never an up-front all-shards lock.
+//   * Futexes live under their own futex_mu_, which is never held together
+//     with any shard lock. The lost-wakeup window this opens between "read
+//     the futex word" and "sleep" is closed by registering as a waiter
+//     first and re-reading the word afterwards; wakes that land in between
+//     are captured by the queue's wake_seq/wake_budget counters.
 #include <chrono>
 #include <cstring>
 
@@ -10,8 +25,9 @@ namespace histar {
 
 Result<ObjectId> Kernel::sys_segment_create(ObjectId self, const CreateSpec& spec,
                                             uint64_t len) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  Result<ObjectId> id = AllocObjectId();
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self, spec.container, id.value()});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -22,10 +38,9 @@ Result<ObjectId> Kernel::sys_segment_create(ObjectId self, const CreateSpec& spe
   if (!d.ok()) {
     return d.status();
   }
-  if (kObjectOverheadBytes + len > spec.quota) {
+  if (!RangeOk(kObjectOverheadBytes, len, spec.quota)) {
     return Status::kQuotaExceeded;
   }
-  Result<ObjectId> id = AllocObjectId();
   auto s = std::make_unique<Segment>(id.value(), lid);
   s->bytes().resize(len, 0);
   s->set_quota_internal(spec.quota);
@@ -34,7 +49,7 @@ Result<ObjectId> Kernel::sys_segment_create(ObjectId self, const CreateSpec& spe
   InsertObject(std::move(s));
   Status ls = LinkInto(d.value(), raw);
   if (ls != Status::kOk) {
-    objects_.erase(raw->id());
+    table_.EraseLocked(raw->id());
     return ls;
   }
   MarkDirty(raw->id());
@@ -43,8 +58,10 @@ Result<ObjectId> Kernel::sys_segment_create(ObjectId self, const CreateSpec& spe
 
 Result<ObjectId> Kernel::sys_segment_copy(ObjectId self, const CreateSpec& spec,
                                           ContainerEntry src) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  Result<ObjectId> id = AllocObjectId();
+  TableLock lk(table_, TableLock::Mode::kExclusive,
+               {self, src.container, src.object, spec.container, id.value()});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -69,10 +86,9 @@ Result<ObjectId> Kernel::sys_segment_copy(ObjectId self, const CreateSpec& spec,
   if (!d.ok()) {
     return d.status();
   }
-  if (kObjectOverheadBytes + s->bytes().size() > spec.quota) {
+  if (!RangeOk(kObjectOverheadBytes, s->bytes().size(), spec.quota)) {
     return Status::kQuotaExceeded;
   }
-  Result<ObjectId> id = AllocObjectId();
   auto ns = std::make_unique<Segment>(id.value(), lid);
   ns->bytes() = s->bytes();
   ns->set_quota_internal(spec.quota);
@@ -81,7 +97,7 @@ Result<ObjectId> Kernel::sys_segment_copy(ObjectId self, const CreateSpec& spec,
   InsertObject(std::move(ns));
   Status ls = LinkInto(d.value(), raw);
   if (ls != Status::kOk) {
-    objects_.erase(raw->id());
+    table_.EraseLocked(raw->id());
     return ls;
   }
   MarkDirty(raw->id());
@@ -89,8 +105,8 @@ Result<ObjectId> Kernel::sys_segment_copy(ObjectId self, const CreateSpec& spec,
 }
 
 Status Kernel::sys_segment_resize(ObjectId self, ContainerEntry ce, uint64_t len) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -107,7 +123,7 @@ Status Kernel::sys_segment_resize(ObjectId self, ContainerEntry ce, uint64_t len
   if (ms != Status::kOk) {
     return ms;
   }
-  if (kObjectOverheadBytes + len > s->quota()) {
+  if (!RangeOk(kObjectOverheadBytes, len, s->quota())) {
     return Status::kQuotaExceeded;
   }
   s->bytes().resize(len, 0);
@@ -116,8 +132,8 @@ Status Kernel::sys_segment_resize(ObjectId self, ContainerEntry ce, uint64_t len
 }
 
 Result<uint64_t> Kernel::sys_segment_get_len(ObjectId self, ContainerEntry ce) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -137,8 +153,12 @@ Result<uint64_t> Kernel::sys_segment_get_len(ObjectId self, ContainerEntry ce) {
 
 Status Kernel::sys_segment_read(ObjectId self, ContainerEntry ce, void* buf, uint64_t off,
                                 uint64_t len) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  // The read-mostly hot path the shard split exists for: three ids, shared
+  // locks only — concurrent reads of different (or the same) segments never
+  // serialize on a kernel-wide lock (bench/ablation_objtable.cc measures
+  // exactly this path).
+  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -154,7 +174,7 @@ Status Kernel::sys_segment_read(ObjectId self, ContainerEntry ce, void* buf, uin
   if (!CanObserve(*t, *s)) {
     return Status::kLabelCheckFailed;
   }
-  if (off + len > s->bytes().size()) {
+  if (!RangeOk(off, len, s->bytes().size())) {
     return Status::kRange;
   }
   memcpy(buf, s->bytes().data() + off, len);
@@ -163,8 +183,8 @@ Status Kernel::sys_segment_read(ObjectId self, ContainerEntry ce, void* buf, uin
 
 Status Kernel::sys_segment_write(ObjectId self, ContainerEntry ce, const void* buf,
                                  uint64_t off, uint64_t len) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -181,7 +201,7 @@ Status Kernel::sys_segment_write(ObjectId self, ContainerEntry ce, const void* b
   if (ms != Status::kOk) {
     return ms;
   }
-  if (off + len > s->bytes().size()) {
+  if (!RangeOk(off, len, s->bytes().size())) {
     return Status::kRange;
   }
   memcpy(s->bytes().data() + off, buf, len);
@@ -192,8 +212,9 @@ Status Kernel::sys_segment_write(ObjectId self, ContainerEntry ce, const void* b
 // ---- address spaces -------------------------------------------------------------
 
 Result<ObjectId> Kernel::sys_as_create(ObjectId self, const CreateSpec& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  Result<ObjectId> id = AllocObjectId();
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self, spec.container, id.value()});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -204,7 +225,6 @@ Result<ObjectId> Kernel::sys_as_create(ObjectId self, const CreateSpec& spec) {
   if (!d.ok()) {
     return d.status();
   }
-  Result<ObjectId> id = AllocObjectId();
   auto as = std::make_unique<AddressSpace>(id.value(), lid);
   as->set_quota_internal(spec.quota);
   as->set_descrip_internal(spec.descrip);
@@ -212,7 +232,7 @@ Result<ObjectId> Kernel::sys_as_create(ObjectId self, const CreateSpec& spec) {
   InsertObject(std::move(as));
   Status ls = LinkInto(d.value(), raw);
   if (ls != Status::kOk) {
-    objects_.erase(raw->id());
+    table_.EraseLocked(raw->id());
     return ls;
   }
   MarkDirty(raw->id());
@@ -220,8 +240,8 @@ Result<ObjectId> Kernel::sys_as_create(ObjectId self, const CreateSpec& spec) {
 }
 
 Status Kernel::sys_as_set(ObjectId self, ContainerEntry ce, const std::vector<Mapping>& mappings) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -249,8 +269,8 @@ Status Kernel::sys_as_set(ObjectId self, ContainerEntry ce, const std::vector<Ma
 }
 
 Result<std::vector<Mapping>> Kernel::sys_as_get(ObjectId self, ContainerEntry ce) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -270,79 +290,112 @@ Result<std::vector<Mapping>> Kernel::sys_as_get(ObjectId self, ContainerEntry ce
 
 void Kernel::SetPageFaultHandler(ObjectId thread,
                                  std::function<bool(uint64_t va, bool write)> h) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(pf_mu_);
   pf_handlers_[thread] = std::move(h);
 }
 
-Status Kernel::sys_as_access(ObjectId self, uint64_t va, void* buf, uint64_t len, bool write) {
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    Status st = Status::kOk;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (attempt == 0) {
-        CountSyscall(self);
-      }
-      Thread* t = GetThread(self);
-      if (t == nullptr || t->halted()) {
-        return Status::kHalted;
-      }
-      AddressSpace* as = nullptr;
-      Object* aso = Get(t->address_space().object);
-      if (aso != nullptr && aso->type() == ObjectType::kAddressSpace) {
-        as = static_cast<AddressSpace*>(aso);
-      }
-      const Mapping* m = as != nullptr ? as->Lookup(va) : nullptr;
-      if (m == nullptr || !m->Covers(va + (len == 0 ? 0 : len - 1))) {
-        st = Status::kNotFound;
-      } else if ((write && (m->flags & kMapWrite) == 0) ||
-                 (!write && (m->flags & kMapRead) == 0)) {
-        st = Status::kNoPerm;
-      } else if (m->segment.object == kLocalSegmentId) {
-        // Thread-local segments are always accessible by the current thread.
-        uint64_t off = va - m->va + m->start_page * kPageSize;
-        if (off + len > t->local_segment().size()) {
-          st = Status::kRange;
-        } else if (write) {
-          memcpy(t->local_segment().data() + off, buf, len);
-        } else {
-          memcpy(buf, t->local_segment().data() + off, len);
-        }
-      } else {
-        // Fault-time checks (§3.4): read D and O; for writes also L_T ⊑ L_O.
-        Result<Object*> o = ResolveEntry(*t, m->segment);
-        if (!o.ok()) {
-          st = o.status();
-        } else if (o.value()->type() != ObjectType::kSegment) {
-          st = Status::kWrongType;
-        } else {
-          Segment* s = static_cast<Segment*>(o.value());
-          if (!CanObserve(*t, *s)) {
-            st = Status::kLabelCheckFailed;
-          } else if (write &&
-                     (!registry_.Leq(t->label_id(), s->label_id()) || s->immutable())) {
-            st = s->immutable() ? Status::kImmutable : Status::kLabelCheckFailed;
-          } else {
-            uint64_t off = va - m->va + m->start_page * kPageSize;
-            if (off + len > s->bytes().size()) {
-              st = Status::kRange;
-            } else if (write) {
-              memcpy(s->bytes().data() + off, buf, len);
-              MarkDirty(s->id());
-            } else {
-              memcpy(buf, s->bytes().data() + off, len);
-            }
-          }
-        }
-      }
+Status Kernel::AsAccessOnce(ObjectId self, uint64_t va, void* buf, uint64_t len, bool write) {
+  // The footprint (AS object, backing segment) is data-dependent: thread →
+  // address space → mapping → segment. Discover it optimistically: lock the
+  // shards known so far (round 0: just self), derive the next id, and if it
+  // escapes the locked set, loop with the grown footprint — shard coverage
+  // (TableLock::Covers), not id equality, is the safety criterion. A
+  // typical access pays two to three short targeted rounds (shared for
+  // reads, so concurrent readers stay fully parallel; exclusive for
+  // writes); caching the last footprint per thread to collapse this to one
+  // round is a noted ROADMAP follow-up.
+  // Should the footprint keep shifting under us (pathological AS churn),
+  // the final round locks every shard, which covers any derivation — so
+  // the loop always terminates with a definitive status.
+  const TableLock::Mode mode =
+      write ? TableLock::Mode::kExclusive : TableLock::Mode::kShared;
+  ObjectId as_id = kInvalidObject;
+  ContainerEntry seg{};
+  for (int round = 0;; ++round) {
+    TableLock lk = round >= kFootprintDiscoveryRounds
+                       ? TableLock::All(table_, mode)
+                       : TableLock(table_, mode, {self, as_id, seg.container, seg.object});
+    Thread* t = GetThread(self);
+    if (t == nullptr || t->halted()) {
+      return Status::kHalted;
     }
-    if (st == Status::kOk) {
+    if (!lk.Covers(t->address_space().object)) {
+      as_id = t->address_space().object;
+      continue;
+    }
+    AddressSpace* as = nullptr;
+    Object* aso = Get(t->address_space().object);
+    if (aso != nullptr && aso->type() == ObjectType::kAddressSpace) {
+      as = static_cast<AddressSpace*>(aso);
+    }
+    const Mapping* m = as != nullptr ? as->Lookup(va) : nullptr;
+    if (m == nullptr || !m->Covers(va + (len == 0 ? 0 : len - 1))) {
+      return Status::kNotFound;
+    }
+    if ((write && (m->flags & kMapWrite) == 0) || (!write && (m->flags & kMapRead) == 0)) {
+      return Status::kNoPerm;
+    }
+    if (m->segment.object == kLocalSegmentId) {
+      // Thread-local segments are always accessible by the current thread
+      // (self's shard is already in the lock set, exclusive when writing).
+      uint64_t off = va - m->va + m->start_page * kPageSize;
+      if (!RangeOk(off, len, t->local_segment().size())) {
+        return Status::kRange;
+      }
+      if (write) {
+        memcpy(t->local_segment().data() + off, buf, len);
+        MarkDirty(self);
+      } else {
+        memcpy(buf, t->local_segment().data() + off, len);
+      }
+      return Status::kOk;
+    }
+    if (!lk.Covers(m->segment.container) || !lk.Covers(m->segment.object)) {
+      as_id = t->address_space().object;
+      seg = m->segment;
+      continue;
+    }
+    // Fault-time checks (§3.4): read D and O; for writes also L_T ⊑ L_O.
+    Result<Object*> o = ResolveEntry(*t, m->segment);
+    if (!o.ok()) {
+      return o.status();
+    }
+    if (o.value()->type() != ObjectType::kSegment) {
+      return Status::kWrongType;
+    }
+    Segment* s = static_cast<Segment*>(o.value());
+    if (!CanObserve(*t, *s)) {
+      return Status::kLabelCheckFailed;
+    }
+    if (write && (!registry_.Leq(t->label_id(), s->label_id()) || s->immutable())) {
+      return s->immutable() ? Status::kImmutable : Status::kLabelCheckFailed;
+    }
+    uint64_t off = va - m->va + m->start_page * kPageSize;
+    if (!RangeOk(off, len, s->bytes().size())) {
+      return Status::kRange;
+    }
+    if (write) {
+      memcpy(s->bytes().data() + off, buf, len);
+      MarkDirty(s->id());
+    } else {
+      memcpy(buf, s->bytes().data() + off, len);
+    }
+    return Status::kOk;
+  }
+}
+
+Status Kernel::sys_as_access(ObjectId self, uint64_t va, void* buf, uint64_t len, bool write) {
+  CountSyscall(self);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Status st = AsAccessOnce(self, va, buf, len, write);
+    if (st == Status::kOk || st == Status::kHalted) {
       return st;
     }
     // Call up to the user-mode page-fault handler; if it claims to have
     // repaired the fault (remapped something), retry once.
     std::function<bool(uint64_t, bool)> handler;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(pf_mu_);
       auto it = pf_handlers_.find(self);
       if (it != pf_handlers_.end()) {
         handler = it->second;
@@ -357,10 +410,9 @@ Status Kernel::sys_as_access(ObjectId self, uint64_t va, void* buf, uint64_t len
 
 // ---- futexes ----------------------------------------------------------------------
 
-Status Kernel::sys_futex_wait(ObjectId self, ContainerEntry seg, uint64_t offset,
-                              uint64_t expected, uint32_t timeout_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
-  CountSyscall(self);
+Status Kernel::ReadFutexWord(ObjectId self, ContainerEntry seg, uint64_t offset,
+                             uint64_t* word, ObjectId* sid) {
+  TableLock lk(table_, TableLock::Mode::kShared, {self, seg.container, seg.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -376,34 +428,84 @@ Status Kernel::sys_futex_wait(ObjectId self, ContainerEntry seg, uint64_t offset
   if (!CanObserve(*t, *s)) {
     return Status::kLabelCheckFailed;
   }
-  if (offset + 8 > s->bytes().size()) {
+  if (!RangeOk(offset, 8, s->bytes().size())) {
     return Status::kRange;
   }
-  uint64_t current;
-  memcpy(&current, s->bytes().data() + offset, 8);
+  memcpy(word, s->bytes().data() + offset, 8);
+  *sid = s->id();
+  return Status::kOk;
+}
+
+Status Kernel::sys_futex_wait(ObjectId self, ContainerEntry seg, uint64_t offset,
+                              uint64_t expected, uint32_t timeout_ms) {
+  CountSyscall(self);
+  // Validation pass: resolve, observe-check, range-check, and the cheap
+  // early-out when the word already differs.
+  uint64_t current = 0;
+  ObjectId sid = kInvalidObject;
+  Status st = ReadFutexWord(self, seg, offset, &current, &sid);
+  if (st != Status::kOk) {
+    return st;
+  }
   if (current != expected) {
     return Status::kAgain;
   }
-  FutexKey key{s->id(), offset};
-  auto it = futexes_.find(key);
-  if (it == futexes_.end()) {
-    it = futexes_.emplace(key, std::make_unique<FutexWaitQueue>()).first;
+  // Register as a waiter BEFORE re-reading the word. A writer that changes
+  // the word and calls futex_wake between our validation pass and the sleep
+  // bumps wake_seq/wake_budget under futex_mu_, which the wait loop below
+  // observes — this ordering is what replaces the old big lock's atomicity.
+  FutexKey key{sid, offset};
+  FutexWaitQueue* q = nullptr;
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> fl(futex_mu_);
+    auto it = futexes_.find(key);
+    if (it == futexes_.end()) {
+      it = futexes_.emplace(key, std::make_unique<FutexWaitQueue>()).first;
+    }
+    q = it->second.get();
+    seq = q->wake_seq;
+    ++q->waiters;
   }
-  FutexWaitQueue* q = it->second.get();
-  uint64_t seq = q->wake_seq;
-  ++q->waiters;
+  // Re-read now that we are registered (closes the lost-wakeup window).
+  // Same helper as the validation pass, so the two cannot drift; a changed
+  // segment identity (destroyed and relinked under the same entry) also
+  // aborts — our registration would be on the old segment's queue.
+  ObjectId sid2 = kInvalidObject;
+  Status recheck = ReadFutexWord(self, seg, offset, &current, &sid2);
+  if (recheck == Status::kOk && (current != expected || sid2 != sid)) {
+    recheck = Status::kAgain;
+  }
+  if (recheck != Status::kOk) {
+    std::lock_guard<std::mutex> fl(futex_mu_);
+    if (--q->waiters == 0) {
+      futexes_.erase(key);  // GC: queues exist only while someone waits
+    }
+    return recheck;
+  }
   auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   Status result = Status::kOk;
+  std::unique_lock<std::mutex> fl(futex_mu_);
   for (;;) {
-    // Re-check world state each wakeup: consumed a wake token, halted,
-    // alerted, or timed out.
-    Thread* self_t = GetThread(self);
-    if (self_t == nullptr || self_t->halted()) {
-      result = Status::kHalted;
-      break;
+    // Re-check world state each wakeup: halted, alerted, consumed a wake
+    // token, or timed out. Thread state lives behind shard locks, and
+    // futex_mu_ never nests with those (lock hierarchy) — so drop the
+    // futex lock for the peek; wakes that land meanwhile persist in
+    // wake_seq/wake_budget and are seen on reacquisition.
+    fl.unlock();
+    Status ts = Status::kOk;
+    {
+      TableLock lk(table_, TableLock::Mode::kShared, {self});
+      Thread* t = GetThread(self);
+      if (t == nullptr || t->halted()) {
+        ts = Status::kHalted;
+      } else if (!t->alerts().empty()) {
+        ts = Status::kAgain;  // interrupted by alert (EINTR analogue)
+      }
     }
-    if (!self_t->alerts().empty()) {
-      result = Status::kAgain;  // interrupted by alert (EINTR analogue)
+    fl.lock();
+    if (ts != Status::kOk) {
+      result = ts;
       break;
     }
     if (q->wake_seq != seq && q->wake_budget > 0) {
@@ -411,44 +513,64 @@ Status Kernel::sys_futex_wait(ObjectId self, ContainerEntry seg, uint64_t offset
       result = Status::kOk;
       break;
     }
+    // Wait in bounded slices rather than one full-deadline block: alerts,
+    // halts and thread destruction are only observable through the shard-
+    // locked peek above (futex queues are keyed by segment, not by thread,
+    // so thread-targeted events cannot notify this cv directly), and the
+    // slice bound is what makes them interrupt a long timed wait promptly.
+    const auto slice = std::chrono::milliseconds(50);
     if (timeout_ms != 0) {
-      if (q->cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
         result = Status::kTimedOut;
         break;
       }
+      q->cv.wait_for(fl, std::min<std::chrono::steady_clock::duration>(deadline - now, slice));
     } else {
-      // Untimed waits still poll so that thread destruction is noticed even
-      // if no explicit wake ever arrives.
-      q->cv.wait_for(lock, std::chrono::milliseconds(50));
+      q->cv.wait_for(fl, slice);
     }
   }
-  --q->waiters;
+  if (--q->waiters == 0) {
+    // GC the queue with the last waiter (still under futex_mu_, so a
+    // concurrent register either already counted itself — keeping the
+    // queue alive — or will recreate it fresh). Unconsumed wake budget
+    // dies with it, which is fine: budget is only ever granted against
+    // counted waiters, and futexes permit spurious outcomes either way.
+    futexes_.erase(key);
+  }
   return result;
 }
 
 Result<uint32_t> Kernel::sys_futex_wake(ObjectId self, ContainerEntry seg, uint64_t offset,
                                         uint32_t max_count) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
-  Thread* t = GetThread(self);
-  if (t == nullptr || t->halted()) {
-    return Status::kHalted;
+  ObjectId sid = kInvalidObject;
+  {
+    TableLock lk(table_, TableLock::Mode::kShared, {self, seg.container, seg.object});
+    Thread* t = GetThread(self);
+    if (t == nullptr || t->halted()) {
+      return Status::kHalted;
+    }
+    Result<Object*> o = ResolveEntry(*t, seg);
+    if (!o.ok()) {
+      return o.status();
+    }
+    if (o.value()->type() != ObjectType::kSegment) {
+      return Status::kWrongType;
+    }
+    Segment* s = static_cast<Segment*>(o.value());
+    // Waking waiters conveys information to them: require modify access, the
+    // same as writing the futex word. (Label-only checks — no object state
+    // is mutated, so shared shard locks suffice; the queue mutation below
+    // happens under futex_mu_.)
+    Status ms = CheckModify(*t, *s);
+    if (ms != Status::kOk) {
+      return ms;
+    }
+    sid = s->id();
   }
-  Result<Object*> o = ResolveEntry(*t, seg);
-  if (!o.ok()) {
-    return o.status();
-  }
-  if (o.value()->type() != ObjectType::kSegment) {
-    return Status::kWrongType;
-  }
-  Segment* s = static_cast<Segment*>(o.value());
-  // Waking waiters conveys information to them: require modify access, the
-  // same as writing the futex word.
-  Status ms = CheckModify(*t, *s);
-  if (ms != Status::kOk) {
-    return ms;
-  }
-  FutexKey key{s->id(), offset};
+  std::lock_guard<std::mutex> fl(futex_mu_);
+  FutexKey key{sid, offset};
   auto it = futexes_.find(key);
   if (it == futexes_.end()) {
     return 0u;
@@ -464,8 +586,8 @@ Result<uint32_t> Kernel::sys_futex_wake(ObjectId self, ContainerEntry seg, uint6
 // ---- devices -----------------------------------------------------------------------
 
 Result<std::array<uint8_t, 6>> Kernel::sys_net_macaddr(ObjectId self, ContainerEntry dev) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self, dev.container, dev.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -489,11 +611,12 @@ Result<std::array<uint8_t, 6>> Kernel::sys_net_macaddr(ObjectId self, ContainerE
 
 Status Kernel::sys_net_transmit(ObjectId self, ContainerEntry dev, ContainerEntry seg,
                                 uint64_t off, uint64_t len) {
+  CountSyscall(self);
   NetPort* port = nullptr;
   std::vector<uint8_t> frame;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    CountSyscall(self);
+    TableLock lk(table_, TableLock::Mode::kShared,
+                 {self, dev.container, dev.object, seg.container, seg.object});
     Thread* t = GetThread(self);
     if (t == nullptr || t->halted()) {
       return Status::kHalted;
@@ -512,7 +635,8 @@ Status Kernel::sys_net_transmit(ObjectId self, ContainerEntry dev, ContainerEntr
     // Transmitting writes the device: the boot-time label {nr3, nw0, i2, 1}
     // means a thread tainted in any unowned category above the device's
     // level cannot transmit — this single check is what "tainted data cannot
-    // leave the machine" reduces to.
+    // leave the machine" reduces to. (Label checks only; the frame bytes go
+    // to the NIC ring, not into kernel objects, so shared locks suffice.)
     Status ms = CheckModify(*t, *d);
     if (ms != Status::kOk) {
       return ms;
@@ -528,7 +652,7 @@ Status Kernel::sys_net_transmit(ObjectId self, ContainerEntry dev, ContainerEntr
     if (!CanObserve(*t, *s)) {
       return Status::kLabelCheckFailed;
     }
-    if (off + len > s->bytes().size()) {
+    if (!RangeOk(off, len, s->bytes().size())) {
       return Status::kRange;
     }
     frame.assign(s->bytes().begin() + static_cast<ptrdiff_t>(off),
@@ -540,10 +664,11 @@ Status Kernel::sys_net_transmit(ObjectId self, ContainerEntry dev, ContainerEntr
 
 Result<uint64_t> Kernel::sys_net_receive(ObjectId self, ContainerEntry dev, ContainerEntry seg,
                                          uint64_t off, uint64_t maxlen) {
+  CountSyscall(self);
   NetPort* port = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    CountSyscall(self);
+    TableLock lk(table_, TableLock::Mode::kShared,
+                 {self, dev.container, dev.object, seg.container, seg.object});
     Thread* t = GetThread(self);
     if (t == nullptr || t->halted()) {
       return Status::kHalted;
@@ -590,7 +715,9 @@ Result<uint64_t> Kernel::sys_net_receive(ObjectId self, ContainerEntry dev, Cont
   }
   uint64_t n = std::min<uint64_t>(frame.size(), maxlen);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Copy-in pass mutates the segment: exclusive locks, and re-resolve —
+    // the world may have changed while we polled the NIC unlocked.
+    TableLock lk(table_, TableLock::Mode::kExclusive, {self, seg.container, seg.object});
     Thread* t = GetThread(self);
     if (t == nullptr || t->halted()) {
       return Status::kHalted;
@@ -599,8 +726,17 @@ Result<uint64_t> Kernel::sys_net_receive(ObjectId self, ContainerEntry dev, Cont
     if (!os.ok()) {
       return os.status();
     }
+    if (os.value()->type() != ObjectType::kSegment) {
+      return Status::kWrongType;
+    }
     Segment* s = static_cast<Segment*>(os.value());
-    if (off + n > s->bytes().size()) {
+    // Re-run the modify rule, not just resolution: the segment may have
+    // been marked immutable while we waited on the NIC with no lock held.
+    Status ms = CheckModify(*t, *s);
+    if (ms != Status::kOk) {
+      return ms;
+    }
+    if (!RangeOk(off, n, s->bytes().size())) {
       return Status::kRange;
     }
     memcpy(s->bytes().data() + off, frame.data(), n);
@@ -610,10 +746,10 @@ Result<uint64_t> Kernel::sys_net_receive(ObjectId self, ContainerEntry dev, Cont
 }
 
 Status Kernel::sys_net_wait(ObjectId self, ContainerEntry dev, uint32_t timeout_ms) {
+  CountSyscall(self);
   NetPort* port = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    CountSyscall(self);
+    TableLock lk(table_, TableLock::Mode::kShared, {self, dev.container, dev.object});
     Thread* t = GetThread(self);
     if (t == nullptr || t->halted()) {
       return Status::kHalted;
@@ -638,8 +774,8 @@ Status Kernel::sys_net_wait(ObjectId self, ContainerEntry dev, uint32_t timeout_
 }
 
 Status Kernel::sys_console_write(ObjectId self, ContainerEntry dev, const std::string& text) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self, dev.container, dev.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;

@@ -1,4 +1,8 @@
 // Thread and gate syscalls (paper §3.1, §3.5).
+//
+// Locking footprint per syscall is tabulated in docs/syscalls.md; the
+// general convention (one TableLock per syscall, shards in ascending order,
+// leaf mutexes nested under it) is described in kernel.cc / ARCHITECTURE.md.
 #include <cstring>
 
 #include "src/kernel/kernel.h"
@@ -8,8 +12,8 @@ namespace histar {
 // ---- threads -----------------------------------------------------------------
 
 Result<CategoryId> Kernel::sys_cat_create(ObjectId self) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -30,8 +34,8 @@ Result<CategoryId> Kernel::sys_cat_create(ObjectId self) {
 }
 
 Status Kernel::sys_self_set_label(ObjectId self, const Label& l) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -48,8 +52,8 @@ Status Kernel::sys_self_set_label(ObjectId self, const Label& l) {
 }
 
 Status Kernel::sys_self_set_clearance(ObjectId self, const Label& c) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -72,8 +76,8 @@ Status Kernel::sys_self_set_clearance(ObjectId self, const Label& c) {
 }
 
 Result<Label> Kernel::sys_self_get_label(ObjectId self) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -82,8 +86,8 @@ Result<Label> Kernel::sys_self_get_label(ObjectId self) {
 }
 
 Result<Label> Kernel::sys_self_get_clearance(ObjectId self) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -92,8 +96,8 @@ Result<Label> Kernel::sys_self_get_clearance(ObjectId self) {
 }
 
 Status Kernel::sys_self_set_as(ObjectId self, ContainerEntry as) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self, as.container, as.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -115,8 +119,8 @@ Status Kernel::sys_self_set_as(ObjectId self, ContainerEntry as) {
 }
 
 Result<ContainerEntry> Kernel::sys_self_get_as(ObjectId self) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -125,24 +129,28 @@ Result<ContainerEntry> Kernel::sys_self_get_as(ObjectId self) {
 }
 
 Status Kernel::sys_self_halt(ObjectId self) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
-  Thread* t = GetThread(self);
-  if (t == nullptr) {
-    return Status::kNotFound;
+  {
+    TableLock lk(table_, TableLock::Mode::kExclusive, {self});
+    Thread* t = GetThread(self);
+    if (t == nullptr) {
+      return Status::kNotFound;
+    }
+    t->set_halted_internal();
+    MarkDirty(self);
   }
-  t->set_halted_internal();
-  MarkDirty(self);
-  std::vector<ObjectId> ids = {self};
-  WakeAllFutexes(ids);
+  // No futex notify: queues are segment-keyed, so a thread id matches
+  // nothing. A host thread waiting as this kernel thread observes the halt
+  // through the wait loop's bounded-slice state peek (≤50 ms).
   return Status::kOk;
 }
 
 Result<ObjectId> Kernel::sys_thread_create(ObjectId self, const CreateSpec& spec,
                                            const Label& new_label,
                                            const Label& new_clearance) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  Result<ObjectId> id = AllocObjectId();
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self, spec.container, id.value()});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -159,7 +167,6 @@ Result<ObjectId> Kernel::sys_thread_create(ObjectId self, const CreateSpec& spec
   if (!d.ok()) {
     return d.status();
   }
-  Result<ObjectId> id = AllocObjectId();
   auto nt = std::make_unique<Thread>(id.value(), nl, registry_.Intern(new_clearance));
   nt->set_quota_internal(spec.quota);
   nt->set_descrip_internal(spec.descrip);
@@ -167,7 +174,7 @@ Result<ObjectId> Kernel::sys_thread_create(ObjectId self, const CreateSpec& spec
   InsertObject(std::move(nt));
   Status ls = LinkInto(d.value(), raw);
   if (ls != Status::kOk) {
-    objects_.erase(raw->id());
+    table_.EraseLocked(raw->id());
     return ls;
   }
   MarkDirty(raw->id());
@@ -175,43 +182,60 @@ Result<ObjectId> Kernel::sys_thread_create(ObjectId self, const CreateSpec& spec
 }
 
 Status Kernel::sys_thread_alert(ObjectId self, ContainerEntry thread, uint64_t code) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
-  Thread* t = GetThread(self);
-  if (t == nullptr || t->halted()) {
-    return Status::kHalted;
+  // The §3.4 check reaches through the target's *address space*, whose id
+  // is unknown until the target is read. Discover it optimistically, like
+  // sys_as_access: lock the shards known so far, widen if the derived AS
+  // escapes the set, and fall back to every shard only if the footprint
+  // keeps shifting (target retargeting its AS concurrently).
+  ObjectId as_id = kInvalidObject;
+  for (int round = 0;; ++round) {
+    TableLock lk = round >= kFootprintDiscoveryRounds
+                       ? TableLock::All(table_, TableLock::Mode::kExclusive)
+                       : TableLock(table_, TableLock::Mode::kExclusive,
+                                   {self, thread.container, thread.object, as_id});
+    Thread* t = GetThread(self);
+    if (t == nullptr || t->halted()) {
+      return Status::kHalted;
+    }
+    Result<Object*> o = ResolveEntry(*t, thread);
+    if (!o.ok()) {
+      return o.status();
+    }
+    if (o.value()->type() != ObjectType::kThread) {
+      return Status::kWrongType;
+    }
+    Thread* target = static_cast<Thread*>(o.value());
+    if (!lk.Covers(target->address_space().object)) {
+      as_id = target->address_space().object;
+      continue;
+    }
+    // §3.4: the sender must be able to write the target's address space — the
+    // alert vector lives there and this also implies the sender could have
+    // taken the target over entirely — and observe the target.
+    Object* as = Get(target->address_space().object);
+    if (as == nullptr) {
+      return Status::kNotFound;
+    }
+    Status ms = CheckModify(*t, *as);
+    if (ms != Status::kOk) {
+      return ms;
+    }
+    if (!CanObserve(*t, *target)) {
+      return Status::kLabelCheckFailed;
+    }
+    target->alerts().push_back(code);
+    break;
   }
-  Result<Object*> o = ResolveEntry(*t, thread);
-  if (!o.ok()) {
-    return o.status();
-  }
-  if (o.value()->type() != ObjectType::kThread) {
-    return Status::kWrongType;
-  }
-  Thread* target = static_cast<Thread*>(o.value());
-  // §3.4: the sender must be able to write the target's address space — the
-  // alert vector lives there and this also implies the sender could have
-  // taken the target over entirely — and observe the target.
-  Object* as = Get(target->address_space().object);
-  if (as == nullptr) {
-    return Status::kNotFound;
-  }
-  Status ms = CheckModify(*t, *as);
-  if (ms != Status::kOk) {
-    return ms;
-  }
-  if (!CanObserve(*t, *target)) {
-    return Status::kLabelCheckFailed;
-  }
-  target->alerts().push_back(code);
-  std::vector<ObjectId> ids = {target->id()};
-  WakeAllFutexes(ids);  // interrupt the target's futex waits
+  // No futex notify: segment-keyed queues cannot address a thread. The
+  // target's wait loop sees the pending alert at its next bounded-slice
+  // state peek (≤50 ms) and returns kAgain, the EINTR analogue.
   return Status::kOk;
 }
 
 Result<uint64_t> Kernel::sys_self_next_alert(ObjectId self) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -225,13 +249,13 @@ Result<uint64_t> Kernel::sys_self_next_alert(ObjectId self) {
 }
 
 Status Kernel::sys_self_local_read(ObjectId self, void* buf, uint64_t off, uint64_t len) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
   }
-  if (off + len > t->local_segment().size()) {
+  if (!RangeOk(off, len, t->local_segment().size())) {
     return Status::kRange;
   }
   memcpy(buf, t->local_segment().data() + off, len);
@@ -240,13 +264,16 @@ Status Kernel::sys_self_local_read(ObjectId self, void* buf, uint64_t off, uint6
 
 Status Kernel::sys_self_local_write(ObjectId self, const void* buf, uint64_t off,
                                     uint64_t len) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  // Exclusive even though only `self` ever writes its local segment: the
+  // checkpoint path serializes thread-local pages under shared all-locks,
+  // and shared/shared with a concurrent writer would race.
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
   }
-  if (off + len > t->local_segment().size()) {
+  if (!RangeOk(off, len, t->local_segment().size())) {
     return Status::kRange;
   }
   memcpy(t->local_segment().data() + off, buf, len);
@@ -260,8 +287,9 @@ Result<ObjectId> Kernel::sys_gate_create(ObjectId self, const CreateSpec& spec,
                                          const Label& gate_label, const Label& gate_clearance,
                                          const std::string& entry_name,
                                          const std::vector<uint64_t>& closure) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  Result<ObjectId> id = AllocObjectId();
+  TableLock lk(table_, TableLock::Mode::kExclusive, {self, spec.container, id.value()});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -282,12 +310,12 @@ Result<ObjectId> Kernel::sys_gate_create(ObjectId self, const CreateSpec& spec,
     return d.status();
   }
   {
+    // gate_entries_mu_ nests under the shard locks (lock hierarchy).
     std::lock_guard<std::mutex> glock(gate_entries_mu_);
     if (gate_entries_.find(entry_name) == gate_entries_.end()) {
       return Status::kNotFound;  // entry code segment missing
     }
   }
-  Result<ObjectId> id = AllocObjectId();
   auto g = std::make_unique<Gate>(id.value(), gl, registry_.Intern(gate_clearance),
                                   entry_name, closure);
   g->set_quota_internal(spec.quota);
@@ -296,7 +324,7 @@ Result<ObjectId> Kernel::sys_gate_create(ObjectId self, const CreateSpec& spec,
   InsertObject(std::move(g));
   Status ls = LinkInto(d.value(), raw);
   if (ls != Status::kOk) {
-    objects_.erase(raw->id());
+    table_.EraseLocked(raw->id());
     return ls;
   }
   MarkDirty(raw->id());
@@ -305,11 +333,11 @@ Result<ObjectId> Kernel::sys_gate_create(ObjectId self, const CreateSpec& spec,
 
 Status Kernel::sys_gate_invoke(ObjectId self, ContainerEntry gate, const Label& request_label,
                                const Label& request_clearance, const Label& verify_label) {
+  CountSyscall(self);
   GateEntryFn entry;
   GateCall call;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    CountSyscall(self);
+    TableLock lk(table_, TableLock::Mode::kExclusive, {self, gate.container, gate.object});
     Thread* t = GetThread(self);
     if (t == nullptr || t->halted()) {
       return Status::kHalted;
@@ -347,13 +375,9 @@ Status Kernel::sys_gate_invoke(ObjectId self, ContainerEntry gate, const Label& 
     if (request_label.HasLevel(Level::kHi) || request_clearance.HasLevel(Level::kHi)) {
       return Status::kInvalidArg;
     }
-    // The thread crosses the gate: its label and clearance become exactly
-    // what it requested (the kernel verified, user code specified — §3.5);
-    // only now, with every check passed, do the request labels earn a
-    // registry entry.
-    t->set_label_id_internal(registry_.Intern(request_label));
-    t->set_clearance_id_internal(registry_.Intern(request_clearance));
-    MarkDirty(self);
+    // Resolve the entry function BEFORE relabeling: a gate whose entry name
+    // was never re-registered after restore must fail without switching the
+    // caller's protection domain.
     {
       std::lock_guard<std::mutex> glock(gate_entries_mu_);
       auto it = gate_entries_.find(g->entry_name());
@@ -362,21 +386,29 @@ Status Kernel::sys_gate_invoke(ObjectId self, ContainerEntry gate, const Label& 
       }
       entry = it->second;
     }
+    // The thread crosses the gate: its label and clearance become exactly
+    // what it requested (the kernel verified, user code specified — §3.5);
+    // only now, with every check passed, do the request labels earn a
+    // registry entry.
+    t->set_label_id_internal(registry_.Intern(request_label));
+    t->set_clearance_id_internal(registry_.Intern(request_clearance));
+    MarkDirty(self);
     call.kernel = this;
     call.thread = self;
     call.closure = g->closure();
     call.gate = gate;
     call.verify = verify_label;
   }
-  // Run the entry point outside the kernel lock: this is user code executing
-  // in the gate creator's protection domain.
+  // Run the entry point outside every kernel lock: this is user code
+  // executing in the gate creator's protection domain, and it will issue
+  // syscalls that take their own TableLocks.
   entry(call);
   return Status::kOk;
 }
 
 Result<std::vector<uint64_t>> Kernel::sys_gate_get_closure(ObjectId self, ContainerEntry ce) {
-  std::lock_guard<std::mutex> lock(mu_);
   CountSyscall(self);
+  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;

@@ -11,6 +11,13 @@
 // the kernel's LabelRegistry, where the canonical label and its precomputed
 // shifted variants live. Resolving an id back to a Label goes through
 // Kernel::LabelOf / the registry.
+//
+// Objects carry no locks of their own. The object table is sharded
+// (src/kernel/object_table.h); every accessor here — including the
+// `*_internal` mutators — assumes the caller holds the table lock of the
+// shard covering this object's id: shared mode for the const readers,
+// exclusive for anything that mutates (see ARCHITECTURE.md "Concurrency
+// model" and the helper contracts in kernel.h).
 #ifndef SRC_KERNEL_OBJECT_H_
 #define SRC_KERNEL_OBJECT_H_
 

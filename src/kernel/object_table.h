@@ -1,0 +1,236 @@
+// The sharded kernel object table (the PR-2 split of the old Kernel::mu_).
+//
+// The table is divided into a power-of-two number of shards keyed by a mixed
+// hash of the ObjectId. Each shard pairs a std::shared_mutex with the
+// unordered_map holding that shard's objects, so read-mostly syscalls
+// (segment reads, container lookups, label fetches) take shard-local shared
+// locks and scale across cores, while mutating syscalls take only their
+// shards' exclusive locks. The full locking discipline — which syscalls lock
+// which shards, in which mode, and how the leaf mutexes nest — is documented
+// in ARCHITECTURE.md ("Concurrency model").
+//
+// Locking rules enforced here:
+//   * TableLock is the only way shard mutexes are acquired. It locks the
+//     shards covering a given id set in ascending shard-index order, all in
+//     one mode, and a syscall acquires exactly one TableLock — never a
+//     second one while the first is held. Ascending order + single
+//     acquisition is what makes cross-shard operations (container unref,
+//     checkpoint snapshot, quota moves) deadlock-free by construction.
+//   * The *Locked accessors perform no synchronization themselves; the
+//     caller must hold the covering shard lock (shared for reads, exclusive
+//     for any mutation, including insert/erase).
+#ifndef SRC_KERNEL_OBJECT_TABLE_H_
+#define SRC_KERNEL_OBJECT_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kernel/object.h"
+#include "src/kernel/types.h"
+
+namespace histar {
+
+class ObjectTable {
+ public:
+  // Power of two. 16 shards keeps per-shard contention negligible at the
+  // thread counts the simulator runs (same sizing argument as the
+  // LabelRegistry's intern shards) while costing ~nothing single-threaded.
+  static constexpr size_t kDefaultShardCount = 16;
+  static constexpr size_t kMaxShardCount = 64;
+
+  explicit ObjectTable(size_t shard_count = kDefaultShardCount)
+      : shard_count_(NormalizeShardCount(shard_count)) {
+    shards_.reserve(shard_count_);
+    for (size_t i = 0; i < shard_count_; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  ObjectTable(const ObjectTable&) = delete;
+  ObjectTable& operator=(const ObjectTable&) = delete;
+
+  size_t shard_count() const { return shard_count_; }
+
+  // Shard placement is a pure function of (id, shard_count) so tests can
+  // construct ids that deliberately land in different shards.
+  static size_t ShardIndexFor(ObjectId id, size_t shard_count) {
+    // Splittable 64-bit mix: sequentially allocated ids spread evenly.
+    uint64_t h = id * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return static_cast<size_t>(h & (shard_count - 1));
+  }
+  size_t ShardOf(ObjectId id) const { return ShardIndexFor(id, shard_count_); }
+
+  // ---- unsynchronized accessors (caller holds the covering shard lock) ----
+
+  Object* GetLocked(ObjectId id) const {
+    const Shard& sh = *shards_[ShardOf(id)];
+    auto it = sh.objects.find(id);
+    return it == sh.objects.end() ? nullptr : it->second.get();
+  }
+
+  bool ContainsLocked(ObjectId id) const {
+    const Shard& sh = *shards_[ShardOf(id)];
+    return sh.objects.count(id) > 0;
+  }
+
+  // Inserts (or, on the restore path, replaces) the object under its id.
+  // Requires the covering shard locked exclusive.
+  void InsertLocked(std::unique_ptr<Object> obj) {
+    ObjectId id = obj->id();
+    shards_[ShardOf(id)]->objects[id] = std::move(obj);
+  }
+
+  // Requires the covering shard locked exclusive.
+  void EraseLocked(ObjectId id) { shards_[ShardOf(id)]->objects.erase(id); }
+
+  // Visits every live object. Requires ALL shards locked (TableLock::All);
+  // exclusive if `fn` mutates objects, shared otherwise.
+  template <typename Fn>
+  void ForEachLocked(Fn&& fn) const {
+    for (const auto& sh : shards_) {
+      for (const auto& [id, obj] : sh->objects) {
+        fn(id, obj.get());
+      }
+    }
+  }
+
+  // Requires ALL shards locked (any mode).
+  size_t SizeLocked() const {
+    size_t n = 0;
+    for (const auto& sh : shards_) {
+      n += sh->objects.size();
+    }
+    return n;
+  }
+
+ private:
+  friend class TableLock;
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<ObjectId, std::unique_ptr<Object>> objects;
+  };
+
+  static size_t NormalizeShardCount(size_t n) {
+    if (n < 1) {
+      n = 1;
+    }
+    if (n > kMaxShardCount) {
+      n = kMaxShardCount;
+    }
+    size_t p = 1;
+    while (p < n) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  const size_t shard_count_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// Shared bound for the optimistic footprint-discovery loops (sys_as_access,
+// sys_thread_alert): rounds attempted with targeted shard sets — widening
+// whenever a derived id escapes the locked set — before falling back to
+// TableLock::All, which covers any derivation and guarantees termination.
+// One constant so the two copies of the protocol cannot drift.
+inline constexpr int kFootprintDiscoveryRounds = 4;
+
+// RAII acquisition of the set of shards covering a group of ObjectIds, all
+// in one mode, always in ascending shard-index order. A syscall computes its
+// full footprint up front (self, the ⟨D,O⟩ entries it dereferences, any
+// freshly allocated id), takes one TableLock, and never acquires another
+// while it is held — see the lock hierarchy in ARCHITECTURE.md.
+class TableLock {
+ public:
+  enum class Mode { kShared, kExclusive };
+
+  // Locks the shards covering `ids` (duplicates and same-shard ids collapse
+  // into one acquisition). Ids that are kInvalidObject still map to a shard
+  // and are locked — callers pass whatever the syscall received and the
+  // not-found checks run under the lock as usual.
+  TableLock(const ObjectTable& table, Mode mode, std::initializer_list<ObjectId> ids)
+      : table_(&table), mode_(mode), mask_(0) {
+    for (ObjectId id : ids) {
+      mask_ |= uint64_t{1} << table.ShardOf(id);
+    }
+    Acquire();
+  }
+
+  // Locks every shard — the cross-shard path (container unref's recursive
+  // destroy, checkpoint snapshots, restore, operations whose object set is
+  // unknown until objects are read).
+  static TableLock All(const ObjectTable& table, Mode mode) {
+    return TableLock(table, mode, AllTag{});
+  }
+
+  ~TableLock() { Release(); }
+
+  TableLock(const TableLock&) = delete;
+  TableLock& operator=(const TableLock&) = delete;
+  TableLock(TableLock&& other) noexcept
+      : table_(other.table_), mode_(other.mode_), mask_(other.mask_) {
+    other.mask_ = 0;
+    other.table_ = nullptr;
+  }
+  TableLock& operator=(TableLock&&) = delete;
+
+  // True if this lock's shard set covers `id` — used by optimistic
+  // discover-then-relock paths (sys_as_access writes) to verify that the
+  // objects re-resolved under the exclusive lock are actually covered by it.
+  bool Covers(ObjectId id) const {
+    return (mask_ & (uint64_t{1} << table_->ShardOf(id))) != 0;
+  }
+
+ private:
+  struct AllTag {};
+  TableLock(const ObjectTable& table, Mode mode, AllTag) : table_(&table), mode_(mode) {
+    mask_ = table.shard_count_ >= 64 ? ~uint64_t{0}
+                                     : (uint64_t{1} << table.shard_count_) - 1;
+    Acquire();
+  }
+
+  void Acquire() {
+    for (size_t i = 0; i < table_->shard_count_; ++i) {
+      if ((mask_ & (uint64_t{1} << i)) == 0) {
+        continue;
+      }
+      std::shared_mutex& mu = table_->shards_[i]->mu;
+      if (mode_ == Mode::kExclusive) {
+        mu.lock();
+      } else {
+        mu.lock_shared();
+      }
+    }
+  }
+
+  void Release() {
+    if (table_ == nullptr) {
+      return;
+    }
+    for (size_t i = 0; i < table_->shard_count_; ++i) {
+      if ((mask_ & (uint64_t{1} << i)) == 0) {
+        continue;
+      }
+      std::shared_mutex& mu = table_->shards_[i]->mu;
+      if (mode_ == Mode::kExclusive) {
+        mu.unlock();
+      } else {
+        mu.unlock_shared();
+      }
+    }
+    mask_ = 0;
+  }
+
+  const ObjectTable* table_;
+  Mode mode_;
+  uint64_t mask_ = 0;
+};
+
+}  // namespace histar
+
+#endif  // SRC_KERNEL_OBJECT_TABLE_H_

@@ -65,6 +65,14 @@ inline constexpr uint64_t kQuotaInfinite = ~uint64_t{0};
 // structures that the real system charges to the enclosing container.
 inline constexpr uint64_t kObjectOverheadBytes = 128;
 
+// Overflow-safe bounds check: true iff [off, off+len) fits in a buffer (or
+// budget) of `size` bytes. `off + len > size` is NOT equivalent — a huge
+// user-supplied off or len wraps the sum past the test and turns a range
+// error into out-of-bounds access.
+inline bool RangeOk(uint64_t off, uint64_t len, uint64_t size) {
+  return off <= size && len <= size - off;
+}
+
 // Length of the descriptive string attached to every object.
 inline constexpr size_t kDescripLen = 32;
 // Mutable user-defined metadata bytes on every object (paper §3).
