@@ -114,6 +114,57 @@ void BM_BaselinePipeRTT(::benchmark::State& state) {
 }
 BENCHMARK(BM_BaselinePipeRTT)->Unit(::benchmark::kMicrosecond);
 
+// Batched syscall-run variant (PR 3): the pipe RTT above is dominated by a
+// run of small same-segment syscalls (fd-state load, ring reads/writes,
+// header commits). This row isolates that shape — sixteen 8-byte segment
+// ops per iteration, submitted in batches of `batch_size` descriptors — so
+// the per-call TableLock round-trip the batch ABI amortizes is measured
+// directly: batch=1 is the legacy per-call cost, batch=16 pays one lock
+// acquisition for the whole run. (The pipe stack itself now submits its
+// data+header ops as one batch, so BM_HiStarPipeRTT already includes the
+// win; see EXPERIMENTS.md for the single-CPU caveat.)
+void BM_HiStarBatchedSegOps(::benchmark::State& state) {
+  const uint64_t batch = static_cast<uint64_t>(state.range(0));
+  constexpr uint64_t kOpsPerIter = 16;
+  World w = BootWorld(/*with_store=*/false);
+  Kernel* k = w.kernel.get();
+
+  CreateSpec spec;
+  spec.container = k->root_container();
+  spec.label = Label();
+  spec.descrip = "ipcbuf";
+  spec.quota = kObjectOverheadBytes + 4096 + kPageSize;
+  Result<ObjectId> seg = k->sys_segment_create(w.init(), spec, 4096);
+  if (!seg.ok()) {
+    state.SkipWithError("segment setup failed");
+    return;
+  }
+  ContainerEntry ce{k->root_container(), seg.value()};
+
+  char buf[8] = {'b', 'a', 't', 'c', 'h', '1', '2', '8'};
+  std::vector<SyscallReq> reqs(batch);
+  std::vector<SyscallRes> res(batch);
+  for (auto _ : state) {
+    for (uint64_t done = 0; done < kOpsPerIter; done += batch) {
+      for (uint64_t i = 0; i < batch; ++i) {
+        uint64_t off = 8 * ((done + i) % 16);
+        // 3 reads : 1 write, the fd/pipe mix.
+        if ((done + i) % 4 == 3) {
+          reqs[i] = SegmentWriteReq{ce, buf, off, 8};
+        } else {
+          reqs[i] = SegmentReadReq{ce, buf, off, 8};
+        }
+      }
+      k->SubmitBatch(w.init(), std::span<const SyscallReq>(reqs.data(), batch),
+                     std::span<SyscallRes>(res.data(), batch));
+      ::benchmark::DoNotOptimize(res.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kOpsPerIter);
+  CurrentThread::Set(kInvalidObject);
+}
+BENCHMARK(BM_HiStarBatchedSegOps)->Arg(1)->Arg(4)->Arg(16)->Unit(::benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace histar::bench
 

@@ -119,6 +119,18 @@ uint64_t Kernel::thread_syscall_count(ObjectId t) const {
   return it == stripe.counts.end() ? 0 : it->second;
 }
 
+uint64_t Kernel::syscall_count() const {
+  // The former global atomic is folded into the count stripes: each stripe's
+  // `total` survives thread destruction (only the per-thread map entries are
+  // erased), so the sum is exactly the old monotonic counter.
+  uint64_t n = 0;
+  for (CountStripe& stripe : count_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    n += stripe.total;
+  }
+  return n;
+}
+
 // ---- internal helpers (shard-lock requirements in kernel.h) ------------------
 
 Object* Kernel::Get(ObjectId id) const { return table_.GetLocked(id); }
@@ -329,11 +341,13 @@ Result<ObjectId> Kernel::AllocObjectId() {
   }
 }
 
-void Kernel::CountSyscall(ObjectId self) {
-  syscall_count_.fetch_add(1, std::memory_order_relaxed);
+void Kernel::CountSyscalls(ObjectId self, uint64_t n) {
+  // One stripe round-trip per *batch*: an N-entry submission charges all N
+  // here, and no global atomic is touched (syscall_count() sums stripes).
   CountStripe& stripe = CountStripeFor(self);
   std::lock_guard<std::mutex> lock(stripe.mu);
-  ++stripe.counts[self];
+  stripe.total += n;
+  stripe.counts[self] += n;
 }
 
 void Kernel::WakeAllFutexes(const std::vector<ObjectId>& segs) {
@@ -351,12 +365,15 @@ void Kernel::WakeAllFutexes(const std::vector<ObjectId>& segs) {
 }
 
 // ---- containers ---------------------------------------------------------------
+//
+// Syscall bodies below are the *Locked / Do* halves of the batched ABI
+// (kernel_batch.cc): *Locked bodies run under a TableLock the dispatcher
+// already holds over their BatchPlan footprint; Do* bodies take their own
+// locks exactly as the pre-batch syscalls did. The public sys_* wrappers
+// (one-element batches) live in kernel_batch.cc.
 
-Result<ObjectId> Kernel::sys_container_create(ObjectId self, const CreateSpec& spec,
-                                              uint32_t avoid_types) {
-  CountSyscall(self);
-  Result<ObjectId> id = AllocObjectId();
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self, spec.container, id.value()});
+Result<ObjectId> Kernel::ContainerCreateLocked(ObjectId self, const CreateSpec& spec,
+                                               uint32_t avoid_types, ObjectId new_id) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -369,7 +386,7 @@ Result<ObjectId> Kernel::sys_container_create(ObjectId self, const CreateSpec& s
   }
   // avoid_types restrictions are inherited by all descendants.
   uint32_t avoid = avoid_types | d.value()->avoid_types();
-  auto c = std::make_unique<Container>(id.value(), lid, avoid, spec.container);
+  auto c = std::make_unique<Container>(new_id, lid, avoid, spec.container);
   c->set_quota_internal(spec.quota);
   c->set_descrip_internal(spec.descrip);
   Container* raw = c.get();
@@ -423,8 +440,7 @@ Status Kernel::UnrefOnce(ObjectId self, ContainerEntry ce, bool allow_destroy,
   return Status::kOk;
 }
 
-Status Kernel::sys_container_unref(ObjectId self, ContainerEntry ce) {
-  CountSyscall(self);
+Status Kernel::DoContainerUnref(ObjectId self, ContainerEntry ce) {
   std::vector<ObjectId> destroyed;
   Status st;
   bool need_all = false;
@@ -450,9 +466,7 @@ Status Kernel::sys_container_unref(ObjectId self, ContainerEntry ce) {
   return st;
 }
 
-Result<ObjectId> Kernel::sys_container_get_parent(ObjectId self, ObjectId container) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kShared, {self, container});
+Result<ObjectId> Kernel::ContainerGetParentLocked(ObjectId self, ObjectId container) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -471,9 +485,7 @@ Result<ObjectId> Kernel::sys_container_get_parent(ObjectId self, ObjectId contai
   return d->parent();
 }
 
-Result<std::vector<ObjectId>> Kernel::sys_container_list(ObjectId self, ObjectId container) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kShared, {self, container});
+Result<std::vector<ObjectId>> Kernel::ContainerListLocked(ObjectId self, ObjectId container) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -488,10 +500,7 @@ Result<std::vector<ObjectId>> Kernel::sys_container_list(ObjectId self, ObjectId
   return d->links();
 }
 
-Status Kernel::sys_container_link(ObjectId self, ObjectId container, ContainerEntry src) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kExclusive,
-               {self, container, src.container, src.object});
+Status Kernel::ContainerLinkLocked(ObjectId self, ObjectId container, ContainerEntry src) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -523,9 +532,7 @@ Status Kernel::sys_container_link(ObjectId self, ObjectId container, ContainerEn
   return LinkInto(d, o.value());
 }
 
-Result<bool> Kernel::sys_container_has(ObjectId self, ObjectId container, ObjectId obj) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kShared, {self, container});
+Result<bool> Kernel::ContainerHasLocked(ObjectId self, ObjectId container, ObjectId obj) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -542,9 +549,7 @@ Result<bool> Kernel::sys_container_has(ObjectId self, ObjectId container, Object
 
 // ---- generic object syscalls ---------------------------------------------------
 
-Result<ObjectType> Kernel::sys_obj_get_type(ObjectId self, ContainerEntry ce) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
+Result<ObjectType> Kernel::ObjGetTypeLocked(ObjectId self, ContainerEntry ce) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -556,9 +561,7 @@ Result<ObjectType> Kernel::sys_obj_get_type(ObjectId self, ContainerEntry ce) {
   return o.value()->type();
 }
 
-Result<Label> Kernel::sys_obj_get_label(ObjectId self, ContainerEntry ce) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
+Result<Label> Kernel::ObjGetLabelLocked(ObjectId self, ContainerEntry ce) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -579,9 +582,7 @@ Result<Label> Kernel::sys_obj_get_label(ObjectId self, ContainerEntry ce) {
   return LabelOf(*o.value());
 }
 
-Result<std::string> Kernel::sys_obj_get_descrip(ObjectId self, ContainerEntry ce) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
+Result<std::string> Kernel::ObjGetDescripLocked(ObjectId self, ContainerEntry ce) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -593,9 +594,7 @@ Result<std::string> Kernel::sys_obj_get_descrip(ObjectId self, ContainerEntry ce
   return o.value()->descrip();
 }
 
-Result<uint64_t> Kernel::sys_obj_get_quota(ObjectId self, ContainerEntry ce) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
+Result<uint64_t> Kernel::ObjGetQuotaLocked(ObjectId self, ContainerEntry ce) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -611,9 +610,7 @@ Result<uint64_t> Kernel::sys_obj_get_quota(ObjectId self, ContainerEntry ce) {
   return o.value()->quota();
 }
 
-Result<std::vector<uint8_t>> Kernel::sys_obj_get_metadata(ObjectId self, ContainerEntry ce) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
+Result<std::vector<uint8_t>> Kernel::ObjGetMetadataLocked(ObjectId self, ContainerEntry ce) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -629,10 +626,8 @@ Result<std::vector<uint8_t>> Kernel::sys_obj_get_metadata(ObjectId self, Contain
   return std::vector<uint8_t>(md.begin(), md.end());
 }
 
-Status Kernel::sys_obj_set_metadata(ObjectId self, ContainerEntry ce, const void* data,
+Status Kernel::ObjSetMetadataLocked(ObjectId self, ContainerEntry ce, const void* data,
                                     size_t len) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self, ce.container, ce.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -653,9 +648,7 @@ Status Kernel::sys_obj_set_metadata(ObjectId self, ContainerEntry ce, const void
   return Status::kOk;
 }
 
-Status Kernel::sys_obj_set_fixed_quota(ObjectId self, ContainerEntry ce) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self, ce.container, ce.object});
+Status Kernel::ObjSetFixedQuotaLocked(ObjectId self, ContainerEntry ce) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -673,9 +666,7 @@ Status Kernel::sys_obj_set_fixed_quota(ObjectId self, ContainerEntry ce) {
   return Status::kOk;
 }
 
-Status Kernel::sys_obj_set_immutable(ObjectId self, ContainerEntry ce) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self, ce.container, ce.object});
+Status Kernel::ObjSetImmutableLocked(ObjectId self, ContainerEntry ce) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -693,11 +684,9 @@ Status Kernel::sys_obj_set_immutable(ObjectId self, ContainerEntry ce) {
   return Status::kOk;
 }
 
-Status Kernel::sys_quota_move(ObjectId self, ObjectId d_id, ObjectId o_id, int64_t n) {
-  CountSyscall(self);
+Status Kernel::QuotaMoveLocked(ObjectId self, ObjectId d_id, ObjectId o_id, int64_t n) {
   // D and O hash to independent shards; this is the cross-shard quota-move
   // the lock hierarchy exists for (both shards exclusive, ascending order).
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self, d_id, o_id});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;

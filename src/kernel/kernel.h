@@ -35,26 +35,20 @@
 #include <unordered_set>
 #include <vector>
 
+#include <span>
+
 #include "src/core/category.h"
 #include "src/core/label.h"
 #include "src/core/label_registry.h"
 #include "src/core/status.h"
 #include "src/kernel/object.h"
 #include "src/kernel/object_table.h"
+#include "src/kernel/syscall_abi.h"
 #include "src/kernel/types.h"
 
 namespace histar {
 
 class PersistTarget;  // src/store: receives checkpoints / per-object syncs
-
-// Parameters for creating any object: the destination container, the new
-// object's label, descriptive string and quota.
-struct CreateSpec {
-  ObjectId container = kInvalidObject;
-  Label label;
-  std::string descrip;
-  uint64_t quota = 16 * kPageSize;
-};
 
 class Kernel {
  public:
@@ -112,8 +106,32 @@ class Kernel {
 
   // ---- Syscall counters (the fork/exec analysis in §7.1 is stated in
   //      syscalls, so counting is first-class) --------------------------------
-  uint64_t syscall_count() const { return syscall_count_.load(std::memory_order_relaxed); }
+  //
+  // Counting is fully striped by thread id: there is no global atomic left
+  // on the syscall entry path (each batch entry bumps only its thread's
+  // stripe, once per batch). The total is summed over stripes on read.
+  uint64_t syscall_count() const;
   uint64_t thread_syscall_count(ObjectId t) const;
+
+  // ---- Batched submission (the PR 3 descriptor ABI, syscall_abi.h) ---------
+  //
+  // Executes `reqs` strictly in submission order and fills `res[i]` with the
+  // completion of `reqs[i]` (each carries its own Status; a failing entry
+  // does not stop later entries). Consecutive entries whose footprint is
+  // statically computable and whose execution never blocks or leaves the
+  // lock (see docs/syscalls.md "Batched submission") are grouped and run
+  // under ONE ascending-order TableLock covering the union of their shards —
+  // exclusive if any entry mutates — so a same-shard run of N entries pays
+  // one lock round-trip instead of N. Entries with data-dependent footprints
+  // or unlocked phases (futexes, gate invoke, net I/O, sync, unref,
+  // as_access, thread_alert) close the current group and execute exactly as
+  // their legacy syscall would. Every legacy sys_* method below is a thin
+  // one-element-batch wrapper over this entry point.
+  //
+  // Returns kInvalidArg (touching nothing) if res.size() < reqs.size();
+  // otherwise kOk — per-entry outcomes live in the completions.
+  Status SubmitBatch(ObjectId self, std::span<const SyscallReq> reqs,
+                     std::span<SyscallRes> res);
 
   // ---- Threads (§3.1) ------------------------------------------------------
 
@@ -296,7 +314,7 @@ class Kernel {
   //   InsertObject                       shard of obj->id(), exclusive
   //   SerializeObjectLocked              shard of the object held (any mode)
   //   LiveLocked                         ALL shards held (any mode)
-  //   MarkDirty / CountSyscall           no shard requirement (leaf mutexes)
+  //   MarkDirty / CountSyscalls          no shard requirement (leaf mutexes)
   //   AllocObjectId / WakeAllFutexes     must be called with NO shard held
 
   Object* Get(ObjectId id) const;
@@ -343,8 +361,106 @@ class Kernel {
   // Stamps the creation sequence number and inserts into the object table.
   void InsertObject(std::unique_ptr<Object> obj);
 
-  // Entry bookkeeping common to every syscall.
-  void CountSyscall(ObjectId self);
+  // Entry bookkeeping common to every syscall: one stripe-mutex round trip
+  // charges `n` syscalls (a whole batch) to `self` and to the global total.
+  void CountSyscalls(ObjectId self, uint64_t n);
+
+  // ---- Batched dispatch (kernel_batch.cc) ----------------------------------
+  //
+  // Footprint plan of one request: the ids whose shards it touches, whether
+  // it mutates (exclusive mode), whether it can join a lock group at all,
+  // and whether it consumes a preallocated object id.
+  struct BatchPlan {
+    std::array<ObjectId, 5> ids;
+    size_t nids = 0;
+    bool mutates = false;
+    bool batchable = false;
+    bool needs_new_id = false;
+  };
+  static BatchPlan PlanOf(ObjectId self, const SyscallReq& req);
+
+  // Executes one batchable request under the group TableLock (the caller
+  // holds every shard in the request's plan, exclusive if the group
+  // mutates). Create-type requests pop their preallocated id from `new_ids`
+  // via `next_new_id`.
+  void ExecLocked(ObjectId self, const SyscallReq& req, SyscallRes* out,
+                  const std::vector<ObjectId>& new_ids, size_t* next_new_id);
+  // Executes one non-batchable request with no lock held (the request's own
+  // implementation takes whatever locks it needs, exactly as pre-batch).
+  void ExecUnbatched(ObjectId self, const SyscallReq& req, SyscallRes* out);
+
+  // ---- Per-syscall bodies --------------------------------------------------
+  //
+  // *Locked bodies assume the covering TableLock is already held (per
+  // BatchPlan); Do* bodies are the former sys_* implementations of the
+  // non-batchable calls, minus entry bookkeeping (SubmitBatch counts).
+  Result<CategoryId> CatCreateLocked(ObjectId self);
+  Status SelfSetLabelLocked(ObjectId self, const Label& l);
+  Status SelfSetClearanceLocked(ObjectId self, const Label& c);
+  Result<Label> SelfGetLabelLocked(ObjectId self);
+  Result<Label> SelfGetClearanceLocked(ObjectId self);
+  Status SelfSetAsLocked(ObjectId self, ContainerEntry as);
+  Result<ContainerEntry> SelfGetAsLocked(ObjectId self);
+  Status SelfHaltLocked(ObjectId self);
+  Result<ObjectId> ThreadCreateLocked(ObjectId self, const CreateSpec& spec,
+                                      const Label& new_label, const Label& new_clearance,
+                                      ObjectId new_id);
+  Result<uint64_t> SelfNextAlertLocked(ObjectId self);
+  Status SelfLocalReadLocked(ObjectId self, void* buf, uint64_t off, uint64_t len);
+  Status SelfLocalWriteLocked(ObjectId self, const void* buf, uint64_t off, uint64_t len);
+  Result<ObjectId> ContainerCreateLocked(ObjectId self, const CreateSpec& spec,
+                                         uint32_t avoid_types, ObjectId new_id);
+  Result<ObjectId> ContainerGetParentLocked(ObjectId self, ObjectId container);
+  Result<std::vector<ObjectId>> ContainerListLocked(ObjectId self, ObjectId container);
+  Status ContainerLinkLocked(ObjectId self, ObjectId container, ContainerEntry src);
+  Result<bool> ContainerHasLocked(ObjectId self, ObjectId container, ObjectId obj);
+  Result<ObjectType> ObjGetTypeLocked(ObjectId self, ContainerEntry ce);
+  Result<Label> ObjGetLabelLocked(ObjectId self, ContainerEntry ce);
+  Result<std::string> ObjGetDescripLocked(ObjectId self, ContainerEntry ce);
+  Result<uint64_t> ObjGetQuotaLocked(ObjectId self, ContainerEntry ce);
+  Result<std::vector<uint8_t>> ObjGetMetadataLocked(ObjectId self, ContainerEntry ce);
+  Status ObjSetMetadataLocked(ObjectId self, ContainerEntry ce, const void* data, size_t len);
+  Status ObjSetFixedQuotaLocked(ObjectId self, ContainerEntry ce);
+  Status ObjSetImmutableLocked(ObjectId self, ContainerEntry ce);
+  Status QuotaMoveLocked(ObjectId self, ObjectId d, ObjectId o, int64_t n);
+  Result<ObjectId> SegmentCreateLocked(ObjectId self, const CreateSpec& spec, uint64_t len,
+                                       ObjectId new_id);
+  Result<ObjectId> SegmentCopyLocked(ObjectId self, const CreateSpec& spec, ContainerEntry src,
+                                     ObjectId new_id);
+  Status SegmentResizeLocked(ObjectId self, ContainerEntry ce, uint64_t len);
+  Result<uint64_t> SegmentGetLenLocked(ObjectId self, ContainerEntry ce);
+  Status SegmentReadLocked(ObjectId self, ContainerEntry ce, void* buf, uint64_t off,
+                           uint64_t len);
+  Status SegmentWriteLocked(ObjectId self, ContainerEntry ce, const void* buf, uint64_t off,
+                            uint64_t len);
+  Result<ObjectId> AsCreateLocked(ObjectId self, const CreateSpec& spec, ObjectId new_id);
+  Status AsSetLocked(ObjectId self, ContainerEntry ce, const std::vector<Mapping>& mappings);
+  Result<std::vector<Mapping>> AsGetLocked(ObjectId self, ContainerEntry ce);
+  Result<ObjectId> GateCreateLocked(ObjectId self, const CreateSpec& spec,
+                                    const Label& gate_label, const Label& gate_clearance,
+                                    const std::string& entry_name,
+                                    const std::vector<uint64_t>& closure, ObjectId new_id);
+  Result<std::vector<uint64_t>> GateGetClosureLocked(ObjectId self, ContainerEntry ce);
+  Status ConsoleWriteLocked(ObjectId self, ContainerEntry dev, const std::string& text);
+
+  Status DoThreadAlert(ObjectId self, ContainerEntry thread, uint64_t code);
+  Status DoContainerUnref(ObjectId self, ContainerEntry ce);
+  Status DoAsAccess(ObjectId self, uint64_t va, void* buf, uint64_t len, bool write);
+  Status DoGateInvoke(ObjectId self, ContainerEntry gate, const Label& request_label,
+                      const Label& request_clearance, const Label& verify_label);
+  Status DoFutexWait(ObjectId self, ContainerEntry seg, uint64_t offset, uint64_t expected,
+                     uint32_t timeout_ms);
+  Result<uint32_t> DoFutexWake(ObjectId self, ContainerEntry seg, uint64_t offset,
+                               uint32_t max_count);
+  Result<std::array<uint8_t, 6>> DoNetMacAddr(ObjectId self, ContainerEntry dev);
+  Status DoNetTransmit(ObjectId self, ContainerEntry dev, ContainerEntry seg, uint64_t off,
+                       uint64_t len);
+  Result<uint64_t> DoNetReceive(ObjectId self, ContainerEntry dev, ContainerEntry seg,
+                                uint64_t off, uint64_t maxlen);
+  Status DoNetWait(ObjectId self, ContainerEntry dev, uint32_t timeout_ms);
+  Status DoSync(ObjectId self);
+  Status DoSyncObject(ObjectId self, ContainerEntry ce);
+  Status DoSyncPages(ObjectId self, ContainerEntry ce, uint64_t offset, uint64_t len);
 
   // Wakes futex waiters on a destroyed segment so they fail promptly.
   void WakeAllFutexes(const std::vector<ObjectId>& segs);
@@ -398,15 +514,43 @@ class Kernel {
   // bookkeeping of concurrent syscalls (one `self` per host thread) lands
   // on different mutexes — a single counts mutex would put a kernel-wide
   // lock round-trip back on every syscall the shard split parallelized.
+  // Each stripe also carries its share of the kernel-wide total (PR 3):
+  // `total` outlives thread destruction (counts entries are erased with
+  // their thread), and syscall_count() sums the stripes, so the batch entry
+  // path touches no shared atomic at all.
   static constexpr size_t kCountStripes = 16;
   struct CountStripe {
     std::mutex mu;
+    uint64_t total = 0;
     std::unordered_map<ObjectId, uint64_t> counts;
   };
   CountStripe& CountStripeFor(ObjectId id) const {
     return count_stripes_[ObjectTable::ShardIndexFor(id, kCountStripes)];
   }
   mutable std::array<CountStripe, kCountStripes> count_stripes_;
+
+  // Last-fault footprint hints for sys_as_access (PR 3): a direct-mapped,
+  // lock-free cache slot per thread-id hash holding the AS id and backing
+  // segment entry of that thread's most recent successful access. Purely a
+  // seed for the discovery loop's first lock set — every round re-derives
+  // and re-checks the real footprint under the lock, so a stale, torn, or
+  // collision-evicted hint costs at most one widened retry and can never
+  // produce a wrong result. All fields relaxed atomics: readers take no
+  // lock (that is the point — the hot hit path pays exactly ONE TableLock),
+  // writers may hold shared shard locks. Invalidated (cleared) by the
+  // caller-visible remap paths: sys_self_set_as, sys_as_set,
+  // sys_segment_resize. Not persisted; a restored kernel starts cold.
+  struct FaultHintSlot {
+    std::atomic<ObjectId> thread{kInvalidObject};
+    std::atomic<ObjectId> as{kInvalidObject};
+    std::atomic<ObjectId> seg_ct{kInvalidObject};
+    std::atomic<ObjectId> seg_obj{kInvalidObject};
+  };
+  static constexpr size_t kFaultHintSlots = 64;
+  FaultHintSlot& FaultHintFor(ObjectId id) const {
+    return fault_hints_[ObjectTable::ShardIndexFor(id, kFaultHintSlots)];
+  }
+  mutable std::array<FaultHintSlot, kFaultHintSlots> fault_hints_;
 
   // id → generation of its latest MarkDirty. sys_sync retires an id only if
   // its generation still matches the snapshot it serialized, so a write
@@ -415,7 +559,6 @@ class Kernel {
   uint64_t dirty_seq_ = 0;
   mutable std::mutex dirty_mu_;
 
-  std::atomic<uint64_t> syscall_count_{0};
   PersistTarget* persist_ = nullptr;
 };
 

@@ -87,7 +87,9 @@ struct Reader {
       fail = true;
       return false;
     }
-    memcpy(out, data + pos, n);
+    if (n != 0) {  // n == 0 legitimately pairs with a null out (empty segment)
+      memcpy(out, data + pos, n);
+    }
     pos += n;
     return true;
   }
@@ -433,8 +435,7 @@ void Kernel::ClearDirty() {
   dirty_.clear();
 }
 
-Status Kernel::sys_sync(ObjectId self) {
-  CountSyscall(self);
+Status Kernel::DoSync(ObjectId self) {
   {
     TableLock lk(table_, TableLock::Mode::kShared, {self});
     Thread* t = GetThread(self);
@@ -481,8 +482,7 @@ Status Kernel::sys_sync(ObjectId self) {
   return st;
 }
 
-Status Kernel::sys_sync_pages(ObjectId self, ContainerEntry ce, uint64_t offset, uint64_t len) {
-  CountSyscall(self);
+Status Kernel::DoSyncPages(ObjectId self, ContainerEntry ce, uint64_t offset, uint64_t len) {
   ObjectId target;
   {
     TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
@@ -505,8 +505,7 @@ Status Kernel::sys_sync_pages(ObjectId self, ContainerEntry ce, uint64_t offset,
   return persist_->SyncPages(target, offset, len);
 }
 
-Status Kernel::sys_sync_object(ObjectId self, ContainerEntry ce) {
-  CountSyscall(self);
+Status Kernel::DoSyncObject(ObjectId self, ContainerEntry ce) {
   ObjectId target;
   {
     TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});

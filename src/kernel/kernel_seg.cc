@@ -23,11 +23,8 @@ namespace histar {
 
 // ---- segments ----------------------------------------------------------------
 
-Result<ObjectId> Kernel::sys_segment_create(ObjectId self, const CreateSpec& spec,
-                                            uint64_t len) {
-  CountSyscall(self);
-  Result<ObjectId> id = AllocObjectId();
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self, spec.container, id.value()});
+Result<ObjectId> Kernel::SegmentCreateLocked(ObjectId self, const CreateSpec& spec,
+                                             uint64_t len, ObjectId new_id) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -41,7 +38,7 @@ Result<ObjectId> Kernel::sys_segment_create(ObjectId self, const CreateSpec& spe
   if (!RangeOk(kObjectOverheadBytes, len, spec.quota)) {
     return Status::kQuotaExceeded;
   }
-  auto s = std::make_unique<Segment>(id.value(), lid);
+  auto s = std::make_unique<Segment>(new_id, lid);
   s->bytes().resize(len, 0);
   s->set_quota_internal(spec.quota);
   s->set_descrip_internal(spec.descrip);
@@ -56,12 +53,8 @@ Result<ObjectId> Kernel::sys_segment_create(ObjectId self, const CreateSpec& spe
   return raw->id();
 }
 
-Result<ObjectId> Kernel::sys_segment_copy(ObjectId self, const CreateSpec& spec,
-                                          ContainerEntry src) {
-  CountSyscall(self);
-  Result<ObjectId> id = AllocObjectId();
-  TableLock lk(table_, TableLock::Mode::kExclusive,
-               {self, src.container, src.object, spec.container, id.value()});
+Result<ObjectId> Kernel::SegmentCopyLocked(ObjectId self, const CreateSpec& spec,
+                                           ContainerEntry src, ObjectId new_id) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -89,7 +82,7 @@ Result<ObjectId> Kernel::sys_segment_copy(ObjectId self, const CreateSpec& spec,
   if (!RangeOk(kObjectOverheadBytes, s->bytes().size(), spec.quota)) {
     return Status::kQuotaExceeded;
   }
-  auto ns = std::make_unique<Segment>(id.value(), lid);
+  auto ns = std::make_unique<Segment>(new_id, lid);
   ns->bytes() = s->bytes();
   ns->set_quota_internal(spec.quota);
   ns->set_descrip_internal(spec.descrip);
@@ -104,13 +97,14 @@ Result<ObjectId> Kernel::sys_segment_copy(ObjectId self, const CreateSpec& spec,
   return raw->id();
 }
 
-Status Kernel::sys_segment_resize(ObjectId self, ContainerEntry ce, uint64_t len) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self, ce.container, ce.object});
+Status Kernel::SegmentResizeLocked(ObjectId self, ContainerEntry ce, uint64_t len) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
   }
+  // A resize can move/shrink the bytes a cached fault translation points
+  // at; drop the caller's hint (other threads' hints re-verify on use).
+  FaultHintFor(self).thread.store(kInvalidObject, std::memory_order_relaxed);
   Result<Object*> o = ResolveEntry(*t, ce);
   if (!o.ok()) {
     return o.status();
@@ -131,9 +125,7 @@ Status Kernel::sys_segment_resize(ObjectId self, ContainerEntry ce, uint64_t len
   return Status::kOk;
 }
 
-Result<uint64_t> Kernel::sys_segment_get_len(ObjectId self, ContainerEntry ce) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
+Result<uint64_t> Kernel::SegmentGetLenLocked(ObjectId self, ContainerEntry ce) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -151,14 +143,13 @@ Result<uint64_t> Kernel::sys_segment_get_len(ObjectId self, ContainerEntry ce) {
   return static_cast<Segment*>(o.value())->bytes().size();
 }
 
-Status Kernel::sys_segment_read(ObjectId self, ContainerEntry ce, void* buf, uint64_t off,
-                                uint64_t len) {
-  CountSyscall(self);
+Status Kernel::SegmentReadLocked(ObjectId self, ContainerEntry ce, void* buf, uint64_t off,
+                                 uint64_t len) {
   // The read-mostly hot path the shard split exists for: three ids, shared
   // locks only — concurrent reads of different (or the same) segments never
   // serialize on a kernel-wide lock (bench/ablation_objtable.cc measures
-  // exactly this path).
-  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
+  // exactly this path). Under the batch ABI, a run of reads additionally
+  // shares ONE lock acquisition (bench/fig12_ipc.cc measures that).
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -181,10 +172,8 @@ Status Kernel::sys_segment_read(ObjectId self, ContainerEntry ce, void* buf, uin
   return Status::kOk;
 }
 
-Status Kernel::sys_segment_write(ObjectId self, ContainerEntry ce, const void* buf,
-                                 uint64_t off, uint64_t len) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self, ce.container, ce.object});
+Status Kernel::SegmentWriteLocked(ObjectId self, ContainerEntry ce, const void* buf,
+                                  uint64_t off, uint64_t len) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -211,10 +200,8 @@ Status Kernel::sys_segment_write(ObjectId self, ContainerEntry ce, const void* b
 
 // ---- address spaces -------------------------------------------------------------
 
-Result<ObjectId> Kernel::sys_as_create(ObjectId self, const CreateSpec& spec) {
-  CountSyscall(self);
-  Result<ObjectId> id = AllocObjectId();
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self, spec.container, id.value()});
+Result<ObjectId> Kernel::AsCreateLocked(ObjectId self, const CreateSpec& spec,
+                                        ObjectId new_id) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -225,7 +212,7 @@ Result<ObjectId> Kernel::sys_as_create(ObjectId self, const CreateSpec& spec) {
   if (!d.ok()) {
     return d.status();
   }
-  auto as = std::make_unique<AddressSpace>(id.value(), lid);
+  auto as = std::make_unique<AddressSpace>(new_id, lid);
   as->set_quota_internal(spec.quota);
   as->set_descrip_internal(spec.descrip);
   AddressSpace* raw = as.get();
@@ -239,13 +226,16 @@ Result<ObjectId> Kernel::sys_as_create(ObjectId self, const CreateSpec& spec) {
   return raw->id();
 }
 
-Status Kernel::sys_as_set(ObjectId self, ContainerEntry ce, const std::vector<Mapping>& mappings) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self, ce.container, ce.object});
+Status Kernel::AsSetLocked(ObjectId self, ContainerEntry ce,
+                           const std::vector<Mapping>& mappings) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
   }
+  // Remapping changes what a fault at a cached VA resolves to; drop the
+  // caller's last-fault hint (hints are self-verifying, so other threads'
+  // stale hints merely cost them one widened discovery round).
+  FaultHintFor(self).thread.store(kInvalidObject, std::memory_order_relaxed);
   Result<Object*> o = ResolveEntry(*t, ce);
   if (!o.ok()) {
     return o.status();
@@ -268,9 +258,7 @@ Status Kernel::sys_as_set(ObjectId self, ContainerEntry ce, const std::vector<Ma
   return Status::kOk;
 }
 
-Result<std::vector<Mapping>> Kernel::sys_as_get(ObjectId self, ContainerEntry ce) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
+Result<std::vector<Mapping>> Kernel::AsGetLocked(ObjectId self, ContainerEntry ce) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -300,10 +288,16 @@ Status Kernel::AsAccessOnce(ObjectId self, uint64_t va, void* buf, uint64_t len,
   // shards known so far (round 0: just self), derive the next id, and if it
   // escapes the locked set, loop with the grown footprint — shard coverage
   // (TableLock::Covers), not id equality, is the safety criterion. A
-  // typical access pays two to three short targeted rounds (shared for
+  // typical cold access pays two to three short targeted rounds (shared for
   // reads, so concurrent readers stay fully parallel; exclusive for
-  // writes); caching the last footprint per thread to collapse this to one
-  // round is a noted ROADMAP follow-up.
+  // writes). The per-thread last-fault hint (kernel.h, FaultHintSlot)
+  // usually collapses the discovery to ONE round: round 0's lock set is
+  // seeded — with no lock held, the slot is relaxed atomics — with the AS
+  // and backing segment of this thread's previous successful access, which
+  // repeated faults through the same mapping (the common case) already
+  // cover. The hint is only a seed; every round re-derives the real
+  // footprint under the lock, so a stale hint costs one widened retry,
+  // never a wrong answer.
   // Should the footprint keep shifting under us (pathological AS churn),
   // the final round locks every shard, which covers any derivation — so
   // the loop always terminates with a definitive status.
@@ -311,6 +305,12 @@ Status Kernel::AsAccessOnce(ObjectId self, uint64_t va, void* buf, uint64_t len,
       write ? TableLock::Mode::kExclusive : TableLock::Mode::kShared;
   ObjectId as_id = kInvalidObject;
   ContainerEntry seg{};
+  FaultHintSlot& hint = FaultHintFor(self);
+  if (hint.thread.load(std::memory_order_relaxed) == self) {
+    as_id = hint.as.load(std::memory_order_relaxed);
+    seg.container = hint.seg_ct.load(std::memory_order_relaxed);
+    seg.object = hint.seg_obj.load(std::memory_order_relaxed);
+  }
   for (int round = 0;; ++round) {
     TableLock lk = round >= kFootprintDiscoveryRounds
                        ? TableLock::All(table_, mode)
@@ -348,6 +348,10 @@ Status Kernel::AsAccessOnce(ObjectId self, uint64_t va, void* buf, uint64_t len,
       } else {
         memcpy(buf, t->local_segment().data() + off, len);
       }
+      hint.as.store(t->address_space().object, std::memory_order_relaxed);
+      hint.seg_ct.store(kInvalidObject, std::memory_order_relaxed);
+      hint.seg_obj.store(kInvalidObject, std::memory_order_relaxed);
+      hint.thread.store(self, std::memory_order_relaxed);
       return Status::kOk;
     }
     if (!lk.Covers(m->segment.container) || !lk.Covers(m->segment.object)) {
@@ -380,12 +384,17 @@ Status Kernel::AsAccessOnce(ObjectId self, uint64_t va, void* buf, uint64_t len,
     } else {
       memcpy(buf, s->bytes().data() + off, len);
     }
+    // Remember the discovered footprint so the next fault through this
+    // mapping seeds a covering round 0 (one TableLock instead of two-three).
+    hint.as.store(t->address_space().object, std::memory_order_relaxed);
+    hint.seg_ct.store(m->segment.container, std::memory_order_relaxed);
+    hint.seg_obj.store(m->segment.object, std::memory_order_relaxed);
+    hint.thread.store(self, std::memory_order_relaxed);
     return Status::kOk;
   }
 }
 
-Status Kernel::sys_as_access(ObjectId self, uint64_t va, void* buf, uint64_t len, bool write) {
-  CountSyscall(self);
+Status Kernel::DoAsAccess(ObjectId self, uint64_t va, void* buf, uint64_t len, bool write) {
   for (int attempt = 0; attempt < 2; ++attempt) {
     Status st = AsAccessOnce(self, va, buf, len, write);
     if (st == Status::kOk || st == Status::kHalted) {
@@ -436,9 +445,8 @@ Status Kernel::ReadFutexWord(ObjectId self, ContainerEntry seg, uint64_t offset,
   return Status::kOk;
 }
 
-Status Kernel::sys_futex_wait(ObjectId self, ContainerEntry seg, uint64_t offset,
-                              uint64_t expected, uint32_t timeout_ms) {
-  CountSyscall(self);
+Status Kernel::DoFutexWait(ObjectId self, ContainerEntry seg, uint64_t offset,
+                           uint64_t expected, uint32_t timeout_ms) {
   // Validation pass: resolve, observe-check, range-check, and the cheap
   // early-out when the word already differs.
   uint64_t current = 0;
@@ -541,9 +549,8 @@ Status Kernel::sys_futex_wait(ObjectId self, ContainerEntry seg, uint64_t offset
   return result;
 }
 
-Result<uint32_t> Kernel::sys_futex_wake(ObjectId self, ContainerEntry seg, uint64_t offset,
-                                        uint32_t max_count) {
-  CountSyscall(self);
+Result<uint32_t> Kernel::DoFutexWake(ObjectId self, ContainerEntry seg, uint64_t offset,
+                                     uint32_t max_count) {
   ObjectId sid = kInvalidObject;
   {
     TableLock lk(table_, TableLock::Mode::kShared, {self, seg.container, seg.object});
@@ -585,8 +592,7 @@ Result<uint32_t> Kernel::sys_futex_wake(ObjectId self, ContainerEntry seg, uint6
 
 // ---- devices -----------------------------------------------------------------------
 
-Result<std::array<uint8_t, 6>> Kernel::sys_net_macaddr(ObjectId self, ContainerEntry dev) {
-  CountSyscall(self);
+Result<std::array<uint8_t, 6>> Kernel::DoNetMacAddr(ObjectId self, ContainerEntry dev) {
   TableLock lk(table_, TableLock::Mode::kShared, {self, dev.container, dev.object});
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
@@ -609,9 +615,8 @@ Result<std::array<uint8_t, 6>> Kernel::sys_net_macaddr(ObjectId self, ContainerE
   return d->net_port()->MacAddress();
 }
 
-Status Kernel::sys_net_transmit(ObjectId self, ContainerEntry dev, ContainerEntry seg,
-                                uint64_t off, uint64_t len) {
-  CountSyscall(self);
+Status Kernel::DoNetTransmit(ObjectId self, ContainerEntry dev, ContainerEntry seg,
+                             uint64_t off, uint64_t len) {
   NetPort* port = nullptr;
   std::vector<uint8_t> frame;
   {
@@ -662,9 +667,8 @@ Status Kernel::sys_net_transmit(ObjectId self, ContainerEntry dev, ContainerEntr
   return port->Transmit(frame) ? Status::kOk : Status::kAgain;
 }
 
-Result<uint64_t> Kernel::sys_net_receive(ObjectId self, ContainerEntry dev, ContainerEntry seg,
-                                         uint64_t off, uint64_t maxlen) {
-  CountSyscall(self);
+Result<uint64_t> Kernel::DoNetReceive(ObjectId self, ContainerEntry dev, ContainerEntry seg,
+                                      uint64_t off, uint64_t maxlen) {
   NetPort* port = nullptr;
   {
     TableLock lk(table_, TableLock::Mode::kShared,
@@ -745,8 +749,7 @@ Result<uint64_t> Kernel::sys_net_receive(ObjectId self, ContainerEntry dev, Cont
   return n;
 }
 
-Status Kernel::sys_net_wait(ObjectId self, ContainerEntry dev, uint32_t timeout_ms) {
-  CountSyscall(self);
+Status Kernel::DoNetWait(ObjectId self, ContainerEntry dev, uint32_t timeout_ms) {
   NetPort* port = nullptr;
   {
     TableLock lk(table_, TableLock::Mode::kShared, {self, dev.container, dev.object});
@@ -773,9 +776,7 @@ Status Kernel::sys_net_wait(ObjectId self, ContainerEntry dev, uint32_t timeout_
   return port->WaitForFrame(timeout_ms) ? Status::kOk : Status::kTimedOut;
 }
 
-Status Kernel::sys_console_write(ObjectId self, ContainerEntry dev, const std::string& text) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self, dev.container, dev.object});
+Status Kernel::ConsoleWriteLocked(ObjectId self, ContainerEntry dev, const std::string& text) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;

@@ -11,9 +11,7 @@ namespace histar {
 
 // ---- threads -----------------------------------------------------------------
 
-Result<CategoryId> Kernel::sys_cat_create(ObjectId self) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self});
+Result<CategoryId> Kernel::CatCreateLocked(ObjectId self) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -33,9 +31,7 @@ Result<CategoryId> Kernel::sys_cat_create(ObjectId self) {
   return c;
 }
 
-Status Kernel::sys_self_set_label(ObjectId self, const Label& l) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self});
+Status Kernel::SelfSetLabelLocked(ObjectId self, const Label& l) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -51,9 +47,7 @@ Status Kernel::sys_self_set_label(ObjectId self, const Label& l) {
   return Status::kOk;
 }
 
-Status Kernel::sys_self_set_clearance(ObjectId self, const Label& c) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self});
+Status Kernel::SelfSetClearanceLocked(ObjectId self, const Label& c) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -75,9 +69,7 @@ Status Kernel::sys_self_set_clearance(ObjectId self, const Label& c) {
   return Status::kOk;
 }
 
-Result<Label> Kernel::sys_self_get_label(ObjectId self) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kShared, {self});
+Result<Label> Kernel::SelfGetLabelLocked(ObjectId self) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -85,9 +77,7 @@ Result<Label> Kernel::sys_self_get_label(ObjectId self) {
   return LabelOf(*t);
 }
 
-Result<Label> Kernel::sys_self_get_clearance(ObjectId self) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kShared, {self});
+Result<Label> Kernel::SelfGetClearanceLocked(ObjectId self) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -95,9 +85,7 @@ Result<Label> Kernel::sys_self_get_clearance(ObjectId self) {
   return ClearanceOf(*t);
 }
 
-Status Kernel::sys_self_set_as(ObjectId self, ContainerEntry as) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self, as.container, as.object});
+Status Kernel::SelfSetAsLocked(ObjectId self, ContainerEntry as) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -114,13 +102,13 @@ Status Kernel::sys_self_set_as(ObjectId self, ContainerEntry as) {
     return Status::kLabelCheckFailed;
   }
   t->set_address_space_internal(as);
+  // Switching address spaces invalidates the cached last-fault footprint.
+  FaultHintFor(self).thread.store(kInvalidObject, std::memory_order_relaxed);
   MarkDirty(self);
   return Status::kOk;
 }
 
-Result<ContainerEntry> Kernel::sys_self_get_as(ObjectId self) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kShared, {self});
+Result<ContainerEntry> Kernel::SelfGetAsLocked(ObjectId self) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -128,10 +116,8 @@ Result<ContainerEntry> Kernel::sys_self_get_as(ObjectId self) {
   return t->address_space();
 }
 
-Status Kernel::sys_self_halt(ObjectId self) {
-  CountSyscall(self);
+Status Kernel::SelfHaltLocked(ObjectId self) {
   {
-    TableLock lk(table_, TableLock::Mode::kExclusive, {self});
     Thread* t = GetThread(self);
     if (t == nullptr) {
       return Status::kNotFound;
@@ -145,12 +131,9 @@ Status Kernel::sys_self_halt(ObjectId self) {
   return Status::kOk;
 }
 
-Result<ObjectId> Kernel::sys_thread_create(ObjectId self, const CreateSpec& spec,
-                                           const Label& new_label,
-                                           const Label& new_clearance) {
-  CountSyscall(self);
-  Result<ObjectId> id = AllocObjectId();
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self, spec.container, id.value()});
+Result<ObjectId> Kernel::ThreadCreateLocked(ObjectId self, const CreateSpec& spec,
+                                            const Label& new_label,
+                                            const Label& new_clearance, ObjectId new_id) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -167,7 +150,7 @@ Result<ObjectId> Kernel::sys_thread_create(ObjectId self, const CreateSpec& spec
   if (!d.ok()) {
     return d.status();
   }
-  auto nt = std::make_unique<Thread>(id.value(), nl, registry_.Intern(new_clearance));
+  auto nt = std::make_unique<Thread>(new_id, nl, registry_.Intern(new_clearance));
   nt->set_quota_internal(spec.quota);
   nt->set_descrip_internal(spec.descrip);
   Thread* raw = nt.get();
@@ -181,8 +164,7 @@ Result<ObjectId> Kernel::sys_thread_create(ObjectId self, const CreateSpec& spec
   return raw->id();
 }
 
-Status Kernel::sys_thread_alert(ObjectId self, ContainerEntry thread, uint64_t code) {
-  CountSyscall(self);
+Status Kernel::DoThreadAlert(ObjectId self, ContainerEntry thread, uint64_t code) {
   // The §3.4 check reaches through the target's *address space*, whose id
   // is unknown until the target is read. Discover it optimistically, like
   // sys_as_access: lock the shards known so far, widen if the derived AS
@@ -233,9 +215,7 @@ Status Kernel::sys_thread_alert(ObjectId self, ContainerEntry thread, uint64_t c
   return Status::kOk;
 }
 
-Result<uint64_t> Kernel::sys_self_next_alert(ObjectId self) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self});
+Result<uint64_t> Kernel::SelfNextAlertLocked(ObjectId self) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -248,9 +228,7 @@ Result<uint64_t> Kernel::sys_self_next_alert(ObjectId self) {
   return code;
 }
 
-Status Kernel::sys_self_local_read(ObjectId self, void* buf, uint64_t off, uint64_t len) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kShared, {self});
+Status Kernel::SelfLocalReadLocked(ObjectId self, void* buf, uint64_t off, uint64_t len) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -262,13 +240,11 @@ Status Kernel::sys_self_local_read(ObjectId self, void* buf, uint64_t off, uint6
   return Status::kOk;
 }
 
-Status Kernel::sys_self_local_write(ObjectId self, const void* buf, uint64_t off,
+Status Kernel::SelfLocalWriteLocked(ObjectId self, const void* buf, uint64_t off,
                                     uint64_t len) {
-  CountSyscall(self);
-  // Exclusive even though only `self` ever writes its local segment: the
-  // checkpoint path serializes thread-local pages under shared all-locks,
-  // and shared/shared with a concurrent writer would race.
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self});
+  // Locked exclusive (see PlanOf) even though only `self` ever writes its
+  // local segment: the checkpoint path serializes thread-local pages under
+  // shared all-locks, and shared/shared with a concurrent writer would race.
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -283,13 +259,11 @@ Status Kernel::sys_self_local_write(ObjectId self, const void* buf, uint64_t off
 
 // ---- gates -------------------------------------------------------------------
 
-Result<ObjectId> Kernel::sys_gate_create(ObjectId self, const CreateSpec& spec,
-                                         const Label& gate_label, const Label& gate_clearance,
-                                         const std::string& entry_name,
-                                         const std::vector<uint64_t>& closure) {
-  CountSyscall(self);
-  Result<ObjectId> id = AllocObjectId();
-  TableLock lk(table_, TableLock::Mode::kExclusive, {self, spec.container, id.value()});
+Result<ObjectId> Kernel::GateCreateLocked(ObjectId self, const CreateSpec& spec,
+                                          const Label& gate_label, const Label& gate_clearance,
+                                          const std::string& entry_name,
+                                          const std::vector<uint64_t>& closure,
+                                          ObjectId new_id) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
@@ -316,7 +290,7 @@ Result<ObjectId> Kernel::sys_gate_create(ObjectId self, const CreateSpec& spec,
       return Status::kNotFound;  // entry code segment missing
     }
   }
-  auto g = std::make_unique<Gate>(id.value(), gl, registry_.Intern(gate_clearance),
+  auto g = std::make_unique<Gate>(new_id, gl, registry_.Intern(gate_clearance),
                                   entry_name, closure);
   g->set_quota_internal(spec.quota);
   g->set_descrip_internal(spec.descrip);
@@ -331,9 +305,8 @@ Result<ObjectId> Kernel::sys_gate_create(ObjectId self, const CreateSpec& spec,
   return raw->id();
 }
 
-Status Kernel::sys_gate_invoke(ObjectId self, ContainerEntry gate, const Label& request_label,
-                               const Label& request_clearance, const Label& verify_label) {
-  CountSyscall(self);
+Status Kernel::DoGateInvoke(ObjectId self, ContainerEntry gate, const Label& request_label,
+                            const Label& request_clearance, const Label& verify_label) {
   GateEntryFn entry;
   GateCall call;
   {
@@ -406,9 +379,7 @@ Status Kernel::sys_gate_invoke(ObjectId self, ContainerEntry gate, const Label& 
   return Status::kOk;
 }
 
-Result<std::vector<uint64_t>> Kernel::sys_gate_get_closure(ObjectId self, ContainerEntry ce) {
-  CountSyscall(self);
-  TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
+Result<std::vector<uint64_t>> Kernel::GateGetClosureLocked(ObjectId self, ContainerEntry ce) {
   Thread* t = GetThread(self);
   if (t == nullptr || t->halted()) {
     return Status::kHalted;

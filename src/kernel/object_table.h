@@ -22,6 +22,7 @@
 #ifndef SRC_KERNEL_OBJECT_TABLE_H_
 #define SRC_KERNEL_OBJECT_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
@@ -53,6 +54,22 @@ class ObjectTable {
   ObjectTable& operator=(const ObjectTable&) = delete;
 
   size_t shard_count() const { return shard_count_; }
+
+  // Bit mask with the shard covering `id` set (for batch footprint unions).
+  uint64_t ShardMaskOf(ObjectId id) const { return uint64_t{1} << ShardOf(id); }
+
+  // ---- lock accounting (tests / bench only) --------------------------------
+  //
+  // When enabled, every TableLock acquisition (any mode, any shard set)
+  // bumps a counter — the instrument behind the "one lock round-trip per
+  // batch" acceptance test. Off by default so the syscall fast path touches
+  // no shared atomic; the flag itself is read relaxed.
+  void set_lock_accounting(bool on) const {
+    lock_accounting_.store(on, std::memory_order_relaxed);
+  }
+  uint64_t lock_acquisitions() const {
+    return lock_acquisitions_.load(std::memory_order_relaxed);
+  }
 
   // Shard placement is a pure function of (id, shard_count) so tests can
   // construct ids that deliberately land in different shards.
@@ -131,6 +148,8 @@ class ObjectTable {
 
   const size_t shard_count_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<bool> lock_accounting_{false};
+  mutable std::atomic<uint64_t> lock_acquisitions_{0};
 };
 
 // Shared bound for the optimistic footprint-discovery loops (sys_as_access,
@@ -168,6 +187,13 @@ class TableLock {
     return TableLock(table, mode, AllTag{});
   }
 
+  // Locks the shards named by a precomputed bit mask — the batch dispatcher
+  // path (Kernel::SubmitBatch), which unions the footprints of a whole
+  // request group and pays this single acquisition for all of them.
+  static TableLock ForMask(const ObjectTable& table, Mode mode, uint64_t shard_mask) {
+    return TableLock(table, mode, shard_mask, MaskTag{});
+  }
+
   ~TableLock() { Release(); }
 
   TableLock(const TableLock&) = delete;
@@ -188,13 +214,21 @@ class TableLock {
 
  private:
   struct AllTag {};
+  struct MaskTag {};
   TableLock(const ObjectTable& table, Mode mode, AllTag) : table_(&table), mode_(mode) {
     mask_ = table.shard_count_ >= 64 ? ~uint64_t{0}
                                      : (uint64_t{1} << table.shard_count_) - 1;
     Acquire();
   }
+  TableLock(const ObjectTable& table, Mode mode, uint64_t shard_mask, MaskTag)
+      : table_(&table), mode_(mode), mask_(shard_mask) {
+    Acquire();
+  }
 
   void Acquire() {
+    if (table_->lock_accounting_.load(std::memory_order_relaxed)) {
+      table_->lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    }
     for (size_t i = 0; i < table_->shard_count_; ++i) {
       if ((mask_ & (uint64_t{1} << i)) == 0) {
         continue;

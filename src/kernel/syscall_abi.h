@@ -1,0 +1,607 @@
+// The batched syscall ABI (PR 3): uniform request/completion descriptors.
+//
+// Every kernel entry point has exactly one request alternative in SyscallReq
+// and one completion alternative in SyscallRes. A batch is a span of
+// requests submitted through Kernel::SubmitBatch, which fills the matching
+// span of completions: completion i always describes request i, carries its
+// own Status (partial failure is per-entry — later entries still execute),
+// and holds alternative index i+1 of SyscallRes (index 0, std::monostate,
+// means "never filled"). The descriptors carry the §3 label-rule inputs
+// explicitly — caller-supplied labels, container entries, create specs —
+// so the dispatcher can compute a request's full shard footprint before
+// touching any lock; that is what lets SubmitBatch execute a run of
+// same-footprint requests under ONE ascending-order TableLock instead of
+// one per call (ARCHITECTURE.md "The batched syscall ABI").
+//
+// Buffer fields (`buf`, `data`) are caller-owned raw pointers, exactly like
+// an io_uring SQE referencing user memory: they must stay valid until the
+// matching completion is filled. Encode/decode (below) round-trips them as
+// 64-bit words — descriptors describe in-process memory, not a network
+// protocol.
+#ifndef SRC_KERNEL_SYSCALL_ABI_H_
+#define SRC_KERNEL_SYSCALL_ABI_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <variant>
+#include <vector>
+
+#include "src/core/label.h"
+#include "src/core/status.h"
+#include "src/kernel/object.h"
+#include "src/kernel/types.h"
+
+namespace histar {
+
+// Parameters for creating any object: the destination container, the new
+// object's label, descriptive string and quota.
+struct CreateSpec {
+  ObjectId container = kInvalidObject;
+  Label label;
+  std::string descrip;
+  uint64_t quota = 16 * kPageSize;
+};
+
+// ---- Request descriptors (one per sys_* entry point) ------------------------
+//
+// Threads (§3.1)
+struct CatCreateReq {};
+struct SelfSetLabelReq {
+  Label label;
+};
+struct SelfSetClearanceReq {
+  Label clearance;
+};
+struct SelfGetLabelReq {};
+struct SelfGetClearanceReq {};
+struct SelfSetAsReq {
+  ContainerEntry as;
+};
+struct SelfGetAsReq {};
+struct SelfHaltReq {};
+struct ThreadCreateReq {
+  CreateSpec spec;
+  Label label;
+  Label clearance;
+};
+struct ThreadAlertReq {
+  ContainerEntry thread;
+  uint64_t code = 0;
+};
+struct SelfNextAlertReq {};
+struct SelfLocalReadReq {
+  void* buf = nullptr;
+  uint64_t off = 0;
+  uint64_t len = 0;
+};
+struct SelfLocalWriteReq {
+  const void* buf = nullptr;
+  uint64_t off = 0;
+  uint64_t len = 0;
+};
+
+// Containers (§3.2, §3.3)
+struct ContainerCreateReq {
+  CreateSpec spec;
+  uint32_t avoid_types = 0;
+};
+struct ContainerUnrefReq {
+  ContainerEntry ce;
+};
+struct ContainerGetParentReq {
+  ObjectId container = kInvalidObject;
+};
+struct ContainerListReq {
+  ObjectId container = kInvalidObject;
+};
+struct ContainerLinkReq {
+  ObjectId container = kInvalidObject;
+  ContainerEntry src;
+};
+struct ContainerHasReq {
+  ObjectId container = kInvalidObject;
+  ObjectId obj = kInvalidObject;
+};
+
+// Generic object calls (§3.2)
+struct ObjGetTypeReq {
+  ContainerEntry ce;
+};
+struct ObjGetLabelReq {
+  ContainerEntry ce;
+};
+struct ObjGetDescripReq {
+  ContainerEntry ce;
+};
+struct ObjGetQuotaReq {
+  ContainerEntry ce;
+};
+struct ObjGetMetadataReq {
+  ContainerEntry ce;
+};
+struct ObjSetMetadataReq {
+  ContainerEntry ce;
+  const void* data = nullptr;
+  uint64_t len = 0;
+};
+struct ObjSetFixedQuotaReq {
+  ContainerEntry ce;
+};
+struct ObjSetImmutableReq {
+  ContainerEntry ce;
+};
+struct QuotaMoveReq {
+  ObjectId d = kInvalidObject;
+  ObjectId o = kInvalidObject;
+  int64_t n = 0;
+};
+
+// Segments (§3)
+struct SegmentCreateReq {
+  CreateSpec spec;
+  uint64_t len = 0;
+};
+struct SegmentCopyReq {
+  CreateSpec spec;
+  ContainerEntry src;
+};
+struct SegmentResizeReq {
+  ContainerEntry ce;
+  uint64_t len = 0;
+};
+struct SegmentGetLenReq {
+  ContainerEntry ce;
+};
+struct SegmentReadReq {
+  ContainerEntry ce;
+  void* buf = nullptr;
+  uint64_t off = 0;
+  uint64_t len = 0;
+};
+struct SegmentWriteReq {
+  ContainerEntry ce;
+  const void* buf = nullptr;
+  uint64_t off = 0;
+  uint64_t len = 0;
+};
+
+// Address spaces (§3.4)
+struct AsCreateReq {
+  CreateSpec spec;
+};
+struct AsSetReq {
+  ContainerEntry ce;
+  std::vector<Mapping> mappings;
+};
+struct AsGetReq {
+  ContainerEntry ce;
+};
+struct AsAccessReq {
+  uint64_t va = 0;
+  void* buf = nullptr;
+  uint64_t len = 0;
+  bool write = false;
+};
+
+// Gates (§3.5)
+struct GateCreateReq {
+  CreateSpec spec;
+  Label gate_label;
+  Label gate_clearance;
+  std::string entry_name;
+  std::vector<uint64_t> closure;
+};
+struct GateInvokeReq {
+  ContainerEntry gate;
+  Label request_label;
+  Label request_clearance;
+  Label verify_label;
+};
+struct GateGetClosureReq {
+  ContainerEntry ce;
+};
+
+// Futexes (§4.1)
+struct FutexWaitReq {
+  ContainerEntry seg;
+  uint64_t offset = 0;
+  uint64_t expected = 0;
+  uint32_t timeout_ms = 0;
+};
+struct FutexWakeReq {
+  ContainerEntry seg;
+  uint64_t offset = 0;
+  uint32_t max_count = 0;
+};
+
+// Devices (§4.1, §5.7)
+struct NetMacAddrReq {
+  ContainerEntry dev;
+};
+struct NetTransmitReq {
+  ContainerEntry dev;
+  ContainerEntry seg;
+  uint64_t off = 0;
+  uint64_t len = 0;
+};
+struct NetReceiveReq {
+  ContainerEntry dev;
+  ContainerEntry seg;
+  uint64_t off = 0;
+  uint64_t maxlen = 0;
+};
+struct NetWaitReq {
+  ContainerEntry dev;
+  uint32_t timeout_ms = 0;
+};
+struct ConsoleWriteReq {
+  ContainerEntry dev;
+  std::string text;
+};
+
+// Persistence (§3, §4)
+struct SyncReq {};
+struct SyncObjectReq {
+  ContainerEntry ce;
+};
+struct SyncPagesReq {
+  ContainerEntry ce;
+  uint64_t offset = 0;
+  uint64_t len = 0;
+};
+
+// ---- Completion descriptors -------------------------------------------------
+//
+// Every completion leads with its own Status; value fields are meaningful
+// only when status == Status::kOk.
+struct CatCreateRes {
+  Status status = Status::kInvalidArg;
+  CategoryId cat = kInvalidCategory;
+};
+struct SelfSetLabelRes {
+  Status status = Status::kInvalidArg;
+};
+struct SelfSetClearanceRes {
+  Status status = Status::kInvalidArg;
+};
+struct SelfGetLabelRes {
+  Status status = Status::kInvalidArg;
+  Label label;
+};
+struct SelfGetClearanceRes {
+  Status status = Status::kInvalidArg;
+  Label clearance;
+};
+struct SelfSetAsRes {
+  Status status = Status::kInvalidArg;
+};
+struct SelfGetAsRes {
+  Status status = Status::kInvalidArg;
+  ContainerEntry as;
+};
+struct SelfHaltRes {
+  Status status = Status::kInvalidArg;
+};
+struct ThreadCreateRes {
+  Status status = Status::kInvalidArg;
+  ObjectId id = kInvalidObject;
+};
+struct ThreadAlertRes {
+  Status status = Status::kInvalidArg;
+};
+struct SelfNextAlertRes {
+  Status status = Status::kInvalidArg;
+  uint64_t code = 0;
+};
+struct SelfLocalReadRes {
+  Status status = Status::kInvalidArg;
+};
+struct SelfLocalWriteRes {
+  Status status = Status::kInvalidArg;
+};
+struct ContainerCreateRes {
+  Status status = Status::kInvalidArg;
+  ObjectId id = kInvalidObject;
+};
+struct ContainerUnrefRes {
+  Status status = Status::kInvalidArg;
+};
+struct ContainerGetParentRes {
+  Status status = Status::kInvalidArg;
+  ObjectId parent = kInvalidObject;
+};
+struct ContainerListRes {
+  Status status = Status::kInvalidArg;
+  std::vector<ObjectId> links;
+};
+struct ContainerLinkRes {
+  Status status = Status::kInvalidArg;
+};
+struct ContainerHasRes {
+  Status status = Status::kInvalidArg;
+  bool has = false;
+};
+struct ObjGetTypeRes {
+  Status status = Status::kInvalidArg;
+  ObjectType type = ObjectType::kContainer;
+};
+struct ObjGetLabelRes {
+  Status status = Status::kInvalidArg;
+  Label label;
+};
+struct ObjGetDescripRes {
+  Status status = Status::kInvalidArg;
+  std::string descrip;
+};
+struct ObjGetQuotaRes {
+  Status status = Status::kInvalidArg;
+  uint64_t quota = 0;
+};
+struct ObjGetMetadataRes {
+  Status status = Status::kInvalidArg;
+  std::vector<uint8_t> metadata;
+};
+struct ObjSetMetadataRes {
+  Status status = Status::kInvalidArg;
+};
+struct ObjSetFixedQuotaRes {
+  Status status = Status::kInvalidArg;
+};
+struct ObjSetImmutableRes {
+  Status status = Status::kInvalidArg;
+};
+struct QuotaMoveRes {
+  Status status = Status::kInvalidArg;
+};
+struct SegmentCreateRes {
+  Status status = Status::kInvalidArg;
+  ObjectId id = kInvalidObject;
+};
+struct SegmentCopyRes {
+  Status status = Status::kInvalidArg;
+  ObjectId id = kInvalidObject;
+};
+struct SegmentResizeRes {
+  Status status = Status::kInvalidArg;
+};
+struct SegmentGetLenRes {
+  Status status = Status::kInvalidArg;
+  uint64_t len = 0;
+};
+struct SegmentReadRes {
+  Status status = Status::kInvalidArg;
+};
+struct SegmentWriteRes {
+  Status status = Status::kInvalidArg;
+};
+struct AsCreateRes {
+  Status status = Status::kInvalidArg;
+  ObjectId id = kInvalidObject;
+};
+struct AsSetRes {
+  Status status = Status::kInvalidArg;
+};
+struct AsGetRes {
+  Status status = Status::kInvalidArg;
+  std::vector<Mapping> mappings;
+};
+struct AsAccessRes {
+  Status status = Status::kInvalidArg;
+};
+struct GateCreateRes {
+  Status status = Status::kInvalidArg;
+  ObjectId id = kInvalidObject;
+};
+struct GateInvokeRes {
+  Status status = Status::kInvalidArg;
+};
+struct GateGetClosureRes {
+  Status status = Status::kInvalidArg;
+  std::vector<uint64_t> closure;
+};
+struct FutexWaitRes {
+  Status status = Status::kInvalidArg;
+};
+struct FutexWakeRes {
+  Status status = Status::kInvalidArg;
+  uint32_t woken = 0;
+};
+struct NetMacAddrRes {
+  Status status = Status::kInvalidArg;
+  std::array<uint8_t, 6> mac = {};
+};
+struct NetTransmitRes {
+  Status status = Status::kInvalidArg;
+};
+struct NetReceiveRes {
+  Status status = Status::kInvalidArg;
+  uint64_t len = 0;
+};
+struct NetWaitRes {
+  Status status = Status::kInvalidArg;
+};
+struct ConsoleWriteRes {
+  Status status = Status::kInvalidArg;
+};
+struct SyncRes {
+  Status status = Status::kInvalidArg;
+};
+struct SyncObjectRes {
+  Status status = Status::kInvalidArg;
+};
+struct SyncPagesRes {
+  Status status = Status::kInvalidArg;
+};
+
+// ---- The variants -----------------------------------------------------------
+//
+// Alternative order is the ABI: SyscallRes alternative i+1 completes
+// SyscallReq alternative i (SyscallRes index 0 is monostate, "unfilled").
+// Appending new syscalls at the end keeps encoded descriptors stable.
+using SyscallReq = std::variant<
+    CatCreateReq, SelfSetLabelReq, SelfSetClearanceReq, SelfGetLabelReq, SelfGetClearanceReq,
+    SelfSetAsReq, SelfGetAsReq, SelfHaltReq, ThreadCreateReq, ThreadAlertReq, SelfNextAlertReq,
+    SelfLocalReadReq, SelfLocalWriteReq, ContainerCreateReq, ContainerUnrefReq,
+    ContainerGetParentReq, ContainerListReq, ContainerLinkReq, ContainerHasReq, ObjGetTypeReq,
+    ObjGetLabelReq, ObjGetDescripReq, ObjGetQuotaReq, ObjGetMetadataReq, ObjSetMetadataReq,
+    ObjSetFixedQuotaReq, ObjSetImmutableReq, QuotaMoveReq, SegmentCreateReq, SegmentCopyReq,
+    SegmentResizeReq, SegmentGetLenReq, SegmentReadReq, SegmentWriteReq, AsCreateReq, AsSetReq,
+    AsGetReq, AsAccessReq, GateCreateReq, GateInvokeReq, GateGetClosureReq, FutexWaitReq,
+    FutexWakeReq, NetMacAddrReq, NetTransmitReq, NetReceiveReq, NetWaitReq, ConsoleWriteReq,
+    SyncReq, SyncObjectReq, SyncPagesReq>;
+
+using SyscallRes = std::variant<
+    std::monostate, CatCreateRes, SelfSetLabelRes, SelfSetClearanceRes, SelfGetLabelRes,
+    SelfGetClearanceRes, SelfSetAsRes, SelfGetAsRes, SelfHaltRes, ThreadCreateRes,
+    ThreadAlertRes, SelfNextAlertRes, SelfLocalReadRes, SelfLocalWriteRes, ContainerCreateRes,
+    ContainerUnrefRes, ContainerGetParentRes, ContainerListRes, ContainerLinkRes,
+    ContainerHasRes, ObjGetTypeRes, ObjGetLabelRes, ObjGetDescripRes, ObjGetQuotaRes,
+    ObjGetMetadataRes, ObjSetMetadataRes, ObjSetFixedQuotaRes, ObjSetImmutableRes, QuotaMoveRes,
+    SegmentCreateRes, SegmentCopyRes, SegmentResizeRes, SegmentGetLenRes, SegmentReadRes,
+    SegmentWriteRes, AsCreateRes, AsSetRes, AsGetRes, AsAccessRes, GateCreateRes, GateInvokeRes,
+    GateGetClosureRes, FutexWaitRes, FutexWakeRes, NetMacAddrRes, NetTransmitRes, NetReceiveRes,
+    NetWaitRes, ConsoleWriteRes, SyncRes, SyncObjectRes, SyncPagesRes>;
+
+inline constexpr size_t kNumSyscallKinds = std::variant_size_v<SyscallReq>;
+static_assert(std::variant_size_v<SyscallRes> == kNumSyscallKinds + 1,
+              "every request alternative needs exactly one completion alternative");
+
+// ---- Field enumeration ------------------------------------------------------
+//
+// One AbiFields overload per descriptor returns a tuple of references to the
+// fields in wire order; the encode/decode archives in syscall_abi.cc fold
+// over it. Adding a field to a descriptor without touching its AbiFields
+// line fails the round-trip property test (tests/kernel/syscall_abi_test.cc).
+inline auto AbiFields(CatCreateReq&) { return std::tie(); }
+inline auto AbiFields(SelfSetLabelReq& r) { return std::tie(r.label); }
+inline auto AbiFields(SelfSetClearanceReq& r) { return std::tie(r.clearance); }
+inline auto AbiFields(SelfGetLabelReq&) { return std::tie(); }
+inline auto AbiFields(SelfGetClearanceReq&) { return std::tie(); }
+inline auto AbiFields(SelfSetAsReq& r) { return std::tie(r.as); }
+inline auto AbiFields(SelfGetAsReq&) { return std::tie(); }
+inline auto AbiFields(SelfHaltReq&) { return std::tie(); }
+inline auto AbiFields(ThreadCreateReq& r) { return std::tie(r.spec, r.label, r.clearance); }
+inline auto AbiFields(ThreadAlertReq& r) { return std::tie(r.thread, r.code); }
+inline auto AbiFields(SelfNextAlertReq&) { return std::tie(); }
+inline auto AbiFields(SelfLocalReadReq& r) { return std::tie(r.buf, r.off, r.len); }
+inline auto AbiFields(SelfLocalWriteReq& r) { return std::tie(r.buf, r.off, r.len); }
+inline auto AbiFields(ContainerCreateReq& r) { return std::tie(r.spec, r.avoid_types); }
+inline auto AbiFields(ContainerUnrefReq& r) { return std::tie(r.ce); }
+inline auto AbiFields(ContainerGetParentReq& r) { return std::tie(r.container); }
+inline auto AbiFields(ContainerListReq& r) { return std::tie(r.container); }
+inline auto AbiFields(ContainerLinkReq& r) { return std::tie(r.container, r.src); }
+inline auto AbiFields(ContainerHasReq& r) { return std::tie(r.container, r.obj); }
+inline auto AbiFields(ObjGetTypeReq& r) { return std::tie(r.ce); }
+inline auto AbiFields(ObjGetLabelReq& r) { return std::tie(r.ce); }
+inline auto AbiFields(ObjGetDescripReq& r) { return std::tie(r.ce); }
+inline auto AbiFields(ObjGetQuotaReq& r) { return std::tie(r.ce); }
+inline auto AbiFields(ObjGetMetadataReq& r) { return std::tie(r.ce); }
+inline auto AbiFields(ObjSetMetadataReq& r) { return std::tie(r.ce, r.data, r.len); }
+inline auto AbiFields(ObjSetFixedQuotaReq& r) { return std::tie(r.ce); }
+inline auto AbiFields(ObjSetImmutableReq& r) { return std::tie(r.ce); }
+inline auto AbiFields(QuotaMoveReq& r) { return std::tie(r.d, r.o, r.n); }
+inline auto AbiFields(SegmentCreateReq& r) { return std::tie(r.spec, r.len); }
+inline auto AbiFields(SegmentCopyReq& r) { return std::tie(r.spec, r.src); }
+inline auto AbiFields(SegmentResizeReq& r) { return std::tie(r.ce, r.len); }
+inline auto AbiFields(SegmentGetLenReq& r) { return std::tie(r.ce); }
+inline auto AbiFields(SegmentReadReq& r) { return std::tie(r.ce, r.buf, r.off, r.len); }
+inline auto AbiFields(SegmentWriteReq& r) { return std::tie(r.ce, r.buf, r.off, r.len); }
+inline auto AbiFields(AsCreateReq& r) { return std::tie(r.spec); }
+inline auto AbiFields(AsSetReq& r) { return std::tie(r.ce, r.mappings); }
+inline auto AbiFields(AsGetReq& r) { return std::tie(r.ce); }
+inline auto AbiFields(AsAccessReq& r) { return std::tie(r.va, r.buf, r.len, r.write); }
+inline auto AbiFields(GateCreateReq& r) {
+  return std::tie(r.spec, r.gate_label, r.gate_clearance, r.entry_name, r.closure);
+}
+inline auto AbiFields(GateInvokeReq& r) {
+  return std::tie(r.gate, r.request_label, r.request_clearance, r.verify_label);
+}
+inline auto AbiFields(GateGetClosureReq& r) { return std::tie(r.ce); }
+inline auto AbiFields(FutexWaitReq& r) {
+  return std::tie(r.seg, r.offset, r.expected, r.timeout_ms);
+}
+inline auto AbiFields(FutexWakeReq& r) { return std::tie(r.seg, r.offset, r.max_count); }
+inline auto AbiFields(NetMacAddrReq& r) { return std::tie(r.dev); }
+inline auto AbiFields(NetTransmitReq& r) { return std::tie(r.dev, r.seg, r.off, r.len); }
+inline auto AbiFields(NetReceiveReq& r) { return std::tie(r.dev, r.seg, r.off, r.maxlen); }
+inline auto AbiFields(NetWaitReq& r) { return std::tie(r.dev, r.timeout_ms); }
+inline auto AbiFields(ConsoleWriteReq& r) { return std::tie(r.dev, r.text); }
+inline auto AbiFields(SyncReq&) { return std::tie(); }
+inline auto AbiFields(SyncObjectReq& r) { return std::tie(r.ce); }
+inline auto AbiFields(SyncPagesReq& r) { return std::tie(r.ce, r.offset, r.len); }
+
+inline auto AbiFields(CatCreateRes& r) { return std::tie(r.status, r.cat); }
+inline auto AbiFields(SelfSetLabelRes& r) { return std::tie(r.status); }
+inline auto AbiFields(SelfSetClearanceRes& r) { return std::tie(r.status); }
+inline auto AbiFields(SelfGetLabelRes& r) { return std::tie(r.status, r.label); }
+inline auto AbiFields(SelfGetClearanceRes& r) { return std::tie(r.status, r.clearance); }
+inline auto AbiFields(SelfSetAsRes& r) { return std::tie(r.status); }
+inline auto AbiFields(SelfGetAsRes& r) { return std::tie(r.status, r.as); }
+inline auto AbiFields(SelfHaltRes& r) { return std::tie(r.status); }
+inline auto AbiFields(ThreadCreateRes& r) { return std::tie(r.status, r.id); }
+inline auto AbiFields(ThreadAlertRes& r) { return std::tie(r.status); }
+inline auto AbiFields(SelfNextAlertRes& r) { return std::tie(r.status, r.code); }
+inline auto AbiFields(SelfLocalReadRes& r) { return std::tie(r.status); }
+inline auto AbiFields(SelfLocalWriteRes& r) { return std::tie(r.status); }
+inline auto AbiFields(ContainerCreateRes& r) { return std::tie(r.status, r.id); }
+inline auto AbiFields(ContainerUnrefRes& r) { return std::tie(r.status); }
+inline auto AbiFields(ContainerGetParentRes& r) { return std::tie(r.status, r.parent); }
+inline auto AbiFields(ContainerListRes& r) { return std::tie(r.status, r.links); }
+inline auto AbiFields(ContainerLinkRes& r) { return std::tie(r.status); }
+inline auto AbiFields(ContainerHasRes& r) { return std::tie(r.status, r.has); }
+inline auto AbiFields(ObjGetTypeRes& r) { return std::tie(r.status, r.type); }
+inline auto AbiFields(ObjGetLabelRes& r) { return std::tie(r.status, r.label); }
+inline auto AbiFields(ObjGetDescripRes& r) { return std::tie(r.status, r.descrip); }
+inline auto AbiFields(ObjGetQuotaRes& r) { return std::tie(r.status, r.quota); }
+inline auto AbiFields(ObjGetMetadataRes& r) { return std::tie(r.status, r.metadata); }
+inline auto AbiFields(ObjSetMetadataRes& r) { return std::tie(r.status); }
+inline auto AbiFields(ObjSetFixedQuotaRes& r) { return std::tie(r.status); }
+inline auto AbiFields(ObjSetImmutableRes& r) { return std::tie(r.status); }
+inline auto AbiFields(QuotaMoveRes& r) { return std::tie(r.status); }
+inline auto AbiFields(SegmentCreateRes& r) { return std::tie(r.status, r.id); }
+inline auto AbiFields(SegmentCopyRes& r) { return std::tie(r.status, r.id); }
+inline auto AbiFields(SegmentResizeRes& r) { return std::tie(r.status); }
+inline auto AbiFields(SegmentGetLenRes& r) { return std::tie(r.status, r.len); }
+inline auto AbiFields(SegmentReadRes& r) { return std::tie(r.status); }
+inline auto AbiFields(SegmentWriteRes& r) { return std::tie(r.status); }
+inline auto AbiFields(AsCreateRes& r) { return std::tie(r.status, r.id); }
+inline auto AbiFields(AsSetRes& r) { return std::tie(r.status); }
+inline auto AbiFields(AsGetRes& r) { return std::tie(r.status, r.mappings); }
+inline auto AbiFields(AsAccessRes& r) { return std::tie(r.status); }
+inline auto AbiFields(GateCreateRes& r) { return std::tie(r.status, r.id); }
+inline auto AbiFields(GateInvokeRes& r) { return std::tie(r.status); }
+inline auto AbiFields(GateGetClosureRes& r) { return std::tie(r.status, r.closure); }
+inline auto AbiFields(FutexWaitRes& r) { return std::tie(r.status); }
+inline auto AbiFields(FutexWakeRes& r) { return std::tie(r.status, r.woken); }
+inline auto AbiFields(NetMacAddrRes& r) { return std::tie(r.status, r.mac); }
+inline auto AbiFields(NetTransmitRes& r) { return std::tie(r.status); }
+inline auto AbiFields(NetReceiveRes& r) { return std::tie(r.status, r.len); }
+inline auto AbiFields(NetWaitRes& r) { return std::tie(r.status); }
+inline auto AbiFields(ConsoleWriteRes& r) { return std::tie(r.status); }
+inline auto AbiFields(SyncRes& r) { return std::tie(r.status); }
+inline auto AbiFields(SyncObjectRes& r) { return std::tie(r.status); }
+inline auto AbiFields(SyncPagesRes& r) { return std::tie(r.status); }
+
+inline auto AbiFields(CreateSpec& s) { return std::tie(s.container, s.label, s.descrip, s.quota); }
+inline auto AbiFields(ContainerEntry& e) { return std::tie(e.container, e.object); }
+inline auto AbiFields(Mapping& m) {
+  return std::tie(m.va, m.segment, m.start_page, m.npages, m.flags);
+}
+
+// ---- Wire form --------------------------------------------------------------
+//
+// Descriptor layout (little-endian): [u32 alternative-index][fields in
+// AbiFields order]. Integers are fixed-width LE; bools one byte; pointers
+// 64-bit words; strings and byte/word vectors are u32-length-prefixed;
+// labels use Label::Serialize; composite fields (CreateSpec, ContainerEntry,
+// Mapping) recurse. Documented in docs/syscalls.md ("Batched submission").
+void EncodeReq(const SyscallReq& req, std::vector<uint8_t>* out);
+bool DecodeReq(const uint8_t* data, size_t len, size_t* consumed, SyscallReq* out);
+void EncodeRes(const SyscallRes& res, std::vector<uint8_t>* out);
+bool DecodeRes(const uint8_t* data, size_t len, size_t* consumed, SyscallRes* out);
+
+}  // namespace histar
+
+#endif  // SRC_KERNEL_SYSCALL_ABI_H_

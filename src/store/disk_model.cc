@@ -55,10 +55,14 @@ Status DiskModel::Read(uint64_t offset, void* buf, uint64_t len) {
   }
   sim_time_ns_ += AccessCost(offset, len, /*is_read=*/true);
   ++read_ops_;
-  memset(buf, 0, len);
+  if (len != 0) {  // len == 0 legitimately pairs with a null buf
+    memset(buf, 0, len);
+  }
   if (geo_.store_data && offset < data_.size()) {
     uint64_t n = std::min<uint64_t>(len, data_.size() - offset);
-    memcpy(buf, data_.data() + offset, n);
+    if (n != 0) {
+      memcpy(buf, data_.data() + offset, n);
+    }
   }
   return Status::kOk;
 }

@@ -201,6 +201,41 @@ Result<ObjectId> FileSystem::DirSegment(ObjectId self, ObjectId dir) {
   return seg;
 }
 
+namespace {
+// Directory scans read fixed 64-byte records from one segment — the
+// archetypal same-shard syscall run. Submitting them in batches pays one
+// TableLock per kDirScanBatch records instead of one per record, which is
+// where a path walk spends most of its syscalls.
+constexpr uint64_t kDirScanBatch = 16;
+}  // namespace
+
+template <typename Fn>
+Status FileSystem::ScanDirRecords(ObjectId self, ContainerEntry seg, uint64_t n, Fn&& fn) {
+  DirEntry entries[kDirScanBatch];
+  SyscallReq reqs[kDirScanBatch];
+  SyscallRes res[kDirScanBatch];
+  for (uint64_t base = 0; base < n; base += kDirScanBatch) {
+    uint64_t cnt = std::min(kDirScanBatch, n - base);
+    for (uint64_t i = 0; i < cnt; ++i) {
+      reqs[i] = SegmentReadReq{seg, &entries[i],
+                               sizeof(DirHeader) + (base + i) * sizeof(DirEntry),
+                               sizeof(DirEntry)};
+    }
+    kernel_->SubmitBatch(self, std::span<const SyscallReq>(reqs, cnt),
+                         std::span<SyscallRes>(res, cnt));
+    for (uint64_t i = 0; i < cnt; ++i) {
+      Status st = std::get<SegmentReadRes>(res[i]).status;
+      if (st != Status::kOk) {
+        return st;
+      }
+      if (!fn(base + i, entries[i])) {
+        return Status::kOk;
+      }
+    }
+  }
+  return Status::kOk;
+}
+
 Result<ObjectId> FileSystem::FindEntry(ObjectId self, ContainerEntry seg,
                                        const std::string& name, uint64_t* slot_out) {
   Result<uint64_t> len = kernel_->sys_segment_get_len(self, seg);
@@ -209,25 +244,30 @@ Result<ObjectId> FileSystem::FindEntry(ObjectId self, ContainerEntry seg,
   }
   uint64_t n = (len.value() - sizeof(DirHeader)) / sizeof(DirEntry);
   uint64_t free_slot = n;
-  for (uint64_t i = 0; i < n; ++i) {
-    DirEntry e;
-    Status st = kernel_->sys_segment_read(self, seg, &e,
-                                          sizeof(DirHeader) + i * sizeof(DirEntry), sizeof(e));
-    if (st != Status::kOk) {
-      return st;
-    }
+  uint64_t found_slot = n;
+  ObjectId found = kInvalidObject;
+  Status st = ScanDirRecords(self, seg, n, [&](uint64_t slot, const DirEntry& e) {
     if (e.in_use == 0) {
       if (free_slot == n) {
-        free_slot = i;
+        free_slot = slot;
       }
-      continue;
+      return true;
     }
     if (strncmp(e.name, name.c_str(), sizeof(e.name)) == 0) {
-      if (slot_out != nullptr) {
-        *slot_out = i;
-      }
-      return e.objid;
+      found_slot = slot;
+      found = e.objid;
+      return false;  // stop: name matched
     }
+    return true;
+  });
+  if (st != Status::kOk) {
+    return st;
+  }
+  if (found != kInvalidObject) {
+    if (slot_out != nullptr) {
+      *slot_out = found_slot;
+    }
+    return found;
   }
   if (slot_out != nullptr) {
     *slot_out = free_slot;
@@ -391,16 +431,14 @@ Result<std::vector<std::pair<std::string, ObjectId>>> FileSystem::ReadDir(Object
     }
     uint64_t n = (len.value() - sizeof(DirHeader)) / sizeof(DirEntry);
     std::vector<std::pair<std::string, ObjectId>> out;
-    for (uint64_t i = 0; i < n; ++i) {
-      DirEntry e;
-      st = kernel_->sys_segment_read(self, seg_ce, &e,
-                                     sizeof(DirHeader) + i * sizeof(DirEntry), sizeof(e));
-      if (st != Status::kOk) {
-        return st;
-      }
+    st = ScanDirRecords(self, seg_ce, n, [&](uint64_t, const DirEntry& e) {
       if (e.in_use != 0) {
         out.emplace_back(std::string(e.name, strnlen(e.name, sizeof(e.name))), e.objid);
       }
+      return true;
+    });
+    if (st != Status::kOk) {
+      return st;
     }
     DirHeader after;
     st = kernel_->sys_segment_read(self, seg_ce, &after, 0, sizeof(after));

@@ -139,6 +139,15 @@ class FileSystem {
   // Finds the directory segment for container `dir` (from its metadata).
   Result<ObjectId> DirSegment(ObjectId self, ObjectId dir);
 
+  // Batched scan over the first `n` directory records of `seg`: reads them
+  // in kDirScanBatch-sized SubmitBatch groups (one kernel lock round-trip
+  // per group) and invokes fn(slot, entry) on each; fn returns false to
+  // stop early. Returns the first read error, else kOk. Shared by FindEntry
+  // and ReadDir so the two scans cannot drift. Defined in fs.cc (both users
+  // live there).
+  template <typename Fn>
+  Status ScanDirRecords(ObjectId self, ContainerEntry seg, uint64_t n, Fn&& fn);
+
   // Entry scan helpers; `slot_out` receives the matching or first-free slot.
   Result<ObjectId> FindEntry(ObjectId self, ContainerEntry seg, const std::string& name,
                              uint64_t* slot_out);

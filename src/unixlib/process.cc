@@ -382,20 +382,48 @@ Result<uint64_t> FdTable::PipeRead(ObjectId self, const FdSegState& st, void* ou
     if (avail > 0) {
       uint64_t n = std::min(len, avail);
       uint8_t* dst = static_cast<uint8_t*>(out);
-      // At most two segment reads: the run to the end of the ring, then the
-      // wrapped remainder.
+      // At most two segment reads (the run to the end of the ring, then the
+      // wrapped remainder) plus the header commit — submitted as ONE batch,
+      // so the whole transfer pays a single kernel lock round-trip and is
+      // atomic against concurrent segment operations (the fig-12 IPC hot
+      // path this PR's batched ABI exists for).
       uint64_t pos = h.rpos % kPipeBufBytes;
       uint64_t first = std::min(n, kPipeBufBytes - pos);
-      s = kernel_->sys_segment_read(self, buf, dst, kPipeDataOffset + pos, first);
-      if (s == Status::kOk && first < n) {
-        s = kernel_->sys_segment_read(self, buf, dst + first, kPipeDataOffset, n - first);
-      }
-      if (s != Status::kOk) {
-        mu.Unlock(self);
-        return s;
-      }
       h.rpos += n;
-      kernel_->sys_segment_write(self, buf, &h, 0, sizeof(h));
+      SyscallReq reqs[3];
+      SyscallRes res[3];
+      size_t cnt = 0;
+      size_t data_reads = 1;
+      reqs[cnt++] = SegmentReadReq{buf, dst, kPipeDataOffset + pos, first};
+      if (first < n) {
+        reqs[cnt++] = SegmentReadReq{buf, dst + first, kPipeDataOffset, n - first};
+        data_reads = 2;
+      }
+      // Commit only the rpos word: the header's mutex word (offset 0) is
+      // CASed by *contenders* outside the pipe mutex, so writing the whole
+      // snapshotted header back would clobber a locked-with-waiters mark
+      // and cost the waiter its full wait slice.
+      reqs[cnt++] = SegmentWriteReq{buf, &h.rpos, kPipeRposOffset, 8};
+      kernel_->SubmitBatch(self, std::span<const SyscallReq>(reqs, cnt),
+                           std::span<SyscallRes>(res, cnt));
+      for (size_t i = 0; i < data_reads; ++i) {
+        s = std::get<SegmentReadRes>(res[i]).status;
+        if (s != Status::kOk) {
+          // A data read failed (only possible if someone with modify access
+          // shrank the segment) but the header commit in the same batch may
+          // still have advanced rpos past bytes never delivered. We hold the
+          // pipe mutex — no cooperating header mutator can interleave — so
+          // restore the old rpos before reporting the error. Best-effort by
+          // construction: a peer that shrinks or freezes the shared buffer
+          // can corrupt the ring protocol directly no matter what we do
+          // (the pipe, like the §5.1 directory format, is a cooperative
+          // user-level convention; the kernel only guarantees labels).
+          h.rpos -= n;
+          kernel_->sys_segment_write(self, buf, &h.rpos, kPipeRposOffset, 8);
+          mu.Unlock(self);
+          return s;
+        }
+      }
       mu.Unlock(self);
       kernel_->sys_futex_wake(self, buf, kPipeRposOffset, UINT32_MAX);
       return n;
@@ -443,18 +471,37 @@ Result<uint64_t> FdTable::PipeWrite(ObjectId self, const FdSegState& st, const v
       uint64_t n = std::min(len - written, space);
       uint64_t pos = h.wpos % kPipeBufBytes;
       uint64_t first = std::min(n, kPipeBufBytes - pos);
-      s = kernel_->sys_segment_write(self, buf, src + written, kPipeDataOffset + pos, first);
-      if (s == Status::kOk && first < n) {
-        s = kernel_->sys_segment_write(self, buf, src + written + first, kPipeDataOffset,
-                                       n - first);
-      }
-      if (s != Status::kOk) {
-        mu.Unlock(self);
-        return s;
-      }
+      // Data write(s) + cursor commit as ONE batch: a single kernel lock
+      // round-trip per chunk (mirrors PipeRead above, including writing
+      // only the wpos word — never the contender-owned mutex word).
       h.wpos += n;
+      SyscallReq reqs[3];
+      SyscallRes res[3];
+      size_t cnt = 0;
+      size_t data_writes = 1;
+      reqs[cnt++] = SegmentWriteReq{buf, src + written, kPipeDataOffset + pos, first};
+      if (first < n) {
+        reqs[cnt++] = SegmentWriteReq{buf, src + written + first, kPipeDataOffset, n - first};
+        data_writes = 2;
+      }
+      reqs[cnt++] = SegmentWriteReq{buf, &h.wpos, kPipeWposOffset, 8};
+      kernel_->SubmitBatch(self, std::span<const SyscallReq>(reqs, cnt),
+                           std::span<SyscallRes>(res, cnt));
+      for (size_t i = 0; i < data_writes; ++i) {
+        s = std::get<SegmentWriteRes>(res[i]).status;
+        if (s != Status::kOk) {
+          // Mirror of PipeRead: undo the wpos advance the batch's header
+          // commit may have published, or the reader would deliver bytes
+          // the failed data write never stored (we hold the pipe mutex, so
+          // no cooperating header mutator can interleave; best-effort
+          // against a hostile peer, who could corrupt the ring directly).
+          h.wpos -= n;
+          kernel_->sys_segment_write(self, buf, &h.wpos, kPipeWposOffset, 8);
+          mu.Unlock(self);
+          return s;
+        }
+      }
       written += n;
-      kernel_->sys_segment_write(self, buf, &h, 0, sizeof(h));
       mu.Unlock(self);
       kernel_->sys_futex_wake(self, buf, kPipeWposOffset, UINT32_MAX);
       continue;
@@ -506,31 +553,41 @@ Result<int64_t> ProcHandle::Wait(ObjectId self, uint32_t timeout_ms) {
 }
 
 Status ProcHandle::Kill(ObjectId self, int signo) {
-  // Pass the signal number through the invoker's thread-local segment (the
-  // gate-call argument convention, §3.5).
+  // The gate-call sequence is three same-shard syscalls on `self` (pass the
+  // signal number through the thread-local segment — the §3.5 argument
+  // convention — then fetch the labels the request is built from): ONE
+  // batch, one kernel lock round-trip.
   uint64_t code = static_cast<uint64_t>(signo);
-  Status st = kernel_->sys_self_local_write(self, &code, 0, 8);
+  SyscallReq pre[3] = {SyscallReq{SelfLocalWriteReq{&code, 0, 8}},
+                       SyscallReq{SelfGetLabelReq{}}, SyscallReq{SelfGetClearanceReq{}}};
+  SyscallRes pre_res[3];
+  kernel_->SubmitBatch(self, pre, pre_res);
+  Status st = std::get<SelfLocalWriteRes>(pre_res[0]).status;
   if (st != Status::kOk) {
     return st;
   }
-  Result<Label> mine = kernel_->sys_self_get_label(self);
-  Result<Label> myclear = kernel_->sys_self_get_clearance(self);
-  if (!mine.ok() || !myclear.ok()) {
-    return mine.ok() ? myclear.status() : mine.status();
+  SelfGetLabelRes& mine = std::get<SelfGetLabelRes>(pre_res[1]);
+  SelfGetClearanceRes& myclear = std::get<SelfGetClearanceRes>(pre_res[2]);
+  if (mine.status != Status::kOk || myclear.status != Status::kOk) {
+    return mine.status != Status::kOk ? mine.status : myclear.status;
   }
   // Request the process's pr*/pw* for the duration of the call, then give
   // them back (dropping ownership is a label *raise*, so it is always
   // permitted).
-  Label request = mine.value();
+  Label request = mine.label;
   request.set(ids_.pr, Level::kStar);
   request.set(ids_.pw, Level::kStar);
   st = kernel_->sys_gate_invoke(self, ContainerEntry{ids_.proc_ct, ids_.signal_gate}, request,
-                                myclear.value(), mine.value());
+                                myclear.clearance, mine.label);
   if (st != Status::kOk) {
     return st;
   }
-  kernel_->sys_self_set_label(self, mine.value());
-  kernel_->sys_self_set_clearance(self, myclear.value());
+  // Restore label then clearance — one batch again (order preserved within
+  // a batch, and both land on self's shard).
+  SyscallReq post[2] = {SyscallReq{SelfSetLabelReq{mine.label}},
+                        SyscallReq{SelfSetClearanceReq{myclear.clearance}}};
+  SyscallRes post_res[2];
+  kernel_->SubmitBatch(self, post, post_res);
   return Status::kOk;
 }
 
@@ -794,12 +851,19 @@ void ProcessManager::Exit(ProcessContext& ctx, int64_t status) {
   Kernel* k = env_.kernel;
   ContainerEntry exit_ce{ctx.ids.proc_ct, ctx.ids.exit_seg};
   int64_t data[2] = {1, status};
-  Status st = k->sys_segment_write(ctx.self, exit_ce, data, 0, 16);
+  // Status write + futex wake in one submission. The wake entry runs even
+  // if the write fails its label check, but it performs the same modify
+  // check itself and fails identically — no observable difference, and the
+  // happy path saves a kernel entry.
+  SyscallReq reqs[2] = {SyscallReq{SegmentWriteReq{exit_ce, data, 0, 16}},
+                        SyscallReq{FutexWakeReq{exit_ce, 0, UINT32_MAX}}};
+  SyscallRes res[2];
+  k->SubmitBatch(ctx.self, reqs, res);
+  Status st = std::get<SegmentWriteRes>(res[0]).status;
   if (st == Status::kOk) {
-    // Waking the futex tells the parent we are done — permitted directly
+    // Waking the futex told the parent we are done — permitted directly
     // because the exit segment carries the process taint (the parent can
     // only see it if it could already see the taint categories).
-    k->sys_futex_wake(ctx.self, exit_ce, 0, UINT32_MAX);
   } else if (st == Status::kLabelCheckFailed && ctx.ids.exit_gate != kInvalidObject) {
     // The thread tainted itself after launch and can no longer write the
     // untainted exit segment. If the spawner installed an exit untainting

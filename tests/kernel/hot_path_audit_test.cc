@@ -27,6 +27,8 @@ const char* kKernelSources[] = {
     "src/kernel/kernel_seg.cc",
     "src/kernel/kernel_thread.cc",
     "src/kernel/kernel_persist.cc",
+    "src/kernel/kernel_batch.cc",
+    "src/kernel/syscall_abi.cc",
 };
 
 // Label-algebra calls that allocate or walk entry lists per invocation. The
