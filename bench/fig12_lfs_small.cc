@@ -240,6 +240,186 @@ BENCHMARK(BM_HiStarUnlink)
     ->Unit(::benchmark::kMillisecond)
     ->Iterations(1);
 
+// ---- checkpoint format rows (ISSUE 4: label table + incremental epochs) ------
+//
+// Not Figure 12 rows — these measure the checkpoint subsystem itself on a
+// label-heavy world (1,000 files sharing 27 labels, the acceptance shape):
+//   * checkpoint size: disk bytes for a full base under the label-ref
+//     format, with counters for what the self-contained format would have
+//     written (the dedup win = inline_bytes - blob_bytes);
+//   * incremental cost: touch k of n files, sync — bytes and blob count
+//     must scale with k, not n;
+//   * restore time: boot a fresh kernel from the label-heavy image
+//     (simulated disk time + host time, like the other I/O rows).
+
+// 27 distinct labels from three categories (level combinations), all owned
+// by init so creation passes the §3.2 rules.
+std::vector<Label> MakeLabelSet(Kernel* kernel, ObjectId init) {
+  CategoryId cats[3];
+  for (auto& c : cats) {
+    Result<CategoryId> r = kernel->sys_cat_create(init);
+    if (!r.ok()) {
+      std::abort();
+    }
+    c = r.value();
+  }
+  const Level levels[3] = {Level::k0, Level::k2, Level::k3};
+  std::vector<Label> labels;
+  for (int i = 0; i < 27; ++i) {
+    Label l(Level::k1);
+    l.set(cats[0], levels[i % 3]);
+    l.set(cats[1], levels[(i / 3) % 3]);
+    l.set(cats[2], levels[(i / 9) % 3]);
+    labels.push_back(l);
+  }
+  return labels;
+}
+
+struct LabelHeavyWorld {
+  World w;
+  ObjectId dir = kInvalidObject;
+  std::vector<ObjectId> files;
+};
+
+LabelHeavyWorld MakeLabelHeavyWorld(int n, bool store_data = false) {
+  LabelHeavyWorld s;
+  s.w = BootWorld(/*with_store=*/true, /*capacity_bytes=*/2ULL << 30, store_data);
+  FileSystem& fs = s.w.unix->fs();
+  Result<ObjectId> dir = fs.MakeDir(s.w.init(), s.w.unix->fs_root(), "lbl", Label(), 64 << 20);
+  if (!dir.ok()) {
+    std::abort();
+  }
+  s.dir = dir.value();
+  std::vector<Label> labels = MakeLabelSet(s.w.kernel.get(), s.w.init());
+  std::vector<uint8_t> payload(kFileBytes, 0xab);
+  for (int i = 0; i < n; ++i) {
+    Result<ObjectId> f = fs.Create(s.w.init(), s.dir, FileName(i),
+                                   labels[static_cast<size_t>(i) % labels.size()],
+                                   kSmallQuota);
+    if (!f.ok() ||
+        fs.WriteAt(s.w.init(), s.dir, f.value(), payload.data(), 0, payload.size()) !=
+            Status::kOk) {
+      std::abort();
+    }
+    s.files.push_back(f.value());
+  }
+  return s;
+}
+
+void BM_HiStarCheckpointLabelHeavy(::benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    LabelHeavyWorld s = MakeLabelHeavyWorld(n);
+    uint64_t inline_bytes = 0;
+    uint64_t ref_bytes = 0;
+    for (ObjectId f : s.files) {
+      std::vector<uint8_t> b;
+      s.w.kernel->SerializeObject(f, &b);
+      inline_bytes += b.size();
+      s.w.kernel->SerializeObject(f, &b, /*label_refs=*/true);
+      ref_bytes += b.size();
+    }
+    uint64_t before = s.w.disk->bytes_written();
+    PhaseTimer timer(s.w.disk.get());
+    if (s.w.kernel->sys_sync(s.w.init()) != Status::kOk) {
+      state.SkipWithError("sync failed");
+      return;
+    }
+    state.SetIterationTime(timer.Seconds());
+    state.counters["ckpt_bytes"] =
+        ::benchmark::Counter(static_cast<double>(s.w.disk->bytes_written() - before));
+    state.counters["blob_bytes"] = ::benchmark::Counter(static_cast<double>(ref_bytes));
+    state.counters["inline_blob_bytes"] =
+        ::benchmark::Counter(static_cast<double>(inline_bytes));
+    state.counters["section_bytes"] =
+        ::benchmark::Counter(static_cast<double>(s.w.store->last_section_bytes()));
+    state.counters["table_labels"] =
+        ::benchmark::Counter(static_cast<double>(s.w.store->label_table_size()));
+    CurrentThread::Set(kInvalidObject);
+  }
+  state.counters["files"] = ::benchmark::Counter(static_cast<double>(n));
+}
+BENCHMARK(BM_HiStarCheckpointLabelHeavy)
+    ->Arg(1000)
+    ->ArgName("files")
+    ->UseManualTime()
+    ->Unit(::benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_HiStarIncrementalCheckpoint(::benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int touched = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    LabelHeavyWorld s = MakeLabelHeavyWorld(n);
+    FileSystem& fs = s.w.unix->fs();
+    if (s.w.kernel->sys_sync(s.w.init()) != Status::kOk) {  // the base epoch
+      state.SkipWithError("base sync failed");
+      return;
+    }
+    std::vector<uint8_t> payload(kFileBytes, 0xcd);
+    for (int i = 0; i < touched; ++i) {
+      if (fs.WriteAt(s.w.init(), s.dir, s.files[static_cast<size_t>(i)], payload.data(), 0,
+                     payload.size()) != Status::kOk) {
+        state.SkipWithError("touch failed");
+        return;
+      }
+    }
+    uint64_t before = s.w.disk->bytes_written();
+    PhaseTimer timer(s.w.disk.get());
+    if (s.w.kernel->sys_sync(s.w.init()) != Status::kOk) {
+      state.SkipWithError("incremental sync failed");
+      return;
+    }
+    state.SetIterationTime(timer.Seconds());
+    state.counters["incr_bytes"] =
+        ::benchmark::Counter(static_cast<double>(s.w.disk->bytes_written() - before));
+    state.counters["blobs_written"] =
+        ::benchmark::Counter(static_cast<double>(s.w.store->last_commit_objects()));
+    state.counters["was_base"] =
+        ::benchmark::Counter(s.w.store->last_commit_was_base() ? 1 : 0);
+    CurrentThread::Set(kInvalidObject);
+  }
+  state.counters["files"] = ::benchmark::Counter(static_cast<double>(n));
+  state.counters["touched"] = ::benchmark::Counter(static_cast<double>(touched));
+}
+BENCHMARK(BM_HiStarIncrementalCheckpoint)
+    ->ArgsProduct({{1000}, {10, 100}})
+    ->ArgNames({"files", "touched"})
+    ->UseManualTime()
+    ->Unit(::benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_HiStarRestoreLabelHeavy(::benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    // Recovery reads real bytes back, so this world keeps disk contents.
+    LabelHeavyWorld s = MakeLabelHeavyWorld(n, /*store_data=*/true);
+    if (s.w.kernel->sys_sync(s.w.init()) != Status::kOk) {
+      state.SkipWithError("sync failed");
+      return;
+    }
+    SingleLevelStore store2(s.w.disk.get());
+    Kernel k2;
+    PhaseTimer timer(s.w.disk.get());
+    if (store2.Recover(&k2) != Status::kOk) {
+      state.SkipWithError("recover failed");
+      return;
+    }
+    state.SetIterationTime(timer.Seconds());
+    state.counters["objects"] = ::benchmark::Counter(static_cast<double>(k2.ObjectCount()));
+    state.counters["labels_interned"] =
+        ::benchmark::Counter(static_cast<double>(k2.label_registry().size()));
+    CurrentThread::Set(kInvalidObject);
+  }
+  state.counters["files"] = ::benchmark::Counter(static_cast<double>(n));
+}
+BENCHMARK(BM_HiStarRestoreLabelHeavy)
+    ->Arg(1000)
+    ->ArgName("files")
+    ->UseManualTime()
+    ->Unit(::benchmark::kMillisecond)
+    ->Iterations(1);
+
 // ---- ext3-flavored baseline phases ---------------------------------------------
 
 monosim::MonoFs MakeMonoFs(std::unique_ptr<DiskModel>* disk_out) {

@@ -1,5 +1,6 @@
 #include "src/core/label_registry.h"
 
+#include <algorithm>
 #include <mutex>
 
 namespace histar {
@@ -168,6 +169,36 @@ size_t LabelRegistry::size() const {
     n += shard->entries.size();
   }
   return n;
+}
+
+LabelRegistry::SnapshotMark LabelRegistry::Snapshot() const {
+  SnapshotMark mark(shard_count_, 0);
+  for (size_t i = 0; i < shard_count_; ++i) {
+    std::shared_lock<std::shared_mutex> lock(intern_shards_[i]->mu);
+    mark[i] = static_cast<uint32_t>(intern_shards_[i]->entries.size());
+  }
+  return mark;
+}
+
+void LabelRegistry::EnumerateSince(
+    const SnapshotMark& mark, const std::function<void(LabelId, const Label&)>& fn) const {
+  for (size_t i = 0; i < shard_count_; ++i) {
+    const InternShard& shard = *intern_shards_[i];
+    size_t from = i < mark.size() ? mark[i] : 0;
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (size_t slot = from; slot < shard.entries.size(); ++slot) {
+      fn(MakeId(i, slot), shard.entries[slot].label);
+    }
+  }
+}
+
+void LabelRegistry::AdvanceMark(SnapshotMark* mark, const SnapshotMark& other) {
+  if (mark->size() < other.size()) {
+    mark->resize(other.size(), 0);
+  }
+  for (size_t i = 0; i < other.size(); ++i) {
+    (*mark)[i] = std::max((*mark)[i], other[i]);
+  }
 }
 
 }  // namespace histar

@@ -15,16 +15,24 @@
 // never serialize on one kernel-wide lock the way the old LabelCache's
 // single std::mutex did.
 //
-// Ids are volatile: they are assigned in intern order, are never persisted,
-// and are rebuilt from the serialized labels on recovery (kernel_persist.cc),
-// exactly as the real kernel's in-memory comparison cache is discarded
-// across reboots.
+// Ids and persistence: ids are assigned in intern order within a boot. The
+// single-level store persists the registry as a label table (one record per
+// id) in every checkpoint; recovery rebuilds the registry by re-interning
+// the table in ascending-id order, which reproduces the per-shard slot
+// sequence and therefore — with an unchanged shard count — the exact same
+// ids. Blobs on disk reference labels by id, so RestoreObject resolves
+// every reference through the old-id → new-id remap computed during that
+// rebuild (kernel_persist.cc); identical ids make the remap the identity,
+// but nothing relies on it. Snapshot()/EnumerateSince() expose the
+// append-only intern log so checkpoints can write only the label-table
+// delta since the last committed checkpoint.
 #ifndef SRC_CORE_LABEL_REGISTRY_H_
 #define SRC_CORE_LABEL_REGISTRY_H_
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <unordered_map>
@@ -94,6 +102,24 @@ class LabelRegistry {
   // Number of distinct labels interned so far.
   size_t size() const;
   size_t shard_count() const { return shard_count_; }
+
+  // A cut of the append-only intern log: per-shard entry counts. Entries are
+  // never removed, so "everything interned since mark M" is exactly the
+  // per-shard slots ≥ M — what checkpoints use to write label-table deltas.
+  using SnapshotMark = std::vector<uint32_t>;
+  SnapshotMark Snapshot() const;
+
+  // Invokes fn(id, label) for every entry whose shard slot is ≥ the mark
+  // (an empty mark enumerates everything). Shards are visited in index
+  // order and slots in intern order, so within a shard ids come out
+  // ascending. fn runs under the shard's shared lock: it must not call back
+  // into the registry.
+  void EnumerateSince(const SnapshotMark& mark,
+                      const std::function<void(LabelId, const Label&)>& fn) const;
+
+  // Merges `other` into `mark` (per-shard max) — how the kernel advances
+  // its persisted-label mark only after a checkpoint commits.
+  static void AdvanceMark(SnapshotMark* mark, const SnapshotMark& other);
 
  private:
   struct Entry {

@@ -50,6 +50,48 @@ namespace histar {
 
 class PersistTarget;  // src/store: receives checkpoints / per-object syncs
 
+// ---- Checkpoint wire types (kernel ↔ store) ---------------------------------
+//
+// Serialized object images come in two formats, distinguished by their first
+// byte. Checkpoint blobs reference labels by 32-bit interned id — the label
+// bytes live once in the checkpoint's label-table section — while WAL blobs
+// stay self-contained (a log record must be replayable before any label
+// table has been loaded, and must survive a crash that loses the table
+// delta it would have referenced).
+inline constexpr uint8_t kBlobFormatInline = 0x01;    // labels serialized in the blob
+inline constexpr uint8_t kBlobFormatLabelRef = 0x02;  // labels as LabelId references
+
+// One label-table entry: an interned id and the canonical label bytes
+// (Label::Serialize image). Written once per checkpoint chain, however many
+// thousand objects share the label.
+struct LabelTableRecord {
+  LabelId id = kInvalidLabelId;
+  std::vector<uint8_t> bytes;
+};
+
+// One serialized object. `meta_len` is the length of the blob prefix whose
+// integrity the store must guarantee (type, ids, label refs, metadata, …);
+// for segments the raw payload bytes follow it and are excluded from the
+// blob checksum so sys_sync_pages can flush pages in place without
+// invalidating it (ext3-writeback semantics: a crash may mix old and new
+// payload pages, but never makes the object look corrupt).
+struct ObjectImage {
+  ObjectId id = kInvalidObject;
+  std::vector<uint8_t> bytes;
+  uint64_t meta_len = 0;
+};
+
+// Everything one group sync hands the store. `dirty` carries label-ref
+// images of objects mutated since the last committed checkpoint;
+// `label_delta` carries the label-table records interned since then (the
+// store accumulates them; a full base snapshot re-emits its whole table).
+struct CheckpointBatch {
+  std::vector<ObjectImage> dirty;
+  std::vector<ObjectId> live;
+  ObjectId root = kInvalidObject;
+  std::vector<LabelTableRecord> label_delta;
+};
+
 class Kernel {
  public:
   // `table_shards` sizes the object-table shard array (power of two; the
@@ -261,10 +303,27 @@ class Kernel {
   // In-place flush of a page range of one segment (no checkpoint).
   Status sys_sync_pages(ObjectId self, ContainerEntry ce, uint64_t offset, uint64_t len);
 
-  // Serialization used by the store (and by tests).
-  bool SerializeObject(ObjectId id, std::vector<uint8_t>* out) const;
-  // Restores one serialized object into the table (boot-time only).
+  // Serialization used by the store (and by tests). The two-argument form
+  // emits the self-contained kBlobFormatInline image (the canonical,
+  // id-free representation — also what the equivalence tests compare);
+  // `label_refs` switches to kBlobFormatLabelRef for checkpoint blobs, and
+  // `meta_len` (optional) receives the checksum-covered prefix length.
+  bool SerializeObject(ObjectId id, std::vector<uint8_t>* out,
+                       bool label_refs = false, uint64_t* meta_len = nullptr) const;
+  // Restores one serialized object into the table (boot-time only). Inline
+  // blobs re-intern their label bytes; label-ref blobs resolve ids through
+  // the remap installed by RestoreLabelTable, which must run first.
   Status RestoreObject(const std::vector<uint8_t>& bytes);
+  // Boot-time, before any RestoreObject call: rebuilds the registry from a
+  // persisted label table (records in ascending-id order) and installs the
+  // old-id → new-id remap used by label-ref blobs. Re-interning in table
+  // order reproduces the writing boot's per-shard slot sequence, so the
+  // remap is the identity whenever the shard configuration is unchanged;
+  // *ids_stable reports whether it was. When it was not, the on-disk id
+  // space is unusable for further increments: this kernel re-dirties every
+  // object at FinishRestore and resets its label mark so the next sync
+  // rewrites the world (the store independently forces a base snapshot).
+  Status RestoreLabelTable(const std::vector<LabelTableRecord>& records, bool* ids_stable);
   // All live object ids (store iteration order).
   std::vector<ObjectId> LiveObjects() const;
   // Ids of objects mutated since the last ClearDirty (incremental sync).
@@ -477,7 +536,8 @@ class Kernel {
                        ObjectId* sid);
 
   // Serialization body shared by SerializeObject and the checkpoint snapshot.
-  bool SerializeObjectLocked(const Object& o, std::vector<uint8_t>* out) const;
+  bool SerializeObjectLocked(const Object& o, std::vector<uint8_t>* out,
+                             bool label_refs = false, uint64_t* meta_len = nullptr) const;
   // Live ids in creation order; requires all shards held.
   std::vector<ObjectId> LiveLocked() const;
   // Dirty (id, mark-generation) pairs in creation order; requires all
@@ -555,9 +615,23 @@ class Kernel {
   // id → generation of its latest MarkDirty. sys_sync retires an id only if
   // its generation still matches the snapshot it serialized, so a write
   // landing while the store commits (no shard lock held) keeps its mark.
+  // This is also what makes incremental checkpoints sound: a mark that
+  // survives the retire is re-serialized by the next increment.
   std::unordered_map<ObjectId, uint64_t> dirty_;
   uint64_t dirty_seq_ = 0;
   mutable std::mutex dirty_mu_;
+
+  // Registry cut covered by the last *committed* checkpoint (under
+  // dirty_mu_). DoSync sends the labels interned past it as the batch's
+  // label_delta and advances it only on success, so a failed commit's
+  // records are simply resent (the store's table merge is idempotent).
+  LabelRegistry::SnapshotMark persisted_label_mark_;
+
+  // Boot-time restore state (set by RestoreLabelTable, read by
+  // RestoreObject/FinishRestore before concurrent syscalls exist):
+  // old-persisted-id → freshly-interned-id, and whether they all matched.
+  std::unordered_map<LabelId, LabelId> restore_label_remap_;
+  bool restore_ids_stable_ = true;
 
   PersistTarget* persist_ = nullptr;
 };
@@ -566,18 +640,29 @@ class Kernel {
 class PersistTarget {
  public:
   virtual ~PersistTarget() = default;
-  // Atomically advance the on-disk system state: `dirty` carries serialized
-  // images of objects mutated since the last sync; `live` is the complete
-  // set of live ids (objects absent from it are dropped from disk). Commits
-  // with a superblock flip — all or nothing.
-  virtual Status Checkpoint(const std::vector<std::pair<ObjectId, std::vector<uint8_t>>>& dirty,
-                            const std::vector<ObjectId>& live, ObjectId root) = 0;
-  // Write-ahead-log a single object's new state (fsync of one object).
-  virtual Status SyncOne(ObjectId id, const std::vector<uint8_t>& bytes) = 0;
-  // Flush a byte range of an already-persisted object in place — the §7.1
-  // "modified segment pages flushed without checkpointing the entire system
-  // state" path used by random writes to pre-existing segments.
-  virtual Status SyncPages(ObjectId id, uint64_t offset, uint64_t len) = 0;
+  // Atomically advance the on-disk system state. `batch.dirty` carries
+  // label-ref images of objects mutated since the last sync; `batch.live`
+  // is the complete set of live ids (objects absent from it are dropped
+  // from disk); `batch.label_delta` is the label-table delta since the last
+  // committed checkpoint. Commits with a superblock flip — all or nothing.
+  // The store decides whether this lands as a full base snapshot or an
+  // incremental epoch (see single_level_store.h).
+  virtual Status Checkpoint(const CheckpointBatch& batch) = 0;
+  // Write-ahead-log a single object's new state (fsync of one object). The
+  // blob is self-contained (kBlobFormatInline); meta_len bounds the
+  // checksum-covered prefix once the record is folded into the heap.
+  virtual Status SyncOne(ObjectId id, const std::vector<uint8_t>& bytes,
+                         uint64_t meta_len) = 0;
+  // Flush segment payload bytes [offset, offset+pages.size()) in place into
+  // the object's home extent — the §7.1 "modified segment pages flushed
+  // without checkpointing the entire system state" path used by random
+  // writes to pre-existing segments. Carries the real bytes so the on-disk
+  // image stays valid data (not a latency-only fiction), and the store
+  // writes them past the checksummed metadata prefix so a crash in the
+  // window before the next checkpoint can never make the blob look corrupt
+  // at recovery.
+  virtual Status SyncPages(ObjectId id, uint64_t offset,
+                           const std::vector<uint8_t>& pages) = 0;
 };
 
 // RAII binding of the calling host thread to a kernel thread id, so that

@@ -5,12 +5,22 @@
 // serialized — the entry *name* is, standing in for the on-disk code segment
 // that the real system would map; names must be re-registered at boot.
 //
+// Blob formats (first byte, see kernel.h): checkpoint blobs are
+// kBlobFormatLabelRef — labels appear as 32-bit interned ids, and the label
+// bytes live exactly once in the checkpoint's label-table section — while
+// WAL blobs (sys_sync_object) are kBlobFormatInline and self-contained.
+// Restore loads the label table first (RestoreLabelTable re-interns every
+// record once and installs an old-id → new-id remap), then RestoreObject
+// resolves references through the remap; inline blobs re-intern as before.
+//
 // Snapshot locking: sys_sync builds its batch (live set + serialized dirty
 // objects) under ONE all-shards shared lock — TableLock::All acquires the
 // shards in ascending index order — so the checkpoint image is a consistent
 // cut of the object graph even while reader syscalls proceed on other
-// threads. The store commit itself runs with no kernel lock held, exactly
-// like the old single-mutex code.
+// threads. The registry cut for the label-table delta is taken after the
+// blobs are serialized, so every id a blob references is covered. The store
+// commit itself runs with no kernel lock held, exactly like the old
+// single-mutex code.
 #include <algorithm>
 #include <cstring>
 
@@ -118,25 +128,39 @@ void PutLabel(std::vector<uint8_t>* out, const Label& l) { l.Serialize(out); }
 
 }  // namespace
 
-bool Kernel::SerializeObjectLocked(const Object& o, std::vector<uint8_t>* out) const {
+bool Kernel::SerializeObjectLocked(const Object& o, std::vector<uint8_t>* out,
+                                   bool label_refs, uint64_t* meta_len) const {
+  // One writer for both label encodings so the two formats cannot drift:
+  // label-ref blobs carry the 4-byte interned id (the checkpoint's label
+  // table maps it back to bytes), inline blobs carry the canonical bytes.
+  auto put_label = [&](LabelId id) {
+    if (label_refs) {
+      PutU32(out, id);
+    } else {
+      PutLabel(out, registry_.Get(id));
+    }
+  };
   out->clear();
+  PutU8(out, label_refs ? kBlobFormatLabelRef : kBlobFormatInline);
   PutU8(out, static_cast<uint8_t>(o.type()));
   PutU64(out, o.id());
   PutU64(out, o.creation_seq());
-  // Objects hold registry handles; the canonical label bytes come from the
-  // registry. LabelIds themselves are volatile and never written to disk —
-  // restore re-interns and rebuilds them (see FinishRestore).
-  PutLabel(out, LabelOf(o));
+  put_label(o.label_id());
   PutU64(out, o.quota());
   PutU8(out, o.fixed_quota() ? 1 : 0);
   PutU8(out, o.immutable() ? 1 : 0);
   PutString(out, o.descrip());
   PutBytes(out, o.metadata().data(), kMetadataLen);
+  // Everything up to (and including) a segment's length word is metadata
+  // the store checksums; segment payload bytes after it are excluded so
+  // sys_sync_pages can rewrite them in place (see ObjectImage in kernel.h).
+  uint64_t meta = 0;
 
   switch (o.type()) {
     case ObjectType::kSegment: {
       const Segment& s = static_cast<const Segment&>(o);
       PutU64(out, s.bytes().size());
+      meta = out->size();
       PutBytes(out, s.bytes().data(), s.bytes().size());
       break;
     }
@@ -152,7 +176,7 @@ bool Kernel::SerializeObjectLocked(const Object& o, std::vector<uint8_t>* out) c
     }
     case ObjectType::kThread: {
       const Thread& t = static_cast<const Thread&>(o);
-      PutLabel(out, ClearanceOf(t));
+      put_label(t.clearance_id());
       PutU8(out, t.halted() ? 1 : 0);
       PutU64(out, t.address_space().container);
       PutU64(out, t.address_space().object);
@@ -174,7 +198,7 @@ bool Kernel::SerializeObjectLocked(const Object& o, std::vector<uint8_t>* out) c
     }
     case ObjectType::kGate: {
       const Gate& g = static_cast<const Gate&>(o);
-      PutLabel(out, ClearanceOf(g));
+      put_label(g.clearance_id());
       PutString(out, g.entry_name());
       PutU32(out, static_cast<uint32_t>(g.closure().size()));
       for (uint64_t w : g.closure()) {
@@ -188,20 +212,92 @@ bool Kernel::SerializeObjectLocked(const Object& o, std::vector<uint8_t>* out) c
       break;
     }
   }
+  if (meta_len != nullptr) {
+    *meta_len = meta != 0 ? meta : out->size();
+  }
   return true;
 }
 
-bool Kernel::SerializeObject(ObjectId id, std::vector<uint8_t>* out) const {
+bool Kernel::SerializeObject(ObjectId id, std::vector<uint8_t>* out, bool label_refs,
+                             uint64_t* meta_len) const {
   TableLock lk(table_, TableLock::Mode::kShared, {id});
   const Object* o = Get(id);
   if (o == nullptr) {
     return false;
   }
-  return SerializeObjectLocked(*o, out);
+  return SerializeObjectLocked(*o, out, label_refs, meta_len);
+}
+
+Status Kernel::RestoreLabelTable(const std::vector<LabelTableRecord>& records,
+                                 bool* ids_stable) {
+  // Boot-time only, before any RestoreObject call. Re-interning in the
+  // table's ascending-id order replays the writing boot's per-shard slot
+  // sequence, so with an unchanged shard configuration every id comes back
+  // identical and the remap is the identity. Either way the remap is what
+  // label-ref blobs resolve through, so restore is correct even when ids
+  // move — it just costs the next sync a full rewrite (see kernel.h).
+  restore_label_remap_.clear();
+  restore_ids_stable_ = true;
+  for (const LabelTableRecord& rec : records) {
+    Label l;
+    size_t consumed = 0;
+    if (rec.id == kInvalidLabelId ||
+        !Label::Deserialize(rec.bytes.data(), rec.bytes.size(), &consumed, &l) ||
+        consumed != rec.bytes.size()) {
+      return Status::kCorrupt;
+    }
+    LabelId fresh = registry_.Intern(l);
+    // Two table records must never claim the same old id with different
+    // labels (Intern is idempotent, so duplicates of the same label are
+    // harmless and map to the same fresh id).
+    auto [it, inserted] = restore_label_remap_.emplace(rec.id, fresh);
+    if (!inserted && it->second != fresh) {
+      return Status::kCorrupt;
+    }
+    restore_ids_stable_ = restore_ids_stable_ && fresh == rec.id;
+  }
+  {
+    std::lock_guard<std::mutex> dl(dirty_mu_);
+    // Labels already in the on-disk table need not be re-sent as deltas —
+    // unless ids moved, in which case the next checkpoint must re-emit the
+    // whole table in the new id space (mark stays at zero → full delta).
+    persisted_label_mark_ =
+        restore_ids_stable_ ? registry_.Snapshot() : LabelRegistry::SnapshotMark{};
+  }
+  if (ids_stable != nullptr) {
+    *ids_stable = restore_ids_stable_;
+  }
+  return Status::kOk;
 }
 
 Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
   Reader r{bytes.data(), bytes.size()};
+  uint8_t format = r.U8();
+  if (r.fail || (format != kBlobFormatInline && format != kBlobFormatLabelRef)) {
+    return Status::kCorrupt;
+  }
+  const bool label_refs = format == kBlobFormatLabelRef;
+  // One reader for both label encodings, mirroring put_label on the write
+  // side. Inline labels re-intern here (the WAL/rebuild-on-recover path);
+  // references resolve through the remap RestoreLabelTable installed.
+  auto read_label = [&](LabelId* out) {
+    if (label_refs) {
+      LabelId old_id = r.U32();
+      auto it = restore_label_remap_.find(old_id);
+      if (r.fail || it == restore_label_remap_.end()) {
+        r.fail = true;
+        return false;
+      }
+      *out = it->second;
+      return true;
+    }
+    Label l;
+    if (!r.ReadLabel(&l)) {
+      return false;
+    }
+    *out = registry_.Intern(l);
+    return true;
+  };
   uint8_t type_raw = r.U8();
   if (r.fail || type_raw >= kNumObjectTypes) {
     return Status::kCorrupt;
@@ -209,8 +305,8 @@ Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
   ObjectType type = static_cast<ObjectType>(type_raw);
   ObjectId id = r.U64();
   uint64_t creation_seq = r.U64();
-  Label label;
-  if (!r.ReadLabel(&label)) {
+  LabelId label_id = kInvalidLabelId;
+  if (!read_label(&label_id)) {
     return Status::kCorrupt;
   }
   uint64_t quota = r.U64();
@@ -222,12 +318,6 @@ Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
   if (r.fail) {
     return Status::kCorrupt;
   }
-
-  // Re-intern on recovery: the blob carries label bytes, the live object
-  // carries only the registry handle. This is the rebuild-on-recover path —
-  // ids are assigned fresh each boot, like the in-memory comparison cache
-  // the paper's kernel discards across reboots.
-  LabelId label_id = registry_.Intern(label);
 
   std::unique_ptr<Object> obj;
   switch (type) {
@@ -257,13 +347,13 @@ Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
       break;
     }
     case ObjectType::kThread: {
-      Label clearance;
-      if (!r.ReadLabel(&clearance)) {
+      LabelId clearance_id = kInvalidLabelId;
+      if (!read_label(&clearance_id)) {
         return Status::kCorrupt;
       }
       bool halted = r.U8() != 0;
       ContainerEntry as{r.U64(), r.U64()};
-      auto t = std::make_unique<Thread>(id, label_id, registry_.Intern(clearance));
+      auto t = std::make_unique<Thread>(id, label_id, clearance_id);
       r.Bytes(t->local_segment().data(), kPageSize);
       t->set_address_space_internal(as);
       if (halted) {
@@ -289,8 +379,8 @@ Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
       break;
     }
     case ObjectType::kGate: {
-      Label clearance;
-      if (!r.ReadLabel(&clearance)) {
+      LabelId clearance_id = kInvalidLabelId;
+      if (!read_label(&clearance_id)) {
         return Status::kCorrupt;
       }
       std::string entry = r.String();
@@ -299,7 +389,7 @@ Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
       for (uint32_t i = 0; i < n && !r.fail; ++i) {
         closure.push_back(r.U64());
       }
-      obj = std::make_unique<Gate>(id, label_id, registry_.Intern(clearance), entry, closure);
+      obj = std::make_unique<Gate>(id, label_id, clearance_id, entry, closure);
       break;
     }
     case ObjectType::kDevice: {
@@ -338,8 +428,9 @@ void Kernel::FinishRestore(ObjectId root) {
   TableLock lk = TableLock::All(table_, TableLock::Mode::kExclusive);
   root_ = root;
   // Rebuild link counts and container usages from the link graph. Labels
-  // were already re-interned object-by-object in RestoreObject, so the
-  // registry is fully populated by the time restore finishes.
+  // were re-interned once from the checkpoint's label table
+  // (RestoreLabelTable) plus per-object for self-contained WAL blobs, so
+  // the registry is fully populated by the time restore finishes.
   table_.ForEachLocked([](ObjectId, Object* obj) {
     while (obj->link_count() > 0) {
       obj->drop_link_internal();
@@ -368,6 +459,14 @@ void Kernel::FinishRestore(ObjectId root) {
   }
   std::lock_guard<std::mutex> dl(dirty_mu_);
   dirty_.clear();
+  if (!restore_ids_stable_) {
+    // The persisted blobs reference label ids this boot could not
+    // reproduce; every object must be rewritten in the new id space before
+    // any future increment can reference it. Marking the world dirty makes
+    // the next sys_sync that rewrite (the store independently refuses to
+    // extend the old chain — it writes a full base).
+    table_.ForEachLocked([this](ObjectId id, Object*) { dirty_[id] = ++dirty_seq_; });
+  }
 }
 
 std::vector<ObjectId> Kernel::LiveLocked() const {
@@ -447,30 +546,52 @@ Status Kernel::DoSync(ObjectId self) {
     return Status::kOk;  // volatile configuration: sync is a no-op
   }
   // Group sync (§7.1): checkpoint the system state. Only objects mutated
-  // since the last sync are re-serialized; the live-id set lets the store
-  // drop deleted objects. The whole batch is built under one all-shards
-  // shared lock (a consistent cut); the store then commits atomically
-  // (superblock flip) with no kernel lock held.
-  std::vector<ObjectId> live;
+  // since the last sync are re-serialized — in label-ref format, so shared
+  // label bytes are never duplicated across blobs — and the live-id set
+  // lets the store drop deleted objects. The whole batch is built under one
+  // all-shards shared lock (a consistent cut); the store then commits
+  // atomically (superblock flip) with no kernel lock held.
   std::vector<std::pair<ObjectId, uint64_t>> snapshot;
-  std::vector<std::pair<ObjectId, std::vector<uint8_t>>> batch;
+  CheckpointBatch batch;
   {
     TableLock lk = TableLock::All(table_, TableLock::Mode::kShared);
-    live = LiveLocked();
+    batch.live = LiveLocked();
+    batch.root = root_;
     snapshot = DirtySnapshotLocked();
-    batch.reserve(snapshot.size());
+    batch.dirty.reserve(snapshot.size());
     for (const auto& [id, gen] : snapshot) {
-      std::vector<uint8_t> bytes;
-      if (SerializeObjectLocked(*Get(id), &bytes)) {
-        batch.emplace_back(id, std::move(bytes));
+      ObjectImage img;
+      img.id = id;
+      if (SerializeObjectLocked(*Get(id), &img.bytes, /*label_refs=*/true, &img.meta_len)) {
+        batch.dirty.push_back(std::move(img));
       }
     }
   }
-  Status st = persist_->Checkpoint(batch, live, root_);
+  // Label-table delta: everything interned past the last committed
+  // checkpoint's mark. The registry cut is taken AFTER the blobs above were
+  // serialized, so every id they reference is covered; entries interned
+  // while we enumerate may ride along as extras, but the mark only advances
+  // to the cut, so they are resent (the store's table merge is idempotent).
+  LabelRegistry::SnapshotMark mark_before;
+  {
+    std::lock_guard<std::mutex> dl(dirty_mu_);
+    mark_before = persisted_label_mark_;
+  }
+  LabelRegistry::SnapshotMark cut = registry_.Snapshot();
+  registry_.EnumerateSince(mark_before, [&batch](LabelId id, const Label& l) {
+    LabelTableRecord rec;
+    rec.id = id;
+    l.Serialize(&rec.bytes);
+    batch.label_delta.push_back(std::move(rec));
+  });
+  Status st = persist_->Checkpoint(batch);
   if (st == Status::kOk) {
     // Retire only marks whose generation still matches what was serialized:
     // an object re-dirtied while the store was committing (no shard lock
-    // held) carries a newer generation and stays dirty for the next sync.
+    // held) carries a newer generation and stays dirty for the next sync —
+    // which, now that checkpoints are incremental, is what guarantees the
+    // next increment re-serializes it. The label mark advances the same
+    // conditional way: only to the cut this commit actually persisted.
     std::lock_guard<std::mutex> dl(dirty_mu_);
     for (const auto& [id, gen] : snapshot) {
       auto it = dirty_.find(id);
@@ -478,12 +599,14 @@ Status Kernel::DoSync(ObjectId self) {
         dirty_.erase(it);
       }
     }
+    LabelRegistry::AdvanceMark(&persisted_label_mark_, cut);
   }
   return st;
 }
 
 Status Kernel::DoSyncPages(ObjectId self, ContainerEntry ce, uint64_t offset, uint64_t len) {
   ObjectId target;
+  std::vector<uint8_t> pages;
   {
     TableLock lk(table_, TableLock::Mode::kShared, {self, ce.container, ce.object});
     Thread* t = GetThread(self);
@@ -498,11 +621,25 @@ Status Kernel::DoSyncPages(ObjectId self, ContainerEntry ce, uint64_t offset, ui
       return Status::kLabelCheckFailed;
     }
     target = o.value()->id();
+    // Copy the real payload range out under the lock: the store writes
+    // these bytes (not a latency-only placeholder) into the object's home
+    // extent, past the checksummed metadata prefix, so a crash before the
+    // next checkpoint recovers valid data instead of a blob that fails its
+    // checksum (the old stale-checksum window). Ranges beyond the current
+    // length — including len == 0 and offset == size — clamp to empty.
+    if (o.value()->type() == ObjectType::kSegment) {
+      const std::vector<uint8_t>& bytes = static_cast<Segment*>(o.value())->bytes();
+      if (offset < bytes.size()) {
+        uint64_t n = std::min<uint64_t>(len, bytes.size() - offset);
+        pages.assign(bytes.begin() + static_cast<ptrdiff_t>(offset),
+                     bytes.begin() + static_cast<ptrdiff_t>(offset + n));
+      }
+    }
   }
-  if (persist_ == nullptr) {
-    return Status::kOk;
+  if (persist_ == nullptr || pages.empty()) {
+    return Status::kOk;  // non-segment or empty range: nothing to flush in place
   }
-  return persist_->SyncPages(target, offset, len);
+  return persist_->SyncPages(target, offset, pages);
 }
 
 Status Kernel::DoSyncObject(ObjectId self, ContainerEntry ce) {
@@ -525,11 +662,14 @@ Status Kernel::DoSyncObject(ObjectId self, ContainerEntry ce) {
   if (persist_ == nullptr) {
     return Status::kOk;
   }
+  // WAL blobs stay self-contained (inline labels): a log record must be
+  // replayable on a disk whose label-table delta never made it out.
   std::vector<uint8_t> bytes;
-  if (!SerializeObject(target, &bytes)) {
+  uint64_t meta_len = 0;
+  if (!SerializeObject(target, &bytes, /*label_refs=*/false, &meta_len)) {
     return Status::kNotFound;
   }
-  return persist_->SyncOne(target, bytes);
+  return persist_->SyncOne(target, bytes, meta_len);
 }
 
 }  // namespace histar

@@ -168,7 +168,9 @@ Status Kernel::SegmentReadLocked(ObjectId self, ContainerEntry ce, void* buf, ui
   if (!RangeOk(off, len, s->bytes().size())) {
     return Status::kRange;
   }
-  memcpy(buf, s->bytes().data() + off, len);
+  // CopyBytes, not memcpy: len == 0 at off == size is a valid no-op read
+  // (RangeOk admits it) and may pair with a null buf or empty segment.
+  CopyBytes(buf, s->bytes().data() + off, len);
   return Status::kOk;
 }
 
@@ -193,7 +195,7 @@ Status Kernel::SegmentWriteLocked(ObjectId self, ContainerEntry ce, const void* 
   if (!RangeOk(off, len, s->bytes().size())) {
     return Status::kRange;
   }
-  memcpy(s->bytes().data() + off, buf, len);
+  CopyBytes(s->bytes().data() + off, buf, len);
   MarkDirty(s->id());
   return Status::kOk;
 }
@@ -343,10 +345,10 @@ Status Kernel::AsAccessOnce(ObjectId self, uint64_t va, void* buf, uint64_t len,
         return Status::kRange;
       }
       if (write) {
-        memcpy(t->local_segment().data() + off, buf, len);
+        CopyBytes(t->local_segment().data() + off, buf, len);
         MarkDirty(self);
       } else {
-        memcpy(buf, t->local_segment().data() + off, len);
+        CopyBytes(buf, t->local_segment().data() + off, len);
       }
       hint.as.store(t->address_space().object, std::memory_order_relaxed);
       hint.seg_ct.store(kInvalidObject, std::memory_order_relaxed);
@@ -379,10 +381,10 @@ Status Kernel::AsAccessOnce(ObjectId self, uint64_t va, void* buf, uint64_t len,
       return Status::kRange;
     }
     if (write) {
-      memcpy(s->bytes().data() + off, buf, len);
+      CopyBytes(s->bytes().data() + off, buf, len);
       MarkDirty(s->id());
     } else {
-      memcpy(buf, s->bytes().data() + off, len);
+      CopyBytes(buf, s->bytes().data() + off, len);
     }
     // Remember the discovered footprint so the next fault through this
     // mapping seeds a covering round 0 (one TableLock instead of two-three).
@@ -743,7 +745,7 @@ Result<uint64_t> Kernel::DoNetReceive(ObjectId self, ContainerEntry dev, Contain
     if (!RangeOk(off, n, s->bytes().size())) {
       return Status::kRange;
     }
-    memcpy(s->bytes().data() + off, frame.data(), n);
+    CopyBytes(s->bytes().data() + off, frame.data(), n);
     MarkDirty(s->id());
   }
   return n;

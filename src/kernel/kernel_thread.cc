@@ -236,7 +236,8 @@ Status Kernel::SelfLocalReadLocked(ObjectId self, void* buf, uint64_t off, uint6
   if (!RangeOk(off, len, t->local_segment().size())) {
     return Status::kRange;
   }
-  memcpy(buf, t->local_segment().data() + off, len);
+  // CopyBytes: len == 0 at off == size is a valid no-op (null buf allowed).
+  CopyBytes(buf, t->local_segment().data() + off, len);
   return Status::kOk;
 }
 
@@ -252,7 +253,7 @@ Status Kernel::SelfLocalWriteLocked(ObjectId self, const void* buf, uint64_t off
   if (!RangeOk(off, len, t->local_segment().size())) {
     return Status::kRange;
   }
-  memcpy(t->local_segment().data() + off, buf, len);
+  CopyBytes(t->local_segment().data() + off, buf, len);
   MarkDirty(self);
   return Status::kOk;
 }

@@ -3,6 +3,7 @@
 #define SRC_KERNEL_TYPES_H_
 
 #include <cstdint>
+#include <cstring>
 
 #include "src/core/category.h"
 
@@ -71,6 +72,17 @@ inline constexpr uint64_t kObjectOverheadBytes = 128;
 // error into out-of-bounds access.
 inline bool RangeOk(uint64_t off, uint64_t len, uint64_t size) {
   return off <= size && len <= size - off;
+}
+
+// memcpy with the zero-length case made explicit. RangeOk admits len == 0 at
+// off == size (including on an empty buffer), where either pointer may be
+// null — an empty vector's data(), or a caller passing nullptr for a
+// zero-byte transfer. memcpy's contract makes a null argument UB even for
+// n == 0, so every byte-range syscall copies through this instead.
+inline void CopyBytes(void* dst, const void* src, uint64_t len) {
+  if (len != 0) {
+    memcpy(dst, src, len);
+  }
 }
 
 // Length of the descriptive string attached to every object.

@@ -50,7 +50,10 @@ Status DiskModel::Read(uint64_t offset, void* buf, uint64_t len) {
   if (crashed_) {
     return Status::kCrashed;
   }
-  if (offset + len > geo_.capacity_bytes) {
+  // Overflow-safe: `offset + len > capacity` wraps for huge offsets and
+  // would turn a range error into an out-of-bounds access (the same wrap
+  // the kernel's RangeOk closes on the syscall byte-range paths).
+  if (offset > geo_.capacity_bytes || len > geo_.capacity_bytes - offset) {
     return Status::kRange;
   }
   sim_time_ns_ += AccessCost(offset, len, /*is_read=*/true);
@@ -72,7 +75,7 @@ Status DiskModel::Write(uint64_t offset, const void* buf, uint64_t len) {
   if (crashed_) {
     return Status::kCrashed;
   }
-  if (offset + len > geo_.capacity_bytes) {
+  if (offset > geo_.capacity_bytes || len > geo_.capacity_bytes - offset) {
     return Status::kRange;
   }
   uint64_t persist_len = len;

@@ -1,14 +1,88 @@
 #include "src/store/single_level_store.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace histar {
+
+namespace {
+
+// Section images are built/parsed with the same little-endian primitives the
+// kernel uses for object blobs (kernel_persist.cc keeps its own copy; both
+// are file-local on purpose — the formats are independent).
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+struct SectionReader {
+  const uint8_t* data;
+  size_t len;
+  size_t pos = 0;
+  bool fail = false;
+
+  uint8_t U8() {
+    if (pos + 1 > len) {
+      fail = true;
+      return 0;
+    }
+    return data[pos++];
+  }
+  uint32_t U32() {
+    if (pos + 4 > len) {
+      fail = true;
+      return 0;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data[pos + static_cast<size_t>(i)]) << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (pos + 8 > len) {
+      fail = true;
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data[pos + static_cast<size_t>(i)]) << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  bool Bytes(std::vector<uint8_t>* out, size_t n) {
+    if (pos + n > len) {
+      fail = true;
+      return false;
+    }
+    out->assign(data + pos, data + pos + n);
+    pos += n;
+    return true;
+  }
+};
+
+}  // namespace
 
 SingleLevelStore::SingleLevelStore(DiskModel* disk, const StoreTuning& tuning)
     : disk_(disk),
       tuning_(tuning),
       alloc_(2 * 4096 + tuning.log_region_bytes,
-             disk->geometry().capacity_bytes - (2 * 4096 + tuning.log_region_bytes)) {}
+             disk->geometry().capacity_bytes - (2 * 4096 + tuning.log_region_bytes)) {
+  // The superblock can name at most kMaxChain sections.
+  tuning_.max_increments =
+      std::min<uint32_t>(tuning_.max_increments, static_cast<uint32_t>(kMaxChain) - 1);
+}
 
 uint64_t SingleLevelStore::Checksum(const void* data, size_t len) {
   // FNV-1a, folded over 8-byte words where possible. Not cryptographic —
@@ -29,6 +103,13 @@ Status SingleLevelStore::Format() {
   root_ = kInvalidObject;
   generation_ = 0;
   which_sb_ = false;
+  label_table_.clear();
+  chain_.clear();
+  epoch_ = 0;
+  need_base_ = true;
+  pending_updates_.clear();
+  pending_deads_.clear();
+  pending_frees_.clear();
   log_head_ = 0;
   log_seq_ = 0;
   log_applied_seq_ = 0;
@@ -42,11 +123,13 @@ Status SingleLevelStore::WriteSuperblock() {
   sb.magic = kMagic;
   sb.generation = ++generation_;
   sb.root = root_;
-  // objmap location was stamped by WriteObjMap into objmap_extent_ fields —
-  // we pass them via members set there; see WriteObjMap.
-  sb.objmap_offset = objmap_extent_offset_;
-  sb.objmap_length = objmap_extent_length_;
   sb.log_applied_seq = log_applied_seq_;
+  sb.epoch = epoch_;
+  sb.chain_len = chain_.size();
+  for (size_t i = 0; i < chain_.size() && i < kMaxChain; ++i) {
+    sb.chain[2 * i] = chain_[i].offset;
+    sb.chain[2 * i + 1] = chain_[i].length;
+  }
   sb.checksum = 0;
   sb.checksum = Checksum(&sb, sizeof(sb));
   uint64_t slot = which_sb_ ? 4096 : 0;
@@ -84,15 +167,20 @@ Status SingleLevelStore::ReadSuperblocks(Superblock* out) {
   return Status::kOk;
 }
 
-Status SingleLevelStore::WriteObject(ObjectId id, const std::vector<uint8_t>& bytes) {
+Status SingleLevelStore::WriteObject(ObjectId id, const std::vector<uint8_t>& bytes,
+                                     uint64_t meta_len) {
   // Shadow write: new extent first, then retire the old one, so a crash
-  // mid-checkpoint leaves the previous snapshot intact.
+  // mid-checkpoint leaves the previous snapshot intact. The trailing
+  // checksum covers only the metadata prefix [0, meta_len): segment payload
+  // after it may later be rewritten in place by SyncPages without
+  // invalidating the blob (ext3-writeback semantics — see the header).
+  meta_len = std::min<uint64_t>(meta_len, bytes.size());
   Result<uint64_t> off = alloc_.Allocate(bytes.size() + 8);
   if (!off.ok()) {
     return off.status();
   }
-  uint64_t csum = Checksum(bytes.data(), bytes.size());
-  Status st = disk_->Write(off.value(), bytes.data(), bytes.size());
+  uint64_t csum = Checksum(bytes.data(), meta_len);
+  Status st = bytes.empty() ? Status::kOk : disk_->Write(off.value(), bytes.data(), bytes.size());
   if (st == Status::kOk) {
     st = disk_->Write(off.value() + bytes.size(), &csum, 8);
   }
@@ -100,16 +188,80 @@ Status SingleLevelStore::WriteObject(ObjectId id, const std::vector<uint8_t>& by
     alloc_.Free(off.value(), bytes.size() + 8);
     return st;
   }
-  if (std::optional<Extent> old = objmap_.Find(id); old.has_value()) {
-    pending_frees_.push_back(*old);
+  if (std::optional<ObjRecord> old = objmap_.Find(id); old.has_value()) {
+    pending_frees_.push_back(old->extent);
   }
-  objmap_.Insert(id, Extent{off.value(), bytes.size() + 8});
+  objmap_.Insert(id, ObjRecord{Extent{off.value(), bytes.size() + 8}, meta_len});
+  pending_updates_.push_back(id);
   return Status::kOk;
 }
 
-Status SingleLevelStore::WriteObjMap() {
+Status SingleLevelStore::CommitSection(const std::vector<LabelTableRecord>* label_delta) {
+  // The single commit point for every durable state advance. A base section
+  // re-emits the complete label table and object map; an increment carries
+  // only this epoch's label delta, the map records for objects written
+  // since the last commit, and the ids deleted since then. Recovery replays
+  // the chain in order, so the chain length bounds replay work — hence the
+  // forced base every max_increments epochs.
+  bool base = need_base_ || chain_.empty() || chain_.size() - 1 >= tuning_.max_increments ||
+              chain_.size() >= kMaxChain;
   std::vector<uint8_t> image;
-  objmap_.Serialize(&image);
+  PutU64(&image, kSectionMagic);
+  PutU64(&image, epoch_ + 1);
+  PutU8(&image, base ? 0 : 1);
+  if (base) {
+    PutU32(&image, static_cast<uint32_t>(label_table_.size()));
+    for (const auto& [id, bytes] : label_table_) {  // ascending id: re-intern order
+      PutU32(&image, id);
+      PutU32(&image, static_cast<uint32_t>(bytes.size()));
+      image.insert(image.end(), bytes.begin(), bytes.end());
+    }
+    std::vector<std::pair<uint64_t, ObjRecord>> entries;
+    objmap_.ForEach([&entries](const uint64_t& id, const ObjRecord& rec) {
+      entries.emplace_back(id, rec);
+    });
+    PutU32(&image, static_cast<uint32_t>(entries.size()));
+    for (const auto& [id, rec] : entries) {
+      PutU64(&image, id);
+      PutU64(&image, rec.extent.offset);
+      PutU64(&image, rec.extent.length);
+      PutU64(&image, rec.meta_len);
+    }
+    PutU32(&image, 0);  // a base names no dead ids: absence from the map suffices
+  } else {
+    size_t n_labels = label_delta != nullptr ? label_delta->size() : 0;
+    PutU32(&image, static_cast<uint32_t>(n_labels));
+    if (label_delta != nullptr) {
+      for (const LabelTableRecord& rec : *label_delta) {
+        PutU32(&image, rec.id);
+        PutU32(&image, static_cast<uint32_t>(rec.bytes.size()));
+        image.insert(image.end(), rec.bytes.begin(), rec.bytes.end());
+      }
+    }
+    // Deduplicate update ids (an object can be written twice between
+    // commits) and drop ids that died after being written.
+    std::sort(pending_updates_.begin(), pending_updates_.end());
+    pending_updates_.erase(std::unique(pending_updates_.begin(), pending_updates_.end()),
+                           pending_updates_.end());
+    std::vector<std::pair<uint64_t, ObjRecord>> entries;
+    for (uint64_t id : pending_updates_) {
+      if (std::optional<ObjRecord> rec = objmap_.Find(id); rec.has_value()) {
+        entries.emplace_back(id, *rec);
+      }
+    }
+    PutU32(&image, static_cast<uint32_t>(entries.size()));
+    for (const auto& [id, rec] : entries) {
+      PutU64(&image, id);
+      PutU64(&image, rec.extent.offset);
+      PutU64(&image, rec.extent.length);
+      PutU64(&image, rec.meta_len);
+    }
+    PutU32(&image, static_cast<uint32_t>(pending_deads_.size()));
+    for (uint64_t id : pending_deads_) {
+      PutU64(&image, id);
+    }
+  }
+
   Result<uint64_t> off = alloc_.Allocate(image.size() + 8);
   if (!off.ok()) {
     return off.status();
@@ -119,65 +271,33 @@ Status SingleLevelStore::WriteObjMap() {
   if (st == Status::kOk) {
     st = disk_->Write(off.value() + image.size(), &csum, 8);
   }
+  if (st == Status::kOk) {
+    st = disk_->Flush();  // section + object images durable before the flip
+  }
   if (st != Status::kOk) {
     alloc_.Free(off.value(), image.size() + 8);
     return st;
   }
-  if (objmap_extent_length_ != 0) {
-    pending_frees_.push_back(Extent{objmap_extent_offset_, objmap_extent_length_});
-  }
-  objmap_extent_offset_ = off.value();
-  objmap_extent_length_ = image.size() + 8;
-  return Status::kOk;
-}
-
-Status SingleLevelStore::Checkpoint(
-    const std::vector<std::pair<ObjectId, std::vector<uint8_t>>>& dirty,
-    const std::vector<ObjectId>& live, ObjectId root) {
-  std::lock_guard<std::mutex> lock(mu_);
-  // Drop objects that no longer exist.
-  std::unordered_map<uint64_t, bool> live_set;
-  live_set.reserve(live.size());
-  for (ObjectId id : live) {
-    live_set[id] = true;
-  }
-  std::vector<uint64_t> dead;
-  objmap_.ForEach([&](const uint64_t& id, const Extent& e) {
-    if (live_set.find(id) == live_set.end()) {
-      dead.push_back(id);
-      pending_frees_.push_back(e);
+  ++epoch_;
+  if (base) {
+    // The new base subsumes the whole old chain; its sections become
+    // reusable once the flip commits.
+    for (const Extent& old : chain_) {
+      pending_frees_.push_back(old);
     }
-  });
-  for (uint64_t id : dead) {
-    objmap_.Erase(id);
+    chain_.clear();
   }
-  // Write every dirty object image to a fresh extent (delayed allocation:
-  // the batch lands contiguously, in creation order).
-  for (const auto& [id, bytes] : dirty) {
-    Status st = WriteObject(id, bytes);
-    if (st != Status::kOk) {
-      return st;
-    }
-  }
-  root_ = root;
-  Status st = WriteObjMap();
-  if (st != Status::kOk) {
-    return st;
-  }
-  st = disk_->Flush();
-  if (st != Status::kOk) {
-    return st;
-  }
-  // The checkpoint subsumes everything in the log.
-  log_applied_seq_ = log_seq_;
-  log_head_ = 0;
-  log_pending_ = 0;
-  log_tail_.clear();
+  chain_.push_back(Extent{off.value(), image.size() + 8});
+  need_base_ = false;
+  pending_updates_.clear();
+  pending_deads_.clear();
+  last_commit_base_ = base;
+  last_section_bytes_ = image.size() + 8;
   st = WriteSuperblock();
   if (st != Status::kOk) {
     return st;
   }
-  // Only after the superblock flip is it safe to reuse old extents.
+  // Only after the superblock flip is it safe to reuse superseded extents.
   for (const Extent& e : pending_frees_) {
     alloc_.Free(e.offset, e.length);
   }
@@ -185,37 +305,92 @@ Status SingleLevelStore::Checkpoint(
   return Status::kOk;
 }
 
-Status SingleLevelStore::SyncOne(ObjectId id, const std::vector<uint8_t>& bytes) {
+Status SingleLevelStore::Checkpoint(const CheckpointBatch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Extend the store's label table with this sync's delta. The merge is
+  // idempotent: a delta resent after a failed commit just overwrites equal
+  // records.
+  for (const LabelTableRecord& rec : batch.label_delta) {
+    label_table_[rec.id] = rec.bytes;
+  }
+  // Drop objects that no longer exist.
+  std::unordered_map<uint64_t, bool> live_set;
+  live_set.reserve(batch.live.size());
+  for (ObjectId id : batch.live) {
+    live_set[id] = true;
+  }
+  std::vector<std::pair<uint64_t, Extent>> dead;
+  objmap_.ForEach([&](const uint64_t& id, const ObjRecord& rec) {
+    if (live_set.find(id) == live_set.end()) {
+      dead.emplace_back(id, rec.extent);
+    }
+  });
+  for (const auto& [id, e] : dead) {
+    objmap_.Erase(id);
+    pending_frees_.push_back(e);
+    pending_deads_.push_back(id);
+  }
+  // Write every dirty object image to a fresh extent (delayed allocation:
+  // the batch lands contiguously, in creation order).
+  std::unordered_map<uint64_t, bool> dirty_ids;
+  dirty_ids.reserve(batch.dirty.size());
+  for (const ObjectImage& img : batch.dirty) {
+    Status st = WriteObject(img.id, img.bytes, img.meta_len);
+    if (st != Status::kOk) {
+      return st;
+    }
+    dirty_ids[img.id] = true;
+  }
+  // Fold unapplied WAL images into the heap before declaring the log
+  // subsumed. After a recovery, an object can exist ONLY as a WAL record
+  // (fsynced, never checkpointed, restored with a clean dirty mark):
+  // without this fold, advancing log_applied_seq_ would orphan it — in
+  // neither the map nor the replayable log. Ids this batch rewrote are
+  // skipped (their dirty image is newer), as are ids that just died.
+  for (const auto& [id, img] : log_tail_) {
+    if (dirty_ids.count(id) != 0 || live_set.find(id) == live_set.end()) {
+      continue;
+    }
+    Status st = WriteObject(id, img.bytes, img.meta_len);
+    if (st != Status::kOk) {
+      return st;
+    }
+  }
+  root_ = batch.root;
+  last_commit_objects_ = batch.dirty.size();
+  // The checkpoint subsumes everything in the log: the committed
+  // superblock records the current sequence, but the log region itself is
+  // only reusable once the commit succeeds — a failed commit must leave
+  // acknowledged records in place for replay (and for the next attempt's
+  // fold), so the head/tail reset waits for CommitSection.
+  log_applied_seq_ = log_seq_;
+  Status st = CommitSection(&batch.label_delta);
+  if (st == Status::kOk) {
+    log_head_ = 0;
+    log_pending_ = 0;
+    log_tail_.clear();
+  }
+  return st;
+}
+
+Status SingleLevelStore::SyncOne(ObjectId id, const std::vector<uint8_t>& bytes,
+                                 uint64_t meta_len) {
   std::lock_guard<std::mutex> lock(mu_);
   if (bytes.size() > tuning_.log_region_bytes / 4) {
-    // Too big for the log: write straight to a fresh extent and commit.
-    Status st = WriteObject(id, bytes);
+    // Too big for the log: write straight to a fresh extent and commit the
+    // new location as an increment (or a base if one is due).
+    Status st = WriteObject(id, bytes, meta_len);
     if (st != Status::kOk) {
       return st;
     }
-    st = WriteObjMap();
-    if (st != Status::kOk) {
-      return st;
-    }
-    st = disk_->Flush();
-    if (st != Status::kOk) {
-      return st;
-    }
-    st = WriteSuperblock();
-    if (st != Status::kOk) {
-      return st;
-    }
-    for (const Extent& e : pending_frees_) {
-      alloc_.Free(e.offset, e.length);
-    }
-    pending_frees_.clear();
-    return Status::kOk;
+    last_commit_objects_ = 1;
+    return CommitSection(nullptr);
   }
-  // Record: [magic][seq][id][len][bytes][checksum-of-all-prior].
-  uint64_t header[4] = {kLogMagic, ++log_seq_, id, bytes.size()};
+  // Record: [magic][seq][id][len][meta_len][bytes][checksum-of-all-prior].
+  uint64_t header[kLogHeaderWords] = {kLogMagic, ++log_seq_, id, bytes.size(), meta_len};
   uint64_t record_len = sizeof(header) + bytes.size() + 8;
   if (log_head_ + record_len > tuning_.log_region_bytes) {
-    // Log full: fold it into a checkpoint of the logged objects.
+    // Log full: fold it into the heap and commit.
     Status st = ApplyLog();
     if (st != Status::kOk) {
       return st;
@@ -240,7 +415,7 @@ Status SingleLevelStore::SyncOne(ObjectId id, const std::vector<uint8_t>& bytes)
   log_head_ += record_len;
   ++log_pending_;
   ++log_records_total_;
-  log_tail_[id] = bytes;
+  log_tail_[id] = LogImage{bytes, meta_len};
   if (log_pending_ >= tuning_.log_apply_threshold) {
     return ApplyLog();
   }
@@ -249,48 +424,54 @@ Status SingleLevelStore::SyncOne(ObjectId id, const std::vector<uint8_t>& bytes)
 
 Status SingleLevelStore::ApplyLog() {
   ++log_applies_;
-  for (const auto& [id, bytes] : log_tail_) {
-    Status st = WriteObject(id, bytes);
+  for (const auto& [id, img] : log_tail_) {
+    Status st = WriteObject(id, img.bytes, img.meta_len);
     if (st != Status::kOk) {
       return st;
     }
   }
-  Status st = WriteObjMap();
-  if (st != Status::kOk) {
-    return st;
-  }
-  st = disk_->Flush();
-  if (st != Status::kOk) {
-    return st;
-  }
+  last_commit_objects_ = log_tail_.size();
   log_applied_seq_ = log_seq_;
-  log_head_ = 0;
-  log_pending_ = 0;
-  log_tail_.clear();
-  st = WriteSuperblock();
-  if (st != Status::kOk) {
-    return st;
+  // Folded WAL images are self-contained; the map updates commit as an
+  // increment with no label records. As in Checkpoint, the log region is
+  // only recycled once the commit is durable: a failed commit keeps the
+  // records (and the tail, for the retry's re-fold) intact for replay.
+  Status st = CommitSection(nullptr);
+  if (st == Status::kOk) {
+    log_head_ = 0;
+    log_pending_ = 0;
+    log_tail_.clear();
   }
-  for (const Extent& e : pending_frees_) {
-    alloc_.Free(e.offset, e.length);
-  }
-  pending_frees_.clear();
-  return Status::kOk;
+  return st;
 }
 
-Status SingleLevelStore::SyncPages(ObjectId id, uint64_t offset, uint64_t len) {
+Status SingleLevelStore::SyncPages(ObjectId id, uint64_t offset,
+                                   const std::vector<uint8_t>& pages) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::optional<Extent> e = objmap_.Find(id);
-  if (!e.has_value()) {
+  std::optional<ObjRecord> rec = objmap_.Find(id);
+  if (!rec.has_value()) {
     return Status::kNotFound;  // never checkpointed: nothing to flush into
   }
-  uint64_t start = std::min(e->offset + offset, e->offset + e->length);
-  uint64_t n = std::min<uint64_t>(len, e->offset + e->length - start);
+  // In-place flush of real payload bytes, landing past the checksummed
+  // metadata prefix — the checksum therefore stays sound however this write
+  // interleaves with a crash (the old code zero-filled from the extent
+  // start, destroying both the header and its checksum until the next
+  // checkpoint rewrote them). The on-disk image may be stale (object
+  // re-written but not yet re-checkpointed is impossible — WriteObject
+  // moves the extent — but a resize since the last checkpoint is not), so
+  // clamp to the stored payload capacity; pages beyond it are covered by
+  // the object's dirty mark at the next checkpoint.
+  uint64_t blob_len = rec->extent.length - 8;
+  uint64_t meta = std::min(rec->meta_len, blob_len);
+  uint64_t capacity = blob_len - meta;
+  if (offset >= capacity) {
+    return Status::kOk;
+  }
+  uint64_t n = std::min<uint64_t>(pages.size(), capacity - offset);
   if (n == 0) {
     return Status::kOk;
   }
-  std::vector<uint8_t> pages(n, 0);
-  Status st = disk_->Write(start, pages.data(), n);
+  Status st = disk_->Write(rec->extent.offset + meta + offset, pages.data(), n);
   if (st != Status::kOk) {
     return st;
   }
@@ -299,21 +480,22 @@ Status SingleLevelStore::SyncPages(ObjectId id, uint64_t offset, uint64_t len) {
 
 Result<uint64_t> SingleLevelStore::TouchObject(ObjectId id) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::optional<Extent> e = objmap_.Find(id);
-  if (!e.has_value()) {
+  std::optional<ObjRecord> rec = objmap_.Find(id);
+  if (!rec.has_value()) {
     return Status::kNotFound;
   }
-  std::vector<uint8_t> buf(std::min<uint64_t>(e->length, 64 * 1024));
+  const Extent& e = rec->extent;
+  std::vector<uint8_t> buf(std::min<uint64_t>(e.length, 64 * 1024));
   uint64_t pos = 0;
-  while (pos < e->length) {
-    uint64_t n = std::min<uint64_t>(buf.size(), e->length - pos);
-    Status st = disk_->Read(e->offset + pos, buf.data(), n);
+  while (pos < e.length) {
+    uint64_t n = std::min<uint64_t>(buf.size(), e.length - pos);
+    Status st = disk_->Read(e.offset + pos, buf.data(), n);
     if (st != Status::kOk) {
       return st;
     }
     pos += n;
   }
-  return e->length;
+  return e.length;
 }
 
 Status SingleLevelStore::Recover(Kernel* kernel) {
@@ -326,13 +508,27 @@ Status SingleLevelStore::Recover(Kernel* kernel) {
   generation_ = sb.generation;
   root_ = sb.root;
   log_applied_seq_ = sb.log_applied_seq;
-  objmap_extent_offset_ = sb.objmap_offset;
-  objmap_extent_length_ = sb.objmap_length;
+  epoch_ = sb.epoch;
 
+  // Replay the checkpoint chain in order: the base re-creates the label
+  // table and object map wholesale, each increment folds its delta on top.
+  label_table_.clear();
   objmap_.Clear();
-  if (sb.objmap_length >= 8) {
-    std::vector<uint8_t> image(sb.objmap_length);
-    st = disk_->Read(sb.objmap_offset, image.data(), image.size());
+  chain_.clear();
+  pending_updates_.clear();
+  pending_deads_.clear();
+  pending_frees_.clear();
+  if (sb.chain_len > kMaxChain) {
+    return Status::kCorrupt;
+  }
+  uint64_t prev_epoch = 0;
+  for (size_t i = 0; i < sb.chain_len; ++i) {
+    Extent ext{sb.chain[2 * i], sb.chain[2 * i + 1]};
+    if (ext.length < 8) {
+      return Status::kCorrupt;
+    }
+    std::vector<uint8_t> image(ext.length);
+    st = disk_->Read(ext.offset, image.data(), image.size());
     if (st != Status::kOk) {
       return st;
     }
@@ -341,38 +537,98 @@ Status SingleLevelStore::Recover(Kernel* kernel) {
     if (Checksum(image.data(), image.size() - 8) != want) {
       return Status::kCorrupt;
     }
-    if (!objmap_.Deserialize(image.data(), image.size() - 8, nullptr)) {
+    SectionReader r{image.data(), image.size() - 8};
+    uint64_t magic = r.U64();
+    uint64_t epoch = r.U64();
+    uint8_t kind = r.U8();
+    if (r.fail || magic != kSectionMagic || epoch <= prev_epoch ||
+        kind != (i == 0 ? 0 : 1)) {
       return Status::kCorrupt;
     }
+    uint32_t n_labels = r.U32();
+    for (uint32_t j = 0; j < n_labels && !r.fail; ++j) {
+      uint32_t id = r.U32();
+      uint32_t len = r.U32();
+      std::vector<uint8_t> bytes;
+      if (!r.Bytes(&bytes, len)) {
+        break;
+      }
+      label_table_[id] = std::move(bytes);
+    }
+    uint32_t n_objects = r.U32();
+    for (uint32_t j = 0; j < n_objects && !r.fail; ++j) {
+      uint64_t id = r.U64();
+      ObjRecord rec;
+      rec.extent.offset = r.U64();
+      rec.extent.length = r.U64();
+      rec.meta_len = r.U64();
+      if (!r.fail) {
+        objmap_.Insert(id, rec);
+      }
+    }
+    uint32_t n_dead = r.U32();
+    for (uint32_t j = 0; j < n_dead && !r.fail; ++j) {
+      objmap_.Erase(r.U64());
+    }
+    if (r.fail) {
+      return Status::kCorrupt;
+    }
+    prev_epoch = epoch;
+    chain_.push_back(ext);
   }
 
-  // Rebuild the allocator: carve out live extents (and the objmap image)
-  // from a freshly reset free pool.
+  // Rebuild the allocator: carve out live object extents and the chain's
+  // section extents from a freshly reset free pool.
   alloc_.Reset();
-  std::vector<std::pair<uint64_t, Extent>> entries;
-  objmap_.ForEach([&](const uint64_t& id, const Extent& e) { entries.emplace_back(id, e); });
+  std::vector<std::pair<uint64_t, ObjRecord>> entries;
+  objmap_.ForEach([&](const uint64_t& id, const ObjRecord& rec) { entries.emplace_back(id, rec); });
   std::vector<Extent> used;
-  used.reserve(entries.size() + 1);
-  for (const auto& [id, e] : entries) {
-    used.push_back(e);
+  used.reserve(entries.size() + chain_.size());
+  for (const auto& [id, rec] : entries) {
+    used.push_back(rec.extent);
   }
-  if (objmap_extent_length_ != 0) {
-    used.push_back(Extent{objmap_extent_offset_, objmap_extent_length_});
+  for (const Extent& e : chain_) {
+    used.push_back(e);
   }
   if (!alloc_.ReserveExtents(used)) {
     return Status::kCorrupt;
   }
 
-  // Load every object into the kernel.
-  for (const auto& [id, e] : entries) {
-    std::vector<uint8_t> blob(e.length);
-    st = disk_->Read(e.offset, blob.data(), blob.size());
+  // Hand the label table to the kernel FIRST: one re-intern pass builds the
+  // old-id → new-id remap that every label-ref blob below resolves through.
+  // If the kernel could not reproduce the ids (changed shard config), the
+  // on-disk id space must not be extended: force a full base — and the
+  // kernel re-dirties the world so that base rewrites every blob.
+  std::vector<LabelTableRecord> records;
+  records.reserve(label_table_.size());
+  for (const auto& [id, bytes] : label_table_) {  // std::map: ascending ids
+    LabelTableRecord rec;
+    rec.id = id;
+    rec.bytes = bytes;
+    records.push_back(std::move(rec));
+  }
+  bool ids_stable = true;
+  st = kernel->RestoreLabelTable(records, &ids_stable);
+  if (st != Status::kOk) {
+    return st;
+  }
+  need_base_ = chain_.empty() || !ids_stable;
+
+  // Load every object into the kernel. The checksum covers the metadata
+  // prefix only; payload bytes past it carry no integrity word (they may
+  // have been rewritten in place by SyncPages — writeback semantics).
+  for (const auto& [id, rec] : entries) {
+    if (rec.extent.length < 8 || rec.meta_len > rec.extent.length - 8) {
+      return Status::kCorrupt;
+    }
+    std::vector<uint8_t> blob(rec.extent.length);
+    st = disk_->Read(rec.extent.offset, blob.data(), blob.size());
     if (st != Status::kOk) {
       return st;
     }
     uint64_t want;
     memcpy(&want, blob.data() + blob.size() - 8, 8);
-    if (Checksum(blob.data(), blob.size() - 8) != want) {
+    if (Checksum(blob.data(), rec.meta_len) != want) {
       return Status::kCorrupt;
     }
     blob.resize(blob.size() - 8);
@@ -389,10 +645,10 @@ Status SingleLevelStore::Recover(Kernel* kernel) {
   log_pending_ = 0;
   log_tail_.clear();
   for (;;) {
-    if (pos + 32 > tuning_.log_region_bytes) {
+    uint64_t header[kLogHeaderWords];
+    if (pos + sizeof(header) + 8 > tuning_.log_region_bytes) {
       break;
     }
-    uint64_t header[4];
     if (disk_->Read(log_start() + pos, header, sizeof(header)) != Status::kOk) {
       break;
     }
@@ -419,7 +675,7 @@ Status SingleLevelStore::Recover(Kernel* kernel) {
       return st;
     }
     log_seq_ = header[1];
-    log_tail_[header[2]] = bytes;
+    log_tail_[header[2]] = LogImage{bytes, header[4]};
     pos += sizeof(header) + len + 8;
     log_head_ = pos;
     ++log_pending_;

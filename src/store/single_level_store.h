@@ -6,26 +6,50 @@
 //   [0      , 4K )   superblock slot A   (alternating, checksummed)
 //   [4K     , 8K )   superblock slot B
 //   [8K     , 8K+L)  write-ahead log region
-//   [8K+L   , end)   object heap (extents managed by ExtentAllocator)
+//   [8K+L   , end)   object heap (extents managed by ExtentAllocator;
+//                    object images and checkpoint sections both live here)
 //
-// Persistence model, as in the paper:
+// Persistence model, as in the paper plus the incremental-checkpoint layer
+// (docs/persistence.md has the byte-level formats):
 //  * group sync / checkpoint: dirty objects are written to freshly allocated
-//    (contiguous — "delayed allocation") extents, a new object-ID → extent
-//    B+-tree image is written, and a superblock flip commits the whole state
-//    atomically. Either the entire checkpoint is visible or none of it.
-//  * per-object sync (fsync path): the object's image is appended to the
-//    sequential write-ahead log and barriered. Logged updates are applied in
+//    (contiguous — "delayed allocation") extents in LABEL-REF format (labels
+//    appear as 32-bit interned ids), then ONE checkpoint section is written
+//    carrying an epoch header, the label-table records (full table for a
+//    base snapshot, only the delta for an increment), the object-map records
+//    for this epoch's writes, and the ids deleted this epoch. A superblock
+//    flip commits the whole state atomically. After a full base snapshot,
+//    subsequent checkpoints are increments: they write O(dirty) blobs and an
+//    O(delta) section, never the O(live) map image the pre-incremental
+//    format rewrote every sync. A base is forced on format, after a restore
+//    that could not reproduce the on-disk label-id space, and every
+//    `max_increments` epochs (bounding recovery replay length).
+//  * per-object sync (fsync path): the object's SELF-CONTAINED image is
+//    appended to the sequential write-ahead log and barriered (a log record
+//    must replay without any label table). Logged updates are applied in
 //    batches — after kLogApplyThreshold records the log contents are folded
-//    into a checkpoint and the log resets, matching the paper's "once per
-//    approximately every 1,000 synchronous operations".
-//  * recovery: pick the newer valid superblock, load the object map, read
-//    every object, then replay valid log records with seq > the superblock's
-//    applied sequence. A torn log record ends replay (write-ahead ordering
-//    makes this safe).
+//    into the heap and committed as an increment, matching the paper's
+//    "once per approximately every 1,000 synchronous operations".
+//  * in-place page flush (sys_sync_pages): the segment's real payload bytes
+//    are written into its home extent past the checksummed metadata prefix.
+//    Object checksums cover only that prefix (`meta_len`), so the in-place
+//    write can never make the blob fail validation at recovery — the fix
+//    for the old stale-checksum crash window, at the documented cost of
+//    ext3-writeback semantics for the payload (a crash may leave a mix of
+//    old and new pages; checkpoint/WAL paths are unaffected because their
+//    atomicity comes from shadow paging + the superblock flip, not the
+//    checksum).
+//  * recovery: pick the newer valid superblock, replay the section chain in
+//    order (base, then each increment — epochs must ascend) to rebuild the
+//    label table and object map, hand the label table to the kernel FIRST
+//    (one re-intern pass, yielding the old-id → new-id remap), then load
+//    every object and finally replay valid log records with seq > the
+//    superblock's applied sequence. A torn log record ends replay
+//    (write-ahead ordering makes this safe).
 #ifndef SRC_STORE_SINGLE_LEVEL_STORE_H_
 #define SRC_STORE_SINGLE_LEVEL_STORE_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +64,9 @@ namespace histar {
 struct StoreTuning {
   uint64_t log_region_bytes = 16 << 20;   // 16 MB WAL
   uint32_t log_apply_threshold = 1000;    // records before a batch apply
+  // Incremental checkpoints between full base snapshots. Bounds the section
+  // chain recovery must replay; clamped to the superblock's chain capacity.
+  uint32_t max_increments = 32;
 };
 
 class SingleLevelStore : public PersistTarget {
@@ -49,21 +76,20 @@ class SingleLevelStore : public PersistTarget {
   // Formats the disk: writes an empty generation-0 superblock.
   Status Format();
 
-  // PersistTarget: full/group checkpoint. `objs` carries the serialized
-  // images of dirty objects; the store also needs the full live set to drop
-  // deleted objects, so the kernel's sys_sync sends every live object here.
-  Status Checkpoint(const std::vector<std::pair<ObjectId, std::vector<uint8_t>>>& dirty,
-                    const std::vector<ObjectId>& live, ObjectId root) override;
-  // PersistTarget: append one object image to the WAL (fsync of one object).
-  // Images too large for the log (> ¼ of the region) are written directly
-  // to a fresh extent and committed — the LFS-large sequential-write path.
-  Status SyncOne(ObjectId id, const std::vector<uint8_t>& bytes) override;
-
-  // PersistTarget: in-place page flush. Latency-exact (a random write of
-  // `len` bytes into the object's home extent plus a barrier); contents are
-  // refreshed with a sound checksum at the next SyncOne/Checkpoint of the
-  // object, giving ext3-writeback-style semantics for a crash in between.
-  Status SyncPages(ObjectId id, uint64_t offset, uint64_t len) override;
+  // PersistTarget: group checkpoint (base or increment — the store decides;
+  // see the header comment). `batch.dirty` carries label-ref images of
+  // mutated objects; `batch.live` is the full live set so deleted objects
+  // are dropped; `batch.label_delta` extends the store's label table.
+  Status Checkpoint(const CheckpointBatch& batch) override;
+  // PersistTarget: append one self-contained object image to the WAL (fsync
+  // of one object). Images too large for the log (> ¼ of the region) are
+  // written directly to a fresh extent and committed as an increment — the
+  // LFS-large sequential-write path.
+  Status SyncOne(ObjectId id, const std::vector<uint8_t>& bytes, uint64_t meta_len) override;
+  // PersistTarget: in-place payload flush. Writes the segment's real bytes
+  // into the home extent past the checksummed prefix (see header comment);
+  // latency-exact (a random write of pages.size() bytes plus a barrier).
+  Status SyncPages(ObjectId id, uint64_t offset, const std::vector<uint8_t>& pages) override;
 
   // Simulates demand paging an object in from disk (the §7.1 read phases:
   // HiStar pages in the entire segment at first access). Charges the read
@@ -76,23 +102,49 @@ class SingleLevelStore : public PersistTarget {
 
   // Introspection for tests/benches.
   uint64_t generation() const { return generation_; }
+  uint64_t epoch() const { return epoch_; }
   uint64_t log_records() const { return log_records_total_; }
   uint64_t log_applies() const { return log_applies_; }
   uint64_t heap_free_bytes() const { return alloc_.free_bytes(); }
   ObjectId root_object() const { return root_; }
+  // Section chain currently committed: 1 after a base, +1 per increment.
+  size_t chain_length() const { return chain_.size(); }
+  size_t label_table_size() const { return label_table_.size(); }
+  // Shape of the most recent commit point (checkpoint, log apply, or large
+  // sync): was it a base, how many object images did it write, how big was
+  // its section. These are what the O(dirty)-not-O(live) tests assert.
+  bool last_commit_was_base() const { return last_commit_base_; }
+  uint64_t last_commit_objects() const { return last_commit_objects_; }
+  uint64_t last_section_bytes() const { return last_section_bytes_; }
 
  private:
   static constexpr uint64_t kMagic = 0x48695374'61724f53ULL;  // "HiStarOS"
   static constexpr uint64_t kLogMagic = 0x4c4f4752'45435244ULL;
+  static constexpr uint64_t kSectionMagic = 0x434b5054'53454354ULL;  // "CKPTSECT"
+  // Superblock chain capacity: one base + up to kMaxChain-1 increments.
+  static constexpr size_t kMaxChain = 48;
+  static constexpr size_t kLogHeaderWords = 5;  // magic, seq, id, len, meta_len
 
   struct Superblock {
     uint64_t magic = 0;
     uint64_t generation = 0;
     uint64_t root = 0;
-    uint64_t objmap_offset = 0;
-    uint64_t objmap_length = 0;
     uint64_t log_applied_seq = 0;
+    uint64_t epoch = 0;
+    uint64_t chain_len = 0;
+    uint64_t chain[2 * kMaxChain] = {};  // (offset, length) pairs
     uint64_t checksum = 0;
+  };
+  static_assert(sizeof(Superblock) <= 4096, "superblock must fit its slot");
+
+  // One object's home image: where it lives and how much of the blob the
+  // checksum covers (segment payload past meta_len is excluded — see
+  // ObjectImage in kernel.h).
+  struct ObjRecord {
+    Extent extent;
+    uint64_t meta_len = 0;
+
+    friend bool operator==(const ObjRecord&, const ObjRecord&) = default;
   };
 
   static uint64_t Checksum(const void* data, size_t len);
@@ -100,12 +152,18 @@ class SingleLevelStore : public PersistTarget {
   // mu_ held for all of these.
   Status WriteSuperblock();
   Status ReadSuperblocks(Superblock* out);
-  // Writes the blob to a new extent, updating objmap_ and freeing the old
-  // extent. The in-memory heap image of each object is NOT cached: reads go
-  // back to the disk model.
-  Status WriteObject(ObjectId id, const std::vector<uint8_t>& bytes);
-  Status WriteObjMap();
-  // Folds the outstanding log records into object home locations.
+  // Writes the blob to a new extent (checksum over [0, meta_len)), updating
+  // objmap_ and retiring the old extent; records the id in this epoch's
+  // pending updates. The in-memory heap image of each object is NOT cached:
+  // reads go back to the disk model.
+  Status WriteObject(ObjectId id, const std::vector<uint8_t>& bytes, uint64_t meta_len);
+  // The single commit point: writes one checkpoint section (base if the
+  // chain is empty/full or a base was demanded, else an increment covering
+  // pending_updates_/pending_deads_ plus `label_delta`), flushes, flips the
+  // superblock, then releases superseded extents. Advances epoch_.
+  Status CommitSection(const std::vector<LabelTableRecord>* label_delta);
+  // Folds the outstanding log records into object home locations and
+  // commits them as an increment.
   Status ApplyLog();
 
   uint64_t log_start() const { return 2 * 4096; }
@@ -115,16 +173,31 @@ class SingleLevelStore : public PersistTarget {
   StoreTuning tuning_;
   mutable std::mutex mu_;
 
-  BPlusTree<uint64_t, Extent> objmap_;
+  BPlusTree<uint64_t, ObjRecord> objmap_;
   ExtentAllocator alloc_;
   ObjectId root_ = kInvalidObject;
   uint64_t generation_ = 0;
   bool which_sb_ = false;  // slot to write next
-  uint64_t objmap_extent_offset_ = 0;
-  uint64_t objmap_extent_length_ = 0;
-  // Extents superseded during the in-progress checkpoint; reusable only
-  // after the superblock flip commits (shadow paging discipline).
+
+  // Checkpoint-chain state. label_table_ is the store's accumulated copy of
+  // the kernel's label table (id → serialized label), an ordered map so a
+  // base section enumerates ascending ids — the order that lets recovery
+  // re-intern to identical ids. pending_updates_/pending_deads_ collect the
+  // object-map changes since the last committed section.
+  std::map<uint32_t, std::vector<uint8_t>> label_table_;
+  std::vector<Extent> chain_;          // committed sections: base + increments
+  uint64_t epoch_ = 0;                 // epoch of the latest committed section
+  bool need_base_ = true;              // force a full base at the next commit
+  std::vector<uint64_t> pending_updates_;
+  std::vector<uint64_t> pending_deads_;
+  // Extents superseded during the in-progress commit; reusable only after
+  // the superblock flip commits (shadow paging discipline).
   std::vector<Extent> pending_frees_;
+
+  // Introspection (see accessors above).
+  bool last_commit_base_ = false;
+  uint64_t last_commit_objects_ = 0;
+  uint64_t last_section_bytes_ = 0;
 
   // WAL state.
   uint64_t log_head_ = 0;        // next append offset within the log region
@@ -133,8 +206,12 @@ class SingleLevelStore : public PersistTarget {
   uint32_t log_pending_ = 0;     // records since last apply
   uint64_t log_records_total_ = 0;
   uint64_t log_applies_ = 0;
-  // Images of objects sitting in the unapplied log tail (id → latest bytes).
-  std::unordered_map<ObjectId, std::vector<uint8_t>> log_tail_;
+  // Images of objects sitting in the unapplied log tail (id → latest image).
+  struct LogImage {
+    std::vector<uint8_t> bytes;
+    uint64_t meta_len = 0;
+  };
+  std::unordered_map<ObjectId, LogImage> log_tail_;
 };
 
 }  // namespace histar

@@ -145,6 +145,40 @@ TEST_F(SegmentTest, DescripReadableWithEntry) {
   EXPECT_EQ(d.value(), "test-seg");
 }
 
+TEST_F(SegmentTest, ZeroLengthAccessAtEndOfSegmentSucceeds) {
+  // Pin the len == 0 edge (ISSUE 4 satellite): a zero-byte read/write at
+  // any offset up to and INCLUDING the segment length is a valid no-op —
+  // RangeOk(size, 0, size) holds — and must succeed even with a null
+  // buffer (the POSIX read(fd, buf, 0) shape unixlib callers hit). One
+  // byte past the end stays a range error, len == 0 or not.
+  ObjectId seg = MakeSegment(Label(), 16);
+  char probe = 0;
+  EXPECT_EQ(kernel_->sys_segment_read(init_, RootEntry(seg), &probe, 16, 0), Status::kOk);
+  EXPECT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), &probe, 16, 0), Status::kOk);
+  EXPECT_EQ(kernel_->sys_segment_read(init_, RootEntry(seg), nullptr, 0, 0), Status::kOk);
+  EXPECT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), nullptr, 8, 0), Status::kOk);
+  EXPECT_EQ(kernel_->sys_segment_read(init_, RootEntry(seg), &probe, 17, 0), Status::kRange);
+  EXPECT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), &probe, 17, 0), Status::kRange);
+}
+
+TEST_F(SegmentTest, ZeroLengthAccessOnEmptySegmentSucceeds) {
+  // The empty-segment corner: bytes().data() is null, off == size == 0.
+  ObjectId seg = MakeSegment(Label(), 0);
+  EXPECT_EQ(kernel_->sys_segment_read(init_, RootEntry(seg), nullptr, 0, 0), Status::kOk);
+  EXPECT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), nullptr, 0, 0), Status::kOk);
+  char probe = 0;
+  EXPECT_EQ(kernel_->sys_segment_read(init_, RootEntry(seg), &probe, 0, 1), Status::kRange);
+  EXPECT_EQ(kernel_->sys_segment_read(init_, RootEntry(seg), &probe, 1, 0), Status::kRange);
+}
+
+TEST_F(SegmentTest, ZeroLengthLocalSegmentAccessAtPageEnd) {
+  // Same edge for the thread-local segment syscalls.
+  EXPECT_EQ(kernel_->sys_self_local_read(init_, nullptr, kPageSize, 0), Status::kOk);
+  EXPECT_EQ(kernel_->sys_self_local_write(init_, nullptr, kPageSize, 0), Status::kOk);
+  char probe = 0;
+  EXPECT_EQ(kernel_->sys_self_local_read(init_, &probe, kPageSize + 1, 0), Status::kRange);
+}
+
 TEST_F(SegmentTest, LabelReadableEvenWhenContentsAreNot) {
   // §3.2: threads can examine labels of objects more tainted than themselves
   // to learn how to taint themselves for reading.

@@ -1,0 +1,323 @@
+// Crash-recovery harness for the incremental-checkpoint store (ISSUE 4):
+// checkpoint, kill mid-increment at injected disk-model crash points,
+// restore, and assert full object/label equivalence against the pre-crash
+// kernel — the recovered world must be byte-identical (canonical inline
+// serialization) to the state at the last successful commit.
+//
+// Also the crash-point test for the old stale-checksum window: a crash
+// between sys_sync_pages and the next checkpoint must never make a valid
+// blob look corrupt at recovery (blob checksums cover the metadata prefix
+// only; in-place payload flushes write real bytes past it).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/store/single_level_store.h"
+#include "tests/kernel/kernel_test_util.h"
+
+namespace histar {
+namespace {
+
+StoreTuning HarnessTuning() {
+  StoreTuning t;
+  t.log_region_bytes = 1 << 20;
+  t.log_apply_threshold = 25;
+  t.max_increments = 3;  // small, so crash sweeps cross base boundaries too
+  return t;
+}
+
+std::map<ObjectId, std::vector<uint8_t>> WorldImage(const Kernel& k) {
+  std::map<ObjectId, std::vector<uint8_t>> img;
+  for (ObjectId id : k.LiveObjects()) {
+    std::vector<uint8_t> bytes;
+    EXPECT_TRUE(k.SerializeObject(id, &bytes));
+    img[id] = std::move(bytes);
+  }
+  return img;
+}
+
+class RecoveryCrashTest : public KernelTest, public ::testing::WithParamInterface<int> {
+ protected:
+  void SetUp() override {
+    KernelTest::SetUp();
+    DiskGeometry g;
+    g.capacity_bytes = 64 << 20;
+    g.zero_latency = true;
+    g.store_data = true;
+    disk_ = std::make_unique<DiskModel>(g);
+    store_ = std::make_unique<SingleLevelStore>(disk_.get(), HarnessTuning());
+    ASSERT_EQ(store_->Format(), Status::kOk);
+    kernel_->AttachPersistTarget(store_.get());
+  }
+
+  std::unique_ptr<Kernel> Reboot() {
+    auto k = std::make_unique<Kernel>();
+    recovered_store_ = std::make_unique<SingleLevelStore>(disk_.get(), HarnessTuning());
+    EXPECT_EQ(recovered_store_->Recover(k.get()), Status::kOk);
+    return k;
+  }
+
+  std::unique_ptr<DiskModel> disk_;
+  std::unique_ptr<SingleLevelStore> store_;
+  std::unique_ptr<SingleLevelStore> recovered_store_;
+};
+
+// The harness proper: a workload of labeled creates, writes, and deletes
+// across several committed epochs; the kill lands partway into one more
+// increment. Recovery must reproduce either the last committed world (sync
+// failed) or the new one (sync reported success before the crash fired).
+TEST_P(RecoveryCrashTest, KillMidIncrementRecoversCommittedWorld) {
+  CategoryId c = kernel_->sys_cat_create(init_).value();
+  Label taint(Level::k1, {{c, Level::k2}});
+  std::vector<ObjectId> segs;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      ObjectId s = MakeSegment(i % 2 == 0 ? taint : Label(), 128);
+      uint64_t stamp = static_cast<uint64_t>(round) << 32 | static_cast<uint64_t>(i);
+      ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(s), &stamp, 0, 8), Status::kOk);
+      segs.push_back(s);
+    }
+    if (round == 1) {
+      ASSERT_EQ(kernel_->sys_container_unref(init_, RootEntry(segs[1])), Status::kOk);
+    }
+    ASSERT_EQ(kernel_->sys_sync(init_), Status::kOk);
+  }
+  std::map<ObjectId, std::vector<uint8_t>> committed = WorldImage(*kernel_);
+
+  // One more dirty batch, with the crash parked at GetParam() percent of a
+  // conservative estimate of the increment's write volume (blobs + section
+  // + superblock).
+  uint64_t stamp = 0xdeadbeef;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(segs[segs.size() - 1 - i]), &stamp,
+                                         0, 8),
+              Status::kOk);
+  }
+  uint64_t estimate = 4 * 400 + 1024;
+  disk_->CrashAfterBytes(estimate * static_cast<uint64_t>(GetParam()) / 100 + 1);
+  Status st = kernel_->sys_sync(init_);
+  bool committed_new = st == Status::kOk;
+  std::map<ObjectId, std::vector<uint8_t>> post = WorldImage(*kernel_);
+  disk_->Repair();
+
+  std::unique_ptr<Kernel> k2 = Reboot();
+  std::map<ObjectId, std::vector<uint8_t>> recovered = WorldImage(*k2);
+  if (committed_new) {
+    EXPECT_EQ(recovered, post) << "sync reported success but its state did not recover";
+  } else {
+    // Atomicity, not which side: a crash landing exactly on the commit
+    // boundary can persist the flip while the syscall reports failure.
+    EXPECT_TRUE(recovered == committed || recovered == post)
+        << "crash at " << GetParam() << "% recovered a world that was never committed";
+  }
+  // Either way the label table round-tripped and the recovered store keeps
+  // checkpointing (base or increment per its chain position).
+  CurrentThread bind(init_);
+  ASSERT_EQ(k2->sys_segment_write(init_, ContainerEntry{k2->root_container(), segs[4]}, &stamp,
+                                  0, 8),
+            Status::kOk);
+  EXPECT_EQ(k2->sys_sync(init_), Status::kOk);
+}
+
+// The WAL path under the same sweep: per-object syncs interleaved with
+// checkpoints, killed mid-append; replay must stop at the torn record and
+// the world must equal the last durable prefix.
+TEST_P(RecoveryCrashTest, KillMidWalAppendKeepsPrefix) {
+  ObjectId seg = MakeSegment(Label(), 512);
+  std::vector<uint8_t> ones(512, 0x11);
+  ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), ones.data(), 0, 512),
+            Status::kOk);
+  ASSERT_EQ(kernel_->sys_sync(init_), Status::kOk);
+  std::map<ObjectId, std::vector<uint8_t>> committed = WorldImage(*kernel_);
+
+  std::vector<uint8_t> twos(512, 0x22);
+  ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), twos.data(), 0, 512),
+            Status::kOk);
+  disk_->CrashAfterBytes((512 + 100) * static_cast<uint64_t>(GetParam()) / 100 + 1);
+  Status st = kernel_->sys_sync_object(init_, RootEntry(seg));
+  bool committed_new = st == Status::kOk;
+  std::map<ObjectId, std::vector<uint8_t>> post = WorldImage(*kernel_);
+  disk_->Repair();
+
+  std::unique_ptr<Kernel> k2 = Reboot();
+  std::map<ObjectId, std::vector<uint8_t>> recovered = WorldImage(*k2);
+  if (committed_new) {
+    EXPECT_EQ(recovered, post);
+  } else {
+    EXPECT_TRUE(recovered == committed || recovered == post);
+  }
+}
+
+// The stale-checksum window (ISSUE 4 satellite): sys_sync_pages rewrites
+// payload in the object's home extent. A crash at ANY byte of that write —
+// or simply a reboot before the next checkpoint — must leave a blob that
+// validates at recovery, with every payload byte either old or new
+// (writeback semantics), never a recovery failure.
+TEST_P(RecoveryCrashTest, SyncPagesCrashWindowNeverLooksCorrupt) {
+  constexpr uint64_t kLen = 4096;
+  ObjectId seg = MakeSegment(Label(), kLen);
+  std::vector<uint8_t> ones(kLen, 1);
+  ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), ones.data(), 0, kLen),
+            Status::kOk);
+  ASSERT_EQ(kernel_->sys_sync(init_), Status::kOk);
+
+  std::vector<uint8_t> twos(kLen, 2);
+  ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), twos.data(), 0, kLen),
+            Status::kOk);
+  disk_->CrashAfterBytes(kLen * static_cast<uint64_t>(GetParam()) / 100 + 1);
+  Status st = kernel_->sys_sync_pages(init_, RootEntry(seg), 0, kLen);
+  disk_->Repair();
+
+  // Recovery must SUCCEED — with the old full-blob checksum, any crash in
+  // this window made the in-place write look like corruption.
+  std::unique_ptr<Kernel> k2 = Reboot();
+  CurrentThread bind(init_);
+  std::vector<uint8_t> out(kLen, 0xee);
+  ASSERT_EQ(k2->sys_segment_read(init_, ContainerEntry{k2->root_container(), seg}, out.data(),
+                                 0, kLen),
+            Status::kOk);
+  bool all_new = true;
+  for (uint8_t b : out) {
+    ASSERT_TRUE(b == 1 || b == 2) << "payload byte neither old nor new";
+    all_new = all_new && b == 2;
+  }
+  if (st == Status::kOk) {
+    // The flush claimed success before any crash: the new payload is fully
+    // durable.
+    EXPECT_TRUE(all_new);
+  }
+}
+
+// Reboot (no crash) in the window between sync_pages and the next
+// checkpoint: the flushed pages are durable and the blob validates — the
+// exact scenario the single_level_store.h:64 comment used to disclaim.
+TEST_F(RecoveryCrashTest, SyncPagesThenRebootKeepsFlushedPages) {
+  constexpr uint64_t kLen = 2048;
+  ObjectId seg = MakeSegment(Label(), kLen);
+  std::vector<uint8_t> ones(kLen, 0xaa);
+  ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), ones.data(), 0, kLen),
+            Status::kOk);
+  ASSERT_EQ(kernel_->sys_sync(init_), Status::kOk);
+
+  std::vector<uint8_t> twos(kLen, 0xbb);
+  ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), twos.data(), 0, kLen),
+            Status::kOk);
+  ASSERT_EQ(kernel_->sys_sync_pages(init_, RootEntry(seg), 0, kLen), Status::kOk);
+  // No further checkpoint: reboot straight off the in-place write.
+
+  std::unique_ptr<Kernel> k2 = Reboot();
+  CurrentThread bind(init_);
+  std::vector<uint8_t> out(kLen, 0);
+  ASSERT_EQ(k2->sys_segment_read(init_, ContainerEntry{k2->root_container(), seg}, out.data(),
+                                 0, kLen),
+            Status::kOk);
+  EXPECT_EQ(out, twos);
+}
+
+// Crash during a forced BASE rewrite (chain rollover): the old chain must
+// stay intact until the superblock flip, so recovery sees the pre-base
+// world.
+TEST_P(RecoveryCrashTest, KillDuringBaseRolloverKeepsOldChain) {
+  ObjectId seg = MakeSegment(Label(), 256);
+  uint64_t stamp = 1;
+  ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), &stamp, 0, 8), Status::kOk);
+  ASSERT_EQ(kernel_->sys_sync(init_), Status::kOk);  // base
+  // Fill the chain to one short of rollover (max_increments = 3).
+  for (int i = 0; i < 3; ++i) {
+    stamp = static_cast<uint64_t>(i) + 2;
+    ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), &stamp, 0, 8), Status::kOk);
+    ASSERT_EQ(kernel_->sys_sync(init_), Status::kOk);
+  }
+  ASSERT_EQ(store_->chain_length(), 4u);
+  std::map<ObjectId, std::vector<uint8_t>> committed = WorldImage(*kernel_);
+
+  stamp = 99;
+  ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), &stamp, 0, 8), Status::kOk);
+  // The next sync rewrites a full base section; crash partway into it.
+  disk_->CrashAfterBytes(600 * static_cast<uint64_t>(GetParam()) / 100 + 1);
+  Status st = kernel_->sys_sync(init_);
+  std::map<ObjectId, std::vector<uint8_t>> post = WorldImage(*kernel_);
+  disk_->Repair();
+
+  std::unique_ptr<Kernel> k2 = Reboot();
+  std::map<ObjectId, std::vector<uint8_t>> recovered = WorldImage(*k2);
+  if (st == Status::kOk) {
+    EXPECT_EQ(recovered, post);
+  } else {
+    EXPECT_TRUE(recovered == committed || recovered == post);
+  }
+}
+
+// A WAL-only object (fsynced, never checkpointed) restored at boot has a
+// clean dirty mark — the first post-recovery checkpoint must fold its log
+// image into the heap before declaring the log subsumed, or the object is
+// orphaned: in neither the map nor the replayable log.
+TEST_F(RecoveryCrashTest, WalOnlyObjectSurvivesPostRecoveryCheckpoint) {
+  ASSERT_EQ(kernel_->sys_sync(init_), Status::kOk);  // base, without X
+  ObjectId x = MakeSegment(Label(), 64);
+  ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(x), "only-in-wal", 0, 12),
+            Status::kOk);
+  ASSERT_EQ(kernel_->sys_sync_object(init_, RootEntry(x)), Status::kOk);
+  // Like POSIX fsync, the directory entry needs its own sync: persist the
+  // root container's link to X too.
+  ASSERT_EQ(kernel_->sys_sync_object(init_, RootEntry(kernel_->root_container())),
+            Status::kOk);
+
+  std::unique_ptr<Kernel> k2 = Reboot();
+  ASSERT_TRUE(k2->ObjectExists(x));
+  // The recovered kernel has no dirty mark for X; this checkpoint used to
+  // advance log_applied_seq_ past X's record without writing X anywhere.
+  ASSERT_EQ(k2->sys_sync(init_), Status::kOk);
+
+  auto store3 = std::make_unique<SingleLevelStore>(disk_.get(), HarnessTuning());
+  auto k3 = std::make_unique<Kernel>();
+  ASSERT_EQ(store3->Recover(k3.get()), Status::kOk);
+  ASSERT_TRUE(k3->ObjectExists(x)) << "WAL-only object orphaned by the checkpoint";
+  CurrentThread bind(init_);
+  char buf[16] = {};
+  ASSERT_EQ(k3->sys_segment_read(init_, ContainerEntry{k3->root_container(), x}, buf, 0, 12),
+            Status::kOk);
+  EXPECT_STREQ(buf, "only-in-wal");
+}
+
+// A failed checkpoint must leave acknowledged WAL records in place: if the
+// in-memory log head/tail reset before the commit is durable, the next
+// fsync overwrites live records that the on-disk superblock still needs
+// for replay.
+TEST_F(RecoveryCrashTest, FailedCheckpointKeepsAcknowledgedWalRecords) {
+  ObjectId a = MakeSegment(Label(), 64);
+  ObjectId b = MakeSegment(Label(), 64);
+  ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(a), "old-a", 0, 6), Status::kOk);
+  ASSERT_EQ(kernel_->sys_sync(init_), Status::kOk);  // base: A = "old-a"
+
+  ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(a), "new-a", 0, 6), Status::kOk);
+  ASSERT_EQ(kernel_->sys_sync_object(init_, RootEntry(a)), Status::kOk);  // acked
+
+  disk_->CrashAfterBytes(1);  // the next checkpoint fails on its first write
+  EXPECT_NE(kernel_->sys_sync(init_), Status::kOk);
+  disk_->Repair();
+
+  // Another fsync after the failed commit: must append AFTER A's record,
+  // not restart the log region at offset zero over it.
+  ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(b), "new-b", 0, 6), Status::kOk);
+  ASSERT_EQ(kernel_->sys_sync_object(init_, RootEntry(b)), Status::kOk);
+
+  std::unique_ptr<Kernel> k2 = Reboot();
+  CurrentThread bind(init_);
+  char buf[8] = {};
+  ASSERT_EQ(k2->sys_segment_read(init_, ContainerEntry{k2->root_container(), a}, buf, 0, 6),
+            Status::kOk);
+  EXPECT_STREQ(buf, "new-a") << "acknowledged fsync lost to a failed checkpoint";
+  ASSERT_EQ(k2->sys_segment_read(init_, ContainerEntry{k2->root_container(), b}, buf, 0, 6),
+            Status::kOk);
+  EXPECT_STREQ(buf, "new-b");
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPoints, RecoveryCrashTest,
+                         ::testing::Values(1, 10, 25, 40, 55, 70, 85, 99),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "pct" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace histar
