@@ -165,6 +165,70 @@ void BM_HiStarBatchedSegOps(::benchmark::State& state) {
 }
 BENCHMARK(BM_HiStarBatchedSegOps)->Arg(1)->Arg(4)->Arg(16)->Unit(::benchmark::kMicrosecond);
 
+// The same 3-reads-1-write mix through the PR 5 async ring: one submission
+// of `batch` ops, completion awaited and reaped. Single-threaded this buys
+// nothing over the sync batch — it ADDS the submit/wait/reap round trips
+// and a worker handoff — which is exactly the point of the row: the ring's
+// win is overlap across submitters (multicore; see the TSan stress test for
+// the correctness side), while this measures the fixed price of the async
+// shape against BM_HiStarBatchedSegOps (the sync batch) and Arg(1)
+// per-call submission.
+void BM_HiStarRingSegOps(::benchmark::State& state) {
+  const uint64_t batch = static_cast<uint64_t>(state.range(0));
+  constexpr uint64_t kOpsPerIter = 16;
+  World w = BootWorld(/*with_store=*/false);
+  Kernel* k = w.kernel.get();
+
+  CreateSpec spec;
+  spec.container = k->root_container();
+  spec.label = Label();
+  spec.descrip = "ipcbuf";
+  spec.quota = kObjectOverheadBytes + 4096 + kPageSize;
+  Result<ObjectId> seg = k->sys_segment_create(w.init(), spec, 4096);
+  CreateSpec rspec;
+  rspec.container = k->root_container();
+  rspec.label = Label();
+  rspec.descrip = "benchring";
+  rspec.quota = 16 * kPageSize;
+  Result<ObjectId> ring = k->sys_ring_create(w.init(), rspec, 64);
+  if (!seg.ok() || !ring.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  ContainerEntry ce{k->root_container(), seg.value()};
+  ContainerEntry re{k->root_container(), ring.value()};
+
+  char buf[8] = {'r', 'i', 'n', 'g', 'b', 'n', 'c', 'h'};
+  for (auto _ : state) {
+    for (uint64_t done = 0; done < kOpsPerIter; done += batch) {
+      std::vector<RingOp> ops;
+      ops.reserve(batch);
+      for (uint64_t i = 0; i < batch; ++i) {
+        uint64_t off = 8 * ((done + i) % 16);
+        if ((done + i) % 4 == 3) {
+          ops.push_back(RingOp{SyscallReq{SegmentWriteReq{ce, buf, off, 8}}});
+        } else {
+          ops.push_back(RingOp{SyscallReq{SegmentReadReq{ce, buf, off, 8}}});
+        }
+      }
+      Result<uint64_t> t = k->sys_ring_submit(w.init(), re, std::move(ops));
+      if (!t.ok() || k->sys_ring_wait(w.init(), re, t.value(), 0) != Status::kOk) {
+        state.SkipWithError("ring submission failed");
+        return;
+      }
+      Result<std::vector<RingCompletion>> res = k->sys_ring_reap(w.init(), re, 0);
+      if (!res.ok()) {
+        state.SkipWithError("reap failed");
+        return;
+      }
+      ::benchmark::DoNotOptimize(res.value().data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kOpsPerIter);
+  CurrentThread::Set(kInvalidObject);
+}
+BENCHMARK(BM_HiStarRingSegOps)->Arg(1)->Arg(4)->Arg(16)->Unit(::benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace histar::bench
 

@@ -38,6 +38,8 @@ std::string_view StatusName(Status s) {
       return "no-space";
     case Status::kCorrupt:
       return "corrupt";
+    case Status::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

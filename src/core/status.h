@@ -30,6 +30,7 @@ enum class Status : int32_t {
   kCrashed = -14,           // simulated crash hit during I/O
   kNoSpace = -15,           // disk out of space
   kCorrupt = -16,           // on-disk structure failed validation
+  kCancelled = -17,         // linked ring op cancelled by a predecessor's failure
 };
 
 // Human-readable name for diagnostics and test failure messages.

@@ -14,14 +14,21 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/kernel/ring.h"
+
 namespace histar {
 
 namespace {
 thread_local ObjectId g_current_thread = kInvalidObject;
+thread_local bool g_proxy_execution = false;
 }  // namespace
 
 ObjectId CurrentThread::Get() { return g_current_thread; }
 void CurrentThread::Set(ObjectId id) { g_current_thread = id; }
+
+ProxyExecution::ProxyExecution() : prev_(g_proxy_execution) { g_proxy_execution = true; }
+ProxyExecution::~ProxyExecution() { g_proxy_execution = prev_; }
+bool ProxyExecution::Active() { return g_proxy_execution; }
 
 bool Container::HasLink(ObjectId o) const {
   return std::find(links_.begin(), links_.end(), o) != links_.end();
@@ -51,7 +58,11 @@ Kernel::Kernel(size_t table_shards) : table_(table_shards) {
   InsertObject(std::move(root));
 }
 
-Kernel::~Kernel() = default;
+Kernel::~Kernel() {
+  // Join the ring workers before any kernel state they execute against is
+  // torn down (they hold no leases on anything else; see ring.h).
+  ring_engine_.reset();
+}
 
 // ---- boot -------------------------------------------------------------------
 
@@ -284,7 +295,11 @@ void Kernel::DestroyObject(ObjectId id, std::vector<ObjectId>* destroyed_segment
         DestroyObject(child, destroyed_segments);
       }
     }
-  } else if (o->type() == ObjectType::kSegment) {
+  } else if (o->type() == ObjectType::kSegment || o->type() == ObjectType::kRing) {
+    // Both have volatile leaf-locked queue state keyed by their id (futex
+    // queues / ring queues) that is torn down only after the shard locks
+    // drop; the caller hands this list to WakeAllFutexes AND DropRings, and
+    // each ignores ids of the other kind.
     destroyed_segments->push_back(id);
   }
   // Destroyed threads need no flag or futex wake: the erase below makes
@@ -460,9 +475,11 @@ Status Kernel::DoContainerUnref(ObjectId self, ContainerEntry ce) {
     TableLock lk = TableLock::All(table_, TableLock::Mode::kExclusive);
     st = UnrefOnce(self, ce, /*allow_destroy=*/true, &need_all, &destroyed);
   }
-  // Futex wakeups strictly after the shard locks drop (lock hierarchy:
-  // futex_mu_ and shard locks never nest).
+  // Futex wakeups and ring teardown strictly after the shard locks drop
+  // (lock hierarchy: futex_mu_ and the ring mutexes are leaves that never
+  // nest with shard locks).
   WakeAllFutexes(destroyed);
+  DropRings(destroyed);
   return st;
 }
 

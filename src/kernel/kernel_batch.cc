@@ -31,7 +31,7 @@ inline constexpr bool kIsAny = (std::is_same_v<T, Ts> || ...);
 template <typename T>
 inline constexpr bool kCreatesObject =
     kIsAny<T, ThreadCreateReq, ContainerCreateReq, SegmentCreateReq, SegmentCopyReq,
-           AsCreateReq, GateCreateReq>;
+           AsCreateReq, GateCreateReq, RingCreateReq>;
 
 }  // namespace
 
@@ -78,7 +78,7 @@ Kernel::BatchPlan Kernel::PlanOf(ObjectId self, const SyscallReq& req) {
           ids({self, r.d, r.o});
           plan.mutates = true;
         } else if constexpr (kIsAny<T, ThreadCreateReq, ContainerCreateReq, SegmentCreateReq,
-                                    AsCreateReq, GateCreateReq>) {
+                                    AsCreateReq, GateCreateReq, RingCreateReq>) {
           ids({self, r.spec.container});
           plan.mutates = true;
           plan.needs_new_id = true;  // the preallocated id joins the footprint
@@ -210,6 +210,9 @@ void Kernel::ExecLocked(ObjectId self, const SyscallReq& req, SyscallRes* out,
                                    v.ok() ? v.take() : std::vector<uint64_t>{}};
         } else if constexpr (std::is_same_v<T, ConsoleWriteReq>) {
           *out = ConsoleWriteRes{ConsoleWriteLocked(self, r.dev, r.text)};
+        } else if constexpr (std::is_same_v<T, RingCreateReq>) {
+          Result<ObjectId> v = RingCreateLocked(self, r.spec, r.capacity, nid);
+          *out = RingCreateRes{v.status(), v.ok() ? v.value() : kInvalidObject};
         } else {
           // PlanOf marked this request batchable but no Locked body exists —
           // dispatcher drift. The completion stays monostate; wrappers and
@@ -255,11 +258,51 @@ void Kernel::ExecUnbatched(ObjectId self, const SyscallReq& req, SyscallRes* out
           *out = SyncObjectRes{DoSyncObject(self, r.ce)};
         } else if constexpr (std::is_same_v<T, SyncPagesReq>) {
           *out = SyncPagesRes{DoSyncPages(self, r.ce, r.offset, r.len)};
+        } else if constexpr (std::is_same_v<T, RingSubmitReq>) {
+          Result<uint64_t> v = DoRingSubmit(self, r.ring, r.ops);
+          *out = RingSubmitRes{v.status(), v.ok() ? v.value() : 0};
+        } else if constexpr (std::is_same_v<T, RingWaitReq>) {
+          *out = RingWaitRes{DoRingWait(self, r.ring, r.ticket, r.timeout_ms)};
+        } else if constexpr (std::is_same_v<T, RingReapReq>) {
+          Result<std::vector<RingCompletion>> v = DoRingReap(self, r.ring, r.max);
+          *out = RingReapRes{v.status(),
+                             v.ok() ? v.take() : std::vector<RingCompletion>{}};
         } else {
           *out = std::monostate{};  // batchable kinds never reach here
         }
       },
       req);
+}
+
+template <typename ReqAt, typename StopAt>
+size_t Kernel::GrowBatchGroup(ObjectId self, size_t i, size_t n, const BatchPlan& first,
+                              const ReqAt& req_at, const StopAt& stop_at, uint64_t* mask,
+                              bool* exclusive, std::vector<ObjectId>* new_ids) {
+  // Union the shard masks of consecutive batchable requests, escalate to
+  // exclusive if anything mutates, and preallocate object ids for create
+  // entries NOW — AllocObjectId probes a shard itself and must run before
+  // the group lock (kernel.h helper contract).
+  size_t j = i;
+  while (j < n) {
+    if (j > i && stop_at(j)) {
+      break;
+    }
+    BatchPlan p = (j == i) ? first : PlanOf(self, req_at(j));
+    if (!p.batchable) {
+      break;
+    }
+    for (size_t k = 0; k < p.nids; ++k) {
+      *mask |= table_.ShardMaskOf(p.ids[k]);
+    }
+    if (p.needs_new_id) {
+      Result<ObjectId> id = AllocObjectId();
+      new_ids->push_back(id.value());
+      *mask |= table_.ShardMaskOf(id.value());
+    }
+    *exclusive |= p.mutates;
+    ++j;
+  }
+  return j;
 }
 
 Status Kernel::SubmitBatch(ObjectId self, std::span<const SyscallReq> reqs,
@@ -279,30 +322,12 @@ Status Kernel::SubmitBatch(ObjectId self, std::span<const SyscallReq> reqs,
       ++i;
       continue;
     }
-    // Grow the group over consecutive batchable requests: union the shard
-    // masks, escalate to exclusive if anything mutates, and preallocate
-    // object ids for create entries NOW — AllocObjectId probes a shard
-    // itself and must run before the group lock (kernel.h helper contract).
     uint64_t mask = 0;
     bool exclusive = false;
     std::vector<ObjectId> new_ids;
-    size_t j = i;
-    while (j < reqs.size()) {
-      BatchPlan p = (j == i) ? first : PlanOf(self, reqs[j]);
-      if (!p.batchable) {
-        break;
-      }
-      for (size_t k = 0; k < p.nids; ++k) {
-        mask |= table_.ShardMaskOf(p.ids[k]);
-      }
-      if (p.needs_new_id) {
-        Result<ObjectId> id = AllocObjectId();
-        new_ids.push_back(id.value());
-        mask |= table_.ShardMaskOf(id.value());
-      }
-      exclusive |= p.mutates;
-      ++j;
-    }
+    size_t j = GrowBatchGroup(
+        self, i, reqs.size(), first, [&](size_t k) -> const SyscallReq& { return reqs[k]; },
+        [](size_t) { return false; }, &mask, &exclusive, &new_ids);
     {
       // The group's single lock round-trip: every shard any member touches,
       // ascending order, one acquisition (the acceptance property asserted
@@ -312,6 +337,94 @@ Status Kernel::SubmitBatch(ObjectId self, std::span<const SyscallReq> reqs,
       size_t next_new_id = 0;
       for (size_t k = i; k < j; ++k) {
         ExecLocked(self, reqs[k], &res[k], new_ids, &next_new_id);
+      }
+    }
+    i = j;
+  }
+  return Status::kOk;
+}
+
+namespace {
+
+// Chain bookkeeping for entry k of a SubmitChain span: cancels it (filling
+// its completion) when a linked predecessor did not complete kOk, and
+// otherwise applies its operand routing. Returns false when the entry was
+// cancelled and must not execute. Runs either before group planning (group
+// leaders — which is what lets id-routed entries replan on routed values)
+// or inside the group lock (members — their routing never touches ids, so
+// the precomputed footprint stays valid).
+bool PrepareChainEntry(std::span<RingOp> ops, std::span<SyscallRes> res, size_t k) {
+  if (k == 0) {
+    return true;
+  }
+  const bool linked = (ops[k - 1].flags & kRingLinked) != 0;
+  if (linked && ResStatus(res[k - 1]) != Status::kOk) {
+    // Predecessor failed (or was itself cancelled — kCancelled propagates
+    // down the rest of the chain through this same test).
+    MakeRes(ops[k].req, Status::kCancelled, &res[k]);
+    return false;
+  }
+  if (ops[k].from != RingSlot::kNone) {
+    uint64_t v = 0;
+    if (!linked || !ResSlotRead(res[k - 1], ops[k].from, &v) ||
+        !ReqSlotWrite(&ops[k].req, ops[k].to, v)) {
+      MakeRes(ops[k].req, Status::kInvalidArg, &res[k]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status Kernel::SubmitChain(ObjectId self, std::span<RingOp> ops, std::span<SyscallRes> res) {
+  if (res.size() < ops.size()) {
+    return Status::kInvalidArg;
+  }
+  // NO CountSyscalls here — see the contract in kernel.h (sys_ring_submit
+  // charged the submitter already; direct callers account for themselves).
+  size_t i = 0;
+  while (i < ops.size()) {
+    if (!PrepareChainEntry(ops, res, i)) {
+      ++i;
+      continue;
+    }
+    BatchPlan first = PlanOf(self, ops[i].req);
+    if (!first.batchable) {
+      ExecUnbatched(self, ops[i].req, &res[i]);
+      ++i;
+      continue;
+    }
+    // Group-grow exactly as SubmitBatch (same helper) — with one extra stop
+    // condition: an entry routing a predecessor's result into a ⟨D,O⟩ id
+    // slot has a data-dependent footprint (PlanOf would read the stale
+    // ids), so it must lead its own group, planned after PrepareChainEntry
+    // has written the routed value. len/off routing leaves footprints
+    // untouched and stays in-group.
+    uint64_t mask = 0;
+    bool exclusive = false;
+    std::vector<ObjectId> new_ids;
+    size_t j = GrowBatchGroup(
+        self, i, ops.size(), first,
+        [&](size_t k) -> const SyscallReq& { return ops[k].req; },
+        [&](size_t k) { return RingSlotNamesIds(ops[k].to); }, &mask, &exclusive, &new_ids);
+    {
+      // One TableLock for the whole group: a linked get_len → read chain
+      // pays exactly the lock round-trips of the equivalent sync batch
+      // (the PR 5 acceptance property, tests/kernel/ring_test.cc). Routing
+      // and cancellation for members happen inside the lock, between
+      // ExecLocked calls — the predecessor's completion is final by then.
+      TableLock lk = TableLock::ForMask(
+          table_, exclusive ? TableLock::Mode::kExclusive : TableLock::Mode::kShared, mask);
+      size_t next_new_id = 0;
+      for (size_t k = i; k < j; ++k) {
+        if (k > i && !PrepareChainEntry(ops, res, k)) {
+          // Cancelled mid-group. A cancelled create leaves its preallocated
+          // id unconsumed, which is harmless — ids are opaque names, and
+          // enough were preallocated either way.
+          continue;
+        }
+        ExecLocked(self, ops[k].req, &res[k], new_ids, &next_new_id);
       }
     }
     i = j;
@@ -548,9 +661,17 @@ Result<ObjectId> Kernel::sys_gate_create(ObjectId self, const CreateSpec& spec,
 
 Status Kernel::sys_gate_invoke(ObjectId self, ContainerEntry gate, const Label& request_label,
                                const Label& request_clearance, const Label& verify_label) {
-  return SubmitOne<GateInvokeRes>(
-             this, self, GateInvokeReq{gate, request_label, request_clearance, verify_label})
-      .status;
+  // By-ref fast path (PR 5): gate_invoke is unbatchable — it can never join
+  // a lock group — and its descriptor would copy THREE caller labels into
+  // the variant per call, the heaviest wrapper cost on the hottest
+  // unbatchable entry point (every daemon RPC crosses a gate). Calling the
+  // Do* body directly is observably identical to the one-element batch
+  // (ExecUnbatched does exactly this after the copies; the access-matrix
+  // equivalence sweep in tests/kernel/syscall_abi_test.cc pins it) but
+  // skips descriptor construction entirely. Entry bookkeeping is preserved:
+  // one syscall charged, same as SubmitBatch would.
+  CountSyscalls(self, 1);
+  return DoGateInvoke(self, gate, request_label, request_clearance, verify_label);
 }
 
 Result<std::vector<uint64_t>> Kernel::sys_gate_get_closure(ObjectId self, ContainerEntry ce) {
@@ -605,6 +726,29 @@ Status Kernel::sys_sync_object(ObjectId self, ContainerEntry ce) {
 Status Kernel::sys_sync_pages(ObjectId self, ContainerEntry ce, uint64_t offset,
                               uint64_t len) {
   return SubmitOne<SyncPagesRes>(this, self, SyncPagesReq{ce, offset, len}).status;
+}
+
+Result<ObjectId> Kernel::sys_ring_create(ObjectId self, const CreateSpec& spec,
+                                         uint32_t capacity) {
+  RingCreateRes r = SubmitOne<RingCreateRes>(this, self, RingCreateReq{spec, capacity});
+  return ToResult(r.status, std::move(r.id));
+}
+
+Result<uint64_t> Kernel::sys_ring_submit(ObjectId self, ContainerEntry ring,
+                                         std::vector<RingOp> ops) {
+  RingSubmitRes r = SubmitOne<RingSubmitRes>(this, self, RingSubmitReq{ring, std::move(ops)});
+  return ToResult(r.status, std::move(r.ticket));
+}
+
+Status Kernel::sys_ring_wait(ObjectId self, ContainerEntry ring, uint64_t ticket,
+                             uint32_t timeout_ms) {
+  return SubmitOne<RingWaitRes>(this, self, RingWaitReq{ring, ticket, timeout_ms}).status;
+}
+
+Result<std::vector<RingCompletion>> Kernel::sys_ring_reap(ObjectId self, ContainerEntry ring,
+                                                          uint32_t max) {
+  RingReapRes r = SubmitOne<RingReapRes>(this, self, RingReapReq{ring, max});
+  return ToResult(r.status, std::move(r.completions));
 }
 
 }  // namespace histar

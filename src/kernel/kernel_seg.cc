@@ -308,7 +308,13 @@ Status Kernel::AsAccessOnce(ObjectId self, uint64_t va, void* buf, uint64_t len,
   ObjectId as_id = kInvalidObject;
   ContainerEntry seg{};
   FaultHintSlot& hint = FaultHintFor(self);
-  if (hint.thread.load(std::memory_order_relaxed) == self) {
+  // Ring workers execute under ProxyExecution (kernel.h): they must neither
+  // seed their lock sets from nor overwrite the submitter's last-fault
+  // hint — the submitter may be faulting concurrently on its own host
+  // thread, and its warm-hit guarantee (one lock round) must survive
+  // workers faulting through unrelated mappings on its behalf.
+  const bool use_hint = !ProxyExecution::Active();
+  if (use_hint && hint.thread.load(std::memory_order_relaxed) == self) {
     as_id = hint.as.load(std::memory_order_relaxed);
     seg.container = hint.seg_ct.load(std::memory_order_relaxed);
     seg.object = hint.seg_obj.load(std::memory_order_relaxed);
@@ -350,10 +356,12 @@ Status Kernel::AsAccessOnce(ObjectId self, uint64_t va, void* buf, uint64_t len,
       } else {
         CopyBytes(buf, t->local_segment().data() + off, len);
       }
-      hint.as.store(t->address_space().object, std::memory_order_relaxed);
-      hint.seg_ct.store(kInvalidObject, std::memory_order_relaxed);
-      hint.seg_obj.store(kInvalidObject, std::memory_order_relaxed);
-      hint.thread.store(self, std::memory_order_relaxed);
+      if (use_hint) {
+        hint.as.store(t->address_space().object, std::memory_order_relaxed);
+        hint.seg_ct.store(kInvalidObject, std::memory_order_relaxed);
+        hint.seg_obj.store(kInvalidObject, std::memory_order_relaxed);
+        hint.thread.store(self, std::memory_order_relaxed);
+      }
       return Status::kOk;
     }
     if (!lk.Covers(m->segment.container) || !lk.Covers(m->segment.object)) {
@@ -388,10 +396,12 @@ Status Kernel::AsAccessOnce(ObjectId self, uint64_t va, void* buf, uint64_t len,
     }
     // Remember the discovered footprint so the next fault through this
     // mapping seeds a covering round 0 (one TableLock instead of two-three).
-    hint.as.store(t->address_space().object, std::memory_order_relaxed);
-    hint.seg_ct.store(m->segment.container, std::memory_order_relaxed);
-    hint.seg_obj.store(m->segment.object, std::memory_order_relaxed);
-    hint.thread.store(self, std::memory_order_relaxed);
+    if (use_hint) {
+      hint.as.store(t->address_space().object, std::memory_order_relaxed);
+      hint.seg_ct.store(m->segment.container, std::memory_order_relaxed);
+      hint.seg_obj.store(m->segment.object, std::memory_order_relaxed);
+      hint.thread.store(self, std::memory_order_relaxed);
+    }
     return Status::kOk;
   }
 }

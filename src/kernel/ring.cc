@@ -1,0 +1,514 @@
+// Async submission/completion rings (PR 5): worker pool and the
+// sys_ring_{create,submit,wait,reap} bodies. Design notes in ring.h; the
+// chain executor the workers drive (Kernel::SubmitChain) lives in
+// kernel_batch.cc next to the group-merging machinery it reuses.
+#include "src/kernel/ring.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/thread_runner.h"
+
+namespace histar {
+
+// ---- RingEngine -------------------------------------------------------------
+
+RingEngine::RingEngine(Kernel* kernel, size_t workers) : kernel_(kernel) {
+  size_t n = std::max<size_t>(workers, 1);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RingEngine::~RingEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+std::shared_ptr<RingState> RingEngine::GetOrCreate(ObjectId ring, uint32_t capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = rings_.find(ring);
+  if (it == rings_.end()) {
+    it = rings_.emplace(ring, std::make_shared<RingState>(ring, capacity)).first;
+  }
+  return it->second;
+}
+
+std::shared_ptr<RingState> RingEngine::Find(ObjectId ring) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = rings_.find(ring);
+  return it == rings_.end() ? nullptr : it->second;
+}
+
+void RingEngine::Kick(const std::shared_ptr<RingState>& state) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_ || state->armed) {
+      return;
+    }
+    state->armed = true;
+    ready_.push_back(state);
+  }
+  cv_.notify_one();
+}
+
+void RingEngine::Drop(ObjectId ring) {
+  std::shared_ptr<RingState> state;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = rings_.find(ring);
+    if (it == rings_.end()) {
+      return;
+    }
+    state = it->second;
+    // Erase the map entry only when no worker owns the ring. While armed, a
+    // worker may be mid-chain, and LATE waiters must still be able to Find
+    // the state to drain on `executing` (the descriptor-buffer guarantee);
+    // the worker erases the dead entry itself when it finishes (DrainRing).
+    if (!state->armed) {
+      rings_.erase(it);
+    }
+  }
+  std::lock_guard<std::mutex> sl(state->mu);
+  state->dead = true;
+  state->sq.clear();
+  state->cq.clear();
+  state->cv.notify_all();
+}
+
+void RingEngine::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [this] { return stopping_ || !ready_.empty(); });
+    if (stopping_) {
+      return;
+    }
+    std::shared_ptr<RingState> state = std::move(ready_.front());
+    ready_.pop_front();
+    lk.unlock();
+    DrainRing(state);
+    lk.lock();
+  }
+}
+
+void RingEngine::DrainRing(const std::shared_ptr<RingState>& state) {
+  for (;;) {
+    RingSubmission sub;
+    {
+      std::lock_guard<std::mutex> sl(state->mu);
+      if (state->dead || state->sq.empty()) {
+        break;
+      }
+      sub = std::move(state->sq.front());
+      state->sq.pop_front();
+      // Claimed: waiters must not abandon this seq range until the chain
+      // is published (its descriptors reference caller memory).
+      state->executing = true;
+      state->executing_first = sub.first_seq;
+      state->executing_last = sub.last_seq;
+    }
+    // Execute with NO ring mutex held: SubmitChain takes TableLocks exactly
+    // like any syscall, and the lock hierarchy forbids holding a leaf mutex
+    // across that. Label checks inside run against the SUBMITTER's thread;
+    // RunAsWorker (thread_runner.h) wraps the chain in ProxyExecution so
+    // the submitter's fault-hint slot stays untouched.
+    std::vector<SyscallRes> res(sub.ops.size());
+    RunAsWorker([&] {
+      kernel_->SubmitChain(sub.submitter, std::span<RingOp>(sub.ops),
+                           std::span<SyscallRes>(res));
+    });
+    {
+      std::lock_guard<std::mutex> sl(state->mu);
+      if (!state->dead) {
+        for (size_t i = 0; i < res.size(); ++i) {
+          state->cq.push_back(RingCompletion{sub.first_seq + i, std::move(res[i])});
+        }
+      }
+      state->completed_seq = sub.last_seq;
+      state->executing = false;
+      state->cv.notify_all();
+    }
+  }
+  // Disarm, then re-check: a submission that raced in between the empty-SQ
+  // check above and this disarm saw armed==true and did not re-queue the
+  // ring — the recheck below closes that lost-wakeup window.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    state->armed = false;
+  }
+  bool more;
+  bool dead;
+  {
+    std::lock_guard<std::mutex> sl(state->mu);
+    dead = state->dead;
+    more = !dead && !state->sq.empty();
+  }
+  if (dead) {
+    // The ring died while this worker owned it, so Drop left the map entry
+    // for late waiters to drain on; with execution finished, retire it.
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = rings_.find(state->id);
+    if (it != rings_.end() && it->second == state) {
+      rings_.erase(it);
+    }
+  }
+  if (more) {
+    Kick(state);
+  }
+}
+
+// ---- Kernel glue ------------------------------------------------------------
+
+RingEngine* Kernel::ring_engine(bool create) const {
+  std::lock_guard<std::mutex> lk(ring_engine_mu_);
+  if (ring_engine_ == nullptr && create) {
+    ring_engine_ = std::make_unique<RingEngine>(const_cast<Kernel*>(this));
+  }
+  return ring_engine_.get();
+}
+
+void Kernel::DropRings(const std::vector<ObjectId>& ids) {
+  if (ids.empty()) {
+    return;
+  }
+  RingEngine* eng = ring_engine(/*create=*/false);
+  if (eng == nullptr) {
+    return;
+  }
+  for (ObjectId id : ids) {
+    eng->Drop(id);  // no-op for ids that never had ring queue state
+  }
+}
+
+uint64_t Kernel::ring_completed_ticket(ObjectId ring) const {
+  RingEngine* eng = ring_engine(/*create=*/false);
+  std::shared_ptr<RingState> st = eng != nullptr ? eng->Find(ring) : nullptr;
+  if (st == nullptr) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lk(st->mu);
+  return st->completed_seq;
+}
+
+// ---- syscall bodies ---------------------------------------------------------
+
+Result<ObjectId> Kernel::RingCreateLocked(ObjectId self, const CreateSpec& spec,
+                                          uint32_t capacity, ObjectId new_id) {
+  Thread* t = GetThread(self);
+  if (t == nullptr || t->halted()) {
+    return Status::kHalted;
+  }
+  if (capacity == 0) {
+    capacity = kRingDefaultCapacity;
+  }
+  if (capacity > kRingMaxCapacity) {
+    return Status::kInvalidArg;
+  }
+  LabelId lid = kInvalidLabelId;
+  Result<Container*> d =
+      CheckCreate(*t, spec.container, spec.label, ObjectType::kRing, spec.quota, &lid);
+  if (!d.ok()) {
+    return d.status();
+  }
+  // The capacity is charged up front (kRingEntryCharge per slot stands in
+  // for the pinned SQ/CQ entries), like a segment's bytes.
+  if (!RangeOk(kObjectOverheadBytes, uint64_t{capacity} * kRingEntryCharge, spec.quota)) {
+    return Status::kQuotaExceeded;
+  }
+  auto r = std::make_unique<Ring>(new_id, lid, capacity);
+  r->set_quota_internal(spec.quota);
+  r->set_descrip_internal(spec.descrip);
+  Ring* raw = r.get();
+  InsertObject(std::move(r));
+  Status ls = LinkInto(d.value(), raw);
+  if (ls != Status::kOk) {
+    table_.EraseLocked(raw->id());
+    return ls;
+  }
+  MarkDirty(raw->id());
+  return raw->id();
+}
+
+Result<uint64_t> Kernel::DoRingSubmit(ObjectId self, ContainerEntry ring,
+                                      const std::vector<RingOp>& ops) {
+  if (ops.empty()) {
+    return Status::kInvalidArg;
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const RingOp& op = ops[i];
+    // No nested ring calls (a worker waiting on its own pool deadlocks it)
+    // and no gate invocation (gates cross protection domains on the calling
+    // host thread; a kernel worker cannot impersonate one).
+    if (std::holds_alternative<RingCreateReq>(op.req) ||
+        std::holds_alternative<RingSubmitReq>(op.req) ||
+        std::holds_alternative<RingWaitReq>(op.req) ||
+        std::holds_alternative<RingReapReq>(op.req) ||
+        std::holds_alternative<GateInvokeReq>(op.req)) {
+      return Status::kInvalidArg;
+    }
+    // Blocking ops may park the worker only BOUNDEDLY: an indefinite futex
+    // wait (timeout 0) would pin a worker until an unrelated thread happens
+    // to wake the word — two of those wedge the whole pool, and ~Kernel
+    // would hang joining it. (sys_net_wait is always bounded: the port
+    // clamps timeout 0 to a 50 ms poll.)
+    if (const FutexWaitReq* fw = std::get_if<FutexWaitReq>(&op.req);
+        fw != nullptr && fw->timeout_ms == 0) {
+      return Status::kInvalidArg;
+    }
+    // Operand routing is a dependency: it needs both slots named and a
+    // linked predecessor whose completion the value can flow out of.
+    const bool routed = op.from != RingSlot::kNone || op.to != RingSlot::kNone;
+    if (routed && (op.from == RingSlot::kNone || op.to == RingSlot::kNone || i == 0 ||
+                   (ops[i - 1].flags & kRingLinked) == 0)) {
+      return Status::kInvalidArg;
+    }
+  }
+  uint32_t capacity = 0;
+  ObjectId rid = kInvalidObject;
+  {
+    TableLock lk(table_, TableLock::Mode::kShared, {self, ring.container, ring.object});
+    Thread* t = GetThread(self);
+    if (t == nullptr || t->halted()) {
+      return Status::kHalted;
+    }
+    Result<Object*> o = ResolveEntry(*t, ring);
+    if (!o.ok()) {
+      return o.status();
+    }
+    if (o.value()->type() != ObjectType::kRing) {
+      return Status::kWrongType;
+    }
+    // Submitting mutates the ring's queue state: the modify rule, exactly
+    // as for writing a segment. (The queue itself lives behind the leaf
+    // RingState::mu, so shared shard locks suffice here — same split as
+    // futex wake.) The ops themselves are NOT checked now: each is checked
+    // against this submitter's labels when a worker executes it, so a
+    // relabel between submit and execution is honored, never bypassed.
+    Status ms = CheckModify(*t, *o.value());
+    if (ms != Status::kOk) {
+      return ms;
+    }
+    capacity = static_cast<Ring*>(o.value())->capacity();
+    rid = o.value()->id();
+  }
+  RingEngine* eng = ring_engine(/*create=*/true);
+  std::shared_ptr<RingState> st = eng->GetOrCreate(rid, capacity);
+  uint64_t ticket = 0;
+  uint64_t first_seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(st->mu);
+    if (st->dead) {
+      return Status::kNotFound;
+    }
+    if (st->inflight_ops + ops.size() > st->capacity) {
+      return Status::kAgain;  // backpressure: reap before submitting more
+    }
+    RingSubmission sub;
+    sub.submitter = self;
+    sub.first_seq = st->next_seq;
+    first_seq = sub.first_seq;
+    st->next_seq += ops.size();
+    sub.last_seq = st->next_seq - 1;
+    sub.ops = ops;
+    st->inflight_ops += ops.size();
+    ticket = sub.last_seq;
+    st->sq.push_back(std::move(sub));
+  }
+  // Charge the ops to the submitter NOW, on the submitter's own host
+  // thread: each ring op counts as one syscall (fig-12 accounting holds
+  // whether callers batch, ring, or call one at a time), and kernel workers
+  // never touch a count stripe — the submitter's stripe entry could even be
+  // erased by thread destruction while the submission is in flight.
+  CountSyscalls(self, ops.size());
+  eng->Kick(st);
+  // Close the submit-vs-destroy window: if the ring object died between the
+  // validation lock and the enqueue, its Drop may have run before the state
+  // existed — re-probe. If the submission is still queued, RETRACT it and
+  // report kNotFound (truthful: nothing executed, callers may safely fall
+  // back to a synchronous path). If a worker already claimed it, the ops
+  // ARE executing under the submitter's labels — report the ticket as
+  // accepted, exactly as if the destroy had landed a moment later; the
+  // wait/reap path observes the dead ring once the chain drains. Returning
+  // failure here would invite callers to re-run already-executing ops.
+  if (!ObjectExists(rid)) {
+    bool retracted = false;
+    {
+      std::lock_guard<std::mutex> lk(st->mu);
+      for (auto it = st->sq.begin(); it != st->sq.end(); ++it) {
+        if (it->first_seq == first_seq) {
+          st->inflight_ops -= it->ops.size();
+          st->sq.erase(it);
+          retracted = true;
+          break;
+        }
+      }
+    }
+    DropRings({rid});
+    if (retracted) {
+      return Status::kNotFound;
+    }
+  }
+  return ticket;
+}
+
+Status Kernel::DoRingWait(ObjectId self, ContainerEntry ring, uint64_t ticket,
+                          uint32_t timeout_ms) {
+  ObjectId rid = kInvalidObject;
+  Status resolve_st = Status::kOk;
+  {
+    TableLock lk(table_, TableLock::Mode::kShared, {self, ring.container, ring.object});
+    Thread* t = GetThread(self);
+    if (t == nullptr || t->halted()) {
+      return Status::kHalted;
+    }
+    Result<Object*> o = ResolveEntry(*t, ring);
+    if (!o.ok()) {
+      // kNotFound may mean "destroyed while our chain is mid-flight on a
+      // worker" — the caller owns the chain's buffers and must not learn a
+      // terminal status before the worker publishes. Fall through to the
+      // drain below against the (possibly surviving) queue state; every
+      // other resolve failure carries no in-flight hazard and returns now.
+      if (o.status() != Status::kNotFound) {
+        return o.status();
+      }
+      resolve_st = Status::kNotFound;
+      rid = ring.object;
+    } else if (o.value()->type() != ObjectType::kRing) {
+      return Status::kWrongType;
+    } else if (!CanObserve(*t, *o.value())) {
+      // Waiting observes completion progress: the observe rule only.
+      return Status::kLabelCheckFailed;
+    } else {
+      rid = o.value()->id();
+    }
+  }
+  if (ticket == 0 && resolve_st == Status::kOk) {
+    return Status::kOk;
+  }
+  RingEngine* eng = ring_engine(/*create=*/false);
+  std::shared_ptr<RingState> st = eng != nullptr ? eng->Find(rid) : nullptr;
+  if (st == nullptr) {
+    // No queue state: nothing was ever submitted, or a destroyed ring's
+    // state was already retired by its worker — either way nothing is
+    // executing, so kNotFound is safe to report.
+    return Status::kNotFound;
+  }
+  if (resolve_st == Status::kNotFound) {
+    // Ring object gone, state still present: drain `executing` for our
+    // ticket, then report. (The state is marked dead by DropRings, so the
+    // loop below exits as soon as no worker holds the ticket's buffers.)
+    std::unique_lock<std::mutex> dl(st->mu);
+    while (st->executing && st->executing_first <= ticket) {
+      st->cv.wait_for(dl, std::chrono::milliseconds(50));
+    }
+    return Status::kNotFound;
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::unique_lock<std::mutex> lk(st->mu);
+  if (ticket >= st->next_seq) {
+    return Status::kInvalidArg;  // never issued
+  }
+  for (;;) {
+    if (st->completed_seq >= ticket) {
+      return Status::kOk;
+    }
+    // A chain the worker is CURRENTLY executing references caller-owned
+    // buffers (descriptor contract), so no terminal status — dead ring,
+    // halted waiter — may be reported for a ticket the executing range
+    // covers until the worker publishes: the caller would pop its stack
+    // frame out from under the worker. Alerts (kAgain) still interrupt
+    // immediately — the caller re-enters, nothing is abandoned. Bounded:
+    // unbounded blocking ops are rejected at submit.
+    const bool ours_running = st->executing && st->executing_first <= ticket;
+    if (st->dead && !ours_running) {
+      return Status::kNotFound;
+    }
+    // Same bounded-slice shape as futex waits: thread halt/alert state
+    // lives behind shard locks, which never nest with RingState::mu — drop
+    // the ring lock for the peek; publishes that land meanwhile persist in
+    // completed_seq and are seen on reacquisition.
+    lk.unlock();
+    Status ts = Status::kOk;
+    {
+      TableLock tl(table_, TableLock::Mode::kShared, {self});
+      Thread* t = GetThread(self);
+      if (t == nullptr || t->halted()) {
+        ts = Status::kHalted;
+      } else if (!t->alerts().empty()) {
+        ts = Status::kAgain;  // interrupted by alert (EINTR analogue)
+      }
+    }
+    lk.lock();
+    if (ts == Status::kAgain) {
+      return ts;
+    }
+    if (ts != Status::kOk &&
+        !(st->executing && st->executing_first <= ticket)) {
+      return ts;  // halted, and no worker holds our buffers: safe to report
+    }
+    const auto slice = std::chrono::milliseconds(50);
+    if (timeout_ms != 0) {
+      auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        return Status::kTimedOut;
+      }
+      st->cv.wait_for(lk, std::min<std::chrono::steady_clock::duration>(deadline - now, slice));
+    } else {
+      st->cv.wait_for(lk, slice);
+    }
+  }
+}
+
+Result<std::vector<RingCompletion>> Kernel::DoRingReap(ObjectId self, ContainerEntry ring,
+                                                       uint32_t max) {
+  ObjectId rid = kInvalidObject;
+  {
+    TableLock lk(table_, TableLock::Mode::kShared, {self, ring.container, ring.object});
+    Thread* t = GetThread(self);
+    if (t == nullptr || t->halted()) {
+      return Status::kHalted;
+    }
+    Result<Object*> o = ResolveEntry(*t, ring);
+    if (!o.ok()) {
+      return o.status();
+    }
+    if (o.value()->type() != ObjectType::kRing) {
+      return Status::kWrongType;
+    }
+    // Reaping consumes completions (mutates queue state) and observes their
+    // contents: the modify rule covers both.
+    Status ms = CheckModify(*t, *o.value());
+    if (ms != Status::kOk) {
+      return ms;
+    }
+    rid = o.value()->id();
+  }
+  std::vector<RingCompletion> out;
+  RingEngine* eng = ring_engine(/*create=*/false);
+  std::shared_ptr<RingState> st = eng != nullptr ? eng->Find(rid) : nullptr;
+  if (st == nullptr) {
+    return out;  // never submitted to: nothing pending
+  }
+  std::lock_guard<std::mutex> lk(st->mu);
+  size_t n = st->cq.size();
+  if (max != 0) {
+    n = std::min<size_t>(n, max);
+  }
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(st->cq.front()));
+    st->cq.pop_front();
+  }
+  st->inflight_ops -= n;
+  return out;
+}
+
+}  // namespace histar

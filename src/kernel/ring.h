@@ -1,0 +1,151 @@
+// Async submission/completion rings (PR 5): the kernel-side queue state and
+// worker pool behind sys_ring_{create,submit,wait,reap}.
+//
+// Shape: io_uring's SQ/CQ pair applied to the labeled object model. The
+// *Ring object* (src/kernel/object.h) carries the persistent identity —
+// label, quota, capacity — and lives in the sharded object table like any
+// other object. Everything that queues lives HERE, keyed by the ring's
+// ObjectId, exactly as futex wait-queues are volatile kernel state keyed by
+// a segment id: pending submissions (SQ), unreaped completions (CQ), the
+// waiter condvar, and the capacity accounting. A restored ring comes back
+// empty, the way a rebooted NIC comes back with empty descriptor rings.
+//
+// Locking: RingEngine::mu_ (the pool's ready-queue) and RingState::mu (one
+// ring's queues) are LEAF mutexes of the PR 2 hierarchy, never held while
+// any table shard lock is taken — a worker pops a submission under
+// RingState::mu, RELEASES it, and only then executes the ops through
+// Kernel::SubmitChain (which takes TableLocks exactly like a syscall), so
+// shard locks and ring mutexes never nest in the worker direction either.
+// Per-ring draining is FIFO and single-worker at a time (the `armed` flag),
+// which keeps one ring's completions in submission order; concurrency comes
+// from different rings — one per submitting process is the intended shape —
+// being drained by different workers, which is how batches from many
+// threads finally overlap on multicore hosts (the fig-12 motivation).
+//
+// Execution context: workers bind NO CurrentThread and run each submission
+// under a ProxyExecution guard (kernel.h) — every label check uses the
+// submitter's thread id, but the submitter's per-thread fault-hint slot is
+// neither read nor polluted, and no count stripe is touched (the submitter
+// was charged at submit time, on its own host thread).
+#ifndef SRC_KERNEL_RING_H_
+#define SRC_KERNEL_RING_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/syscall_abi.h"
+#include "src/kernel/types.h"
+
+namespace histar {
+
+// One accepted submission: the submitter whose labels govern execution, the
+// ops (mutated in place by operand routing), and the contiguous sequence
+// range [first_seq, last_seq] its completions will carry.
+struct RingSubmission {
+  ObjectId submitter = kInvalidObject;
+  uint64_t first_seq = 0;
+  uint64_t last_seq = 0;
+  std::vector<RingOp> ops;
+};
+
+// Volatile queue state of one ring. Held by shared_ptr so a worker
+// mid-execution keeps it alive across a concurrent ring destruction (its
+// published completions are then simply dropped).
+struct RingState {
+  RingState(ObjectId ring_id, uint32_t cap) : id(ring_id), capacity(cap) {}
+
+  const ObjectId id;
+  const uint32_t capacity;
+
+  std::mutex mu;
+  std::condition_variable cv;  // completions published / ring torn down
+  uint64_t next_seq = 1;       // next op sequence number to assign
+  uint64_t completed_seq = 0;  // every op with seq <= this has a completion
+  uint64_t inflight_ops = 0;   // submitted but not yet reaped (capacity bound)
+  std::deque<RingSubmission> sq;
+  std::deque<RingCompletion> cq;
+  bool dead = false;           // ring object destroyed; waiters get kNotFound
+  // Seq range of the submission a worker is CURRENTLY executing (valid
+  // while `executing`). Ring-op descriptors reference caller-owned memory,
+  // so sys_ring_wait must never report a terminal status (halt, dead ring)
+  // for a chain while a worker may still be dereferencing its buffers —
+  // waiters drain on this before abandoning.
+  bool executing = false;
+  uint64_t executing_first = 0;
+  uint64_t executing_last = 0;
+
+  // Guarded by RingEngine::mu_, NOT this->mu: true while the ring is on the
+  // ready queue or being drained, so one ring never runs on two workers.
+  bool armed = false;
+};
+
+// A small pool of kernel worker host threads draining ring submission
+// queues. Created lazily by the kernel on first submission; destroyed (and
+// joined) before any other kernel state in ~Kernel.
+class RingEngine {
+ public:
+  static constexpr size_t kDefaultWorkers = 2;
+
+  explicit RingEngine(Kernel* kernel, size_t workers = kDefaultWorkers);
+  ~RingEngine();
+
+  RingEngine(const RingEngine&) = delete;
+  RingEngine& operator=(const RingEngine&) = delete;
+
+  // Queue state for `ring`, created on first use with the given capacity.
+  std::shared_ptr<RingState> GetOrCreate(ObjectId ring, uint32_t capacity);
+  // Queue state if the ring has ever been submitted to, else null.
+  std::shared_ptr<RingState> Find(ObjectId ring) const;
+
+  // Marks the ring ready and wakes a worker (no-op if already armed).
+  void Kick(const std::shared_ptr<RingState>& state);
+
+  // Ring object destroyed: marks the state dead, wakes its waiters, and
+  // forgets it. Safe to call for ids that never had queue state.
+  void Drop(ObjectId ring);
+
+ private:
+  void WorkerLoop();
+  // Executes the ring's pending submissions FIFO until its SQ drains.
+  void DrainRing(const std::shared_ptr<RingState>& state);
+
+  Kernel* const kernel_;
+  mutable std::mutex mu_;  // guards rings_, ready_, stopping_, RingState::armed
+  std::condition_variable cv_;
+  std::unordered_map<ObjectId, std::shared_ptr<RingState>> rings_;
+  std::deque<std::shared_ptr<RingState>> ready_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Client-side helper: waits for `ticket`, re-entering when an alert
+// interrupts the wait (kAgain) with a short backoff — the pending alert
+// stays queued for the caller's own signal logic, and the backoff keeps an
+// alerted thread from busy-spinning the wait's shard-lock peek. ONE copy of
+// this loop for every ring consumer (netd bursts, dir scans, pipe chunks),
+// so the retry shape cannot drift. Terminates because ring chains contain
+// only boundedly-blocking ops (enforced at submit): the worker always
+// publishes, after which the wait returns kOk — or kHalted/kNotFound, both
+// of which the kernel withholds until no worker holds the ticket's buffers
+// (abandoning on them is safe).
+inline Status RingWaitInterruptible(Kernel* kernel, ObjectId self, ContainerEntry ring,
+                                    uint64_t ticket) {
+  for (;;) {
+    Status st = kernel->sys_ring_wait(self, ring, ticket, 0);
+    if (st != Status::kAgain) {
+      return st;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace histar
+
+#endif  // SRC_KERNEL_RING_H_

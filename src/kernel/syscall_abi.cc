@@ -13,6 +13,27 @@ namespace histar {
 
 namespace {
 
+// Default-constructs variant alternative `idx` of V (skipping monostate
+// semantics — callers pass the wire index directly). Declared ahead of the
+// archives because embedded SyscallReq/SyscallRes fields (RingOp,
+// RingCompletion) decode through it recursively.
+template <typename V, size_t... I>
+bool EmplaceByIndex(size_t idx, V* out, std::index_sequence<I...>) {
+  bool hit = false;
+  ((idx == I ? (out->template emplace<I>(), hit = true) : false), ...);
+  return hit;
+}
+
+template <typename V>
+bool EmplaceByIndex(size_t idx, V* out) {
+  return EmplaceByIndex(idx, out, std::make_index_sequence<std::variant_size_v<V>>{});
+}
+
+// Ring submissions nest descriptors (a RingOp embeds a SyscallReq); the
+// kernel rejects ring ops inside ring ops, but the decoder walks untrusted
+// bytes and must bound recursion itself.
+constexpr int kMaxDescriptorNesting = 8;
+
 class Encoder {
  public:
   explicit Encoder(std::vector<uint8_t>* out) : out_(out) {}
@@ -49,6 +70,27 @@ class Encoder {
   }
   void Put(const std::array<uint8_t, 6>& v) {
     out_->insert(out_->end(), v.begin(), v.end());
+  }
+  void Put(RingSlot v) { out_->push_back(static_cast<uint8_t>(v)); }
+  // Embedded variants (RingOp::req, RingCompletion::res): raw alternative
+  // index, then fields. The completion index is NOT shifted the way the
+  // top-level EncodeRes tag is, so an unfilled (monostate) completion
+  // inside a RingCompletion has a wire form (index 0, no fields).
+  void Put(const SyscallReq& v) {
+    Put(static_cast<uint32_t>(v.index()));
+    SyscallReq tmp = v;
+    std::visit([this](auto& alt) { Fields(AbiFields(alt)); }, tmp);
+  }
+  void Put(const SyscallRes& v) {
+    Put(static_cast<uint32_t>(v.index()));
+    SyscallRes tmp = v;
+    std::visit(
+        [this](auto& alt) {
+          if constexpr (!std::is_same_v<std::decay_t<decltype(alt)>, std::monostate>) {
+            Fields(AbiFields(alt));
+          }
+        },
+        tmp);
   }
   template <typename T>
   void Put(const std::vector<T>& v) {
@@ -171,6 +213,43 @@ class Decoder {
     memcpy(v.data(), data_ + pos_, 6);
     pos_ += 6;
   }
+  void Get(RingSlot& v) {
+    if (!Need(1)) {
+      return;
+    }
+    uint8_t raw = data_[pos_++];
+    if (raw > static_cast<uint8_t>(RingSlot::kContainer)) {
+      fail_ = true;
+      return;
+    }
+    v = static_cast<RingSlot>(raw);
+  }
+  void Get(SyscallReq& v) {
+    uint32_t tag = 0;
+    Get(tag);
+    if (fail_ || ++depth_ > kMaxDescriptorNesting || !EmplaceByIndex(tag, &v)) {
+      fail_ = true;
+      return;
+    }
+    std::visit([this](auto& alt) { Fields(AbiFields(alt)); }, v);
+    --depth_;
+  }
+  void Get(SyscallRes& v) {
+    uint32_t tag = 0;
+    Get(tag);
+    if (fail_ || ++depth_ > kMaxDescriptorNesting || !EmplaceByIndex(tag, &v)) {
+      fail_ = true;
+      return;
+    }
+    std::visit(
+        [this](auto& alt) {
+          if constexpr (!std::is_same_v<std::decay_t<decltype(alt)>, std::monostate>) {
+            Fields(AbiFields(alt));
+          }
+        },
+        v);
+    --depth_;
+  }
   template <typename T>
   void Get(std::vector<T>& v) {
     uint32_t n = 0;
@@ -200,16 +279,8 @@ class Decoder {
   size_t len_;
   size_t pos_ = 0;
   bool fail_ = false;
+  int depth_ = 0;
 };
-
-// Default-constructs variant alternative `idx` of V (skipping monostate
-// semantics — callers pass the wire index directly).
-template <typename V, size_t... I>
-bool EmplaceByIndex(size_t idx, V* out, std::index_sequence<I...>) {
-  bool hit = false;
-  ((idx == I ? (out->template emplace<I>(), hit = true) : false), ...);
-  return hit;
-}
 
 template <typename V>
 bool DecodeVariant(const uint8_t* data, size_t len, size_t* consumed, V* out,
@@ -217,9 +288,7 @@ bool DecodeVariant(const uint8_t* data, size_t len, size_t* consumed, V* out,
   Decoder dec(data, len);
   uint32_t tag = 0;
   dec.Get(tag);
-  if (dec.failed() ||
-      !EmplaceByIndex(static_cast<size_t>(tag) + index_offset, out,
-                      std::make_index_sequence<std::variant_size_v<V>>{})) {
+  if (dec.failed() || !EmplaceByIndex(static_cast<size_t>(tag) + index_offset, out)) {
     return false;
   }
   std::visit(
@@ -273,6 +342,117 @@ void EncodeRes(const SyscallRes& res, std::vector<uint8_t>* out) {
 
 bool DecodeRes(const uint8_t* data, size_t len, size_t* consumed, SyscallRes* out) {
   return DecodeVariant(data, len, consumed, out, /*index_offset=*/1);
+}
+
+// ---- Chain/completion utilities ---------------------------------------------
+
+Status ResStatus(const SyscallRes& res) {
+  return std::visit(
+      [](const auto& alt) -> Status {
+        if constexpr (std::is_same_v<std::decay_t<decltype(alt)>, std::monostate>) {
+          return Status::kInvalidArg;  // never filled
+        } else {
+          return alt.status;
+        }
+      },
+      res);
+}
+
+void MakeRes(const SyscallReq& req, Status st, SyscallRes* out) {
+  // Completion alternative i+1 answers request alternative i (the variant
+  // layout contract asserted in syscall_abi.h), so the index arithmetic
+  // cannot miss — but stay defensive and leave monostate on the impossible
+  // path rather than crash.
+  if (!EmplaceByIndex(req.index() + 1, out)) {
+    *out = std::monostate{};
+    return;
+  }
+  std::visit(
+      [st](auto& alt) {
+        if constexpr (!std::is_same_v<std::decay_t<decltype(alt)>, std::monostate>) {
+          alt.status = st;
+        }
+      },
+      *out);
+}
+
+bool ResSlotRead(const SyscallRes& res, RingSlot slot, uint64_t* v) {
+  return std::visit(
+      [&](const auto& alt) -> bool {
+        using T = std::decay_t<decltype(alt)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          return false;
+        } else {
+          if (alt.status != Status::kOk) {
+            return false;  // value fields are meaningful only on success
+          }
+          switch (slot) {
+            case RingSlot::kLen:
+              if constexpr (requires { alt.len; }) {
+                *v = alt.len;
+                return true;
+              }
+              return false;
+            case RingSlot::kObject:
+            case RingSlot::kContainer:
+              if constexpr (requires { alt.id; }) {
+                *v = alt.id;
+                return true;
+              }
+              return false;
+            case RingSlot::kCount:
+              if constexpr (requires { alt.woken; }) {
+                *v = alt.woken;
+                return true;
+              }
+              return false;
+            default:
+              return false;  // kNone / kOff are not completion sources
+          }
+        }
+      },
+      res);
+}
+
+bool ReqSlotWrite(SyscallReq* req, RingSlot slot, uint64_t v) {
+  return std::visit(
+      [&](auto& r) -> bool {
+        switch (slot) {
+          case RingSlot::kLen:
+            if constexpr (requires { r.len; }) {
+              r.len = v;
+              return true;
+            } else if constexpr (requires { r.maxlen; }) {
+              r.maxlen = v;
+              return true;
+            }
+            return false;
+          case RingSlot::kOff:
+            if constexpr (requires { r.off; }) {
+              r.off = v;
+              return true;
+            } else if constexpr (requires { r.offset; }) {
+              r.offset = v;
+              return true;
+            }
+            return false;
+          case RingSlot::kObject:
+            if constexpr (requires { r.ce; }) {
+              r.ce.object = v;
+              return true;
+            }
+            return false;
+          case RingSlot::kContainer:
+            if constexpr (requires { r.ce; }) {
+              r.ce.container = v;
+              return true;
+            }
+            return false;
+          default:
+            return false;
+        }
+      },
+      *req);
 }
 
 }  // namespace histar

@@ -252,6 +252,61 @@ struct SyncPagesReq {
   uint64_t len = 0;
 };
 
+// ---- Rings (PR 5: async submission/completion queues) -----------------------
+//
+// A ring submission is a span of RingOps — a SyscallReq each, plus link
+// flags and operand-routing slots (io_uring's IOSQE_IO_LINK analogue). The
+// RingOp/RingCompletion structs themselves are defined below the variants
+// (they embed them); the request/completion descriptors here only need the
+// vector members, which C++17 permits over incomplete element types.
+struct RingOp;
+struct RingCompletion;
+
+// Named u64-valued "slots" on descriptors that linked operands flow
+// through: `RingOp::from` selects a slot of the PREVIOUS entry's
+// completion, `RingOp::to` the slot of THIS request it overwrites before
+// execution. kObject/kContainer retarget a request's ⟨D,O⟩ entry, which
+// makes its shard footprint data-dependent — the chain executor flushes the
+// current lock group before such an entry (see kernel_batch.cc).
+enum class RingSlot : uint8_t {
+  kNone = 0,
+  kLen = 1,        // SegmentGetLenRes.len / NetReceiveRes.len → len/maxlen fields
+  kObject = 2,     // create-result id → ce.object
+  kCount = 3,      // FutexWakeRes.woken
+  kOff = 4,        // → off/offset fields
+  kContainer = 5,  // create-result id → ce.container
+};
+
+inline constexpr bool RingSlotNamesIds(RingSlot s) {
+  return s == RingSlot::kObject || s == RingSlot::kContainer;
+}
+
+// RingOp::flags: this entry is linked TO its successor — if this entry
+// fails, every transitively linked successor completes with kCancelled
+// instead of executing.
+inline constexpr uint32_t kRingLinked = 1u << 0;
+
+struct RingCreateReq {
+  CreateSpec spec;
+  uint32_t capacity = 0;  // 0 → kRingDefaultCapacity
+};
+struct RingSubmitReq {
+  ContainerEntry ring;
+  std::vector<RingOp> ops;
+};
+struct RingWaitReq {
+  ContainerEntry ring;
+  uint64_t ticket = 0;
+  uint32_t timeout_ms = 0;
+};
+struct RingReapReq {
+  ContainerEntry ring;
+  uint32_t max = 0;  // 0 → everything pending
+};
+
+inline constexpr uint32_t kRingDefaultCapacity = 64;
+inline constexpr uint32_t kRingMaxCapacity = 4096;
+
 // ---- Completion descriptors -------------------------------------------------
 //
 // Every completion leads with its own Status; value fields are meaningful
@@ -434,6 +489,24 @@ struct SyncObjectRes {
 struct SyncPagesRes {
   Status status = Status::kInvalidArg;
 };
+struct RingCreateRes {
+  Status status = Status::kInvalidArg;
+  ObjectId id = kInvalidObject;
+};
+struct RingSubmitRes {
+  Status status = Status::kInvalidArg;
+  // Sequence number of the submission's LAST op; sys_ring_wait(ticket)
+  // returns once every op up to it has a completion. Op i of an n-op
+  // submission carries seq = ticket - n + 1 + i in its RingCompletion.
+  uint64_t ticket = 0;
+};
+struct RingWaitRes {
+  Status status = Status::kInvalidArg;
+};
+struct RingReapRes {
+  Status status = Status::kInvalidArg;
+  std::vector<RingCompletion> completions;
+};
 
 // ---- The variants -----------------------------------------------------------
 //
@@ -450,7 +523,8 @@ using SyscallReq = std::variant<
     SegmentResizeReq, SegmentGetLenReq, SegmentReadReq, SegmentWriteReq, AsCreateReq, AsSetReq,
     AsGetReq, AsAccessReq, GateCreateReq, GateInvokeReq, GateGetClosureReq, FutexWaitReq,
     FutexWakeReq, NetMacAddrReq, NetTransmitReq, NetReceiveReq, NetWaitReq, ConsoleWriteReq,
-    SyncReq, SyncObjectReq, SyncPagesReq>;
+    SyncReq, SyncObjectReq, SyncPagesReq, RingCreateReq, RingSubmitReq, RingWaitReq,
+    RingReapReq>;
 
 using SyscallRes = std::variant<
     std::monostate, CatCreateRes, SelfSetLabelRes, SelfSetClearanceRes, SelfGetLabelRes,
@@ -462,11 +536,46 @@ using SyscallRes = std::variant<
     SegmentCreateRes, SegmentCopyRes, SegmentResizeRes, SegmentGetLenRes, SegmentReadRes,
     SegmentWriteRes, AsCreateRes, AsSetRes, AsGetRes, AsAccessRes, GateCreateRes, GateInvokeRes,
     GateGetClosureRes, FutexWaitRes, FutexWakeRes, NetMacAddrRes, NetTransmitRes, NetReceiveRes,
-    NetWaitRes, ConsoleWriteRes, SyncRes, SyncObjectRes, SyncPagesRes>;
+    NetWaitRes, ConsoleWriteRes, SyncRes, SyncObjectRes, SyncPagesRes, RingCreateRes,
+    RingSubmitRes, RingWaitRes, RingReapRes>;
 
 inline constexpr size_t kNumSyscallKinds = std::variant_size_v<SyscallReq>;
 static_assert(std::variant_size_v<SyscallRes> == kNumSyscallKinds + 1,
               "every request alternative needs exactly one completion alternative");
+
+// One entry of a ring submission: the request itself plus the link flag and
+// operand routing (defined after the variants because it embeds them).
+struct RingOp {
+  SyscallReq req;
+  uint32_t flags = 0;               // kRingLinked
+  RingSlot from = RingSlot::kNone;  // completion slot of the PREVIOUS entry
+  RingSlot to = RingSlot::kNone;    // request slot of THIS entry to overwrite
+};
+
+// One reaped completion: the per-ring op sequence number plus the filled
+// completion descriptor (kCancelled-status for ops a linked predecessor's
+// failure cancelled).
+struct RingCompletion {
+  uint64_t seq = 0;
+  SyscallRes res;
+};
+
+// ---- Chain/completion utilities (syscall_abi.cc) ----------------------------
+//
+// Every completion alternative leads with a Status; these helpers give the
+// chain executor and ring machinery generic access to it without a 50-arm
+// switch at each use site.
+//
+// The Status of a completion (kInvalidArg for an unfilled monostate).
+Status ResStatus(const SyscallRes& res);
+// Fills *out with the completion alternative matching `req`, carrying
+// status `st` and default value fields (how cancelled ring ops complete).
+void MakeRes(const SyscallReq& req, Status st, SyscallRes* out);
+// Reads slot `slot` of a completion / overwrites slot `slot` of a request.
+// False if the descriptor has no such slot (the chain executor cancels the
+// consumer with kInvalidArg).
+bool ResSlotRead(const SyscallRes& res, RingSlot slot, uint64_t* v);
+bool ReqSlotWrite(SyscallReq* req, RingSlot slot, uint64_t v);
 
 // ---- Field enumeration ------------------------------------------------------
 //
@@ -531,6 +640,10 @@ inline auto AbiFields(ConsoleWriteReq& r) { return std::tie(r.dev, r.text); }
 inline auto AbiFields(SyncReq&) { return std::tie(); }
 inline auto AbiFields(SyncObjectReq& r) { return std::tie(r.ce); }
 inline auto AbiFields(SyncPagesReq& r) { return std::tie(r.ce, r.offset, r.len); }
+inline auto AbiFields(RingCreateReq& r) { return std::tie(r.spec, r.capacity); }
+inline auto AbiFields(RingSubmitReq& r) { return std::tie(r.ring, r.ops); }
+inline auto AbiFields(RingWaitReq& r) { return std::tie(r.ring, r.ticket, r.timeout_ms); }
+inline auto AbiFields(RingReapReq& r) { return std::tie(r.ring, r.max); }
 
 inline auto AbiFields(CatCreateRes& r) { return std::tie(r.status, r.cat); }
 inline auto AbiFields(SelfSetLabelRes& r) { return std::tie(r.status); }
@@ -583,8 +696,18 @@ inline auto AbiFields(ConsoleWriteRes& r) { return std::tie(r.status); }
 inline auto AbiFields(SyncRes& r) { return std::tie(r.status); }
 inline auto AbiFields(SyncObjectRes& r) { return std::tie(r.status); }
 inline auto AbiFields(SyncPagesRes& r) { return std::tie(r.status); }
+inline auto AbiFields(RingCreateRes& r) { return std::tie(r.status, r.id); }
+inline auto AbiFields(RingSubmitRes& r) { return std::tie(r.status, r.ticket); }
+inline auto AbiFields(RingWaitRes& r) { return std::tie(r.status); }
+inline auto AbiFields(RingReapRes& r) { return std::tie(r.status, r.completions); }
 
 inline auto AbiFields(CreateSpec& s) { return std::tie(s.container, s.label, s.descrip, s.quota); }
+// Nested descriptors: the archives encode an embedded SyscallReq/SyscallRes
+// as [u32 variant-index][fields] — the completion's index is stored raw
+// (0 = monostate, unlike the top-level EncodeRes tag, so an unfilled
+// completion inside a RingCompletion round-trips).
+inline auto AbiFields(RingOp& o) { return std::tie(o.flags, o.from, o.to, o.req); }
+inline auto AbiFields(RingCompletion& c) { return std::tie(c.seq, c.res); }
 inline auto AbiFields(ContainerEntry& e) { return std::tie(e.container, e.object); }
 inline auto AbiFields(Mapping& m) {
   return std::tie(m.va, m.segment, m.start_page, m.npages, m.flags);

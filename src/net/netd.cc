@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/core/label_memo.h"
+#include "src/kernel/ring.h"
 #include "src/kernel/thread_runner.h"
 #include "src/unixlib/mutex.h"
 
@@ -36,6 +37,12 @@ constexpr uint16_t kMss = 1400;
 // Stream header after the 14-byte frame header:
 // [type u8][sport u16][dport u16][len u16] = 7 bytes.
 constexpr size_t kStreamHeader = 7;
+
+// Staging-slot layout inside rxbuf_seg_ (see netd.h): receive burst slots,
+// then transmit burst slots, then the synchronous control slot.
+constexpr uint64_t kTxSlot0 = uint64_t{kNetRxBurst} * kNetFrameMax;
+constexpr uint64_t kCtlSlot = kTxSlot0 + uint64_t{kNetTxBurst} * kNetFrameMax;
+constexpr uint64_t kStagingBytes = kCtlSlot + kNetFrameMax;
 
 uint64_t PackMac(const MacAddr& m) {
   uint64_t v = 0;
@@ -94,6 +101,75 @@ Status RingGet(Kernel* k, ObjectId self, ContainerEntry seg, uint64_t base, uint
 }
 
 }  // namespace
+
+int RingDrainNic(Kernel* kernel, ObjectId self, ContainerEntry ring, ContainerEntry dev,
+                 ContainerEntry staging, uint64_t slot0_off, uint32_t burst,
+                 std::vector<uint8_t>* scratch,
+                 const std::function<void(std::vector<uint8_t>&&)>& fn) {
+  // ONE submission: `burst` independent [receive →link→ read] chains. The
+  // NetReceiveRes length flows into the linked SegmentReadReq (RingSlot
+  // routing), and an empty NIC (kAgain) cancels just that chain's read.
+  std::vector<RingOp> ops;
+  ops.reserve(2 * burst);
+  for (uint32_t slot = 0; slot < burst; ++slot) {
+    uint64_t off = slot0_off + uint64_t{slot} * kNetFrameMax;
+    ops.push_back(
+        RingOp{SyscallReq{NetReceiveReq{dev, staging, off, kNetFrameMax}}, kRingLinked});
+    ops.push_back(RingOp{SyscallReq{SegmentReadReq{staging, scratch->data() +
+                                                                (slot * kNetFrameMax),
+                                                   off, 0}},
+                         0, RingSlot::kLen, RingSlot::kLen});
+  }
+  Result<uint64_t> ticket = kernel->sys_ring_submit(self, ring, std::move(ops));
+  if (!ticket.ok()) {
+    return -1;
+  }
+  // Every op in the burst is non-blocking (NetReceive polls, never sleeps),
+  // so completion is prompt; wait indefinitely rather than invent a timeout
+  // that could strand unreaped completions. kHalted/kNotFound are only
+  // reported once no worker holds this burst's buffers (the kernel's
+  // executing-drain), so abandoning on them is safe.
+  if (RingWaitInterruptible(kernel, self, ring, ticket.value()) != Status::kOk) {
+    kernel->sys_ring_reap(self, ring, 0);  // free capacity; frames drop
+    return -1;  // halted / ring destroyed: caller falls back
+  }
+  Result<std::vector<RingCompletion>> done = kernel->sys_ring_reap(self, ring, 0);
+  if (!done.ok()) {
+    return -1;
+  }
+  // Pair completions by SEQ, never by position: an earlier abandoned
+  // burst's late-published completions can sit at the front of the CQ, and
+  // positional pairing would apply their lengths to staging slots the new
+  // burst has since overwritten. Seqs outside this burst's range are
+  // discarded outright.
+  int frames = 0;
+  const uint64_t nops = 2 * uint64_t{burst};
+  const uint64_t first = ticket.value() - nops + 1;
+  std::vector<const SyscallRes*> by_op(nops, nullptr);
+  for (const RingCompletion& c : done.value()) {
+    if (c.seq >= first && c.seq - first < nops) {
+      by_op[static_cast<size_t>(c.seq - first)] = &c.res;
+    }
+  }
+  for (uint32_t slot = 0; slot < burst; ++slot) {
+    const SyscallRes* rres = by_op[2 * slot];
+    const SyscallRes* dres = by_op[2 * slot + 1];
+    if (rres == nullptr || dres == nullptr) {
+      continue;
+    }
+    const NetReceiveRes* rcv = std::get_if<NetReceiveRes>(rres);
+    if (rcv == nullptr || rcv->status != Status::kOk) {
+      continue;  // kAgain (empty NIC) — the linked read completed kCancelled
+    }
+    if (ResStatus(*dres) != Status::kOk || rcv->len > kNetFrameMax) {
+      continue;
+    }
+    const uint8_t* base = scratch->data() + uint64_t{slot} * kNetFrameMax;
+    fn(std::vector<uint8_t>(base, base + rcv->len));
+    ++frames;
+  }
+  return frames;
+}
 
 std::mutex NetDaemon::registry_mu_;
 std::map<uint64_t, NetDaemon*> NetDaemon::registry_;
@@ -170,17 +246,34 @@ std::unique_ptr<NetDaemon> NetDaemon::Start(UnixWorld* world, SimNetPort* port,
   d->ids_ = ids.value();
   d->pump_thread_ = d->ids_.thread;
 
-  // Device receive staging buffer, labeled like the device.
+  // Device frame staging, labeled like the device: receive-burst slots for
+  // the pump's ring submissions, transmit-burst slots, and the control slot
+  // (layout in netd.h).
   CreateSpec rspec;
   rspec.container = d->ids_.proc_ct;
   rspec.label = dev_label;
   rspec.descrip = "rxbuf";
-  rspec.quota = kObjectOverheadBytes + 4 * kPageSize;
-  Result<ObjectId> rxbuf = k->sys_segment_create(boot, rspec, 2048);
+  rspec.quota = kObjectOverheadBytes + kStagingBytes + kPageSize;
+  Result<ObjectId> rxbuf = k->sys_segment_create(boot, rspec, kStagingBytes);
   if (!rxbuf.ok()) {
     return nullptr;
   }
   d->rxbuf_seg_ = rxbuf.value();
+
+  // The netd submission ring ({i2,1}, like the socket segments): the pump
+  // and the mu_-held control path push NIC bursts through it so the
+  // device's unlocked phases run on kernel workers. Creation failing is not
+  // fatal — every ring user falls back to the per-call path.
+  CreateSpec qspec;
+  qspec.container = d->ids_.proc_ct;
+  qspec.label = Label(Level::k1, {{d->taint_.i, Level::k2}});
+  qspec.descrip = "netd-rx-ring";
+  qspec.quota = 16 * kPageSize;
+  Result<ObjectId> rx_ring = k->sys_ring_create(boot, qspec, 4 * kNetRxBurst);
+  d->ring_ = rx_ring.ok() ? rx_ring.value() : kInvalidObject;
+  qspec.descrip = "netd-tx-ring";
+  Result<ObjectId> tx_ring = k->sys_ring_create(boot, qspec, 4 * kNetTxBurst);
+  d->ring_tx_ = tx_ring.ok() ? tx_ring.value() : kInvalidObject;
 
   // Control gate.
   {
@@ -490,10 +583,9 @@ Result<uint64_t> NetDaemon::Recv(ObjectId self, uint64_t sock, void* buf, uint64
 
 // ---- the pump -------------------------------------------------------------------------
 
-bool NetDaemon::SendFrame(const MacAddr& dst, uint8_t type, uint16_t sport, uint16_t dport,
-                          const uint8_t* data, uint16_t len) {
-  // Compose the frame in the device staging segment, then transmit.
-  ObjectId self = CurrentThread::Get();
+std::vector<uint8_t> NetDaemon::BuildFrame(const MacAddr& dst, uint8_t type, uint16_t sport,
+                                           uint16_t dport, const uint8_t* data,
+                                           uint16_t len) const {
   std::vector<uint8_t> frame(kFrameHeader + kStreamHeader + len);
   memcpy(frame.data(), dst.data(), 6);
   memcpy(frame.data() + 6, mac_.data(), 6);
@@ -506,18 +598,93 @@ bool NetDaemon::SendFrame(const MacAddr& dst, uint8_t type, uint16_t sport, uint
   if (len > 0) {
     memcpy(frame.data() + 21, data, len);
   }
+  return frame;
+}
+
+bool NetDaemon::SendFrame(const MacAddr& dst, uint8_t type, uint16_t sport, uint16_t dport,
+                          const uint8_t* data, uint16_t len) {
+  // Compose the frame in the staging segment's control slot (mu_-held
+  // callers only — never a slot a ring burst could be filling), transmit.
+  ObjectId self = CurrentThread::Get();
+  std::vector<uint8_t> frame = BuildFrame(dst, type, sport, dport, data, len);
   ContainerEntry rx{ids_.proc_ct, rxbuf_seg_};
-  Status st = kernel_->sys_segment_write(self, rx, frame.data(), 0, frame.size());
+  Status st = kernel_->sys_segment_write(self, rx, frame.data(), kCtlSlot, frame.size());
   if (st != Status::kOk) {
     return false;
   }
   st = kernel_->sys_net_transmit(self, ContainerEntry{kernel_->root_container(), device_}, rx,
-                                 0, frame.size());
+                                 kCtlSlot, frame.size());
   if (st == Status::kOk) {
     frames_sent_.fetch_add(1);
     return true;
   }
   return false;
+}
+
+uint64_t NetDaemon::RingSendBurst(ObjectId self, Socket* s, uint64_t txr, uint64_t txw,
+                                  ContainerEntry seg) {
+  // Gather up to kNetTxBurst MSS-sized data frames out of the socket's tx
+  // ring, then push them through the submission ring as ONE chain of
+  // [stage-write →link→ net_transmit] pairs, every op linked to the next:
+  // the first failed transmit (NIC ring full) cancels all later frames, so
+  // bytes leave the wire strictly in stream order — the same stop-at-first-
+  // failure the per-call loop had, minus 2×frames synchronous syscalls.
+  ContainerEntry rx{ids_.proc_ct, rxbuf_seg_};
+  ContainerEntry dev{kernel_->root_container(), device_};
+  std::vector<std::vector<uint8_t>> frames;  // stable until reaped
+  std::vector<uint64_t> payload(kNetTxBurst, 0);
+  uint64_t cursor = txr;
+  while (cursor < txw && frames.size() < kNetTxBurst) {
+    uint16_t n = static_cast<uint16_t>(std::min<uint64_t>(txw - cursor, kMss));
+    uint8_t chunk[kMss];
+    if (RingGet(kernel_, self, seg, kOffTxData, cursor, chunk, n) != Status::kOk) {
+      break;
+    }
+    payload[frames.size()] = n;
+    frames.push_back(BuildFrame(s->peer, kMsgData, s->local_port, s->peer_port, chunk, n));
+    cursor += n;
+  }
+  if (frames.empty()) {
+    return 0;
+  }
+  std::vector<RingOp> ops;
+  ops.reserve(2 * frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    uint64_t off = kTxSlot0 + i * kNetFrameMax;
+    ops.push_back(RingOp{
+        SyscallReq{SegmentWriteReq{rx, frames[i].data(), off, frames[i].size()}},
+        kRingLinked});
+    uint32_t link = i + 1 < frames.size() ? kRingLinked : 0;
+    ops.push_back(
+        RingOp{SyscallReq{NetTransmitReq{dev, rx, off, frames[i].size()}}, link});
+  }
+  ContainerEntry ringe{ids_.proc_ct, ring_tx_};
+  Result<uint64_t> ticket = kernel_->sys_ring_submit(self, ringe, std::move(ops));
+  if (!ticket.ok()) {
+    return 0;  // ring busy/unusable: caller's sync path takes over
+  }
+  // Terminal wait statuses (halted, destroyed) arrive only after the worker
+  // released our frame buffers, so reaping-and-counting below is safe
+  // either way: whatever completions survived tell us exactly which prefix
+  // reached the wire (a dead ring's dropped completions count as zero, and
+  // the halted caller's sync fallback fails its own syscalls anyway).
+  RingWaitInterruptible(kernel_, self, ringe, ticket.value());
+  Result<std::vector<RingCompletion>> done = kernel_->sys_ring_reap(self, ringe, 0);
+  if (!done.ok()) {
+    return 0;
+  }
+  // Count the prefix of fully-successful [write, transmit] pairs; the chain
+  // guarantees nothing after the first failure reached the wire.
+  uint64_t sent_bytes = 0;
+  const std::vector<RingCompletion>& cs = done.value();
+  for (size_t i = 0; i + 1 < cs.size(); i += 2) {
+    if (ResStatus(cs[i].res) != Status::kOk || ResStatus(cs[i + 1].res) != Status::kOk) {
+      break;
+    }
+    frames_sent_.fetch_add(1);
+    sent_bytes += payload[i / 2];
+  }
+  return sent_bytes;
 }
 
 void NetDaemon::HandleFrame(const std::vector<uint8_t>& frame) {
@@ -605,6 +772,20 @@ void NetDaemon::DrainTx(Socket* s) {
   if (s->state == Socket::State::kEstablished) {
     uint64_t txr = ReadWord(kernel_, self, seg, kOffTxR);
     uint64_t txw = ReadWord(kernel_, self, seg, kOffTxW);
+    // Ring path first: whole bursts of [stage →link→ transmit] pairs as one
+    // submission (the split submit/complete shape — the NIC's unlocked
+    // transmit phases run on a kernel worker). Falls through to the
+    // per-frame path when the ring is unavailable or a caller's labels
+    // cannot touch it (gate callers carrying extra taint).
+    while (ring_tx_ != kInvalidObject && txr < txw) {
+      uint64_t sent = RingSendBurst(self, s, txr, txw, seg);
+      if (sent == 0) {
+        break;
+      }
+      txr += sent;
+      WriteWord(kernel_, self, seg, kOffTxR, txr);
+      kernel_->sys_futex_wake(self, seg, kOffTxR, UINT32_MAX);
+    }
     while (txr < txw) {
       uint16_t n = static_cast<uint16_t>(std::min<uint64_t>(txw - txr, kMss));
       uint8_t chunk[kMss];
@@ -649,11 +830,34 @@ void NetDaemon::PumpLoop() {
   ObjectId self = ids_.thread;
   ContainerEntry dev{kernel_->root_container(), device_};
   ContainerEntry rx{ids_.proc_ct, rxbuf_seg_};
+  ContainerEntry rx_ring{ids_.proc_ct, ring_};
+  std::vector<uint8_t> scratch(uint64_t{kNetRxBurst} * kNetFrameMax);
   while (running_.load()) {
     bool idle = true;
-    // Drain the NIC.
-    for (;;) {
-      Result<uint64_t> n = kernel_->sys_net_receive(self, dev, rx, 0, 2048);
+    // Drain the NIC — ring path: bursts of receive→read chains submitted as
+    // one unit, the length routed between the linked entries (the PR 3
+    // follow-up this PR closes: sys_net_* finally batches, through the
+    // split submit/complete path).
+    bool ring_ok = ring_ != kInvalidObject;
+    while (ring_ok) {
+      int got = RingDrainNic(kernel_, self, rx_ring, dev, rx, /*slot0_off=*/0, kNetRxBurst,
+                             &scratch, [this](std::vector<uint8_t>&& frame) {
+                               frames_received_.fetch_add(1);
+                               HandleFrame(frame);
+                             });
+      if (got < 0) {
+        ring_ok = false;  // fall back to per-call receives this iteration
+        break;
+      }
+      if (got > 0) {
+        idle = false;
+      }
+      if (got < static_cast<int>(kNetRxBurst)) {
+        break;  // NIC drained
+      }
+    }
+    while (!ring_ok) {
+      Result<uint64_t> n = kernel_->sys_net_receive(self, dev, rx, 0, kNetFrameMax);
       if (!n.ok()) {
         break;
       }

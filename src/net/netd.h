@@ -33,6 +33,29 @@ namespace histar {
 // Stream protocol message types (frame proto 0x0800).
 inline constexpr uint16_t kProtoStream = 0x0800;
 
+// Frame staging geometry shared by the ring-backed NIC paths (PR 5): the
+// staging segment is carved into kNetFrameMax-byte slots so a burst of
+// receives (and a burst of transmits) each own private bytes — no frame can
+// clobber another while a submission is in flight on a kernel worker.
+inline constexpr uint64_t kNetFrameMax = 2048;
+inline constexpr uint32_t kNetRxBurst = 4;
+inline constexpr uint32_t kNetTxBurst = 8;
+
+// Ring-backed NIC drain, shared by netd's pump and vpnd's tunnel loop: ONE
+// ring submission of `burst` receive→read chains against `dev`, each chain
+// [net_receive into staging slot i] →link→ [segment_read slot i, the LENGTH
+// ROUTED from NetReceiveRes.len] — the split submit/complete path that
+// finally lets the NIC's unlocked poll phases run off the calling thread.
+// Staging slots start at `slot0_off` within `staging`; `scratch` must hold
+// burst * kNetFrameMax bytes and stay untouched until the call returns.
+// Invokes fn(frame) for every frame received (in order). Returns the frame
+// count, or -1 when the ring path is unusable (submission refused — the
+// caller falls back to per-call sys_net_receive).
+int RingDrainNic(Kernel* kernel, ObjectId self, ContainerEntry ring, ContainerEntry dev,
+                 ContainerEntry staging, uint64_t slot0_off, uint32_t burst,
+                 std::vector<uint8_t>* scratch,
+                 const std::function<void(std::vector<uint8_t>&&)>& fn);
+
 struct NetTaint {
   CategoryId nr = kInvalidCategory;  // device read capability
   CategoryId nw = kInvalidCategory;  // device write capability
@@ -84,6 +107,8 @@ class NetDaemon {
 
   uint64_t frames_sent() const { return frames_sent_.load(); }
   uint64_t frames_received() const { return frames_received_.load(); }
+  // True when the pump drives the NIC through the async ring (PR 5).
+  bool ring_enabled() const { return ring_ != kInvalidObject; }
 
  private:
   NetDaemon() = default;
@@ -100,6 +125,15 @@ class NetDaemon {
   void DrainTx(Socket* s);
   bool SendFrame(const MacAddr& dst, uint8_t type, uint16_t sport, uint16_t dport,
                  const uint8_t* data, uint16_t len);
+  std::vector<uint8_t> BuildFrame(const MacAddr& dst, uint8_t type, uint16_t sport,
+                                  uint16_t dport, const uint8_t* data, uint16_t len) const;
+  // Ring-backed burst of data frames for one socket (called with mu_ held,
+  // like SendFrame): [stage-write →link→ net_transmit] pairs chained into
+  // one submission so a mid-burst transmit failure cancels every later
+  // frame — in-order delivery, exactly like the per-call path stopping at
+  // its first failure. Returns bytes drained from the tx ring.
+  uint64_t RingSendBurst(ObjectId self, Socket* s, uint64_t txr, uint64_t txw,
+                         ContainerEntry seg);
 
   Result<Socket*> FindSocket(uint64_t sock);
   Result<uint64_t> MakeSocketWithSegment();
@@ -113,7 +147,20 @@ class NetDaemon {
   ProcessIds ids_;
   ObjectId pump_thread_ = kInvalidObject;
   ObjectId ctl_gate_ = kInvalidObject;
-  ObjectId rxbuf_seg_ = kInvalidObject;  // device receive staging, {nr3,nw0,i2,1}
+  // Device frame staging, {nr3,nw0,i2,1}. Slot layout (kNetFrameMax each):
+  // [0, kNetRxBurst) receive slots for the pump's ring bursts,
+  // [kNetRxBurst, kNetRxBurst+kNetTxBurst) transmit-burst slots (mu_-held
+  // callers), and one final control slot for synchronous SendFrame
+  // (mu_-held callers) — so a control frame can never clobber a receive
+  // in flight on a kernel worker.
+  ObjectId rxbuf_seg_ = kInvalidObject;
+  // The netd submission rings ({i2,1}); kInvalidObject → sync fallback.
+  // Two rings because submit/wait/reap consumers must not share one: the
+  // receive ring belongs to the pump thread alone, the transmit ring to
+  // whoever holds mu_ (DrainTx callers) — a shared ring would let one
+  // consumer's reap scoop up the other's in-flight completions.
+  ObjectId ring_ = kInvalidObject;     // receive bursts (pump thread only)
+  ObjectId ring_tx_ = kInvalidObject;  // transmit bursts (mu_-held callers)
 
   std::mutex mu_;
   std::map<uint64_t, std::unique_ptr<Socket>> sockets_;

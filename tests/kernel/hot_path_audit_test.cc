@@ -29,6 +29,7 @@ const char* kKernelSources[] = {
     "src/kernel/kernel_persist.cc",
     "src/kernel/kernel_batch.cc",
     "src/kernel/syscall_abi.cc",
+    "src/kernel/ring.cc",
 };
 
 // Label-algebra calls that allocate or walk entry lists per invocation. The

@@ -1,0 +1,523 @@
+// Async submission/completion rings (PR 5).
+//
+// Pinned here:
+//  1. Basic SQ/CQ life cycle: create → submit → wait → reap, completion seq
+//     numbering, capacity backpressure, and the ring-op restrictions (no
+//     nested ring calls, no gate_invoke).
+//  2. Linked-op semantics: a dependent get_len → read chain submits as ONE
+//     submission with the length flowing forward between entries; a
+//     mid-chain failure cancels the rest of the chain with distinct
+//     kCancelled completions; entries past the chain still execute.
+//  3. The lock-parity acceptance property: the worker executes a linked
+//     chain under the same group-merged TableLock as the equivalent
+//     synchronous SubmitBatch — the dependent second op costs ZERO extra
+//     lock rounds (asserted with the ObjectTable lock-accounting counter).
+//  4. Proxy execution: a worker running another thread's descriptors never
+//     reads or pollutes that thread's last-fault hint (the submitter's
+//     warm-fault guarantee of one lock round survives ring-driven faults
+//     through other mappings).
+//  5. Label rules: ring create/submit/wait/reap are checked against the
+//     ring's own label, and every submitted op is re-checked against the
+//     SUBMITTER's labels at execution.
+//  6. A multi-submitter stress test (the TSan `ring` CI target).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "tests/kernel/kernel_test_util.h"
+
+namespace histar {
+namespace {
+
+class RingTest : public KernelTest {
+ protected:
+  ObjectId MakeRing(uint32_t capacity = 0, ObjectId parent = kInvalidObject,
+                    Label label = Label(), ObjectId creator = kInvalidObject) {
+    CreateSpec spec;
+    spec.container = parent == kInvalidObject ? kernel_->root_container() : parent;
+    spec.label = label;
+    spec.descrip = "test-ring";
+    spec.quota = 16 * kPageSize;
+    Result<ObjectId> r = kernel_->sys_ring_create(
+        creator == kInvalidObject ? init_ : creator, spec, capacity);
+    EXPECT_TRUE(r.ok()) << StatusName(r.status());
+    return r.ok() ? r.value() : kInvalidObject;
+  }
+
+  // Submits, waits for, and reaps one chain; returns the completions.
+  std::vector<RingCompletion> RunChain(ObjectId ring, std::vector<RingOp> ops) {
+    ContainerEntry re = RootEntry(ring);
+    Result<uint64_t> t = kernel_->sys_ring_submit(init_, re, std::move(ops));
+    EXPECT_TRUE(t.ok()) << StatusName(t.status());
+    if (!t.ok()) {
+      return {};
+    }
+    EXPECT_EQ(kernel_->sys_ring_wait(init_, re, t.value(), 5000), Status::kOk);
+    Result<std::vector<RingCompletion>> c = kernel_->sys_ring_reap(init_, re, 0);
+    EXPECT_TRUE(c.ok()) << StatusName(c.status());
+    return c.ok() ? c.take() : std::vector<RingCompletion>{};
+  }
+
+  template <typename Fn>
+  uint64_t Acquisitions(Fn&& fn) {
+    const ObjectTable& table = kernel_->object_table();
+    table.set_lock_accounting(true);
+    uint64_t before = table.lock_acquisitions();
+    fn();
+    uint64_t after = table.lock_acquisitions();
+    table.set_lock_accounting(false);
+    return after - before;
+  }
+};
+
+TEST_F(RingTest, SubmitWaitReapRoundTrip) {
+  ObjectId ring = MakeRing();
+  ObjectId seg = MakeSegment(Label(), 64);
+  ContainerEntry ce = RootEntry(seg);
+  char wbuf[8] = {'r', 'i', 'n', 'g', 'd', 'a', 't', 'a'};
+  char rbuf[8] = {};
+  std::vector<RingOp> ops;
+  ops.push_back(RingOp{SyscallReq{SegmentWriteReq{ce, wbuf, 0, 8}}});
+  ops.push_back(RingOp{SyscallReq{SegmentReadReq{ce, rbuf, 0, 8}}});
+  std::vector<RingCompletion> done = RunChain(ring, std::move(ops));
+  ASSERT_EQ(done.size(), 2u);
+  // Completions arrive in submission order with contiguous seq numbers.
+  EXPECT_EQ(done[0].seq + 1, done[1].seq);
+  EXPECT_EQ(std::get<SegmentWriteRes>(done[0].res).status, Status::kOk);
+  EXPECT_EQ(std::get<SegmentReadRes>(done[1].res).status, Status::kOk);
+  EXPECT_EQ(memcmp(wbuf, rbuf, 8), 0);
+}
+
+TEST_F(RingTest, LinkedChainFlowsLengthForward) {
+  ObjectId ring = MakeRing();
+  ObjectId seg = MakeSegment(Label(), 48);
+  ContainerEntry ce = RootEntry(seg);
+  char pattern[48];
+  for (int i = 0; i < 48; ++i) {
+    pattern[i] = static_cast<char>('a' + (i % 26));
+  }
+  ASSERT_EQ(kernel_->sys_segment_write(init_, ce, pattern, 0, 48), Status::kOk);
+
+  // ONE submission: get_len, then a read whose len operand is the get_len
+  // result (submitted as 0 — the routed value must overwrite it).
+  char rbuf[64] = {};
+  std::vector<RingOp> ops;
+  ops.push_back(RingOp{SyscallReq{SegmentGetLenReq{ce}}, kRingLinked});
+  ops.push_back(
+      RingOp{SyscallReq{SegmentReadReq{ce, rbuf, 0, 0}}, 0, RingSlot::kLen, RingSlot::kLen});
+  std::vector<RingCompletion> done = RunChain(ring, std::move(ops));
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(std::get<SegmentGetLenRes>(done[0].res).len, 48u);
+  EXPECT_EQ(std::get<SegmentReadRes>(done[1].res).status, Status::kOk);
+  EXPECT_EQ(memcmp(rbuf, pattern, 48), 0) << "routed length must cover the whole segment";
+}
+
+TEST_F(RingTest, DependentChainCostsNoExtraLockRound) {
+  ObjectId ring = MakeRing();
+  ObjectId seg = MakeSegment(Label(), 64);
+  ContainerEntry ce = RootEntry(seg);
+  ContainerEntry re = RootEntry(ring);
+  char rbuf[64] = {};
+
+  // Reference: the equivalent synchronous batch is one group, ONE lock.
+  SyscallReq sreqs[2] = {SyscallReq{SegmentGetLenReq{ce}},
+                         SyscallReq{SegmentReadReq{ce, rbuf, 0, 8}}};
+  SyscallRes sres[2];
+  uint64_t sync_locks = Acquisitions([&] {
+    ASSERT_EQ(kernel_->SubmitBatch(init_, sreqs, sres), Status::kOk);
+  });
+  EXPECT_EQ(sync_locks, 1u);
+
+  // Ring path. sys_ring_submit itself costs a fixed two rounds (entry
+  // validation + the submit-vs-destroy liveness probe); completion is
+  // polled through ring_completed_ticket, which reads only the leaf-locked
+  // ring state — NO TableLock — so the counter delta isolates the chain.
+  auto run_ring = [&](std::vector<RingOp> ops) {
+    uint64_t locks = Acquisitions([&] {
+      Result<uint64_t> t = kernel_->sys_ring_submit(init_, re, std::move(ops));
+      ASSERT_TRUE(t.ok()) << StatusName(t.status());
+      while (kernel_->ring_completed_ticket(ring) < t.value()) {
+        std::this_thread::yield();
+      }
+    });
+    Result<std::vector<RingCompletion>> c = kernel_->sys_ring_reap(init_, re, 0);
+    EXPECT_TRUE(c.ok());
+    for (const RingCompletion& done : c.value()) {
+      EXPECT_EQ(ResStatus(done.res), Status::kOk);
+    }
+    return locks;
+  };
+
+  std::vector<RingOp> single;
+  single.push_back(RingOp{SyscallReq{SegmentGetLenReq{ce}}});
+  uint64_t single_locks = run_ring(std::move(single));
+
+  std::vector<RingOp> chain;
+  chain.push_back(RingOp{SyscallReq{SegmentGetLenReq{ce}}, kRingLinked});
+  chain.push_back(
+      RingOp{SyscallReq{SegmentReadReq{ce, rbuf, 0, 0}}, 0, RingSlot::kLen, RingSlot::kLen});
+  uint64_t chain_locks = run_ring(std::move(chain));
+
+  // The acceptance property: the dependent read rides the SAME worker-side
+  // group lock as the get_len — a two-op linked chain costs exactly what a
+  // one-op submission costs, which is the sync batch's one group round plus
+  // the fixed submit overhead.
+  EXPECT_EQ(chain_locks, single_locks);
+  EXPECT_EQ(chain_locks, sync_locks + 2);
+}
+
+TEST_F(RingTest, MidChainFailureCancelsOnlyTheChain) {
+  ObjectId ring = MakeRing();
+  ObjectId seg = MakeSegment(Label(), 64);
+  ContainerEntry ce = RootEntry(seg);
+  char buf[8] = {};
+  // [get_len →link] [read out-of-range →link] [write (cancelled)] then an
+  // UNLINKED read that must still execute.
+  std::vector<RingOp> ops;
+  ops.push_back(RingOp{SyscallReq{SegmentGetLenReq{ce}}, kRingLinked});
+  ops.push_back(RingOp{SyscallReq{SegmentReadReq{ce, buf, 10000, 8}}, kRingLinked});
+  ops.push_back(RingOp{SyscallReq{SegmentWriteReq{ce, buf, 0, 8}}});
+  ops.push_back(RingOp{SyscallReq{SegmentReadReq{ce, buf, 0, 8}}});
+  std::vector<RingCompletion> done = RunChain(ring, std::move(ops));
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_EQ(std::get<SegmentGetLenRes>(done[0].res).status, Status::kOk);
+  // The failing entry keeps its own distinct status...
+  EXPECT_EQ(std::get<SegmentReadRes>(done[1].res).status, Status::kRange);
+  // ...its linked successor is cancelled, unexecuted...
+  EXPECT_EQ(std::get<SegmentWriteRes>(done[2].res).status, Status::kCancelled);
+  // ...and the first entry past the chain runs normally.
+  EXPECT_EQ(std::get<SegmentReadRes>(done[3].res).status, Status::kOk);
+}
+
+TEST_F(RingTest, CancellationCascadesDownLongChains) {
+  ObjectId ring = MakeRing();
+  ObjectId seg = MakeSegment(Label(), 64);
+  ContainerEntry ce = RootEntry(seg);
+  char buf[8] = {};
+  std::vector<RingOp> ops;
+  ops.push_back(RingOp{SyscallReq{SegmentReadReq{ce, buf, 10000, 8}}, kRingLinked});
+  ops.push_back(RingOp{SyscallReq{SegmentWriteReq{ce, buf, 0, 8}}, kRingLinked});
+  ops.push_back(RingOp{SyscallReq{SegmentWriteReq{ce, buf, 8, 8}}, kRingLinked});
+  ops.push_back(RingOp{SyscallReq{SegmentGetLenReq{ce}}});
+  std::vector<RingCompletion> done = RunChain(ring, std::move(ops));
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_EQ(std::get<SegmentReadRes>(done[0].res).status, Status::kRange);
+  EXPECT_EQ(std::get<SegmentWriteRes>(done[1].res).status, Status::kCancelled);
+  EXPECT_EQ(std::get<SegmentWriteRes>(done[2].res).status, Status::kCancelled);
+  EXPECT_EQ(std::get<SegmentGetLenRes>(done[3].res).status, Status::kCancelled);
+}
+
+TEST_F(RingTest, CapacityBackpressureReturnsAgain) {
+  ObjectId ring = MakeRing(/*capacity=*/4);
+  ObjectId seg = MakeSegment(Label(), 64);
+  ContainerEntry ce = RootEntry(seg);
+  ContainerEntry re = RootEntry(ring);
+  char buf[8] = {};
+  auto make_ops = [&](size_t n) {
+    std::vector<RingOp> ops;
+    for (size_t i = 0; i < n; ++i) {
+      ops.push_back(RingOp{SyscallReq{SegmentReadReq{ce, buf, 0, 8}}});
+    }
+    return ops;
+  };
+  // More ops than capacity in one go: rejected outright.
+  EXPECT_EQ(kernel_->sys_ring_submit(init_, re, make_ops(5)).status(), Status::kAgain);
+  // Fill to 3 of 4...
+  Result<uint64_t> t = kernel_->sys_ring_submit(init_, re, make_ops(3));
+  ASSERT_TRUE(t.ok());
+  // ...completed-but-unreaped ops still hold their slots.
+  ASSERT_EQ(kernel_->sys_ring_wait(init_, re, t.value(), 5000), Status::kOk);
+  EXPECT_EQ(kernel_->sys_ring_submit(init_, re, make_ops(2)).status(), Status::kAgain);
+  // Reaping frees them.
+  Result<std::vector<RingCompletion>> c = kernel_->sys_ring_reap(init_, re, 0);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().size(), 3u);
+  EXPECT_TRUE(kernel_->sys_ring_submit(init_, re, make_ops(2)).ok());
+}
+
+TEST_F(RingTest, NestedRingAndGateOpsRejected) {
+  ObjectId ring = MakeRing();
+  ContainerEntry re = RootEntry(ring);
+  {
+    std::vector<RingOp> ops;
+    ops.push_back(RingOp{SyscallReq{RingReapReq{re, 0}}});
+    EXPECT_EQ(kernel_->sys_ring_submit(init_, re, std::move(ops)).status(),
+              Status::kInvalidArg);
+  }
+  {
+    std::vector<RingOp> ops;
+    ops.push_back(
+        RingOp{SyscallReq{GateInvokeReq{re, Label(), Label(), Label()}}});
+    EXPECT_EQ(kernel_->sys_ring_submit(init_, re, std::move(ops)).status(),
+              Status::kInvalidArg);
+  }
+  {
+    // Unbounded blocking ops are rejected: an indefinite futex wait would
+    // pin a pool worker until an unrelated wake. Bounded waits are fine.
+    ObjectId seg = MakeSegment(Label(), 64);
+    std::vector<RingOp> ops;
+    ops.push_back(RingOp{SyscallReq{FutexWaitReq{RootEntry(seg), 0, 1, 0}}});
+    EXPECT_EQ(kernel_->sys_ring_submit(init_, re, std::move(ops)).status(),
+              Status::kInvalidArg);
+    std::vector<RingOp> bounded;
+    bounded.push_back(RingOp{SyscallReq{FutexWaitReq{RootEntry(seg), 0, 1, 20}}});
+    std::vector<RingCompletion> done = RunChain(ring, std::move(bounded));
+    ASSERT_EQ(done.size(), 1u);
+    // The word is 0, expected 1 → immediate kAgain from the worker.
+    EXPECT_EQ(std::get<FutexWaitRes>(done[0].res).status, Status::kAgain);
+  }
+  {
+    // Routing without a linked predecessor is rejected at submit.
+    char buf[8] = {};
+    std::vector<RingOp> ops;
+    ops.push_back(RingOp{SyscallReq{SegmentGetLenReq{re}}});  // NOT linked
+    ops.push_back(RingOp{SyscallReq{SegmentReadReq{re, buf, 0, 0}}, 0, RingSlot::kLen,
+                         RingSlot::kLen});
+    EXPECT_EQ(kernel_->sys_ring_submit(init_, re, std::move(ops)).status(),
+              Status::kInvalidArg);
+  }
+}
+
+TEST_F(RingTest, RingLabelRulesGateSubmitAndReap) {
+  Result<CategoryId> c = kernel_->sys_cat_create(init_);
+  ASSERT_TRUE(c.ok());
+  // A tainted thread may not submit to (or reap) an untainted ring: both
+  // mutate queue state observers could see — classic no-write-down.
+  ObjectId ring = MakeRing();
+  ContainerEntry re = RootEntry(ring);
+  Label tainted(Level::k1, {{c.value(), Level::k3}});
+  ObjectId leaker = kernel_->BootstrapThread(tainted, Label(Level::k3), "leaker");
+  char buf[8] = {};
+  std::vector<RingOp> ops;
+  ops.push_back(RingOp{SyscallReq{SelfLocalReadReq{buf, 0, 8}}});
+  EXPECT_EQ(kernel_->sys_ring_submit(leaker, re, ops).status(), Status::kLabelCheckFailed);
+  EXPECT_EQ(kernel_->sys_ring_reap(leaker, re, 0).status(), Status::kLabelCheckFailed);
+
+  // A public thread may not even observe a secret ring's completion state
+  // (init owns c after cat_create, so it can build the secret container the
+  // tainted thread then creates its ring in).
+  Label secret(Level::k1, {{c.value(), Level::k3}});
+  ObjectId sct = MakeContainer(secret);
+  ObjectId secret_ring = MakeRing(0, sct, secret, leaker);
+  ASSERT_NE(secret_ring, kInvalidObject);
+  ObjectId pub = kernel_->BootstrapThread(Label(), Label(Level::k2), "public");
+  EXPECT_EQ(kernel_->sys_ring_wait(pub, ContainerEntry{sct, secret_ring}, 0, 10),
+            Status::kLabelCheckFailed);
+
+  // Ops are re-checked against the SUBMITTER's labels at execution: a ring
+  // everyone can use does not launder access to a secret segment (the
+  // public thread submits; the worker executes with the PUBLIC thread's
+  // labels and the kernel refuses, category ownership notwithstanding
+  // anywhere else in the system).
+  ObjectId secret_seg = MakeSegment(secret, 64, sct, leaker);
+  std::vector<RingOp> steal;
+  steal.push_back(
+      RingOp{SyscallReq{SegmentReadReq{ContainerEntry{sct, secret_seg}, buf, 0, 8}}});
+  Result<uint64_t> ticket = kernel_->sys_ring_submit(pub, re, std::move(steal));
+  ASSERT_TRUE(ticket.ok()) << StatusName(ticket.status());
+  ASSERT_EQ(kernel_->sys_ring_wait(pub, re, ticket.value(), 5000), Status::kOk);
+  Result<std::vector<RingCompletion>> done = kernel_->sys_ring_reap(pub, re, 0);
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done.value().size(), 1u);
+  EXPECT_EQ(std::get<SegmentReadRes>(done.value()[0].res).status, Status::kLabelCheckFailed);
+}
+
+TEST_F(RingTest, DestroyedRingFailsWaitersAndSubmitters) {
+  ObjectId ct = MakeContainer(Label());
+  CreateSpec spec;
+  spec.container = ct;
+  spec.label = Label();
+  spec.descrip = "doomed";
+  spec.quota = 16 * kPageSize;
+  Result<ObjectId> ring = kernel_->sys_ring_create(init_, spec, 8);
+  ASSERT_TRUE(ring.ok());
+  ContainerEntry re{ct, ring.value()};
+  // Park a slow op on the ring so queue state exists and a worker is busy.
+  ObjectId seg = MakeSegment(Label(), 64);
+  std::vector<RingOp> ops;
+  ops.push_back(RingOp{SyscallReq{FutexWaitReq{RootEntry(seg), 0, 0, 300}}});
+  Result<uint64_t> t = kernel_->sys_ring_submit(init_, re, std::move(ops));
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(kernel_->sys_container_unref(init_, re), Status::kOk);
+  // The object is gone: waiting resolves nothing (and any parked queue
+  // state was torn down — the in-flight op's completion is dropped).
+  EXPECT_EQ(kernel_->sys_ring_wait(init_, re, t.value(), 2000), Status::kNotFound);
+}
+
+TEST_F(RingTest, RingObjectSurvivesSerializeRestore) {
+  ObjectId ring = MakeRing(/*capacity=*/17);
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(kernel_->SerializeObject(ring, &bytes));
+  Kernel other;
+  ASSERT_EQ(other.RestoreObject(bytes), Status::kOk);
+  EXPECT_TRUE(other.ObjectExists(ring));
+  // Byte-identical re-serialization proves the capacity (and everything
+  // else) survived; queue state is volatile by design and starts empty.
+  std::vector<uint8_t> bytes2;
+  ASSERT_TRUE(other.SerializeObject(ring, &bytes2));
+  EXPECT_EQ(bytes, bytes2);
+}
+
+// ---- proxy execution & the last-fault hint (the satellite regression) -------
+
+class RingFaultHintTest : public RingTest {
+ protected:
+  size_t ShardOf(ObjectId id) const {
+    return ObjectTable::ShardIndexFor(id, kernel_->object_table().shard_count());
+  }
+};
+
+TEST_F(RingFaultHintTest, WorkerFaultsDoNotPolluteSubmitterHint) {
+  // Build an AS with two mappings backed by segments in provably different
+  // shards: if the worker's as_access through mapping B overwrote the
+  // submitter's hint, the submitter's next fault through mapping A would
+  // seed a lock set not covering A's segment and pay a widened retry
+  // (2 rounds instead of the warm 1) — the exact regression pinned here.
+  CreateSpec aspec;
+  aspec.container = kernel_->root_container();
+  aspec.label = Label();
+  aspec.descrip = "as";
+  Result<ObjectId> as = kernel_->sys_as_create(init_, aspec);
+  ASSERT_TRUE(as.ok());
+
+  ObjectId root = kernel_->root_container();
+  // seg_a: lands in a shard disjoint from {init, as, root}; seg_b: any
+  // other shard than seg_a's. Allocation ids are effectively random across
+  // 16 shards, so a handful of attempts suffices.
+  ObjectId seg_a = kInvalidObject;
+  for (int i = 0; i < 256 && seg_a == kInvalidObject; ++i) {
+    ObjectId cand = MakeSegment(Label(), kPageSize);
+    if (ShardOf(cand) != ShardOf(init_) && ShardOf(cand) != ShardOf(as.value()) &&
+        ShardOf(cand) != ShardOf(root)) {
+      seg_a = cand;
+    }
+  }
+  ASSERT_NE(seg_a, kInvalidObject);
+  ObjectId seg_b = kInvalidObject;
+  for (int i = 0; i < 256 && seg_b == kInvalidObject; ++i) {
+    ObjectId cand = MakeSegment(Label(), kPageSize);
+    if (ShardOf(cand) != ShardOf(seg_a)) {
+      seg_b = cand;
+    }
+  }
+  ASSERT_NE(seg_b, kInvalidObject);
+
+  std::vector<Mapping> maps = {
+      Mapping{0x1000, RootEntry(seg_a), 0, 1, kMapRead | kMapWrite},
+      Mapping{0x2000, RootEntry(seg_b), 0, 1, kMapRead | kMapWrite}};
+  ASSERT_EQ(kernel_->sys_as_set(init_, RootEntry(as.value()), maps), Status::kOk);
+  ASSERT_EQ(kernel_->sys_self_set_as(init_, RootEntry(as.value())), Status::kOk);
+
+  char buf[8] = {};
+  // Warm the submitter's hint on mapping A.
+  ASSERT_EQ(kernel_->sys_as_access(init_, 0x1000, buf, 8, false), Status::kOk);
+  uint64_t warm = Acquisitions([&] {
+    ASSERT_EQ(kernel_->sys_as_access(init_, 0x1008, buf, 8, false), Status::kOk);
+  });
+  ASSERT_EQ(warm, 1u) << "precondition: the hint is warm";
+
+  // A worker faults through mapping B on the submitter's behalf.
+  ObjectId ring = MakeRing();
+  char wbuf[8] = {};
+  std::vector<RingOp> ops;
+  ops.push_back(RingOp{SyscallReq{AsAccessReq{0x2000, wbuf, 8, false}}});
+  std::vector<RingCompletion> done = RunChain(ring, std::move(ops));
+  ASSERT_EQ(done.size(), 1u);
+  ASSERT_EQ(std::get<AsAccessRes>(done[0].res).status, Status::kOk);
+
+  // The submitter's warm-hit guarantee must have survived: still ONE lock
+  // round through mapping A (a polluted hint would cost a widened retry).
+  uint64_t after_ring = Acquisitions([&] {
+    ASSERT_EQ(kernel_->sys_as_access(init_, 0x1010, buf, 8, false), Status::kOk);
+  });
+  EXPECT_EQ(after_ring, 1u)
+      << "ring worker polluted the submitter's last-fault hint";
+}
+
+// ---- multi-submitter stress (raced under TSan via the `ring` CI label) ------
+
+TEST_F(RingTest, MultiSubmitterStress) {
+  constexpr int kSubmitters = 4;
+  constexpr int kRounds = 40;
+  constexpr size_t kOpsPerRound = 6;
+
+  ObjectId shared_seg = MakeSegment(Label(), kPageSize);
+  std::vector<ObjectId> tids;
+  std::vector<ObjectId> rings;
+  std::vector<ObjectId> segs;
+  for (int i = 0; i < kSubmitters; ++i) {
+    ObjectId tid = kernel_->BootstrapThread(Label(), Label(Level::k2), "submitter");
+    ASSERT_NE(tid, kInvalidObject);
+    tids.push_back(tid);
+    segs.push_back(MakeSegment(Label(), kPageSize));
+    CreateSpec spec;
+    spec.container = kernel_->root_container();
+    spec.label = Label();
+    spec.descrip = "stress-ring";
+    spec.quota = 16 * kPageSize;
+    Result<ObjectId> r = kernel_->sys_ring_create(tid, spec, 64);
+    ASSERT_TRUE(r.ok());
+    rings.push_back(r.value());
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> hosts;
+  for (int i = 0; i < kSubmitters; ++i) {
+    ObjectId tid = tids[static_cast<size_t>(i)];
+    ObjectId ring = rings[static_cast<size_t>(i)];
+    ObjectId own = segs[static_cast<size_t>(i)];
+    hosts.push_back(RunOnHostThread(kernel_.get(), tid, [&, tid, ring, own] {
+      ContainerEntry re = RootEntry(ring);
+      ContainerEntry oe = RootEntry(own);
+      ContainerEntry se = RootEntry(shared_seg);
+      char buf[64] = {};
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<RingOp> ops;
+        for (size_t k = 0; k < kOpsPerRound; k += 2) {
+          // A linked write→read pair on the private segment, interleaved
+          // with contended reads of the shared one.
+          ops.push_back(RingOp{SyscallReq{SegmentWriteReq{oe, buf, 8 * k, 8}}, kRingLinked});
+          ops.push_back(RingOp{SyscallReq{SegmentReadReq{se, buf + 8 * k, 0, 8}}});
+        }
+        Result<uint64_t> t = kernel_->sys_ring_submit(tid, re, std::move(ops));
+        if (!t.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        // Overlap: the submitter keeps issuing its own syscalls while the
+        // worker drains — exactly the concurrent-identity case the proxy
+        // execution rules exist for.
+        char probe[8] = {};
+        if (kernel_->sys_segment_read(tid, se, probe, 0, 8) != Status::kOk) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (kernel_->sys_ring_wait(tid, re, t.value(), 10000) != Status::kOk) {
+          failures.fetch_add(1);
+          return;
+        }
+        Result<std::vector<RingCompletion>> done = kernel_->sys_ring_reap(tid, re, 0);
+        if (!done.ok() || done.value().size() != kOpsPerRound) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (const RingCompletion& cmpl : done.value()) {
+          if (ResStatus(cmpl.res) != Status::kOk) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      }
+    }));
+  }
+  for (std::thread& h : hosts) {
+    h.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace histar

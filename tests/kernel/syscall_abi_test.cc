@@ -92,6 +92,15 @@ std::vector<SyscallReq> AllReqSamples() {
   v.push_back(SyncReq{});
   v.push_back(SyncObjectReq{ce});
   v.push_back(SyncPagesReq{ce, 0, 4096});
+  v.push_back(RingCreateReq{SampleSpec(), 32});
+  // The nested-descriptor case: a submission whose ops embed SyscallReqs,
+  // link flags and operand-routing slots (the get_len → read shape).
+  v.push_back(RingSubmitReq{
+      ce,
+      {RingOp{SyscallReq{SegmentGetLenReq{ce}}, kRingLinked, RingSlot::kNone, RingSlot::kNone},
+       RingOp{SyscallReq{SegmentReadReq{ce, buf, 0, 0}}, 0, RingSlot::kLen, RingSlot::kLen}}});
+  v.push_back(RingWaitReq{ce, 17, 250});
+  v.push_back(RingReapReq{ce, 8});
   return v;
 }
 
@@ -149,6 +158,16 @@ std::vector<SyscallRes> AllResSamples() {
   v.push_back(SyncRes{Status::kOk});
   v.push_back(SyncObjectRes{Status::kOk});
   v.push_back(SyncPagesRes{Status::kCrashed});
+  v.push_back(RingCreateRes{Status::kOk, 38});
+  v.push_back(RingSubmitRes{Status::kOk, 41});
+  v.push_back(RingWaitRes{Status::kTimedOut});
+  // Nested completions, including a cancelled op and an unfilled monostate
+  // (the raw-index nested wire form must round-trip index 0 too).
+  v.push_back(RingReapRes{
+      Status::kOk,
+      {RingCompletion{40, SyscallRes{SegmentGetLenRes{Status::kOk, 64}}},
+       RingCompletion{41, SyscallRes{SegmentReadRes{Status::kCancelled}}},
+       RingCompletion{42, SyscallRes{std::monostate{}}}}});
   return v;
 }
 

@@ -22,6 +22,10 @@ class NetTest : public ::testing::Test {
     b_ = NetDaemon::Start(world_.get(), net_->NewPort(), "netd-b");
     ASSERT_NE(a_, nullptr);
     ASSERT_NE(b_, nullptr);
+    // The ring-backed NIC path (PR 5) must be live, not silently fallen
+    // back — every stream test below then exercises it end to end.
+    EXPECT_TRUE(a_->ring_enabled());
+    EXPECT_TRUE(b_->ring_enabled());
   }
 
   void TearDown() override {
