@@ -1,0 +1,235 @@
+// Folds google-benchmark --benchmark_format=json outputs into the
+// machine-checkable BENCH_pr6.json trajectory at the repo root (PR 6).
+//
+// Not a benchmark: a plain binary (no histar, no benchmark lib) driven by
+// scripts/bench_json.sh:
+//
+//   emit_trajectory --out BENCH_pr6.json --sha <git sha> --nproc <n> \
+//       labels.json objtable.json ipc.json
+//
+// Parsing is a tolerant line scan over the one-field-per-line JSON the
+// benchmark library emits — each "benchmarks" entry contributes one row
+// {bench, threads, arg, ns_per_op} keyed off its "name"/"run_type"/
+// "real_time"/"time_unit" lines, aggregate rows are skipped — so the tool
+// has no JSON-library dependency and survives harmless format drift. The
+// env block records nproc and the git sha; on hosts with fewer than 8 CPUs
+// it also carries a machine-readable caveat: the multithreaded rows there
+// measure scheduling overhead, not parallel speedup.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Row {
+  std::string bench;      // name up to the first '/', the family
+  std::string full_name;  // the complete benchmark name
+  int threads = 1;
+  long long arg = -1;     // first numeric path component, -1 if none
+  double ns_per_op = 0.0;
+};
+
+// Extracts the string value of `"key": "value",` from a line, or empty.
+std::string StrField(const std::string& line, const char* key) {
+  std::string pat = std::string("\"") + key + "\":";
+  size_t p = line.find(pat);
+  if (p == std::string::npos) {
+    return "";
+  }
+  size_t q1 = line.find('"', p + pat.size());
+  if (q1 == std::string::npos) {
+    return "";
+  }
+  size_t q2 = line.find('"', q1 + 1);
+  if (q2 == std::string::npos) {
+    return "";
+  }
+  return line.substr(q1 + 1, q2 - q1 - 1);
+}
+
+// Extracts the numeric value of `"key": 1.234e+00,` from a line.
+bool NumField(const std::string& line, const char* key, double* out) {
+  std::string pat = std::string("\"") + key + "\":";
+  size_t p = line.find(pat);
+  if (p == std::string::npos) {
+    return false;
+  }
+  *out = strtod(line.c_str() + p + pat.size(), nullptr);
+  return true;
+}
+
+double ToNs(double v, const std::string& unit) {
+  if (unit == "us") {
+    return v * 1e3;
+  }
+  if (unit == "ms") {
+    return v * 1e6;
+  }
+  if (unit == "s") {
+    return v * 1e9;
+  }
+  return v;  // ns (the default)
+}
+
+// "BM_X/4/real_time/threads:2" → bench "BM_X", arg 4, threads 2.
+void ParseName(const std::string& name, Row* r) {
+  r->full_name = name;
+  size_t slash = name.find('/');
+  r->bench = name.substr(0, slash);
+  r->threads = 1;
+  size_t t = name.find("threads:");
+  if (t != std::string::npos) {
+    r->threads = atoi(name.c_str() + t + strlen("threads:"));
+  }
+  // First numeric path component is the benchmark's Arg.
+  while (slash != std::string::npos) {
+    size_t start = slash + 1;
+    size_t end = name.find('/', start);
+    std::string part = name.substr(start, end == std::string::npos
+                                              ? std::string::npos
+                                              : end - start);
+    if (!part.empty() && (isdigit(static_cast<unsigned char>(part[0])) != 0)) {
+      r->arg = atoll(part.c_str());
+      break;
+    }
+    slash = end;
+  }
+}
+
+bool ScanFile(const std::string& path, std::vector<Row>* rows) {
+  std::ifstream in(path);
+  if (!in) {
+    fprintf(stderr, "emit_trajectory: cannot open %s\n", path.c_str());
+    return false;
+  }
+  Row cur;
+  bool have_name = false;
+  bool is_iteration = true;
+  bool have_time = false;
+  double real_time = 0.0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string name = StrField(line, "name");
+    if (!name.empty() && line.find("\"run_name\"") == std::string::npos) {
+      cur = Row();
+      ParseName(name, &cur);
+      have_name = true;
+      is_iteration = true;
+      have_time = false;
+      continue;
+    }
+    if (!have_name) {
+      continue;
+    }
+    std::string rt = StrField(line, "run_type");
+    if (!rt.empty()) {
+      is_iteration = (rt == "iteration");
+      continue;
+    }
+    double v;
+    if (NumField(line, "real_time", &v)) {
+      real_time = v;
+      have_time = true;
+      continue;
+    }
+    std::string unit = StrField(line, "time_unit");
+    if (!unit.empty()) {
+      // time_unit is the last field we need; flush the row.
+      if (is_iteration && have_time) {
+        cur.ns_per_op = ToNs(real_time, unit);
+        rows->push_back(cur);
+      }
+      have_name = false;
+    }
+  }
+  return true;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_pr6.json";
+  std::string sha = "unknown";
+  int nproc = 0;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "--sha" && i + 1 < argc) {
+      sha = argv[++i];
+    } else if (a == "--nproc" && i + 1 < argc) {
+      nproc = atoi(argv[++i]);
+    } else {
+      inputs.push_back(a);
+    }
+  }
+  if (inputs.empty()) {
+    fprintf(stderr,
+            "usage: emit_trajectory [--out F] [--sha S] [--nproc N] "
+            "bench1.json [bench2.json ...]\n");
+    return 2;
+  }
+
+  std::vector<Row> rows;
+  for (const std::string& in : inputs) {
+    if (!ScanFile(in, &rows)) {
+      return 1;
+    }
+  }
+  if (rows.empty()) {
+    fprintf(stderr, "emit_trajectory: no benchmark rows found\n");
+    return 1;
+  }
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"histar-bench-trajectory-v1\",\n";
+  os << "  \"pr\": 6,\n";
+  os << "  \"env\": {\n";
+  os << "    \"nproc\": " << nproc << ",\n";
+  os << "    \"git_sha\": \"" << JsonEscape(sha) << "\",\n";
+  if (nproc > 0 && nproc < 8) {
+    os << "    \"caveat\": \"single-or-few-cpu host (nproc=" << nproc
+       << "): rows with threads>nproc measure scheduling overhead, not "
+          "parallel speedup\"\n";
+  } else {
+    os << "    \"caveat\": null\n";
+  }
+  os << "  },\n";
+  os << "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"bench\": \"" << JsonEscape(r.bench) << "\", \"full_name\": \""
+       << JsonEscape(r.full_name) << "\", \"threads\": " << r.threads
+       << ", \"arg\": " << r.arg << ", \"ns_per_op\": " << r.ns_per_op << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    fprintf(stderr, "emit_trajectory: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << os.str();
+  std::cout << "wrote " << out_path << " (" << rows.size() << " rows)\n";
+  return 0;
+}

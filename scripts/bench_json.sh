@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs the PR 6 trajectory benches with --benchmark_format=json and folds
+# the outputs into BENCH_pr6.json at the repo root (bench/emit_trajectory.cc
+# does the folding; the env block records nproc + git sha, and a machine-
+# readable caveat when the host has fewer than 8 CPUs).
+#
+# Usage: scripts/bench_json.sh [build-dir] [out-file]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+OUT="${2:-$ROOT/BENCH_pr6.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for bin in bench_ablation_labels bench_ablation_objtable bench_fig12_ipc bench_emit_trajectory; do
+  if [ ! -x "$BUILD/$bin" ]; then
+    echo "bench_json.sh: $BUILD/$bin missing — build with google-benchmark available" >&2
+    exit 1
+  fi
+done
+
+# Keep runs short: these rows feed a trajectory, not a publication. The
+# benchmark library still repeats each row enough for a stable mean.
+MIN_TIME="${BENCH_MIN_TIME:-0.05}"
+
+"$BUILD/bench_ablation_labels" \
+  --benchmark_filter='BM_RegistryLeqContended' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json > "$TMP/labels.json"
+
+"$BUILD/bench_ablation_objtable" \
+  --benchmark_filter='BM_ObjTableResolveContended' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json > "$TMP/objtable.json"
+
+"$BUILD/bench_fig12_ipc" \
+  --benchmark_filter='BM_HiStarRingSegOps' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json > "$TMP/ipc.json"
+
+SHA="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+NPROC="$(nproc 2>/dev/null || echo 0)"
+
+"$BUILD/bench_emit_trajectory" \
+  --out "$OUT" --sha "$SHA" --nproc "$NPROC" \
+  "$TMP/labels.json" "$TMP/objtable.json" "$TMP/ipc.json"

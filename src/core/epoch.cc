@@ -1,0 +1,179 @@
+#include "src/core/epoch.h"
+
+namespace histar {
+
+// Per-thread registration wrapper: first use registers a record, thread
+// exit returns the slot to the free list. `depth` implements guard
+// nesting without touching the shared record on re-entry.
+struct EpochDomain::ThreadHandle {
+  size_t slot = kMaxThreads;  // kMaxThreads = unregistered
+  uint32_t depth = 0;
+
+  size_t Slot() {
+    if (slot == kMaxThreads) {
+      slot = Global().RegisterThread();
+    }
+    return slot;
+  }
+
+  ~ThreadHandle() {
+    if (slot != kMaxThreads) {
+      Global().UnregisterThread(slot);
+    }
+  }
+};
+
+EpochDomain::ThreadHandle& EpochDomain::Handle() {
+  static thread_local ThreadHandle handle;
+  return handle;
+}
+
+EpochDomain& EpochDomain::Global() {
+  // Intentionally leaked (see header): retired garbage and thread_local
+  // handles may outlive any static destruction order.
+  static EpochDomain* domain = new EpochDomain();
+  return *domain;
+}
+
+EpochDomain::EpochDomain() { limbo_.reserve(kCollectThreshold * 2); }
+
+size_t EpochDomain::RegisterThread() {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  size_t slot;
+  if (!free_slots_.empty()) {
+    // Lowest-free-first keeps ids dense, so masked per-slot arrays stay
+    // collision-free at any concurrency below their size.
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = high_water_++;
+    if (slot >= kMaxThreads) {
+      // Out of records: fall back to sharing slot 0. Readers stay
+      // correct (the record just looks permanently busier than it is);
+      // per-slot counters degrade to sharing, exactly like the old
+      // striping they replace.
+      --high_water_;
+      return 0;
+    }
+  }
+  records_[slot].registered.store(true, std::memory_order_relaxed);
+  return slot;
+}
+
+void EpochDomain::UnregisterThread(size_t slot) {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  records_[slot].state.store(0, std::memory_order_release);
+  records_[slot].registered.store(false, std::memory_order_relaxed);
+  // Keep the free list sorted descending so .back() hands out the lowest
+  // id first.
+  auto it = free_slots_.begin();
+  while (it != free_slots_.end() && *it > slot) {
+    ++it;
+  }
+  free_slots_.insert(it, slot);
+}
+
+size_t EpochDomain::ThreadSlot() { return Handle().Slot(); }
+
+void EpochDomain::Enter() {
+  ThreadHandle& h = Handle();
+  if (h.depth++ > 0) {
+    return;  // nested guard: already pinned
+  }
+  Record& rec = records_[h.Slot()];
+  uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    // Publish "active at e" BEFORE re-reading the global: an advance that
+    // runs between the store and the re-read either sees our record (and
+    // stalls at e) or already moved the epoch, in which case the re-read
+    // catches it and we re-pin at the new epoch. Either way no advance
+    // can believe we are quiescent while we hold a pointer from epoch e.
+    rec.state.store((e << 1) | 1, std::memory_order_seq_cst);
+    uint64_t e2 = global_epoch_.load(std::memory_order_seq_cst);
+    if (e2 == e) {
+      return;
+    }
+    e = e2;
+  }
+}
+
+void EpochDomain::Exit() {
+  ThreadHandle& h = Handle();
+  if (--h.depth > 0) {
+    return;
+  }
+  records_[h.slot].state.store(0, std::memory_order_release);
+}
+
+void EpochDomain::RetireRaw(void* p, void (*deleter)(void*)) {
+  if (p == nullptr) {
+    return;
+  }
+  uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lk(gc_mu_);
+    limbo_.push_back(Garbage{p, deleter, e});
+    limbo_size_.store(limbo_.size(), std::memory_order_relaxed);
+  }
+  if (limbo_size_.load(std::memory_order_relaxed) >= kCollectThreshold) {
+    AdvanceAndCollect();
+  }
+}
+
+size_t EpochDomain::AdvanceAndCollect() {
+  // Collect the eligible garbage under gc_mu_, run deleters outside it:
+  // a deleter may itself Retire (e.g. ~Container retiring nothing today,
+  // but keep the lock non-reentrant regardless).
+  std::vector<Garbage> ready;
+  {
+    std::lock_guard<std::mutex> lk(gc_mu_);
+    uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    bool can_advance = true;
+    size_t hw;
+    {
+      std::lock_guard<std::mutex> rl(reg_mu_);
+      hw = high_water_;
+    }
+    for (size_t i = 0; i < hw; ++i) {
+      uint64_t s = records_[i].state.load(std::memory_order_seq_cst);
+      if (s != 0 && (s >> 1) != e) {
+        // A reader is still pinned at an older epoch; freeing anything
+        // newer than its epoch - 2 could pull memory out from under it.
+        can_advance = false;
+        break;
+      }
+    }
+    if (can_advance) {
+      global_epoch_.store(e + 1, std::memory_order_seq_cst);
+      e = e + 1;
+    }
+    size_t kept = 0;
+    for (Garbage& g : limbo_) {
+      if (g.epoch + 2 <= e) {
+        ready.push_back(g);
+      } else {
+        limbo_[kept++] = g;
+      }
+    }
+    limbo_.resize(kept);
+    limbo_size_.store(kept, std::memory_order_relaxed);
+  }
+  for (Garbage& g : ready) {
+    g.deleter(g.ptr);
+  }
+  return ready.size();
+}
+
+void EpochDomain::DrainAll() {
+  // Three advances always suffice when no reader is active: after the
+  // first two, everything retired before the call is two epochs stale.
+  for (int i = 0; i < 3 && PendingRetired() > 0; ++i) {
+    AdvanceAndCollect();
+  }
+}
+
+size_t EpochDomain::PendingRetired() const {
+  return limbo_size_.load(std::memory_order_relaxed);
+}
+
+}  // namespace histar

@@ -1,7 +1,11 @@
 #include "src/core/label_registry.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
+
+#include "src/core/epoch.h"
 
 namespace histar {
 
@@ -35,14 +39,21 @@ LabelRegistry::LabelRegistry(size_t shard_count)
   result_shards_.reserve(shard_count_);
   for (size_t i = 0; i < shard_count_; ++i) {
     intern_shards_.push_back(std::make_unique<InternShard>());
-    result_shards_.push_back(std::make_unique<ResultShard>());
+    auto rs = std::make_unique<ResultShard>();
+    // Eager initial tables: readers never need a null check.
+    rs->leq.store(new MemoTable(kMemoInitCapacity), std::memory_order_relaxed);
+    rs->join.store(new MemoTable(kMemoInitCapacity), std::memory_order_relaxed);
+    result_shards_.push_back(std::move(rs));
   }
 }
+
+LabelRegistry::~LabelRegistry() = default;
 
 LabelId LabelRegistry::Intern(const Label& l) {
   size_t shard_index = l.Hash() & (shard_count_ - 1);
   InternShard& shard = *intern_shards_[shard_index];
   {
+    CountLock();
     std::shared_lock<std::shared_mutex> lock(shard.mu);
     auto it = shard.ids.find(l);
     if (it != shard.ids.end()) {
@@ -50,27 +61,55 @@ LabelId LabelRegistry::Intern(const Label& l) {
     }
   }
   // Precompute the shifted variants before taking the writer lock: the two
-  // O(entries) walks would otherwise stall every reader hashing to this
+  // O(entries) walks would otherwise stall every intern hashing to this
   // shard. A losing race just discards the work below.
   Label hi = l.ToHi();
   Label star = l.ToStar();
+  CountLock();
   std::unique_lock<std::shared_mutex> lock(shard.mu);
   auto it = shard.ids.find(l);
   if (it != shard.ids.end()) {
     return it->second;
   }
-  LabelId id = MakeId(shard_index, shard.entries.size());
-  shard.entries.emplace_back(l, std::move(hi), std::move(star));
+  size_t slot = shard.count.load(std::memory_order_relaxed);
+  size_t chunk_index = slot / kChunkSize;
+  if (chunk_index >= kMaxChunks) {
+    fprintf(stderr, "LabelRegistry: shard %zu exceeded %zu entries\n",
+            shard_index, kMaxChunks * kChunkSize);
+    abort();
+  }
+  Entry* chunk = shard.chunks[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Entry[kChunkSize];
+    shard.chunks[chunk_index].store(chunk, std::memory_order_release);
+  }
+  Entry& e = chunk[slot % kChunkSize];
+  e.label = l;
+  e.hi = std::move(hi);
+  e.star = std::move(star);
+  LabelId id = MakeId(shard_index, slot);
   shard.ids.emplace(l, id);
+  // Publish AFTER the fields are filled: a lock-free reader that acquires
+  // a count ≥ slot+1 (or reaches the entry through any release/acquire
+  // chain rooted in this id, e.g. an object's atomic label_id_) sees a
+  // fully constructed entry.
+  shard.count.store(static_cast<uint32_t>(slot + 1), std::memory_order_release);
   return id;
 }
 
 const LabelRegistry::Entry& LabelRegistry::EntryOf(LabelId id) const {
   const InternShard& shard = *intern_shards_[ShardOf(id)];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
-  // Entries are append-only and deque elements have stable addresses, so the
-  // reference outlives the lock.
-  return shard.entries[SlotOf(id)];
+  size_t slot = SlotOf(id);
+  // The acquire on count pairs with Intern's release publish; chunks are
+  // never freed or moved, so the reference is stable without a lock.
+  uint32_t n = shard.count.load(std::memory_order_acquire);
+  if (slot >= n) {
+    fprintf(stderr, "LabelRegistry: lookup of unpublished id %u\n", id);
+    abort();
+  }
+  const Entry* chunk =
+      shard.chunks[slot / kChunkSize].load(std::memory_order_acquire);
+  return chunk[slot % kChunkSize];
 }
 
 const Label& LabelRegistry::Get(LabelId id) const { return EntryOf(id).label; }
@@ -102,6 +141,63 @@ LabelId LabelRegistry::StarOf(LabelId id) {
   return star;
 }
 
+bool LabelRegistry::MemoLookup(const MemoTable* t, uint64_t key, uint64_t* val) {
+  const size_t mask = t->capacity - 1;
+  for (size_t i = MemoHash(key) & mask;; i = (i + 1) & mask) {
+    uint64_t k = t->slots[i].key.load(std::memory_order_acquire);
+    if (k == key) {
+      *val = t->slots[i].val.load(std::memory_order_relaxed);
+      return true;
+    }
+    if (k == 0) {
+      return false;
+    }
+  }
+}
+
+void LabelRegistry::MemoInsertLocked(std::atomic<MemoTable*>* tbl, size_t* used,
+                                     uint64_t key, uint64_t val) {
+  MemoTable* t = tbl->load(std::memory_order_relaxed);
+  if ((*used + 1) * 2 > t->capacity) {
+    // Rehash into a double-size table, publish it, retire the old array —
+    // a lock-free reader may still be probing it. All entries are live
+    // (no tombstones), so `used` carries over.
+    MemoTable* fresh = new MemoTable(t->capacity * 2);
+    const size_t mask = fresh->capacity - 1;
+    for (size_t i = 0; i < t->capacity; ++i) {
+      uint64_t k = t->slots[i].key.load(std::memory_order_relaxed);
+      if (k == 0) {
+        continue;
+      }
+      uint64_t v = t->slots[i].val.load(std::memory_order_relaxed);
+      for (size_t j = MemoHash(k) & mask;; j = (j + 1) & mask) {
+        if (fresh->slots[j].key.load(std::memory_order_relaxed) == 0) {
+          fresh->slots[j].val.store(v, std::memory_order_relaxed);
+          fresh->slots[j].key.store(k, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+    tbl->store(fresh, std::memory_order_release);
+    EpochDomain::Global().Retire(t);
+    t = fresh;
+  }
+  const size_t mask = t->capacity - 1;
+  for (size_t i = MemoHash(key) & mask;; i = (i + 1) & mask) {
+    MemoSlot& s = t->slots[i];
+    uint64_t k = s.key.load(std::memory_order_relaxed);
+    if (k == key) {
+      return;  // a racing miss inserted it first; results are deterministic
+    }
+    if (k == 0) {
+      s.val.store(val, std::memory_order_relaxed);
+      s.key.store(key, std::memory_order_release);
+      ++*used;
+      return;
+    }
+  }
+}
+
 bool LabelRegistry::Leq(LabelId id1, LabelId id2) {
   if (id1 == id2) {
     return true;  // reflexivity: free, no memo traffic
@@ -112,18 +208,20 @@ bool LabelRegistry::Leq(LabelId id1, LabelId id2) {
   uint64_t key = PairKey(id1, id2);
   ResultShard& shard = ResultShardFor(key);
   {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    auto it = shard.leq.find(key);
-    if (it != shard.leq.end()) {
+    // The guard pins the memo array against a concurrent growth-retire.
+    EpochGuard guard;
+    uint64_t v;
+    if (MemoLookup(shard.leq.load(std::memory_order_acquire), key, &v)) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      return v != 0;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   bool r = Get(id1).Leq(Get(id2));
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
-    shard.leq.emplace(key, r);
+    CountLock();
+    std::lock_guard<std::mutex> lock(shard.mu);
+    MemoInsertLocked(&shard.leq, &shard.leq_used, key, r ? 1 : 0);
   }
   return r;
 }
@@ -139,18 +237,19 @@ LabelId LabelRegistry::Join(LabelId id1, LabelId id2) {
   if (enabled()) {
     ResultShard& shard = ResultShardFor(key);
     {
-      std::shared_lock<std::shared_mutex> lock(shard.mu);
-      auto it = shard.join.find(key);
-      if (it != shard.join.end()) {
+      EpochGuard guard;
+      uint64_t v;
+      if (MemoLookup(shard.join.load(std::memory_order_acquire), key, &v)) {
         hits_.fetch_add(1, std::memory_order_relaxed);
-        return it->second;
+        return static_cast<LabelId>(v);
       }
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
     LabelId joined = Intern(Get(a).Join(Get(b)));
     {
-      std::unique_lock<std::shared_mutex> lock(shard.mu);
-      shard.join.emplace(key, joined);
+      CountLock();
+      std::lock_guard<std::mutex> lock(shard.mu);
+      MemoInsertLocked(&shard.join, &shard.join_used, key, joined);
     }
     return joined;
   }
@@ -165,8 +264,7 @@ void LabelRegistry::ResetStats() {
 size_t LabelRegistry::size() const {
   size_t n = 0;
   for (const auto& shard : intern_shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
-    n += shard->entries.size();
+    n += shard->count.load(std::memory_order_acquire);
   }
   return n;
 }
@@ -174,8 +272,7 @@ size_t LabelRegistry::size() const {
 LabelRegistry::SnapshotMark LabelRegistry::Snapshot() const {
   SnapshotMark mark(shard_count_, 0);
   for (size_t i = 0; i < shard_count_; ++i) {
-    std::shared_lock<std::shared_mutex> lock(intern_shards_[i]->mu);
-    mark[i] = static_cast<uint32_t>(intern_shards_[i]->entries.size());
+    mark[i] = intern_shards_[i]->count.load(std::memory_order_acquire);
   }
   return mark;
 }
@@ -185,9 +282,11 @@ void LabelRegistry::EnumerateSince(
   for (size_t i = 0; i < shard_count_; ++i) {
     const InternShard& shard = *intern_shards_[i];
     size_t from = i < mark.size() ? mark[i] : 0;
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    for (size_t slot = from; slot < shard.entries.size(); ++slot) {
-      fn(MakeId(i, slot), shard.entries[slot].label);
+    size_t upto = shard.count.load(std::memory_order_acquire);
+    for (size_t slot = from; slot < upto; ++slot) {
+      const Entry* chunk =
+          shard.chunks[slot / kChunkSize].load(std::memory_order_acquire);
+      fn(MakeId(i, slot), chunk[slot % kChunkSize].label);
     }
   }
 }

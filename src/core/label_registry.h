@@ -8,12 +8,20 @@
 // and ToStar (J → ⋆) variants all live in the registry, so hot-path checks
 // never allocate a shifted label — they look up the id of the shifted form.
 //
-// Concurrency: everything is sharded. The intern table is split into
-// kShardCount shards by label hash; Leq/Join memo tables are split by key
-// hash. Each shard is guarded by its own shared_mutex (readers concurrent,
-// writers exclusive), so concurrent label checks on different label pairs
-// never serialize on one kernel-wide lock the way the old LabelCache's
-// single std::mutex did.
+// Concurrency (PR 6: lock-free readers): the hot read paths — id → entry
+// lookup and the Leq/Join memo — take no lock at all.
+//   * Entry storage is append-only chunked arrays: chunks are published
+//     with release stores and never moved or freed, so EntryOf is a pair
+//     of acquire loads. The per-shard entry count is release-published
+//     after the entry's fields are filled, ordering them for readers.
+//   * The memo tables are open-addressing arrays of {atomic key, atomic
+//     value} slots, probed with acquire loads. Memo writers (misses)
+//     serialize on a per-shard mutex, insert with a val-then-key release
+//     pair, and on growth publish a rehashed table and retire the old
+//     array through the EpochDomain — which is why memo readers run
+//     inside an EpochGuard (Leq/Join take one internally).
+//   * Only the intern hash map (label → id, dedup on Intern) keeps its
+//     shared_mutex; interning is the cold path.
 //
 // Ids and persistence: ids are assigned in intern order within a boot. The
 // single-level store persists the registry as a label table (one record per
@@ -29,11 +37,12 @@
 #ifndef SRC_CORE_LABEL_REGISTRY_H_
 #define SRC_CORE_LABEL_REGISTRY_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
@@ -55,6 +64,7 @@ class LabelRegistry {
   static constexpr size_t kMaxShardCount = 64;
 
   explicit LabelRegistry(size_t shard_count = kDefaultShardCount);
+  ~LabelRegistry();
   LabelRegistry(const LabelRegistry&) = delete;
   LabelRegistry& operator=(const LabelRegistry&) = delete;
 
@@ -62,8 +72,8 @@ class LabelRegistry {
   // yield the same id — that identity is what makes pair-memoization sound.
   LabelId Intern(const Label& l);
 
-  // Canonical label for an interned id. The reference stays valid for the
-  // registry's lifetime (entries are never removed or moved).
+  // Canonical label for an interned id. Lock-free; the reference stays
+  // valid for the registry's lifetime (entries are never removed or moved).
   const Label& Get(LabelId id) const;
 
   // Precomputed shifted variants. GetHi/GetStar return the label; HiOf and
@@ -74,8 +84,10 @@ class LabelRegistry {
   LabelId HiOf(LabelId id);
   LabelId StarOf(LabelId id);
 
-  // Memoized id1 ⊑ id2. Falls back to a direct comparison when disabled
-  // (the ablation bench toggles this to measure the win).
+  // Memoized id1 ⊑ id2. A memo hit is entirely lock-free (one epoch-
+  // guarded probe of the shard's memo table); only a miss takes the
+  // shard's writer mutex to record the result. Falls back to a direct
+  // comparison when disabled (the ablation bench toggles this).
   bool Leq(LabelId id1, LabelId id2);
 
   // Non-interning comparisons for validating caller-supplied labels at the
@@ -89,7 +101,7 @@ class LabelRegistry {
 
   // Memoized ⊔; the result is itself interned. Gate invocation computes
   // (L_T^J ⊔ L_G^J)^⋆ per crossing, which this turns into two id lookups
-  // after the first.
+  // after the first. Hits are lock-free like Leq's.
   LabelId Join(LabelId id1, LabelId id2);
 
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
@@ -98,6 +110,19 @@ class LabelRegistry {
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   void ResetStats();
+
+  // ---- lock accounting (tests / bench only) --------------------------------
+  //
+  // Mirrors ObjectTable's instrument: when enabled, every mutex
+  // acquisition on a reader-reachable registry path (intern probe/insert,
+  // memo-miss insert) bumps the counter. The satellite acceptance test
+  // pins warm Leq at zero.
+  void set_lock_accounting(bool on) const {
+    lock_accounting_.store(on, std::memory_order_relaxed);
+  }
+  uint64_t lock_acquisitions() const {
+    return lock_acquisitions_.load(std::memory_order_relaxed);
+  }
 
   // Number of distinct labels interned so far.
   size_t size() const;
@@ -112,8 +137,8 @@ class LabelRegistry {
   // Invokes fn(id, label) for every entry whose shard slot is ≥ the mark
   // (an empty mark enumerates everything). Shards are visited in index
   // order and slots in intern order, so within a shard ids come out
-  // ascending. fn runs under the shard's shared lock: it must not call back
-  // into the registry.
+  // ascending. Lock-free over the published chunks: entries interned
+  // after the internal count snapshot are not visited.
   void EnumerateSince(const SnapshotMark& mark,
                       const std::function<void(LabelId, const Label&)>& fn) const;
 
@@ -129,21 +154,56 @@ class LabelRegistry {
     mutable std::atomic<LabelId> hi_id{kInvalidLabelId};    // lazily interned
     mutable std::atomic<LabelId> star_id{kInvalidLabelId};  // lazily interned
 
-    Entry(Label l, Label h, Label s)
-        : label(std::move(l)), hi(std::move(h)), star(std::move(s)) {}
+    // Default-constructed inside a chunk; the interning writer fills the
+    // labels before release-publishing the shard count.
+    Entry() = default;
   };
+
+  // Append-only chunked entry storage: slot s lives in
+  // chunks[s / kChunkSize][s % kChunkSize]. Chunks are allocated on
+  // demand, published with a release store, and never freed or moved
+  // while the registry lives — EntryOf needs no lock and no epoch guard.
+  static constexpr size_t kChunkSize = 256;
+  static constexpr size_t kMaxChunks = 4096;  // 1M labels per shard
 
   struct InternShard {
-    mutable std::shared_mutex mu;
+    mutable std::shared_mutex mu;  // guards `ids` and interning writers
     std::unordered_map<Label, LabelId, LabelHash> ids;
-    // Deque: stable element addresses under push_back, indexable by slot.
-    std::deque<Entry> entries;
+    std::array<std::atomic<Entry*>, kMaxChunks> chunks{};
+    std::atomic<uint32_t> count{0};  // published entries; release on grow
+
+    ~InternShard() {
+      for (auto& c : chunks) {
+        delete[] c.load(std::memory_order_relaxed);
+      }
+    }
   };
 
+  // Open-addressing memo table probed lock-free. Empty slots have key 0
+  // (PairKey never produces 0 for valid ids); writers store val before
+  // key (release) so a reader that observes the key observes the value.
+  struct MemoSlot {
+    std::atomic<uint64_t> key{0};
+    std::atomic<uint64_t> val{0};
+  };
+  struct MemoTable {
+    explicit MemoTable(size_t cap) : capacity(cap), slots(new MemoSlot[cap]) {}
+    const size_t capacity;  // power of two
+    std::unique_ptr<MemoSlot[]> slots;
+  };
+  static constexpr size_t kMemoInitCapacity = 256;
+
   struct ResultShard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<uint64_t, bool> leq;
-    std::unordered_map<uint64_t, LabelId> join;
+    std::mutex mu;  // memo writers only; readers never touch it
+    std::atomic<MemoTable*> leq{nullptr};
+    std::atomic<MemoTable*> join{nullptr};
+    size_t leq_used = 0;   // writer bookkeeping, guarded by mu
+    size_t join_used = 0;
+
+    ~ResultShard() {
+      delete leq.load(std::memory_order_relaxed);
+      delete join.load(std::memory_order_relaxed);
+    }
   };
 
   // id = ((slot + 1) << shard_bits) | shard, so id 0 is never produced.
@@ -165,12 +225,37 @@ class LabelRegistry {
     return *result_shards_[h & (shard_count_ - 1)];
   }
 
+  // Distinct mix from ResultShardFor (whose low bits pick the shard, so
+  // keys within one shard would stride-cluster the probes).
+  static size_t MemoHash(uint64_t key) {
+    uint64_t h = key * 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+
+  // Lock-free probe; returns false on absent key.
+  static bool MemoLookup(const MemoTable* t, uint64_t key, uint64_t* val);
+
+  // Inserts (or confirms) key → val, growing the table at load ½ and
+  // retiring the outgrown array through the epoch layer. Caller holds the
+  // shard's writer mutex.
+  static void MemoInsertLocked(std::atomic<MemoTable*>* tbl, size_t* used,
+                               uint64_t key, uint64_t val);
+
+  void CountLock() const {
+    if (lock_accounting_.load(std::memory_order_relaxed)) {
+      lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   const size_t shard_count_;
   const size_t shard_bits_;
 
   std::atomic<bool> enabled_{true};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<bool> lock_accounting_{false};
+  mutable std::atomic<uint64_t> lock_acquisitions_{0};
 
   std::vector<std::unique_ptr<InternShard>> intern_shards_;
   std::vector<std::unique_ptr<ResultShard>> result_shards_;

@@ -21,6 +21,7 @@ namespace histar {
 namespace {
 thread_local ObjectId g_current_thread = kInvalidObject;
 thread_local bool g_proxy_execution = false;
+thread_local bool g_published_reads = false;
 }  // namespace
 
 ObjectId CurrentThread::Get() { return g_current_thread; }
@@ -30,8 +31,20 @@ ProxyExecution::ProxyExecution() : prev_(g_proxy_execution) { g_proxy_execution 
 ProxyExecution::~ProxyExecution() { g_proxy_execution = prev_; }
 bool ProxyExecution::Active() { return g_proxy_execution; }
 
+PublishedReadMode::PublishedReadMode() : prev_(g_published_reads) {
+  g_published_reads = true;
+}
+PublishedReadMode::~PublishedReadMode() { g_published_reads = prev_; }
+bool PublishedReadMode::Active() { return g_published_reads; }
+
 bool Container::HasLink(ObjectId o) const {
-  return std::find(links_.begin(), links_.end(), o) != links_.end();
+  // Read through the published snapshot when one exists: it is identical to
+  // links_ under any shard lock (mutators republish before unlocking), and
+  // it is the only safe view for a lock-free reader (the live vector may be
+  // reallocating under a concurrent LinkInto).
+  const std::vector<ObjectId>* snap = links_snapshot();
+  const std::vector<ObjectId>& v = snap != nullptr ? *snap : links_;
+  return std::find(v.begin(), v.end(), o) != v.end();
 }
 
 const Mapping* AddressSpace::Lookup(uint64_t va) const {
@@ -124,27 +137,39 @@ bool Kernel::HasGateEntry(const std::string& name) const {
 }
 
 uint64_t Kernel::thread_syscall_count(ObjectId t) const {
-  CountStripe& stripe = CountStripeFor(t);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  auto it = stripe.counts.find(t);
-  return it == stripe.counts.end() ? 0 : it->second;
+  // A kernel thread's syscalls may have been charged from several host
+  // threads (each charging into its own slot), so sum every slot's entry.
+  uint64_t n = 0;
+  for (CountSlot& slot : count_slots_) {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    auto it = slot.counts.find(t);
+    if (it != slot.counts.end()) {
+      n += it->second;
+    }
+  }
+  return n;
 }
 
 uint64_t Kernel::syscall_count() const {
-  // The former global atomic is folded into the count stripes: each stripe's
+  // The former global atomic is folded into the count slots: each slot's
   // `total` survives thread destruction (only the per-thread map entries are
   // erased), so the sum is exactly the old monotonic counter.
   uint64_t n = 0;
-  for (CountStripe& stripe : count_stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
-    n += stripe.total;
+  for (CountSlot& slot : count_slots_) {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    n += slot.total;
   }
   return n;
 }
 
 // ---- internal helpers (shard-lock requirements in kernel.h) ------------------
 
-Object* Kernel::Get(ObjectId id) const { return table_.GetLocked(id); }
+Object* Kernel::Get(ObjectId id) const {
+  if (PublishedReadMode::Active()) {
+    return table_.GetPublished(id);
+  }
+  return table_.GetLocked(id);
+}
 
 Thread* Kernel::GetThread(ObjectId id) const {
   Object* o = Get(id);
@@ -248,6 +273,9 @@ Status Kernel::LinkInto(Container* d, Object* obj) {
     }
   }
   d->links_mutable().push_back(obj->id());
+  // Republish the link snapshot for lock-free readers; the outgrown copy may
+  // still be probed by a pinned reader, so it goes through the epoch layer.
+  EpochDomain::Global().Retire(d->RepublishLinks());
   obj->add_link_internal();
   if (obj->quota() != kQuotaInfinite) {
     d->set_usage_internal(d->usage() + obj->quota());
@@ -263,6 +291,7 @@ void Kernel::UnlinkFrom(Container* d, ObjectId obj_id) {
     return;
   }
   links.erase(it);
+  EpochDomain::Global().Retire(d->RepublishLinks());
   Object* obj = Get(obj_id);
   if (obj != nullptr) {
     obj->drop_link_internal();
@@ -313,10 +342,10 @@ void Kernel::DestroyObject(ObjectId id, std::vector<ObjectId>* destroyed_segment
     std::lock_guard<std::mutex> pl(pf_mu_);
     pf_handlers_.erase(id);
   }
-  {
-    CountStripe& stripe = CountStripeFor(id);
-    std::lock_guard<std::mutex> cl(stripe.mu);
-    stripe.counts.erase(id);
+  // The destroyed thread may have been charged in any host thread's slot.
+  for (CountSlot& slot : count_slots_) {
+    std::lock_guard<std::mutex> cl(slot.mu);
+    slot.counts.erase(id);
   }
   table_.EraseLocked(id);
 }
@@ -357,12 +386,14 @@ Result<ObjectId> Kernel::AllocObjectId() {
 }
 
 void Kernel::CountSyscalls(ObjectId self, uint64_t n) {
-  // One stripe round-trip per *batch*: an N-entry submission charges all N
-  // here, and no global atomic is touched (syscall_count() sums stripes).
-  CountStripe& stripe = CountStripeFor(self);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  stripe.total += n;
-  stripe.counts[self] += n;
+  // One slot round-trip per *batch*: an N-entry submission charges all N
+  // here, into the calling host thread's private slot — never contended
+  // below kCountSlots live threads — and no global atomic is touched
+  // (syscall_count() sums the slots).
+  CountSlot& slot = CountSlotForCurrentThread();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.total += n;
+  slot.counts[self] += n;
 }
 
 void Kernel::WakeAllFutexes(const std::vector<ObjectId>& segs) {
@@ -514,7 +545,10 @@ Result<std::vector<ObjectId>> Kernel::ContainerListLocked(ObjectId self, ObjectI
   if (!CanObserve(*t, *d)) {
     return Status::kLabelCheckFailed;
   }
-  return d->links();
+  // Copy out of the published snapshot (identical to links_ under a lock,
+  // and the only stable view for a lock-free reader).
+  const std::vector<ObjectId>* snap = d->links_snapshot();
+  return snap != nullptr ? *snap : d->links();
 }
 
 Status Kernel::ContainerLinkLocked(ObjectId self, ObjectId container, ContainerEntry src) {

@@ -38,6 +38,7 @@
 #include <span>
 
 #include "src/core/category.h"
+#include "src/core/epoch.h"
 #include "src/core/label.h"
 #include "src/core/label_registry.h"
 #include "src/core/status.h"
@@ -151,9 +152,11 @@ class Kernel {
   // ---- Syscall counters (the fork/exec analysis in §7.1 is stated in
   //      syscalls, so counting is first-class) --------------------------------
   //
-  // Counting is fully striped by thread id: there is no global atomic left
-  // on the syscall entry path (each batch entry bumps only its thread's
-  // stripe, once per batch). The total is summed over stripes on read.
+  // Counting is keyed by the host thread's registered epoch-layer slot
+  // (PR 6): each concurrently live host thread owns a private slot, so
+  // batch entry bookkeeping never contends on a shared mutex — the PR 3
+  // thread-id hash striping this replaces could collide two threads into
+  // one stripe. Totals are summed over all slots on read (cold paths).
   uint64_t syscall_count() const;
   uint64_t thread_syscall_count(ObjectId t) const;
 
@@ -169,8 +172,12 @@ class Kernel {
   // one lock round-trip instead of N. Entries with data-dependent footprints
   // or unlocked phases (futexes, gate invoke, net I/O, sync, unref,
   // as_access, thread_alert) close the current group and execute exactly as
-  // their legacy syscall would. Every legacy sys_* method below is a thin
-  // one-element-batch wrapper over this entry point.
+  // their legacy syscall would. PR 6: consecutive entries whose bodies only
+  // touch atomic / snapshot object state (BatchPlan::lockfree) form their
+  // own groups and run with NO TableLock at all — an EpochGuard plus the
+  // published-index read mode replace the shared shard locks entirely.
+  // Every legacy sys_* method below is a thin one-element-batch wrapper
+  // over this entry point.
   //
   // Returns kInvalidArg (touching nothing) if res.size() < reqs.size();
   // otherwise kOk — per-entry outcomes live in the completions.
@@ -415,7 +422,11 @@ class Kernel {
   // -- Helper lock requirements (ARCHITECTURE.md "Concurrency model" has the
   //    full hierarchy; docs/syscalls.md the per-syscall footprint) --
   //
-  //   Get / GetThread / GetContainer     shard of `id` held (any mode)
+  //   Get / GetThread / GetContainer     shard of `id` held (any mode) — OR
+  //                                        an EpochGuard with
+  //                                        PublishedReadMode active, which
+  //                                        routes Get through the shard's
+  //                                        lock-free published index
   //   CanObserve / CanModifyLabels /     shards keeping the operand objects
   //     CheckModify                        alive held (any mode)
   //   ResolveEntry                       shards of ce.container + ce.object
@@ -475,21 +486,25 @@ class Kernel {
   // Stamps the creation sequence number and inserts into the object table.
   void InsertObject(std::unique_ptr<Object> obj);
 
-  // Entry bookkeeping common to every syscall: one stripe-mutex round trip
-  // charges `n` syscalls (a whole batch) to `self` and to the global total.
+  // Entry bookkeeping common to every syscall: one slot-mutex round trip
+  // (the calling host thread's private slot) charges `n` syscalls (a whole
+  // batch) to `self` and to the global total.
   void CountSyscalls(ObjectId self, uint64_t n);
 
   // ---- Batched dispatch (kernel_batch.cc) ----------------------------------
   //
   // Footprint plan of one request: the ids whose shards it touches, whether
   // it mutates (exclusive mode), whether it can join a lock group at all,
-  // and whether it consumes a preallocated object id.
+  // whether it consumes a preallocated object id, and whether its Locked
+  // body is safe on the lock-free published-read path (only atomic /
+  // snapshot object state, no payload bytes, no mutation).
   struct BatchPlan {
     std::array<ObjectId, 5> ids;
     size_t nids = 0;
     bool mutates = false;
     bool batchable = false;
     bool needs_new_id = false;
+    bool lockfree = false;
   };
   static BatchPlan PlanOf(ObjectId self, const SyscallReq& req);
 
@@ -499,13 +514,18 @@ class Kernel {
   // ids for create entries — AllocObjectId probes a shard itself, so this
   // runs with NO lock held. `req_at(j)` yields request j of `n`;
   // `stop_at(j)` lets the chain executor cut a group before id-routed
-  // entries. Returns one past the group's last member. ONE copy of the
-  // planning logic, shared by SubmitBatch and SubmitChain so the two
-  // submission paths cannot drift (kernel_batch.cc).
+  // entries. With `split_lockfree`, a group stays homogeneous in
+  // BatchPlan::lockfree so SubmitBatch can run lock-free groups without a
+  // TableLock; SubmitChain passes false and runs everything locked (ring
+  // submission already paid the fixed validation locks, and chain lock
+  // parity with the sync path is a pinned PR 5 property). Returns one past
+  // the group's last member. ONE copy of the planning logic, shared by
+  // SubmitBatch and SubmitChain so the two submission paths cannot drift
+  // (kernel_batch.cc).
   template <typename ReqAt, typename StopAt>
   size_t GrowBatchGroup(ObjectId self, size_t i, size_t n, const BatchPlan& first,
-                        const ReqAt& req_at, const StopAt& stop_at, uint64_t* mask,
-                        bool* exclusive, std::vector<ObjectId>* new_ids);
+                        const ReqAt& req_at, const StopAt& stop_at, bool split_lockfree,
+                        uint64_t* mask, bool* exclusive, std::vector<ObjectId>* new_ids);
 
   // Executes one batchable request under the group TableLock (the caller
   // holds every shard in the request's plan, exclusive if the group
@@ -658,32 +678,41 @@ class Kernel {
   std::unordered_map<ObjectId, std::function<bool(uint64_t, bool)>> pf_handlers_;
   mutable std::mutex pf_mu_;
 
-  // Per-thread syscall counters, striped by thread id so the entry
-  // bookkeeping of concurrent syscalls (one `self` per host thread) lands
-  // on different mutexes — a single counts mutex would put a kernel-wide
-  // lock round-trip back on every syscall the shard split parallelized.
-  // Each stripe also carries its share of the kernel-wide total (PR 3):
-  // `total` outlives thread destruction (counts entries are erased with
-  // their thread), and syscall_count() sums the stripes, so the batch entry
-  // path touches no shared atomic at all.
-  static constexpr size_t kCountStripes = 16;
-  struct CountStripe {
+  // Per-thread syscall counters, one slot per registered host thread
+  // (EpochDomain::ThreadSlot, PR 6 — replacing the PR 3 thread-id hash
+  // striping, which could collide two concurrent threads into one stripe
+  // and make them share a mutex). Slot ids are dense and reused on thread
+  // exit, so below kCountSlots concurrently live threads every host
+  // thread's entry bookkeeping lands on a private, uncontended mutex; a
+  // single counts mutex would put a kernel-wide lock round-trip back on
+  // every syscall the shard split parallelized. Each slot carries its
+  // share of the kernel-wide total: `total` outlives thread destruction
+  // (counts entries are erased with their thread), and the cold readers
+  // (syscall_count, thread_syscall_count) sum over all slots, since one
+  // kernel thread's syscalls may be charged from several host threads over
+  // its life.
+  static constexpr size_t kCountSlots = 256;
+  struct CountSlot {
     std::mutex mu;
     uint64_t total = 0;
     std::unordered_map<ObjectId, uint64_t> counts;
   };
-  CountStripe& CountStripeFor(ObjectId id) const {
-    return count_stripes_[ObjectTable::ShardIndexFor(id, kCountStripes)];
+  CountSlot& CountSlotForCurrentThread() const {
+    return count_slots_[EpochDomain::ThreadSlot() & (kCountSlots - 1)];
   }
-  mutable std::array<CountStripe, kCountStripes> count_stripes_;
+  mutable std::array<CountSlot, kCountSlots> count_slots_;
 
-  // Last-fault footprint hints for sys_as_access (PR 3): a direct-mapped,
-  // lock-free cache slot per thread-id hash holding the AS id and backing
+  // Last-fault footprint hints for sys_as_access (PR 3): a lock-free cache
+  // slot per registered host thread (PR 6 — same slot scheme as the
+  // syscall counters, replacing the old thread-id hash that let two
+  // threads evict each other's hints) holding the AS id and backing
   // segment entry of that thread's most recent successful access. Purely a
   // seed for the discovery loop's first lock set — every round re-derives
   // and re-checks the real footprint under the lock, so a stale, torn, or
-  // collision-evicted hint costs at most one widened retry and can never
-  // produce a wrong result. All fields relaxed atomics: readers take no
+  // reused-slot hint costs at most one widened retry and can never produce
+  // a wrong result. The `thread` field self-verifies the slot: a host
+  // thread acting as a different kernel thread (or a recycled slot id)
+  // mismatches and reads cold. All fields relaxed atomics: readers take no
   // lock (that is the point — the hot hit path pays exactly ONE TableLock),
   // writers may hold shared shard locks. Invalidated (cleared) by the
   // caller-visible remap paths: sys_self_set_as, sys_as_set,
@@ -694,9 +723,9 @@ class Kernel {
     std::atomic<ObjectId> seg_ct{kInvalidObject};
     std::atomic<ObjectId> seg_obj{kInvalidObject};
   };
-  static constexpr size_t kFaultHintSlots = 64;
-  FaultHintSlot& FaultHintFor(ObjectId id) const {
-    return fault_hints_[ObjectTable::ShardIndexFor(id, kFaultHintSlots)];
+  static constexpr size_t kFaultHintSlots = 256;
+  FaultHintSlot& CurrentFaultHint() const {
+    return fault_hints_[EpochDomain::ThreadSlot() & (kFaultHintSlots - 1)];
   }
   mutable std::array<FaultHintSlot, kFaultHintSlots> fault_hints_;
 
@@ -774,6 +803,26 @@ class ProxyExecution {
   ~ProxyExecution();
   ProxyExecution(const ProxyExecution&) = delete;
   ProxyExecution& operator=(const ProxyExecution&) = delete;
+
+  static bool Active();
+
+ private:
+  bool prev_;
+};
+
+// RAII marker: Kernel::Get on this host thread resolves through the object
+// table's lock-free published index instead of the locked shard map (PR 6).
+// The caller MUST hold an EpochGuard for the marker's whole lifetime and
+// MUST NOT hold (or take) any shard lock while it is active — the published
+// index is exactly the no-lock alternative, and the *Locked helper bodies
+// run unchanged on top of it for side-effect-free reads. SubmitBatch wraps
+// each lock-free read group in one of these.
+class PublishedReadMode {
+ public:
+  PublishedReadMode();
+  ~PublishedReadMode();
+  PublishedReadMode(const PublishedReadMode&) = delete;
+  PublishedReadMode& operator=(const PublishedReadMode&) = delete;
 
   static bool Active();
 

@@ -46,16 +46,30 @@ Kernel::BatchPlan Kernel::PlanOf(ObjectId self, const SyscallReq& req) {
   std::visit(
       [&](const auto& r) {
         using T = std::decay_t<decltype(r)>;
-        if constexpr (kIsAny<T, SelfGetLabelReq, SelfGetClearanceReq, SelfGetAsReq,
-                             SelfLocalReadReq>) {
+        if constexpr (kIsAny<T, SelfGetLabelReq, SelfGetClearanceReq>) {
+          // Pure scalar self-reads: every field they touch is atomic or
+          // immutable, so they run lock-free over the published index.
+          ids({self});
+          plan.lockfree = true;
+        } else if constexpr (kIsAny<T, SelfGetAsReq, SelfLocalReadReq>) {
+          // Read non-atomic Thread state (AS entry, local bytes) — stay on
+          // the locked path.
           ids({self});
         } else if constexpr (kIsAny<T, CatCreateReq, SelfSetLabelReq, SelfSetClearanceReq,
                                     SelfHaltReq, SelfNextAlertReq, SelfLocalWriteReq>) {
           ids({self});
           plan.mutates = true;
         } else if constexpr (kIsAny<T, ObjGetTypeReq, ObjGetLabelReq, ObjGetDescripReq,
-                                    ObjGetQuotaReq, ObjGetMetadataReq, SegmentGetLenReq,
-                                    SegmentReadReq, AsGetReq, GateGetClosureReq>) {
+                                    ObjGetQuotaReq, SegmentGetLenReq, GateGetClosureReq>) {
+          // ⟨D,O⟩ reads over immutable or published-atomic state (type,
+          // label id, descrip, quota, published segment length, gate
+          // closure): lock-free over the published index.
+          ids({self, r.ce.container, r.ce.object});
+          plan.lockfree = true;
+        } else if constexpr (kIsAny<T, ObjGetMetadataReq, SegmentReadReq, AsGetReq>) {
+          // ⟨D,O⟩ reads of mutable byte/vector state (metadata blob,
+          // segment bytes, mappings) — locked, a concurrent writer may be
+          // resizing the container.
           ids({self, r.ce.container, r.ce.object});
         } else if constexpr (kIsAny<T, ObjSetMetadataReq, ObjSetFixedQuotaReq,
                                     ObjSetImmutableReq, SegmentResizeReq, SegmentWriteReq,
@@ -70,7 +84,11 @@ Kernel::BatchPlan Kernel::PlanOf(ObjectId self, const SyscallReq& req) {
           plan.mutates = true;
         } else if constexpr (kIsAny<T, ContainerGetParentReq, ContainerListReq,
                                     ContainerHasReq>) {
+          // Container reads resolve links through the published snapshot
+          // (Container::HasLink / ContainerListLocked), so they are safe
+          // lock-free; parent is immutable after creation.
           ids({self, r.container});
+          plan.lockfree = true;
         } else if constexpr (std::is_same_v<T, ContainerLinkReq>) {
           ids({self, r.container, r.src.container, r.src.object});
           plan.mutates = true;
@@ -276,12 +294,15 @@ void Kernel::ExecUnbatched(ObjectId self, const SyscallReq& req, SyscallRes* out
 
 template <typename ReqAt, typename StopAt>
 size_t Kernel::GrowBatchGroup(ObjectId self, size_t i, size_t n, const BatchPlan& first,
-                              const ReqAt& req_at, const StopAt& stop_at, uint64_t* mask,
-                              bool* exclusive, std::vector<ObjectId>* new_ids) {
+                              const ReqAt& req_at, const StopAt& stop_at, bool split_lockfree,
+                              uint64_t* mask, bool* exclusive, std::vector<ObjectId>* new_ids) {
   // Union the shard masks of consecutive batchable requests, escalate to
   // exclusive if anything mutates, and preallocate object ids for create
   // entries NOW — AllocObjectId probes a shard itself and must run before
-  // the group lock (kernel.h helper contract).
+  // the group lock (kernel.h helper contract). With split_lockfree, a group
+  // is additionally homogeneous in lockfree-ness so SubmitBatch can run a
+  // lock-free group with no TableLock at all (SubmitChain passes false and
+  // keeps mixed groups under one lock — ring lock parity, PR 5).
   size_t j = i;
   while (j < n) {
     if (j > i && stop_at(j)) {
@@ -289,6 +310,9 @@ size_t Kernel::GrowBatchGroup(ObjectId self, size_t i, size_t n, const BatchPlan
     }
     BatchPlan p = (j == i) ? first : PlanOf(self, req_at(j));
     if (!p.batchable) {
+      break;
+    }
+    if (split_lockfree && j > i && p.lockfree != first.lockfree) {
       break;
     }
     for (size_t k = 0; k < p.nids; ++k) {
@@ -327,8 +351,21 @@ Status Kernel::SubmitBatch(ObjectId self, std::span<const SyscallReq> reqs,
     std::vector<ObjectId> new_ids;
     size_t j = GrowBatchGroup(
         self, i, reqs.size(), first, [&](size_t k) -> const SyscallReq& { return reqs[k]; },
-        [](size_t) { return false; }, &mask, &exclusive, &new_ids);
-    {
+        [](size_t) { return false; }, /*split_lockfree=*/true, &mask, &exclusive, &new_ids);
+    if (first.lockfree) {
+      // Lock-free read group (PR 6): ZERO shard locks. The epoch guard pins
+      // every published entry the group can reach; PublishedReadMode routes
+      // Kernel::Get through the shard's lock-free published index, and the
+      // same *Locked bodies run unchanged on top of it (they are
+      // side-effect-free for every lockfree-marked kind). The zero is the
+      // acceptance property asserted by tests/kernel/batch_lock_test.cc.
+      EpochGuard guard;
+      PublishedReadMode published;
+      size_t next_new_id = 0;
+      for (size_t k = i; k < j; ++k) {
+        ExecLocked(self, reqs[k], &res[k], new_ids, &next_new_id);
+      }
+    } else {
       // The group's single lock round-trip: every shard any member touches,
       // ascending order, one acquisition (the acceptance property asserted
       // by tests/kernel/batch_lock_test.cc).
@@ -407,7 +444,8 @@ Status Kernel::SubmitChain(ObjectId self, std::span<RingOp> ops, std::span<Sysca
     size_t j = GrowBatchGroup(
         self, i, ops.size(), first,
         [&](size_t k) -> const SyscallReq& { return ops[k].req; },
-        [&](size_t k) { return RingSlotNamesIds(ops[k].to); }, &mask, &exclusive, &new_ids);
+        [&](size_t k) { return RingSlotNamesIds(ops[k].to); }, /*split_lockfree=*/false, &mask,
+        &exclusive, &new_ids);
     {
       // One TableLock for the whole group: a linked get_len → read chain
       // pays exactly the lock round-trips of the equivalent sync batch

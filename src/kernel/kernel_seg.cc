@@ -103,8 +103,12 @@ Status Kernel::SegmentResizeLocked(ObjectId self, ContainerEntry ce, uint64_t le
     return Status::kHalted;
   }
   // A resize can move/shrink the bytes a cached fault translation points
-  // at; drop the caller's hint (other threads' hints re-verify on use).
-  FaultHintFor(self).thread.store(kInvalidObject, std::memory_order_relaxed);
+  // at; drop this host thread's hint (other slots' hints re-verify on use;
+  // a proxying ring worker leaves the submitter's slot alone — it self-
+  // recovers through the same re-verification).
+  if (!ProxyExecution::Active()) {
+    CurrentFaultHint().thread.store(kInvalidObject, std::memory_order_relaxed);
+  }
   Result<Object*> o = ResolveEntry(*t, ce);
   if (!o.ok()) {
     return o.status();
@@ -121,6 +125,9 @@ Status Kernel::SegmentResizeLocked(ObjectId self, ContainerEntry ce, uint64_t le
     return Status::kQuotaExceeded;
   }
   s->bytes().resize(len, 0);
+  // Republish the length for lock-free sys_segment_get_len readers (PR 6);
+  // the byte vector itself stays lock-protected.
+  s->publish_len_internal();
   MarkDirty(s->id());
   return Status::kOk;
 }
@@ -140,7 +147,11 @@ Result<uint64_t> Kernel::SegmentGetLenLocked(ObjectId self, ContainerEntry ce) {
   if (!CanObserve(*t, *o.value())) {
     return Status::kLabelCheckFailed;
   }
-  return static_cast<Segment*>(o.value())->bytes().size();
+  // The published length, not bytes().size(): identical under any lock
+  // (mutators republish before unlocking), and the only torn-free read for
+  // the lock-free batch path — a concurrent resize may be reallocating the
+  // vector itself.
+  return static_cast<Segment*>(o.value())->published_len();
 }
 
 Status Kernel::SegmentReadLocked(ObjectId self, ContainerEntry ce, void* buf, uint64_t off,
@@ -234,10 +245,14 @@ Status Kernel::AsSetLocked(ObjectId self, ContainerEntry ce,
   if (t == nullptr || t->halted()) {
     return Status::kHalted;
   }
-  // Remapping changes what a fault at a cached VA resolves to; drop the
-  // caller's last-fault hint (hints are self-verifying, so other threads'
-  // stale hints merely cost them one widened discovery round).
-  FaultHintFor(self).thread.store(kInvalidObject, std::memory_order_relaxed);
+  // Remapping changes what a fault at a cached VA resolves to; drop this
+  // host thread's last-fault hint (hints are self-verifying, so other
+  // slots' stale hints merely cost them one widened discovery round, and a
+  // proxying ring worker leaves the submitter's slot alone for the same
+  // reason).
+  if (!ProxyExecution::Active()) {
+    CurrentFaultHint().thread.store(kInvalidObject, std::memory_order_relaxed);
+  }
   Result<Object*> o = ResolveEntry(*t, ce);
   if (!o.ok()) {
     return o.status();
@@ -307,12 +322,14 @@ Status Kernel::AsAccessOnce(ObjectId self, uint64_t va, void* buf, uint64_t len,
       write ? TableLock::Mode::kExclusive : TableLock::Mode::kShared;
   ObjectId as_id = kInvalidObject;
   ContainerEntry seg{};
-  FaultHintSlot& hint = FaultHintFor(self);
+  FaultHintSlot& hint = CurrentFaultHint();
   // Ring workers execute under ProxyExecution (kernel.h): they must neither
-  // seed their lock sets from nor overwrite the submitter's last-fault
-  // hint — the submitter may be faulting concurrently on its own host
-  // thread, and its warm-hit guarantee (one lock round) must survive
-  // workers faulting through unrelated mappings on its behalf.
+  // seed their lock sets from nor overwrite a fault hint — the slot is the
+  // HOST thread's (a worker's slot would cache a footprint for whatever
+  // submitter it last proxied), and the submitter's own warm-hit guarantee
+  // (one lock round) must survive workers faulting through unrelated
+  // mappings on its behalf. The `thread == self` check below self-verifies
+  // the slot against reuse either way.
   const bool use_hint = !ProxyExecution::Active();
   if (use_hint && hint.thread.load(std::memory_order_relaxed) == self) {
     as_id = hint.as.load(std::memory_order_relaxed);

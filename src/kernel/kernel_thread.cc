@@ -102,8 +102,12 @@ Status Kernel::SelfSetAsLocked(ObjectId self, ContainerEntry as) {
     return Status::kLabelCheckFailed;
   }
   t->set_address_space_internal(as);
-  // Switching address spaces invalidates the cached last-fault footprint.
-  FaultHintFor(self).thread.store(kInvalidObject, std::memory_order_relaxed);
+  // Switching address spaces invalidates the cached last-fault footprint
+  // (host-thread slot; a proxying worker skips it — self-verification
+  // covers the submitter's stale entry).
+  if (!ProxyExecution::Active()) {
+    CurrentFaultHint().thread.store(kInvalidObject, std::memory_order_relaxed);
+  }
   MarkDirty(self);
   return Status::kOk;
 }

@@ -18,10 +18,20 @@
 // shard covering this object's id: shared mode for the const readers,
 // exclusive for anything that mutates (see ARCHITECTURE.md "Concurrency
 // model" and the helper contracts in kernel.h).
+//
+// PR 6 exception: the fields the lock-free read path may touch are
+// atomics (label id, quota, thread halted/clearance) or published
+// snapshots (container link list, segment length), so epoch-protected
+// readers holding NO shard lock see them torn-free. Everything else —
+// segment payload bytes, AS mappings, metadata, alerts — is still
+// lock-disciplined plain data, and the syscalls that read it stay on the
+// locked path (see kernel.h's batch-plan table).
 #ifndef SRC_KERNEL_OBJECT_H_
 #define SRC_KERNEL_OBJECT_H_
 
+#include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <deque>
@@ -58,13 +68,19 @@ class Object {
 
   // Handle of this object's label in the kernel's LabelRegistry. The ToHi
   // form needed by observation checks is reached through the registry
-  // (HiOf), not stored here.
-  LabelId label_id() const { return label_id_; }
+  // (HiOf), not stored here. Acquire/release: a lock-free reader that
+  // loads the id must also see the registry entry the interning thread
+  // published behind it.
+  LabelId label_id() const { return label_id_.load(std::memory_order_acquire); }
   // Only Kernel may relabel, and only for threads (self_set_label).
-  void set_label_id_internal(LabelId v) { label_id_ = v; }
+  void set_label_id_internal(LabelId v) {
+    label_id_.store(v, std::memory_order_release);
+  }
 
-  uint64_t quota() const { return quota_; }
-  void set_quota_internal(uint64_t q) { quota_ = q; }
+  uint64_t quota() const { return quota_.load(std::memory_order_relaxed); }
+  void set_quota_internal(uint64_t q) {
+    quota_.store(q, std::memory_order_relaxed);
+  }
 
   bool fixed_quota() const { return fixed_quota_; }
   void set_fixed_quota_internal() { fixed_quota_ = true; }
@@ -93,12 +109,18 @@ class Object {
   // used by the quota system and by the store's space accounting.
   virtual uint64_t OwnUsage() const { return kObjectOverheadBytes; }
 
+  // Called by ObjectTable::InsertLocked just before the object becomes
+  // reachable from the lock-free published index: subclasses with derived
+  // published state (segment length, container link snapshot) seed it
+  // here so no reader can observe the object without it.
+  virtual void OnPublish() {}
+
  private:
   const ObjectId id_;
   const ObjectType type_;
   uint64_t creation_seq_ = 0;
-  LabelId label_id_ = kInvalidLabelId;
-  uint64_t quota_ = 0;
+  std::atomic<LabelId> label_id_{kInvalidLabelId};
+  std::atomic<uint64_t> quota_{0};
   bool fixed_quota_ = false;
   bool immutable_ = false;
   uint32_t link_count_ = 0;
@@ -114,10 +136,23 @@ class Segment : public Object {
   std::vector<uint8_t>& bytes() { return bytes_; }
   const std::vector<uint8_t>& bytes() const { return bytes_; }
 
+  // Length as seen by the lock-free read path (sys_segment_get_len).
+  // Every length mutation under the exclusive lock republishes; the
+  // payload itself is NOT lock-free-readable (reads stay locked).
+  uint64_t published_len() const {
+    return published_len_.load(std::memory_order_acquire);
+  }
+  void publish_len_internal() {
+    published_len_.store(bytes_.size(), std::memory_order_release);
+  }
+
+  void OnPublish() override { publish_len_internal(); }
+
   uint64_t OwnUsage() const override { return kObjectOverheadBytes + bytes_.size(); }
 
  private:
   std::vector<uint8_t> bytes_;
+  std::atomic<uint64_t> published_len_{0};
 };
 
 // Container: holds hard links to objects and anchors the quota hierarchy.
@@ -135,6 +170,29 @@ class Container : public Object {
   std::vector<ObjectId>& links_mutable() { return links_; }
   bool HasLink(ObjectId o) const;
 
+  // Immutable copy of the link list for the lock-free read path
+  // (ResolveEntry's membership check, sys_container_list/has). Mutators
+  // (LinkInto / UnlinkFrom, under the exclusive lock) call
+  // RepublishLinks and retire the returned stale snapshot through the
+  // epoch layer; the final snapshot dies with the container (whose own
+  // destruction is itself epoch-deferred).
+  const std::vector<ObjectId>* links_snapshot() const {
+    return links_snapshot_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const std::vector<ObjectId>* RepublishLinks() {
+    const std::vector<ObjectId>* fresh = new std::vector<ObjectId>(links_);
+    return links_snapshot_.exchange(fresh, std::memory_order_acq_rel);
+  }
+
+  void OnPublish() override {
+    delete links_snapshot_.exchange(new std::vector<ObjectId>(links_),
+                                    std::memory_order_acq_rel);
+  }
+
+  ~Container() override {
+    delete links_snapshot_.load(std::memory_order_relaxed);
+  }
+
   // Sum of quotas of contained objects plus our own structures.
   uint64_t usage() const { return usage_; }
   void set_usage_internal(uint64_t u) { usage_ = u; }
@@ -149,6 +207,7 @@ class Container : public Object {
   std::vector<ObjectId> links_;
   // Sum of contained objects' quotas only; OwnUsage() covers our structures.
   uint64_t usage_ = 0;
+  std::atomic<const std::vector<ObjectId>*> links_snapshot_{nullptr};
 };
 
 // A single address-space mapping: VA → ⟨segment, offset, npages, flags⟩.
@@ -193,26 +252,33 @@ class Thread : public Object {
     local_segment_.resize(kPageSize, 0);
   }
 
-  LabelId clearance_id() const { return clearance_id_; }
-  void set_clearance_id_internal(LabelId v) { clearance_id_ = v; }
+  // Atomic for the same reason as Object::label_id_: threads are
+  // relabeled after publication (gate invoke, self_set_clearance) while
+  // lock-free readers check them.
+  LabelId clearance_id() const {
+    return clearance_id_.load(std::memory_order_acquire);
+  }
+  void set_clearance_id_internal(LabelId v) {
+    clearance_id_.store(v, std::memory_order_release);
+  }
 
   ContainerEntry address_space() const { return address_space_; }
   void set_address_space_internal(ContainerEntry as) { address_space_ = as; }
 
   std::vector<uint8_t>& local_segment() { return local_segment_; }
 
-  bool halted() const { return halted_; }
-  void set_halted_internal() { halted_ = true; }
+  bool halted() const { return halted_.load(std::memory_order_acquire); }
+  void set_halted_internal() { halted_.store(true, std::memory_order_release); }
 
   std::deque<uint64_t>& alerts() { return alerts_; }
 
   uint64_t OwnUsage() const override { return kObjectOverheadBytes + kPageSize; }
 
  private:
-  LabelId clearance_id_ = kInvalidLabelId;
+  std::atomic<LabelId> clearance_id_{kInvalidLabelId};
   ContainerEntry address_space_;
   std::vector<uint8_t> local_segment_;
-  bool halted_ = false;
+  std::atomic<bool> halted_{false};
   std::deque<uint64_t> alerts_;
 };
 

@@ -19,6 +19,16 @@
 //   * The *Locked accessors perform no synchronization themselves; the
 //     caller must hold the covering shard lock (shared for reads, exclusive
 //     for any mutation, including insert/erase).
+//
+// PR 6 adds a lock-free read path beside the locked one: each shard also
+// carries a published index — an open-addressing array of
+// {atomic id, atomic Object*} slots. Insert/erase (always under the
+// exclusive shard lock) publish/tombstone entries with release stores and
+// retire replaced objects and outgrown index arrays through the
+// EpochDomain; GetPublished probes the index with acquire loads and NO
+// shard mutex. Callers of GetPublished must hold an EpochGuard, which is
+// what keeps a just-erased object alive until the probe's pointer dies.
+// TableLock semantics for mutation, destroy, and checkpoint are unchanged.
 #ifndef SRC_KERNEL_OBJECT_TABLE_H_
 #define SRC_KERNEL_OBJECT_TABLE_H_
 
@@ -29,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/epoch.h"
 #include "src/kernel/object.h"
 #include "src/kernel/types.h"
 
@@ -94,15 +105,63 @@ class ObjectTable {
     return sh.objects.count(id) > 0;
   }
 
-  // Inserts (or, on the restore path, replaces) the object under its id.
-  // Requires the covering shard locked exclusive.
+  // Inserts (or, on the restore path, replaces) the object under its id,
+  // and publishes it into the shard's lock-free index. A replaced object
+  // is retired through the epoch layer, never destroyed in place — a
+  // lock-free reader may still hold it. Requires the covering shard
+  // locked exclusive.
   void InsertLocked(std::unique_ptr<Object> obj) {
     ObjectId id = obj->id();
-    shards_[ShardOf(id)]->objects[id] = std::move(obj);
+    Shard& sh = *shards_[ShardOf(id)];
+    Object* raw = obj.get();
+    std::unique_ptr<Object>& cell = sh.objects[id];
+    Object* displaced = cell.release();
+    cell = std::move(obj);
+    // Derived published state (segment length, container link snapshot)
+    // must be coherent before the pointer becomes reachable.
+    raw->OnPublish();
+    PublishLocked(sh, id, raw);
+    if (displaced != nullptr) {
+      EpochDomain::Global().Retire(displaced);
+    }
   }
 
-  // Requires the covering shard locked exclusive.
-  void EraseLocked(ObjectId id) { shards_[ShardOf(id)]->objects.erase(id); }
+  // Tombstones the published entry and retires the object through the
+  // epoch layer. Requires the covering shard locked exclusive.
+  void EraseLocked(ObjectId id) {
+    Shard& sh = *shards_[ShardOf(id)];
+    auto it = sh.objects.find(id);
+    if (it == sh.objects.end()) {
+      return;
+    }
+    Object* raw = it->second.release();
+    sh.objects.erase(it);
+    UnpublishLocked(sh, id);
+    EpochDomain::Global().Retire(raw);
+  }
+
+  // ---- lock-free read path (caller holds an EpochGuard, NO shard lock) ----
+
+  // Probes the shard's published index. Returns nullptr for absent or
+  // tombstoned (concurrently erased) ids. The pointer stays valid for the
+  // duration of the caller's epoch guard — erase retires, never deletes.
+  Object* GetPublished(ObjectId id) const {
+    const Shard& sh = *shards_[ShardOf(id)];
+    const PubIndex* idx = sh.pub.load(std::memory_order_acquire);
+    if (idx == nullptr) {
+      return nullptr;
+    }
+    const size_t mask = idx->capacity - 1;
+    for (size_t i = PubHash(id) & mask;; i = (i + 1) & mask) {
+      ObjectId sid = idx->slots[i].id.load(std::memory_order_acquire);
+      if (sid == id) {
+        return idx->slots[i].obj.load(std::memory_order_acquire);
+      }
+      if (sid == kInvalidObject) {
+        return nullptr;
+      }
+    }
+  }
 
   // Visits every live object. Requires ALL shards locked (TableLock::All);
   // exclusive if `fn` mutates objects, shared otherwise.
@@ -127,10 +186,117 @@ class ObjectTable {
  private:
   friend class TableLock;
 
+  // One slot of the lock-free published index. Empty slots have
+  // id == kInvalidObject; a tombstone keeps its id (so probe chains stay
+  // intact) with obj == nullptr. Writers store obj before id (both
+  // release) so a reader that observes the id also observes the object.
+  struct PubSlot {
+    std::atomic<ObjectId> id{kInvalidObject};
+    std::atomic<Object*> obj{nullptr};
+  };
+
+  struct PubIndex {
+    explicit PubIndex(size_t cap) : capacity(cap), slots(new PubSlot[cap]) {}
+    const size_t capacity;  // power of two
+    std::unique_ptr<PubSlot[]> slots;
+    size_t used = 0;  // writer bookkeeping: claimed slots, incl. tombstones
+  };
+
+  static constexpr size_t kMinPubCapacity = 64;
+
   struct Shard {
     mutable std::shared_mutex mu;
     std::unordered_map<ObjectId, std::unique_ptr<Object>> objects;
+    // Lock-free published index over `objects`. Written only under the
+    // exclusive shard lock; read via acquire loads with no lock at all.
+    std::atomic<PubIndex*> pub{nullptr};
+    ~Shard() { delete pub.load(std::memory_order_relaxed); }
   };
+
+  // Distinct mix from ShardIndexFor: ids within one shard share that
+  // hash's low bits, so reusing it here would stride-cluster the probes.
+  static size_t PubHash(ObjectId id) {
+    uint64_t h = id * 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+
+  // Rebuilds the shard's published index from the authoritative map
+  // (dropping tombstones) at twice the live count, publishes it, and
+  // retires the outgrown array — a lock-free reader may still be probing
+  // it. Requires the shard locked exclusive.
+  PubIndex* GrowPubLocked(Shard& sh) {
+    size_t cap = kMinPubCapacity;
+    while (cap < (sh.objects.size() + 1) * 2) {
+      cap <<= 1;
+    }
+    PubIndex* fresh = new PubIndex(cap);
+    const size_t mask = cap - 1;
+    for (const auto& [oid, obj] : sh.objects) {
+      for (size_t i = PubHash(oid) & mask;; i = (i + 1) & mask) {
+        PubSlot& s = fresh->slots[i];
+        if (s.id.load(std::memory_order_relaxed) == kInvalidObject) {
+          // Pre-publication fills: ordering comes from the index
+          // pointer's release store below.
+          s.obj.store(obj.get(), std::memory_order_relaxed);
+          s.id.store(oid, std::memory_order_relaxed);
+          ++fresh->used;
+          break;
+        }
+      }
+    }
+    PubIndex* old = sh.pub.load(std::memory_order_relaxed);
+    sh.pub.store(fresh, std::memory_order_release);
+    if (old != nullptr) {
+      EpochDomain::Global().Retire(old);
+    }
+    return fresh;
+  }
+
+  // Requires the shard locked exclusive; `id` must already be in
+  // sh.objects (GrowPubLocked rebuilds from the map).
+  void PublishLocked(Shard& sh, ObjectId id, Object* raw) {
+    PubIndex* idx = sh.pub.load(std::memory_order_relaxed);
+    if (idx == nullptr || (idx->used + 1) * 2 > idx->capacity) {
+      idx = GrowPubLocked(sh);
+    }
+    const size_t mask = idx->capacity - 1;
+    for (size_t i = PubHash(id) & mask;; i = (i + 1) & mask) {
+      PubSlot& s = idx->slots[i];
+      ObjectId sid = s.id.load(std::memory_order_relaxed);
+      if (sid == id) {
+        // Replace (restore path) or revive a tombstone of the same id.
+        s.obj.store(raw, std::memory_order_release);
+        return;
+      }
+      if (sid == kInvalidObject) {
+        s.obj.store(raw, std::memory_order_release);
+        s.id.store(id, std::memory_order_release);
+        ++idx->used;
+        return;
+      }
+    }
+  }
+
+  // Requires the shard locked exclusive.
+  void UnpublishLocked(Shard& sh, ObjectId id) {
+    PubIndex* idx = sh.pub.load(std::memory_order_relaxed);
+    if (idx == nullptr) {
+      return;
+    }
+    const size_t mask = idx->capacity - 1;
+    for (size_t i = PubHash(id) & mask;; i = (i + 1) & mask) {
+      PubSlot& s = idx->slots[i];
+      ObjectId sid = s.id.load(std::memory_order_relaxed);
+      if (sid == id) {
+        s.obj.store(nullptr, std::memory_order_release);
+        return;
+      }
+      if (sid == kInvalidObject) {
+        return;
+      }
+    }
+  }
 
   static size_t NormalizeShardCount(size_t n) {
     if (n < 1) {

@@ -14,8 +14,13 @@ namespace histar {
 
 // ---- RingEngine -------------------------------------------------------------
 
+size_t RingEngine::DefaultWorkers() {
+  size_t hw = std::thread::hardware_concurrency();  // 0 when unknown
+  return std::clamp<size_t>(hw, 2, 8);
+}
+
 RingEngine::RingEngine(Kernel* kernel, size_t workers) : kernel_(kernel) {
-  size_t n = std::max<size_t>(workers, 1);
+  size_t n = workers == 0 ? DefaultWorkers() : std::max<size_t>(workers, 1);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -256,9 +261,10 @@ Result<uint64_t> Kernel::DoRingSubmit(ObjectId self, ContainerEntry ring,
     }
     // Blocking ops may park the worker only BOUNDEDLY: an indefinite futex
     // wait (timeout 0) would pin a worker until an unrelated thread happens
-    // to wake the word — two of those wedge the whole pool, and ~Kernel
-    // would hang joining it. (sys_net_wait is always bounded: the port
-    // clamps timeout 0 to a 50 ms poll.)
+    // to wake the word — pool-size of those wedge the whole pool however
+    // many workers DefaultWorkers() sized it with, and ~Kernel would hang
+    // joining it. (sys_net_wait is always bounded: the port clamps timeout
+    // 0 to a 50 ms poll.)
     if (const FutexWaitReq* fw = std::get_if<FutexWaitReq>(&op.req);
         fw != nullptr && fw->timeout_ms == 0) {
       return Status::kInvalidArg;

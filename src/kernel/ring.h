@@ -91,9 +91,12 @@ struct RingState {
 // joined) before any other kernel state in ~Kernel.
 class RingEngine {
  public:
-  static constexpr size_t kDefaultWorkers = 2;
+  // Pool size when the caller passes 0: sized from the machine
+  // (hardware_concurrency, floor 2 so one blocked worker never serializes
+  // all rings, cap 8 — workers contend on the same shard locks past that).
+  static size_t DefaultWorkers();
 
-  explicit RingEngine(Kernel* kernel, size_t workers = kDefaultWorkers);
+  explicit RingEngine(Kernel* kernel, size_t workers = 0);
   ~RingEngine();
 
   RingEngine(const RingEngine&) = delete;

@@ -1,0 +1,176 @@
+// Epoch-based reclamation layer (PR 6): deferred-free protocol, garbage
+// bounds, guard nesting, and thread-slot registration. The ASan CI job runs
+// this file to pin "no use-after-free and no leak" on the retire path; the
+// companion tests/kernel/epoch_stress_test.cc races it against real kernel
+// mutators under TSan.
+#include "src/core/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace histar {
+namespace {
+
+// A retired object that flips a flag when its deleter actually runs, so the
+// tests can distinguish "retired" from "freed".
+struct Canary {
+  explicit Canary(std::atomic<int>* freed) : freed_count(freed) {}
+  ~Canary() { freed_count->fetch_add(1, std::memory_order_relaxed); }
+  std::atomic<int>* freed_count;
+  int payload = 42;
+};
+
+TEST(EpochTest, RetireIsDeferredWhileAReaderIsPinned) {
+  EpochDomain& d = EpochDomain::Global();
+  d.DrainAll();
+
+  std::atomic<int> freed{0};
+  Canary* c = new Canary(&freed);
+
+  // Pin an epoch on a second thread, then retire; the object must survive
+  // every advance attempt until the reader unpins.
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    EpochGuard guard;
+    pinned.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (!pinned.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  d.Retire(c);
+  for (int i = 0; i < 8; ++i) {
+    d.AdvanceAndCollect();
+  }
+  EXPECT_EQ(freed.load(), 0) << "freed under an active reader";
+  EXPECT_EQ(c->payload, 42);  // still dereferenceable (ASan would flag UAF)
+
+  release.store(true, std::memory_order_release);
+  reader.join();
+  d.DrainAll();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(EpochTest, DrainAllFreesEverythingWhenQuiescent) {
+  EpochDomain& d = EpochDomain::Global();
+  d.DrainAll();
+  std::atomic<int> freed{0};
+  constexpr int kN = 100;
+  for (int i = 0; i < kN; ++i) {
+    d.Retire(new Canary(&freed));
+  }
+  d.DrainAll();
+  EXPECT_EQ(freed.load(), kN);
+  EXPECT_EQ(d.PendingRetired(), 0u);
+}
+
+TEST(EpochTest, GarbageStaysBoundedUnderChurn) {
+  // With no reader pinned, Retire's opportunistic collect must keep the
+  // limbo list near kCollectThreshold no matter how many objects churn
+  // through — the "no unbounded garbage" acceptance property.
+  EpochDomain& d = EpochDomain::Global();
+  d.DrainAll();
+  std::atomic<int> freed{0};
+  size_t max_pending = 0;
+  for (int i = 0; i < 10000; ++i) {
+    d.Retire(new Canary(&freed));
+    max_pending = std::max(max_pending, d.PendingRetired());
+  }
+  // The collect inside Retire frees items two epochs stale, so the pending
+  // set can briefly hold up to ~two generations plus the trigger batch.
+  EXPECT_LE(max_pending, 3 * EpochDomain::kCollectThreshold);
+  d.DrainAll();
+  EXPECT_EQ(freed.load(), 10000);
+}
+
+TEST(EpochTest, GuardsNest) {
+  EpochDomain& d = EpochDomain::Global();
+  d.DrainAll();
+  std::atomic<int> freed{0};
+  {
+    EpochGuard outer;
+    {
+      EpochGuard inner;
+      d.Retire(new Canary(&freed));
+    }
+    // Still pinned by the outer guard: nothing can be freed yet.
+    for (int i = 0; i < 8; ++i) {
+      d.AdvanceAndCollect();
+    }
+    EXPECT_EQ(freed.load(), 0);
+  }
+  d.DrainAll();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(EpochTest, ThreadSlotsAreStableAndReused) {
+  // The calling thread's slot is stable across calls...
+  size_t mine = EpochDomain::ThreadSlot();
+  EXPECT_EQ(mine, EpochDomain::ThreadSlot());
+
+  // ...distinct from a concurrently live thread's...
+  size_t other = EpochDomain::kMaxThreads;
+  std::thread t1([&] { other = EpochDomain::ThreadSlot(); });
+  t1.join();
+  EXPECT_NE(mine, other);
+  EXPECT_LT(other, EpochDomain::kMaxThreads);
+
+  // ...and freed slots are reused lowest-first, so short-lived threads do
+  // not leak slot ids (what keeps masked indexing collision-free).
+  size_t reused = EpochDomain::kMaxThreads;
+  std::thread t2([&] { reused = EpochDomain::ThreadSlot(); });
+  t2.join();
+  EXPECT_EQ(reused, other);
+}
+
+TEST(EpochTest, ConcurrentReadersAndRetirersAreSafe) {
+  // Mixed pin/retire churn across threads; ASan/TSan verify the protocol,
+  // the assertions verify nothing is freed early or twice.
+  EpochDomain& d = EpochDomain::Global();
+  d.DrainAll();
+  std::atomic<int> freed{0};
+  std::atomic<bool> stop{false};
+  constexpr int kRetirePerThread = 2000;
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        EpochGuard guard;
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<std::thread> retirers;
+  for (int w = 0; w < 3; ++w) {
+    retirers.emplace_back([&] {
+      for (int i = 0; i < kRetirePerThread; ++i) {
+        Canary* c = new Canary(&freed);
+        {
+          EpochGuard guard;
+          EXPECT_EQ(c->payload, 42);
+        }
+        d.Retire(c);
+      }
+    });
+  }
+  for (auto& t : retirers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) {
+    t.join();
+  }
+  d.DrainAll();
+  EXPECT_EQ(freed.load(), 3 * kRetirePerThread);
+}
+
+}  // namespace
+}  // namespace histar

@@ -125,6 +125,85 @@ TEST_F(BatchLockTest, UnbatchableEntrySplitsGroupsButCompletes) {
   EXPECT_EQ(n, 3u);
 }
 
+// ---- lock-free read path (PR 6) ---------------------------------------------
+//
+// The epoch-protected published index drops the warm read path's lock count
+// from one to ZERO: a batch (or one-element legacy call) of pure reads
+// resolves ⟨D,O⟩ entries and observes labels/quota/len/links with no
+// TableLock at all. These pins are the PR 6 acceptance criteria.
+
+TEST_F(BatchLockTest, LockFreeReadBatchTakesZeroLocks) {
+  ObjectId seg = MakeSegment(Label(), 256);
+  ContainerEntry ce = RootEntry(seg);
+  SyscallReq reqs[4] = {SyscallReq{ObjGetTypeReq{ce}},
+                        SyscallReq{ObjGetQuotaReq{ce}},
+                        SyscallReq{SegmentGetLenReq{ce}},
+                        SyscallReq{ContainerHasReq{kernel_->root_container(), seg}}};
+  SyscallRes res[4];
+  uint64_t n = Acquisitions([&] {
+    ASSERT_EQ(kernel_->SubmitBatch(init_, reqs, res), Status::kOk);
+  });
+  EXPECT_EQ(n, 0u);
+  EXPECT_EQ(std::get<ObjGetTypeRes>(res[0]).type, ObjectType::kSegment);
+  EXPECT_EQ(std::get<SegmentGetLenRes>(res[2]).len, 256u);
+  EXPECT_TRUE(std::get<ContainerHasRes>(res[3]).has);
+}
+
+TEST_F(BatchLockTest, PerCallLockFreeReadsTakeZeroLocks) {
+  ObjectId seg = MakeSegment(Label(), 256);
+  ContainerEntry ce = RootEntry(seg);
+  // Legacy one-element calls route through the same SubmitBatch grouping,
+  // so each pure read is its own lock-free group: zero acquisitions.
+  uint64_t n = Acquisitions([&] {
+    Result<uint64_t> len = kernel_->sys_segment_get_len(init_, ce);
+    ASSERT_TRUE(len.ok());
+    ASSERT_EQ(len.value(), 256u);
+    Result<ObjectType> ty = kernel_->sys_obj_get_type(init_, ce);
+    ASSERT_TRUE(ty.ok());
+    Result<bool> has = kernel_->sys_container_has(init_, kernel_->root_container(), seg);
+    ASSERT_TRUE(has.ok());
+    ASSERT_TRUE(has.value());
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST_F(BatchLockTest, MutatingEntrySplitsOffLockFreeReads) {
+  ObjectId seg = MakeSegment(Label(), 256);
+  ContainerEntry ce = RootEntry(seg);
+  char buf[8] = {};
+  SyscallReq reqs[3] = {SyscallReq{SegmentGetLenReq{ce}},
+                        SyscallReq{SegmentWriteReq{ce, buf, 0, 8}},
+                        SyscallReq{SegmentGetLenReq{ce}}};
+  SyscallRes res[3];
+  // lockfree(get_len) + locked(write) + lockfree(get_len): only the write
+  // group pays a TableLock.
+  uint64_t n = Acquisitions([&] {
+    ASSERT_EQ(kernel_->SubmitBatch(init_, reqs, res), Status::kOk);
+  });
+  EXPECT_EQ(n, 1u);
+}
+
+TEST_F(BatchLockTest, WarmRegistryLeqTakesZeroRegistryLocks) {
+  LabelRegistry& reg = kernel_->label_registry();
+  Label a(Level::k0);
+  Label b(Level::k2);
+  LabelId ia = reg.Intern(a);
+  LabelId ib = reg.Intern(b);
+  ASSERT_TRUE(reg.Leq(ia, ib));  // memo-miss: recorded under the shard mutex
+
+  reg.set_lock_accounting(true);
+  uint64_t before = reg.lock_acquisitions();
+  ASSERT_TRUE(reg.Leq(ia, ib));   // warm hit
+  ASSERT_FALSE(reg.Leq(ib, ia));  // also memoized by the first call? no —
+                                  // distinct key; prime it...
+  uint64_t primed = reg.lock_acquisitions();
+  ASSERT_FALSE(reg.Leq(ib, ia));  // ...now warm
+  uint64_t after = reg.lock_acquisitions();
+  reg.set_lock_accounting(false);
+  EXPECT_EQ(before, primed - 1) << "first (ib,ia) probe misses once";
+  EXPECT_EQ(primed, after) << "warm Leq must take zero registry locks";
+}
+
 // ---- last-fault hint (the sys_as_access satellite) --------------------------
 
 class FaultHintTest : public KernelTest {
