@@ -40,6 +40,10 @@ std::string_view StatusName(Status s) {
       return "corrupt";
     case Status::kCancelled:
       return "cancelled";
+    case Status::kIoError:
+      return "io-error";
+    case Status::kNoMem:
+      return "no-mem";
   }
   return "unknown";
 }

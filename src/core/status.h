@@ -31,6 +31,8 @@ enum class Status : int32_t {
   kNoSpace = -15,           // disk out of space
   kCorrupt = -16,           // on-disk structure failed validation
   kCancelled = -17,         // linked ring op cancelled by a predecessor's failure
+  kIoError = -18,           // device I/O error (injected or transient), no crash
+  kNoMem = -19,             // host allocation failed on the store path
 };
 
 // Human-readable name for diagnostics and test failure messages.

@@ -20,6 +20,8 @@
 #include <optional>
 #include <vector>
 
+#include "src/store/store_alloc.h"
+
 namespace histar {
 
 // Composite 128-bit key with lexicographic order, used by the free-by-size
@@ -57,8 +59,10 @@ class BPlusTree {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  // Inserts or overwrites.
+  // Inserts or overwrites. The allocation-failure check sits before the
+  // descent so an injected failure never splits a node halfway.
   void Insert(const Key& k, const Value& v) {
+    StoreAlloc::Check();
     InsertResult r = InsertRec(root_.get(), k, v);
     if (r.split) {
       auto new_root = std::make_unique<Node>();
@@ -182,6 +186,7 @@ class BPlusTree {
   }
 
   bool Deserialize(const uint8_t* data, size_t len, size_t* consumed) {
+    StoreAlloc::Check();
     if (len < 8) {
       return false;
     }

@@ -45,6 +45,28 @@ uint64_t DiskModel::AccessCost(uint64_t offset, uint64_t len, bool is_read) {
   return cost;
 }
 
+std::optional<FaultRule> DiskModel::MatchFault(bool is_read, uint64_t offset) {
+  uint64_t& index = is_read ? fault_read_index_ : fault_write_index_;
+  uint64_t this_index = index++;
+  for (size_t i = 0; i < fault_rules_.size(); ++i) {
+    const FaultRule& r = fault_rules_[i];
+    if (r.on_read != is_read) {
+      continue;
+    }
+    if (r.op_index != FaultRule::kAnyIndex && r.op_index != this_index) {
+      continue;
+    }
+    if (offset < r.offset_lo || offset >= r.offset_hi) {
+      continue;
+    }
+    FaultRule fired = r;
+    fault_rules_.erase(fault_rules_.begin() + static_cast<ptrdiff_t>(i));
+    ++fault_counts_[static_cast<size_t>(fired.kind)];
+    return fired;
+  }
+  return std::nullopt;
+}
+
 Status DiskModel::Read(uint64_t offset, void* buf, uint64_t len) {
   std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) {
@@ -56,6 +78,21 @@ Status DiskModel::Read(uint64_t offset, void* buf, uint64_t len) {
   if (offset > geo_.capacity_bytes || len > geo_.capacity_bytes - offset) {
     return Status::kRange;
   }
+  std::optional<FaultRule> fault = MatchFault(/*is_read=*/true, offset);
+  if (fault.has_value()) {
+    switch (fault->kind) {
+      case FaultKind::kReadError:
+        return Status::kIoError;  // transient: nothing returned, no crash
+      case FaultKind::kCrashDevice:
+        crashed_ = true;
+        return Status::kCrashed;
+      case FaultKind::kBitFlip:
+        break;  // read proceeds; the flip is applied to the returned bytes
+      default:
+        fault.reset();  // write-only kinds armed on reads: ignore
+        break;
+    }
+  }
   sim_time_ns_ += AccessCost(offset, len, /*is_read=*/true);
   ++read_ops_;
   if (len != 0) {  // len == 0 legitimately pairs with a null buf
@@ -66,6 +103,10 @@ Status DiskModel::Read(uint64_t offset, void* buf, uint64_t len) {
     if (n != 0) {
       memcpy(buf, data_.data() + offset, n);
     }
+  }
+  if (fault.has_value() && fault->kind == FaultKind::kBitFlip && len != 0) {
+    uint64_t bit = fault->arg % (len * 8);
+    static_cast<uint8_t*>(buf)[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
   }
   return Status::kOk;
 }
@@ -80,9 +121,43 @@ Status DiskModel::Write(uint64_t offset, const void* buf, uint64_t len) {
   }
   uint64_t persist_len = len;
   bool tearing = false;
+  std::optional<uint64_t> flip_bit;
+  std::optional<FaultRule> fault = MatchFault(/*is_read=*/false, offset);
+  if (fault.has_value()) {
+    switch (fault->kind) {
+      case FaultKind::kTorn:
+        // Arbitrary persisted prefix, then the device is gone — unlike the
+        // CrashAfterBytes tear, the prefix is the rule's choice.
+        persist_len = std::min<uint64_t>(fault->arg, len);
+        tearing = true;
+        break;
+      case FaultKind::kMisdirect: {
+        // The payload lands `arg` bytes away — silently: kOk is reported
+        // and the intended extent keeps its old contents.
+        uint64_t bad = offset + (fault->arg % std::max<uint64_t>(geo_.capacity_bytes, 1));
+        if (bad > geo_.capacity_bytes || len > geo_.capacity_bytes - bad) {
+          bad = (bad % std::max<uint64_t>(geo_.capacity_bytes - len + 1, 1));
+        }
+        offset = bad;
+        break;
+      }
+      case FaultKind::kBitFlip:
+        if (len != 0) {
+          flip_bit = fault->arg % (len * 8);
+        }
+        break;
+      case FaultKind::kWriteError:
+        return Status::kIoError;  // transient controller error: nothing hit media
+      case FaultKind::kCrashDevice:
+        crashed_ = true;
+        return Status::kCrashed;  // crash BEFORE the op: nothing persisted
+      case FaultKind::kReadError:
+        break;  // read-only kind armed on writes: ignore
+    }
+  }
   if (crash_armed_) {
     if (len >= crash_after_) {
-      persist_len = crash_after_;
+      persist_len = std::min(persist_len, crash_after_);
       tearing = true;
     } else {
       crash_after_ -= len;
@@ -100,6 +175,12 @@ Status DiskModel::Write(uint64_t offset, const void* buf, uint64_t len) {
       data_.resize(offset + persist_len, 0);
     }
     memcpy(data_.data() + offset, buf, persist_len);
+    if (flip_bit.has_value() && flip_bit.value() / 8 < persist_len) {
+      // Durable silent corruption: the media holds the flipped bit while
+      // the op reports success.
+      data_[offset + flip_bit.value() / 8] ^=
+          static_cast<uint8_t>(1u << (flip_bit.value() % 8));
+    }
   }
   if (tearing) {
     crashed_ = true;
@@ -150,6 +231,37 @@ void DiskModel::Repair() {
   std::lock_guard<std::mutex> lock(mu_);
   crashed_ = false;
   crash_armed_ = false;
+}
+
+void DiskModel::SetFaultPlan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_rules_ = std::move(plan.rules);
+  fault_read_index_ = 0;
+  fault_write_index_ = 0;
+}
+
+void DiskModel::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_rules_.clear();
+}
+
+uint64_t DiskModel::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (uint64_t c : fault_counts_) {
+    total += c;
+  }
+  return total;
+}
+
+uint64_t DiskModel::faults_injected(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_counts_[static_cast<size_t>(kind)];
+}
+
+size_t DiskModel::pending_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_rules_.size();
 }
 
 }  // namespace histar

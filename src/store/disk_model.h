@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "src/core/status.h"
@@ -47,6 +48,54 @@ struct DiskGeometry {
   bool store_data = true;
   // If true, every operation costs zero simulated time (unit tests).
   bool zero_latency = false;
+};
+
+// Programmable fault injection (PR 7). A FaultPlan is a list of one-shot
+// rules; each rule targets reads or writes and fires on the first operation
+// whose index-since-arming and offset range both match. Kinds:
+//  * kTorn        (write) persist only the first `arg` bytes, then the
+//                 device crashes — a torn write with an ARBITRARY prefix,
+//                 unlike CrashAfterBytes' byte-budget tear
+//  * kMisdirect   (write) the full payload silently lands `arg` bytes away
+//                 from the requested offset; the op reports kOk (the disk
+//                 lies — firmware misdirected write)
+//  * kBitFlip     (write) persist with bit `arg mod len*8` inverted, report
+//                 kOk; (read) return the true data with that bit inverted —
+//                 durable vs transient silent corruption
+//  * kReadError   (read) fail with kIoError, returning nothing; transient
+//                 (the rule is consumed, a retry succeeds)
+//  * kWriteError  (write) fail with kIoError, persisting nothing
+//  * kCrashDevice (either) the device crashes before performing the op
+// Rules are consumed on firing; per-kind counters record what actually
+// fired so campaigns can assert coverage. ClearFaults() drops unfired
+// rules; Repair() keeps its historical meaning (clear the crashed state,
+// contents survive) and does NOT touch the plan.
+enum class FaultKind : uint8_t {
+  kTorn = 0,
+  kMisdirect,
+  kBitFlip,
+  kReadError,
+  kWriteError,
+  kCrashDevice,
+};
+inline constexpr size_t kNumFaultKinds = 6;
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kCrashDevice;
+  bool on_read = false;      // match reads (true) or writes (false)
+  // Operation index, counted per direction from SetFaultPlan (0 = the next
+  // matching op). kAnyIndex fires on the first op in the offset range.
+  static constexpr uint64_t kAnyIndex = ~uint64_t{0};
+  uint64_t op_index = kAnyIndex;
+  // Offset window [offset_lo, offset_hi) the op's start offset must fall in.
+  uint64_t offset_lo = 0;
+  uint64_t offset_hi = ~uint64_t{0};
+  // Kind-specific: torn prefix length / misdirect delta / bit index.
+  uint64_t arg = 0;
+};
+
+struct FaultPlan {
+  std::vector<FaultRule> rules;
 };
 
 class DiskModel {
@@ -81,12 +130,25 @@ class DiskModel {
   void Repair();
   bool crashed() const { return crashed_; }
 
+  // Installs a fault plan (replacing any previous one) and resets the
+  // per-direction op counters rules match against.
+  void SetFaultPlan(FaultPlan plan);
+  // Drops unfired rules. Does not clear a crash the plan already caused.
+  void ClearFaults();
+  // Rules that have fired since construction, total and per kind.
+  uint64_t faults_injected() const;
+  uint64_t faults_injected(FaultKind kind) const;
+  // Unfired rules still armed (campaigns: did the scheduled fault fire?).
+  size_t pending_faults() const;
+
   const DiskGeometry& geometry() const { return geo_; }
   void set_lookahead_enabled(bool on) { geo_.lookahead_enabled = on; }
 
  private:
   // Service-time model, mu_ held.
   uint64_t AccessCost(uint64_t offset, uint64_t len, bool is_read);
+  // Pops the first armed rule matching this op (mu_ held); counts the fire.
+  std::optional<FaultRule> MatchFault(bool is_read, uint64_t offset);
 
   DiskGeometry geo_;
   mutable std::mutex mu_;
@@ -101,6 +163,13 @@ class DiskModel {
   bool crash_armed_ = false;
   uint64_t crash_after_ = 0;
   bool crashed_ = false;
+
+  // Fault plan state: armed rules plus the per-direction op indices counted
+  // from the most recent SetFaultPlan.
+  std::vector<FaultRule> fault_rules_;
+  uint64_t fault_read_index_ = 0;
+  uint64_t fault_write_index_ = 0;
+  uint64_t fault_counts_[kNumFaultKinds] = {};
 };
 
 }  // namespace histar

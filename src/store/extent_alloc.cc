@@ -1,5 +1,7 @@
 #include "src/store/extent_alloc.h"
 
+#include "src/store/store_alloc.h"
+
 namespace histar {
 
 ExtentAllocator::ExtentAllocator(uint64_t start, uint64_t length)
@@ -8,6 +10,9 @@ ExtentAllocator::ExtentAllocator(uint64_t start, uint64_t length)
 }
 
 void ExtentAllocator::Reset() {
+  // Initialization (constructor / format), not a store-path allocation: a
+  // throw here would escape the store's kNoMem boundary entirely.
+  StoreAllocNoFail init;
   by_size_.Clear();
   by_offset_.Clear();
   by_size_.Insert(Key128{length_, start_}, 0);
@@ -16,6 +21,11 @@ void ExtentAllocator::Reset() {
 }
 
 Result<uint64_t> ExtentAllocator::Allocate(uint64_t len) {
+  StoreAlloc::Check();
+  // The entry check above is this operation's one injection point: a throw
+  // from the nested tree inserts below (after the erase) would drop the
+  // extent from the free pool permanently.
+  StoreAllocNoFail atomic_update;
   if (len == 0) {
     return Status::kInvalidArg;
   }
@@ -40,6 +50,8 @@ Result<uint64_t> ExtentAllocator::Allocate(uint64_t len) {
 }
 
 bool ExtentAllocator::ReserveRange(uint64_t offset, uint64_t len) {
+  StoreAlloc::Check();
+  StoreAllocNoFail atomic_update;  // same discipline as Allocate
   if (len == 0) {
     return true;
   }
@@ -75,6 +87,10 @@ bool ExtentAllocator::ReserveExtents(const std::vector<Extent>& extents) {
   return true;
 }
 
+// No Check() here: Free runs on cleanup and post-commit paths where an
+// injected failure could strand a half-released pending_frees_ list (a
+// double free waiting to happen); its internal tree inserts are covered by
+// the StoreAllocNoFail guards those call sites hold.
 void ExtentAllocator::Free(uint64_t offset, uint64_t len) {
   if (len == 0) {
     return;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <new>
+
+#include "src/store/store_alloc.h"
 
 namespace histar {
 
@@ -98,6 +101,14 @@ uint64_t SingleLevelStore::Checksum(const void* data, size_t len) {
 
 Status SingleLevelStore::Format() {
   std::lock_guard<std::mutex> lock(mu_);
+  try {
+    return FormatLocked();
+  } catch (const std::bad_alloc&) {
+    return Status::kNoMem;
+  }
+}
+
+Status SingleLevelStore::FormatLocked() {
   objmap_.Clear();
   alloc_.Reset();
   root_ = kInvalidObject;
@@ -174,6 +185,7 @@ Status SingleLevelStore::WriteObject(ObjectId id, const std::vector<uint8_t>& by
   // checksum covers only the metadata prefix [0, meta_len): segment payload
   // after it may later be rewritten in place by SyncPages without
   // invalidating the blob (ext3-writeback semantics — see the header).
+  StoreAlloc::Check();
   meta_len = std::min<uint64_t>(meta_len, bytes.size());
   Result<uint64_t> off = alloc_.Allocate(bytes.size() + 8);
   if (!off.ok()) {
@@ -185,9 +197,14 @@ Status SingleLevelStore::WriteObject(ObjectId id, const std::vector<uint8_t>& by
     st = disk_->Write(off.value() + bytes.size(), &csum, 8);
   }
   if (st != Status::kOk) {
+    StoreAllocNoFail cleanup;  // unwinding a failed write must not fault again
     alloc_.Free(off.value(), bytes.size() + 8);
     return st;
   }
+  // The blob is durable and the extent allocated: the map/bookkeeping update
+  // must complete as a unit. A throw between the pending_frees_ push and the
+  // map insert would queue the extent the map still references for reuse.
+  StoreAllocNoFail atomic_update;
   if (std::optional<ObjRecord> old = objmap_.Find(id); old.has_value()) {
     pending_frees_.push_back(old->extent);
   }
@@ -203,6 +220,7 @@ Status SingleLevelStore::CommitSection(const std::vector<LabelTableRecord>* labe
   // since the last commit, and the ids deleted since then. Recovery replays
   // the chain in order, so the chain length bounds replay work — hence the
   // forced base every max_increments epochs.
+  StoreAlloc::Check();
   bool base = need_base_ || chain_.empty() || chain_.size() - 1 >= tuning_.max_increments ||
               chain_.size() >= kMaxChain;
   std::vector<uint8_t> image;
@@ -275,6 +293,7 @@ Status SingleLevelStore::CommitSection(const std::vector<LabelTableRecord>* labe
     st = disk_->Flush();  // section + object images durable before the flip
   }
   if (st != Status::kOk) {
+    StoreAllocNoFail cleanup;
     alloc_.Free(off.value(), image.size() + 8);
     return st;
   }
@@ -298,6 +317,10 @@ Status SingleLevelStore::CommitSection(const std::vector<LabelTableRecord>* labe
     return st;
   }
   // Only after the superblock flip is it safe to reuse superseded extents.
+  // The commit is durable at this point: releasing the superseded extents
+  // must not fault halfway (a partial release with pending_frees_ cleared
+  // would leak; a partial release with it kept would double-free later).
+  StoreAllocNoFail cleanup;
   for (const Extent& e : pending_frees_) {
     alloc_.Free(e.offset, e.length);
   }
@@ -307,6 +330,15 @@ Status SingleLevelStore::CommitSection(const std::vector<LabelTableRecord>* labe
 
 Status SingleLevelStore::Checkpoint(const CheckpointBatch& batch) {
   std::lock_guard<std::mutex> lock(mu_);
+  try {
+    return CheckpointLocked(batch);
+  } catch (const std::bad_alloc&) {
+    return Status::kNoMem;
+  }
+}
+
+Status SingleLevelStore::CheckpointLocked(const CheckpointBatch& batch) {
+  StoreAlloc::Check();
   // Extend the store's label table with this sync's delta. The merge is
   // idempotent: a delta resent after a failed commit just overwrites equal
   // records.
@@ -376,6 +408,16 @@ Status SingleLevelStore::Checkpoint(const CheckpointBatch& batch) {
 Status SingleLevelStore::SyncOne(ObjectId id, const std::vector<uint8_t>& bytes,
                                  uint64_t meta_len) {
   std::lock_guard<std::mutex> lock(mu_);
+  try {
+    return SyncOneLocked(id, bytes, meta_len);
+  } catch (const std::bad_alloc&) {
+    return Status::kNoMem;
+  }
+}
+
+Status SingleLevelStore::SyncOneLocked(ObjectId id, const std::vector<uint8_t>& bytes,
+                                       uint64_t meta_len) {
+  StoreAlloc::Check();
   if (bytes.size() > tuning_.log_region_bytes / 4) {
     // Too big for the log: write straight to a fresh extent and commit the
     // new location as an increment (or a base if one is due).
@@ -423,6 +465,7 @@ Status SingleLevelStore::SyncOne(ObjectId id, const std::vector<uint8_t>& bytes,
 }
 
 Status SingleLevelStore::ApplyLog() {
+  StoreAlloc::Check();
   ++log_applies_;
   for (const auto& [id, img] : log_tail_) {
     Status st = WriteObject(id, img.bytes, img.meta_len);
@@ -448,6 +491,15 @@ Status SingleLevelStore::ApplyLog() {
 Status SingleLevelStore::SyncPages(ObjectId id, uint64_t offset,
                                    const std::vector<uint8_t>& pages) {
   std::lock_guard<std::mutex> lock(mu_);
+  try {
+    return SyncPagesLocked(id, offset, pages);
+  } catch (const std::bad_alloc&) {
+    return Status::kNoMem;
+  }
+}
+
+Status SingleLevelStore::SyncPagesLocked(ObjectId id, uint64_t offset,
+                                         const std::vector<uint8_t>& pages) {
   std::optional<ObjRecord> rec = objmap_.Find(id);
   if (!rec.has_value()) {
     return Status::kNotFound;  // never checkpointed: nothing to flush into
@@ -480,6 +532,14 @@ Status SingleLevelStore::SyncPages(ObjectId id, uint64_t offset,
 
 Result<uint64_t> SingleLevelStore::TouchObject(ObjectId id) {
   std::lock_guard<std::mutex> lock(mu_);
+  try {
+    return TouchObjectLocked(id);
+  } catch (const std::bad_alloc&) {
+    return Status::kNoMem;
+  }
+}
+
+Result<uint64_t> SingleLevelStore::TouchObjectLocked(ObjectId id) {
   std::optional<ObjRecord> rec = objmap_.Find(id);
   if (!rec.has_value()) {
     return Status::kNotFound;
@@ -500,6 +560,15 @@ Result<uint64_t> SingleLevelStore::TouchObject(ObjectId id) {
 
 Status SingleLevelStore::Recover(Kernel* kernel) {
   std::lock_guard<std::mutex> lock(mu_);
+  try {
+    return RecoverLocked(kernel);
+  } catch (const std::bad_alloc&) {
+    return Status::kNoMem;
+  }
+}
+
+Status SingleLevelStore::RecoverLocked(Kernel* kernel) {
+  StoreAlloc::Check();
   Superblock sb;
   Status st = ReadSuperblocks(&sb);
   if (st != Status::kOk) {

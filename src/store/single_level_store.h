@@ -149,7 +149,17 @@ class SingleLevelStore : public PersistTarget {
 
   static uint64_t Checksum(const void* data, size_t len);
 
-  // mu_ held for all of these.
+  // mu_ held for all of these. The public entry points above are thin
+  // wrappers: take mu_, call the *Locked body, and catch std::bad_alloc
+  // (the StoreAlloc fault hook and real allocation failure alike) into
+  // Status::kNoMem — so an allocation failure anywhere on the store path
+  // surfaces as a failed, retryable operation instead of an abort.
+  Status FormatLocked();
+  Status CheckpointLocked(const CheckpointBatch& batch);
+  Status SyncOneLocked(ObjectId id, const std::vector<uint8_t>& bytes, uint64_t meta_len);
+  Status SyncPagesLocked(ObjectId id, uint64_t offset, const std::vector<uint8_t>& pages);
+  Result<uint64_t> TouchObjectLocked(ObjectId id);
+  Status RecoverLocked(Kernel* kernel);
   Status WriteSuperblock();
   Status ReadSuperblocks(Superblock* out);
   // Writes the blob to a new extent (checksum over [0, meta_len)), updating

@@ -1,0 +1,9 @@
+#include "src/store/store_alloc.h"
+
+namespace histar {
+
+std::atomic<uint64_t> StoreAlloc::fail_at_{0};
+std::atomic<uint64_t> StoreAlloc::attempts_{0};
+thread_local uint64_t StoreAlloc::suppress_ = 0;
+
+}  // namespace histar

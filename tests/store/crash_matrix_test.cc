@@ -12,6 +12,7 @@
 
 #include "src/store/single_level_store.h"
 #include "tests/kernel/kernel_test_util.h"
+#include "tests/store/crash_oracle.h"
 
 namespace histar {
 namespace {
@@ -39,10 +40,10 @@ class CrashMatrix : public KernelTest, public ::testing::WithParamInterface<int>
 
   // Boots a fresh kernel from whatever survived on disk.
   std::unique_ptr<Kernel> Reboot() {
-    auto k = std::make_unique<Kernel>();
-    recovered_store_ = std::make_unique<SingleLevelStore>(disk_.get(), TestTuning());
-    EXPECT_EQ(recovered_store_->Recover(k.get()), Status::kOk);
-    return k;
+    RebootResult r = RebootFromDisk(disk_.get(), TestTuning());
+    EXPECT_EQ(r.status, Status::kOk);
+    recovered_store_ = std::move(r.store);
+    return std::move(r.kernel);
   }
 
   std::unique_ptr<DiskModel> disk_;
@@ -81,17 +82,13 @@ TEST_P(CrashMatrix, CheckpointIsAllOrNothing) {
   ASSERT_EQ(k2->sys_segment_read(init_, ContainerEntry{k2->root_container(), seg}, out.data(),
                                  0, kLen),
             Status::kOk);
-  bool all_old = true;
-  bool all_new = true;
-  for (uint8_t b : out) {
-    all_old = all_old && b == 1;
-    all_new = all_new && b == 2;
-  }
-  EXPECT_TRUE(all_old || all_new) << "torn segment after crash at byte " << crash_at;
+  bool was_new = false;
+  EXPECT_TRUE(AllOldOrAllNew(out, 1, 2, &was_new))
+      << "torn segment after crash at byte " << crash_at;
   if (st == Status::kOk) {
     // If the checkpoint claimed success, the new state must be what
     // recovered (the superblock flip is the commit point).
-    EXPECT_TRUE(all_new);
+    EXPECT_TRUE(was_new);
   }
 }
 
@@ -123,13 +120,8 @@ TEST_P(CrashMatrix, WalAppendIsAllOrNothing) {
   ASSERT_EQ(k2->sys_segment_read(init_, ContainerEntry{k2->root_container(), seg}, out.data(),
                                  0, kLen),
             Status::kOk);
-  bool all_old = true;
-  bool all_new = true;
-  for (uint8_t b : out) {
-    all_old = all_old && b == 0xaa;
-    all_new = all_new && b == 0xbb;
-  }
-  EXPECT_TRUE(all_old || all_new) << "torn WAL recovery at crash byte " << crash_at;
+  EXPECT_TRUE(AllOldOrAllNew(out, 0xaa, 0xbb))
+      << "torn WAL recovery at crash byte " << crash_at;
 }
 
 // Randomized workload, randomized crash point: whatever survives must

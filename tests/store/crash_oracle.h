@@ -1,0 +1,261 @@
+// Shared crash-recovery oracle (PR 7). The pre/post-crash state-equivalence
+// machinery extracted from recovery_crash_test.cc so every store fault test
+// — the crash matrix, the superblock corruption tests, and the randomized
+// fault campaign — asserts recovery correctness the same way.
+//
+// Model: the disk crashes, the kernel does not. The live kernel that keeps
+// running across a failed sync IS the shadow the paper's recovery contract
+// is checked against: a reboot from disk must reproduce a world the live
+// system actually passed through at a commit point.
+//
+// Two strengths of check, because syncs differ in what they promise:
+//  * EXACT: after a successful group sync the entire dirty world is
+//    committed under one superblock flip — the recovered image must be
+//    byte-identical (canonical inline serialization, label-table-interning
+//    independent) to the live image at that sync. The oracle also knows the
+//    exact durable image right after any passed reboot check (recovery does
+//    not write), and can extend it through a successful single-object sync
+//    when no failed commit's residue is pending.
+//  * PER-OBJECT: a failed sync leaves commit-boundary ambiguity (the flip
+//    may have landed while the syscall reported failure), and residue from
+//    the failure (blobs already written, pending object-map updates) may
+//    ride along with the NEXT commit. The whole-world image is then not
+//    predictable without modeling store internals, but every recovered
+//    object must still be byte-identical to SOME state that object really
+//    held at a sync call — recovery may time-travel per object, it may
+//    never invent bytes. The next successful group sync (or passed reboot
+//    check) collapses the ambiguity and restores EXACT mode.
+#ifndef TESTS_STORE_CRASH_ORACLE_H_
+#define TESTS_STORE_CRASH_ORACLE_H_
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "src/store/single_level_store.h"
+
+namespace histar {
+
+// Object id → canonical serialized image (labels inline, so the bytes do
+// not depend on the label table's interned ids and compare stably across
+// recoveries).
+using WorldMap = std::map<ObjectId, std::vector<uint8_t>>;
+
+inline WorldMap WorldImage(const Kernel& k) {
+  WorldMap img;
+  for (ObjectId id : k.LiveObjects()) {
+    std::vector<uint8_t> bytes;
+    EXPECT_TRUE(k.SerializeObject(id, &bytes));
+    img[id] = std::move(bytes);
+  }
+  return img;
+}
+
+// One reboot: a fresh store + kernel restored from whatever is on disk.
+// `status` is Recover()'s verdict; the kernel is only meaningful on kOk.
+struct RebootResult {
+  std::unique_ptr<SingleLevelStore> store;
+  std::unique_ptr<Kernel> kernel;
+  Status status = Status::kOk;
+};
+
+inline RebootResult RebootFromDisk(DiskModel* disk, const StoreTuning& tuning) {
+  RebootResult r;
+  r.store = std::make_unique<SingleLevelStore>(disk, tuning);
+  r.kernel = std::make_unique<Kernel>();
+  r.status = r.store->Recover(r.kernel.get());
+  return r;
+}
+
+// Atomicity check for crashes parked around one sync: the recovered world
+// must be one of the supplied candidate images (typically {last committed,
+// post-sync} — a crash on the commit boundary can persist the flip while
+// the syscall reports failure).
+inline ::testing::AssertionResult WorldAmong(const WorldMap& recovered,
+                                             std::initializer_list<const WorldMap*> candidates) {
+  for (const WorldMap* c : candidates) {
+    if (recovered == *c) {
+      return ::testing::AssertionSuccess();
+    }
+  }
+  return ::testing::AssertionFailure()
+         << "recovered world (" << recovered.size()
+         << " objects) matches none of the " << candidates.size()
+         << " candidate commit points";
+}
+
+// All-or-nothing byte check for a single segment: every byte must be the
+// old fill or every byte the new fill — a mixture is a torn write that
+// recovery let through.
+inline ::testing::AssertionResult AllOldOrAllNew(const std::vector<uint8_t>& got,
+                                                 uint8_t old_fill, uint8_t new_fill,
+                                                 bool* was_new = nullptr) {
+  bool all_old = true;
+  bool all_new = true;
+  for (uint8_t b : got) {
+    all_old = all_old && b == old_fill;
+    all_new = all_new && b == new_fill;
+    if (b != old_fill && b != new_fill) {
+      return ::testing::AssertionFailure()
+             << "byte 0x" << std::hex << int{b} << " is neither old fill 0x"
+             << int{old_fill} << " nor new fill 0x" << int{new_fill};
+    }
+  }
+  if (was_new != nullptr) {
+    *was_new = all_new;
+  }
+  if (all_old || all_new) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure() << "segment recovered as a mixture of old and new bytes";
+}
+
+// The campaign oracle proper: tracks what could legally be durable as the
+// live kernel runs through syncs, failures, and reboot checks.
+class CrashOracle {
+ public:
+  // `initial` is the world image at the first committed state (post-format
+  // first sync, or whatever the schedule treats as its baseline).
+  explicit CrashOracle(const WorldMap& initial) : exact_(initial) { RecordLive(initial); }
+
+  // Every state passed here becomes a legal per-object recovery target:
+  // syncs write object images from the live state at the call, so these are
+  // exactly the bytes that can ever reach the disk.
+  void RecordLive(const WorldMap& live) {
+    for (const auto& [id, bytes] : live) {
+      std::vector<std::vector<uint8_t>>& states = history_[id];
+      bool known = false;
+      for (const std::vector<uint8_t>& s : states) {
+        if (s == bytes) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        states.push_back(bytes);
+      }
+    }
+  }
+
+  // A group sync (sys_sync) returned `st` with the live world now `live`.
+  void OnGroupSync(Status st, const WorldMap& live) {
+    RecordLive(live);
+    if (st == Status::kOk) {
+      // The checkpoint covered every dirty object AND any residue from
+      // earlier failed commits: durable == live, ambiguity gone.
+      exact_ = live;
+      carryover_ = false;
+    } else {
+      // Boundary ambiguity + residue: durable is old, new, or (after the
+      // next commit) a hybrid. Drop to per-object mode.
+      exact_.reset();
+      carryover_ = true;
+    }
+  }
+
+  // A single-object sync (sys_sync_object of `id`) returned `st`.
+  void OnObjectSync(Status st, ObjectId id, const WorldMap& live) {
+    RecordLive(live);
+    if (st == Status::kOk && exact_.has_value() && !carryover_) {
+      // Clean WAL append: durable is the known image with exactly this
+      // object's bytes updated (its link in a parent container is NOT
+      // persisted by this — POSIX-fsync-like, the parent needs its own
+      // sync, and the oracle correctly keeps the parent's old bytes).
+      auto it = live.find(id);
+      if (it != live.end()) {
+        (*exact_)[id] = it->second;
+        return;
+      }
+      exact_.reset();
+    } else if (st != Status::kOk) {
+      exact_.reset();
+      carryover_ = true;
+    } else {
+      // Success, but residue from an earlier failure may have committed
+      // alongside the record (large-object path folds pending updates).
+      exact_.reset();
+    }
+  }
+
+  // Reboot check: `recovered` came off a successful Recover() with no fault
+  // armed. On success the candidate set collapses — the durable world is
+  // now known exactly (recovery never writes).
+  ::testing::AssertionResult CheckRecovered(const WorldMap& recovered) {
+    if (exact_.has_value()) {
+      if (recovered == *exact_) {
+        return ::testing::AssertionSuccess();
+      }
+      return ::testing::AssertionFailure()
+             << "strict mode: recovered world differs from the committed image ("
+             << Diff(*exact_, recovered) << ")";
+    }
+    // Per-object mode: every recovered object must hold bytes it really had
+    // at some sync point. Presence/absence is not constrained (a failed
+    // commit's residue decides which updates and deletes became durable),
+    // byte content is.
+    for (const auto& [id, bytes] : recovered) {
+      auto it = history_.find(id);
+      if (it == history_.end()) {
+        return ::testing::AssertionFailure()
+               << "recovered object " << id << " was never created by the workload";
+      }
+      bool known = false;
+      for (const std::vector<uint8_t>& s : it->second) {
+        if (s == bytes) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        return ::testing::AssertionFailure()
+               << "recovered object " << id << " (" << bytes.size()
+               << " bytes) matches none of its " << it->second.size()
+               << " historical states — recovery invented bytes";
+      }
+    }
+    exact_ = recovered;  // collapse: this is what is durable right now
+    return ::testing::AssertionSuccess();
+  }
+
+  bool exact_mode() const { return exact_.has_value(); }
+
+ private:
+  static std::string Diff(const WorldMap& want, const WorldMap& got) {
+    std::ostringstream os;
+    size_t changed = 0;
+    for (const auto& [id, bytes] : want) {
+      auto it = got.find(id);
+      if (it == got.end()) {
+        os << " -" << id;
+        ++changed;
+      } else if (it->second != bytes) {
+        os << " ~" << id;
+        ++changed;
+      }
+      if (changed > 8) break;
+    }
+    for (const auto& [id, bytes] : got) {
+      if (want.find(id) == want.end()) {
+        os << " +" << id;
+      }
+    }
+    return "want " + std::to_string(want.size()) + " objects, got " +
+           std::to_string(got.size()) + ", delta:" + os.str();
+  }
+
+  // The exactly-known durable image, when one exists.
+  std::optional<WorldMap> exact_;
+  // A failed commit's residue (written blobs, pending map updates) may ride
+  // along with the next commit until a successful group sync clears it.
+  bool carryover_ = false;
+  // Every byte-state each object ever presented to a sync.
+  std::map<ObjectId, std::vector<std::vector<uint8_t>>> history_;
+};
+
+}  // namespace histar
+
+#endif  // TESTS_STORE_CRASH_ORACLE_H_

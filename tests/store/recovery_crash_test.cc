@@ -14,6 +14,7 @@
 
 #include "src/store/single_level_store.h"
 #include "tests/kernel/kernel_test_util.h"
+#include "tests/store/crash_oracle.h"
 
 namespace histar {
 namespace {
@@ -24,16 +25,6 @@ StoreTuning HarnessTuning() {
   t.log_apply_threshold = 25;
   t.max_increments = 3;  // small, so crash sweeps cross base boundaries too
   return t;
-}
-
-std::map<ObjectId, std::vector<uint8_t>> WorldImage(const Kernel& k) {
-  std::map<ObjectId, std::vector<uint8_t>> img;
-  for (ObjectId id : k.LiveObjects()) {
-    std::vector<uint8_t> bytes;
-    EXPECT_TRUE(k.SerializeObject(id, &bytes));
-    img[id] = std::move(bytes);
-  }
-  return img;
 }
 
 class RecoveryCrashTest : public KernelTest, public ::testing::WithParamInterface<int> {
@@ -51,10 +42,10 @@ class RecoveryCrashTest : public KernelTest, public ::testing::WithParamInterfac
   }
 
   std::unique_ptr<Kernel> Reboot() {
-    auto k = std::make_unique<Kernel>();
-    recovered_store_ = std::make_unique<SingleLevelStore>(disk_.get(), HarnessTuning());
-    EXPECT_EQ(recovered_store_->Recover(k.get()), Status::kOk);
-    return k;
+    RebootResult r = RebootFromDisk(disk_.get(), HarnessTuning());
+    EXPECT_EQ(r.status, Status::kOk);
+    recovered_store_ = std::move(r.store);
+    return std::move(r.kernel);
   }
 
   std::unique_ptr<DiskModel> disk_;
@@ -82,7 +73,7 @@ TEST_P(RecoveryCrashTest, KillMidIncrementRecoversCommittedWorld) {
     }
     ASSERT_EQ(kernel_->sys_sync(init_), Status::kOk);
   }
-  std::map<ObjectId, std::vector<uint8_t>> committed = WorldImage(*kernel_);
+  WorldMap committed = WorldImage(*kernel_);
 
   // One more dirty batch, with the crash parked at GetParam() percent of a
   // conservative estimate of the increment's write volume (blobs + section
@@ -97,17 +88,17 @@ TEST_P(RecoveryCrashTest, KillMidIncrementRecoversCommittedWorld) {
   disk_->CrashAfterBytes(estimate * static_cast<uint64_t>(GetParam()) / 100 + 1);
   Status st = kernel_->sys_sync(init_);
   bool committed_new = st == Status::kOk;
-  std::map<ObjectId, std::vector<uint8_t>> post = WorldImage(*kernel_);
+  WorldMap post = WorldImage(*kernel_);
   disk_->Repair();
 
   std::unique_ptr<Kernel> k2 = Reboot();
-  std::map<ObjectId, std::vector<uint8_t>> recovered = WorldImage(*k2);
+  WorldMap recovered = WorldImage(*k2);
   if (committed_new) {
     EXPECT_EQ(recovered, post) << "sync reported success but its state did not recover";
   } else {
     // Atomicity, not which side: a crash landing exactly on the commit
     // boundary can persist the flip while the syscall reports failure.
-    EXPECT_TRUE(recovered == committed || recovered == post)
+    EXPECT_TRUE(WorldAmong(recovered, {&committed, &post}))
         << "crash at " << GetParam() << "% recovered a world that was never committed";
   }
   // Either way the label table round-tripped and the recovered store keeps
@@ -128,7 +119,7 @@ TEST_P(RecoveryCrashTest, KillMidWalAppendKeepsPrefix) {
   ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), ones.data(), 0, 512),
             Status::kOk);
   ASSERT_EQ(kernel_->sys_sync(init_), Status::kOk);
-  std::map<ObjectId, std::vector<uint8_t>> committed = WorldImage(*kernel_);
+  WorldMap committed = WorldImage(*kernel_);
 
   std::vector<uint8_t> twos(512, 0x22);
   ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), twos.data(), 0, 512),
@@ -136,15 +127,15 @@ TEST_P(RecoveryCrashTest, KillMidWalAppendKeepsPrefix) {
   disk_->CrashAfterBytes((512 + 100) * static_cast<uint64_t>(GetParam()) / 100 + 1);
   Status st = kernel_->sys_sync_object(init_, RootEntry(seg));
   bool committed_new = st == Status::kOk;
-  std::map<ObjectId, std::vector<uint8_t>> post = WorldImage(*kernel_);
+  WorldMap post = WorldImage(*kernel_);
   disk_->Repair();
 
   std::unique_ptr<Kernel> k2 = Reboot();
-  std::map<ObjectId, std::vector<uint8_t>> recovered = WorldImage(*k2);
+  WorldMap recovered = WorldImage(*k2);
   if (committed_new) {
     EXPECT_EQ(recovered, post);
   } else {
-    EXPECT_TRUE(recovered == committed || recovered == post);
+    EXPECT_TRUE(WorldAmong(recovered, {&committed, &post}));
   }
 }
 
@@ -176,6 +167,8 @@ TEST_P(RecoveryCrashTest, SyncPagesCrashWindowNeverLooksCorrupt) {
   ASSERT_EQ(k2->sys_segment_read(init_, ContainerEntry{k2->root_container(), seg}, out.data(),
                                  0, kLen),
             Status::kOk);
+  // sys_sync_pages has writeback semantics: a per-byte mixture of old and
+  // new is legal after a crash, but every byte must be one or the other.
   bool all_new = true;
   for (uint8_t b : out) {
     ASSERT_TRUE(b == 1 || b == 2) << "payload byte neither old nor new";
@@ -229,22 +222,22 @@ TEST_P(RecoveryCrashTest, KillDuringBaseRolloverKeepsOldChain) {
     ASSERT_EQ(kernel_->sys_sync(init_), Status::kOk);
   }
   ASSERT_EQ(store_->chain_length(), 4u);
-  std::map<ObjectId, std::vector<uint8_t>> committed = WorldImage(*kernel_);
+  WorldMap committed = WorldImage(*kernel_);
 
   stamp = 99;
   ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), &stamp, 0, 8), Status::kOk);
   // The next sync rewrites a full base section; crash partway into it.
   disk_->CrashAfterBytes(600 * static_cast<uint64_t>(GetParam()) / 100 + 1);
   Status st = kernel_->sys_sync(init_);
-  std::map<ObjectId, std::vector<uint8_t>> post = WorldImage(*kernel_);
+  WorldMap post = WorldImage(*kernel_);
   disk_->Repair();
 
   std::unique_ptr<Kernel> k2 = Reboot();
-  std::map<ObjectId, std::vector<uint8_t>> recovered = WorldImage(*k2);
+  WorldMap recovered = WorldImage(*k2);
   if (st == Status::kOk) {
     EXPECT_EQ(recovered, post);
   } else {
-    EXPECT_TRUE(recovered == committed || recovered == post);
+    EXPECT_TRUE(WorldAmong(recovered, {&committed, &post}));
   }
 }
 
