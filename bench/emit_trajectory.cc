@@ -1,17 +1,20 @@
-// Folds google-benchmark --benchmark_format=json outputs into the
-// machine-checkable BENCH_pr6.json trajectory at the repo root (PR 6).
+// Folds google-benchmark --benchmark_format=json outputs into a
+// machine-checkable BENCH_pr<N>.json trajectory at the repo root.
 //
 // Not a benchmark: a plain binary (no histar, no benchmark lib) driven by
 // scripts/bench_json.sh:
 //
-//   emit_trajectory --out BENCH_pr6.json --sha <git sha> --nproc <n> \
+//   emit_trajectory --out BENCH_pr6.json --pr 6 --sha <git sha> --nproc <n>
 //       labels.json objtable.json ipc.json
 //
 // Parsing is a tolerant line scan over the one-field-per-line JSON the
 // benchmark library emits — each "benchmarks" entry contributes one row
-// {bench, threads, arg, ns_per_op} keyed off its "name"/"run_type"/
-// "real_time"/"time_unit" lines, aggregate rows are skipped — so the tool
-// has no JSON-library dependency and survives harmless format drift. The
+// {bench, threads, arg, ns_per_op, counters} keyed off its "name"/
+// "run_type"/"real_time"/"time_unit" lines, aggregate rows are skipped —
+// so the tool has no JSON-library dependency and survives harmless format
+// drift. Benchmark counters named "ctr_*" (the library prints them after
+// "time_unit", so rows flush on the next "name" line or EOF) are carried
+// through into a per-row "counters" object with the prefix stripped. The
 // env block records nproc and the git sha; on hosts with fewer than 8 CPUs
 // it also carries a machine-readable caveat: the multithreaded rows there
 // measure scheduling overhead, not parallel speedup.
@@ -22,6 +25,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace {
@@ -32,6 +36,8 @@ struct Row {
   int threads = 1;
   long long arg = -1;     // first numeric path component, -1 if none
   double ns_per_op = 0.0;
+  // "ctr_*" benchmark counters, prefix stripped, in emission order.
+  std::vector<std::pair<std::string, double>> counters;
 };
 
 // Extracts the string value of `"key": "value",` from a line, or empty.
@@ -112,15 +118,27 @@ bool ScanFile(const std::string& path, std::vector<Row>* rows) {
   bool is_iteration = true;
   bool have_time = false;
   double real_time = 0.0;
+  std::string unit;
+  // Counters print after time_unit, so a row only flushes when the next
+  // "name" line (or EOF) proves it is complete.
+  auto flush = [&]() {
+    if (have_name && is_iteration && have_time) {
+      cur.ns_per_op = ToNs(real_time, unit.empty() ? "ns" : unit);
+      rows->push_back(cur);
+    }
+    have_name = false;
+  };
   std::string line;
   while (std::getline(in, line)) {
     std::string name = StrField(line, "name");
     if (!name.empty() && line.find("\"run_name\"") == std::string::npos) {
+      flush();
       cur = Row();
       ParseName(name, &cur);
       have_name = true;
       is_iteration = true;
       have_time = false;
+      unit.clear();
       continue;
     }
     if (!have_name) {
@@ -137,16 +155,25 @@ bool ScanFile(const std::string& path, std::vector<Row>* rows) {
       have_time = true;
       continue;
     }
-    std::string unit = StrField(line, "time_unit");
-    if (!unit.empty()) {
-      // time_unit is the last field we need; flush the row.
-      if (is_iteration && have_time) {
-        cur.ns_per_op = ToNs(real_time, unit);
-        rows->push_back(cur);
+    std::string u = StrField(line, "time_unit");
+    if (!u.empty()) {
+      unit = u;
+      continue;
+    }
+    // `"ctr_wops": 2.003e+03,` → counter ("wops", 2003).
+    size_t c = line.find("\"ctr_");
+    if (c != std::string::npos) {
+      size_t key_end = line.find('"', c + 1);
+      if (key_end != std::string::npos) {
+        std::string key = line.substr(c + 5, key_end - (c + 5));
+        double cv;
+        if (!key.empty() && NumField(line, ("ctr_" + key).c_str(), &cv)) {
+          cur.counters.emplace_back(key, cv);
+        }
       }
-      have_name = false;
     }
   }
+  flush();
   return true;
 }
 
@@ -167,6 +194,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_pr6.json";
   std::string sha = "unknown";
   int nproc = 0;
+  int pr = 6;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -176,13 +204,15 @@ int main(int argc, char** argv) {
       sha = argv[++i];
     } else if (a == "--nproc" && i + 1 < argc) {
       nproc = atoi(argv[++i]);
+    } else if (a == "--pr" && i + 1 < argc) {
+      pr = atoi(argv[++i]);
     } else {
       inputs.push_back(a);
     }
   }
   if (inputs.empty()) {
     fprintf(stderr,
-            "usage: emit_trajectory [--out F] [--sha S] [--nproc N] "
+            "usage: emit_trajectory [--out F] [--pr N] [--sha S] [--nproc N] "
             "bench1.json [bench2.json ...]\n");
     return 2;
   }
@@ -201,7 +231,7 @@ int main(int argc, char** argv) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"schema\": \"histar-bench-trajectory-v1\",\n";
-  os << "  \"pr\": 6,\n";
+  os << "  \"pr\": " << pr << ",\n";
   os << "  \"env\": {\n";
   os << "    \"nproc\": " << nproc << ",\n";
   os << "    \"git_sha\": \"" << JsonEscape(sha) << "\",\n";
@@ -218,8 +248,17 @@ int main(int argc, char** argv) {
     const Row& r = rows[i];
     os << "    {\"bench\": \"" << JsonEscape(r.bench) << "\", \"full_name\": \""
        << JsonEscape(r.full_name) << "\", \"threads\": " << r.threads
-       << ", \"arg\": " << r.arg << ", \"ns_per_op\": " << r.ns_per_op << "}"
-       << (i + 1 < rows.size() ? "," : "") << "\n";
+       << ", \"arg\": " << r.arg << ", \"ns_per_op\": " << r.ns_per_op;
+    if (!r.counters.empty()) {
+      os << ", \"counters\": {";
+      for (size_t j = 0; j < r.counters.size(); ++j) {
+        os << "\"" << JsonEscape(r.counters[j].first)
+           << "\": " << r.counters[j].second
+           << (j + 1 < r.counters.size() ? ", " : "");
+      }
+      os << "}";
+    }
+    os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n";
   os << "}\n";

@@ -281,9 +281,14 @@ struct LabelHeavyWorld {
   std::vector<ObjectId> files;
 };
 
-LabelHeavyWorld MakeLabelHeavyWorld(int n, bool store_data = false) {
+// `tuning` picks the store engine; `sync_every` checkpoints mid-population
+// (0 = never), giving the on-disk image the multi-epoch scatter of a real
+// run — the restore rows need that to expose the engines' read layouts.
+LabelHeavyWorld MakeLabelHeavyWorld(int n, bool store_data = false,
+                                    const StoreTuning& tuning = StoreTuning{},
+                                    int sync_every = 0) {
   LabelHeavyWorld s;
-  s.w = BootWorld(/*with_store=*/true, /*capacity_bytes=*/2ULL << 30, store_data);
+  s.w = BootWorld(/*with_store=*/true, /*capacity_bytes=*/2ULL << 30, store_data, tuning);
   FileSystem& fs = s.w.unix->fs();
   Result<ObjectId> dir = fs.MakeDir(s.w.init(), s.w.unix->fs_root(), "lbl", Label(), 64 << 20);
   if (!dir.ok()) {
@@ -302,6 +307,10 @@ LabelHeavyWorld MakeLabelHeavyWorld(int n, bool store_data = false) {
       std::abort();
     }
     s.files.push_back(f.value());
+    if (sync_every > 0 && (i + 1) % sync_every == 0 &&
+        s.w.kernel->sys_sync(s.w.init()) != Status::kOk) {
+      std::abort();
+    }
   }
   return s;
 }
@@ -416,6 +425,116 @@ void BM_HiStarRestoreLabelHeavy(::benchmark::State& state) {
 BENCHMARK(BM_HiStarRestoreLabelHeavy)
     ->Arg(1000)
     ->ArgName("files")
+    ->UseManualTime()
+    ->Unit(::benchmark::kMillisecond)
+    ->Iterations(1);
+
+// ---- engine rows (PR 8: blob vs Bε-tree under the same store) ---------------
+//
+// Two machine-checked comparisons between the original blob engine and the
+// message-batched Bε-tree engine, emitted into BENCH_pr8.json by
+// scripts/bench_json.sh and asserted by scripts/check_bench_pr8.sh:
+//   * dirty-1000 checkpoint: the blob engine writes one blob per dirty
+//     object (~n+3 device writes); the betree engine folds the whole batch
+//     into one message section (~3 writes), with total bytes within 2x of
+//     the serialized payload;
+//   * restore: the blob image scatters 1,000 blobs across populate epochs
+//     so recovery seeks per object, while the betree image is a handful of
+//     sequential node/section runs — seek count drops >= 10x.
+
+StoreTuning EngineTuning(int64_t engine, uint64_t root_buffer_bytes) {
+  StoreTuning t;
+  t.engine = engine != 0 ? EngineKind::kBetree : EngineKind::kBlob;
+  t.betree.root_buffer_bytes = root_buffer_bytes;
+  return t;
+}
+
+void BM_EngineCheckpointDirty(::benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    // An 8 MB root buffer keeps the dirty-1000 batch inside one message
+    // section: the write-op comparison is engine policy, not buffer sizing.
+    StoreTuning t = EngineTuning(state.range(1), /*root_buffer_bytes=*/8ULL << 20);
+    LabelHeavyWorld s = MakeLabelHeavyWorld(n, /*store_data=*/false, t);
+    if (s.w.kernel->sys_sync(s.w.init()) != Status::kOk) {  // the base epoch
+      state.SkipWithError("base sync failed");
+      return;
+    }
+    std::vector<uint8_t> payload(kFileBytes, 0xcd);
+    uint64_t payload_bytes = 0;
+    FileSystem& fs = s.w.unix->fs();
+    for (ObjectId f : s.files) {
+      if (fs.WriteAt(s.w.init(), s.dir, f, payload.data(), 0, payload.size()) !=
+          Status::kOk) {
+        state.SkipWithError("touch failed");
+        return;
+      }
+      std::vector<uint8_t> b;
+      s.w.kernel->SerializeObject(f, &b, /*label_refs=*/true);
+      payload_bytes += b.size();
+    }
+    uint64_t wops0 = s.w.disk->write_ops();
+    uint64_t wbytes0 = s.w.disk->bytes_written();
+    PhaseTimer timer(s.w.disk.get());
+    if (s.w.kernel->sys_sync(s.w.init()) != Status::kOk) {
+      state.SkipWithError("dirty sync failed");
+      return;
+    }
+    state.SetIterationTime(timer.Seconds());
+    state.counters["ctr_wops"] =
+        ::benchmark::Counter(static_cast<double>(s.w.disk->write_ops() - wops0));
+    state.counters["ctr_wbytes"] =
+        ::benchmark::Counter(static_cast<double>(s.w.disk->bytes_written() - wbytes0));
+    state.counters["ctr_payload"] = ::benchmark::Counter(static_cast<double>(payload_bytes));
+    state.counters["ctr_was_base"] =
+        ::benchmark::Counter(s.w.store->last_commit_was_base() ? 1 : 0);
+    CurrentThread::Set(kInvalidObject);
+  }
+  state.counters["files"] = ::benchmark::Counter(static_cast<double>(n));
+}
+BENCHMARK(BM_EngineCheckpointDirty)
+    ->ArgsProduct({{1000}, {0, 1}})
+    ->ArgNames({"files", "engine"})
+    ->UseManualTime()
+    ->Unit(::benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_EngineRestore(::benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    // A 256 KB root buffer forces real tree-node flushes during the
+    // multi-epoch populate, so the betree image is nodes + a short message
+    // chain rather than one giant root buffer.
+    StoreTuning t = EngineTuning(state.range(1), /*root_buffer_bytes=*/256 << 10);
+    LabelHeavyWorld s =
+        MakeLabelHeavyWorld(n, /*store_data=*/true, t, /*sync_every=*/100);
+    if (s.w.kernel->sys_sync(s.w.init()) != Status::kOk) {
+      state.SkipWithError("sync failed");
+      return;
+    }
+    SingleLevelStore store2(s.w.disk.get(), t);
+    Kernel k2;
+    uint64_t seeks0 = s.w.disk->seek_ops();
+    uint64_t rops0 = s.w.disk->read_ops();
+    PhaseTimer timer(s.w.disk.get());
+    if (store2.Recover(&k2) != Status::kOk) {
+      state.SkipWithError("recover failed");
+      return;
+    }
+    state.SetIterationTime(timer.Seconds());
+    state.counters["ctr_seeks"] =
+        ::benchmark::Counter(static_cast<double>(s.w.disk->seek_ops() - seeks0));
+    state.counters["ctr_rops"] =
+        ::benchmark::Counter(static_cast<double>(s.w.disk->read_ops() - rops0));
+    state.counters["ctr_objects"] =
+        ::benchmark::Counter(static_cast<double>(k2.ObjectCount()));
+    CurrentThread::Set(kInvalidObject);
+  }
+  state.counters["files"] = ::benchmark::Counter(static_cast<double>(n));
+}
+BENCHMARK(BM_EngineRestore)
+    ->ArgsProduct({{1000}, {0, 1}})
+    ->ArgNames({"files", "engine"})
     ->UseManualTime()
     ->Unit(::benchmark::kMillisecond)
     ->Iterations(1);

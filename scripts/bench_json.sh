@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
-# Runs the PR 6 trajectory benches with --benchmark_format=json and folds
-# the outputs into BENCH_pr6.json at the repo root (bench/emit_trajectory.cc
-# does the folding; the env block records nproc + git sha, and a machine-
-# readable caveat when the host has fewer than 8 CPUs).
+# Runs the trajectory benches with --benchmark_format=json and folds the
+# outputs into machine-checkable JSON at the repo root
+# (bench/emit_trajectory.cc does the folding; the env block records nproc +
+# git sha, and a machine-readable caveat when the host has fewer than 8
+# CPUs):
+#   * BENCH_pr6.json — the PR 6 scaling rows (labels, objtable, IPC rings);
+#   * BENCH_pr8.json — the PR 8 engine rows (blob vs Bε-tree dirty-1000
+#     checkpoint and restore), checked by scripts/check_bench_pr8.sh.
 #
-# Usage: scripts/bench_json.sh [build-dir] [out-file]
+# Usage: scripts/bench_json.sh [build-dir] [pr6-out-file] [pr8-out-file]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 OUT="${2:-$ROOT/BENCH_pr6.json}"
+OUT8="${3:-$ROOT/BENCH_pr8.json}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-for bin in bench_ablation_labels bench_ablation_objtable bench_fig12_ipc bench_emit_trajectory; do
+for bin in bench_ablation_labels bench_ablation_objtable bench_fig12_ipc \
+           bench_fig12_lfs_small bench_emit_trajectory; do
   if [ ! -x "$BUILD/$bin" ]; then
     echo "bench_json.sh: $BUILD/$bin missing — build with google-benchmark available" >&2
     exit 1
@@ -43,5 +49,14 @@ SHA="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 NPROC="$(nproc 2>/dev/null || echo 0)"
 
 "$BUILD/bench_emit_trajectory" \
-  --out "$OUT" --sha "$SHA" --nproc "$NPROC" \
+  --out "$OUT" --pr 6 --sha "$SHA" --nproc "$NPROC" \
   "$TMP/labels.json" "$TMP/objtable.json" "$TMP/ipc.json"
+
+# PR 8 engine rows: Iterations(1)/UseManualTime rows, so no min_time knob.
+"$BUILD/bench_fig12_lfs_small" \
+  --benchmark_filter='BM_EngineCheckpointDirty|BM_EngineRestore' \
+  --benchmark_format=json > "$TMP/engine.json"
+
+"$BUILD/bench_emit_trajectory" \
+  --out "$OUT8" --pr 8 --sha "$SHA" --nproc "$NPROC" \
+  "$TMP/engine.json"

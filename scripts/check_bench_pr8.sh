@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Machine checks for the PR 8 engine rows in BENCH_pr8.json (written by
+# scripts/bench_json.sh). Three acceptance inequalities, blob vs Bε-tree:
+#   1. dirty-1000 checkpoint: betree issues fewer device write ops than blob
+#      (one message section vs one blob per dirty object);
+#   2. dirty-1000 checkpoint: betree bytes written stay within 2x of the
+#      serialized payload (message framing is cheap);
+#   3. restore: the blob image pays >= 10x the betree image's disk-model
+#      seeks (scattered blobs vs sequential node/section runs).
+# grep/sed/awk only — no python, no JSON library.
+#
+# Usage: scripts/check_bench_pr8.sh [BENCH_pr8.json]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+F="${1:-$ROOT/BENCH_pr8.json}"
+
+if [ ! -f "$F" ]; then
+  echo "check_bench_pr8.sh: $F missing — run scripts/bench_json.sh first" >&2
+  exit 1
+fi
+
+# ctr <row-name-prefix> <counter> — pull one counter off the matching row.
+ctr() {
+  local row
+  row="$(grep -F "\"full_name\": \"$1" "$F" | head -1)"
+  if [ -z "$row" ]; then
+    echo "check_bench_pr8.sh: no row matching $1 in $F" >&2
+    exit 1
+  fi
+  local val
+  val="$(printf '%s\n' "$row" | sed -n "s/.*\"$2\": \([0-9.eE+-]*\).*/\1/p")"
+  if [ -z "$val" ]; then
+    echo "check_bench_pr8.sh: row $1 has no counter $2" >&2
+    exit 1
+  fi
+  printf '%s\n' "$val"
+}
+
+WOPS_BLOB="$(ctr 'BM_EngineCheckpointDirty/files:1000/engine:0' wops)"
+WOPS_BETREE="$(ctr 'BM_EngineCheckpointDirty/files:1000/engine:1' wops)"
+WBYTES_BETREE="$(ctr 'BM_EngineCheckpointDirty/files:1000/engine:1' wbytes)"
+PAYLOAD="$(ctr 'BM_EngineCheckpointDirty/files:1000/engine:1' payload)"
+SEEKS_BLOB="$(ctr 'BM_EngineRestore/files:1000/engine:0' seeks)"
+SEEKS_BETREE="$(ctr 'BM_EngineRestore/files:1000/engine:1' seeks)"
+
+awk -v wops_blob="$WOPS_BLOB" -v wops_betree="$WOPS_BETREE" \
+    -v wbytes_betree="$WBYTES_BETREE" -v payload="$PAYLOAD" \
+    -v seeks_blob="$SEEKS_BLOB" -v seeks_betree="$SEEKS_BETREE" 'BEGIN {
+  ok = 1
+  if (!(wops_betree + 0 < wops_blob + 0)) {
+    print "FAIL: betree checkpoint write ops (" wops_betree ") not < blob (" wops_blob ")"
+    ok = 0
+  }
+  if (!(wbytes_betree + 0 <= 2 * (payload + 0))) {
+    print "FAIL: betree checkpoint bytes (" wbytes_betree ") > 2x payload (" payload ")"
+    ok = 0
+  }
+  floor = seeks_betree + 0 < 1 ? 1 : seeks_betree + 0
+  if (!(seeks_blob + 0 >= 10 * floor)) {
+    print "FAIL: blob restore seeks (" seeks_blob ") < 10x betree seeks (" seeks_betree ")"
+    ok = 0
+  }
+  if (ok) {
+    print "BENCH_pr8 checks passed:"
+    print "  checkpoint wops: betree " wops_betree " < blob " wops_blob
+    print "  checkpoint bytes: betree " wbytes_betree " <= 2x payload " payload
+    print "  restore seeks: blob " seeks_blob " >= 10x betree " seeks_betree
+  }
+  exit ok ? 0 : 1
+}'

@@ -1,0 +1,131 @@
+// The write-optimized store engine: a message-batched Bε-tree (PR 8).
+//
+// Instead of one random blob write per dirty object, updates become typed
+// messages (msg.h). Messages stage in the root buffer; an increment section
+// is just the staged batch serialized — ONE sequential write per commit,
+// regardless of how scattered the dirtied objects are. Only when the staged
+// bytes outgrow `root_buffer_bytes` does the engine flush: messages are
+// injected into the tree, interior nodes absorb them into their buffers and
+// push the heaviest child's share downward when a buffer overflows (messages
+// may rest in interior-node buffers on disk — the Bε in the name), leaves
+// apply and split, and all dirty nodes are rewritten to freshly allocated
+// extents — children before parents, arena-allocated so the whole flush is
+// one sequential run. The section body of such a base names only the root
+// extent.
+//
+// The IN-MEMORY tree is authoritative: nodes cache full object bytes
+// (write-back). The disk model is read at recovery (LoadSectionBody walks
+// the node graph) and for TouchObject's demand-paging charge — never during
+// a flush, which is what keeps latency-only benches (store_data=false)
+// honest.
+//
+// Durability/crash discipline (docs/persistence.md "Bε-tree engine"):
+//  * Shadow paging end-to-end: a flush writes fresh extents, the old node
+//    extents go to pending_frees and are released only after the superblock
+//    flip. A torn node write fails the commit before the flip, so a crashed
+//    flush always boots from the previous root.
+//  * A node is marked clean only after its device write returns kOk; a
+//    failed base flush leaves consumed messages safe in the in-memory tree
+//    and sets a sticky base-pending flag — no increment can commit until a
+//    base succeeds (an increment against the stale on-disk root would lose
+//    the consumed messages).
+//  * Node images checksum their structure; leaf blobs checksum [0, meta_len)
+//    each, so FlushPages' in-place payload writes never invalidate a node
+//    (the same ext3-writeback trade-off as the blob engine).
+#ifndef SRC_STORE_BETREE_H_
+#define SRC_STORE_BETREE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/store/engine.h"
+#include "src/store/msg.h"
+
+namespace histar {
+
+class BetreeEngine : public StoreEngine {
+ public:
+  BetreeEngine(const EngineContext& ctx, const BetreeParams& params);
+  ~BetreeEngine() override;
+
+  EngineKind kind() const override { return EngineKind::kBetree; }
+  const char* name() const override { return "betree"; }
+  void Reset() override;
+
+  Status WriteObject(ObjectId id, const std::vector<uint8_t>& bytes,
+                     uint64_t meta_len) override;
+  void DeleteObject(ObjectId id) override;
+  void AppendLiveIds(std::vector<ObjectId>* out) const override;
+
+  bool WantsBase() const override;
+  bool OwnsLabelDelta() const override { return true; }
+  Status EmitSectionBody(bool base, const std::vector<LabelTableRecord>* label_delta,
+                         std::vector<uint8_t>* image) override;
+  void OnSectionWritten(bool base) override;
+
+  Status FlushPages(ObjectId id, uint64_t offset, const std::vector<uint8_t>& pages,
+                    bool* needs_commit) override;
+  Result<uint64_t> TouchObject(ObjectId id) override;
+
+  Status LoadSectionBody(bool base, storewire::Reader* r,
+                         const LabelSink& label_sink) override;
+  void CollectExtents(std::vector<Extent>* out) const override;
+  Status LoadAllObjects(const ObjectSink& fn) override;
+
+  Status MergeSectionBodies(const std::vector<std::vector<uint8_t>>& bodies,
+                            std::vector<uint8_t>* out) override;
+
+  // ---- Introspection for tests/benches -------------------------------------
+
+  uint64_t node_count() const;
+  int height() const;  // 0 = empty tree, 1 = single leaf, ...
+  // Bytes staged in the root buffers (committed + pending batches).
+  uint64_t staged_bytes() const { return committed_.bytes() + pending_.bytes(); }
+  bool base_pending() const { return base_pending_; }
+
+  // Defined in betree.cc (node layout is an implementation detail); public
+  // so the file-local serialization helpers there can name it.
+  struct Node;
+
+ private:
+  // Apply `msgs` (newer than everything in `n`) to the subtree rooted at
+  // `n`, flushing/splitting as needed. Returns the replacement node(s); more
+  // than one means the caller must widen (interior split / new root).
+  std::vector<std::unique_ptr<Node>> Inject(std::unique_ptr<Node> n,
+                                            std::map<uint64_t, Msg> msgs);
+  void ApplyToLeaf(Node* leaf, std::map<uint64_t, Msg>&& msgs);
+  std::vector<std::unique_ptr<Node>> SplitLeaf(std::unique_ptr<Node> leaf);
+  std::vector<std::unique_ptr<Node>> SplitInterior(std::unique_ptr<Node> n);
+  void FlushOverflow(Node* n);  // push buffer overflow toward the children
+
+  Status WriteDirtyNodes(Node* root);
+  Result<std::unique_ptr<Node>> ReadNode(const Extent& e, int depth);
+
+  // Freshest staged message for `id`, if any: pending over committed over
+  // the interior buffers along the root→leaf path. Metadata-only messages
+  // (kMapUpdate) don't stop the scan — the newest one is reported on the
+  // side while the search continues for the image-bearing layer. Also
+  // reports the leaf (and entry index) the id routes to, when the tree has
+  // one.
+  struct Lookup {
+    const Msg* msg = nullptr;        // newest upsert/delete message, if any
+    const Msg* map_patch = nullptr;  // newest kMapUpdate above `msg`, if any
+    Node* leaf = nullptr;            // routed leaf (nullptr on an empty tree)
+    int entry = -1;                  // index in leaf->entries, -1 if absent
+  };
+  Lookup Find(uint64_t id);
+
+  BetreeParams params_;
+  std::unique_ptr<Node> root_;   // nullptr until the first base flush
+  MsgBuffer committed_;          // batches already in committed sections
+  MsgBuffer pending_;            // staged since the last committed section
+  // A base flush consumed root-buffer messages into the tree but its commit
+  // did not complete: every commit must be a base until one succeeds.
+  bool base_pending_ = false;
+};
+
+}  // namespace histar
+
+#endif  // SRC_STORE_BETREE_H_

@@ -27,10 +27,12 @@ uint64_t DiskModel::AccessCost(uint64_t offset, uint64_t len, bool is_read) {
     cost += geo_.rotation_ns;
     if (!sequential) {
       cost += seek;
+      ++seek_ops_;
     }
   } else if (!sequential && !prefetched) {
     // Positioning: distance-dependent seek plus half a rotation of latency.
     cost += seek + geo_.rotation_ns / 2;
+    ++seek_ops_;
   }
   // Media transfer.
   cost += len * 1'000'000'000ULL / geo_.bandwidth_bytes_per_sec;
@@ -219,6 +221,7 @@ void DiskModel::ResetSimTime() {
   read_ops_ = 0;
   write_ops_ = 0;
   bytes_written_ = 0;
+  seek_ops_ = 0;
 }
 
 void DiskModel::CrashAfterBytes(uint64_t n) {

@@ -121,6 +121,9 @@ class DiskModel {
   uint64_t read_ops() const { return read_ops_; }
   uint64_t write_ops() const { return write_ops_; }
   uint64_t bytes_written() const { return bytes_written_; }
+  // Operations that paid a mechanical positioning cost (seek + rotational
+  // latency) — the restore-path benchmarks' "how sequential was that" metric.
+  uint64_t seek_ops() const { return seek_ops_; }
 
   // Crash injection: after `n` more bytes have been written, fail every
   // subsequent operation with kCrashed; the write that crosses the boundary
@@ -160,6 +163,7 @@ class DiskModel {
   uint64_t write_ops_ = 0;
   uint64_t writes_since_flush_ = 0;
   uint64_t bytes_written_ = 0;
+  uint64_t seek_ops_ = 0;
   bool crash_armed_ = false;
   uint64_t crash_after_ = 0;
   bool crashed_ = false;

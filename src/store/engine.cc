@@ -1,0 +1,295 @@
+#include "src/store/engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/store/betree.h"
+#include "src/store/store_alloc.h"
+
+namespace histar {
+
+uint64_t StoreChecksum(const void* data, size_t len) {
+  // FNV-1a. Not cryptographic — it only needs to catch torn writes.
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::unique_ptr<StoreEngine> MakeStoreEngine(EngineKind kind, const EngineContext& ctx,
+                                             const BetreeParams& params) {
+  if (kind == EngineKind::kBetree) {
+    return std::make_unique<BetreeEngine>(ctx, params);
+  }
+  return std::make_unique<BlobEngine>(ctx);
+}
+
+// ---- BlobEngine --------------------------------------------------------------
+
+void BlobEngine::Reset() {
+  objmap_.Clear();
+  pending_updates_.clear();
+  pending_deads_.clear();
+}
+
+Status BlobEngine::WriteObject(ObjectId id, const std::vector<uint8_t>& bytes,
+                               uint64_t meta_len) {
+  // Shadow write: new extent first, then retire the old one, so a crash
+  // mid-checkpoint leaves the previous snapshot intact. The trailing
+  // checksum covers only the metadata prefix [0, meta_len): segment payload
+  // after it may later be rewritten in place by FlushPages without
+  // invalidating the blob (ext3-writeback semantics — see
+  // docs/persistence.md).
+  StoreAlloc::Check();
+  meta_len = std::min<uint64_t>(meta_len, bytes.size());
+  Result<uint64_t> off = ctx_.alloc->Allocate(bytes.size() + 8);
+  if (!off.ok()) {
+    return off.status();
+  }
+  uint64_t csum = StoreChecksum(bytes.data(), meta_len);
+  Status st = bytes.empty() ? Status::kOk
+                            : ctx_.disk->Write(off.value(), bytes.data(), bytes.size());
+  if (st == Status::kOk) {
+    st = ctx_.disk->Write(off.value() + bytes.size(), &csum, 8);
+  }
+  if (st != Status::kOk) {
+    StoreAllocNoFail cleanup;  // unwinding a failed write must not fault again
+    ctx_.alloc->Free(off.value(), bytes.size() + 8);
+    return st;
+  }
+  // The blob is durable and the extent allocated: the map/bookkeeping update
+  // must complete as a unit. A throw between the pending_frees push and the
+  // map insert would queue the extent the map still references for reuse.
+  StoreAllocNoFail atomic_update;
+  if (std::optional<ObjRecord> old = objmap_.Find(id); old.has_value()) {
+    ctx_.pending_frees->push_back(old->extent);
+  }
+  objmap_.Insert(id, ObjRecord{Extent{off.value(), bytes.size() + 8}, meta_len});
+  pending_updates_.push_back(id);
+  return Status::kOk;
+}
+
+void BlobEngine::DeleteObject(ObjectId id) {
+  std::optional<ObjRecord> rec = objmap_.Find(id);
+  if (!rec.has_value()) {
+    return;
+  }
+  objmap_.Erase(id);
+  ctx_.pending_frees->push_back(rec->extent);
+  pending_deads_.push_back(id);
+}
+
+void BlobEngine::AppendLiveIds(std::vector<ObjectId>* out) const {
+  objmap_.ForEach([out](const uint64_t& id, const ObjRecord&) { out->push_back(id); });
+}
+
+Status BlobEngine::EmitSectionBody(bool base,
+                                   const std::vector<LabelTableRecord>* /*label_delta*/,
+                                   std::vector<uint8_t>* image) {
+  using storewire::PutU32;
+  using storewire::PutU64;
+  if (base) {
+    std::vector<std::pair<uint64_t, ObjRecord>> entries;
+    objmap_.ForEach([&entries](const uint64_t& id, const ObjRecord& rec) {
+      entries.emplace_back(id, rec);
+    });
+    PutU32(image, static_cast<uint32_t>(entries.size()));
+    for (const auto& [id, rec] : entries) {
+      PutU64(image, id);
+      PutU64(image, rec.extent.offset);
+      PutU64(image, rec.extent.length);
+      PutU64(image, rec.meta_len);
+    }
+    PutU32(image, 0);  // a base names no dead ids: absence from the map suffices
+    return Status::kOk;
+  }
+  // Deduplicate update ids (an object can be written twice between commits)
+  // and drop ids that died after being written.
+  std::sort(pending_updates_.begin(), pending_updates_.end());
+  pending_updates_.erase(std::unique(pending_updates_.begin(), pending_updates_.end()),
+                         pending_updates_.end());
+  std::vector<std::pair<uint64_t, ObjRecord>> entries;
+  for (uint64_t id : pending_updates_) {
+    if (std::optional<ObjRecord> rec = objmap_.Find(id); rec.has_value()) {
+      entries.emplace_back(id, *rec);
+    }
+  }
+  PutU32(image, static_cast<uint32_t>(entries.size()));
+  for (const auto& [id, rec] : entries) {
+    PutU64(image, id);
+    PutU64(image, rec.extent.offset);
+    PutU64(image, rec.extent.length);
+    PutU64(image, rec.meta_len);
+  }
+  PutU32(image, static_cast<uint32_t>(pending_deads_.size()));
+  for (uint64_t id : pending_deads_) {
+    PutU64(image, id);
+  }
+  return Status::kOk;
+}
+
+void BlobEngine::OnSectionWritten(bool /*base*/) {
+  pending_updates_.clear();
+  pending_deads_.clear();
+}
+
+Status BlobEngine::FlushPages(ObjectId id, uint64_t offset,
+                              const std::vector<uint8_t>& pages, bool* needs_commit) {
+  *needs_commit = false;
+  std::optional<ObjRecord> rec = objmap_.Find(id);
+  if (!rec.has_value()) {
+    return Status::kNotFound;  // never checkpointed: nothing to flush into
+  }
+  // In-place flush of real payload bytes, landing past the checksummed
+  // metadata prefix — the checksum therefore stays sound however this write
+  // interleaves with a crash. The on-disk image may predate a resize, so
+  // clamp to the stored payload capacity; pages beyond it are covered by
+  // the object's dirty mark at the next checkpoint.
+  uint64_t blob_len = rec->extent.length - 8;
+  uint64_t meta = std::min(rec->meta_len, blob_len);
+  uint64_t capacity = blob_len - meta;
+  if (offset >= capacity) {
+    return Status::kOk;
+  }
+  uint64_t n = std::min<uint64_t>(pages.size(), capacity - offset);
+  if (n == 0) {
+    return Status::kOk;
+  }
+  Status st = ctx_.disk->Write(rec->extent.offset + meta + offset, pages.data(), n);
+  if (st != Status::kOk) {
+    return st;
+  }
+  return ctx_.disk->Flush();
+}
+
+Result<uint64_t> BlobEngine::TouchObject(ObjectId id) {
+  std::optional<ObjRecord> rec = objmap_.Find(id);
+  if (!rec.has_value()) {
+    return Status::kNotFound;
+  }
+  const Extent& e = rec->extent;
+  std::vector<uint8_t> buf(std::min<uint64_t>(e.length, 64 * 1024));
+  uint64_t pos = 0;
+  while (pos < e.length) {
+    uint64_t n = std::min<uint64_t>(buf.size(), e.length - pos);
+    Status st = ctx_.disk->Read(e.offset + pos, buf.data(), n);
+    if (st != Status::kOk) {
+      return st;
+    }
+    pos += n;
+  }
+  return e.length;
+}
+
+Status BlobEngine::LoadSectionBody(bool /*base*/, storewire::Reader* r,
+                                   const LabelSink& /*label_sink*/) {
+  uint32_t n_objects = r->U32();
+  for (uint32_t j = 0; j < n_objects && !r->fail; ++j) {
+    uint64_t id = r->U64();
+    ObjRecord rec;
+    rec.extent.offset = r->U64();
+    rec.extent.length = r->U64();
+    rec.meta_len = r->U64();
+    if (!r->fail) {
+      objmap_.Insert(id, rec);
+    }
+  }
+  uint32_t n_dead = r->U32();
+  for (uint32_t j = 0; j < n_dead && !r->fail; ++j) {
+    objmap_.Erase(r->U64());
+  }
+  return r->fail ? Status::kCorrupt : Status::kOk;
+}
+
+void BlobEngine::CollectExtents(std::vector<Extent>* out) const {
+  objmap_.ForEach(
+      [out](const uint64_t&, const ObjRecord& rec) { out->push_back(rec.extent); });
+}
+
+Status BlobEngine::LoadAllObjects(const ObjectSink& fn) {
+  // The checksum covers the metadata prefix only; payload bytes past it
+  // carry no integrity word (they may have been rewritten in place by
+  // FlushPages — writeback semantics).
+  std::vector<std::pair<uint64_t, ObjRecord>> entries;
+  objmap_.ForEach(
+      [&](const uint64_t& id, const ObjRecord& rec) { entries.emplace_back(id, rec); });
+  for (const auto& [id, rec] : entries) {
+    if (rec.extent.length < 8 || rec.meta_len > rec.extent.length - 8) {
+      return Status::kCorrupt;
+    }
+    std::vector<uint8_t> blob(rec.extent.length);
+    Status st = ctx_.disk->Read(rec.extent.offset, blob.data(), blob.size());
+    if (st != Status::kOk) {
+      return st;
+    }
+    uint64_t want;
+    memcpy(&want, blob.data() + blob.size() - 8, 8);
+    if (StoreChecksum(blob.data(), rec.meta_len) != want) {
+      return Status::kCorrupt;
+    }
+    blob.resize(blob.size() - 8);
+    st = fn(blob);
+    if (st != Status::kOk) {
+      return st;
+    }
+  }
+  return Status::kOk;
+}
+
+Status BlobEngine::MergeSectionBodies(const std::vector<std::vector<uint8_t>>& bodies,
+                                      std::vector<uint8_t>* out) {
+  // Replay-equivalence by simulation: apply each body's records then its
+  // dead ids, in order, onto (map, deadset); emit the final state. A record
+  // may point at an extent that a later body superseded — harmless, exactly
+  // as in a live chain: replay order guarantees the final map entry wins
+  // before any object is loaded.
+  StoreAlloc::Check();
+  std::map<uint64_t, ObjRecord> recs;
+  std::set<uint64_t> deads;
+  for (const std::vector<uint8_t>& body : bodies) {
+    storewire::Reader r{body.data(), body.size()};
+    uint32_t n_objects = r.U32();
+    for (uint32_t j = 0; j < n_objects && !r.fail; ++j) {
+      uint64_t id = r.U64();
+      ObjRecord rec;
+      rec.extent.offset = r.U64();
+      rec.extent.length = r.U64();
+      rec.meta_len = r.U64();
+      if (!r.fail) {
+        recs[id] = rec;
+        deads.erase(id);
+      }
+    }
+    uint32_t n_dead = r.U32();
+    for (uint32_t j = 0; j < n_dead && !r.fail; ++j) {
+      uint64_t id = r.U64();
+      recs.erase(id);
+      deads.insert(id);
+    }
+    if (r.fail) {
+      return Status::kCorrupt;
+    }
+  }
+  using storewire::PutU32;
+  using storewire::PutU64;
+  PutU32(out, static_cast<uint32_t>(recs.size()));
+  for (const auto& [id, rec] : recs) {
+    PutU64(out, id);
+    PutU64(out, rec.extent.offset);
+    PutU64(out, rec.extent.length);
+    PutU64(out, rec.meta_len);
+  }
+  PutU32(out, static_cast<uint32_t>(deads.size()));
+  for (uint64_t id : deads) {
+    PutU64(out, id);
+  }
+  return Status::kOk;
+}
+
+}  // namespace histar

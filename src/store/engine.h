@@ -1,0 +1,215 @@
+// The storage-engine seam under the single-level store (PR 8).
+//
+// SingleLevelStore keeps everything the paper's commit protocol owns —
+// superblock slots, the WAL, the accumulated label table, the checkpoint
+// section chain, commit orchestration (allocate → write → flush → superblock
+// flip → release superseded extents) and recovery orchestration. A
+// StoreEngine owns the rest: where object images live on the heap and what a
+// checkpoint section's body says about them. Two engines implement the
+// interface:
+//
+//   BlobEngine   (engine.cc)  the original path: every object is a blob in
+//                             its own extent, a B+-tree object map records
+//                             (extent, meta_len), sections carry map records.
+//   BetreeEngine (betree.cc)  the write-optimized path: object updates are
+//                             typed messages (msg.h) staged in a Bε-tree;
+//                             increments are message batches, a base flushes
+//                             the tree and names only the root extent.
+//
+// Every section records the engine that wrote it (a byte in the header, see
+// docs/persistence.md); recovery adopts the on-disk engine regardless of the
+// configured tuning, so a disk formatted under one engine always boots.
+//
+// Failure discipline matches the store's (docs/persistence.md "Fault
+// model"): the caller's entry StoreAlloc::Check() is the only injection
+// point; once an engine mutation has started, nested checks are suppressed
+// with StoreAllocNoFail. Engines shadow-write: a failed device write frees
+// the fresh extent and leaves prior state intact, and superseded extents go
+// to ctx_.pending_frees for the store to release only after the flip.
+#ifndef SRC_STORE_ENGINE_H_
+#define SRC_STORE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/store/bptree.h"
+#include "src/store/disk_model.h"
+#include "src/store/extent_alloc.h"
+#include "src/store/wire_format.h"
+
+namespace histar {
+
+// Values are on-disk (the section header's engine byte): never renumber.
+enum class EngineKind : uint8_t {
+  kBlob = 0,
+  kBetree = 1,
+};
+
+// Bε-tree shape knobs (StoreTuning carries these; plumbed through
+// MakeStoreEngine so engine.h stays independent of single_level_store.h).
+struct BetreeParams {
+  uint64_t node_bytes = 64 << 10;         // leaf split target
+  uint64_t buffer_bytes = 64 << 10;       // interior-node buffer cap
+  uint64_t root_buffer_bytes = 4 << 20;   // staged bytes before a base flush
+  uint32_t fanout = 16;                   // max children per interior node
+};
+
+// What the store lends an engine. All pointers outlive the engine and are
+// only touched under the store's lock.
+struct EngineContext {
+  DiskModel* disk = nullptr;
+  ExtentAllocator* alloc = nullptr;
+  // Extents superseded mid-commit; the store frees them after the flip.
+  std::vector<Extent>* pending_frees = nullptr;
+};
+
+// FNV-1a over bytes — the store's torn-write checksum (not cryptographic).
+uint64_t StoreChecksum(const void* data, size_t len);
+
+class StoreEngine {
+ public:
+  // Receives label records an engine finds inside its section body (the
+  // Bε-tree's kLabelDelta messages); feeds the store's label table.
+  using LabelSink = std::function<void(uint32_t, std::vector<uint8_t>)>;
+  // Receives one complete object image (checksum stripped) during boot.
+  using ObjectSink = std::function<Status(const std::vector<uint8_t>&)>;
+
+  explicit StoreEngine(const EngineContext& ctx) : ctx_(ctx) {}
+  virtual ~StoreEngine() = default;
+
+  virtual EngineKind kind() const = 0;
+  virtual const char* name() const = 0;
+  // Back to freshly-formatted state (no objects, nothing staged).
+  virtual void Reset() = 0;
+
+  // ---- Write path -----------------------------------------------------------
+
+  // Stages/writes one object image (checksum discipline: FNV over
+  // [0, meta_len) only — see docs/persistence.md).
+  virtual Status WriteObject(ObjectId id, const std::vector<uint8_t>& bytes,
+                             uint64_t meta_len) = 0;
+  // Drops an object (blob: map erase + extent retire; betree: tombstone).
+  virtual void DeleteObject(ObjectId id) = 0;
+  // Appends every object id the engine currently holds (the store's dead
+  // sweep diffs this against the kernel's live set).
+  virtual void AppendLiveIds(std::vector<ObjectId>* out) const = 0;
+
+  // ---- Commit ---------------------------------------------------------------
+
+  // True when the engine needs the next commit to be a base (the Bε-tree's
+  // staged messages outgrew the root buffer, or a prior base flush failed
+  // midway and must be retried before any increment may commit).
+  virtual bool WantsBase() const = 0;
+  // True when the engine embeds increment label deltas in its own body (the
+  // store then writes zero store-level label records for increments).
+  virtual bool OwnsLabelDelta() const = 0;
+  // Appends the engine's section body to `image` (the store has already
+  // written the header and store-level label records). A base body may
+  // perform device writes of its own (tree node flushes) — shadow-write
+  // discipline applies.
+  virtual Status EmitSectionBody(bool base,
+                                 const std::vector<LabelTableRecord>* label_delta,
+                                 std::vector<uint8_t>* image) = 0;
+  // The section is durably written and joins the in-memory chain (the flip
+  // may still fail — state consumed here legitimately rides into the next
+  // commit, exactly like the store's pending lists always have).
+  virtual void OnSectionWritten(bool base) = 0;
+
+  // ---- Read path ------------------------------------------------------------
+
+  // In-place payload flush for sys_sync_pages. Sets *needs_commit when the
+  // freshest image is staged (not at a home location), in which case the
+  // store runs a commit; otherwise the engine wrote in place and barriered.
+  virtual Status FlushPages(ObjectId id, uint64_t offset,
+                            const std::vector<uint8_t>& pages, bool* needs_commit) = 0;
+  // Demand-page simulation: charge the reads that faulting the object in
+  // would cost; returns the on-disk image length.
+  virtual Result<uint64_t> TouchObject(ObjectId id) = 0;
+
+  // ---- Recovery -------------------------------------------------------------
+
+  // Replays one section body (reader positioned past the store-level label
+  // records; the section checksum has already been verified).
+  virtual Status LoadSectionBody(bool base, storewire::Reader* r,
+                                 const LabelSink& label_sink) = 0;
+  // Every heap extent the engine references (object blobs / tree nodes) —
+  // reserved in the allocator alongside the section chain.
+  virtual void CollectExtents(std::vector<Extent>* out) const = 0;
+  // Streams every live object image, ascending id, into `fn`.
+  virtual Status LoadAllObjects(const ObjectSink& fn) = 0;
+
+  // ---- Chain folding --------------------------------------------------------
+
+  // Merges several increment section bodies (oldest first) into one body
+  // whose replay is equivalent to replaying them in order. Used when the
+  // superblock chain hits capacity (single_level_store.cc FoldChain).
+  virtual Status MergeSectionBodies(const std::vector<std::vector<uint8_t>>& bodies,
+                                    std::vector<uint8_t>* out) = 0;
+
+ protected:
+  EngineContext ctx_;
+};
+
+// ---- BlobEngine --------------------------------------------------------------
+//
+// The original store layout, extracted verbatim: one extent per object, a
+// B+-tree map id → (extent, meta_len), section bodies carrying map records
+// and dead ids. Byte-compatible with the pre-engine format except for the
+// section header's engine byte.
+class BlobEngine : public StoreEngine {
+ public:
+  // One object's home image: where it lives and how much of the blob the
+  // checksum covers (segment payload past meta_len is excluded — see
+  // ObjectImage in kernel.h).
+  struct ObjRecord {
+    Extent extent;
+    uint64_t meta_len = 0;
+
+    friend bool operator==(const ObjRecord&, const ObjRecord&) = default;
+  };
+
+  explicit BlobEngine(const EngineContext& ctx) : StoreEngine(ctx) {}
+
+  EngineKind kind() const override { return EngineKind::kBlob; }
+  const char* name() const override { return "blob"; }
+  void Reset() override;
+
+  Status WriteObject(ObjectId id, const std::vector<uint8_t>& bytes,
+                     uint64_t meta_len) override;
+  void DeleteObject(ObjectId id) override;
+  void AppendLiveIds(std::vector<ObjectId>* out) const override;
+
+  bool WantsBase() const override { return false; }
+  bool OwnsLabelDelta() const override { return false; }
+  Status EmitSectionBody(bool base, const std::vector<LabelTableRecord>* label_delta,
+                         std::vector<uint8_t>* image) override;
+  void OnSectionWritten(bool base) override;
+
+  Status FlushPages(ObjectId id, uint64_t offset, const std::vector<uint8_t>& pages,
+                    bool* needs_commit) override;
+  Result<uint64_t> TouchObject(ObjectId id) override;
+
+  Status LoadSectionBody(bool base, storewire::Reader* r,
+                         const LabelSink& label_sink) override;
+  void CollectExtents(std::vector<Extent>* out) const override;
+  Status LoadAllObjects(const ObjectSink& fn) override;
+
+  Status MergeSectionBodies(const std::vector<std::vector<uint8_t>>& bodies,
+                            std::vector<uint8_t>* out) override;
+
+ private:
+  BPlusTree<uint64_t, ObjRecord> objmap_;
+  // Object-map changes since the last committed section (increment records).
+  std::vector<uint64_t> pending_updates_;
+  std::vector<uint64_t> pending_deads_;
+};
+
+std::unique_ptr<StoreEngine> MakeStoreEngine(EngineKind kind, const EngineContext& ctx,
+                                             const BetreeParams& params);
+
+}  // namespace histar
+
+#endif  // SRC_STORE_ENGINE_H_

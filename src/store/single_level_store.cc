@@ -5,98 +5,31 @@
 #include <new>
 
 #include "src/store/store_alloc.h"
+#include "src/store/wire_format.h"
 
 namespace histar {
 
-namespace {
-
-// Section images are built/parsed with the same little-endian primitives the
-// kernel uses for object blobs (kernel_persist.cc keeps its own copy; both
-// are file-local on purpose — the formats are independent).
-void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
-
-void PutU32(std::vector<uint8_t>* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
-}
-
-void PutU64(std::vector<uint8_t>* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
-}
-
-struct SectionReader {
-  const uint8_t* data;
-  size_t len;
-  size_t pos = 0;
-  bool fail = false;
-
-  uint8_t U8() {
-    if (pos + 1 > len) {
-      fail = true;
-      return 0;
-    }
-    return data[pos++];
-  }
-  uint32_t U32() {
-    if (pos + 4 > len) {
-      fail = true;
-      return 0;
-    }
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(data[pos + static_cast<size_t>(i)]) << (8 * i);
-    }
-    pos += 4;
-    return v;
-  }
-  uint64_t U64() {
-    if (pos + 8 > len) {
-      fail = true;
-      return 0;
-    }
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(data[pos + static_cast<size_t>(i)]) << (8 * i);
-    }
-    pos += 8;
-    return v;
-  }
-  bool Bytes(std::vector<uint8_t>* out, size_t n) {
-    if (pos + n > len) {
-      fail = true;
-      return false;
-    }
-    out->assign(data + pos, data + pos + n);
-    pos += n;
-    return true;
-  }
-};
-
-}  // namespace
+using storewire::PutU32;
+using storewire::PutU64;
+using storewire::PutU8;
 
 SingleLevelStore::SingleLevelStore(DiskModel* disk, const StoreTuning& tuning)
     : disk_(disk),
       tuning_(tuning),
       alloc_(2 * 4096 + tuning.log_region_bytes,
              disk->geometry().capacity_bytes - (2 * 4096 + tuning.log_region_bytes)) {
-  // The superblock can name at most kMaxChain sections.
-  tuning_.max_increments =
-      std::min<uint32_t>(tuning_.max_increments, static_cast<uint32_t>(kMaxChain) - 1);
+  // max_increments is NOT clamped to the superblock's chain capacity: when
+  // the chain fills before an increment budget this large is spent, the
+  // oldest increments fold into one (FoldChain) instead of forcing a base.
+  EngineContext ctx;
+  ctx.disk = disk_;
+  ctx.alloc = &alloc_;
+  ctx.pending_frees = &pending_frees_;
+  engine_ = MakeStoreEngine(tuning_.engine, ctx, tuning_.betree);
 }
 
 uint64_t SingleLevelStore::Checksum(const void* data, size_t len) {
-  // FNV-1a, folded over 8-byte words where possible. Not cryptographic —
-  // it only needs to catch torn writes.
-  const uint8_t* p = static_cast<const uint8_t*>(data);
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+  return StoreChecksum(data, len);
 }
 
 Status SingleLevelStore::Format() {
@@ -109,7 +42,7 @@ Status SingleLevelStore::Format() {
 }
 
 Status SingleLevelStore::FormatLocked() {
-  objmap_.Clear();
+  engine_->Reset();
   alloc_.Reset();
   root_ = kInvalidObject;
   generation_ = 0;
@@ -118,8 +51,6 @@ Status SingleLevelStore::FormatLocked() {
   chain_.clear();
   epoch_ = 0;
   need_base_ = true;
-  pending_updates_.clear();
-  pending_deads_.clear();
   pending_frees_.clear();
   log_head_ = 0;
   log_seq_ = 0;
@@ -143,18 +74,27 @@ Status SingleLevelStore::WriteSuperblock() {
   }
   sb.checksum = 0;
   sb.checksum = Checksum(&sb, sizeof(sb));
+  // Alternate slots only across SUCCESSFUL flips. A failed flip must retry
+  // the same slot: advancing on failure would aim the next attempt at the
+  // other slot — the one holding the newest durable superblock — and a
+  // second fault (e.g. a torn write) could then destroy it, time-traveling
+  // recovery past every commit to whatever the stale slot still holds.
   uint64_t slot = which_sb_ ? 4096 : 0;
-  which_sb_ = !which_sb_;
   Status st = disk_->Write(slot, &sb, sizeof(sb));
+  if (st == Status::kOk) {
+    st = disk_->Flush();
+  }
   if (st != Status::kOk) {
     return st;
   }
-  return disk_->Flush();
+  which_sb_ = !which_sb_;
+  return Status::kOk;
 }
 
 Status SingleLevelStore::ReadSuperblocks(Superblock* out) {
   Superblock best;
   bool found = false;
+  uint64_t best_slot = 0;
   for (uint64_t slot : {uint64_t{0}, uint64_t{4096}}) {
     Superblock sb;
     if (disk_->Read(slot, &sb, sizeof(sb)) != Status::kOk) {
@@ -168,65 +108,150 @@ Status SingleLevelStore::ReadSuperblocks(Superblock* out) {
     sb.checksum = want;
     if (!found || sb.generation > best.generation) {
       best = sb;
+      best_slot = slot;
       found = true;
     }
   }
   if (!found) {
     return Status::kNotFound;
   }
+  // The next flip must target the slot NOT holding the superblock this boot
+  // trusts, so a faulted first commit can never destroy it.
+  which_sb_ = best_slot == 0;
   *out = best;
   return Status::kOk;
 }
 
-Status SingleLevelStore::WriteObject(ObjectId id, const std::vector<uint8_t>& bytes,
-                                     uint64_t meta_len) {
-  // Shadow write: new extent first, then retire the old one, so a crash
-  // mid-checkpoint leaves the previous snapshot intact. The trailing
-  // checksum covers only the metadata prefix [0, meta_len): segment payload
-  // after it may later be rewritten in place by SyncPages without
-  // invalidating the blob (ext3-writeback semantics — see the header).
-  StoreAlloc::Check();
-  meta_len = std::min<uint64_t>(meta_len, bytes.size());
-  Result<uint64_t> off = alloc_.Allocate(bytes.size() + 8);
+Status SingleLevelStore::FoldChain() {
+  // The superblock can name kMaxChain sections and the chain is full, but
+  // nothing demands a base: merge the oldest half of the increments into ONE
+  // increment whose replay is equivalent to replaying them in order. The
+  // engine merges its bodies; the store merges its label records
+  // (latest-wins per id — exactly what replaying them in order produces).
+  size_t fold = (chain_.size() - 1) / 2;
+  if (fold < 2) {
+    return Status::kOk;  // nothing to gain
+  }
+  std::vector<std::vector<uint8_t>> bodies;
+  bodies.reserve(fold);
+  std::map<uint32_t, std::vector<uint8_t>> labels;
+  uint64_t merged_epoch = 0;
+  for (size_t i = 1; i <= fold; ++i) {
+    const Extent& ext = chain_[i];
+    if (ext.length < 8) {
+      return Status::kCorrupt;
+    }
+    std::vector<uint8_t> image(ext.length);
+    Status st = disk_->Read(ext.offset, image.data(), image.size());
+    if (st != Status::kOk) {
+      return st;
+    }
+    uint64_t want;
+    memcpy(&want, image.data() + image.size() - 8, 8);
+    if (Checksum(image.data(), image.size() - 8) != want) {
+      return Status::kCorrupt;
+    }
+    storewire::Reader r{image.data(), image.size() - 8};
+    uint64_t magic = r.U64();
+    uint64_t epoch = r.U64();
+    uint8_t kind = r.U8();
+    uint8_t eng = r.U8();
+    if (r.fail || magic != kSectionMagic || kind != 1 ||
+        eng != static_cast<uint8_t>(engine_->kind())) {
+      return Status::kCorrupt;
+    }
+    uint32_t n_labels = r.U32();
+    for (uint32_t j = 0; j < n_labels && !r.fail; ++j) {
+      uint32_t id = r.U32();
+      uint32_t len = r.U32();
+      std::vector<uint8_t> bytes;
+      if (!r.Bytes(&bytes, len)) {
+        break;
+      }
+      labels[id] = std::move(bytes);
+    }
+    if (r.fail) {
+      return Status::kCorrupt;
+    }
+    bodies.emplace_back(image.begin() + static_cast<ptrdiff_t>(r.pos),
+                        image.end() - 8);
+    merged_epoch = epoch;
+  }
+
+  std::vector<uint8_t> image;
+  PutU64(&image, kSectionMagic);
+  PutU64(&image, merged_epoch);  // replays in the folded range's place
+  PutU8(&image, 1);
+  PutU8(&image, static_cast<uint8_t>(engine_->kind()));
+  PutU32(&image, static_cast<uint32_t>(labels.size()));
+  for (const auto& [id, bytes] : labels) {
+    PutU32(&image, id);
+    PutU32(&image, static_cast<uint32_t>(bytes.size()));
+    image.insert(image.end(), bytes.begin(), bytes.end());
+  }
+  Status st = engine_->MergeSectionBodies(bodies, &image);
+  if (st != Status::kOk) {
+    return st;
+  }
+  Result<uint64_t> off = alloc_.Allocate(image.size() + 8);
   if (!off.ok()) {
     return off.status();
   }
-  uint64_t csum = Checksum(bytes.data(), meta_len);
-  Status st = bytes.empty() ? Status::kOk : disk_->Write(off.value(), bytes.data(), bytes.size());
+  uint64_t csum = Checksum(image.data(), image.size());
+  st = disk_->Write(off.value(), image.data(), image.size());
   if (st == Status::kOk) {
-    st = disk_->Write(off.value() + bytes.size(), &csum, 8);
+    st = disk_->Write(off.value() + image.size(), &csum, 8);
   }
   if (st != Status::kOk) {
-    StoreAllocNoFail cleanup;  // unwinding a failed write must not fault again
-    alloc_.Free(off.value(), bytes.size() + 8);
+    StoreAllocNoFail cleanup;
+    alloc_.Free(off.value(), image.size() + 8);
     return st;
   }
-  // The blob is durable and the extent allocated: the map/bookkeeping update
-  // must complete as a unit. A throw between the pending_frees_ push and the
-  // map insert would queue the extent the map still references for reuse.
-  StoreAllocNoFail atomic_update;
-  if (std::optional<ObjRecord> old = objmap_.Find(id); old.has_value()) {
-    pending_frees_.push_back(old->extent);
+  // No Flush here: the merged section only becomes reachable via the
+  // superblock the CALLING commit flips, and that commit barriers everything
+  // before the flip. The folded sections stay on disk untouched — the
+  // current superblock still names them — so their extents are reusable
+  // only after the flip (ordinary shadow-paging discipline).
+  StoreAllocNoFail bookkeeping;
+  std::vector<Extent> next;
+  next.reserve(chain_.size() - fold + 1);
+  next.push_back(chain_[0]);
+  next.push_back(Extent{off.value(), image.size() + 8});
+  for (size_t i = 1; i <= fold; ++i) {
+    pending_frees_.push_back(chain_[i]);
   }
-  objmap_.Insert(id, ObjRecord{Extent{off.value(), bytes.size() + 8}, meta_len});
-  pending_updates_.push_back(id);
+  for (size_t i = fold + 1; i < chain_.size(); ++i) {
+    next.push_back(chain_[i]);
+  }
+  chain_ = std::move(next);
+  ++chain_folds_;
   return Status::kOk;
 }
 
 Status SingleLevelStore::CommitSection(const std::vector<LabelTableRecord>* label_delta) {
   // The single commit point for every durable state advance. A base section
-  // re-emits the complete label table and object map; an increment carries
-  // only this epoch's label delta, the map records for objects written
-  // since the last commit, and the ids deleted since then. Recovery replays
-  // the chain in order, so the chain length bounds replay work — hence the
-  // forced base every max_increments epochs.
+  // re-emits the complete label table and the engine's full-state body; an
+  // increment carries only this epoch's label delta and the engine's delta
+  // body. Recovery replays the chain in order, so the chain length bounds
+  // replay work — hence the forced base every max_increments epochs and the
+  // fold when the superblock's chain slots run out first.
   StoreAlloc::Check();
-  bool base = need_base_ || chain_.empty() || chain_.size() - 1 >= tuning_.max_increments ||
-              chain_.size() >= kMaxChain;
+  bool base = need_base_ || chain_.empty() ||
+              chain_.size() - 1 >= tuning_.max_increments || engine_->WantsBase();
+  if (!base && chain_.size() >= kMaxChain) {
+    Status st = FoldChain();
+    if (st != Status::kOk) {
+      return st;
+    }
+    // Folding can fail to shrink only on a pathologically short chain; a
+    // base then keeps the superblock bounded, as before this PR.
+    base = chain_.size() >= kMaxChain;
+  }
   std::vector<uint8_t> image;
   PutU64(&image, kSectionMagic);
   PutU64(&image, epoch_ + 1);
   PutU8(&image, base ? 0 : 1);
+  PutU8(&image, static_cast<uint8_t>(engine_->kind()));
   if (base) {
     PutU32(&image, static_cast<uint32_t>(label_table_.size()));
     for (const auto& [id, bytes] : label_table_) {  // ascending id: re-intern order
@@ -234,19 +259,7 @@ Status SingleLevelStore::CommitSection(const std::vector<LabelTableRecord>* labe
       PutU32(&image, static_cast<uint32_t>(bytes.size()));
       image.insert(image.end(), bytes.begin(), bytes.end());
     }
-    std::vector<std::pair<uint64_t, ObjRecord>> entries;
-    objmap_.ForEach([&entries](const uint64_t& id, const ObjRecord& rec) {
-      entries.emplace_back(id, rec);
-    });
-    PutU32(&image, static_cast<uint32_t>(entries.size()));
-    for (const auto& [id, rec] : entries) {
-      PutU64(&image, id);
-      PutU64(&image, rec.extent.offset);
-      PutU64(&image, rec.extent.length);
-      PutU64(&image, rec.meta_len);
-    }
-    PutU32(&image, 0);  // a base names no dead ids: absence from the map suffices
-  } else {
+  } else if (!engine_->OwnsLabelDelta()) {
     size_t n_labels = label_delta != nullptr ? label_delta->size() : 0;
     PutU32(&image, static_cast<uint32_t>(n_labels));
     if (label_delta != nullptr) {
@@ -256,28 +269,13 @@ Status SingleLevelStore::CommitSection(const std::vector<LabelTableRecord>* labe
         image.insert(image.end(), rec.bytes.begin(), rec.bytes.end());
       }
     }
-    // Deduplicate update ids (an object can be written twice between
-    // commits) and drop ids that died after being written.
-    std::sort(pending_updates_.begin(), pending_updates_.end());
-    pending_updates_.erase(std::unique(pending_updates_.begin(), pending_updates_.end()),
-                           pending_updates_.end());
-    std::vector<std::pair<uint64_t, ObjRecord>> entries;
-    for (uint64_t id : pending_updates_) {
-      if (std::optional<ObjRecord> rec = objmap_.Find(id); rec.has_value()) {
-        entries.emplace_back(id, *rec);
-      }
-    }
-    PutU32(&image, static_cast<uint32_t>(entries.size()));
-    for (const auto& [id, rec] : entries) {
-      PutU64(&image, id);
-      PutU64(&image, rec.extent.offset);
-      PutU64(&image, rec.extent.length);
-      PutU64(&image, rec.meta_len);
-    }
-    PutU32(&image, static_cast<uint32_t>(pending_deads_.size()));
-    for (uint64_t id : pending_deads_) {
-      PutU64(&image, id);
-    }
+  } else {
+    // The engine carries label deltas inside its body (Bε-tree messages).
+    PutU32(&image, 0);
+  }
+  Status st = engine_->EmitSectionBody(base, label_delta, &image);
+  if (st != Status::kOk) {
+    return st;
   }
 
   Result<uint64_t> off = alloc_.Allocate(image.size() + 8);
@@ -285,7 +283,7 @@ Status SingleLevelStore::CommitSection(const std::vector<LabelTableRecord>* labe
     return off.status();
   }
   uint64_t csum = Checksum(image.data(), image.size());
-  Status st = disk_->Write(off.value(), image.data(), image.size());
+  st = disk_->Write(off.value(), image.data(), image.size());
   if (st == Status::kOk) {
     st = disk_->Write(off.value() + image.size(), &csum, 8);
   }
@@ -308,8 +306,7 @@ Status SingleLevelStore::CommitSection(const std::vector<LabelTableRecord>* labe
   }
   chain_.push_back(Extent{off.value(), image.size() + 8});
   need_base_ = false;
-  pending_updates_.clear();
-  pending_deads_.clear();
+  engine_->OnSectionWritten(base);
   last_commit_base_ = base;
   last_section_bytes_ = image.size() + 8;
   st = WriteSuperblock();
@@ -351,23 +348,20 @@ Status SingleLevelStore::CheckpointLocked(const CheckpointBatch& batch) {
   for (ObjectId id : batch.live) {
     live_set[id] = true;
   }
-  std::vector<std::pair<uint64_t, Extent>> dead;
-  objmap_.ForEach([&](const uint64_t& id, const ObjRecord& rec) {
+  std::vector<ObjectId> held;
+  engine_->AppendLiveIds(&held);
+  for (ObjectId id : held) {
     if (live_set.find(id) == live_set.end()) {
-      dead.emplace_back(id, rec.extent);
+      engine_->DeleteObject(id);
     }
-  });
-  for (const auto& [id, e] : dead) {
-    objmap_.Erase(id);
-    pending_frees_.push_back(e);
-    pending_deads_.push_back(id);
   }
-  // Write every dirty object image to a fresh extent (delayed allocation:
-  // the batch lands contiguously, in creation order).
+  // Write every dirty object image (delayed allocation: the blob engine
+  // lands the batch contiguously in creation order; the Bε-tree engine
+  // stages the batch as messages and writes nothing yet).
   std::unordered_map<uint64_t, bool> dirty_ids;
   dirty_ids.reserve(batch.dirty.size());
   for (const ObjectImage& img : batch.dirty) {
-    Status st = WriteObject(img.id, img.bytes, img.meta_len);
+    Status st = engine_->WriteObject(img.id, img.bytes, img.meta_len);
     if (st != Status::kOk) {
       return st;
     }
@@ -383,7 +377,7 @@ Status SingleLevelStore::CheckpointLocked(const CheckpointBatch& batch) {
     if (dirty_ids.count(id) != 0 || live_set.find(id) == live_set.end()) {
       continue;
     }
-    Status st = WriteObject(id, img.bytes, img.meta_len);
+    Status st = engine_->WriteObject(id, img.bytes, img.meta_len);
     if (st != Status::kOk) {
       return st;
     }
@@ -419,9 +413,9 @@ Status SingleLevelStore::SyncOneLocked(ObjectId id, const std::vector<uint8_t>& 
                                        uint64_t meta_len) {
   StoreAlloc::Check();
   if (bytes.size() > tuning_.log_region_bytes / 4) {
-    // Too big for the log: write straight to a fresh extent and commit the
-    // new location as an increment (or a base if one is due).
-    Status st = WriteObject(id, bytes, meta_len);
+    // Too big for the log: hand it to the engine and commit the new state
+    // as an increment (or a base if one is due).
+    Status st = engine_->WriteObject(id, bytes, meta_len);
     if (st != Status::kOk) {
       return st;
     }
@@ -468,7 +462,7 @@ Status SingleLevelStore::ApplyLog() {
   StoreAlloc::Check();
   ++log_applies_;
   for (const auto& [id, img] : log_tail_) {
-    Status st = WriteObject(id, img.bytes, img.meta_len);
+    Status st = engine_->WriteObject(id, img.bytes, img.meta_len);
     if (st != Status::kOk) {
       return st;
     }
@@ -500,34 +494,21 @@ Status SingleLevelStore::SyncPages(ObjectId id, uint64_t offset,
 
 Status SingleLevelStore::SyncPagesLocked(ObjectId id, uint64_t offset,
                                          const std::vector<uint8_t>& pages) {
-  std::optional<ObjRecord> rec = objmap_.Find(id);
-  if (!rec.has_value()) {
-    return Status::kNotFound;  // never checkpointed: nothing to flush into
-  }
-  // In-place flush of real payload bytes, landing past the checksummed
-  // metadata prefix — the checksum therefore stays sound however this write
-  // interleaves with a crash (the old code zero-filled from the extent
-  // start, destroying both the header and its checksum until the next
-  // checkpoint rewrote them). The on-disk image may be stale (object
-  // re-written but not yet re-checkpointed is impossible — WriteObject
-  // moves the extent — but a resize since the last checkpoint is not), so
-  // clamp to the stored payload capacity; pages beyond it are covered by
-  // the object's dirty mark at the next checkpoint.
-  uint64_t blob_len = rec->extent.length - 8;
-  uint64_t meta = std::min(rec->meta_len, blob_len);
-  uint64_t capacity = blob_len - meta;
-  if (offset >= capacity) {
-    return Status::kOk;
-  }
-  uint64_t n = std::min<uint64_t>(pages.size(), capacity - offset);
-  if (n == 0) {
-    return Status::kOk;
-  }
-  Status st = disk_->Write(rec->extent.offset + meta + offset, pages.data(), n);
+  // The engine either writes the pages in place past the checksummed
+  // metadata prefix and barriers (blob path, leaf-resident Bε-tree path) or
+  // stages a patched image and asks for a commit (the pages then become
+  // durable with the section write + superblock flip — same sync contract,
+  // different mechanism).
+  bool needs_commit = false;
+  Status st = engine_->FlushPages(id, offset, pages, &needs_commit);
   if (st != Status::kOk) {
     return st;
   }
-  return disk_->Flush();
+  if (needs_commit) {
+    last_commit_objects_ = 1;
+    return CommitSection(nullptr);
+  }
+  return Status::kOk;
 }
 
 Result<uint64_t> SingleLevelStore::TouchObject(ObjectId id) {
@@ -540,22 +521,7 @@ Result<uint64_t> SingleLevelStore::TouchObject(ObjectId id) {
 }
 
 Result<uint64_t> SingleLevelStore::TouchObjectLocked(ObjectId id) {
-  std::optional<ObjRecord> rec = objmap_.Find(id);
-  if (!rec.has_value()) {
-    return Status::kNotFound;
-  }
-  const Extent& e = rec->extent;
-  std::vector<uint8_t> buf(std::min<uint64_t>(e.length, 64 * 1024));
-  uint64_t pos = 0;
-  while (pos < e.length) {
-    uint64_t n = std::min<uint64_t>(buf.size(), e.length - pos);
-    Status st = disk_->Read(e.offset + pos, buf.data(), n);
-    if (st != Status::kOk) {
-      return st;
-    }
-    pos += n;
-  }
-  return e.length;
+  return engine_->TouchObject(id);
 }
 
 Status SingleLevelStore::Recover(Kernel* kernel) {
@@ -580,12 +546,13 @@ Status SingleLevelStore::RecoverLocked(Kernel* kernel) {
   epoch_ = sb.epoch;
 
   // Replay the checkpoint chain in order: the base re-creates the label
-  // table and object map wholesale, each increment folds its delta on top.
+  // table and the engine's full state, each increment folds its delta on
+  // top. The base section's engine byte decides which engine owns the disk:
+  // a store configured for one engine boots a disk written by the other by
+  // adopting the on-disk engine (every section must agree).
   label_table_.clear();
-  objmap_.Clear();
+  engine_->Reset();
   chain_.clear();
-  pending_updates_.clear();
-  pending_deads_.clear();
   pending_frees_.clear();
   if (sb.chain_len > kMaxChain) {
     return Status::kCorrupt;
@@ -606,13 +573,25 @@ Status SingleLevelStore::RecoverLocked(Kernel* kernel) {
     if (Checksum(image.data(), image.size() - 8) != want) {
       return Status::kCorrupt;
     }
-    SectionReader r{image.data(), image.size() - 8};
+    storewire::Reader r{image.data(), image.size() - 8};
     uint64_t magic = r.U64();
     uint64_t epoch = r.U64();
     uint8_t kind = r.U8();
+    uint8_t eng = r.U8();
     if (r.fail || magic != kSectionMagic || epoch <= prev_epoch ||
-        kind != (i == 0 ? 0 : 1)) {
+        kind != (i == 0 ? 0 : 1) || eng > static_cast<uint8_t>(EngineKind::kBetree)) {
       return Status::kCorrupt;
+    }
+    if (i == 0) {
+      if (eng != static_cast<uint8_t>(engine_->kind())) {
+        EngineContext ctx;
+        ctx.disk = disk_;
+        ctx.alloc = &alloc_;
+        ctx.pending_frees = &pending_frees_;
+        engine_ = MakeStoreEngine(static_cast<EngineKind>(eng), ctx, tuning_.betree);
+      }
+    } else if (eng != static_cast<uint8_t>(engine_->kind())) {
+      return Status::kCorrupt;  // a chain never mixes engines
     }
     uint32_t n_labels = r.U32();
     for (uint32_t j = 0; j < n_labels && !r.fail; ++j) {
@@ -624,38 +603,26 @@ Status SingleLevelStore::RecoverLocked(Kernel* kernel) {
       }
       label_table_[id] = std::move(bytes);
     }
-    uint32_t n_objects = r.U32();
-    for (uint32_t j = 0; j < n_objects && !r.fail; ++j) {
-      uint64_t id = r.U64();
-      ObjRecord rec;
-      rec.extent.offset = r.U64();
-      rec.extent.length = r.U64();
-      rec.meta_len = r.U64();
-      if (!r.fail) {
-        objmap_.Insert(id, rec);
-      }
-    }
-    uint32_t n_dead = r.U32();
-    for (uint32_t j = 0; j < n_dead && !r.fail; ++j) {
-      objmap_.Erase(r.U64());
-    }
     if (r.fail) {
       return Status::kCorrupt;
+    }
+    st = engine_->LoadSectionBody(
+        i == 0, &r, [this](uint32_t id, std::vector<uint8_t> bytes) {
+          label_table_[id] = std::move(bytes);
+        });
+    if (st != Status::kOk) {
+      return st;
     }
     prev_epoch = epoch;
     chain_.push_back(ext);
   }
 
-  // Rebuild the allocator: carve out live object extents and the chain's
-  // section extents from a freshly reset free pool.
+  // Rebuild the allocator: carve out the extents the engine references
+  // (object blobs / tree nodes) and the chain's section extents from a
+  // freshly reset free pool.
   alloc_.Reset();
-  std::vector<std::pair<uint64_t, ObjRecord>> entries;
-  objmap_.ForEach([&](const uint64_t& id, const ObjRecord& rec) { entries.emplace_back(id, rec); });
   std::vector<Extent> used;
-  used.reserve(entries.size() + chain_.size());
-  for (const auto& [id, rec] : entries) {
-    used.push_back(rec.extent);
-  }
+  engine_->CollectExtents(&used);
   for (const Extent& e : chain_) {
     used.push_back(e);
   }
@@ -683,28 +650,12 @@ Status SingleLevelStore::RecoverLocked(Kernel* kernel) {
   }
   need_base_ = chain_.empty() || !ids_stable;
 
-  // Load every object into the kernel. The checksum covers the metadata
-  // prefix only; payload bytes past it carry no integrity word (they may
-  // have been rewritten in place by SyncPages — writeback semantics).
-  for (const auto& [id, rec] : entries) {
-    if (rec.extent.length < 8 || rec.meta_len > rec.extent.length - 8) {
-      return Status::kCorrupt;
-    }
-    std::vector<uint8_t> blob(rec.extent.length);
-    st = disk_->Read(rec.extent.offset, blob.data(), blob.size());
-    if (st != Status::kOk) {
-      return st;
-    }
-    uint64_t want;
-    memcpy(&want, blob.data() + blob.size() - 8, 8);
-    if (Checksum(blob.data(), rec.meta_len) != want) {
-      return Status::kCorrupt;
-    }
-    blob.resize(blob.size() - 8);
-    st = kernel->RestoreObject(blob);
-    if (st != Status::kOk) {
-      return st;
-    }
+  // Load every object into the kernel (checksum discipline is the engine's;
+  // both engines verify the metadata-prefix checksum and strip it).
+  st = engine_->LoadAllObjects(
+      [kernel](const std::vector<uint8_t>& blob) { return kernel->RestoreObject(blob); });
+  if (st != Status::kOk) {
+    return st;
   }
 
   // Replay the log tail: records with seq > applied and a valid checksum.

@@ -50,6 +50,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -57,6 +58,7 @@
 #include "src/kernel/kernel.h"
 #include "src/store/bptree.h"
 #include "src/store/disk_model.h"
+#include "src/store/engine.h"
 #include "src/store/extent_alloc.h"
 
 namespace histar {
@@ -65,8 +67,16 @@ struct StoreTuning {
   uint64_t log_region_bytes = 16 << 20;   // 16 MB WAL
   uint32_t log_apply_threshold = 1000;    // records before a batch apply
   // Incremental checkpoints between full base snapshots. Bounds the section
-  // chain recovery must replay; clamped to the superblock's chain capacity.
+  // chain recovery must replay. When a commit stream outruns the
+  // superblock's chain capacity, the oldest increments are folded into one
+  // merged increment (FoldChain) instead of forcing a base.
   uint32_t max_increments = 32;
+  // Which storage engine owns object placement and section bodies
+  // (engine.h). Recovery adopts whatever engine the disk was written with,
+  // regardless of this knob.
+  EngineKind engine = EngineKind::kBlob;
+  // Shape knobs for the Bε-tree engine (ignored by the blob engine).
+  BetreeParams betree;
 };
 
 class SingleLevelStore : public PersistTarget {
@@ -100,6 +110,13 @@ class SingleLevelStore : public PersistTarget {
   // kNotFound on an unformatted disk.
   Status Recover(Kernel* kernel);
 
+  // Forces the next commit to be a full base snapshot (tests/benches: e.g.
+  // making the Bε-tree engine apply staged deletes to the on-disk tree).
+  void DemandBase() {
+    std::lock_guard<std::mutex> lock(mu_);
+    need_base_ = true;
+  }
+
   // Introspection for tests/benches.
   uint64_t generation() const { return generation_; }
   uint64_t epoch() const { return epoch_; }
@@ -110,6 +127,14 @@ class SingleLevelStore : public PersistTarget {
   // Section chain currently committed: 1 after a base, +1 per increment.
   size_t chain_length() const { return chain_.size(); }
   size_t label_table_size() const { return label_table_.size(); }
+  // Times the chain hit superblock capacity and the oldest increments were
+  // merged into one (satellite of the Bε-tree PR; see FoldChain).
+  uint64_t chain_folds() const { return chain_folds_; }
+  EngineKind engine_kind() const { return engine_->kind(); }
+  const char* engine_name() const { return engine_->name(); }
+  // The engine itself (tests: e.g. downcasting to BetreeEngine for tree
+  // introspection). Owned by the store; may be replaced by Recover.
+  StoreEngine* engine() { return engine_.get(); }
   // Shape of the most recent commit point (checkpoint, log apply, or large
   // sync): was it a base, how many object images did it write, how big was
   // its section. These are what the O(dirty)-not-O(live) tests assert.
@@ -137,16 +162,6 @@ class SingleLevelStore : public PersistTarget {
   };
   static_assert(sizeof(Superblock) <= 4096, "superblock must fit its slot");
 
-  // One object's home image: where it lives and how much of the blob the
-  // checksum covers (segment payload past meta_len is excluded — see
-  // ObjectImage in kernel.h).
-  struct ObjRecord {
-    Extent extent;
-    uint64_t meta_len = 0;
-
-    friend bool operator==(const ObjRecord&, const ObjRecord&) = default;
-  };
-
   static uint64_t Checksum(const void* data, size_t len);
 
   // mu_ held for all of these. The public entry points above are thin
@@ -162,16 +177,16 @@ class SingleLevelStore : public PersistTarget {
   Status RecoverLocked(Kernel* kernel);
   Status WriteSuperblock();
   Status ReadSuperblocks(Superblock* out);
-  // Writes the blob to a new extent (checksum over [0, meta_len)), updating
-  // objmap_ and retiring the old extent; records the id in this epoch's
-  // pending updates. The in-memory heap image of each object is NOT cached:
-  // reads go back to the disk model.
-  Status WriteObject(ObjectId id, const std::vector<uint8_t>& bytes, uint64_t meta_len);
   // The single commit point: writes one checkpoint section (base if the
-  // chain is empty/full or a base was demanded, else an increment covering
-  // pending_updates_/pending_deads_ plus `label_delta`), flushes, flips the
-  // superblock, then releases superseded extents. Advances epoch_.
+  // chain is empty, a base was demanded, or the engine wants one; else an
+  // increment whose body the engine emits), flushes, flips the superblock,
+  // then releases superseded extents. Advances epoch_.
   Status CommitSection(const std::vector<LabelTableRecord>* label_delta);
+  // Chain at superblock capacity but no base due: merge the oldest half of
+  // the increments into ONE replay-equivalent increment section, so a
+  // long-running commit stream never forces an O(live) base just because
+  // the superblock ran out of chain slots.
+  Status FoldChain();
   // Folds the outstanding log records into object home locations and
   // commits them as an increment.
   Status ApplyLog();
@@ -183,8 +198,10 @@ class SingleLevelStore : public PersistTarget {
   StoreTuning tuning_;
   mutable std::mutex mu_;
 
-  BPlusTree<uint64_t, ObjRecord> objmap_;
   ExtentAllocator alloc_;
+  // Object placement + section bodies (engine.h). Recovery may replace this
+  // with the engine the disk was actually written with.
+  std::unique_ptr<StoreEngine> engine_;
   ObjectId root_ = kInvalidObject;
   uint64_t generation_ = 0;
   bool which_sb_ = false;  // slot to write next
@@ -192,14 +209,11 @@ class SingleLevelStore : public PersistTarget {
   // Checkpoint-chain state. label_table_ is the store's accumulated copy of
   // the kernel's label table (id → serialized label), an ordered map so a
   // base section enumerates ascending ids — the order that lets recovery
-  // re-intern to identical ids. pending_updates_/pending_deads_ collect the
-  // object-map changes since the last committed section.
+  // re-intern to identical ids.
   std::map<uint32_t, std::vector<uint8_t>> label_table_;
   std::vector<Extent> chain_;          // committed sections: base + increments
   uint64_t epoch_ = 0;                 // epoch of the latest committed section
   bool need_base_ = true;              // force a full base at the next commit
-  std::vector<uint64_t> pending_updates_;
-  std::vector<uint64_t> pending_deads_;
   // Extents superseded during the in-progress commit; reusable only after
   // the superblock flip commits (shadow paging discipline).
   std::vector<Extent> pending_frees_;
@@ -208,6 +222,7 @@ class SingleLevelStore : public PersistTarget {
   bool last_commit_base_ = false;
   uint64_t last_commit_objects_ = 0;
   uint64_t last_section_bytes_ = 0;
+  uint64_t chain_folds_ = 0;
 
   // WAL state.
   uint64_t log_head_ = 0;        // next append offset within the log region

@@ -1,8 +1,10 @@
 // Randomized fault-injection campaign (PR 7 tentpole).
 //
 // Drives seeded multi-crash schedules against the single-level store across
-// base checkpoints, increments, WAL appends, and base rollovers, on three
-// workloads (dirty-heavy, label-churn, ring-driven). Each round mutates the
+// base checkpoints, increments, WAL appends, and base rollovers, on four
+// workloads (dirty-heavy, label-churn, ring-driven, and betree-heavy — the
+// Bε-tree engine under a toy geometry so faults race message flushes, node
+// splits, and torn interior-node writes). Each round mutates the
 // live kernel, arms one fault from the DiskModel FaultPlan / StoreAlloc
 // repertoire (torn write, misdirected write, read error, write error, bit
 // flip, full-device crash, allocation failure — or none), syncs, then boots
@@ -20,7 +22,7 @@
 //
 // Reproducibility: every schedule is driven by one uint64 seed printed on
 // failure as "FAULT_SEED=<seed> (workload <name>)". Environment knobs:
-//   FAULT_SCHEDULES   schedules per workload (default 70 → 210 total)
+//   FAULT_SCHEDULES   schedules per workload (default 70 → 280 total)
 //   FAULT_SEED        replay exactly one seed on every workload
 #include <gtest/gtest.h>
 
@@ -38,21 +40,34 @@
 namespace histar {
 namespace {
 
-StoreTuning CampaignTuning() {
+enum class Workload { kDirtyHeavy, kLabelChurn, kRingDriven, kBetreeHeavy };
+
+StoreTuning CampaignTuning(Workload w) {
   StoreTuning t;
   t.log_region_bytes = 1 << 20;
   t.log_apply_threshold = 8;   // low, so WAL folds commit mid-schedule
   t.max_increments = 3;        // low, so schedules cross base rollovers
+  if (w == Workload::kBetreeHeavy) {
+    // The Bε-tree engine with a toy geometry: a ~1 kB root buffer makes
+    // nearly every sync a base flush (message injection, interior-buffer
+    // overflow pushes, leaf splits, the arena node write), so the armed
+    // faults race real tree writes — torn interior nodes included — not
+    // just section/superblock traffic.
+    t.engine = EngineKind::kBetree;
+    t.betree.node_bytes = 1024;
+    t.betree.buffer_bytes = 512;
+    t.betree.root_buffer_bytes = 1024;
+    t.betree.fanout = 4;
+  }
   return t;
 }
-
-enum class Workload { kDirtyHeavy, kLabelChurn, kRingDriven };
 
 const char* WorkloadName(Workload w) {
   switch (w) {
     case Workload::kDirtyHeavy: return "dirty-heavy";
     case Workload::kLabelChurn: return "label-churn";
     case Workload::kRingDriven: return "ring-driven";
+    case Workload::kBetreeHeavy: return "betree-heavy";
   }
   return "?";
 }
@@ -86,13 +101,13 @@ struct CampaignStats {
 class Schedule {
  public:
   Schedule(Workload w, uint64_t seed, CampaignStats* stats)
-      : workload_(w), seed_(seed), rng_(seed), stats_(stats) {
+      : workload_(w), seed_(seed), rng_(seed), stats_(stats), tuning_(CampaignTuning(w)) {
     DiskGeometry g;
     g.capacity_bytes = 64 << 20;
     g.zero_latency = true;
     g.store_data = true;
     disk_ = std::make_unique<DiskModel>(g);
-    store_ = std::make_unique<SingleLevelStore>(disk_.get(), CampaignTuning());
+    store_ = std::make_unique<SingleLevelStore>(disk_.get(), tuning_);
     EXPECT_EQ(store_->Format(), Status::kOk);
     kernel_ = std::make_unique<Kernel>();
     init_ = kernel_->BootstrapThread(Label(Level::k1), Label(Level::k2), "init");
@@ -208,6 +223,28 @@ class Schedule {
         }
         break;
       }
+      case Workload::kBetreeHeavy: {
+        // Touch every segment with multi-word writes so the staged message
+        // batch overflows the toy root buffer almost every sync, and churn
+        // the live set so tombstone messages and splits ride the flushes.
+        int creates = static_cast<int>(rng_() % 3);
+        for (int i = 0; i < creates; ++i) {
+          NewSegment(Label(), 128 + (rng_() % 4) * 64);
+        }
+        if (segs_.size() > 6 && rng_() % 3 == 0) {
+          size_t victim = rng_() % segs_.size();
+          if (kernel_->sys_container_unref(init_, RootEntry(segs_[victim])) == Status::kOk) {
+            segs_.erase(segs_.begin() + static_cast<long>(victim));
+          }
+        }
+        for (ObjectId s : segs_) {
+          if (rng_() % 5 == 0) continue;
+          uint64_t stamp[4] = {rng_(), rng_(), rng_(), rng_()};
+          (void)kernel_->sys_segment_write(init_, RootEntry(s), stamp, (rng_() % 3) * 32,
+                                           sizeof(stamp));
+        }
+        break;
+      }
       case Workload::kRingDriven: {
         // Dirty objects through the async ring: submit a linked chain of
         // segment writes, wait, reap. The ring object itself churns too.
@@ -315,6 +352,7 @@ class Schedule {
 
     // Sync the live kernel — group sync usually, per-object sync often.
     Status st;
+    bool dirty_before = !kernel_->DirtyObjects().empty();
     if (!segs_.empty() && rng_() % 3 == 0) {
       ObjectId target = segs_[rng_() % segs_.size()];
       st = kernel_->sys_sync_object(init_, RootEntry(target));
@@ -336,7 +374,9 @@ class Schedule {
     }
 
     // The kernel must survive any failed sync: still live, world dirty.
-    if (st != Status::kOk && !relaxed_) {
+    // (A round's RNG can skip every mutation — then there are no marks to
+    // retire and a faulted sync legitimately fails with a clean world.)
+    if (st != Status::kOk && !relaxed_ && dirty_before) {
       EXPECT_FALSE(kernel_->DirtyObjects().empty())
           << "failed sync (" << StatusName(st) << ") retired dirty marks";
     }
@@ -361,7 +401,7 @@ class Schedule {
   // clearing, a clean boot must pass strictly.
   bool RebootCheck(bool read_fault_armed) {
     if (read_fault_armed) {
-      RebootResult faulty = RebootFromDisk(disk_.get(), CampaignTuning());
+      RebootResult faulty = RebootFromDisk(disk_.get(), tuning_);
       // Any status is legal — kIoError/kCorrupt (detected), or kOk with a
       // transient flip that recovery's checksums didn't cover. Never an
       // abort; structural sanity when it claims success.
@@ -371,7 +411,7 @@ class Schedule {
       }
       disk_->ClearFaults();
     }
-    RebootResult r = RebootFromDisk(disk_.get(), CampaignTuning());
+    RebootResult r = RebootFromDisk(disk_.get(), tuning_);
     if (relaxed_) {
       // A silent fault fired earlier: corruption may be detected (any
       // error) or latent (well-formed world with time-shifted bytes).
@@ -394,7 +434,11 @@ class Schedule {
   }
 
   bool StructurallySane(const Kernel& k) {
-    if (!k.ObjectExists(k.root_container())) {
+    // root may be unset: a read fault on the newer superblock slot can
+    // legitimately time-travel the boot to the Format-time mirror (no
+    // checkpoint yet, only WAL-replayed objects) — that is a reachable
+    // crash state, not corruption.
+    if (k.root_container() != kInvalidObject && !k.ObjectExists(k.root_container())) {
       return false;
     }
     for (ObjectId id : k.LiveObjects()) {
@@ -431,6 +475,7 @@ class Schedule {
   uint64_t seed_;
   std::mt19937_64 rng_;
   CampaignStats* stats_;
+  StoreTuning tuning_;
   bool relaxed_ = false;
   bool allow_silent_ = false;
   bool armed_silent_ = false;
@@ -456,7 +501,8 @@ TEST(FaultCampaign, RandomizedSchedulesRecoverConsistently) {
   const uint64_t replay_seed = EnvU64("FAULT_SEED", 0);
   const uint64_t per_workload = replay_seed != 0 ? 1 : EnvU64("FAULT_SCHEDULES", 70);
 
-  for (Workload w : {Workload::kDirtyHeavy, Workload::kLabelChurn, Workload::kRingDriven}) {
+  for (Workload w : {Workload::kDirtyHeavy, Workload::kLabelChurn, Workload::kRingDriven,
+                     Workload::kBetreeHeavy}) {
     for (uint64_t i = 0; i < per_workload; ++i) {
       // Seed derivation is stable so any schedule replays from its printed
       // seed alone (plus the workload, also printed).

@@ -197,5 +197,61 @@ TEST_F(SuperblockFaultTest, WriteErrorOnFlipKeepsBothSlotsStale) {
   EXPECT_EQ(WorldImage(*r.kernel), committed);
 }
 
+// A failed flip must NOT advance the slot alternation. The writer used to
+// alternate on every attempt: after a write error (target slot keeps its
+// old generation) the next commit aimed at the OTHER slot — the one holding
+// the newest durable superblock — and a torn write there destroyed the only
+// recent commit point, time-traveling recovery past every commit (caught by
+// the randomized campaign as a recovered root container matching no state
+// the oracle ever recorded). The retry must target the same slot, so a
+// second fault can never reach the newest durable copy.
+TEST_F(SuperblockFaultTest, FailedFlipRetriesSameSlotSoSecondFaultCannotWipeNewestCommit) {
+  ObjectId seg = MakeSegment(Label(), 64);
+  CommitStamp(seg, 1);
+  WorldMap committed = WorldImage(*kernel_);
+
+  // Commit 2: write error inside the superblock window — the flip fails and
+  // the target slot keeps its stale generation.
+  {
+    FaultPlan plan;
+    FaultRule rule;
+    rule.kind = FaultKind::kWriteError;
+    rule.on_read = false;
+    rule.offset_lo = 0;
+    rule.offset_hi = 8192;
+    plan.rules.push_back(rule);
+    disk_->SetFaultPlan(std::move(plan));
+  }
+  uint64_t stamp = 2;
+  ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), &stamp, 0, 8), Status::kOk);
+  EXPECT_EQ(kernel_->sys_sync(init_), Status::kIoError);
+  disk_->ClearFaults();
+
+  // Commit 3: torn write inside the superblock window, then the device is
+  // gone. With the retry aimed at the SAME stale slot, the newest durable
+  // superblock is untouchable; before the fix this tore the newest slot.
+  {
+    FaultPlan plan;
+    FaultRule rule;
+    rule.kind = FaultKind::kTorn;
+    rule.arg = 64;
+    rule.on_read = false;
+    rule.offset_lo = 0;
+    rule.offset_hi = 8192;
+    plan.rules.push_back(rule);
+    disk_->SetFaultPlan(std::move(plan));
+  }
+  stamp = 3;
+  ASSERT_EQ(kernel_->sys_segment_write(init_, RootEntry(seg), &stamp, 0, 8), Status::kOk);
+  EXPECT_NE(kernel_->sys_sync(init_), Status::kOk);
+  disk_->ClearFaults();
+  disk_->Repair();
+
+  RebootResult r = RebootFromDisk(disk_.get(), SbTuning());
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(WorldImage(*r.kernel), committed)
+      << "a faulted retry reached (and destroyed) the newest durable superblock";
+}
+
 }  // namespace
 }  // namespace histar
