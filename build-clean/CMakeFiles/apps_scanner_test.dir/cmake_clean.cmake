@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_scanner_test.dir/tests/apps/scanner_test.cc.o"
+  "CMakeFiles/apps_scanner_test.dir/tests/apps/scanner_test.cc.o.d"
+  "apps_scanner_test"
+  "apps_scanner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_scanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

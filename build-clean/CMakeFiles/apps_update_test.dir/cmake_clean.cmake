@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_update_test.dir/tests/apps/update_test.cc.o"
+  "CMakeFiles/apps_update_test.dir/tests/apps/update_test.cc.o.d"
+  "apps_update_test"
+  "apps_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

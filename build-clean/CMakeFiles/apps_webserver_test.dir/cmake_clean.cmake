@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_webserver_test.dir/tests/apps/webserver_test.cc.o"
+  "CMakeFiles/apps_webserver_test.dir/tests/apps/webserver_test.cc.o.d"
+  "apps_webserver_test"
+  "apps_webserver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_webserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_wrap_isolation_test.dir/tests/apps/wrap_isolation_test.cc.o"
+  "CMakeFiles/apps_wrap_isolation_test.dir/tests/apps/wrap_isolation_test.cc.o.d"
+  "apps_wrap_isolation_test"
+  "apps_wrap_isolation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_wrap_isolation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_auth_test.dir/tests/auth/auth_test.cc.o"
+  "CMakeFiles/auth_auth_test.dir/tests/auth/auth_test.cc.o.d"
+  "auth_auth_test"
+  "auth_auth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_auth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_mono_fs_test.dir/tests/baseline/mono_fs_test.cc.o"
+  "CMakeFiles/baseline_mono_fs_test.dir/tests/baseline/mono_fs_test.cc.o.d"
+  "baseline_mono_fs_test"
+  "baseline_mono_fs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_mono_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_labels.dir/bench/ablation_labels.cc.o"
+  "CMakeFiles/bench_ablation_labels.dir/bench/ablation_labels.cc.o.d"
+  "bench_ablation_labels"
+  "bench_ablation_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

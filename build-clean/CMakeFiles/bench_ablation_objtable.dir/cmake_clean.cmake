@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_objtable.dir/bench/ablation_objtable.cc.o"
+  "CMakeFiles/bench_ablation_objtable.dir/bench/ablation_objtable.cc.o.d"
+  "bench_ablation_objtable"
+  "bench_ablation_objtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_objtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

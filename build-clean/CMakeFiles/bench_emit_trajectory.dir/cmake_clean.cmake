@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emit_trajectory.dir/bench/emit_trajectory.cc.o"
+  "CMakeFiles/bench_emit_trajectory.dir/bench/emit_trajectory.cc.o.d"
+  "bench_emit_trajectory"
+  "bench_emit_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emit_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

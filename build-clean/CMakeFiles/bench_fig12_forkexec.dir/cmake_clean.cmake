@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_forkexec.dir/bench/fig12_forkexec.cc.o"
+  "CMakeFiles/bench_fig12_forkexec.dir/bench/fig12_forkexec.cc.o.d"
+  "bench_fig12_forkexec"
+  "bench_fig12_forkexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_forkexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

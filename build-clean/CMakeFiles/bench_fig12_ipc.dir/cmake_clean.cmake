@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_ipc.dir/bench/fig12_ipc.cc.o"
+  "CMakeFiles/bench_fig12_ipc.dir/bench/fig12_ipc.cc.o.d"
+  "bench_fig12_ipc"
+  "bench_fig12_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

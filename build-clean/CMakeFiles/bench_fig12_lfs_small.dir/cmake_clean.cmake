@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_lfs_small.dir/bench/fig12_lfs_small.cc.o"
+  "CMakeFiles/bench_fig12_lfs_small.dir/bench/fig12_lfs_small.cc.o.d"
+  "bench_fig12_lfs_small"
+  "bench_fig12_lfs_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_lfs_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_apps.dir/bench/fig13_apps.cc.o"
+  "CMakeFiles/bench_fig13_apps.dir/bench/fig13_apps.cc.o.d"
+  "bench_fig13_apps"
+  "bench_fig13_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

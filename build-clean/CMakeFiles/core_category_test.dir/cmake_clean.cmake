@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_category_test.dir/tests/core/category_test.cc.o"
+  "CMakeFiles/core_category_test.dir/tests/core/category_test.cc.o.d"
+  "core_category_test"
+  "core_category_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_category_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

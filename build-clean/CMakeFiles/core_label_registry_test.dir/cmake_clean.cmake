@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_label_registry_test.dir/tests/core/label_registry_test.cc.o"
+  "CMakeFiles/core_label_registry_test.dir/tests/core/label_registry_test.cc.o.d"
+  "core_label_registry_test"
+  "core_label_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_label_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

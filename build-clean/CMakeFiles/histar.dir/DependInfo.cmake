@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/scanner.cc" "CMakeFiles/histar.dir/src/apps/scanner.cc.o" "gcc" "CMakeFiles/histar.dir/src/apps/scanner.cc.o.d"
+  "/root/repo/src/apps/webserver.cc" "CMakeFiles/histar.dir/src/apps/webserver.cc.o" "gcc" "CMakeFiles/histar.dir/src/apps/webserver.cc.o.d"
+  "/root/repo/src/apps/wrap.cc" "CMakeFiles/histar.dir/src/apps/wrap.cc.o" "gcc" "CMakeFiles/histar.dir/src/apps/wrap.cc.o.d"
+  "/root/repo/src/auth/auth.cc" "CMakeFiles/histar.dir/src/auth/auth.cc.o" "gcc" "CMakeFiles/histar.dir/src/auth/auth.cc.o.d"
+  "/root/repo/src/baseline/mono_fs.cc" "CMakeFiles/histar.dir/src/baseline/mono_fs.cc.o" "gcc" "CMakeFiles/histar.dir/src/baseline/mono_fs.cc.o.d"
+  "/root/repo/src/core/category.cc" "CMakeFiles/histar.dir/src/core/category.cc.o" "gcc" "CMakeFiles/histar.dir/src/core/category.cc.o.d"
+  "/root/repo/src/core/epoch.cc" "CMakeFiles/histar.dir/src/core/epoch.cc.o" "gcc" "CMakeFiles/histar.dir/src/core/epoch.cc.o.d"
+  "/root/repo/src/core/label.cc" "CMakeFiles/histar.dir/src/core/label.cc.o" "gcc" "CMakeFiles/histar.dir/src/core/label.cc.o.d"
+  "/root/repo/src/core/label_memo.cc" "CMakeFiles/histar.dir/src/core/label_memo.cc.o" "gcc" "CMakeFiles/histar.dir/src/core/label_memo.cc.o.d"
+  "/root/repo/src/core/label_registry.cc" "CMakeFiles/histar.dir/src/core/label_registry.cc.o" "gcc" "CMakeFiles/histar.dir/src/core/label_registry.cc.o.d"
+  "/root/repo/src/core/status.cc" "CMakeFiles/histar.dir/src/core/status.cc.o" "gcc" "CMakeFiles/histar.dir/src/core/status.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "CMakeFiles/histar.dir/src/kernel/kernel.cc.o" "gcc" "CMakeFiles/histar.dir/src/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/kernel_batch.cc" "CMakeFiles/histar.dir/src/kernel/kernel_batch.cc.o" "gcc" "CMakeFiles/histar.dir/src/kernel/kernel_batch.cc.o.d"
+  "/root/repo/src/kernel/kernel_persist.cc" "CMakeFiles/histar.dir/src/kernel/kernel_persist.cc.o" "gcc" "CMakeFiles/histar.dir/src/kernel/kernel_persist.cc.o.d"
+  "/root/repo/src/kernel/kernel_seg.cc" "CMakeFiles/histar.dir/src/kernel/kernel_seg.cc.o" "gcc" "CMakeFiles/histar.dir/src/kernel/kernel_seg.cc.o.d"
+  "/root/repo/src/kernel/kernel_thread.cc" "CMakeFiles/histar.dir/src/kernel/kernel_thread.cc.o" "gcc" "CMakeFiles/histar.dir/src/kernel/kernel_thread.cc.o.d"
+  "/root/repo/src/kernel/ring.cc" "CMakeFiles/histar.dir/src/kernel/ring.cc.o" "gcc" "CMakeFiles/histar.dir/src/kernel/ring.cc.o.d"
+  "/root/repo/src/kernel/syscall_abi.cc" "CMakeFiles/histar.dir/src/kernel/syscall_abi.cc.o" "gcc" "CMakeFiles/histar.dir/src/kernel/syscall_abi.cc.o.d"
+  "/root/repo/src/net/netd.cc" "CMakeFiles/histar.dir/src/net/netd.cc.o" "gcc" "CMakeFiles/histar.dir/src/net/netd.cc.o.d"
+  "/root/repo/src/net/vpn.cc" "CMakeFiles/histar.dir/src/net/vpn.cc.o" "gcc" "CMakeFiles/histar.dir/src/net/vpn.cc.o.d"
+  "/root/repo/src/net/wire.cc" "CMakeFiles/histar.dir/src/net/wire.cc.o" "gcc" "CMakeFiles/histar.dir/src/net/wire.cc.o.d"
+  "/root/repo/src/store/betree.cc" "CMakeFiles/histar.dir/src/store/betree.cc.o" "gcc" "CMakeFiles/histar.dir/src/store/betree.cc.o.d"
+  "/root/repo/src/store/disk_model.cc" "CMakeFiles/histar.dir/src/store/disk_model.cc.o" "gcc" "CMakeFiles/histar.dir/src/store/disk_model.cc.o.d"
+  "/root/repo/src/store/engine.cc" "CMakeFiles/histar.dir/src/store/engine.cc.o" "gcc" "CMakeFiles/histar.dir/src/store/engine.cc.o.d"
+  "/root/repo/src/store/extent_alloc.cc" "CMakeFiles/histar.dir/src/store/extent_alloc.cc.o" "gcc" "CMakeFiles/histar.dir/src/store/extent_alloc.cc.o.d"
+  "/root/repo/src/store/single_level_store.cc" "CMakeFiles/histar.dir/src/store/single_level_store.cc.o" "gcc" "CMakeFiles/histar.dir/src/store/single_level_store.cc.o.d"
+  "/root/repo/src/store/store_alloc.cc" "CMakeFiles/histar.dir/src/store/store_alloc.cc.o" "gcc" "CMakeFiles/histar.dir/src/store/store_alloc.cc.o.d"
+  "/root/repo/src/unixlib/fs.cc" "CMakeFiles/histar.dir/src/unixlib/fs.cc.o" "gcc" "CMakeFiles/histar.dir/src/unixlib/fs.cc.o.d"
+  "/root/repo/src/unixlib/process.cc" "CMakeFiles/histar.dir/src/unixlib/process.cc.o" "gcc" "CMakeFiles/histar.dir/src/unixlib/process.cc.o.d"
+  "/root/repo/src/unixlib/unix.cc" "CMakeFiles/histar.dir/src/unixlib/unix.cc.o" "gcc" "CMakeFiles/histar.dir/src/unixlib/unix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_persist_world_test.dir/tests/integration/persist_world_test.cc.o"
+  "CMakeFiles/integration_persist_world_test.dir/tests/integration/persist_world_test.cc.o.d"
+  "integration_persist_world_test"
+  "integration_persist_world_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_persist_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

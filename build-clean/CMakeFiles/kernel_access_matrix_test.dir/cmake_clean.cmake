@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_access_matrix_test.dir/tests/kernel/access_matrix_test.cc.o"
+  "CMakeFiles/kernel_access_matrix_test.dir/tests/kernel/access_matrix_test.cc.o.d"
+  "kernel_access_matrix_test"
+  "kernel_access_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_access_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

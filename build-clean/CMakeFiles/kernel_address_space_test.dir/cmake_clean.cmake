@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_address_space_test.dir/tests/kernel/address_space_test.cc.o"
+  "CMakeFiles/kernel_address_space_test.dir/tests/kernel/address_space_test.cc.o.d"
+  "kernel_address_space_test"
+  "kernel_address_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_address_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

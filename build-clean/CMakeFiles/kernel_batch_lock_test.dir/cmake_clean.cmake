@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_batch_lock_test.dir/tests/kernel/batch_lock_test.cc.o"
+  "CMakeFiles/kernel_batch_lock_test.dir/tests/kernel/batch_lock_test.cc.o.d"
+  "kernel_batch_lock_test"
+  "kernel_batch_lock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_batch_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

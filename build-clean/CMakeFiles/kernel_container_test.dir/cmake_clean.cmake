@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_container_test.dir/tests/kernel/container_test.cc.o"
+  "CMakeFiles/kernel_container_test.dir/tests/kernel/container_test.cc.o.d"
+  "kernel_container_test"
+  "kernel_container_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_container_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_cross_shard_test.dir/tests/kernel/cross_shard_test.cc.o"
+  "CMakeFiles/kernel_cross_shard_test.dir/tests/kernel/cross_shard_test.cc.o.d"
+  "kernel_cross_shard_test"
+  "kernel_cross_shard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_cross_shard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

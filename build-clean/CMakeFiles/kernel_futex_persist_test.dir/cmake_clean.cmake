@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_futex_persist_test.dir/tests/kernel/futex_persist_test.cc.o"
+  "CMakeFiles/kernel_futex_persist_test.dir/tests/kernel/futex_persist_test.cc.o.d"
+  "kernel_futex_persist_test"
+  "kernel_futex_persist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_futex_persist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

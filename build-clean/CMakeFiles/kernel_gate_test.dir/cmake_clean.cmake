@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_gate_test.dir/tests/kernel/gate_test.cc.o"
+  "CMakeFiles/kernel_gate_test.dir/tests/kernel/gate_test.cc.o.d"
+  "kernel_gate_test"
+  "kernel_gate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_gate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

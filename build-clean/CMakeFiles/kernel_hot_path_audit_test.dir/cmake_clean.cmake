@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_hot_path_audit_test.dir/tests/kernel/hot_path_audit_test.cc.o"
+  "CMakeFiles/kernel_hot_path_audit_test.dir/tests/kernel/hot_path_audit_test.cc.o.d"
+  "kernel_hot_path_audit_test"
+  "kernel_hot_path_audit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_hot_path_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

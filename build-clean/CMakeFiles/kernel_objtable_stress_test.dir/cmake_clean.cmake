@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_objtable_stress_test.dir/tests/kernel/objtable_stress_test.cc.o"
+  "CMakeFiles/kernel_objtable_stress_test.dir/tests/kernel/objtable_stress_test.cc.o.d"
+  "kernel_objtable_stress_test"
+  "kernel_objtable_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_objtable_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

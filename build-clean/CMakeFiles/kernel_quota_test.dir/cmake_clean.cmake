@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_quota_test.dir/tests/kernel/quota_test.cc.o"
+  "CMakeFiles/kernel_quota_test.dir/tests/kernel/quota_test.cc.o.d"
+  "kernel_quota_test"
+  "kernel_quota_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_quota_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_ring_test.dir/tests/kernel/ring_test.cc.o"
+  "CMakeFiles/kernel_ring_test.dir/tests/kernel/ring_test.cc.o.d"
+  "kernel_ring_test"
+  "kernel_ring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

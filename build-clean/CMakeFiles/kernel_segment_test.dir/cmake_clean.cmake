@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_segment_test.dir/tests/kernel/segment_test.cc.o"
+  "CMakeFiles/kernel_segment_test.dir/tests/kernel/segment_test.cc.o.d"
+  "kernel_segment_test"
+  "kernel_segment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_segment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

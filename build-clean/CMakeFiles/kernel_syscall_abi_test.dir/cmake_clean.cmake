@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_syscall_abi_test.dir/tests/kernel/syscall_abi_test.cc.o"
+  "CMakeFiles/kernel_syscall_abi_test.dir/tests/kernel/syscall_abi_test.cc.o.d"
+  "kernel_syscall_abi_test"
+  "kernel_syscall_abi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_syscall_abi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

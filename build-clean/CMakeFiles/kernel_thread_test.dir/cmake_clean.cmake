@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_thread_test.dir/tests/kernel/thread_test.cc.o"
+  "CMakeFiles/kernel_thread_test.dir/tests/kernel/thread_test.cc.o.d"
+  "kernel_thread_test"
+  "kernel_thread_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_thread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

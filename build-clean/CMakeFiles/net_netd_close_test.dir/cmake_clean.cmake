@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_netd_close_test.dir/tests/net/netd_close_test.cc.o"
+  "CMakeFiles/net_netd_close_test.dir/tests/net/netd_close_test.cc.o.d"
+  "net_netd_close_test"
+  "net_netd_close_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_netd_close_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

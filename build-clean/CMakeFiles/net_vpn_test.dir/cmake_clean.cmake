@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_vpn_test.dir/tests/net/vpn_test.cc.o"
+  "CMakeFiles/net_vpn_test.dir/tests/net/vpn_test.cc.o.d"
+  "net_vpn_test"
+  "net_vpn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_vpn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

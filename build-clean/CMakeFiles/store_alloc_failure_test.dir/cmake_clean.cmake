@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_alloc_failure_test.dir/tests/store/alloc_failure_test.cc.o"
+  "CMakeFiles/store_alloc_failure_test.dir/tests/store/alloc_failure_test.cc.o.d"
+  "store_alloc_failure_test"
+  "store_alloc_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_alloc_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

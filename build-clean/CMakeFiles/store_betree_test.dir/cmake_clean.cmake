@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_betree_test.dir/tests/store/betree_test.cc.o"
+  "CMakeFiles/store_betree_test.dir/tests/store/betree_test.cc.o.d"
+  "store_betree_test"
+  "store_betree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_betree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

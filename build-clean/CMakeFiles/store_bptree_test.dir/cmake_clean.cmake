@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_bptree_test.dir/tests/store/bptree_test.cc.o"
+  "CMakeFiles/store_bptree_test.dir/tests/store/bptree_test.cc.o.d"
+  "store_bptree_test"
+  "store_bptree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_bptree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

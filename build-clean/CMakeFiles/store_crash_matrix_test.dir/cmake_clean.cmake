@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_crash_matrix_test.dir/tests/store/crash_matrix_test.cc.o"
+  "CMakeFiles/store_crash_matrix_test.dir/tests/store/crash_matrix_test.cc.o.d"
+  "store_crash_matrix_test"
+  "store_crash_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_crash_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_disk_model_latency_test.dir/tests/store/disk_model_latency_test.cc.o"
+  "CMakeFiles/store_disk_model_latency_test.dir/tests/store/disk_model_latency_test.cc.o.d"
+  "store_disk_model_latency_test"
+  "store_disk_model_latency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_disk_model_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for store_disk_model_latency_test.
+# This may be replaced when dependencies are built.

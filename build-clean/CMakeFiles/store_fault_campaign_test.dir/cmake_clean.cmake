@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_fault_campaign_test.dir/tests/store/fault_campaign_test.cc.o"
+  "CMakeFiles/store_fault_campaign_test.dir/tests/store/fault_campaign_test.cc.o.d"
+  "store_fault_campaign_test"
+  "store_fault_campaign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_fault_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_incremental_checkpoint_test.dir/tests/store/incremental_checkpoint_test.cc.o"
+  "CMakeFiles/store_incremental_checkpoint_test.dir/tests/store/incremental_checkpoint_test.cc.o.d"
+  "store_incremental_checkpoint_test"
+  "store_incremental_checkpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_incremental_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

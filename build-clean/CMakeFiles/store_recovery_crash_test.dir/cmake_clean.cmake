@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_recovery_crash_test.dir/tests/store/recovery_crash_test.cc.o"
+  "CMakeFiles/store_recovery_crash_test.dir/tests/store/recovery_crash_test.cc.o.d"
+  "store_recovery_crash_test"
+  "store_recovery_crash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_recovery_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

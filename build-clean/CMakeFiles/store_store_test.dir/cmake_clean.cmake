@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_store_test.dir/tests/store/store_test.cc.o"
+  "CMakeFiles/store_store_test.dir/tests/store/store_test.cc.o.d"
+  "store_store_test"
+  "store_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_superblock_fault_test.dir/tests/store/superblock_fault_test.cc.o"
+  "CMakeFiles/store_superblock_fault_test.dir/tests/store/superblock_fault_test.cc.o.d"
+  "store_superblock_fault_test"
+  "store_superblock_fault_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_superblock_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

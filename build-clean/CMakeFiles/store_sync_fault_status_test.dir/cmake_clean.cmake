@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_sync_fault_status_test.dir/tests/store/sync_fault_status_test.cc.o"
+  "CMakeFiles/store_sync_fault_status_test.dir/tests/store/sync_fault_status_test.cc.o.d"
+  "store_sync_fault_status_test"
+  "store_sync_fault_status_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_sync_fault_status_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unixlib_exit_gate_test.dir/tests/unixlib/exit_gate_test.cc.o"
+  "CMakeFiles/unixlib_exit_gate_test.dir/tests/unixlib/exit_gate_test.cc.o.d"
+  "unixlib_exit_gate_test"
+  "unixlib_exit_gate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unixlib_exit_gate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for unixlib_exit_gate_test.
+# This may be replaced when dependencies are built.

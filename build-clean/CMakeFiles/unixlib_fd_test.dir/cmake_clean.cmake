@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unixlib_fd_test.dir/tests/unixlib/fd_test.cc.o"
+  "CMakeFiles/unixlib_fd_test.dir/tests/unixlib/fd_test.cc.o.d"
+  "unixlib_fd_test"
+  "unixlib_fd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unixlib_fd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unixlib_fs_test.dir/tests/unixlib/fs_test.cc.o"
+  "CMakeFiles/unixlib_fs_test.dir/tests/unixlib/fs_test.cc.o.d"
+  "unixlib_fs_test"
+  "unixlib_fs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unixlib_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unixlib_gatecall_test.dir/tests/unixlib/gatecall_test.cc.o"
+  "CMakeFiles/unixlib_gatecall_test.dir/tests/unixlib/gatecall_test.cc.o.d"
+  "unixlib_gatecall_test"
+  "unixlib_gatecall_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unixlib_gatecall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

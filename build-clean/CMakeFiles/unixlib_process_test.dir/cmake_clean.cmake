@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unixlib_process_test.dir/tests/unixlib/process_test.cc.o"
+  "CMakeFiles/unixlib_process_test.dir/tests/unixlib/process_test.cc.o.d"
+  "unixlib_process_test"
+  "unixlib_process_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unixlib_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

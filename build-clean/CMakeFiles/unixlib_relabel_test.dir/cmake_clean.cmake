@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unixlib_relabel_test.dir/tests/unixlib/relabel_test.cc.o"
+  "CMakeFiles/unixlib_relabel_test.dir/tests/unixlib/relabel_test.cc.o.d"
+  "unixlib_relabel_test"
+  "unixlib_relabel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unixlib_relabel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
