@@ -10,13 +10,13 @@ namespace {
 
 // Host-side registries: gate closures carry a registry id, standing in for
 // the daemon state a real gate entry would reach through its address space.
-std::mutex g_log_mu;
-std::map<uint64_t, LogService*> g_logs;
-uint64_t g_next_log_id = 1;
+Mutex g_log_mu;
+std::map<uint64_t, LogService*> g_logs GUARDED_BY(g_log_mu);
+uint64_t g_next_log_id GUARDED_BY(g_log_mu) = 1;
 
-std::mutex g_auth_mu;
-std::map<uint64_t, AuthSystem*> g_auths;
-uint64_t g_next_auth_id = 1;
+Mutex g_auth_mu;
+std::map<uint64_t, AuthSystem*> g_auths GUARDED_BY(g_auth_mu);
+uint64_t g_next_auth_id GUARDED_BY(g_auth_mu) = 1;
 
 // Thread-local segment layout used by the auth protocol.
 constexpr uint64_t kArgA = 0;     // generic args
@@ -77,7 +77,7 @@ void PutLocalWord(Kernel* k, ObjectId self, uint64_t off, uint64_t v) {
 void LogAppendEntry(GateCall& call) {
   LogService* log = nullptr;
   {
-    std::lock_guard<std::mutex> lock(g_log_mu);
+    MutexLock lock(&g_log_mu);
     auto it = g_logs.find(call.closure[0]);
     if (it == g_logs.end()) {
       return;
@@ -85,7 +85,7 @@ void LogAppendEntry(GateCall& call) {
     log = it->second;
   }
   std::string line = GetLocalString(call.kernel, call.thread, kNameLen);
-  std::lock_guard<std::mutex> lock(log->mu_);
+  MutexLock lock(&log->mu_);
   log->lines_.push_back(line);  // append-only by construction
 }
 
@@ -106,7 +106,7 @@ std::unique_ptr<LogService> LogService::Start(UnixWorld* world) {
   }
   log->container_ = ct.value();
   {
-    std::lock_guard<std::mutex> lock(g_log_mu);
+    MutexLock lock(&g_log_mu);
     log->registry_id_ = g_next_log_id++;
     g_logs[log->registry_id_] = log.get();
   }
@@ -143,7 +143,7 @@ Status LogService::Append(ObjectId self, const std::string& line) {
 }
 
 std::vector<std::string> LogService::Lines() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return lines_;
 }
 
@@ -152,7 +152,7 @@ std::vector<std::string> LogService::Lines() const {
 namespace {
 
 AuthSystem* FindAuth(uint64_t id) {
-  std::lock_guard<std::mutex> lock(g_auth_mu);
+  MutexLock lock(&g_auth_mu);
   auto it = g_auths.find(id);
   return it == g_auths.end() ? nullptr : it->second;
 }
@@ -168,7 +168,7 @@ void DirLookupEntry(GateCall& call) {
   }
   Kernel* k = call.kernel;
   std::string name = GetLocalString(k, call.thread, kNameLen);
-  std::lock_guard<std::mutex> lock(auth->mu_);
+  MutexLock lock(&auth->mu_);
   auto it = auth->users_.find(name);
   if (it == auth->users_.end()) {
     PutLocalWord(k, call.thread, kRespBase, 0);
@@ -192,7 +192,7 @@ void SetupGateEntry(GateCall& call) {
   ObjectId mksession_gate = GetLocalWord(k, self, kArgB);
   std::string username;
   {
-    std::lock_guard<std::mutex> lock(auth->mu_);
+    MutexLock lock(&auth->mu_);
     for (auto& [name, rec] : auth->users_) {
       if (rec.setup_gate == call.gate.object) {
         username = name;
@@ -233,7 +233,7 @@ void SetupGateEntry(GateCall& call) {
   // grantee itself afterwards (owners may raise their own clearance).
   UnixUser user;
   {
-    std::lock_guard<std::mutex> lock(auth->mu_);
+    MutexLock lock(&auth->mu_);
     user = auth->users_[username].user;
   }
   // The gate's label must own x so L_G ⊑ C_G holds with the {x0, 2}
@@ -279,7 +279,7 @@ void MkRetryEntry(GateCall& call) {
 
   UnixUser user;
   {
-    std::lock_guard<std::mutex> lock(auth->mu_);
+    MutexLock lock(&auth->mu_);
     for (auto& [name, rec] : auth->users_) {
       if (rec.uid == uid) {
         user = rec.user;
@@ -341,7 +341,7 @@ void CheckGateEntry(GateCall& call) {
   ObjectId auth_ct = kInvalidObject;
   ObjectId pwhash_seg = kInvalidObject;
   {
-    std::lock_guard<std::mutex> lock(auth->mu_);
+    MutexLock lock(&auth->mu_);
     for (auto& [name, rec] : auth->users_) {
       if (rec.uid == uid) {
         user = rec.user;
@@ -399,7 +399,7 @@ void GrantGateEntry(GateCall& call) {
   uint64_t uid = call.closure[1];
   std::string username;
   {
-    std::lock_guard<std::mutex> lock(auth->mu_);
+    MutexLock lock(&auth->mu_);
     for (auto& [name, rec] : auth->users_) {
       if (rec.uid == uid) {
         username = name;
@@ -430,7 +430,7 @@ std::unique_ptr<AuthSystem> AuthSystem::Start(UnixWorld* world, LogService* log)
   Kernel* k = auth->kernel_;
   ObjectId boot = world->init_thread();
   {
-    std::lock_guard<std::mutex> lock(g_auth_mu);
+    MutexLock lock(&g_auth_mu);
     auth->registry_id_ = g_next_auth_id++;
     g_auths[auth->registry_id_] = auth.get();
   }
@@ -515,7 +515,7 @@ Result<UnixUser> AuthSystem::AddUser(const std::string& name, const std::string&
     return gate.status();
   }
   rec.setup_gate = gate.value();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   users_[name] = rec;
   return rec.user;
 }
@@ -552,7 +552,7 @@ Result<LoginResult> AuthSystem::Login(ObjectId self, const std::string& username
   }
   uint64_t uid;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = users_.find(username);
     if (it == users_.end()) {
       return Status::kNotFound;
@@ -663,7 +663,7 @@ Result<LoginResult> AuthSystem::Login(ObjectId self, const std::string& username
   LoginResult result;
   if (st == Status::kOk) {
     result.authenticated = true;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     result.ur = users_[username].user.ur;
     result.uw = users_[username].user.uw;
   }

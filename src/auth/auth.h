@@ -38,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "src/core/sync.h"
+#include "src/core/thread_annotations.h"
 #include "src/unixlib/unix.h"
 
 namespace histar {
@@ -61,8 +63,8 @@ class LogService {
   ObjectId container_ = kInvalidObject;
   ObjectId gate_ = kInvalidObject;
   CategoryId logw_ = kInvalidCategory;
-  mutable std::mutex mu_;
-  std::vector<std::string> lines_;
+  mutable Mutex mu_;
+  std::vector<std::string> lines_ GUARDED_BY(mu_);
   uint64_t registry_id_ = 0;
 };
 
@@ -122,8 +124,8 @@ class AuthSystem {
   ObjectId dir_ct = kInvalidObject;      // directory service container
   ObjectId dir_gate_ = kInvalidObject;
 
-  mutable std::mutex mu_;
-  std::map<std::string, UserRecord> users_;
+  mutable Mutex mu_;
+  std::map<std::string, UserRecord> users_ GUARDED_BY(mu_);
   uint64_t registry_id_ = 0;
 };
 

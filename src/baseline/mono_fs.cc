@@ -1,11 +1,19 @@
 #include "src/baseline/mono_fs.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstring>
-#include <mutex>
+
+#include "src/core/sync.h"
+#include "src/core/thread_annotations.h"
 
 namespace monosim {
+
+// The baseline lives outside namespace histar but still uses the annotated
+// wrappers — raw std primitives are banned tree-wide (histar-lint
+// raw-sync-primitive).
+using histar::CondVar;
+using histar::Mutex;
+using histar::MutexLock;
 
 MonoFs::MonoFs(DiskModel* disk) : disk_(disk) {}
 
@@ -203,13 +211,13 @@ void MonoFs::DropCaches() {
 // ---- MonoPipe ---------------------------------------------------------------------
 
 struct MonoPipe::Impl {
-  std::mutex mu;
-  std::condition_variable readable;
-  std::condition_variable writable;
-  std::vector<uint8_t> buf;
-  size_t rpos = 0;
-  size_t wpos = 0;
-  uint64_t syscalls = 0;
+  Mutex mu;
+  CondVar readable;
+  CondVar writable;
+  std::vector<uint8_t> buf GUARDED_BY(mu);
+  size_t rpos GUARDED_BY(mu) = 0;
+  size_t wpos GUARDED_BY(mu) = 0;
+  uint64_t syscalls GUARDED_BY(mu) = 0;
   static constexpr size_t kCap = 65536;
 };
 
@@ -217,22 +225,27 @@ MonoPipe::MonoPipe() : impl_(new Impl) { impl_->buf.resize(Impl::kCap); }
 MonoPipe::~MonoPipe() { delete impl_; }
 
 void MonoPipe::Write(const void* buf, uint64_t len) {
-  std::unique_lock<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   ++impl_->syscalls;
-  impl_->writable.wait(lock,
-                       [this, len] { return impl_->wpos - impl_->rpos + len <= Impl::kCap; });
+  impl_->writable.Wait(impl_->mu, [this, len] {
+    impl_->mu.AssertHeld();  // predicate runs with the wait mutex reacquired
+    return impl_->wpos - impl_->rpos + len <= Impl::kCap;
+  });
   const uint8_t* src = static_cast<const uint8_t*>(buf);
   for (uint64_t i = 0; i < len; ++i) {
     impl_->buf[(impl_->wpos + i) % Impl::kCap] = src[i];
   }
   impl_->wpos += len;
-  impl_->readable.notify_one();
+  impl_->readable.NotifyOne();
 }
 
 uint64_t MonoPipe::Read(void* buf, uint64_t len) {
-  std::unique_lock<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   ++impl_->syscalls;
-  impl_->readable.wait(lock, [this] { return impl_->wpos > impl_->rpos; });
+  impl_->readable.Wait(impl_->mu, [this] {
+    impl_->mu.AssertHeld();  // predicate runs with the wait mutex reacquired
+    return impl_->wpos > impl_->rpos;
+  });
   uint64_t avail = impl_->wpos - impl_->rpos;
   uint64_t n = std::min(len, avail);
   uint8_t* dst = static_cast<uint8_t*>(buf);
@@ -240,11 +253,16 @@ uint64_t MonoPipe::Read(void* buf, uint64_t len) {
     dst[i] = impl_->buf[(impl_->rpos + i) % Impl::kCap];
   }
   impl_->rpos += n;
-  impl_->writable.notify_one();
+  impl_->writable.NotifyOne();
   return n;
 }
 
-uint64_t MonoPipe::syscalls() const { return impl_->syscalls; }
+uint64_t MonoPipe::syscalls() const {
+  // Locked: the pipe benches read this from the producer thread while the
+  // consumer is mid-Read (it used to read the counter bare).
+  MutexLock lock(&impl_->mu);
+  return impl_->syscalls;
+}
 
 // ---- MonoProcessModel ----------------------------------------------------------------
 

@@ -38,7 +38,7 @@ EpochDomain& EpochDomain::Global() {
 EpochDomain::EpochDomain() { limbo_.reserve(kCollectThreshold * 2); }
 
 size_t EpochDomain::RegisterThread() {
-  std::lock_guard<std::mutex> lk(reg_mu_);
+  MutexLock lk(&reg_mu_);
   size_t slot;
   if (!free_slots_.empty()) {
     // Lowest-free-first keeps ids dense, so masked per-slot arrays stay
@@ -61,7 +61,7 @@ size_t EpochDomain::RegisterThread() {
 }
 
 void EpochDomain::UnregisterThread(size_t slot) {
-  std::lock_guard<std::mutex> lk(reg_mu_);
+  MutexLock lk(&reg_mu_);
   records_[slot].state.store(0, std::memory_order_release);
   records_[slot].registered.store(false, std::memory_order_relaxed);
   // Keep the free list sorted descending so .back() hands out the lowest
@@ -111,7 +111,7 @@ void EpochDomain::RetireRaw(void* p, void (*deleter)(void*)) {
   }
   uint64_t e = global_epoch_.load(std::memory_order_acquire);
   {
-    std::lock_guard<std::mutex> lk(gc_mu_);
+    MutexLock lk(&gc_mu_);
     limbo_.push_back(Garbage{p, deleter, e});
     limbo_size_.store(limbo_.size(), std::memory_order_relaxed);
   }
@@ -126,12 +126,12 @@ size_t EpochDomain::AdvanceAndCollect() {
   // but keep the lock non-reentrant regardless).
   std::vector<Garbage> ready;
   {
-    std::lock_guard<std::mutex> lk(gc_mu_);
+    MutexLock lk(&gc_mu_);
     uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
     bool can_advance = true;
     size_t hw;
     {
-      std::lock_guard<std::mutex> rl(reg_mu_);
+      MutexLock rl(&reg_mu_);
       hw = high_water_;
     }
     for (size_t i = 0; i < hw; ++i) {

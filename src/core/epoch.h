@@ -44,8 +44,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "src/core/sync.h"
+#include "src/core/thread_annotations.h"
 
 namespace histar {
 
@@ -133,12 +135,12 @@ class EpochDomain {
   std::atomic<uint64_t> global_epoch_{1};
 
   Record records_[kMaxThreads];
-  std::mutex reg_mu_;                // guards free_slots_ / high_water_
-  std::vector<size_t> free_slots_;
-  size_t high_water_ = 0;            // records_[0..high_water_) ever used
+  Mutex reg_mu_;  // guards free_slots_ / high_water_
+  std::vector<size_t> free_slots_ GUARDED_BY(reg_mu_);
+  size_t high_water_ GUARDED_BY(reg_mu_) = 0;  // records_[0..high_water_) ever used
 
-  mutable std::mutex gc_mu_;         // guards limbo_ and the advance scan
-  std::vector<Garbage> limbo_;
+  mutable Mutex gc_mu_;  // guards limbo_ and the advance scan
+  std::vector<Garbage> limbo_ GUARDED_BY(gc_mu_);
   std::atomic<size_t> limbo_size_{0};
 };
 

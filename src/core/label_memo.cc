@@ -4,7 +4,7 @@ namespace histar {
 
 Label GateFloorMemo::Floor(const Label& thread_label, const Label& gate_label) {
   Key key{thread_label, gate_label};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = floors_.find(key);
   if (it != floors_.end()) {
     return it->second;
@@ -22,7 +22,7 @@ GateFloorMemo& GateFloorMemo::Global() {
 }
 
 size_t GateFloorMemo::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return floors_.size();
 }
 

@@ -12,11 +12,12 @@
 #ifndef SRC_CORE_LABEL_MEMO_H_
 #define SRC_CORE_LABEL_MEMO_H_
 
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "src/core/label.h"
+#include "src/core/sync.h"
+#include "src/core/thread_annotations.h"
 
 namespace histar {
 
@@ -60,10 +61,10 @@ class GateFloorMemo {
     }
   };
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // unordered_map mapped-value references are stable across rehash, which is
   // what lets Floor return a reference without holding mu_.
-  std::unordered_map<Key, Label, KeyHash> floors_;
+  std::unordered_map<Key, Label, KeyHash> floors_ GUARDED_BY(mu_);
 };
 
 }  // namespace histar

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
 #include "src/core/epoch.h"
 
@@ -54,7 +53,7 @@ LabelId LabelRegistry::Intern(const Label& l) {
   InternShard& shard = *intern_shards_[shard_index];
   {
     CountLock();
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    ReaderMutexLock lock(&shard.mu);
     auto it = shard.ids.find(l);
     if (it != shard.ids.end()) {
       return it->second;
@@ -66,7 +65,7 @@ LabelId LabelRegistry::Intern(const Label& l) {
   Label hi = l.ToHi();
   Label star = l.ToStar();
   CountLock();
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  WriterMutexLock lock(&shard.mu);
   auto it = shard.ids.find(l);
   if (it != shard.ids.end()) {
     return it->second;
@@ -155,10 +154,12 @@ bool LabelRegistry::MemoLookup(const MemoTable* t, uint64_t key, uint64_t* val) 
   }
 }
 
-void LabelRegistry::MemoInsertLocked(std::atomic<MemoTable*>* tbl, size_t* used,
-                                     uint64_t key, uint64_t val) {
-  MemoTable* t = tbl->load(std::memory_order_relaxed);
-  if ((*used + 1) * 2 > t->capacity) {
+void LabelRegistry::MemoInsertLocked(ResultShard& shard, bool join, uint64_t key,
+                                     uint64_t val) {
+  std::atomic<MemoTable*>& tbl = join ? shard.join : shard.leq;
+  size_t& used = join ? shard.join_used : shard.leq_used;
+  MemoTable* t = tbl.load(std::memory_order_relaxed);
+  if ((used + 1) * 2 > t->capacity) {
     // Rehash into a double-size table, publish it, retire the old array —
     // a lock-free reader may still be probing it. All entries are live
     // (no tombstones), so `used` carries over.
@@ -178,7 +179,7 @@ void LabelRegistry::MemoInsertLocked(std::atomic<MemoTable*>* tbl, size_t* used,
         }
       }
     }
-    tbl->store(fresh, std::memory_order_release);
+    tbl.store(fresh, std::memory_order_release);
     EpochDomain::Global().Retire(t);
     t = fresh;
   }
@@ -192,7 +193,7 @@ void LabelRegistry::MemoInsertLocked(std::atomic<MemoTable*>* tbl, size_t* used,
     if (k == 0) {
       s.val.store(val, std::memory_order_relaxed);
       s.key.store(key, std::memory_order_release);
-      ++*used;
+      ++used;
       return;
     }
   }
@@ -220,8 +221,8 @@ bool LabelRegistry::Leq(LabelId id1, LabelId id2) {
   bool r = Get(id1).Leq(Get(id2));
   {
     CountLock();
-    std::lock_guard<std::mutex> lock(shard.mu);
-    MemoInsertLocked(&shard.leq, &shard.leq_used, key, r ? 1 : 0);
+    MutexLock lock(&shard.mu);
+    MemoInsertLocked(shard, /*join=*/false, key, r ? 1 : 0);
   }
   return r;
 }
@@ -248,8 +249,8 @@ LabelId LabelRegistry::Join(LabelId id1, LabelId id2) {
     LabelId joined = Intern(Get(a).Join(Get(b)));
     {
       CountLock();
-      std::lock_guard<std::mutex> lock(shard.mu);
-      MemoInsertLocked(&shard.join, &shard.join_used, key, joined);
+      MutexLock lock(&shard.mu);
+      MemoInsertLocked(shard, /*join=*/true, key, joined);
     }
     return joined;
   }

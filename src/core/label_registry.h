@@ -42,12 +42,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/core/label.h"
+#include "src/core/sync.h"
+#include "src/core/thread_annotations.h"
 
 namespace histar {
 
@@ -167,8 +167,8 @@ class LabelRegistry {
   static constexpr size_t kMaxChunks = 4096;  // 1M labels per shard
 
   struct InternShard {
-    mutable std::shared_mutex mu;  // guards `ids` and interning writers
-    std::unordered_map<Label, LabelId, LabelHash> ids;
+    mutable SharedMutex mu;  // guards `ids` and interning writers
+    std::unordered_map<Label, LabelId, LabelHash> ids GUARDED_BY(mu);
     std::array<std::atomic<Entry*>, kMaxChunks> chunks{};
     std::atomic<uint32_t> count{0};  // published entries; release on grow
 
@@ -194,11 +194,11 @@ class LabelRegistry {
   static constexpr size_t kMemoInitCapacity = 256;
 
   struct ResultShard {
-    std::mutex mu;  // memo writers only; readers never touch it
+    Mutex mu;  // memo writers only; readers never touch it
     std::atomic<MemoTable*> leq{nullptr};
     std::atomic<MemoTable*> join{nullptr};
-    size_t leq_used = 0;   // writer bookkeeping, guarded by mu
-    size_t join_used = 0;
+    size_t leq_used GUARDED_BY(mu) = 0;  // writer bookkeeping
+    size_t join_used GUARDED_BY(mu) = 0;
 
     ~ResultShard() {
       delete leq.load(std::memory_order_relaxed);
@@ -236,11 +236,13 @@ class LabelRegistry {
   // Lock-free probe; returns false on absent key.
   static bool MemoLookup(const MemoTable* t, uint64_t key, uint64_t* val);
 
-  // Inserts (or confirms) key → val, growing the table at load ½ and
-  // retiring the outgrown array through the epoch layer. Caller holds the
-  // shard's writer mutex.
-  static void MemoInsertLocked(std::atomic<MemoTable*>* tbl, size_t* used,
-                               uint64_t key, uint64_t val);
+  // Inserts (or confirms) key → val into the shard's leq (join=false) or
+  // join (join=true) memo, growing the table at load ½ and retiring the
+  // outgrown array through the epoch layer. Takes the whole shard (rather
+  // than raw table/counter pointers) so the writer-mutex requirement is
+  // statically checkable.
+  static void MemoInsertLocked(ResultShard& shard, bool join, uint64_t key,
+                               uint64_t val) REQUIRES(shard.mu);
 
   void CountLock() const {
     if (lock_accounting_.load(std::memory_order_relaxed)) {

@@ -7,7 +7,7 @@
 // for read-only paths, exclusive when anything is mutated — and holds it for
 // the duration of the checks and the state change. Operations whose object
 // set cannot be known up front (recursive destroy, alerts through a target's
-// address space) take TableLock::All. Futex wakeups happen strictly after
+// address space) take an all-shards TableLock. Futex wakeups happen after
 // the table locks are released (futex_mu_ and shard locks never nest).
 #include "src/kernel/kernel.h"
 
@@ -73,7 +73,10 @@ Kernel::Kernel(size_t table_shards) : table_(table_shards) {
 
 Kernel::~Kernel() {
   // Join the ring workers before any kernel state they execute against is
-  // torn down (they hold no leases on anything else; see ring.h).
+  // torn down (they hold no leases on anything else; see ring.h). Workers
+  // never take ring_engine_mu_ themselves, so holding it across the join
+  // cannot deadlock — and destruction has no concurrent syscalls anyway.
+  MutexLock lk(&ring_engine_mu_);
   ring_engine_.reset();
 }
 
@@ -127,12 +130,12 @@ bool Kernel::AttachNetPort(ObjectId device, NetPort* port) {
 }
 
 void Kernel::RegisterGateEntry(const std::string& name, GateEntryFn fn) {
-  std::lock_guard<std::mutex> lock(gate_entries_mu_);
+  MutexLock lock(&gate_entries_mu_);
   gate_entries_[name] = std::move(fn);
 }
 
 bool Kernel::HasGateEntry(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(gate_entries_mu_);
+  MutexLock lock(&gate_entries_mu_);
   return gate_entries_.count(name) > 0;
 }
 
@@ -141,7 +144,7 @@ uint64_t Kernel::thread_syscall_count(ObjectId t) const {
   // threads (each charging into its own slot), so sum every slot's entry.
   uint64_t n = 0;
   for (CountSlot& slot : count_slots_) {
-    std::lock_guard<std::mutex> lock(slot.mu);
+    MutexLock lock(&slot.mu);
     auto it = slot.counts.find(t);
     if (it != slot.counts.end()) {
       n += it->second;
@@ -156,7 +159,7 @@ uint64_t Kernel::syscall_count() const {
   // erased), so the sum is exactly the old monotonic counter.
   uint64_t n = 0;
   for (CountSlot& slot : count_slots_) {
-    std::lock_guard<std::mutex> lock(slot.mu);
+    MutexLock lock(&slot.mu);
     n += slot.total;
   }
   return n;
@@ -312,7 +315,7 @@ void Kernel::DestroyObject(ObjectId id, std::vector<ObjectId>* destroyed_segment
     // Recursively unreference the whole subtree (paper §3.2). The subtree
     // can land in any shard, which is why destroying a *container* requires
     // ALL shards exclusive (kernel.h); callers reach this case via
-    // TableLock::All (UnrefOnce escalates before it gets here).
+    // an all-shards TableLock (UnrefOnce escalates before it gets here).
     std::vector<ObjectId> children = c->links();
     for (ObjectId child : children) {
       Object* co = Get(child);
@@ -335,16 +338,16 @@ void Kernel::DestroyObject(ObjectId id, std::vector<ObjectId>* destroyed_segment
   // every later GetThread return nullptr, which a wait by this thread
   // observes as kHalted at its next bounded-slice state peek (≤50 ms).
   {
-    std::lock_guard<std::mutex> dl(dirty_mu_);
+    MutexLock dl(&dirty_mu_);
     dirty_.erase(id);
   }
   {
-    std::lock_guard<std::mutex> pl(pf_mu_);
+    MutexLock pl(&pf_mu_);
     pf_handlers_.erase(id);
   }
   // The destroyed thread may have been charged in any host thread's slot.
   for (CountSlot& slot : count_slots_) {
-    std::lock_guard<std::mutex> cl(slot.mu);
+    MutexLock cl(&slot.mu);
     slot.counts.erase(id);
   }
   table_.EraseLocked(id);
@@ -359,7 +362,7 @@ uint64_t Kernel::ContainerFree(const Container& d) const {
 }
 
 void Kernel::MarkDirty(ObjectId id) {
-  std::lock_guard<std::mutex> lock(dirty_mu_);
+  MutexLock lock(&dirty_mu_);
   dirty_[id] = ++dirty_seq_;
 }
 
@@ -391,7 +394,7 @@ void Kernel::CountSyscalls(ObjectId self, uint64_t n) {
   // below kCountSlots live threads — and no global atomic is touched
   // (syscall_count() sums the slots).
   CountSlot& slot = CountSlotForCurrentThread();
-  std::lock_guard<std::mutex> lock(slot.mu);
+  MutexLock lock(&slot.mu);
   slot.total += n;
   slot.counts[self] += n;
 }
@@ -400,12 +403,12 @@ void Kernel::WakeAllFutexes(const std::vector<ObjectId>& segs) {
   if (segs.empty()) {
     return;
   }
-  std::lock_guard<std::mutex> lock(futex_mu_);
+  MutexLock lock(&futex_mu_);
   for (auto& [key, q] : futexes_) {
     if (std::find(segs.begin(), segs.end(), key.seg) != segs.end()) {
       ++q->wake_seq;
       q->wake_budget += q->waiters;
-      q->cv.notify_all();
+      q->cv.NotifyAll();
     }
   }
 }
@@ -503,7 +506,7 @@ Status Kernel::DoContainerUnref(ObjectId self, ContainerEntry ce) {
     // world may have changed in the gap (another unref may even have won
     // the race, in which case this reports kNotFound, same as if it had
     // run second under the old big lock).
-    TableLock lk = TableLock::All(table_, TableLock::Mode::kExclusive);
+    TableLock lk(table_, TableLock::Mode::kExclusive, TableLock::AllShards{});
     st = UnrefOnce(self, ce, /*allow_destroy=*/true, &need_all, &destroyed);
   }
   // Futex wakeups and ring teardown strictly after the shard locks drop
@@ -811,7 +814,7 @@ bool Kernel::ObjectExists(ObjectId id) const {
 }
 
 size_t Kernel::ObjectCount() const {
-  TableLock lk = TableLock::All(table_, TableLock::Mode::kShared);
+  TableLock lk(table_, TableLock::Mode::kShared, TableLock::AllShards{});
   return table_.SizeLocked();
 }
 

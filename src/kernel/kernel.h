@@ -25,11 +25,9 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -39,6 +37,8 @@
 
 #include "src/core/category.h"
 #include "src/core/epoch.h"
+#include "src/core/sync.h"
+#include "src/core/thread_annotations.h"
 #include "src/core/label.h"
 #include "src/core/label_registry.h"
 #include "src/core/status.h"
@@ -412,8 +412,10 @@ class Kernel {
       return std::hash<uint64_t>()(k.seg * 0x9e3779b97f4a7c15ULL ^ k.offset);
     }
   };
+  // Queue contents are guarded by futex_mu_ (reached only through the
+  // guarded `futexes_` map, so the analysis checks the map access).
   struct FutexWaitQueue {
-    std::condition_variable cv;
+    CondVar cv;
     uint64_t wake_seq = 0;
     uint32_t wake_budget = 0;
     uint32_t waiters = 0;
@@ -441,42 +443,54 @@ class Kernel {
   //   LiveLocked                         ALL shards held (any mode)
   //   MarkDirty / CountSyscalls          no shard requirement (leaf mutexes)
   //   AllocObjectId / WakeAllFutexes     must be called with NO shard held
+  //
+  // These requirements are enforced at compile time (clang -Wthread-safety)
+  // through the table capability fiction: every TableLock — and the
+  // PublishedReadTableCap epoch stand-in — acquires table_.cap(), and the
+  // helpers below carry REQUIRES / REQUIRES_SHARED on it. Which *shards*
+  // the caller's lock covers stays a runtime property (Covers()/TSan); the
+  // static layer proves no helper runs without some covering scope.
 
-  Object* Get(ObjectId id) const;
-  Thread* GetThread(ObjectId id) const;
-  Container* GetContainer(ObjectId id) const;
+  Object* Get(ObjectId id) const REQUIRES_SHARED(table_.cap());
+  Thread* GetThread(ObjectId id) const REQUIRES_SHARED(table_.cap());
+  Container* GetContainer(ObjectId id) const REQUIRES_SHARED(table_.cap());
 
   // L_O ⊑ L_T^J — with the thread-label special case from §3.2: reading the
   // label of another *thread* requires L_T'^J ⊑ L_T^J instead. All three
   // route through the registry's memoized id-pair comparisons; no label is
   // materialized or shifted per check.
-  bool CanObserve(const Thread& t, const Object& o);
-  bool CanModifyLabels(const Thread& t, const Object& o);  // label rules only
-  Status CheckModify(const Thread& t, const Object& o);    // adds immutable check
+  bool CanObserve(const Thread& t, const Object& o) REQUIRES_SHARED(table_.cap());
+  bool CanModifyLabels(const Thread& t, const Object& o)  // label rules only
+      REQUIRES_SHARED(table_.cap());
+  Status CheckModify(const Thread& t, const Object& o)  // adds immutable check
+      REQUIRES_SHARED(table_.cap());
 
   // Validates the container entry ⟨D,O⟩ for thread t per §3.2 and returns O.
-  Result<Object*> ResolveEntry(const Thread& t, ContainerEntry ce);
+  Result<Object*> ResolveEntry(const Thread& t, ContainerEntry ce)
+      REQUIRES_SHARED(table_.cap());
 
   // Checks the creation rule into container D with label `l`; on success
   // interns the label into `*out_lid` and returns the container. Validation
   // uses non-interning comparisons so a rejected creation allocates no
   // registry state. Charges happen in LinkInto.
   Result<Container*> CheckCreate(const Thread& t, ObjectId d, const Label& l,
-                                 ObjectType type, uint64_t quota, LabelId* out_lid);
+                                 ObjectType type, uint64_t quota, LabelId* out_lid)
+      REQUIRES(table_.cap());
 
   // Links obj into d, charging d's usage. Assumes all checks done.
-  Status LinkInto(Container* d, Object* obj);
-  void UnlinkFrom(Container* d, ObjectId obj);
+  Status LinkInto(Container* d, Object* obj) REQUIRES(table_.cap());
+  void UnlinkFrom(Container* d, ObjectId obj) REQUIRES(table_.cap());
   // Destroys an object whose link count reached zero (recursive for
   // containers). Collects destroyed segment ids for futex wakeups.
-  void DestroyObject(ObjectId id, std::vector<ObjectId>* destroyed_segments);
+  void DestroyObject(ObjectId id, std::vector<ObjectId>* destroyed_segments)
+      REQUIRES(table_.cap());
 
   // Body of sys_container_unref. Requires the shards of {self, ce} held
   // exclusive; if the unlink would drop O's last link, destruction needs
   // ALL shards — with `allow_destroy` false the call then backs out without
   // mutating and sets *need_all so the caller can retake the full lock.
   Status UnrefOnce(ObjectId self, ContainerEntry ce, bool allow_destroy, bool* need_all,
-                   std::vector<ObjectId>* destroyed);
+                   std::vector<ObjectId>* destroyed) REQUIRES(table_.cap());
 
   uint64_t ContainerFree(const Container& d) const;
   void MarkDirty(ObjectId id);
@@ -484,7 +498,7 @@ class Kernel {
   Result<ObjectId> AllocObjectId();
 
   // Stamps the creation sequence number and inserts into the object table.
-  void InsertObject(std::unique_ptr<Object> obj);
+  void InsertObject(std::unique_ptr<Object> obj) REQUIRES(table_.cap());
 
   // Entry bookkeeping common to every syscall: one slot-mutex round trip
   // (the calling host thread's private slot) charges `n` syscalls (a whole
@@ -532,7 +546,8 @@ class Kernel {
   // mutates). Create-type requests pop their preallocated id from `new_ids`
   // via `next_new_id`.
   void ExecLocked(ObjectId self, const SyscallReq& req, SyscallRes* out,
-                  const std::vector<ObjectId>& new_ids, size_t* next_new_id);
+                  const std::vector<ObjectId>& new_ids, size_t* next_new_id)
+      REQUIRES(table_.cap());
   // Executes one non-batchable request with no lock held (the request's own
   // implementation takes whatever locks it needs, exactly as pre-batch).
   void ExecUnbatched(ObjectId self, const SyscallReq& req, SyscallRes* out);
@@ -542,56 +557,81 @@ class Kernel {
   // *Locked bodies assume the covering TableLock is already held (per
   // BatchPlan); Do* bodies are the former sys_* implementations of the
   // non-batchable calls, minus entry bookkeeping (SubmitBatch counts).
-  Result<CategoryId> CatCreateLocked(ObjectId self);
-  Status SelfSetLabelLocked(ObjectId self, const Label& l);
-  Status SelfSetClearanceLocked(ObjectId self, const Label& c);
-  Result<Label> SelfGetLabelLocked(ObjectId self);
-  Result<Label> SelfGetClearanceLocked(ObjectId self);
-  Status SelfSetAsLocked(ObjectId self, ContainerEntry as);
-  Result<ContainerEntry> SelfGetAsLocked(ObjectId self);
-  Status SelfHaltLocked(ObjectId self);
+  // Statically: mutating bodies carry REQUIRES(table_.cap()), read-only
+  // bodies REQUIRES_SHARED — the shared set is exactly BatchPlan::lockfree
+  // plus the reads whose footprint is static but payload-touching.
+  Result<CategoryId> CatCreateLocked(ObjectId self) REQUIRES(table_.cap());
+  Status SelfSetLabelLocked(ObjectId self, const Label& l) REQUIRES(table_.cap());
+  Status SelfSetClearanceLocked(ObjectId self, const Label& c) REQUIRES(table_.cap());
+  Result<Label> SelfGetLabelLocked(ObjectId self) REQUIRES_SHARED(table_.cap());
+  Result<Label> SelfGetClearanceLocked(ObjectId self) REQUIRES_SHARED(table_.cap());
+  Status SelfSetAsLocked(ObjectId self, ContainerEntry as) REQUIRES(table_.cap());
+  Result<ContainerEntry> SelfGetAsLocked(ObjectId self) REQUIRES_SHARED(table_.cap());
+  Status SelfHaltLocked(ObjectId self) REQUIRES(table_.cap());
   Result<ObjectId> ThreadCreateLocked(ObjectId self, const CreateSpec& spec,
                                       const Label& new_label, const Label& new_clearance,
-                                      ObjectId new_id);
-  Result<uint64_t> SelfNextAlertLocked(ObjectId self);
-  Status SelfLocalReadLocked(ObjectId self, void* buf, uint64_t off, uint64_t len);
-  Status SelfLocalWriteLocked(ObjectId self, const void* buf, uint64_t off, uint64_t len);
+                                      ObjectId new_id) REQUIRES(table_.cap());
+  Result<uint64_t> SelfNextAlertLocked(ObjectId self) REQUIRES(table_.cap());
+  Status SelfLocalReadLocked(ObjectId self, void* buf, uint64_t off, uint64_t len)
+      REQUIRES_SHARED(table_.cap());
+  Status SelfLocalWriteLocked(ObjectId self, const void* buf, uint64_t off, uint64_t len)
+      REQUIRES(table_.cap());
   Result<ObjectId> ContainerCreateLocked(ObjectId self, const CreateSpec& spec,
-                                         uint32_t avoid_types, ObjectId new_id);
-  Result<ObjectId> ContainerGetParentLocked(ObjectId self, ObjectId container);
-  Result<std::vector<ObjectId>> ContainerListLocked(ObjectId self, ObjectId container);
-  Status ContainerLinkLocked(ObjectId self, ObjectId container, ContainerEntry src);
-  Result<bool> ContainerHasLocked(ObjectId self, ObjectId container, ObjectId obj);
-  Result<ObjectType> ObjGetTypeLocked(ObjectId self, ContainerEntry ce);
-  Result<Label> ObjGetLabelLocked(ObjectId self, ContainerEntry ce);
-  Result<std::string> ObjGetDescripLocked(ObjectId self, ContainerEntry ce);
-  Result<uint64_t> ObjGetQuotaLocked(ObjectId self, ContainerEntry ce);
-  Result<std::vector<uint8_t>> ObjGetMetadataLocked(ObjectId self, ContainerEntry ce);
-  Status ObjSetMetadataLocked(ObjectId self, ContainerEntry ce, const void* data, size_t len);
-  Status ObjSetFixedQuotaLocked(ObjectId self, ContainerEntry ce);
-  Status ObjSetImmutableLocked(ObjectId self, ContainerEntry ce);
-  Status QuotaMoveLocked(ObjectId self, ObjectId d, ObjectId o, int64_t n);
+                                         uint32_t avoid_types, ObjectId new_id)
+      REQUIRES(table_.cap());
+  Result<ObjectId> ContainerGetParentLocked(ObjectId self, ObjectId container)
+      REQUIRES_SHARED(table_.cap());
+  Result<std::vector<ObjectId>> ContainerListLocked(ObjectId self, ObjectId container)
+      REQUIRES_SHARED(table_.cap());
+  Status ContainerLinkLocked(ObjectId self, ObjectId container, ContainerEntry src)
+      REQUIRES(table_.cap());
+  Result<bool> ContainerHasLocked(ObjectId self, ObjectId container, ObjectId obj)
+      REQUIRES_SHARED(table_.cap());
+  Result<ObjectType> ObjGetTypeLocked(ObjectId self, ContainerEntry ce)
+      REQUIRES_SHARED(table_.cap());
+  Result<Label> ObjGetLabelLocked(ObjectId self, ContainerEntry ce)
+      REQUIRES_SHARED(table_.cap());
+  Result<std::string> ObjGetDescripLocked(ObjectId self, ContainerEntry ce)
+      REQUIRES_SHARED(table_.cap());
+  Result<uint64_t> ObjGetQuotaLocked(ObjectId self, ContainerEntry ce)
+      REQUIRES_SHARED(table_.cap());
+  Result<std::vector<uint8_t>> ObjGetMetadataLocked(ObjectId self, ContainerEntry ce)
+      REQUIRES_SHARED(table_.cap());
+  Status ObjSetMetadataLocked(ObjectId self, ContainerEntry ce, const void* data, size_t len)
+      REQUIRES(table_.cap());
+  Status ObjSetFixedQuotaLocked(ObjectId self, ContainerEntry ce) REQUIRES(table_.cap());
+  Status ObjSetImmutableLocked(ObjectId self, ContainerEntry ce) REQUIRES(table_.cap());
+  Status QuotaMoveLocked(ObjectId self, ObjectId d, ObjectId o, int64_t n)
+      REQUIRES(table_.cap());
   Result<ObjectId> SegmentCreateLocked(ObjectId self, const CreateSpec& spec, uint64_t len,
-                                       ObjectId new_id);
+                                       ObjectId new_id) REQUIRES(table_.cap());
   Result<ObjectId> SegmentCopyLocked(ObjectId self, const CreateSpec& spec, ContainerEntry src,
-                                     ObjectId new_id);
-  Status SegmentResizeLocked(ObjectId self, ContainerEntry ce, uint64_t len);
-  Result<uint64_t> SegmentGetLenLocked(ObjectId self, ContainerEntry ce);
+                                     ObjectId new_id) REQUIRES(table_.cap());
+  Status SegmentResizeLocked(ObjectId self, ContainerEntry ce, uint64_t len)
+      REQUIRES(table_.cap());
+  Result<uint64_t> SegmentGetLenLocked(ObjectId self, ContainerEntry ce)
+      REQUIRES_SHARED(table_.cap());
   Status SegmentReadLocked(ObjectId self, ContainerEntry ce, void* buf, uint64_t off,
-                           uint64_t len);
+                           uint64_t len) REQUIRES_SHARED(table_.cap());
   Status SegmentWriteLocked(ObjectId self, ContainerEntry ce, const void* buf, uint64_t off,
-                            uint64_t len);
-  Result<ObjectId> AsCreateLocked(ObjectId self, const CreateSpec& spec, ObjectId new_id);
-  Status AsSetLocked(ObjectId self, ContainerEntry ce, const std::vector<Mapping>& mappings);
-  Result<std::vector<Mapping>> AsGetLocked(ObjectId self, ContainerEntry ce);
+                            uint64_t len) REQUIRES(table_.cap());
+  Result<ObjectId> AsCreateLocked(ObjectId self, const CreateSpec& spec, ObjectId new_id)
+      REQUIRES(table_.cap());
+  Status AsSetLocked(ObjectId self, ContainerEntry ce, const std::vector<Mapping>& mappings)
+      REQUIRES(table_.cap());
+  Result<std::vector<Mapping>> AsGetLocked(ObjectId self, ContainerEntry ce)
+      REQUIRES_SHARED(table_.cap());
   Result<ObjectId> GateCreateLocked(ObjectId self, const CreateSpec& spec,
                                     const Label& gate_label, const Label& gate_clearance,
                                     const std::string& entry_name,
-                                    const std::vector<uint64_t>& closure, ObjectId new_id);
-  Result<std::vector<uint64_t>> GateGetClosureLocked(ObjectId self, ContainerEntry ce);
-  Status ConsoleWriteLocked(ObjectId self, ContainerEntry dev, const std::string& text);
+                                    const std::vector<uint64_t>& closure, ObjectId new_id)
+      REQUIRES(table_.cap());
+  Result<std::vector<uint64_t>> GateGetClosureLocked(ObjectId self, ContainerEntry ce)
+      REQUIRES_SHARED(table_.cap());
+  Status ConsoleWriteLocked(ObjectId self, ContainerEntry dev, const std::string& text)
+      REQUIRES(table_.cap());
   Result<ObjectId> RingCreateLocked(ObjectId self, const CreateSpec& spec, uint32_t capacity,
-                                    ObjectId new_id);
+                                    ObjectId new_id) REQUIRES(table_.cap());
 
   Status DoThreadAlert(ObjectId self, ContainerEntry thread, uint64_t code);
   Status DoContainerUnref(ObjectId self, ContainerEntry ce);
@@ -645,13 +685,15 @@ class Kernel {
 
   // Serialization body shared by SerializeObject and the checkpoint snapshot.
   bool SerializeObjectLocked(const Object& o, std::vector<uint8_t>* out,
-                             bool label_refs = false, uint64_t* meta_len = nullptr) const;
+                             bool label_refs = false, uint64_t* meta_len = nullptr) const
+      REQUIRES_SHARED(table_.cap());
   // Live ids in creation order; requires all shards held.
-  std::vector<ObjectId> LiveLocked() const;
+  std::vector<ObjectId> LiveLocked() const REQUIRES_SHARED(table_.cap());
   // Dirty (id, mark-generation) pairs in creation order; requires all
   // shards held (takes dirty_mu_ itself). The generation lets sys_sync
   // retire exactly the marks it serialized and no newer ones.
-  std::vector<std::pair<ObjectId, uint64_t>> DirtySnapshotLocked() const;
+  std::vector<std::pair<ObjectId, uint64_t>> DirtySnapshotLocked() const
+      REQUIRES_SHARED(table_.cap());
 
   // The sharded object table — PR 2 split the old single `mu_` into
   // per-shard shared_mutexes; see ARCHITECTURE.md "Concurrency model".
@@ -669,14 +711,16 @@ class Kernel {
 
   // Leaf state, each under its own mutex (all ordered AFTER the table
   // shards; futex_mu_ is never held together with any shard lock):
-  std::unordered_map<std::string, GateEntryFn> gate_entries_;
-  mutable std::mutex gate_entries_mu_;
+  mutable Mutex gate_entries_mu_;
+  std::unordered_map<std::string, GateEntryFn> gate_entries_ GUARDED_BY(gate_entries_mu_);
 
-  std::unordered_map<FutexKey, std::unique_ptr<FutexWaitQueue>, FutexKeyHash> futexes_;
-  mutable std::mutex futex_mu_;
+  mutable Mutex futex_mu_;
+  std::unordered_map<FutexKey, std::unique_ptr<FutexWaitQueue>, FutexKeyHash> futexes_
+      GUARDED_BY(futex_mu_);
 
-  std::unordered_map<ObjectId, std::function<bool(uint64_t, bool)>> pf_handlers_;
-  mutable std::mutex pf_mu_;
+  mutable Mutex pf_mu_;
+  std::unordered_map<ObjectId, std::function<bool(uint64_t, bool)>> pf_handlers_
+      GUARDED_BY(pf_mu_);
 
   // Per-thread syscall counters, one slot per registered host thread
   // (EpochDomain::ThreadSlot, PR 6 — replacing the PR 3 thread-id hash
@@ -693,9 +737,9 @@ class Kernel {
   // its life.
   static constexpr size_t kCountSlots = 256;
   struct CountSlot {
-    std::mutex mu;
-    uint64_t total = 0;
-    std::unordered_map<ObjectId, uint64_t> counts;
+    Mutex mu;
+    uint64_t total GUARDED_BY(mu) = 0;
+    std::unordered_map<ObjectId, uint64_t> counts GUARDED_BY(mu);
   };
   CountSlot& CountSlotForCurrentThread() const {
     return count_slots_[EpochDomain::ThreadSlot() & (kCountSlots - 1)];
@@ -734,15 +778,15 @@ class Kernel {
   // landing while the store commits (no shard lock held) keeps its mark.
   // This is also what makes incremental checkpoints sound: a mark that
   // survives the retire is re-serialized by the next increment.
-  std::unordered_map<ObjectId, uint64_t> dirty_;
-  uint64_t dirty_seq_ = 0;
-  mutable std::mutex dirty_mu_;
+  mutable Mutex dirty_mu_;
+  std::unordered_map<ObjectId, uint64_t> dirty_ GUARDED_BY(dirty_mu_);
+  uint64_t dirty_seq_ GUARDED_BY(dirty_mu_) = 0;
 
   // Registry cut covered by the last *committed* checkpoint (under
   // dirty_mu_). DoSync sends the labels interned past it as the batch's
   // label_delta and advances it only on success, so a failed commit's
   // records are simply resent (the store's table merge is idempotent).
-  LabelRegistry::SnapshotMark persisted_label_mark_;
+  LabelRegistry::SnapshotMark persisted_label_mark_ GUARDED_BY(dirty_mu_);
 
   // Boot-time restore state (set by RestoreLabelTable, read by
   // RestoreObject/FinishRestore before concurrent syscalls exist):
@@ -756,8 +800,8 @@ class Kernel {
   // ring-free kernels spawn no worker threads. Declared last: workers
   // execute syscalls against all of the state above, so they must be joined
   // first at destruction (~Kernel also resets it explicitly).
-  mutable std::mutex ring_engine_mu_;
-  mutable std::unique_ptr<RingEngine> ring_engine_;
+  mutable Mutex ring_engine_mu_;
+  mutable std::unique_ptr<RingEngine> ring_engine_ GUARDED_BY(ring_engine_mu_);
 };
 
 // Interface the kernel uses to push state to the single-level store.

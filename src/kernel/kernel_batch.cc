@@ -120,6 +120,7 @@ void Kernel::ExecLocked(ObjectId self, const SyscallReq& req, SyscallRes* out,
   // descriptor. Value fields stay default-initialized on failure.
   std::visit(
       [&](const auto& r) {
+        table_.cap().AssertHeld();  // closures don't inherit the caller's lock set
         using T = std::decay_t<decltype(r)>;
         [[maybe_unused]] ObjectId nid = kInvalidObject;
         if constexpr (kCreatesObject<T>) {
@@ -361,6 +362,10 @@ Status Kernel::SubmitBatch(ObjectId self, std::span<const SyscallReq> reqs,
       // acceptance property asserted by tests/kernel/batch_lock_test.cc.
       EpochGuard guard;
       PublishedReadMode published;
+      // The epoch + published-read pair IS this group's covering
+      // acquisition; the scoped stand-in discharges the bodies' static
+      // table-capability requirement (see object_table.h).
+      PublishedReadTableCap cap_scope(table_);
       size_t next_new_id = 0;
       for (size_t k = i; k < j; ++k) {
         ExecLocked(self, reqs[k], &res[k], new_ids, &next_new_id);
@@ -369,8 +374,10 @@ Status Kernel::SubmitBatch(ObjectId self, std::span<const SyscallReq> reqs,
       // The group's single lock round-trip: every shard any member touches,
       // ascending order, one acquisition (the acceptance property asserted
       // by tests/kernel/batch_lock_test.cc).
-      TableLock lk = TableLock::ForMask(
-          table_, exclusive ? TableLock::Mode::kExclusive : TableLock::Mode::kShared, mask);
+      TableLock lk(
+          table_,
+          exclusive ? TableLock::Mode::kExclusive : TableLock::Mode::kShared,
+          mask, TableLock::ByMask{});
       size_t next_new_id = 0;
       for (size_t k = i; k < j; ++k) {
         ExecLocked(self, reqs[k], &res[k], new_ids, &next_new_id);
@@ -452,8 +459,10 @@ Status Kernel::SubmitChain(ObjectId self, std::span<RingOp> ops, std::span<Sysca
       // (the PR 5 acceptance property, tests/kernel/ring_test.cc). Routing
       // and cancellation for members happen inside the lock, between
       // ExecLocked calls — the predecessor's completion is final by then.
-      TableLock lk = TableLock::ForMask(
-          table_, exclusive ? TableLock::Mode::kExclusive : TableLock::Mode::kShared, mask);
+      TableLock lk(
+          table_,
+          exclusive ? TableLock::Mode::kExclusive : TableLock::Mode::kShared,
+          mask, TableLock::ByMask{});
       size_t next_new_id = 0;
       for (size_t k = i; k < j; ++k) {
         if (k > i && !PrepareChainEntry(ops, res, k)) {

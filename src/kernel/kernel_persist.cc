@@ -14,7 +14,7 @@
 // resolves references through the remap; inline blobs re-intern as before.
 //
 // Snapshot locking: sys_sync builds its batch (live set + serialized dirty
-// objects) under ONE all-shards shared lock — TableLock::All acquires the
+// objects) under ONE all-shards shared lock — the TableLock acquires the
 // shards in ascending index order — so the checkpoint image is a consistent
 // cut of the object graph even while reader syscalls proceed on other
 // threads. The registry cut for the label-table delta is taken after the
@@ -266,7 +266,7 @@ Status Kernel::RestoreLabelTable(const std::vector<LabelTableRecord>& records,
     restore_ids_stable_ = restore_ids_stable_ && fresh == rec.id;
   }
   {
-    std::lock_guard<std::mutex> dl(dirty_mu_);
+    MutexLock dl(&dirty_mu_);
     // Labels already in the on-disk table need not be re-sent as deltas —
     // unless ids moved, in which case the next checkpoint must re-emit the
     // whole table in the new id space (mark stays at zero → full delta).
@@ -439,7 +439,7 @@ Status Kernel::RestoreObject(const std::vector<uint8_t>& bytes) {
 }
 
 void Kernel::FinishRestore(ObjectId root) {
-  TableLock lk = TableLock::All(table_, TableLock::Mode::kExclusive);
+  TableLock lk(table_, TableLock::Mode::kExclusive, TableLock::AllShards{});
   root_ = root;
   // Rebuild link counts and container usages from the link graph. Labels
   // were re-interned once from the checkpoint's label table
@@ -451,6 +451,7 @@ void Kernel::FinishRestore(ObjectId root) {
     }
   });
   table_.ForEachLocked([this](ObjectId, Object* obj) {
+    table_.cap().AssertHeld();  // closures don't inherit the caller's lock set
     if (obj->type() != ObjectType::kContainer) {
       return;
     }
@@ -471,7 +472,7 @@ void Kernel::FinishRestore(ObjectId root) {
   if (root_obj != nullptr) {
     root_obj->add_link_internal();  // permanent anchor
   }
-  std::lock_guard<std::mutex> dl(dirty_mu_);
+  MutexLock dl(&dirty_mu_);
   dirty_.clear();
   if (!restore_ids_stable_) {
     // The persisted blobs reference label ids this boot could not
@@ -479,7 +480,10 @@ void Kernel::FinishRestore(ObjectId root) {
     // any future increment can reference it. Marking the world dirty makes
     // the next sys_sync that rewrite (the store independently refuses to
     // extend the old chain — it writes a full base).
-    table_.ForEachLocked([this](ObjectId id, Object*) { dirty_[id] = ++dirty_seq_; });
+    table_.ForEachLocked([this](ObjectId id, Object*) {
+      dirty_mu_.AssertHeld();  // dl is held; closures don't inherit lock sets
+      dirty_[id] = ++dirty_seq_;
+    });
   }
 }
 
@@ -501,7 +505,7 @@ std::vector<ObjectId> Kernel::LiveLocked() const {
 }
 
 std::vector<ObjectId> Kernel::LiveObjects() const {
-  TableLock lk = TableLock::All(table_, TableLock::Mode::kShared);
+  TableLock lk(table_, TableLock::Mode::kShared, TableLock::AllShards{});
   return LiveLocked();
 }
 
@@ -510,7 +514,7 @@ std::vector<std::pair<ObjectId, uint64_t>> Kernel::DirtySnapshotLocked() const {
   // table, so the creation_seq reads below are stable.
   std::vector<std::pair<ObjectId, uint64_t>> marks;
   {
-    std::lock_guard<std::mutex> dl(dirty_mu_);
+    MutexLock dl(&dirty_mu_);
     marks.assign(dirty_.begin(), dirty_.end());
   }
   // Creation order, like LiveObjects: the checkpoint writes the batch to
@@ -535,7 +539,7 @@ std::vector<std::pair<ObjectId, uint64_t>> Kernel::DirtySnapshotLocked() const {
 }
 
 std::vector<ObjectId> Kernel::DirtyObjects() const {
-  TableLock lk = TableLock::All(table_, TableLock::Mode::kShared);
+  TableLock lk(table_, TableLock::Mode::kShared, TableLock::AllShards{});
   std::vector<ObjectId> out;
   for (const auto& [id, gen] : DirtySnapshotLocked()) {
     out.push_back(id);
@@ -544,7 +548,7 @@ std::vector<ObjectId> Kernel::DirtyObjects() const {
 }
 
 void Kernel::ClearDirty() {
-  std::lock_guard<std::mutex> lock(dirty_mu_);
+  MutexLock lock(&dirty_mu_);
   dirty_.clear();
 }
 
@@ -568,7 +572,7 @@ Status Kernel::DoSync(ObjectId self) {
   std::vector<std::pair<ObjectId, uint64_t>> snapshot;
   CheckpointBatch batch;
   {
-    TableLock lk = TableLock::All(table_, TableLock::Mode::kShared);
+    TableLock lk(table_, TableLock::Mode::kShared, TableLock::AllShards{});
     batch.live = LiveLocked();
     batch.root = root_;
     snapshot = DirtySnapshotLocked();
@@ -588,7 +592,7 @@ Status Kernel::DoSync(ObjectId self) {
   // to the cut, so they are resent (the store's table merge is idempotent).
   LabelRegistry::SnapshotMark mark_before;
   {
-    std::lock_guard<std::mutex> dl(dirty_mu_);
+    MutexLock dl(&dirty_mu_);
     mark_before = persisted_label_mark_;
   }
   LabelRegistry::SnapshotMark cut = registry_.Snapshot();
@@ -606,7 +610,7 @@ Status Kernel::DoSync(ObjectId self) {
     // which, now that checkpoints are incremental, is what guarantees the
     // next increment re-serializes it. The label mark advances the same
     // conditional way: only to the cut this commit actually persisted.
-    std::lock_guard<std::mutex> dl(dirty_mu_);
+    MutexLock dl(&dirty_mu_);
     for (const auto& [id, gen] : snapshot) {
       auto it = dirty_.find(id);
       if (it != dirty_.end() && it->second == gen) {

@@ -295,7 +295,7 @@ Result<std::vector<Mapping>> Kernel::AsGetLocked(ObjectId self, ContainerEntry c
 
 void Kernel::SetPageFaultHandler(ObjectId thread,
                                  std::function<bool(uint64_t va, bool write)> h) {
-  std::lock_guard<std::mutex> lock(pf_mu_);
+  MutexLock lock(&pf_mu_);
   pf_handlers_[thread] = std::move(h);
 }
 
@@ -337,9 +337,13 @@ Status Kernel::AsAccessOnce(ObjectId self, uint64_t va, void* buf, uint64_t len,
     seg.object = hint.seg_obj.load(std::memory_order_relaxed);
   }
   for (int round = 0;; ++round) {
-    TableLock lk = round >= kFootprintDiscoveryRounds
-                       ? TableLock::All(table_, mode)
-                       : TableLock(table_, mode, {self, as_id, seg.container, seg.object});
+    const uint64_t lk_mask =
+        round >= kFootprintDiscoveryRounds
+            ? table_.AllShardsMask()
+            : table_.ShardMaskOf(self) | table_.ShardMaskOf(as_id) |
+                  table_.ShardMaskOf(seg.container) |
+                  table_.ShardMaskOf(seg.object);
+    TableLock lk(table_, mode, lk_mask, TableLock::ByMask{});
     Thread* t = GetThread(self);
     if (t == nullptr || t->halted()) {
       return Status::kHalted;
@@ -433,7 +437,7 @@ Status Kernel::DoAsAccess(ObjectId self, uint64_t va, void* buf, uint64_t len, b
     // repaired the fault (remapped something), retry once.
     std::function<bool(uint64_t, bool)> handler;
     {
-      std::lock_guard<std::mutex> lock(pf_mu_);
+      MutexLock lock(&pf_mu_);
       auto it = pf_handlers_.find(self);
       if (it != pf_handlers_.end()) {
         handler = it->second;
@@ -495,7 +499,7 @@ Status Kernel::DoFutexWait(ObjectId self, ContainerEntry seg, uint64_t offset,
   FutexWaitQueue* q = nullptr;
   uint64_t seq = 0;
   {
-    std::lock_guard<std::mutex> fl(futex_mu_);
+    MutexLock fl(&futex_mu_);
     auto it = futexes_.find(key);
     if (it == futexes_.end()) {
       it = futexes_.emplace(key, std::make_unique<FutexWaitQueue>()).first;
@@ -514,7 +518,7 @@ Status Kernel::DoFutexWait(ObjectId self, ContainerEntry seg, uint64_t offset,
     recheck = Status::kAgain;
   }
   if (recheck != Status::kOk) {
-    std::lock_guard<std::mutex> fl(futex_mu_);
+    MutexLock fl(&futex_mu_);
     if (--q->waiters == 0) {
       futexes_.erase(key);  // GC: queues exist only while someone waits
     }
@@ -522,14 +526,14 @@ Status Kernel::DoFutexWait(ObjectId self, ContainerEntry seg, uint64_t offset,
   }
   auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   Status result = Status::kOk;
-  std::unique_lock<std::mutex> fl(futex_mu_);
+  futex_mu_.Lock();
   for (;;) {
     // Re-check world state each wakeup: halted, alerted, consumed a wake
     // token, or timed out. Thread state lives behind shard locks, and
     // futex_mu_ never nests with those (lock hierarchy) — so drop the
     // futex lock for the peek; wakes that land meanwhile persist in
     // wake_seq/wake_budget and are seen on reacquisition.
-    fl.unlock();
+    futex_mu_.Unlock();
     Status ts = Status::kOk;
     {
       TableLock lk(table_, TableLock::Mode::kShared, {self});
@@ -540,7 +544,7 @@ Status Kernel::DoFutexWait(ObjectId self, ContainerEntry seg, uint64_t offset,
         ts = Status::kAgain;  // interrupted by alert (EINTR analogue)
       }
     }
-    fl.lock();
+    futex_mu_.Lock();
     if (ts != Status::kOk) {
       result = ts;
       break;
@@ -562,9 +566,10 @@ Status Kernel::DoFutexWait(ObjectId self, ContainerEntry seg, uint64_t offset,
         result = Status::kTimedOut;
         break;
       }
-      q->cv.wait_for(fl, std::min<std::chrono::steady_clock::duration>(deadline - now, slice));
+      q->cv.WaitFor(futex_mu_,
+                    std::min<std::chrono::steady_clock::duration>(deadline - now, slice));
     } else {
-      q->cv.wait_for(fl, slice);
+      q->cv.WaitFor(futex_mu_, slice);
     }
   }
   if (--q->waiters == 0) {
@@ -575,6 +580,7 @@ Status Kernel::DoFutexWait(ObjectId self, ContainerEntry seg, uint64_t offset,
     // counted waiters, and futexes permit spurious outcomes either way.
     futexes_.erase(key);
   }
+  futex_mu_.Unlock();
   return result;
 }
 
@@ -605,7 +611,7 @@ Result<uint32_t> Kernel::DoFutexWake(ObjectId self, ContainerEntry seg, uint64_t
     }
     sid = s->id();
   }
-  std::lock_guard<std::mutex> fl(futex_mu_);
+  MutexLock fl(&futex_mu_);
   FutexKey key{sid, offset};
   auto it = futexes_.find(key);
   if (it == futexes_.end()) {
@@ -615,7 +621,7 @@ Result<uint32_t> Kernel::DoFutexWake(ObjectId self, ContainerEntry seg, uint64_t
   uint32_t woken = std::min(max_count, q->waiters);
   ++q->wake_seq;
   q->wake_budget += woken;
-  q->cv.notify_all();
+  q->cv.NotifyAll();
   return woken;
 }
 

@@ -176,10 +176,13 @@ Status Kernel::DoThreadAlert(ObjectId self, ContainerEntry thread, uint64_t code
   // keeps shifting (target retargeting its AS concurrently).
   ObjectId as_id = kInvalidObject;
   for (int round = 0;; ++round) {
-    TableLock lk = round >= kFootprintDiscoveryRounds
-                       ? TableLock::All(table_, TableLock::Mode::kExclusive)
-                       : TableLock(table_, TableLock::Mode::kExclusive,
-                                   {self, thread.container, thread.object, as_id});
+    const uint64_t lk_mask =
+        round >= kFootprintDiscoveryRounds
+            ? table_.AllShardsMask()
+            : table_.ShardMaskOf(self) | table_.ShardMaskOf(thread.container) |
+                  table_.ShardMaskOf(thread.object) | table_.ShardMaskOf(as_id);
+    TableLock lk(table_, TableLock::Mode::kExclusive, lk_mask,
+                 TableLock::ByMask{});
     Thread* t = GetThread(self);
     if (t == nullptr || t->halted()) {
       return Status::kHalted;
@@ -290,7 +293,7 @@ Result<ObjectId> Kernel::GateCreateLocked(ObjectId self, const CreateSpec& spec,
   }
   {
     // gate_entries_mu_ nests under the shard locks (lock hierarchy).
-    std::lock_guard<std::mutex> glock(gate_entries_mu_);
+    MutexLock glock(&gate_entries_mu_);
     if (gate_entries_.find(entry_name) == gate_entries_.end()) {
       return Status::kNotFound;  // entry code segment missing
     }
@@ -357,7 +360,7 @@ Status Kernel::DoGateInvoke(ObjectId self, ContainerEntry gate, const Label& req
     // was never re-registered after restore must fail without switching the
     // caller's protection domain.
     {
-      std::lock_guard<std::mutex> glock(gate_entries_mu_);
+      MutexLock glock(&gate_entries_mu_);
       auto it = gate_entries_.find(g->entry_name());
       if (it == gate_entries_.end()) {
         return Status::kNotFound;

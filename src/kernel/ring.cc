@@ -29,17 +29,17 @@ RingEngine::RingEngine(Kernel* kernel, size_t workers) : kernel_(kernel) {
 
 RingEngine::~RingEngine() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) {
     w.join();
   }
 }
 
 std::shared_ptr<RingState> RingEngine::GetOrCreate(ObjectId ring, uint32_t capacity) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = rings_.find(ring);
   if (it == rings_.end()) {
     it = rings_.emplace(ring, std::make_shared<RingState>(ring, capacity)).first;
@@ -48,27 +48,27 @@ std::shared_ptr<RingState> RingEngine::GetOrCreate(ObjectId ring, uint32_t capac
 }
 
 std::shared_ptr<RingState> RingEngine::Find(ObjectId ring) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = rings_.find(ring);
   return it == rings_.end() ? nullptr : it->second;
 }
 
 void RingEngine::Kick(const std::shared_ptr<RingState>& state) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (stopping_ || state->armed) {
       return;
     }
     state->armed = true;
     ready_.push_back(state);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void RingEngine::Drop(ObjectId ring) {
   std::shared_ptr<RingState> state;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = rings_.find(ring);
     if (it == rings_.end()) {
       return;
@@ -82,25 +82,29 @@ void RingEngine::Drop(ObjectId ring) {
       rings_.erase(it);
     }
   }
-  std::lock_guard<std::mutex> sl(state->mu);
+  MutexLock sl(&state->mu);
   state->dead = true;
   state->sq.clear();
   state->cq.clear();
-  state->cv.notify_all();
+  state->cv.NotifyAll();
 }
 
 void RingEngine::WorkerLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  mu_.Lock();
   for (;;) {
-    cv_.wait(lk, [this] { return stopping_ || !ready_.empty(); });
+    cv_.Wait(mu_, [this] {
+      mu_.AssertHeld();  // predicate runs with the wait mutex reacquired
+      return stopping_ || !ready_.empty();
+    });
     if (stopping_) {
+      mu_.Unlock();
       return;
     }
     std::shared_ptr<RingState> state = std::move(ready_.front());
     ready_.pop_front();
-    lk.unlock();
+    mu_.Unlock();
     DrainRing(state);
-    lk.lock();
+    mu_.Lock();
   }
 }
 
@@ -108,7 +112,7 @@ void RingEngine::DrainRing(const std::shared_ptr<RingState>& state) {
   for (;;) {
     RingSubmission sub;
     {
-      std::lock_guard<std::mutex> sl(state->mu);
+      MutexLock sl(&state->mu);
       if (state->dead || state->sq.empty()) {
         break;
       }
@@ -131,7 +135,7 @@ void RingEngine::DrainRing(const std::shared_ptr<RingState>& state) {
                            std::span<SyscallRes>(res));
     });
     {
-      std::lock_guard<std::mutex> sl(state->mu);
+      MutexLock sl(&state->mu);
       if (!state->dead) {
         for (size_t i = 0; i < res.size(); ++i) {
           state->cq.push_back(RingCompletion{sub.first_seq + i, std::move(res[i])});
@@ -139,27 +143,27 @@ void RingEngine::DrainRing(const std::shared_ptr<RingState>& state) {
       }
       state->completed_seq = sub.last_seq;
       state->executing = false;
-      state->cv.notify_all();
+      state->cv.NotifyAll();
     }
   }
   // Disarm, then re-check: a submission that raced in between the empty-SQ
   // check above and this disarm saw armed==true and did not re-queue the
   // ring — the recheck below closes that lost-wakeup window.
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     state->armed = false;
   }
   bool more;
   bool dead;
   {
-    std::lock_guard<std::mutex> sl(state->mu);
+    MutexLock sl(&state->mu);
     dead = state->dead;
     more = !dead && !state->sq.empty();
   }
   if (dead) {
     // The ring died while this worker owned it, so Drop left the map entry
     // for late waiters to drain on; with execution finished, retire it.
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = rings_.find(state->id);
     if (it != rings_.end() && it->second == state) {
       rings_.erase(it);
@@ -173,7 +177,7 @@ void RingEngine::DrainRing(const std::shared_ptr<RingState>& state) {
 // ---- Kernel glue ------------------------------------------------------------
 
 RingEngine* Kernel::ring_engine(bool create) const {
-  std::lock_guard<std::mutex> lk(ring_engine_mu_);
+  MutexLock lk(&ring_engine_mu_);
   if (ring_engine_ == nullptr && create) {
     ring_engine_ = std::make_unique<RingEngine>(const_cast<Kernel*>(this));
   }
@@ -199,7 +203,7 @@ uint64_t Kernel::ring_completed_ticket(ObjectId ring) const {
   if (st == nullptr) {
     return 0;
   }
-  std::lock_guard<std::mutex> lk(st->mu);
+  MutexLock lk(&st->mu);
   return st->completed_seq;
 }
 
@@ -310,7 +314,7 @@ Result<uint64_t> Kernel::DoRingSubmit(ObjectId self, ContainerEntry ring,
   uint64_t ticket = 0;
   uint64_t first_seq = 0;
   {
-    std::lock_guard<std::mutex> lk(st->mu);
+    MutexLock lk(&st->mu);
     if (st->dead) {
       return Status::kNotFound;
     }
@@ -347,7 +351,7 @@ Result<uint64_t> Kernel::DoRingSubmit(ObjectId self, ContainerEntry ring,
   if (!ObjectExists(rid)) {
     bool retracted = false;
     {
-      std::lock_guard<std::mutex> lk(st->mu);
+      MutexLock lk(&st->mu);
       for (auto it = st->sq.begin(); it != st->sq.end(); ++it) {
         if (it->first_seq == first_seq) {
           st->inflight_ops -= it->ops.size();
@@ -411,19 +415,21 @@ Status Kernel::DoRingWait(ObjectId self, ContainerEntry ring, uint64_t ticket,
     // Ring object gone, state still present: drain `executing` for our
     // ticket, then report. (The state is marked dead by DropRings, so the
     // loop below exits as soon as no worker holds the ticket's buffers.)
-    std::unique_lock<std::mutex> dl(st->mu);
+    MutexLock dl(&st->mu);
     while (st->executing && st->executing_first <= ticket) {
-      st->cv.wait_for(dl, std::chrono::milliseconds(50));
+      st->cv.WaitFor(st->mu, std::chrono::milliseconds(50));
     }
     return Status::kNotFound;
   }
   auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
-  std::unique_lock<std::mutex> lk(st->mu);
+  st->mu.Lock();
   if (ticket >= st->next_seq) {
+    st->mu.Unlock();
     return Status::kInvalidArg;  // never issued
   }
   for (;;) {
     if (st->completed_seq >= ticket) {
+      st->mu.Unlock();
       return Status::kOk;
     }
     // A chain the worker is CURRENTLY executing references caller-owned
@@ -435,13 +441,14 @@ Status Kernel::DoRingWait(ObjectId self, ContainerEntry ring, uint64_t ticket,
     // unbounded blocking ops are rejected at submit.
     const bool ours_running = st->executing && st->executing_first <= ticket;
     if (st->dead && !ours_running) {
+      st->mu.Unlock();
       return Status::kNotFound;
     }
     // Same bounded-slice shape as futex waits: thread halt/alert state
     // lives behind shard locks, which never nest with RingState::mu — drop
     // the ring lock for the peek; publishes that land meanwhile persist in
     // completed_seq and are seen on reacquisition.
-    lk.unlock();
+    st->mu.Unlock();
     Status ts = Status::kOk;
     {
       TableLock tl(table_, TableLock::Mode::kShared, {self});
@@ -452,23 +459,27 @@ Status Kernel::DoRingWait(ObjectId self, ContainerEntry ring, uint64_t ticket,
         ts = Status::kAgain;  // interrupted by alert (EINTR analogue)
       }
     }
-    lk.lock();
+    st->mu.Lock();
     if (ts == Status::kAgain) {
+      st->mu.Unlock();
       return ts;
     }
     if (ts != Status::kOk &&
         !(st->executing && st->executing_first <= ticket)) {
+      st->mu.Unlock();
       return ts;  // halted, and no worker holds our buffers: safe to report
     }
     const auto slice = std::chrono::milliseconds(50);
     if (timeout_ms != 0) {
       auto now = std::chrono::steady_clock::now();
       if (now >= deadline) {
+        st->mu.Unlock();
         return Status::kTimedOut;
       }
-      st->cv.wait_for(lk, std::min<std::chrono::steady_clock::duration>(deadline - now, slice));
+      st->cv.WaitFor(st->mu,
+                     std::min<std::chrono::steady_clock::duration>(deadline - now, slice));
     } else {
-      st->cv.wait_for(lk, slice);
+      st->cv.WaitFor(st->mu, slice);
     }
   }
 }
@@ -503,7 +514,7 @@ Result<std::vector<RingCompletion>> Kernel::DoRingReap(ObjectId self, ContainerE
   if (st == nullptr) {
     return out;  // never submitted to: nothing pending
   }
-  std::lock_guard<std::mutex> lk(st->mu);
+  MutexLock lk(&st->mu);
   size_t n = st->cq.size();
   if (max != 0) {
     n = std::min<size_t>(n, max);

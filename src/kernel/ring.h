@@ -31,14 +31,14 @@
 #define SRC_KERNEL_RING_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/sync.h"
+#include "src/core/thread_annotations.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/syscall_abi.h"
 #include "src/kernel/types.h"
@@ -64,25 +64,28 @@ struct RingState {
   const ObjectId id;
   const uint32_t capacity;
 
-  std::mutex mu;
-  std::condition_variable cv;  // completions published / ring torn down
-  uint64_t next_seq = 1;       // next op sequence number to assign
-  uint64_t completed_seq = 0;  // every op with seq <= this has a completion
-  uint64_t inflight_ops = 0;   // submitted but not yet reaped (capacity bound)
-  std::deque<RingSubmission> sq;
-  std::deque<RingCompletion> cq;
-  bool dead = false;           // ring object destroyed; waiters get kNotFound
+  Mutex mu;
+  CondVar cv;  // completions published / ring torn down
+  uint64_t next_seq GUARDED_BY(mu) = 1;       // next op sequence number to assign
+  uint64_t completed_seq GUARDED_BY(mu) = 0;  // every op with seq <= this has a completion
+  uint64_t inflight_ops GUARDED_BY(mu) = 0;   // submitted, not yet reaped (capacity bound)
+  std::deque<RingSubmission> sq GUARDED_BY(mu);
+  std::deque<RingCompletion> cq GUARDED_BY(mu);
+  bool dead GUARDED_BY(mu) = false;  // ring object destroyed; waiters get kNotFound
   // Seq range of the submission a worker is CURRENTLY executing (valid
   // while `executing`). Ring-op descriptors reference caller-owned memory,
   // so sys_ring_wait must never report a terminal status (halt, dead ring)
   // for a chain while a worker may still be dereferencing its buffers —
   // waiters drain on this before abandoning.
-  bool executing = false;
-  uint64_t executing_first = 0;
-  uint64_t executing_last = 0;
+  bool executing GUARDED_BY(mu) = false;
+  uint64_t executing_first GUARDED_BY(mu) = 0;
+  uint64_t executing_last GUARDED_BY(mu) = 0;
 
   // Guarded by RingEngine::mu_, NOT this->mu: true while the ring is on the
   // ready queue or being drained, so one ring never runs on two workers.
+  // (Not expressible as GUARDED_BY — the analysis cannot name another
+  // object's member as the capability — so this one stays a TSan-checked
+  // comment; every access site is inside a RingEngine method under mu_.)
   bool armed = false;
 };
 
@@ -120,12 +123,12 @@ class RingEngine {
   void DrainRing(const std::shared_ptr<RingState>& state);
 
   Kernel* const kernel_;
-  mutable std::mutex mu_;  // guards rings_, ready_, stopping_, RingState::armed
-  std::condition_variable cv_;
-  std::unordered_map<ObjectId, std::shared_ptr<RingState>> rings_;
-  std::deque<std::shared_ptr<RingState>> ready_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  mutable Mutex mu_;  // guards rings_, ready_, stopping_, RingState::armed
+  CondVar cv_;
+  std::unordered_map<ObjectId, std::shared_ptr<RingState>> rings_ GUARDED_BY(mu_);
+  std::deque<std::shared_ptr<RingState>> ready_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // ctor/dtor only; never concurrent
 };
 
 // Client-side helper: waits for `ticket`, re-entering when an alert

@@ -171,7 +171,7 @@ int RingDrainNic(Kernel* kernel, ObjectId self, ContainerEntry ring, ContainerEn
   return frames;
 }
 
-std::mutex NetDaemon::registry_mu_;
+Mutex NetDaemon::registry_mu_;
 std::map<uint64_t, NetDaemon*> NetDaemon::registry_;
 uint64_t NetDaemon::next_registry_id_ = 1;
 
@@ -185,7 +185,7 @@ struct NetDaemon::Socket {
   std::deque<std::pair<MacAddr, uint16_t>> backlog;  // pending SYNs
   std::deque<uint8_t> rx_staging;  // overflow when the rx ring is full
   bool fin_pending = false;  // FIN seen while staging still holds data
-  std::condition_variable cv;      // state changes (connect/accept)
+  CondVar cv;  // state changes (connect/accept); waits on NetDaemon::mu_
 };
 
 // The control-gate entry: ferries one operation from the caller's local
@@ -195,7 +195,7 @@ struct NetDaemon::Socket {
 void NetdCtlEntry(GateCall& call) {
   NetDaemon* d = nullptr;
   {
-    std::lock_guard<std::mutex> lock(NetDaemon::registry_mu_);
+    MutexLock lock(&NetDaemon::registry_mu_);
     auto it = NetDaemon::registry_.find(call.closure[0]);
     if (it == NetDaemon::registry_.end()) {
       return;
@@ -277,7 +277,7 @@ std::unique_ptr<NetDaemon> NetDaemon::Start(UnixWorld* world, SimNetPort* port,
 
   // Control gate.
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     d->registry_id_ = next_registry_id_++;
     registry_[d->registry_id_] = d.get();
   }
@@ -309,7 +309,7 @@ std::unique_ptr<NetDaemon> NetDaemon::Start(UnixWorld* world, SimNetPort* port,
 
 NetDaemon::~NetDaemon() {
   Stop();
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(&registry_mu_);
   registry_.erase(registry_id_);
 }
 
@@ -343,7 +343,7 @@ Result<uint64_t> NetDaemon::MakeSocketWithSegment() {
 }
 
 uint64_t NetDaemon::CtlOp(ObjectId self, uint64_t op, uint64_t a, uint64_t b, uint64_t c) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   switch (op) {
     case 1: {  // Listen(port)
       Result<uint64_t> sock = MakeSocketWithSegment();
@@ -361,8 +361,8 @@ uint64_t NetDaemon::CtlOp(ObjectId self, uint64_t op, uint64_t a, uint64_t b, ui
         return 0;
       }
       Socket* ls = it->second.get();
-      if (!ls->cv.wait_for(lock, std::chrono::milliseconds(b),
-                           [ls] { return !ls->backlog.empty(); })) {
+      if (!ls->cv.WaitFor(mu_, std::chrono::milliseconds(b),
+                          [ls] { return !ls->backlog.empty(); })) {
         return 0;
       }
       auto [peer, peer_port] = ls->backlog.front();
@@ -393,7 +393,7 @@ uint64_t NetDaemon::CtlOp(ObjectId self, uint64_t op, uint64_t a, uint64_t b, ui
       s->peer_port = static_cast<uint16_t>(b);
       s->local_port = static_cast<uint16_t>(40000 + next_sock_);
       SendFrame(s->peer, kMsgSyn, s->local_port, s->peer_port, nullptr, 0);
-      if (!s->cv.wait_for(lock, std::chrono::milliseconds(2000), [s] {
+      if (!s->cv.WaitFor(mu_, std::chrono::milliseconds(2000), [s] {
             return s->state == Socket::State::kEstablished;
           })) {
         return 0;
@@ -485,7 +485,7 @@ Status NetDaemon::CloseSocket(ObjectId self, uint64_t sock) {
 }
 
 Result<ContainerEntry> NetDaemon::SocketSegment(uint64_t sock) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sockets_.find(sock);
   if (it == sockets_.end()) {
     return Status::kNotFound;
@@ -705,13 +705,13 @@ void NetDaemon::HandleFrame(const std::vector<uint8_t>& frame) {
   MacAddr src;
   memcpy(src.data(), frame.data() + 6, 6);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   switch (type) {
     case kMsgSyn: {
       for (auto& [id, s] : sockets_) {
         if (s->state == Socket::State::kListening && s->local_port == dport) {
           s->backlog.emplace_back(src, sport);
-          s->cv.notify_all();
+          s->cv.NotifyAll();
           return;
         }
       }
@@ -722,7 +722,7 @@ void NetDaemon::HandleFrame(const std::vector<uint8_t>& frame) {
         if (s->state == Socket::State::kSynSent && s->local_port == dport &&
             s->peer_port == sport) {
           s->state = Socket::State::kEstablished;
-          s->cv.notify_all();
+          s->cv.NotifyAll();
           return;
         }
       }
@@ -754,7 +754,7 @@ void NetDaemon::HandleFrame(const std::vector<uint8_t>& frame) {
           uint64_t flags = ReadWord(kernel_, self, seg, kOffFlags);
           WriteWord(kernel_, self, seg, kOffFlags, flags | kFlagPeerClosed);
           kernel_->sys_futex_wake(self, seg, kOffRxW, UINT32_MAX);
-          s->cv.notify_all();
+          s->cv.NotifyAll();
           return;
         }
       }
@@ -822,7 +822,7 @@ void NetDaemon::DrainTx(Socket* s) {
     uint64_t flags = ReadWord(kernel_, self, seg, kOffFlags);
     WriteWord(kernel_, self, seg, kOffFlags, flags | kFlagPeerClosed);
     kernel_->sys_futex_wake(self, seg, kOffRxW, UINT32_MAX);
-    s->cv.notify_all();
+    s->cv.NotifyAll();
   }
 }
 
@@ -871,7 +871,7 @@ void NetDaemon::PumpLoop() {
     }
     // Service every socket.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (auto& [id, s] : sockets_) {
         uint64_t before = frames_sent_.load();
         DrainTx(s.get());

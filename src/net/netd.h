@@ -25,6 +25,8 @@
 #include <memory>
 #include <thread>
 
+#include "src/core/sync.h"
+#include "src/core/thread_annotations.h"
 #include "src/net/wire.h"
 #include "src/unixlib/unix.h"
 
@@ -122,9 +124,9 @@ class NetDaemon {
   // The pump: device ⇄ socket rings.
   void PumpLoop();
   void HandleFrame(const std::vector<uint8_t>& frame);
-  void DrainTx(Socket* s);
+  void DrainTx(Socket* s) REQUIRES(mu_);
   bool SendFrame(const MacAddr& dst, uint8_t type, uint16_t sport, uint16_t dport,
-                 const uint8_t* data, uint16_t len);
+                 const uint8_t* data, uint16_t len) REQUIRES(mu_);
   std::vector<uint8_t> BuildFrame(const MacAddr& dst, uint8_t type, uint16_t sport,
                                   uint16_t dport, const uint8_t* data, uint16_t len) const;
   // Ring-backed burst of data frames for one socket (called with mu_ held,
@@ -133,10 +135,10 @@ class NetDaemon {
   // frame — in-order delivery, exactly like the per-call path stopping at
   // its first failure. Returns bytes drained from the tx ring.
   uint64_t RingSendBurst(ObjectId self, Socket* s, uint64_t txr, uint64_t txw,
-                         ContainerEntry seg);
+                         ContainerEntry seg) REQUIRES(mu_);
 
-  Result<Socket*> FindSocket(uint64_t sock);
-  Result<uint64_t> MakeSocketWithSegment();
+  Result<Socket*> FindSocket(uint64_t sock) REQUIRES(mu_);
+  Result<uint64_t> MakeSocketWithSegment() REQUIRES(mu_);
 
   UnixWorld* world_ = nullptr;
   Kernel* kernel_ = nullptr;
@@ -162,17 +164,21 @@ class NetDaemon {
   ObjectId ring_ = kInvalidObject;     // receive bursts (pump thread only)
   ObjectId ring_tx_ = kInvalidObject;  // transmit bursts (mu_-held callers)
 
-  std::mutex mu_;
-  std::map<uint64_t, std::unique_ptr<Socket>> sockets_;
-  uint64_t next_sock_ = 1;
+  // Guards the socket table and every Socket's fields (the per-Socket
+  // members cannot carry GUARDED_BY themselves — the analysis cannot name
+  // another object's mutex — so their discipline is this comment plus the
+  // REQUIRES on every helper that touches a Socket*).
+  Mutex mu_;
+  std::map<uint64_t, std::unique_ptr<Socket>> sockets_ GUARDED_BY(mu_);
+  uint64_t next_sock_ GUARDED_BY(mu_) = 1;
   std::thread pump_host_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> frames_sent_{0};
   std::atomic<uint64_t> frames_received_{0};
 
-  static std::mutex registry_mu_;
-  static std::map<uint64_t, NetDaemon*> registry_;
-  static uint64_t next_registry_id_;
+  static Mutex registry_mu_;
+  static std::map<uint64_t, NetDaemon*> registry_ GUARDED_BY(registry_mu_);
+  static uint64_t next_registry_id_ GUARDED_BY(registry_mu_);
   uint64_t registry_id_ = 0;
 };
 

@@ -22,45 +22,49 @@ bool SimNetPort::Transmit(const std::vector<uint8_t>& frame) {
 }
 
 bool SimNetPort::Receive(std::vector<uint8_t>* frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (rx_.empty()) {
     return false;
   }
   *frame = std::move(rx_.front());
   rx_.pop_front();
-  space_cv_.notify_all();
+  space_cv_.NotifyAll();
   return true;
 }
 
 bool SimNetPort::WaitForFrame(uint32_t timeout_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!rx_.empty()) {
     return true;
   }
   if (timeout_ms == 0) {
     timeout_ms = 50;  // bounded poll so daemon shutdown is prompt
   }
-  return rx_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                         [this] { return !rx_.empty(); });
+  return rx_cv_.WaitFor(mu_, std::chrono::milliseconds(timeout_ms), [this] {
+    mu_.AssertHeld();  // predicate runs with the wait mutex reacquired
+    return !rx_.empty();
+  });
 }
 
 void SimNetPort::Deliver(const std::vector<uint8_t>& frame) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Backpressure: wait for ring space. Give up after a bounded delay (dead
   // receiver) and drop, so a stopped daemon cannot wedge the whole switch.
-  space_cv_.wait_for(lock, std::chrono::seconds(2),
-                     [this] { return rx_.size() < kRxQueueLimit; });
+  space_cv_.WaitFor(mu_, std::chrono::seconds(2), [this] {
+    mu_.AssertHeld();  // predicate runs with the wait mutex reacquired
+    return rx_.size() < kRxQueueLimit;
+  });
   if (rx_.size() >= kRxQueueLimit) {
     return;
   }
   rx_.push_back(frame);
-  rx_cv_.notify_all();
+  rx_cv_.NotifyAll();
 }
 
 NetSwitch::NetSwitch(uint64_t line_rate_bits_per_sec) : line_rate_(line_rate_bits_per_sec) {}
 
 SimNetPort* NetSwitch::NewPort() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ports_.push_back(std::make_unique<SimNetPort>(this, MacFromIndex(next_index_++)));
   return ports_.back().get();
 }
@@ -68,7 +72,7 @@ SimNetPort* NetSwitch::NewPort() {
 void NetSwitch::Forward(SimNetPort* from, const std::vector<uint8_t>& frame) {
   std::vector<SimNetPort*> targets;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++frames_;
     if (line_rate_ > 0) {
       sim_time_ns_ += frame.size() * 8ULL * 1'000'000'000ULL / line_rate_;
@@ -90,12 +94,12 @@ void NetSwitch::Forward(SimNetPort* from, const std::vector<uint8_t>& frame) {
 }
 
 uint64_t NetSwitch::sim_time_ns() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return sim_time_ns_;
 }
 
 void NetSwitch::ResetSimTime() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sim_time_ns_ = 0;
 }
 

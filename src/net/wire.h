@@ -8,12 +8,12 @@
 #define SRC_NET_WIRE_H_
 
 #include <array>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "src/core/sync.h"
+#include "src/core/thread_annotations.h"
 #include "src/kernel/object.h"
 
 namespace histar {
@@ -50,10 +50,10 @@ class SimNetPort : public NetPort {
 
   NetSwitch* net_;
   MacAddr mac_;
-  std::mutex mu_;
-  std::condition_variable rx_cv_;
-  std::condition_variable space_cv_;
-  std::deque<std::vector<uint8_t>> rx_;
+  Mutex mu_;
+  CondVar rx_cv_;
+  CondVar space_cv_;
+  std::deque<std::vector<uint8_t>> rx_ GUARDED_BY(mu_);
 };
 
 class NetSwitch {
@@ -63,8 +63,12 @@ class NetSwitch {
 
   // Hub mode: deliver every frame to every other port regardless of the
   // destination MAC (used by the tun pair, where the "remote" MACs live on
-  // the far side of the tunnel).
-  void set_hub_mode(bool on) { hub_mode_ = on; }
+  // the far side of the tunnel). Locked: Forward reads the flag under mu_
+  // (this setter used to write it bare).
+  void set_hub_mode(bool on) {
+    MutexLock lock(&mu_);
+    hub_mode_ = on;
+  }
 
   // Creates a port with a fresh MAC.
   SimNetPort* NewPort();
@@ -74,16 +78,21 @@ class NetSwitch {
 
   uint64_t sim_time_ns() const;
   void ResetSimTime();
-  uint64_t frames_forwarded() const { return frames_; }
+  // Locked: Forward bumps the counter under mu_ (this used to read it bare
+  // while daemon threads were mid-forward).
+  uint64_t frames_forwarded() const {
+    MutexLock lock(&mu_);
+    return frames_;
+  }
 
  private:
   uint64_t line_rate_;
-  bool hub_mode_ = false;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<SimNetPort>> ports_;
-  uint64_t sim_time_ns_ = 0;
-  uint64_t frames_ = 0;
-  uint32_t next_index_ = 1;
+  mutable Mutex mu_;
+  bool hub_mode_ GUARDED_BY(mu_) = false;
+  std::vector<std::unique_ptr<SimNetPort>> ports_ GUARDED_BY(mu_);
+  uint64_t sim_time_ns_ GUARDED_BY(mu_) = 0;
+  uint64_t frames_ GUARDED_BY(mu_) = 0;
+  uint32_t next_index_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace histar

@@ -70,7 +70,7 @@ std::optional<FaultRule> DiskModel::MatchFault(bool is_read, uint64_t offset) {
 }
 
 Status DiskModel::Read(uint64_t offset, void* buf, uint64_t len) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) {
     return Status::kCrashed;
   }
@@ -114,7 +114,7 @@ Status DiskModel::Read(uint64_t offset, void* buf, uint64_t len) {
 }
 
 Status DiskModel::Write(uint64_t offset, const void* buf, uint64_t len) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) {
     return Status::kCrashed;
   }
@@ -193,7 +193,7 @@ Status DiskModel::Write(uint64_t offset, const void* buf, uint64_t len) {
 }
 
 Status DiskModel::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) {
     return Status::kCrashed;
   }
@@ -211,12 +211,12 @@ Status DiskModel::Flush() {
 }
 
 uint64_t DiskModel::sim_time_ns() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return sim_time_ns_;
 }
 
 void DiskModel::ResetSimTime() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sim_time_ns_ = 0;
   read_ops_ = 0;
   write_ops_ = 0;
@@ -225,31 +225,31 @@ void DiskModel::ResetSimTime() {
 }
 
 void DiskModel::CrashAfterBytes(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crash_armed_ = true;
   crash_after_ = n;
 }
 
 void DiskModel::Repair() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crashed_ = false;
   crash_armed_ = false;
 }
 
 void DiskModel::SetFaultPlan(FaultPlan plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fault_rules_ = std::move(plan.rules);
   fault_read_index_ = 0;
   fault_write_index_ = 0;
 }
 
 void DiskModel::ClearFaults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fault_rules_.clear();
 }
 
 uint64_t DiskModel::faults_injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (uint64_t c : fault_counts_) {
     total += c;
@@ -258,12 +258,12 @@ uint64_t DiskModel::faults_injected() const {
 }
 
 uint64_t DiskModel::faults_injected(FaultKind kind) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return fault_counts_[static_cast<size_t>(kind)];
 }
 
 size_t DiskModel::pending_faults() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return fault_rules_.size();
 }
 

@@ -16,11 +16,12 @@
 #define SRC_STORE_DISK_MODEL_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "src/core/status.h"
+#include "src/core/sync.h"
+#include "src/core/thread_annotations.h"
 
 namespace histar {
 
@@ -117,13 +118,27 @@ class DiskModel {
   double sim_time_seconds() const { return static_cast<double>(sim_time_ns()) / 1e9; }
   void ResetSimTime();
 
-  // Operation counters for benchmarks and tests.
-  uint64_t read_ops() const { return read_ops_; }
-  uint64_t write_ops() const { return write_ops_; }
-  uint64_t bytes_written() const { return bytes_written_; }
+  // Operation counters for benchmarks and tests. Locked: a bench thread may
+  // poll them while store worker threads are mid-write (these used to read
+  // the counters bare — a data race the annotation pass surfaced).
+  uint64_t read_ops() const {
+    MutexLock lock(&mu_);
+    return read_ops_;
+  }
+  uint64_t write_ops() const {
+    MutexLock lock(&mu_);
+    return write_ops_;
+  }
+  uint64_t bytes_written() const {
+    MutexLock lock(&mu_);
+    return bytes_written_;
+  }
   // Operations that paid a mechanical positioning cost (seek + rotational
   // latency) — the restore-path benchmarks' "how sequential was that" metric.
-  uint64_t seek_ops() const { return seek_ops_; }
+  uint64_t seek_ops() const {
+    MutexLock lock(&mu_);
+    return seek_ops_;
+  }
 
   // Crash injection: after `n` more bytes have been written, fail every
   // subsequent operation with kCrashed; the write that crosses the boundary
@@ -131,7 +146,10 @@ class DiskModel {
   void CrashAfterBytes(uint64_t n);
   // Clears the crash condition (the machine "reboots"; contents survive).
   void Repair();
-  bool crashed() const { return crashed_; }
+  bool crashed() const {
+    MutexLock lock(&mu_);
+    return crashed_;
+  }
 
   // Installs a fault plan (replacing any previous one) and resets the
   // per-direction op counters rules match against.
@@ -144,36 +162,43 @@ class DiskModel {
   // Unfired rules still armed (campaigns: did the scheduled fault fire?).
   size_t pending_faults() const;
 
+  // geo_ is configuration: written only by the constructor and
+  // set_lookahead_enabled (now under mu_ — it used to race AccessCost's
+  // reads), read everywhere. The returned reference outlives the lock, so
+  // callers treat the geometry as settle-then-read configuration.
   const DiskGeometry& geometry() const { return geo_; }
-  void set_lookahead_enabled(bool on) { geo_.lookahead_enabled = on; }
+  void set_lookahead_enabled(bool on) {
+    MutexLock lock(&mu_);
+    geo_.lookahead_enabled = on;
+  }
 
  private:
   // Service-time model, mu_ held.
-  uint64_t AccessCost(uint64_t offset, uint64_t len, bool is_read);
+  uint64_t AccessCost(uint64_t offset, uint64_t len, bool is_read) REQUIRES(mu_);
   // Pops the first armed rule matching this op (mu_ held); counts the fire.
-  std::optional<FaultRule> MatchFault(bool is_read, uint64_t offset);
+  std::optional<FaultRule> MatchFault(bool is_read, uint64_t offset) REQUIRES(mu_);
 
   DiskGeometry geo_;
-  mutable std::mutex mu_;
-  std::vector<uint8_t> data_;       // only in data mode
-  uint64_t sim_time_ns_ = 0;
-  uint64_t head_pos_ = 0;           // byte offset the head is "at"
-  uint64_t prefetch_end_ = 0;       // end of the current lookahead window
-  uint64_t read_ops_ = 0;
-  uint64_t write_ops_ = 0;
-  uint64_t writes_since_flush_ = 0;
-  uint64_t bytes_written_ = 0;
-  uint64_t seek_ops_ = 0;
-  bool crash_armed_ = false;
-  uint64_t crash_after_ = 0;
-  bool crashed_ = false;
+  mutable Mutex mu_;
+  std::vector<uint8_t> data_ GUARDED_BY(mu_);  // only in data mode
+  uint64_t sim_time_ns_ GUARDED_BY(mu_) = 0;
+  uint64_t head_pos_ GUARDED_BY(mu_) = 0;       // byte offset the head is "at"
+  uint64_t prefetch_end_ GUARDED_BY(mu_) = 0;   // end of the lookahead window
+  uint64_t read_ops_ GUARDED_BY(mu_) = 0;
+  uint64_t write_ops_ GUARDED_BY(mu_) = 0;
+  uint64_t writes_since_flush_ GUARDED_BY(mu_) = 0;
+  uint64_t bytes_written_ GUARDED_BY(mu_) = 0;
+  uint64_t seek_ops_ GUARDED_BY(mu_) = 0;
+  bool crash_armed_ GUARDED_BY(mu_) = false;
+  uint64_t crash_after_ GUARDED_BY(mu_) = 0;
+  bool crashed_ GUARDED_BY(mu_) = false;
 
   // Fault plan state: armed rules plus the per-direction op indices counted
   // from the most recent SetFaultPlan.
-  std::vector<FaultRule> fault_rules_;
-  uint64_t fault_read_index_ = 0;
-  uint64_t fault_write_index_ = 0;
-  uint64_t fault_counts_[kNumFaultKinds] = {};
+  std::vector<FaultRule> fault_rules_ GUARDED_BY(mu_);
+  uint64_t fault_read_index_ GUARDED_BY(mu_) = 0;
+  uint64_t fault_write_index_ GUARDED_BY(mu_) = 0;
+  uint64_t fault_counts_[kNumFaultKinds] GUARDED_BY(mu_) = {};
 };
 
 }  // namespace histar

@@ -33,7 +33,7 @@ uint64_t SingleLevelStore::Checksum(const void* data, size_t len) {
 }
 
 Status SingleLevelStore::Format() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   try {
     return FormatLocked();
   } catch (const std::bad_alloc&) {
@@ -326,7 +326,7 @@ Status SingleLevelStore::CommitSection(const std::vector<LabelTableRecord>* labe
 }
 
 Status SingleLevelStore::Checkpoint(const CheckpointBatch& batch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   try {
     return CheckpointLocked(batch);
   } catch (const std::bad_alloc&) {
@@ -401,7 +401,7 @@ Status SingleLevelStore::CheckpointLocked(const CheckpointBatch& batch) {
 
 Status SingleLevelStore::SyncOne(ObjectId id, const std::vector<uint8_t>& bytes,
                                  uint64_t meta_len) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   try {
     return SyncOneLocked(id, bytes, meta_len);
   } catch (const std::bad_alloc&) {
@@ -484,7 +484,7 @@ Status SingleLevelStore::ApplyLog() {
 
 Status SingleLevelStore::SyncPages(ObjectId id, uint64_t offset,
                                    const std::vector<uint8_t>& pages) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   try {
     return SyncPagesLocked(id, offset, pages);
   } catch (const std::bad_alloc&) {
@@ -512,7 +512,7 @@ Status SingleLevelStore::SyncPagesLocked(ObjectId id, uint64_t offset,
 }
 
 Result<uint64_t> SingleLevelStore::TouchObject(ObjectId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   try {
     return TouchObjectLocked(id);
   } catch (const std::bad_alloc&) {
@@ -525,7 +525,7 @@ Result<uint64_t> SingleLevelStore::TouchObjectLocked(ObjectId id) {
 }
 
 Status SingleLevelStore::Recover(Kernel* kernel) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   try {
     return RecoverLocked(kernel);
   } catch (const std::bad_alloc&) {

@@ -51,10 +51,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/sync.h"
+#include "src/core/thread_annotations.h"
 #include "src/kernel/kernel.h"
 #include "src/store/bptree.h"
 #include "src/store/disk_model.h"
@@ -113,34 +114,83 @@ class SingleLevelStore : public PersistTarget {
   // Forces the next commit to be a full base snapshot (tests/benches: e.g.
   // making the Bε-tree engine apply staged deletes to the on-disk tree).
   void DemandBase() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     need_base_ = true;
   }
 
-  // Introspection for tests/benches.
-  uint64_t generation() const { return generation_; }
-  uint64_t epoch() const { return epoch_; }
-  uint64_t log_records() const { return log_records_total_; }
-  uint64_t log_applies() const { return log_applies_; }
-  uint64_t heap_free_bytes() const { return alloc_.free_bytes(); }
-  ObjectId root_object() const { return root_; }
+  // Introspection for tests/benches. Locked: a bench thread may poll these
+  // while syscall threads drive commits (they used to read the fields bare —
+  // unsynchronized reads the annotation pass surfaced and fixed).
+  uint64_t generation() const {
+    MutexLock lock(&mu_);
+    return generation_;
+  }
+  uint64_t epoch() const {
+    MutexLock lock(&mu_);
+    return epoch_;
+  }
+  uint64_t log_records() const {
+    MutexLock lock(&mu_);
+    return log_records_total_;
+  }
+  uint64_t log_applies() const {
+    MutexLock lock(&mu_);
+    return log_applies_;
+  }
+  uint64_t heap_free_bytes() const {
+    MutexLock lock(&mu_);
+    return alloc_.free_bytes();
+  }
+  ObjectId root_object() const {
+    MutexLock lock(&mu_);
+    return root_;
+  }
   // Section chain currently committed: 1 after a base, +1 per increment.
-  size_t chain_length() const { return chain_.size(); }
-  size_t label_table_size() const { return label_table_.size(); }
+  size_t chain_length() const {
+    MutexLock lock(&mu_);
+    return chain_.size();
+  }
+  size_t label_table_size() const {
+    MutexLock lock(&mu_);
+    return label_table_.size();
+  }
   // Times the chain hit superblock capacity and the oldest increments were
   // merged into one (satellite of the Bε-tree PR; see FoldChain).
-  uint64_t chain_folds() const { return chain_folds_; }
-  EngineKind engine_kind() const { return engine_->kind(); }
-  const char* engine_name() const { return engine_->name(); }
+  uint64_t chain_folds() const {
+    MutexLock lock(&mu_);
+    return chain_folds_;
+  }
+  EngineKind engine_kind() const {
+    MutexLock lock(&mu_);
+    return engine_->kind();
+  }
+  const char* engine_name() const {
+    MutexLock lock(&mu_);
+    return engine_->name();
+  }
   // The engine itself (tests: e.g. downcasting to BetreeEngine for tree
-  // introspection). Owned by the store; may be replaced by Recover.
-  StoreEngine* engine() { return engine_.get(); }
+  // introspection). Owned by the store; may be replaced by Recover — callers
+  // use this single-threaded, between operations, which is why handing the
+  // raw pointer out of the lock scope is tolerable here.
+  StoreEngine* engine() {
+    MutexLock lock(&mu_);
+    return engine_.get();
+  }
   // Shape of the most recent commit point (checkpoint, log apply, or large
   // sync): was it a base, how many object images did it write, how big was
   // its section. These are what the O(dirty)-not-O(live) tests assert.
-  bool last_commit_was_base() const { return last_commit_base_; }
-  uint64_t last_commit_objects() const { return last_commit_objects_; }
-  uint64_t last_section_bytes() const { return last_section_bytes_; }
+  bool last_commit_was_base() const {
+    MutexLock lock(&mu_);
+    return last_commit_base_;
+  }
+  uint64_t last_commit_objects() const {
+    MutexLock lock(&mu_);
+    return last_commit_objects_;
+  }
+  uint64_t last_section_bytes() const {
+    MutexLock lock(&mu_);
+    return last_section_bytes_;
+  }
 
  private:
   static constexpr uint64_t kMagic = 0x48695374'61724f53ULL;  // "HiStarOS"
@@ -169,74 +219,77 @@ class SingleLevelStore : public PersistTarget {
   // (the StoreAlloc fault hook and real allocation failure alike) into
   // Status::kNoMem — so an allocation failure anywhere on the store path
   // surfaces as a failed, retryable operation instead of an abort.
-  Status FormatLocked();
-  Status CheckpointLocked(const CheckpointBatch& batch);
-  Status SyncOneLocked(ObjectId id, const std::vector<uint8_t>& bytes, uint64_t meta_len);
-  Status SyncPagesLocked(ObjectId id, uint64_t offset, const std::vector<uint8_t>& pages);
-  Result<uint64_t> TouchObjectLocked(ObjectId id);
-  Status RecoverLocked(Kernel* kernel);
-  Status WriteSuperblock();
-  Status ReadSuperblocks(Superblock* out);
+  Status FormatLocked() REQUIRES(mu_);
+  Status CheckpointLocked(const CheckpointBatch& batch) REQUIRES(mu_);
+  Status SyncOneLocked(ObjectId id, const std::vector<uint8_t>& bytes,
+                       uint64_t meta_len) REQUIRES(mu_);
+  Status SyncPagesLocked(ObjectId id, uint64_t offset,
+                         const std::vector<uint8_t>& pages) REQUIRES(mu_);
+  Result<uint64_t> TouchObjectLocked(ObjectId id) REQUIRES(mu_);
+  Status RecoverLocked(Kernel* kernel) REQUIRES(mu_);
+  Status WriteSuperblock() REQUIRES(mu_);
+  Status ReadSuperblocks(Superblock* out) REQUIRES(mu_);
   // The single commit point: writes one checkpoint section (base if the
   // chain is empty, a base was demanded, or the engine wants one; else an
   // increment whose body the engine emits), flushes, flips the superblock,
   // then releases superseded extents. Advances epoch_.
-  Status CommitSection(const std::vector<LabelTableRecord>* label_delta);
+  Status CommitSection(const std::vector<LabelTableRecord>* label_delta)
+      REQUIRES(mu_);
   // Chain at superblock capacity but no base due: merge the oldest half of
   // the increments into ONE replay-equivalent increment section, so a
   // long-running commit stream never forces an O(live) base just because
   // the superblock ran out of chain slots.
-  Status FoldChain();
+  Status FoldChain() REQUIRES(mu_);
   // Folds the outstanding log records into object home locations and
   // commits them as an increment.
-  Status ApplyLog();
+  Status ApplyLog() REQUIRES(mu_);
 
   uint64_t log_start() const { return 2 * 4096; }
   uint64_t heap_start() const { return log_start() + tuning_.log_region_bytes; }
 
   DiskModel* disk_;
   StoreTuning tuning_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
 
-  ExtentAllocator alloc_;
+  ExtentAllocator alloc_ GUARDED_BY(mu_);
   // Object placement + section bodies (engine.h). Recovery may replace this
   // with the engine the disk was actually written with.
-  std::unique_ptr<StoreEngine> engine_;
-  ObjectId root_ = kInvalidObject;
-  uint64_t generation_ = 0;
-  bool which_sb_ = false;  // slot to write next
+  std::unique_ptr<StoreEngine> engine_ GUARDED_BY(mu_);
+  ObjectId root_ GUARDED_BY(mu_) = kInvalidObject;
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool which_sb_ GUARDED_BY(mu_) = false;  // slot to write next
 
   // Checkpoint-chain state. label_table_ is the store's accumulated copy of
   // the kernel's label table (id → serialized label), an ordered map so a
   // base section enumerates ascending ids — the order that lets recovery
   // re-intern to identical ids.
-  std::map<uint32_t, std::vector<uint8_t>> label_table_;
-  std::vector<Extent> chain_;          // committed sections: base + increments
-  uint64_t epoch_ = 0;                 // epoch of the latest committed section
-  bool need_base_ = true;              // force a full base at the next commit
+  std::map<uint32_t, std::vector<uint8_t>> label_table_ GUARDED_BY(mu_);
+  std::vector<Extent> chain_ GUARDED_BY(mu_);  // committed: base + increments
+  uint64_t epoch_ GUARDED_BY(mu_) = 0;   // epoch of latest committed section
+  bool need_base_ GUARDED_BY(mu_) = true;  // force a base at the next commit
   // Extents superseded during the in-progress commit; reusable only after
   // the superblock flip commits (shadow paging discipline).
-  std::vector<Extent> pending_frees_;
+  std::vector<Extent> pending_frees_ GUARDED_BY(mu_);
 
   // Introspection (see accessors above).
-  bool last_commit_base_ = false;
-  uint64_t last_commit_objects_ = 0;
-  uint64_t last_section_bytes_ = 0;
-  uint64_t chain_folds_ = 0;
+  bool last_commit_base_ GUARDED_BY(mu_) = false;
+  uint64_t last_commit_objects_ GUARDED_BY(mu_) = 0;
+  uint64_t last_section_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t chain_folds_ GUARDED_BY(mu_) = 0;
 
   // WAL state.
-  uint64_t log_head_ = 0;        // next append offset within the log region
-  uint64_t log_seq_ = 0;         // monotonically increasing record sequence
-  uint64_t log_applied_seq_ = 0;
-  uint32_t log_pending_ = 0;     // records since last apply
-  uint64_t log_records_total_ = 0;
-  uint64_t log_applies_ = 0;
+  uint64_t log_head_ GUARDED_BY(mu_) = 0;  // next append offset in the region
+  uint64_t log_seq_ GUARDED_BY(mu_) = 0;   // monotonic record sequence
+  uint64_t log_applied_seq_ GUARDED_BY(mu_) = 0;
+  uint32_t log_pending_ GUARDED_BY(mu_) = 0;  // records since last apply
+  uint64_t log_records_total_ GUARDED_BY(mu_) = 0;
+  uint64_t log_applies_ GUARDED_BY(mu_) = 0;
   // Images of objects sitting in the unapplied log tail (id → latest image).
   struct LogImage {
     std::vector<uint8_t> bytes;
     uint64_t meta_len = 0;
   };
-  std::unordered_map<ObjectId, LogImage> log_tail_;
+  std::unordered_map<ObjectId, LogImage> log_tail_ GUARDED_BY(mu_);
 };
 
 }  // namespace histar

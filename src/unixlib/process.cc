@@ -693,12 +693,12 @@ ProcessManager::ProcessManager(const UnixEnv& env) : env_(env) {
 }
 
 void ProcessManager::RegisterProgram(const std::string& name, ProgramFn fn) {
-  std::lock_guard<std::mutex> lock(programs_mu_);
+  MutexLock lock(&programs_mu_);
   programs_[name] = std::move(fn);
 }
 
 bool ProcessManager::HasProgram(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(programs_mu_);
+  MutexLock lock(&programs_mu_);
   return programs_.count(name) > 0;
 }
 
@@ -1059,7 +1059,7 @@ Result<std::unique_ptr<ProcHandle>> ProcessManager::Spawn(ProcessContext& parent
                                                           const ProcessOpts& opts) {
   ProgramFn fn;
   {
-    std::lock_guard<std::mutex> lock(programs_mu_);
+    MutexLock lock(&programs_mu_);
     auto it = programs_.find(program);
     if (it == programs_.end()) {
       return Status::kNotFound;
@@ -1146,7 +1146,7 @@ Result<int64_t> ProcessManager::Exec(ProcessContext& ctx, const std::string& pat
   std::string program = content.substr(magic.size());
   ProgramFn fn;
   {
-    std::lock_guard<std::mutex> lock(programs_mu_);
+    MutexLock lock(&programs_mu_);
     auto it = programs_.find(program);
     if (it == programs_.end()) {
       return Status::kNotFound;

@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/sync.h"
+#include "src/core/thread_annotations.h"
 #include "src/kernel/kernel.h"
 #include "src/unixlib/fs.h"
 
@@ -283,8 +285,8 @@ class ProcessManager {
                                              bool copy_parent_image);
 
   UnixEnv env_;
-  mutable std::mutex programs_mu_;
-  std::map<std::string, ProgramFn> programs_;
+  mutable Mutex programs_mu_;
+  std::map<std::string, ProgramFn> programs_ GUARDED_BY(programs_mu_);
 };
 
 }  // namespace histar

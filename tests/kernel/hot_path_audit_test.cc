@@ -4,15 +4,21 @@
 // through the memoized LabelRegistry — one stray Label::Leq on a by-value
 // label, or one per-check ToHi() allocation, silently reintroduces the cost
 // the registry exists to remove (this happened: the seed had four such
-// bypasses, at the old kernel.cc:206/458/519/663). This test greps the
-// kernel translation units and fails on any direct label-algebra call, so a
-// regression is caught at test time rather than in a profile.
+// bypasses, at the old kernel.cc:206/458/519/663).
+//
+// The matching itself now lives in the histar-lint "registry-bypass" rule
+// (tools/histar-lint/lint.cc), which is comment/string-aware and fixture
+// tested; this test is a thin driver that runs that one rule over the
+// kernel translation units, so the test suite and the CI lint job can never
+// disagree about what counts as a bypass.
 #include <gtest/gtest.h>
 
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "tools/histar-lint/lint.h"
 
 namespace histar {
 namespace {
@@ -22,6 +28,8 @@ namespace {
 #endif
 
 // Kernel translation units whose label checks must be registry-mediated.
+// Kept in sync with kKernelLabelSources in tools/histar-lint/lint.cc — the
+// linter applies the rule to exactly this set when run over the whole tree.
 const char* kKernelSources[] = {
     "src/kernel/kernel.cc",
     "src/kernel/kernel_seg.cc",
@@ -32,28 +40,6 @@ const char* kKernelSources[] = {
     "src/kernel/ring.cc",
 };
 
-// Label-algebra calls that allocate or walk entry lists per invocation. The
-// registry exposes HiOf/StarOf/Leq/Join equivalents that are precomputed or
-// memoized; kernel code must use those.
-const char* kForbidden[] = {".ToHi(", ".ToStar(", "RaiseForRead("};
-
-// Methods that are legal only as registry calls (registry_.Leq et al. are
-// the memoized path; label.Leq(...) is the bypass).
-const char* kRegistryOnly[] = {".Leq(", ".Join(", ".Meet("};
-
-std::string StripLineComment(const std::string& line) {
-  size_t pos = line.find("//");
-  return pos == std::string::npos ? line : line.substr(0, pos);
-}
-
-bool EndsWithRegistryReceiver(const std::string& code, size_t dot_pos) {
-  const std::string receiver = "registry_";
-  if (dot_pos < receiver.size()) {
-    return false;
-  }
-  return code.compare(dot_pos - receiver.size(), receiver.size(), receiver) == 0;
-}
-
 TEST(HotPathAudit, KernelLabelChecksGoThroughRegistry) {
   std::string root = HISTAR_SOURCE_DIR;
   if (root.empty()) {
@@ -62,31 +48,17 @@ TEST(HotPathAudit, KernelLabelChecksGoThroughRegistry) {
   std::vector<std::string> violations;
   bool any_file = false;
   for (const char* rel : kKernelSources) {
-    std::ifstream in(root + "/" + rel);
+    std::ifstream in(root + "/" + rel, std::ios::binary);
     if (!in.is_open()) {
       continue;  // source tree not present (e.g. installed-test run)
     }
     any_file = true;
-    std::string line;
-    int lineno = 0;
-    while (std::getline(in, line)) {
-      ++lineno;
-      std::string code = StripLineComment(line);
-      for (const char* pat : kForbidden) {
-        if (code.find(pat) != std::string::npos) {
-          violations.push_back(std::string(rel) + ":" + std::to_string(lineno) + ": " + pat);
-        }
-      }
-      for (const char* pat : kRegistryOnly) {
-        size_t pos = 0;
-        while ((pos = code.find(pat, pos)) != std::string::npos) {
-          if (!EndsWithRegistryReceiver(code, pos)) {
-            violations.push_back(std::string(rel) + ":" + std::to_string(lineno) +
-                                 ": non-registry " + pat);
-          }
-          pos += 1;
-        }
-      }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    for (const lint::Finding& f :
+         lint::LintSource(rel, ss.str(), {"registry-bypass"})) {
+      violations.push_back(f.file + ":" + std::to_string(f.line) + ": " +
+                           f.message);
     }
   }
   if (!any_file) {

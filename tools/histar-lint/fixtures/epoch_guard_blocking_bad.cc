@@ -1,0 +1,21 @@
+// Fixture: blocking inside an epoch-pinned scope — must trip
+// epoch-guard-blocking.
+#include "src/core/epoch.h"
+#include "src/core/sync.h"
+
+namespace histar {
+
+void Bad(Mutex& mu, int* guarded) {
+  EpochGuard guard;
+  // BAD: acquiring a mutex while pinned stalls epoch advancement.
+  MutexLock lock(&mu);
+  ++*guarded;
+}
+
+void AlsoBad(Mutex& mu) {
+  EpochGuard guard;
+  mu.Lock();  // BAD: same hazard, manual form
+  mu.Unlock();
+}
+
+}  // namespace histar

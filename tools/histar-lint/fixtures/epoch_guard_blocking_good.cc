@@ -1,0 +1,20 @@
+// Fixture: lock-free work under the guard, locking after it closes —
+// epoch-guard-blocking must stay quiet.
+#include "src/core/epoch.h"
+#include "src/core/sync.h"
+
+namespace histar {
+
+int Good(Mutex& mu, int* guarded) {
+  int v = 0;
+  {
+    EpochGuard guard;
+    v = 42;  // lock-free probe under the pin
+  }
+  // Legal: the guard's scope has closed before the miss path locks.
+  MutexLock lock(&mu);
+  *guarded = v;
+  return v;
+}
+
+}  // namespace histar

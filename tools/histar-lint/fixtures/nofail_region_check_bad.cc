@@ -1,0 +1,16 @@
+// Fixture: faulting inside a cleanup scope — must trip nofail-region-check.
+#include <new>
+
+#include "src/store/store_alloc.h"
+
+namespace histar {
+
+void Bad(bool broken) {
+  StoreAllocNoFail cleanup;
+  StoreAlloc::Check();  // BAD: suppressed here; the boundary is misplaced
+  if (broken) {
+    throw std::bad_alloc();  // BAD: a second fault mid-recovery
+  }
+}
+
+}  // namespace histar

@@ -1,0 +1,20 @@
+// Fixture: check before the no-fail scope opens, throw after it closes —
+// nofail-region-check must stay quiet.
+#include <new>
+
+#include "src/store/store_alloc.h"
+
+namespace histar {
+
+void Good(bool broken) {
+  StoreAlloc::Check();  // legal: the injection point, before any mutation
+  {
+    StoreAllocNoFail cleanup;
+    // cleanup work, no faulting
+  }
+  if (broken) {
+    throw std::bad_alloc();  // legal: the scope has closed
+  }
+}
+
+}  // namespace histar

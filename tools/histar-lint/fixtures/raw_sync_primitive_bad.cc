@@ -1,0 +1,16 @@
+// Fixture: raw standard-library synchronization — must trip
+// raw-sync-primitive.
+#include <condition_variable>
+#include <mutex>
+
+namespace histar {
+
+std::mutex g_mu;                  // BAD: invisible to -Wthread-safety
+std::condition_variable g_cv;     // BAD
+
+int Bad(int v) {
+  std::lock_guard<std::mutex> lock(g_mu);  // BAD (twice: guard and type)
+  return v + 1;
+}
+
+}  // namespace histar

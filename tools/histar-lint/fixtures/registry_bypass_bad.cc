@@ -1,0 +1,15 @@
+// Fixture: direct label algebra in a kernel TU — must trip registry-bypass.
+#include "src/core/label.h"
+
+namespace histar {
+
+bool Bad(const Label& a, const Label& b) {
+  Label hi = a.ToHi();      // BAD: per-check allocation of the shifted form
+  return hi.Leq(b);         // BAD: unmemoized comparison
+}
+
+Label AlsoBad(const Label& a, const Label& b) {
+  return a.Join(b);         // BAD: unmemoized join
+}
+
+}  // namespace histar

@@ -1,0 +1,15 @@
+// Fixture: registry-mediated label checks — registry-bypass must stay quiet.
+#include "src/core/label_registry.h"
+
+namespace histar {
+
+bool Good(LabelRegistry& registry_, LabelId a, LabelId b) {
+  // Memoized path: ids in, ids out, no allocation. .ToHi( in this comment
+  // must not fire either.
+  if (!registry_.Leq(a, registry_.HiOf(b))) {
+    return false;
+  }
+  return registry_.Join(a, b) != kInvalidLabelId;
+}
+
+}  // namespace histar

@@ -1,0 +1,19 @@
+// Fixture: nested table-capability acquisition — must trip second-table-lock.
+#include "src/kernel/object_table.h"
+
+namespace histar {
+
+void Bad(ObjectTable& table, ObjectId a, ObjectId b) {
+  TableLock outer(table, TableLock::Mode::kShared, {a});
+  {
+    // BAD: a second acquisition while `outer` is live — deadlock-order bug.
+    TableLock inner(table, TableLock::Mode::kExclusive, {b});
+  }
+}
+
+void AlsoBad(ObjectTable& table, ObjectId a) {
+  TableLock lk(table, TableLock::Mode::kShared, {a});
+  PublishedReadTableCap cap_scope(table);  // BAD: overlaps the scoped lock
+}
+
+}  // namespace histar

@@ -1,0 +1,20 @@
+// Fixture: sequential (non-overlapping) acquisitions — second-table-lock
+// must stay quiet. A "TableLock inner(...)" in a comment is also fine.
+#include "src/kernel/object_table.h"
+
+namespace histar {
+
+void Good(ObjectTable& table, ObjectId a, ObjectId b) {
+  {
+    TableLock lk(table, TableLock::Mode::kShared, {a});
+  }
+  {
+    // Retry under a wider lock: legal, the first scope has closed.
+    TableLock lk(table, TableLock::Mode::kExclusive, TableLock::AllShards{});
+  }
+  const char* s = "TableLock fake(table, x); TableLock fake2(table, y);";
+  (void)s;
+  (void)b;
+}
+
+}  // namespace histar

@@ -1,0 +1,13 @@
+// Fixture: reaching past the TableLock abstraction — must trip
+// shard-mutex-outside-tablelock.
+#include "src/kernel/object_table.h"
+
+namespace histar {
+
+void Bad(ObjectTable& table) {
+  // BAD: manual capability acquisition skips the ascending-order discipline.
+  table.cap().Acquire();
+  table.cap().Release();
+}
+
+}  // namespace histar

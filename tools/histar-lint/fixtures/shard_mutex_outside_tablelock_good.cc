@@ -1,0 +1,17 @@
+// Fixture: the scoped forms — shard-mutex-outside-tablelock must stay
+// quiet. Identifiers that merely end in "shards_" (another class's member)
+// must not fire either.
+#include "src/kernel/object_table.h"
+
+namespace histar {
+
+struct OtherShards {
+  int intern_shards_[4] = {};
+};
+
+void Good(ObjectTable& table, ObjectId a, OtherShards& other) {
+  TableLock lk(table, TableLock::Mode::kShared, {a});
+  ++other.intern_shards_[0];  // not the object table's shard array
+}
+
+}  // namespace histar

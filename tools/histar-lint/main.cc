@@ -1,0 +1,76 @@
+// histar-lint CLI: lints the given source files against the repo's
+// discipline rules (lint.h). Exit code 1 when any finding is reported.
+//
+//   histar-lint [--rule=NAME ...] [--list-rules] file...
+//
+// Paths are matched as given — invoke from the repo root (or pass
+// repo-relative paths) so per-rule applicability sees "src/..." prefixes.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/histar-lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> rules;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& name : histar::lint::AllRuleNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (arg.rfind("--rule=", 0) == 0) {
+      rules.push_back(arg.substr(7));
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: histar-lint [--rule=NAME ...] [--list-rules] file...\n");
+      return 0;
+    }
+    files.push_back(arg);
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "histar-lint: no input files\n");
+    return 2;
+  }
+  for (const std::string& r : rules) {
+    std::vector<std::string> known = histar::lint::AllRuleNames();
+    bool ok = false;
+    for (const std::string& k : known) {
+      ok |= k == r;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "histar-lint: unknown rule '%s' (see --list-rules)\n",
+                   r.c_str());
+      return 2;
+    }
+  }
+
+  int total = 0;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "histar-lint: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<histar::lint::Finding> findings =
+        histar::lint::LintSource(path, buf.str(), rules);
+    for (const histar::lint::Finding& f : findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+      ++total;
+    }
+  }
+  if (total > 0) {
+    std::fprintf(stderr, "histar-lint: %d finding%s\n", total, total == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}
