@@ -107,7 +107,11 @@ void ParseName(const std::string& name, Row* r) {
   }
 }
 
-bool ScanFile(const std::string& path, std::vector<Row>* rows) {
+// `tag`, when non-empty, suffixes every row's full_name with "@<tag>" so one
+// trajectory can carry the same benchmark from two build variants side by
+// side (PR 10 folds a -DHISTAR_TRACE=0 tree in as "@notrace").
+bool ScanFile(const std::string& path, const std::string& tag,
+              std::vector<Row>* rows) {
   std::ifstream in(path);
   if (!in) {
     fprintf(stderr, "emit_trajectory: cannot open %s\n", path.c_str());
@@ -124,6 +128,9 @@ bool ScanFile(const std::string& path, std::vector<Row>* rows) {
   auto flush = [&]() {
     if (have_name && is_iteration && have_time) {
       cur.ns_per_op = ToNs(real_time, unit.empty() ? "ns" : unit);
+      if (!tag.empty()) {
+        cur.full_name += "@" + tag;
+      }
       rows->push_back(cur);
     }
     have_name = false;
@@ -195,7 +202,10 @@ int main(int argc, char** argv) {
   std::string sha = "unknown";
   int nproc = 0;
   int pr = 6;
-  std::vector<std::string> inputs;
+  // --tag is positional: it applies to the input files after it, so one
+  // invocation can fold untagged rows and "@notrace" rows into one file.
+  std::vector<std::pair<std::string, std::string>> inputs;  // (path, tag)
+  std::string tag;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--out" && i + 1 < argc) {
@@ -206,20 +216,22 @@ int main(int argc, char** argv) {
       nproc = atoi(argv[++i]);
     } else if (a == "--pr" && i + 1 < argc) {
       pr = atoi(argv[++i]);
+    } else if (a == "--tag" && i + 1 < argc) {
+      tag = argv[++i];
     } else {
-      inputs.push_back(a);
+      inputs.emplace_back(a, tag);
     }
   }
   if (inputs.empty()) {
     fprintf(stderr,
             "usage: emit_trajectory [--out F] [--pr N] [--sha S] [--nproc N] "
-            "bench1.json [bench2.json ...]\n");
+            "bench1.json [--tag T] [bench2.json ...]\n");
     return 2;
   }
 
   std::vector<Row> rows;
-  for (const std::string& in : inputs) {
-    if (!ScanFile(in, &rows)) {
+  for (const auto& in : inputs) {
+    if (!ScanFile(in.first, in.second, &rows)) {
       return 1;
     }
   }

@@ -165,6 +165,56 @@ void BM_HiStarBatchedSegOps(::benchmark::State& state) {
 }
 BENCHMARK(BM_HiStarBatchedSegOps)->Arg(1)->Arg(4)->Arg(16)->Unit(::benchmark::kMicrosecond);
 
+// Warm lock-free batch reads (PR 6 fast path): sixteen read-only descriptors
+// — type, quota, len, container-has — on already-resolved hot objects, the
+// group the gate dispatches with zero TableLocks. This is the
+// tracing-overhead canary for PR 10: each descriptor records one flight-
+// recorder event plus a histogram bump, and on this path that bookkeeping is
+// the only kernel work besides the reads themselves, so any recorder
+// regression shows here first. scripts/bench_json.sh runs this row from both
+// the normal tree and a -DHISTAR_TRACE=0 tree into BENCH_pr10.json and
+// scripts/check_bench_pr10.sh holds the delta under 5%.
+void BM_HiStarLockFreeBatchGet(::benchmark::State& state) {
+  constexpr uint64_t kOpsPerIter = 16;
+  World w = BootWorld(/*with_store=*/false);
+  Kernel* k = w.kernel.get();
+
+  CreateSpec spec;
+  spec.container = k->root_container();
+  spec.label = Label();
+  spec.descrip = "lfbuf";
+  spec.quota = kObjectOverheadBytes + 4096 + kPageSize;
+  Result<ObjectId> seg = k->sys_segment_create(w.init(), spec, 4096);
+  if (!seg.ok()) {
+    state.SkipWithError("segment setup failed");
+    return;
+  }
+  ContainerEntry ce{k->root_container(), seg.value()};
+
+  std::vector<SyscallReq> reqs(kOpsPerIter);
+  std::vector<SyscallRes> res(kOpsPerIter);
+  for (uint64_t i = 0; i < kOpsPerIter; ++i) {
+    switch (i % 4) {
+      case 0: reqs[i] = ObjGetTypeReq{ce}; break;
+      case 1: reqs[i] = ObjGetQuotaReq{ce}; break;
+      case 2: reqs[i] = SegmentGetLenReq{ce}; break;
+      default: reqs[i] = ContainerHasReq{k->root_container(), seg.value()}; break;
+    }
+  }
+  // Warm the resolve/label memos so steady-state cost is what's measured.
+  k->SubmitBatch(w.init(), std::span<const SyscallReq>(reqs),
+                 std::span<SyscallRes>(res));
+
+  for (auto _ : state) {
+    k->SubmitBatch(w.init(), std::span<const SyscallReq>(reqs),
+                   std::span<SyscallRes>(res));
+    ::benchmark::DoNotOptimize(res.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kOpsPerIter);
+  CurrentThread::Set(kInvalidObject);
+}
+BENCHMARK(BM_HiStarLockFreeBatchGet)->Unit(::benchmark::kMicrosecond);
+
 // The same 3-reads-1-write mix through the PR 5 async ring: one submission
 // of `batch` ops, completion awaited and reaped. Single-threaded this buys
 // nothing over the sync batch — it ADDS the submit/wait/reap round trips

@@ -6,15 +6,23 @@
 # CPUs):
 #   * BENCH_pr6.json — the PR 6 scaling rows (labels, objtable, IPC rings);
 #   * BENCH_pr8.json — the PR 8 engine rows (blob vs Bε-tree dirty-1000
-#     checkpoint and restore), checked by scripts/check_bench_pr8.sh.
+#     checkpoint and restore), checked by scripts/check_bench_pr8.sh;
+#   * BENCH_pr10.json — the PR 10 tracing-overhead rows: the warm lock-free
+#     batch and the dirty-1000 checkpoint, once from the normal build and
+#     once from a -DHISTAR_TRACE=0 build (rows tagged "@notrace"), checked
+#     by scripts/check_bench_pr10.sh. Skipped with a note if the notrace
+#     build dir is absent.
 #
-# Usage: scripts/bench_json.sh [build-dir] [pr6-out-file] [pr8-out-file]
+# Usage: scripts/bench_json.sh [build-dir] [pr6-out-file] [pr8-out-file] \
+#                              [pr10-out-file] [notrace-build-dir]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 OUT="${2:-$ROOT/BENCH_pr6.json}"
 OUT8="${3:-$ROOT/BENCH_pr8.json}"
+OUT10="${4:-$ROOT/BENCH_pr10.json}"
+NOTRACE="${5:-$ROOT/build-notrace}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
@@ -60,3 +68,33 @@ NPROC="$(nproc 2>/dev/null || echo 0)"
 "$BUILD/bench_emit_trajectory" \
   --out "$OUT8" --pr 8 --sha "$SHA" --nproc "$NPROC" \
   "$TMP/engine.json"
+
+# PR 10 tracing-overhead rows: the same two shapes from two trees. The warm
+# lock-free batch is the recorder's worst case (the event + histogram write
+# is the only kernel work besides the reads); the dirty-1000 checkpoint
+# covers the store-op recording path. The notrace tree is configured with
+# -DHISTAR_TRACE=0 so every Record* call compiles out.
+if [ -x "$NOTRACE/bench_fig12_ipc" ] && [ -x "$NOTRACE/bench_fig12_lfs_small" ]; then
+  "$BUILD/bench_fig12_ipc" \
+    --benchmark_filter='BM_HiStarLockFreeBatchGet' \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_format=json > "$TMP/lockfree.json"
+  "$NOTRACE/bench_fig12_ipc" \
+    --benchmark_filter='BM_HiStarLockFreeBatchGet' \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_format=json > "$TMP/lockfree_notrace.json"
+  "$BUILD/bench_fig12_lfs_small" \
+    --benchmark_filter='BM_EngineCheckpointDirty' \
+    --benchmark_format=json > "$TMP/ckpt.json"
+  "$NOTRACE/bench_fig12_lfs_small" \
+    --benchmark_filter='BM_EngineCheckpointDirty' \
+    --benchmark_format=json > "$TMP/ckpt_notrace.json"
+
+  "$BUILD/bench_emit_trajectory" \
+    --out "$OUT10" --pr 10 --sha "$SHA" --nproc "$NPROC" \
+    "$TMP/lockfree.json" "$TMP/ckpt.json" \
+    --tag notrace "$TMP/lockfree_notrace.json" "$TMP/ckpt_notrace.json"
+else
+  echo "bench_json.sh: $NOTRACE missing bench binaries — skipping $OUT10" >&2
+  echo "  (configure it with: cmake -B build-notrace -S . -DCMAKE_CXX_FLAGS=-DHISTAR_TRACE=0)" >&2
+fi

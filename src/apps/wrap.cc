@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "src/core/trace.h"
+
 namespace histar {
 
 Result<WrapResult> WrapScan(ProcessContext& ctx, const std::vector<std::string>& paths,
@@ -78,9 +80,9 @@ Result<WrapResult> WrapScan(ProcessContext& ctx, const std::vector<std::string>&
   // information that escapes the sandbox is what we read here, through
   // wrap's own v ownership.
   std::string text;
-  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(opts.timeout_ms);
+  auto deadline = trace::SteadyNow() + std::chrono::milliseconds(opts.timeout_ms);
   char buf[1024];
-  while (std::chrono::steady_clock::now() < deadline) {
+  while (trace::SteadyNow() < deadline) {
     Result<uint64_t> n = pipe_fds.ReadTimeout(self, pipe.value().first, buf, sizeof(buf), 50);
     if (n.ok() && n.value() > 0) {
       text.append(buf, n.value());

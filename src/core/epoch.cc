@@ -1,5 +1,7 @@
 #include "src/core/epoch.h"
 
+#include "src/core/trace.h"
+
 namespace histar {
 
 // Per-thread registration wrapper: first use registers a record, thread
@@ -110,11 +112,14 @@ void EpochDomain::RetireRaw(void* p, void (*deleter)(void*)) {
     return;
   }
   uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  size_t limbo_after;
   {
     MutexLock lk(&gc_mu_);
     limbo_.push_back(Garbage{p, deleter, e});
-    limbo_size_.store(limbo_.size(), std::memory_order_relaxed);
+    limbo_after = limbo_.size();
+    limbo_size_.store(limbo_after, std::memory_order_relaxed);
   }
+  trace::RecordEvent(trace::EventKind::kEpochRetire, limbo_after, e, 0);
   if (limbo_size_.load(std::memory_order_relaxed) >= kCollectThreshold) {
     AdvanceAndCollect();
   }
@@ -161,6 +166,8 @@ size_t EpochDomain::AdvanceAndCollect() {
   for (Garbage& g : ready) {
     g.deleter(g.ptr);
   }
+  trace::RecordEvent(trace::EventKind::kEpochAdvance, ready.size(),
+                     global_epoch_.load(std::memory_order_relaxed), 0);
   return ready.size();
 }
 

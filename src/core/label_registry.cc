@@ -111,6 +111,16 @@ const LabelRegistry::Entry& LabelRegistry::EntryOf(LabelId id) const {
   return chunk[slot % kChunkSize];
 }
 
+bool LabelRegistry::Known(LabelId id) const {
+  if (id == kInvalidLabelId) {
+    return false;
+  }
+  const InternShard& shard = *intern_shards_[ShardOf(id)];
+  // SlotOf underflows to a huge value when the id's slot bits are zero
+  // (never handed out), so the single bound check covers malformed ids too.
+  return SlotOf(id) < shard.count.load(std::memory_order_acquire);
+}
+
 const Label& LabelRegistry::Get(LabelId id) const { return EntryOf(id).label; }
 
 const Label& LabelRegistry::GetHi(LabelId id) const { return EntryOf(id).hi; }

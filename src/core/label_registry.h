@@ -90,6 +90,14 @@ class LabelRegistry {
   // comparison when disabled (the ablation bench toggles this).
   bool Leq(LabelId id1, LabelId id2);
 
+  // True iff `id` was handed out by THIS registry instance. Get/Leq on an
+  // unknown id abort (they can only mean memory corruption on a kernel
+  // path); consumers that may legitimately hold foreign ids — the flight
+  // recorder survives kernel teardown, so sys_trace_read can encounter
+  // events stamped under a previous registry — gate on Known first and
+  // treat unknown as "does not flow". Lock-free.
+  bool Known(LabelId id) const;
+
   // Non-interning comparisons for validating caller-supplied labels at the
   // syscall boundary. These create no registry entry and no memo slot, so a
   // failed syscall allocates nothing — otherwise rejected labels would be a

@@ -1,0 +1,380 @@
+#include "src/core/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "src/core/sync.h"
+
+namespace histar {
+namespace trace {
+namespace {
+
+// Word 4/5 packing helpers (layout documented in trace.h).
+inline uint64_t PackW4(uint32_t dur_ns, uint32_t tlabel) {
+  return (static_cast<uint64_t>(dur_ns) << 32) | tlabel;
+}
+inline uint64_t PackW5(uint32_t olabel, uint16_t aux, int8_t code, uint8_t kind) {
+  return (static_cast<uint64_t>(olabel) << 32) |
+         (static_cast<uint64_t>(aux) << 16) |
+         (static_cast<uint64_t>(static_cast<uint8_t>(code)) << 8) | kind;
+}
+
+inline void UnpackEvent(const uint64_t w[kEventWords], Event* e) {
+  e->ts_ns = w[0];
+  e->a = w[1];
+  e->b = w[2];
+  e->c = w[3];
+  e->dur_ns = static_cast<uint32_t>(w[4] >> 32);
+  e->tlabel = static_cast<uint32_t>(w[4]);
+  e->olabel = static_cast<uint32_t>(w[5] >> 32);
+  e->aux = static_cast<uint16_t>(w[5] >> 16);
+  e->code = static_cast<int8_t>(static_cast<uint8_t>(w[5] >> 8));
+  e->kind = static_cast<uint8_t>(w[5]);
+}
+
+// Fatal-dump path: seeded from HISTAR_TRACE_DUMP once, then overridable.
+Mutex g_dump_mu;
+std::string* g_dump_path = nullptr;  // guarded by g_dump_mu; leaked
+
+std::string FatalDumpPath() {
+  MutexLock lk(&g_dump_mu);
+  if (g_dump_path == nullptr) {
+    const char* env = std::getenv("HISTAR_TRACE_DUMP");
+    g_dump_path = new std::string(env != nullptr ? env : "");
+  }
+  return *g_dump_path;
+}
+
+}  // namespace
+
+const char* EventKindName(uint8_t kind) {
+  switch (static_cast<EventKind>(kind)) {
+    case EventKind::kNone:
+      return "none";
+    case EventKind::kSyscall:
+      return "syscall";
+    case EventKind::kTableLock:
+      return "table_lock";
+    case EventKind::kRingChain:
+      return "ring_chain";
+    case EventKind::kEpochAdvance:
+      return "epoch_advance";
+    case EventKind::kEpochRetire:
+      return "epoch_retire";
+    case EventKind::kStoreCommit:
+      return "store_commit";
+    case EventKind::kFault:
+      return "fault";
+    case EventKind::kFatal:
+      return "fatal";
+  }
+  return "unknown";
+}
+
+const char* StoreOpName(uint8_t op) {
+  switch (static_cast<StoreOp>(op)) {
+    case StoreOp::kCheckpoint:
+      return "checkpoint";
+    case StoreOp::kSyncOne:
+      return "sync_one";
+    case StoreOp::kSyncPages:
+      return "sync_pages";
+    case StoreOp::kRestore:
+      return "restore";
+  }
+  return "unknown";
+}
+
+Recorder& Recorder::Global() {
+  // Leaked: events are recorded from teardown paths (static destructors of
+  // test worlds, crash handlers) that may outlive any non-leaked object.
+  static Recorder* g = new Recorder();
+  return *g;
+}
+
+SlotRing& Recorder::ForCurrentThread() {
+  size_t i = CurrentSlot();
+  SlotRing* r = rings_[i].load(std::memory_order_acquire);
+  if (r == nullptr) {
+    // First event from this slot: allocate and publish. The CAS loser
+    // frees its copy; value-initialized atomics mean the ring is zeroed.
+    SlotRing* fresh = new SlotRing();
+    if (rings_[i].compare_exchange_strong(r, fresh, std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      r = fresh;
+    } else {
+      delete fresh;
+    }
+  }
+  return *r;
+}
+
+Taint& Scratch() {
+  thread_local Taint t;
+  return t;
+}
+
+#if HISTAR_TRACE
+
+namespace {
+
+// Appends one packed event to the caller's slot ring. Single writer per
+// slot: only the slot's registered thread stores here, so relaxed stores
+// are race-free against each other; racing readers are handled by the
+// head release/acquire protocol plus Snapshot's overwrite re-check.
+inline void Append(SlotRing& ring, uint64_t ts_ns, uint64_t a, uint64_t b,
+                   uint64_t c, uint64_t w4, uint64_t w5) {
+  uint64_t seq = ring.head.load(std::memory_order_relaxed);
+  std::atomic<uint64_t>* w = &ring.words[(seq & (kRingEvents - 1)) * kEventWords];
+  w[0].store(ts_ns, std::memory_order_relaxed);
+  w[1].store(a, std::memory_order_relaxed);
+  w[2].store(b, std::memory_order_relaxed);
+  w[3].store(c, std::memory_order_relaxed);
+  w[4].store(w4, std::memory_order_relaxed);
+  w[5].store(w5, std::memory_order_relaxed);
+  ring.head.store(seq + 1, std::memory_order_release);
+}
+
+}  // namespace
+
+void RecordSyscall(uint16_t syscall_kind, int8_t status_code, uint64_t self_or_b,
+                   uint64_t ts_ns) {
+  SlotRing& ring = Recorder::Global().ForCurrentThread();
+  const Taint& t = Scratch();
+  Append(ring, ts_ns, t.oid, self_or_b, 0, PackW4(kDurPending, t.tlabel),
+         PackW5(t.olabel, syscall_kind, status_code,
+                static_cast<uint8_t>(EventKind::kSyscall)));
+}
+
+void FinishSyscallGroup(size_t count, uint64_t t0_ns, uint64_t t1_ns) {
+  if (count == 0) {
+    return;
+  }
+  SlotRing& ring = Recorder::Global().ForCurrentThread();
+  uint64_t span = t1_ns >= t0_ns ? t1_ns - t0_ns : 0;
+  uint64_t per = span / count;
+  uint32_t dur = per > 0xfffffffeull ? 0xfffffffeu : static_cast<uint32_t>(per);
+
+  // Patch the trailing `count` pending kSyscall events. Bounded backward
+  // scan: non-syscall events (table-lock markers etc.) recorded inside the
+  // group are skipped, an already-patched syscall event marks the previous
+  // group's end. Same-thread read-modify of our own relaxed words is sound.
+  uint64_t head = ring.head.load(std::memory_order_relaxed);
+  uint64_t lo = head > kRingEvents ? head - kRingEvents : 0;
+  size_t patched = 0;
+  size_t scanned = 0;
+  const size_t scan_cap = count + 16;
+  for (uint64_t seq = head; seq > lo && patched < count && scanned < scan_cap;
+       --seq) {
+    ++scanned;
+    std::atomic<uint64_t>* w =
+        &ring.words[((seq - 1) & (kRingEvents - 1)) * kEventWords];
+    uint64_t w5 = w[5].load(std::memory_order_relaxed);
+    if (static_cast<uint8_t>(w5) != static_cast<uint8_t>(EventKind::kSyscall)) {
+      continue;
+    }
+    uint64_t w4 = w[4].load(std::memory_order_relaxed);
+    if (static_cast<uint32_t>(w4 >> 32) != kDurPending) {
+      break;  // previous, already-closed group
+    }
+    w[4].store(PackW4(dur, static_cast<uint32_t>(w4)),
+               std::memory_order_relaxed);
+    uint16_t kind = static_cast<uint16_t>(w5 >> 16);
+    size_t row = kind < kMaxSyscallHist ? kind : kMaxSyscallHist - 1;
+    std::atomic<uint64_t>& cell = ring.sys_hist[row][HistBucket(dur)];
+    cell.store(cell.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+    ++patched;
+  }
+}
+
+void RecordEvent(EventKind kind, uint64_t a, uint64_t b, uint64_t c, int8_t code,
+                 uint16_t aux, uint32_t dur_ns, uint64_t ts_ns) {
+  SlotRing& ring = Recorder::Global().ForCurrentThread();
+  const Taint& t = Scratch();
+  if (ts_ns == 0) {
+    ts_ns = NowNs();
+  }
+  Append(ring, ts_ns, a, b, c, PackW4(dur_ns, t.tlabel),
+         PackW5(t.olabel, aux, code, static_cast<uint8_t>(kind)));
+}
+
+void RecordStoreOp(StoreOp op, int8_t status_code, uint64_t dur_ns, uint64_t bytes,
+                   uint64_t write_ops, uint8_t engine_kind) {
+  SlotRing& ring = Recorder::Global().ForCurrentThread();
+  const Taint& t = Scratch();
+  uint32_t dur = dur_ns > 0xfffffffeull ? 0xfffffffeu
+                                        : static_cast<uint32_t>(dur_ns);
+  Append(ring, NowNs(), bytes, write_ops, engine_kind, PackW4(dur, t.tlabel),
+         PackW5(t.olabel, static_cast<uint16_t>(op), status_code,
+                static_cast<uint8_t>(EventKind::kStoreCommit)));
+  std::atomic<uint64_t>& cell =
+      ring.store_hist[static_cast<size_t>(op) & (kNumStoreOps - 1)]
+                     [HistBucket(dur_ns)];
+  cell.store(cell.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+}
+
+void RecordFatal(int8_t status_code, uint64_t detail) {
+  RecordEvent(EventKind::kFatal, detail, 0, 0, status_code);
+  std::string path = FatalDumpPath();
+  if (!path.empty()) {
+    DumpToFile(path);
+  }
+}
+
+#endif  // HISTAR_TRACE
+
+size_t Snapshot(std::vector<SlotEvent>* out, size_t max_per_slot) {
+  Recorder& rec = Recorder::Global();
+  size_t added = 0;
+  if (max_per_slot > kRingEvents) {
+    max_per_slot = kRingEvents;
+  }
+  for (size_t slot = 0; slot < kTraceSlots; ++slot) {
+    SlotRing* ring = rec.Slot(slot);
+    if (ring == nullptr) {
+      continue;
+    }
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    uint64_t avail = head < kRingEvents ? head : kRingEvents;
+    uint64_t take = avail < max_per_slot ? avail : max_per_slot;
+    uint64_t first = head - take;
+    for (uint64_t seq = first; seq < head; ++seq) {
+      uint64_t w[kEventWords];
+      std::atomic<uint64_t>* src =
+          &ring->words[(seq & (kRingEvents - 1)) * kEventWords];
+      for (size_t i = 0; i < kEventWords; ++i) {
+        w[i] = src[i].load(std::memory_order_relaxed);
+      }
+      // Overwrite re-check: if the writer lapped this sequence while we
+      // copied, the words may be torn across two events — drop it.
+      uint64_t head2 = ring->head.load(std::memory_order_acquire);
+      if (head2 > seq + kRingEvents) {
+        continue;
+      }
+      SlotEvent se;
+      UnpackEvent(w, &se.event);
+      if (se.event.dur_ns == kDurPending) {
+        se.event.dur_ns = 0;  // group not closed yet
+      }
+      se.slot = static_cast<uint32_t>(slot);
+      se.seq = seq;
+      out->push_back(se);
+      ++added;
+    }
+  }
+  return added;
+}
+
+void SumSyscallHist(uint16_t syscall_kind, uint64_t* out) {
+  Recorder& rec = Recorder::Global();
+  size_t row = syscall_kind < kMaxSyscallHist ? syscall_kind : kMaxSyscallHist - 1;
+  for (size_t b = 0; b < kHistBuckets; ++b) {
+    out[b] = 0;
+  }
+  for (size_t slot = 0; slot < kTraceSlots; ++slot) {
+    SlotRing* ring = rec.Slot(slot);
+    if (ring == nullptr) {
+      continue;
+    }
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+      out[b] += ring->sys_hist[row][b].load(std::memory_order_relaxed);
+    }
+  }
+}
+
+void SumStoreHist(StoreOp op, uint64_t* out) {
+  Recorder& rec = Recorder::Global();
+  size_t row = static_cast<size_t>(op) & (kNumStoreOps - 1);
+  for (size_t b = 0; b < kHistBuckets; ++b) {
+    out[b] = 0;
+  }
+  for (size_t slot = 0; slot < kTraceSlots; ++slot) {
+    SlotRing* ring = rec.Slot(slot);
+    if (ring == nullptr) {
+      continue;
+    }
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+      out[b] += ring->store_hist[row][b].load(std::memory_order_relaxed);
+    }
+  }
+}
+
+void DumpJson(std::ostream& os, size_t last_n_per_slot) {
+  std::vector<SlotEvent> events;
+  Snapshot(&events, last_n_per_slot);
+  size_t slots = 0;
+  {
+    Recorder& rec = Recorder::Global();
+    for (size_t i = 0; i < kTraceSlots; ++i) {
+      if (rec.Slot(i) != nullptr) {
+        ++slots;
+      }
+    }
+  }
+  os << "{\"schema\":\"histar-trace-dump-v1\",\"slots\":" << slots
+     << ",\"events\":" << events.size() << "}\n";
+  char buf[512];
+  for (const SlotEvent& se : events) {
+    const Event& e = se.event;
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"slot\":%u,\"seq\":%llu,\"ts_ns\":%llu,\"kind\":\"%s\","
+        "\"a\":%llu,\"b\":%llu,\"c\":%llu,\"dur_ns\":%u,"
+        "\"tlabel\":%u,\"olabel\":%u,\"code\":%d,\"aux\":%u}",
+        se.slot, static_cast<unsigned long long>(se.seq),
+        static_cast<unsigned long long>(e.ts_ns), EventKindName(e.kind),
+        static_cast<unsigned long long>(e.a),
+        static_cast<unsigned long long>(e.b),
+        static_cast<unsigned long long>(e.c), e.dur_ns, e.tlabel, e.olabel,
+        static_cast<int>(e.code), static_cast<unsigned>(e.aux));
+    os << buf << "\n";
+  }
+}
+
+bool DumpToFile(const std::string& path, size_t last_n_per_slot) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    return false;
+  }
+  DumpJson(f, last_n_per_slot);
+  return static_cast<bool>(f);
+}
+
+void Reset() {
+  Recorder& rec = Recorder::Global();
+  for (size_t slot = 0; slot < kTraceSlots; ++slot) {
+    SlotRing* ring = rec.Slot(slot);
+    if (ring == nullptr) {
+      continue;
+    }
+    // head = 0 makes every old event unreachable to Snapshot; the words
+    // themselves are overwritten lazily by the next writer.
+    ring->head.store(0, std::memory_order_release);
+    for (size_t r = 0; r < kMaxSyscallHist; ++r) {
+      for (size_t b = 0; b < kHistBuckets; ++b) {
+        ring->sys_hist[r][b].store(0, std::memory_order_relaxed);
+      }
+    }
+    for (size_t r = 0; r < kNumStoreOps; ++r) {
+      for (size_t b = 0; b < kHistBuckets; ++b) {
+        ring->store_hist[r][b].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+void SetFatalDumpPath(const std::string& path) {
+  MutexLock lk(&g_dump_mu);
+  if (g_dump_path == nullptr) {
+    g_dump_path = new std::string(path);
+  } else {
+    *g_dump_path = path;
+  }
+}
+
+}  // namespace trace
+}  // namespace histar

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/core/trace.h"
 #include "src/kernel/ring.h"
 
 namespace histar {
@@ -176,7 +177,17 @@ Object* Kernel::Get(ObjectId id) const {
 
 Thread* Kernel::GetThread(ObjectId id) const {
   Object* o = Get(id);
-  return (o != nullptr && o->type() == ObjectType::kThread) ? static_cast<Thread*>(o) : nullptr;
+  if (o == nullptr || o->type() != ObjectType::kThread) {
+    return nullptr;
+  }
+  Thread* t = static_cast<Thread*>(o);
+#if HISTAR_TRACE
+  // Taint stamp for the flight recorder: the FIRST thread a request
+  // resolves is the acting thread (`self` resolves before any target), so
+  // first-write-wins gives the event the actor's label.
+  trace::StampThread(t->label_id());
+#endif
+  return t;
 }
 
 Container* Kernel::GetContainer(ObjectId id) const {
@@ -220,6 +231,9 @@ Result<Object*> Kernel::ResolveEntry(const Thread& t, ContainerEntry ce) {
     return Status::kLabelCheckFailed;
   }
   if (ce.object == ce.container) {
+#if HISTAR_TRACE
+    trace::StampObject(d->id(), d->label_id());
+#endif
     return static_cast<Object*>(d);
   }
   if (!d->HasLink(ce.object)) {
@@ -229,6 +243,12 @@ Result<Object*> Kernel::ResolveEntry(const Thread& t, ContainerEntry ce) {
   if (o == nullptr) {
     return Status::kNotFound;
   }
+#if HISTAR_TRACE
+  // Last-write-wins: a request resolving several entries leaves the most
+  // recently touched object's label on the event — for single-⟨D,O⟩
+  // syscalls (the common case) that IS the operand object.
+  trace::StampObject(o->id(), o->label_id());
+#endif
   return o;
 }
 
@@ -397,6 +417,77 @@ void Kernel::CountSyscalls(ObjectId self, uint64_t n) {
   MutexLock lock(&slot.mu);
   slot.total += n;
   slot.counts[self] += n;
+}
+
+void Kernel::DoTraceRead(ObjectId self, uint32_t max_events, TraceReadRes* out) {
+  // Resolve the reader and capture its raised label under a shared lock on
+  // self's shard ONLY — the snapshot walk and the per-event Leq checks run
+  // lock-free afterwards (the registry's warm Leq path takes no shard
+  // lock), so a trace read never serializes against the syscall hot path
+  // it is observing.
+  LabelId reader_hi = kInvalidLabelId;
+  {
+    TableLock lk(table_, TableLock::Mode::kShared, {self});
+    Thread* t = GetThread(self);
+    if (t == nullptr) {
+      out->status = Status::kNotFound;
+      return;
+    }
+    reader_hi = registry_.HiOf(t->label_id());
+  }
+
+  uint32_t cap = max_events == 0 ? kTraceReadDefaultMax : max_events;
+  if (cap > kTraceReadMaxEvents) {
+    cap = kTraceReadMaxEvents;
+  }
+
+  std::vector<trace::SlotEvent> snap;
+  trace::Snapshot(&snap);
+  out->total = 0;
+  out->withheld = 0;
+  for (const trace::SlotEvent& se : snap) {
+    const trace::Event& e = se.event;
+    ++out->total;
+    // §3 observe rule, applied per event: BOTH recorded labels must flow
+    // to the reader's raised label (equivalent to their join flowing —
+    // Leq distributes over join on the left). Label id 0 means "no label
+    // recorded", which carries no information and always flows. An id this
+    // registry never handed out (the recorder outlives kernel instances, so
+    // events stamped under a previous instance's registry can linger — the
+    // crash-recovery tests reboot dozens of kernels in one process) cannot
+    // be interpreted, so it conservatively does not flow.
+    auto flows = [&](LabelId l) {
+      return l == kInvalidLabelId ||
+             (registry_.Known(l) && registry_.Leq(l, reader_hi));
+    };
+    bool visible = flows(e.tlabel) && flows(e.olabel);
+    if (!visible) {
+      // Counted-but-withheld: the aggregate count is label-safe (it
+      // reveals that secret activity exists, not what it was — the same
+      // information the paper's resource-exhaustion channels already
+      // concede), pinned by tests/kernel/trace_flow_test.cc.
+      ++out->withheld;
+      continue;
+    }
+    if (out->events.size() >= cap) {
+      continue;  // keep counting total/withheld past the cap
+    }
+    TraceEventWire w;
+    w.ts_ns = e.ts_ns;
+    w.a = e.a;
+    w.b = e.b;
+    w.c = e.c;
+    w.seq = se.seq;
+    w.slot = se.slot;
+    w.dur_ns = e.dur_ns;
+    w.tlabel = e.tlabel;
+    w.olabel = e.olabel;
+    w.kind = e.kind;
+    w.code = static_cast<uint32_t>(static_cast<int32_t>(e.code));
+    w.aux = e.aux;
+    out->events.push_back(w);
+  }
+  out->status = Status::kOk;
 }
 
 void Kernel::WakeAllFutexes(const std::vector<ObjectId>& segs) {

@@ -352,6 +352,15 @@ class Kernel {
   // completion without perturbing the acquisition counter.
   uint64_t ring_completed_ticket(ObjectId ring) const;
 
+  // ---- Flight-recorder export (PR 10) ---------------------------------------
+
+  // Flow-checked view of the kernel trace rings (docs/syscalls.md §
+  // sys_trace_read): resolves `self` under a shared lock on its shard
+  // only, then walks a lock-free snapshot applying the §3 observe rule
+  // per event — an event is returned iff BOTH its recorded labels flow to
+  // the reader's raised label; otherwise it only bumps `withheld`.
+  TraceReadRes sys_trace_read(ObjectId self, uint32_t max_events = 0);
+
   // ---- Persistence hooks (single-level store, §3/§4) ------------------------
 
   // Attaches the store that receives checkpoints. May be null (volatile run).
@@ -651,6 +660,11 @@ class Kernel {
   Status DoSync(ObjectId self);
   Status DoSyncObject(ObjectId self, ContainerEntry ce);
   Status DoSyncPages(ObjectId self, ContainerEntry ce, uint64_t offset, uint64_t len);
+
+  // Flight-recorder export body (kernel.cc): shared lock on self's shard
+  // to capture the reader's raised label, then lock-free snapshot + per-
+  // event Leq checks (the registry's warm path).
+  void DoTraceRead(ObjectId self, uint32_t max_events, TraceReadRes* out);
 
   // Ring syscall bodies (src/kernel/ring.cc). All unbatchable: submit and
   // reap leave the TableLock to touch the leaf-locked queue state, wait

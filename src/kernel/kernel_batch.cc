@@ -18,6 +18,7 @@
 // folded into the group footprint — the same order the per-call path used.
 #include <type_traits>
 
+#include "src/core/trace.h"
 #include "src/kernel/kernel.h"
 
 namespace histar {
@@ -26,6 +27,33 @@ namespace {
 
 template <typename T, typename... Ts>
 inline constexpr bool kIsAny = (std::is_same_v<T, Ts> || ...);
+
+// Compile-time SyscallReq alternative index of T (the trace event's
+// syscall-kind field; also the wire tag).
+template <typename T, size_t I = 0>
+constexpr size_t ReqIndexOf() {
+  if constexpr (std::is_same_v<T, std::variant_alternative_t<I, SyscallReq>>) {
+    return I;
+  } else {
+    return ReqIndexOf<T, I + 1>();
+  }
+}
+
+// Folds the taint scratch + completion status into one flight-recorder
+// syscall event for request k of a dispatch group (duration patched later
+// by FinishSyscallGroup — one clock pair per group, not per entry).
+inline void TraceOne(const SyscallReq& req, const SyscallRes& res, ObjectId self,
+                     uint64_t t0_ns) {
+#if HISTAR_TRACE
+  trace::RecordSyscall(static_cast<uint16_t>(req.index()),
+                       static_cast<int8_t>(ResStatus(res)), self, t0_ns);
+#else
+  (void)req;
+  (void)res;
+  (void)self;
+  (void)t0_ns;
+#endif
+}
 
 // Requests that consume a preallocated object id (create paths).
 template <typename T>
@@ -286,6 +314,12 @@ void Kernel::ExecUnbatched(ObjectId self, const SyscallReq& req, SyscallRes* out
           Result<std::vector<RingCompletion>> v = DoRingReap(self, r.ring, r.max);
           *out = RingReapRes{v.status(),
                              v.ok() ? v.take() : std::vector<RingCompletion>{}};
+        } else if constexpr (std::is_same_v<T, TraceReadReq>) {
+          // Unbatchable by design: the body takes its own shared TableLock
+          // to resolve the reader, then walks the recorder lock-free.
+          TraceReadRes v;
+          DoTraceRead(self, r.max_events, &v);
+          *out = std::move(v);
         } else {
           *out = std::monostate{};  // batchable kinds never reach here
         }
@@ -343,7 +377,11 @@ Status Kernel::SubmitBatch(ObjectId self, std::span<const SyscallReq> reqs,
   while (i < reqs.size()) {
     BatchPlan first = PlanOf(self, reqs[i]);
     if (!first.batchable) {
+      uint64_t t0 = trace::RecordNowNs();
+      trace::ResetTaint();
       ExecUnbatched(self, reqs[i], &res[i]);
+      TraceOne(reqs[i], res[i], self, t0);
+      trace::FinishSyscallGroup(1, t0, trace::RecordNowNs());
       ++i;
       continue;
     }
@@ -353,6 +391,11 @@ Status Kernel::SubmitBatch(ObjectId self, std::span<const SyscallReq> reqs,
     size_t j = GrowBatchGroup(
         self, i, reqs.size(), first, [&](size_t k) -> const SyscallReq& { return reqs[k]; },
         [](size_t) { return false; }, /*split_lockfree=*/true, &mask, &exclusive, &new_ids);
+    // ONE clock pair per group: per-entry events record with a pending
+    // duration and FinishSyscallGroup patches the amortized share in —
+    // that, plus zero shared atomics in the recorder, is what keeps the
+    // warm lock-free row inside the 5% gate (scripts/check_bench_pr10.sh).
+    uint64_t t0 = trace::RecordNowNs();
     if (first.lockfree) {
       // Lock-free read group (PR 6): ZERO shard locks. The epoch guard pins
       // every published entry the group can reach; PublishedReadMode routes
@@ -368,7 +411,9 @@ Status Kernel::SubmitBatch(ObjectId self, std::span<const SyscallReq> reqs,
       PublishedReadTableCap cap_scope(table_);
       size_t next_new_id = 0;
       for (size_t k = i; k < j; ++k) {
+        trace::ResetTaint();
         ExecLocked(self, reqs[k], &res[k], new_ids, &next_new_id);
+        TraceOne(reqs[k], res[k], self, t0);
       }
     } else {
       // The group's single lock round-trip: every shard any member touches,
@@ -380,9 +425,16 @@ Status Kernel::SubmitBatch(ObjectId self, std::span<const SyscallReq> reqs,
           mask, TableLock::ByMask{});
       size_t next_new_id = 0;
       for (size_t k = i; k < j; ++k) {
+        trace::ResetTaint();
         ExecLocked(self, reqs[k], &res[k], new_ids, &next_new_id);
+        TraceOne(reqs[k], res[k], self, t0);
       }
+      // Lock-free groups deliberately record NO kTableLock event — the
+      // zero-lock property shows up in the trace as its absence.
+      trace::RecordEvent(trace::EventKind::kTableLock, mask,
+                         exclusive ? 1 : 0, j - i, 0, 0, 0, t0);
     }
+    trace::FinishSyscallGroup(j - i, t0, trace::RecordNowNs());
     i = j;
   }
   return Status::kOk;
@@ -427,6 +479,13 @@ Status Kernel::SubmitChain(ObjectId self, std::span<RingOp> ops, std::span<Sysca
   }
   // NO CountSyscalls here — see the contract in kernel.h (sys_ring_submit
   // charged the submitter already; direct callers account for themselves).
+  //
+  // One kRingChain event per chain execution: when a ring worker drives
+  // this under ProxyExecution the event lands in the WORKER's slot ring
+  // with b=1, which is exactly the attribution the trace needs to tell
+  // proxy execution from the submitter's own syscalls.
+  trace::RecordEvent(trace::EventKind::kRingChain, ops.size(),
+                     ProxyExecution::Active() ? 1 : 0, self);
   size_t i = 0;
   while (i < ops.size()) {
     if (!PrepareChainEntry(ops, res, i)) {
@@ -435,7 +494,11 @@ Status Kernel::SubmitChain(ObjectId self, std::span<RingOp> ops, std::span<Sysca
     }
     BatchPlan first = PlanOf(self, ops[i].req);
     if (!first.batchable) {
+      uint64_t t0 = trace::RecordNowNs();
+      trace::ResetTaint();
       ExecUnbatched(self, ops[i].req, &res[i]);
+      TraceOne(ops[i].req, res[i], self, t0);
+      trace::FinishSyscallGroup(1, t0, trace::RecordNowNs());
       ++i;
       continue;
     }
@@ -453,6 +516,8 @@ Status Kernel::SubmitChain(ObjectId self, std::span<RingOp> ops, std::span<Sysca
         [&](size_t k) -> const SyscallReq& { return ops[k].req; },
         [&](size_t k) { return RingSlotNamesIds(ops[k].to); }, /*split_lockfree=*/false, &mask,
         &exclusive, &new_ids);
+    uint64_t t0 = trace::RecordNowNs();
+    size_t executed = 0;
     {
       // One TableLock for the whole group: a linked get_len → read chain
       // pays exactly the lock round-trips of the equivalent sync batch
@@ -471,9 +536,15 @@ Status Kernel::SubmitChain(ObjectId self, std::span<RingOp> ops, std::span<Sysca
           // enough were preallocated either way.
           continue;
         }
+        trace::ResetTaint();
         ExecLocked(self, ops[k].req, &res[k], new_ids, &next_new_id);
+        TraceOne(ops[k].req, res[k], self, t0);
+        ++executed;
       }
     }
+    trace::RecordEvent(trace::EventKind::kTableLock, mask, exclusive ? 1 : 0,
+                       executed, 0, 0, 0, t0);
+    trace::FinishSyscallGroup(executed, t0, trace::RecordNowNs());
     i = j;
   }
   return Status::kOk;
@@ -716,9 +787,18 @@ Status Kernel::sys_gate_invoke(ObjectId self, ContainerEntry gate, const Label& 
   // (ExecUnbatched does exactly this after the copies; the access-matrix
   // equivalence sweep in tests/kernel/syscall_abi_test.cc pins it) but
   // skips descriptor construction entirely. Entry bookkeeping is preserved:
-  // one syscall charged, same as SubmitBatch would.
+  // one syscall charged, same as SubmitBatch would — and one trace event,
+  // recorded here since the fast path bypasses the dispatcher's loop.
   CountSyscalls(self, 1);
-  return DoGateInvoke(self, gate, request_label, request_clearance, verify_label);
+  uint64_t t0 = trace::RecordNowNs();
+  trace::ResetTaint();
+  Status st = DoGateInvoke(self, gate, request_label, request_clearance, verify_label);
+#if HISTAR_TRACE
+  trace::RecordSyscall(static_cast<uint16_t>(ReqIndexOf<GateInvokeReq>()),
+                       static_cast<int8_t>(st), self, t0);
+  trace::FinishSyscallGroup(1, t0, trace::NowNs());
+#endif
+  return st;
 }
 
 Result<std::vector<uint64_t>> Kernel::sys_gate_get_closure(ObjectId self, ContainerEntry ce) {
@@ -796,6 +876,10 @@ Result<std::vector<RingCompletion>> Kernel::sys_ring_reap(ObjectId self, Contain
                                                           uint32_t max) {
   RingReapRes r = SubmitOne<RingReapRes>(this, self, RingReapReq{ring, max});
   return ToResult(r.status, std::move(r.completions));
+}
+
+TraceReadRes Kernel::sys_trace_read(ObjectId self, uint32_t max_events) {
+  return SubmitOne<TraceReadRes>(this, self, TraceReadReq{max_events});
 }
 
 }  // namespace histar

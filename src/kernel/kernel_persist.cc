@@ -24,6 +24,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/core/trace.h"
 #include "src/kernel/kernel.h"
 
 namespace histar {
@@ -603,6 +604,12 @@ Status Kernel::DoSync(ObjectId self) {
     batch.label_delta.push_back(std::move(rec));
   });
   Status st = persist_->Checkpoint(batch);
+  if (st == Status::kCrashed) {
+    // The backing device died under a checkpoint — the fatal path the
+    // flight recorder exists for. Dumps the last-N window when a dump
+    // path is configured (HISTAR_TRACE_DUMP / SetFatalDumpPath).
+    trace::RecordFatal(static_cast<int8_t>(st), self);
+  }
   if (st == Status::kOk) {
     // Retire only marks whose generation still matches what was serialized:
     // an object re-dirtied while the store was committing (no shard lock

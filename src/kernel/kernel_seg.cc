@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "src/core/trace.h"
 #include "src/kernel/kernel.h"
 
 namespace histar {
@@ -524,7 +525,7 @@ Status Kernel::DoFutexWait(ObjectId self, ContainerEntry seg, uint64_t offset,
     }
     return recheck;
   }
-  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  auto deadline = trace::SteadyNow() + std::chrono::milliseconds(timeout_ms);
   Status result = Status::kOk;
   futex_mu_.Lock();
   for (;;) {
@@ -561,7 +562,7 @@ Status Kernel::DoFutexWait(ObjectId self, ContainerEntry seg, uint64_t offset,
     // slice bound is what makes them interrupt a long timed wait promptly.
     const auto slice = std::chrono::milliseconds(50);
     if (timeout_ms != 0) {
-      auto now = std::chrono::steady_clock::now();
+      auto now = trace::SteadyNow();
       if (now >= deadline) {
         result = Status::kTimedOut;
         break;

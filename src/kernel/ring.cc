@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/core/trace.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/thread_runner.h"
 
@@ -421,7 +422,7 @@ Status Kernel::DoRingWait(ObjectId self, ContainerEntry ring, uint64_t ticket,
     }
     return Status::kNotFound;
   }
-  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  auto deadline = trace::SteadyNow() + std::chrono::milliseconds(timeout_ms);
   st->mu.Lock();
   if (ticket >= st->next_seq) {
     st->mu.Unlock();
@@ -471,7 +472,7 @@ Status Kernel::DoRingWait(ObjectId self, ContainerEntry ring, uint64_t ticket,
     }
     const auto slice = std::chrono::milliseconds(50);
     if (timeout_ms != 0) {
-      auto now = std::chrono::steady_clock::now();
+      auto now = trace::SteadyNow();
       if (now >= deadline) {
         st->mu.Unlock();
         return Status::kTimedOut;

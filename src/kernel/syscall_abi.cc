@@ -12,6 +12,34 @@
 namespace histar {
 
 namespace {
+// One entry per SyscallReq alternative, in ABI order.
+constexpr const char* kSyscallKindNames[] = {
+    "cat_create", "self_set_label", "self_set_clearance", "self_get_label",
+    "self_get_clearance", "self_set_as", "self_get_as", "self_halt",
+    "thread_create", "thread_alert", "self_next_alert", "self_local_read",
+    "self_local_write", "container_create", "container_unref",
+    "container_get_parent", "container_list", "container_link",
+    "container_has", "obj_get_type", "obj_get_label", "obj_get_descrip",
+    "obj_get_quota", "obj_get_metadata", "obj_set_metadata",
+    "obj_set_fixed_quota", "obj_set_immutable", "quota_move",
+    "segment_create", "segment_copy", "segment_resize", "segment_get_len",
+    "segment_read", "segment_write", "as_create", "as_set", "as_get",
+    "as_access", "gate_create", "gate_invoke", "gate_get_closure",
+    "futex_wait", "futex_wake", "net_mac_addr", "net_transmit",
+    "net_receive", "net_wait", "console_write", "sync", "sync_object",
+    "sync_pages", "ring_create", "ring_submit", "ring_wait", "ring_reap",
+    "trace_read",
+};
+static_assert(sizeof(kSyscallKindNames) / sizeof(kSyscallKindNames[0]) ==
+                  kNumSyscallKinds,
+              "name every SyscallReq alternative (append here too)");
+}  // namespace
+
+const char* SyscallKindName(size_t index) {
+  return index < kNumSyscallKinds ? kSyscallKindNames[index] : "unknown";
+}
+
+namespace {
 
 // Default-constructs variant alternative `idx` of V (skipping monostate
 // semantics — callers pass the wire index directly). Declared ahead of the

@@ -303,6 +303,16 @@ struct RingReapReq {
   ContainerEntry ring;
   uint32_t max = 0;  // 0 → everything pending
 };
+// Flight-recorder export (PR 10): returns the flow-checked view of the
+// kernel trace rings (src/core/trace.h). `self` is the reader whose raised
+// label gates per-event visibility; events that do not flow to it are
+// counted in TraceReadRes::withheld but never returned.
+struct TraceReadReq {
+  uint32_t max_events = 0;  // 0 → kTraceReadDefaultMax
+};
+
+inline constexpr uint32_t kTraceReadDefaultMax = 256;
+inline constexpr uint32_t kTraceReadMaxEvents = 16384;
 
 inline constexpr uint32_t kRingDefaultCapacity = 64;
 inline constexpr uint32_t kRingMaxCapacity = 4096;
@@ -507,6 +517,29 @@ struct RingReapRes {
   Status status = Status::kInvalidArg;
   std::vector<RingCompletion> completions;
 };
+// One exported flight-recorder event (the wire form of trace::Event plus
+// its slot/seq provenance). Labels travel as raw LabelIds: the flow check
+// already ran kernel-side, so every event here is one the reader may see.
+struct TraceEventWire {
+  uint64_t ts_ns = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+  uint64_t seq = 0;
+  uint32_t slot = 0;
+  uint32_t dur_ns = 0;
+  uint32_t tlabel = 0;
+  uint32_t olabel = 0;
+  uint32_t kind = 0;  // trace::EventKind
+  uint32_t code = 0;  // Status, two's complement
+  uint32_t aux = 0;   // syscall kind / trace::StoreOp
+};
+struct TraceReadRes {
+  Status status = Status::kInvalidArg;
+  uint64_t total = 0;     // events inspected across all slots
+  uint64_t withheld = 0;  // events whose labels do not flow to the reader
+  std::vector<TraceEventWire> events;
+};
 
 // ---- The variants -----------------------------------------------------------
 //
@@ -524,7 +557,7 @@ using SyscallReq = std::variant<
     AsGetReq, AsAccessReq, GateCreateReq, GateInvokeReq, GateGetClosureReq, FutexWaitReq,
     FutexWakeReq, NetMacAddrReq, NetTransmitReq, NetReceiveReq, NetWaitReq, ConsoleWriteReq,
     SyncReq, SyncObjectReq, SyncPagesReq, RingCreateReq, RingSubmitReq, RingWaitReq,
-    RingReapReq>;
+    RingReapReq, TraceReadReq>;
 
 using SyscallRes = std::variant<
     std::monostate, CatCreateRes, SelfSetLabelRes, SelfSetClearanceRes, SelfGetLabelRes,
@@ -537,11 +570,17 @@ using SyscallRes = std::variant<
     SegmentWriteRes, AsCreateRes, AsSetRes, AsGetRes, AsAccessRes, GateCreateRes, GateInvokeRes,
     GateGetClosureRes, FutexWaitRes, FutexWakeRes, NetMacAddrRes, NetTransmitRes, NetReceiveRes,
     NetWaitRes, ConsoleWriteRes, SyncRes, SyncObjectRes, SyncPagesRes, RingCreateRes,
-    RingSubmitRes, RingWaitRes, RingReapRes>;
+    RingSubmitRes, RingWaitRes, RingReapRes, TraceReadRes>;
 
 inline constexpr size_t kNumSyscallKinds = std::variant_size_v<SyscallReq>;
 static_assert(std::variant_size_v<SyscallRes> == kNumSyscallKinds + 1,
               "every request alternative needs exactly one completion alternative");
+
+// Stable human-readable name for a SyscallReq alternative index ("unknown"
+// out of range). The table in syscall_abi.cc is static_asserted against
+// kNumSyscallKinds, so appending a descriptor without naming it is a
+// compile error. Consumers: trace dumps, tools/tracefmt, docs.
+const char* SyscallKindName(size_t index);
 
 // One entry of a ring submission: the request itself plus the link flag and
 // operand routing (defined after the variants because it embeds them).
@@ -644,6 +683,7 @@ inline auto AbiFields(RingCreateReq& r) { return std::tie(r.spec, r.capacity); }
 inline auto AbiFields(RingSubmitReq& r) { return std::tie(r.ring, r.ops); }
 inline auto AbiFields(RingWaitReq& r) { return std::tie(r.ring, r.ticket, r.timeout_ms); }
 inline auto AbiFields(RingReapReq& r) { return std::tie(r.ring, r.max); }
+inline auto AbiFields(TraceReadReq& r) { return std::tie(r.max_events); }
 
 inline auto AbiFields(CatCreateRes& r) { return std::tie(r.status, r.cat); }
 inline auto AbiFields(SelfSetLabelRes& r) { return std::tie(r.status); }
@@ -700,6 +740,13 @@ inline auto AbiFields(RingCreateRes& r) { return std::tie(r.status, r.id); }
 inline auto AbiFields(RingSubmitRes& r) { return std::tie(r.status, r.ticket); }
 inline auto AbiFields(RingWaitRes& r) { return std::tie(r.status); }
 inline auto AbiFields(RingReapRes& r) { return std::tie(r.status, r.completions); }
+inline auto AbiFields(TraceEventWire& e) {
+  return std::tie(e.ts_ns, e.a, e.b, e.c, e.seq, e.slot, e.dur_ns, e.tlabel,
+                  e.olabel, e.kind, e.code, e.aux);
+}
+inline auto AbiFields(TraceReadRes& r) {
+  return std::tie(r.status, r.total, r.withheld, r.events);
+}
 
 inline auto AbiFields(CreateSpec& s) { return std::tie(s.container, s.label, s.descrip, s.quota); }
 // Nested descriptors: the archives encode an embedded SyscallReq/SyscallRes

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/core/trace.h"
+
 namespace histar {
 
 // Data-mode backing grows lazily to the highest written offset, so a 40 GB
@@ -64,6 +66,12 @@ std::optional<FaultRule> DiskModel::MatchFault(bool is_read, uint64_t offset) {
     FaultRule fired = r;
     fault_rules_.erase(fault_rules_.begin() + static_cast<ptrdiff_t>(i));
     ++fault_counts_[static_cast<size_t>(fired.kind)];
+    // Every injected fault leaves a flight-recorder event: a failing
+    // campaign schedule's dump shows exactly which faults fired before
+    // the oracle tripped (tests/store/fault_campaign_test.cc).
+    trace::RecordEvent(trace::EventKind::kFault,
+                       static_cast<uint64_t>(fired.kind), offset,
+                       is_read ? 1 : 0);
     return fired;
   }
   return std::nullopt;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <new>
 
+#include "src/core/trace.h"
 #include "src/store/store_alloc.h"
 #include "src/store/wire_format.h"
 
@@ -12,6 +13,55 @@ namespace histar {
 using storewire::PutU32;
 using storewire::PutU64;
 using storewire::PutU8;
+
+namespace {
+
+// Flight-recorder scope for the public commit/restore entry points: one
+// kStoreCommit event carrying the op's duration and the disk-counter
+// deltas (bytes written, device write ops) it caused, plus the per-op
+// latency histogram (src/core/trace.h). Constructed after mu_ is taken so
+// the deltas are exact; the disk's own counters lock its leaf mutex.
+class StoreOpTrace {
+ public:
+  StoreOpTrace(trace::StoreOp op, DiskModel* disk, uint8_t engine_kind)
+#if HISTAR_TRACE
+      : op_(op),
+        disk_(disk),
+        engine_kind_(engine_kind),
+        t0_(trace::NowNs()),
+        w0_(disk->write_ops()),
+        b0_(disk->bytes_written())
+#endif
+  {
+#if !HISTAR_TRACE
+    (void)op;
+    (void)disk;
+    (void)engine_kind;
+#endif
+  }
+
+  void Finish(Status st) {
+#if HISTAR_TRACE
+    trace::RecordStoreOp(op_, static_cast<int8_t>(st), trace::NowNs() - t0_,
+                         disk_->bytes_written() - b0_,
+                         disk_->write_ops() - w0_, engine_kind_);
+#else
+    (void)st;
+#endif
+  }
+
+ private:
+#if HISTAR_TRACE
+  trace::StoreOp op_;
+  DiskModel* disk_;
+  uint8_t engine_kind_;
+  uint64_t t0_;
+  uint64_t w0_;
+  uint64_t b0_;
+#endif
+};
+
+}  // namespace
 
 SingleLevelStore::SingleLevelStore(DiskModel* disk, const StoreTuning& tuning)
     : disk_(disk),
@@ -327,11 +377,16 @@ Status SingleLevelStore::CommitSection(const std::vector<LabelTableRecord>* labe
 
 Status SingleLevelStore::Checkpoint(const CheckpointBatch& batch) {
   MutexLock lock(&mu_);
+  StoreOpTrace t(trace::StoreOp::kCheckpoint, disk_,
+                 static_cast<uint8_t>(engine_->kind()));
+  Status st;
   try {
-    return CheckpointLocked(batch);
+    st = CheckpointLocked(batch);
   } catch (const std::bad_alloc&) {
-    return Status::kNoMem;
+    st = Status::kNoMem;
   }
+  t.Finish(st);
+  return st;
 }
 
 Status SingleLevelStore::CheckpointLocked(const CheckpointBatch& batch) {
@@ -402,11 +457,16 @@ Status SingleLevelStore::CheckpointLocked(const CheckpointBatch& batch) {
 Status SingleLevelStore::SyncOne(ObjectId id, const std::vector<uint8_t>& bytes,
                                  uint64_t meta_len) {
   MutexLock lock(&mu_);
+  StoreOpTrace t(trace::StoreOp::kSyncOne, disk_,
+                 static_cast<uint8_t>(engine_->kind()));
+  Status st;
   try {
-    return SyncOneLocked(id, bytes, meta_len);
+    st = SyncOneLocked(id, bytes, meta_len);
   } catch (const std::bad_alloc&) {
-    return Status::kNoMem;
+    st = Status::kNoMem;
   }
+  t.Finish(st);
+  return st;
 }
 
 Status SingleLevelStore::SyncOneLocked(ObjectId id, const std::vector<uint8_t>& bytes,
@@ -485,11 +545,16 @@ Status SingleLevelStore::ApplyLog() {
 Status SingleLevelStore::SyncPages(ObjectId id, uint64_t offset,
                                    const std::vector<uint8_t>& pages) {
   MutexLock lock(&mu_);
+  StoreOpTrace t(trace::StoreOp::kSyncPages, disk_,
+                 static_cast<uint8_t>(engine_->kind()));
+  Status st;
   try {
-    return SyncPagesLocked(id, offset, pages);
+    st = SyncPagesLocked(id, offset, pages);
   } catch (const std::bad_alloc&) {
-    return Status::kNoMem;
+    st = Status::kNoMem;
   }
+  t.Finish(st);
+  return st;
 }
 
 Status SingleLevelStore::SyncPagesLocked(ObjectId id, uint64_t offset,
@@ -526,11 +591,16 @@ Result<uint64_t> SingleLevelStore::TouchObjectLocked(ObjectId id) {
 
 Status SingleLevelStore::Recover(Kernel* kernel) {
   MutexLock lock(&mu_);
+  StoreOpTrace t(trace::StoreOp::kRestore, disk_,
+                 static_cast<uint8_t>(engine_->kind()));
+  Status st;
   try {
-    return RecoverLocked(kernel);
+    st = RecoverLocked(kernel);
   } catch (const std::bad_alloc&) {
-    return Status::kNoMem;
+    st = Status::kNoMem;
   }
+  t.Finish(st);
+  return st;
 }
 
 Status SingleLevelStore::RecoverLocked(Kernel* kernel) {

@@ -51,12 +51,14 @@ class StoreAlloc {
     uint64_t fail_at = fail_at_.load(std::memory_order_relaxed);
     if (fail_at != 0 && n == fail_at) {
       fail_at_.store(0, std::memory_order_relaxed);  // one-shot
-      throw std::bad_alloc();
+      ThrowInjected(n);  // records a kFault trace event, then throws
     }
   }
 
  private:
   friend class StoreAllocNoFail;
+
+  [[noreturn]] static void ThrowInjected(uint64_t nth);
 
   static std::atomic<uint64_t> fail_at_;
   static std::atomic<uint64_t> attempts_;

@@ -1,0 +1,217 @@
+// Tests for the flight recorder (src/core/trace.h): histogram bucket
+// boundaries (pinned — dashboards depend on them), ring wrap, slot reuse
+// after thread exit, group duration patching, and the crash-dump format.
+//
+// These tests exercise the recorder directly; the kernel-integrated path
+// (label stamping + the sys_trace_read flow check) lives in
+// tests/kernel/trace_flow_test.cc.
+#include "src/core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/core/epoch.h"
+
+namespace histar {
+namespace trace {
+namespace {
+
+// Events this test recorded (vs other tests in this binary sharing the
+// process-wide recorder) are tagged with a distinctive operand.
+std::vector<SlotEvent> MineInSlot(uint64_t marker, size_t slot) {
+  std::vector<SlotEvent> all;
+  Snapshot(&all);
+  std::vector<SlotEvent> mine;
+  for (const SlotEvent& se : all) {
+    if (se.slot == slot && se.event.c == marker) {
+      mine.push_back(se);
+    }
+  }
+  return mine;
+}
+
+TEST(HistBucket, BoundariesArePinned) {
+  // Bucket 0 holds [0,2); bucket b holds [2^b, 2^(b+1)); the last bucket
+  // saturates.
+  EXPECT_EQ(HistBucket(0), 0u);
+  EXPECT_EQ(HistBucket(1), 0u);
+  EXPECT_EQ(HistBucket(2), 1u);
+  EXPECT_EQ(HistBucket(3), 1u);
+  EXPECT_EQ(HistBucket(4), 2u);
+  EXPECT_EQ(HistBucket(7), 2u);
+  EXPECT_EQ(HistBucket(8), 3u);
+  EXPECT_EQ(HistBucket(1000), 9u);    // ~1 µs
+  EXPECT_EQ(HistBucket(1u << 20), 20u);  // ~1 ms
+  EXPECT_EQ(HistBucket((1ull << 30) - 1), 29u);
+  EXPECT_EQ(HistBucket(1ull << 30), 30u);
+  // Saturation: everything >= 2^(kHistBuckets-1) lands in the last bucket.
+  EXPECT_EQ(HistBucket(1ull << 31), kHistBuckets - 1);
+  EXPECT_EQ(HistBucket(~0ull), kHistBuckets - 1);
+  static_assert(HistBucket(1) == 0, "constexpr-evaluable");
+  static_assert(HistBucket(1024) == 10, "exact power of two");
+}
+
+TEST(Recorder, RingWrapKeepsTheMostRecentEvents) {
+  const uint64_t marker = 0x77AB10u;
+  const size_t slot = Recorder::CurrentSlot();
+  const size_t total = kRingEvents + kRingEvents / 2;
+  for (size_t i = 0; i < total; ++i) {
+    RecordEvent(EventKind::kRingChain, /*a=*/i, /*b=*/0, /*c=*/marker);
+  }
+  std::vector<SlotEvent> mine = MineInSlot(marker, slot);
+  // At most one ring's worth survives, and it is the most recent window:
+  // the oldest half was overwritten.
+  ASSERT_LE(mine.size(), kRingEvents);
+  ASSERT_GE(mine.size(), kRingEvents / 2);
+  EXPECT_EQ(mine.back().event.a, total - 1);
+  // Oldest-first within the slot, seq and operand advancing in lockstep.
+  for (size_t i = 1; i < mine.size(); ++i) {
+    EXPECT_EQ(mine[i].seq, mine[i - 1].seq + 1);
+    EXPECT_EQ(mine[i].event.a, mine[i - 1].event.a + 1);
+  }
+}
+
+TEST(Recorder, SlotIsReusedAfterThreadExit) {
+  const uint64_t marker = 0x5107u;
+  size_t slot_a = 0, slot_b = 0;
+  uint64_t seq_a = 0, seq_b = 0;
+
+  auto run = [&](uint64_t tag, size_t* slot_out, uint64_t* seq_out) {
+    std::thread([&, tag] {
+      *slot_out = Recorder::CurrentSlot();
+      RecordEvent(EventKind::kFault, /*a=*/tag, /*b=*/0, /*c=*/marker);
+      std::vector<SlotEvent> mine = MineInSlot(marker, *slot_out);
+      ASSERT_FALSE(mine.empty());
+      *seq_out = mine.back().seq;
+    }).join();
+  };
+
+  run(1, &slot_a, &seq_a);
+  run(2, &slot_b, &seq_b);
+
+  // Epoch slot ids are lowest-free-first: with no other live threads the
+  // second thread reuses the first one's slot, and the slot's ring (and its
+  // monotone seq) survives the reuse.
+  EXPECT_EQ(slot_a, slot_b);
+  EXPECT_GT(seq_b, seq_a);
+  std::vector<SlotEvent> mine = MineInSlot(marker, slot_a);
+  ASSERT_GE(mine.size(), 2u);
+  EXPECT_EQ(mine[mine.size() - 2].event.a, 1u);
+  EXPECT_EQ(mine.back().event.a, 2u);
+}
+
+TEST(Recorder, FinishSyscallGroupPatchesAmortizedDurations) {
+  // Use a syscall-kind row no real syscall occupies (the last one) so the
+  // histogram delta below is exactly this test's.
+  const uint16_t kind = kMaxSyscallHist - 1;
+  const size_t slot = Recorder::CurrentSlot();
+
+  uint64_t before[kHistBuckets] = {};
+  SumSyscallHist(kind, before);
+
+  const uint64_t t0 = 1000;
+  const uint64_t t1 = t0 + 3 * 4096;  // 4096 ns per event, bucket 12
+  ResetTaint();
+  RecordSyscall(kind, /*status=*/0, /*self_or_b=*/42, t0);
+  RecordSyscall(kind, /*status=*/0, /*self_or_b=*/42, t0);
+  RecordSyscall(kind, /*status=*/0, /*self_or_b=*/42, t0);
+  FinishSyscallGroup(3, t0, t1);
+
+  uint64_t after[kHistBuckets] = {};
+  SumSyscallHist(kind, after);
+  EXPECT_EQ(after[HistBucket(4096)] - before[HistBucket(4096)], 3u);
+
+  std::vector<SlotEvent> all;
+  Snapshot(&all);
+  size_t patched = 0;
+  for (const SlotEvent& se : all) {
+    if (se.slot == slot && se.event.kind == static_cast<uint8_t>(EventKind::kSyscall) &&
+        se.event.aux == kind && se.event.ts_ns == t0) {
+      EXPECT_EQ(se.event.dur_ns, 4096u);
+      ++patched;
+    }
+  }
+  EXPECT_EQ(patched, 3u);
+}
+
+TEST(Recorder, PendingDurationReadsAsZero) {
+  const uint16_t kind = kMaxSyscallHist - 2;
+  const size_t slot = Recorder::CurrentSlot();
+  const uint64_t ts = 777777;
+  ResetTaint();
+  RecordSyscall(kind, /*status=*/0, /*self_or_b=*/7, ts);
+  // No FinishSyscallGroup: the in-ring sentinel must not leak to readers.
+  std::vector<SlotEvent> all;
+  Snapshot(&all);
+  bool found = false;
+  for (const SlotEvent& se : all) {
+    if (se.slot == slot && se.event.aux == kind && se.event.ts_ns == ts) {
+      EXPECT_EQ(se.event.dur_ns, 0u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  FinishSyscallGroup(1, ts, ts + 1);  // close it out for later tests
+}
+
+TEST(Recorder, StoreHistogramAndEventAgree) {
+  uint64_t before[kHistBuckets] = {};
+  SumStoreHist(StoreOp::kSyncPages, before);
+  RecordStoreOp(StoreOp::kSyncPages, /*status=*/0, /*dur_ns=*/600, /*bytes=*/8192,
+                /*write_ops=*/2, /*engine_kind=*/1);
+  uint64_t after[kHistBuckets] = {};
+  SumStoreHist(StoreOp::kSyncPages, after);
+  EXPECT_EQ(after[HistBucket(600)] - before[HistBucket(600)], 1u);
+
+  std::vector<SlotEvent> all;
+  Snapshot(&all);
+  bool found = false;
+  for (const SlotEvent& se : all) {
+    const Event& e = se.event;
+    if (e.kind == static_cast<uint8_t>(EventKind::kStoreCommit) && e.a == 8192 &&
+        e.b == 2 && e.aux == static_cast<uint16_t>(StoreOp::kSyncPages)) {
+      EXPECT_EQ(e.dur_ns, 600u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Dump, JsonLinesCarrySchemaAndEvents) {
+  RecordEvent(EventKind::kEpochAdvance, 3, 9, 0);
+  std::ostringstream os;
+  DumpJson(os, /*last_n_per_slot=*/8);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"schema\":\"histar-trace-dump-v1\""), std::string::npos);
+  EXPECT_NE(s.find("\"kind\":\"epoch_advance\""), std::string::npos);
+  // One JSON object per line: every line starts with '{'.
+  std::istringstream in(s);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++lines;
+  }
+  EXPECT_GE(lines, 2u);  // header + at least our event
+}
+
+TEST(Names, EventKindAndStoreOpTablesAreTotal) {
+  for (size_t k = 0; k < kNumEventKinds; ++k) {
+    EXPECT_STRNE(EventKindName(static_cast<uint8_t>(k)), "unknown");
+  }
+  EXPECT_STREQ(EventKindName(200), "unknown");
+  for (size_t op = 0; op < kNumStoreOps; ++op) {
+    EXPECT_STRNE(StoreOpName(static_cast<uint8_t>(op)), "unknown");
+  }
+  EXPECT_STREQ(StoreOpName(9), "unknown");
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace histar

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/core/epoch.h"
+#include "src/core/trace.h"
 #include "tests/kernel/kernel_test_util.h"
 
 namespace histar {
@@ -193,6 +194,71 @@ TEST_F(EpochStressTest, RegistryLeqRacesInternAndMemoGrowth) {
   interner.join();
   stop.store(true, std::memory_order_release);
   for (auto& t : probers) {
+    t.join();
+  }
+  EpochDomain::Global().DrainAll();
+}
+
+// The flight recorder under the same races (PR 10): writer threads issue
+// real syscalls — every one records events into its slot ring and feeds
+// the latency histograms — while reader threads continuously snapshot the
+// rings, sum histograms, and run the flow-checked sys_trace_read. TSan
+// pins the single-writer/racing-reader word protocol; the assertions pin
+// "never torn": every event delivered has a decodable kind and the
+// accounting never under-counts (total >= withheld + delivered, with
+// equality whenever the read cap doesn't truncate).
+TEST_F(EpochStressTest, TraceSnapshotsRaceRecordingWriters) {
+  const ObjectId ct = MakeContainer(Label(Level::k1), kInvalidObject, 8 << 20);
+  const ObjectId seg = MakeSegment(Label(Level::k1), 64, ct);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&] {
+      ObjectId self =
+          kernel_->BootstrapThread(Label(Level::k1), Label(Level::k2), "tracer");
+      ASSERT_NE(self, kInvalidObject);
+      ContainerEntry ce{ct, seg};
+      for (int i = 0; i < 600; ++i) {
+        SyscallReq reqs[3] = {ObjGetTypeReq{ce}, SegmentGetLenReq{ce},
+                              ObjGetQuotaReq{ce}};
+        SyscallRes res[3];
+        ASSERT_EQ(kernel_->SubmitBatch(self, reqs, res), Status::kOk);
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      ObjectId self =
+          kernel_->BootstrapThread(Label(Level::k1), Label(Level::k2), "observer");
+      ASSERT_NE(self, kInvalidObject);
+      while (!stop.load(std::memory_order_acquire)) {
+        std::vector<trace::SlotEvent> snap;
+        trace::Snapshot(&snap, 128);
+        for (const trace::SlotEvent& se : snap) {
+          ASSERT_LT(se.event.kind, trace::kNumEventKinds);
+          ASSERT_NE(se.event.dur_ns, trace::kDurPending);
+        }
+        uint64_t hist[trace::kHistBuckets];
+        trace::SumSyscallHist(0, hist);
+        TraceReadRes res = kernel_->sys_trace_read(self, 256);
+        ASSERT_EQ(res.status, Status::kOk);
+        ASSERT_LE(res.events.size(), 256u);
+        ASSERT_GE(res.total, res.withheld + res.events.size());
+        for (const TraceEventWire& e : res.events) {
+          ASSERT_LT(e.kind, trace::kNumEventKinds);
+        }
+      }
+    });
+  }
+
+  for (auto& t : writers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) {
     t.join();
   }
   EpochDomain::Global().DrainAll();

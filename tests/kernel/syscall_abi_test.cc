@@ -101,6 +101,7 @@ std::vector<SyscallReq> AllReqSamples() {
        RingOp{SyscallReq{SegmentReadReq{ce, buf, 0, 0}}, 0, RingSlot::kLen, RingSlot::kLen}}});
   v.push_back(RingWaitReq{ce, 17, 250});
   v.push_back(RingReapReq{ce, 8});
+  v.push_back(TraceReadReq{512});
   return v;
 }
 
@@ -168,6 +169,16 @@ std::vector<SyscallRes> AllResSamples() {
       {RingCompletion{40, SyscallRes{SegmentGetLenRes{Status::kOk, 64}}},
        RingCompletion{41, SyscallRes{SegmentReadRes{Status::kCancelled}}},
        RingCompletion{42, SyscallRes{std::monostate{}}}}});
+  // Flow-checked trace export: an event list plus the counted-but-withheld
+  // tally (kernel.h sys_trace_read). code carries a Status as two's-
+  // complement u32 — the negative value must survive the round trip.
+  v.push_back(TraceReadRes{
+      Status::kOk,
+      /*total=*/5,
+      /*withheld=*/2,
+      {TraceEventWire{1234567, 42, 7, 0, 99, 3, 4096, 5, 6, 1,
+                      static_cast<uint32_t>(-7), 12},
+       TraceEventWire{1234999, 8, 1, 2, 100, 3, 0, 0, 0, 4, 0, 0}}});
   return v;
 }
 

@@ -1,0 +1,159 @@
+// sys_trace_read's flow check (§3 applied to the flight recorder): trace
+// events are kernel state like any other object, so reading them is an
+// observe and the label rules apply per event. Events stamped with a label
+// that does not flow to the reader's raised label are counted but
+// withheld — the count itself is label-safe (it reveals that secret
+// activity exists, which the paper's resource channels already concede,
+// not what it was).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/core/trace.h"
+#include "tests/kernel/kernel_test_util.h"
+
+namespace histar {
+namespace {
+
+class TraceFlowTest : public KernelTest {
+ protected:
+  void SetUp() override {
+    KernelTest::SetUp();
+    // The recorder is process-global and other tests in this binary share
+    // it; start each flow test from an empty ring so the event counts and
+    // label assertions below are exact.
+    trace::Reset();
+  }
+
+
+  // Creates a fresh category owned by init_ plus a segment secret in it
+  // ({c3, 1}: only c's owners can observe), then touches the segment so
+  // the recorder holds events stamped with the secret label.
+  ObjectId MakeSecretSegmentAndTouch(CategoryId* cat_out) {
+    Result<CategoryId> c = kernel_->sys_cat_create(init_);
+    EXPECT_TRUE(c.ok());
+    *cat_out = c.value();
+    Label secret(Level::k1, {{c.value(), Level::k3}});
+    ObjectId ct = MakeContainer(secret);
+    ObjectId seg = MakeSegment(secret, 64, ct);
+    char buf[16] = "secret-bytes";
+    EXPECT_EQ(kernel_->sys_segment_write(init_, ContainerEntry{ct, seg}, buf, 0,
+                                         sizeof(buf)),
+              Status::kOk);
+    EXPECT_EQ(kernel_->sys_segment_read(init_, ContainerEntry{ct, seg}, buf, 0,
+                                        sizeof(buf)),
+              Status::kOk);
+    return seg;
+  }
+
+  static size_t CountEventsForObject(const TraceReadRes& res, ObjectId oid) {
+    size_t n = 0;
+    for (const TraceEventWire& e : res.events) {
+      if (e.kind == static_cast<uint32_t>(trace::EventKind::kSyscall) &&
+          e.a == oid) {
+        ++n;
+      }
+    }
+    return n;
+  }
+};
+
+TEST_F(TraceFlowTest, SecretOpsInvisibleToUnprivilegedReader) {
+  CategoryId c = 0;
+  ObjectId seg = MakeSecretSegmentAndTouch(&c);
+
+  // A reader with no ownership of c: the secret segment's ops must not
+  // appear, in any form — not the oid, not the label, not the timing.
+  ObjectId unpriv =
+      kernel_->BootstrapThread(Label(Level::k1), Label(Level::k2), "reader");
+  ASSERT_NE(unpriv, kInvalidObject);
+
+  TraceReadRes res = kernel_->sys_trace_read(unpriv, kTraceReadMaxEvents);
+  ASSERT_EQ(res.status, Status::kOk);
+  EXPECT_EQ(CountEventsForObject(res, seg), 0u);
+  // The withheld counter proves events existed and were filtered rather
+  // than never recorded.
+  EXPECT_GE(res.withheld, 2u);  // at least the write and the read
+  EXPECT_EQ(res.total, res.withheld + res.events.size());
+}
+
+TEST_F(TraceFlowTest, SecretOpsVisibleToCategoryOwner) {
+  CategoryId c = 0;
+  ObjectId seg = MakeSecretSegmentAndTouch(&c);
+
+  // init_ owns c (sys_cat_create grants c⋆), so {c3} ⊑ init's raised
+  // label: the same events an unprivileged reader is denied are delivered
+  // here, with their operands and durations intact.
+  TraceReadRes res = kernel_->sys_trace_read(init_, kTraceReadMaxEvents);
+  ASSERT_EQ(res.status, Status::kOk);
+  EXPECT_GE(CountEventsForObject(res, seg), 2u);
+  for (const TraceEventWire& e : res.events) {
+    if (e.kind == static_cast<uint32_t>(trace::EventKind::kSyscall) && e.a == seg) {
+      EXPECT_NE(e.olabel, kInvalidLabelId);  // the secret label rode along
+      EXPECT_EQ(static_cast<Status>(static_cast<int32_t>(e.code)), Status::kOk);
+    }
+  }
+}
+
+TEST_F(TraceFlowTest, WithheldCountIsLabelSafeAndTotalsAgree) {
+  CategoryId c = 0;
+  ObjectId seg = MakeSecretSegmentAndTouch(&c);
+
+  ObjectId unpriv =
+      kernel_->BootstrapThread(Label(Level::k1), Label(Level::k2), "reader");
+  ASSERT_NE(unpriv, kInvalidObject);
+
+  TraceReadRes priv = kernel_->sys_trace_read(init_, kTraceReadMaxEvents);
+  TraceReadRes unpv = kernel_->sys_trace_read(unpriv, kTraceReadMaxEvents);
+  ASSERT_EQ(priv.status, Status::kOk);
+  ASSERT_EQ(unpv.status, Status::kOk);
+
+  // Both readers observe the same stream (monotonically grown between the
+  // two calls — the first read records events of its own), and the
+  // unprivileged view is a strict filter of it: everything is accounted
+  // for either as a delivered event or a withheld count, never dropped
+  // silently.
+  EXPECT_GE(unpv.total, priv.total);
+  EXPECT_EQ(priv.total, priv.withheld + priv.events.size());
+  EXPECT_EQ(unpv.total, unpv.withheld + unpv.events.size());
+  EXPECT_GT(unpv.withheld, priv.withheld);
+
+  // No withheld event leaks through the unprivileged list: the privileged
+  // read exposes the secret label ids (on the secret segment's events);
+  // none of them may appear on any event the unprivileged reader received.
+  std::vector<uint32_t> secret_labels;
+  for (const TraceEventWire& p : priv.events) {
+    if (p.kind == static_cast<uint32_t>(trace::EventKind::kSyscall) &&
+        p.a == seg && p.olabel != kInvalidLabelId) {
+      secret_labels.push_back(p.olabel);
+    }
+  }
+  ASSERT_FALSE(secret_labels.empty());
+  for (const TraceEventWire& e : unpv.events) {
+    EXPECT_EQ(std::find(secret_labels.begin(), secret_labels.end(), e.olabel),
+              secret_labels.end());
+    EXPECT_EQ(std::find(secret_labels.begin(), secret_labels.end(), e.tlabel),
+              secret_labels.end());
+  }
+}
+
+TEST_F(TraceFlowTest, UnknownThreadIsRejected) {
+  TraceReadRes res = kernel_->sys_trace_read(ObjectId{0xdeadbeef});
+  EXPECT_EQ(res.status, Status::kNotFound);
+}
+
+TEST_F(TraceFlowTest, DefaultCapBoundsDeliveredEventsButNotCounts) {
+  CategoryId c = 0;
+  MakeSecretSegmentAndTouch(&c);
+  // Tiny cap: delivery truncates, accounting does not.
+  TraceReadRes res = kernel_->sys_trace_read(init_, 2);
+  ASSERT_EQ(res.status, Status::kOk);
+  EXPECT_EQ(res.events.size(), 2u);
+  // More visible events existed than the cap let through: total keeps
+  // counting past the truncation point.
+  EXPECT_GT(res.total, res.withheld + res.events.size());
+}
+
+}  // namespace
+}  // namespace histar

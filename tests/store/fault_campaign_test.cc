@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/trace.h"
 #include "src/kernel/thread_runner.h"
 #include "src/store/single_level_store.h"
 #include "src/store/store_alloc.h"
@@ -513,6 +514,14 @@ TEST(FaultCampaign, RandomizedSchedulesRecoverConsistently) {
       if (!s.Run() || ::testing::Test::HasFailure()) {
         std::fprintf(stderr, "FAULT_SEED=%llu (workload %s)\n",
                      static_cast<unsigned long long>(seed), WorkloadName(w));
+        // Dump the flight recorder next to the seed line: the failing
+        // schedule's last syscalls, store commits, and injected faults,
+        // replayable offline with tools/tracefmt (docs/observability.md).
+        // CI uploads the file with the campaign log.
+        const char* dump = "fault_campaign_trace.json";
+        if (trace::DumpToFile(dump, 256)) {
+          std::fprintf(stderr, "FAULT_TRACE=%s (render with tracefmt)\n", dump);
+        }
         FAIL() << "schedule failed; replay with FAULT_SEED=" << seed << " (workload "
                << WorkloadName(w) << ")";
       }

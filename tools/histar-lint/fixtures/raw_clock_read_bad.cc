@@ -1,0 +1,24 @@
+// Fixture: raw clock reads outside src/core/trace.* — must trip
+// raw-clock-read.
+#include <chrono>
+#include <ctime>
+
+namespace histar {
+
+uint64_t Bad() {
+  auto t0 = std::chrono::steady_clock::now();  // BAD: bypasses trace clock
+  auto wall = std::chrono::system_clock::now();  // BAD
+  auto hi = std::chrono::high_resolution_clock::now();  // BAD
+  struct timespec ts;
+  clock_gettime(0, &ts);  // BAD
+  uint64_t cycles = __rdtsc();  // BAD
+  (void)wall;
+  (void)hi;
+  (void)cycles;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)  // BAD
+          .count());
+}
+
+}  // namespace histar

@@ -1,0 +1,25 @@
+// Fixture: timing through the trace layer — raw-clock-read must stay
+// quiet. Clock reads in comments or strings must not fire, and chrono
+// *type* mentions (steady_clock::duration, time_point) are legal: only
+// the ::now() call form is a finding.
+#include <chrono>
+
+#include "src/core/trace.h"
+
+namespace histar {
+
+// steady_clock::now() in a comment is not a finding.
+uint64_t Good() {
+  const char* doc = "measured via steady_clock::now() before the rewrite";
+  (void)doc;
+  std::chrono::steady_clock::time_point deadline =
+      trace::SteadyNow() + std::chrono::milliseconds(50);
+  std::chrono::steady_clock::duration left =
+      deadline - trace::SteadyNow();
+  (void)left;
+  uint64_t t0 = trace::NowNs();
+  uint64_t t1 = trace::RecordNowNs();
+  return t1 - t0;
+}
+
+}  // namespace histar

@@ -125,6 +125,10 @@ bool AppliesSrcNotStoreAlloc(const std::string& p) {
   return InSrcTree(p) && !ExemptStoreAlloc(p);
 }
 bool AppliesSrcNotSyncH(const std::string& p) { return InSrcTree(p) && !ExemptSyncH(p); }
+bool ExemptTrace(const std::string& p) {
+  return EndsWith(p, "src/core/trace.h") || EndsWith(p, "src/core/trace.cc");
+}
+bool AppliesSrcNotTrace(const std::string& p) { return InSrcTree(p) && !ExemptTrace(p); }
 
 const Rule kRules[] = {
     {"second-table-lock", AppliesSrcNotObjectTable, ExemptObjectTable},
@@ -133,6 +137,7 @@ const Rule kRules[] = {
     {"nofail-region-check", AppliesSrcNotStoreAlloc, ExemptStoreAlloc},
     {"shard-mutex-outside-tablelock", AppliesSrcNotObjectTable, ExemptObjectTable},
     {"raw-sync-primitive", AppliesSrcNotSyncH, ExemptSyncH},
+    {"raw-clock-read", AppliesSrcNotTrace, ExemptTrace},
 };
 
 bool RuleEnabled(const Rule& rule, const std::string& path,
@@ -214,6 +219,47 @@ void CheckShardMutex(const std::string& path, int lineno, const std::string& lin
       out->push_back({path, lineno, "shard-mutex-outside-tablelock",
                       std::string(pat) + " — shard locks are acquired only through the "
                                          "scoped TableLock (ascending order)"});
+    }
+  }
+}
+
+void CheckRawClockRead(const std::string& path, int lineno, const std::string& line,
+                       std::vector<Finding>* out) {
+  // Timing must route through trace::NowNs()/SteadyNow() so the
+  // HISTAR_TRACE=0 build really compiles clock reads out. Only *reads* are
+  // findings: `steady_clock::duration` and other type mentions are legal,
+  // so the chrono patterns require the `::now(` call form.
+  static const char* kClockCalls[] = {
+      "steady_clock::now",
+      "system_clock::now",
+      "high_resolution_clock::now",
+  };
+  for (const char* pat : kClockCalls) {
+    size_t pos = FindWord(line, pat);
+    if (pos != std::string::npos) {
+      size_t i = pos + std::char_traits<char>::length(pat);
+      while (i < line.size() && line[i] == ' ') {
+        ++i;
+      }
+      if (i < line.size() && line[i] == '(') {
+        out->push_back({path, lineno, "raw-clock-read",
+                        std::string(pat) + "() — clock reads go through "
+                                           "trace::NowNs()/SteadyNow() so HISTAR_TRACE=0 "
+                                           "compiles them out"});
+      }
+    }
+  }
+  static const char* kClockWords[] = {"clock_gettime", "gettimeofday", "__rdtsc",
+                                      "rdtsc"};
+  for (const char* pat : kClockWords) {
+    size_t pos = FindWord(line, pat);
+    if (pos != std::string::npos &&
+        (pos + std::char_traits<char>::length(pat) >= line.size() ||
+         !IsIdentChar(line[pos + std::char_traits<char>::length(pat)]))) {
+      out->push_back({path, lineno, "raw-clock-read",
+                      std::string(pat) + " — clock reads go through "
+                                         "trace::NowNs()/SteadyNow() so HISTAR_TRACE=0 "
+                                         "compiles them out"});
     }
   }
 }
@@ -406,6 +452,7 @@ std::vector<Finding> LintSource(const std::string& rel_path, const std::string& 
   const bool rule_nofail = enabled[3];
   const bool rule_shard = enabled[4];
   const bool rule_raw_sync = enabled[5];
+  const bool rule_raw_clock = enabled[6];
 
   std::string clean = CleanSource(content);
   std::istringstream in(clean);
@@ -420,6 +467,9 @@ std::vector<Finding> LintSource(const std::string& rel_path, const std::string& 
     }
     if (rule_raw_sync) {
       CheckRawSync(rel_path, lineno, line, &findings);
+    }
+    if (rule_raw_clock) {
+      CheckRawClockRead(rel_path, lineno, line, &findings);
     }
     if (rule_shard) {
       CheckShardMutex(rel_path, lineno, line, &findings);

@@ -33,6 +33,13 @@
 //                            guards outside src/core/sync.h: the annotated
 //                            wrappers are what make -Wthread-safety able to
 //                            see the lock graph at all.
+//  * raw-clock-read          No steady/system/high-resolution clock ::now()
+//                            calls, clock_gettime, or rdtsc outside
+//                            src/core/trace.* — timing routes through
+//                            trace::NowNs()/SteadyNow() so the
+//                            HISTAR_TRACE=0 build compiles every clock read
+//                            out. Type mentions (steady_clock::duration)
+//                            stay legal.
 //
 // The checker is deliberately token-level (no libclang in the build image):
 // comments and string literals are blanked before matching, and scoped

@@ -1,0 +1,150 @@
+// tracefmt: converts a histar flight-recorder dump (JSON lines, schema
+// histar-trace-dump-v1 — see docs/observability.md) into Chrome
+// trace-event format, loadable in chrome://tracing or Perfetto.
+//
+//   tracefmt dump.json > trace.json
+//   tracefmt < dump.json > trace.json
+//
+// Mapping: each trace slot becomes a "thread" (tid = slot) of one process;
+// syscall and store-commit events with a duration become complete ("X")
+// events; everything else becomes an instant ("i") event. Syscall kinds
+// and statuses are rendered with the kernel's own name tables, so the
+// output names never drift from the ABI.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/core/status.h"
+#include "src/core/trace.h"
+#include "src/kernel/syscall_abi.h"
+
+namespace {
+
+// Minimal field extraction for the dump's flat one-line objects: finds
+// "key": and parses the integer (or returns fallback). The dump writer
+// (trace::DumpJson) emits no nesting and no whitespace variation, but
+// accepting arbitrary spacing costs nothing.
+bool FindNumber(const std::string& line, const char* key, uint64_t* out) {
+  std::string needle = std::string("\"") + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  pos += needle.size();
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '"')) {
+    ++pos;
+  }
+  char* end = nullptr;
+  uint64_t v = std::strtoull(line.c_str() + pos, &end, 10);
+  if (end == line.c_str() + pos) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool FindString(const std::string& line, const char* key, std::string* out) {
+  std::string needle = std::string("\"") + key + "\":\"";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  pos += needle.size();
+  size_t endq = line.find('"', pos);
+  if (endq == std::string::npos) {
+    return false;
+  }
+  *out = line.substr(pos, endq - pos);
+  return true;
+}
+
+int Run(std::istream& in, std::ostream& out) {
+  out << "{\"traceEvents\":[\n";
+  std::string line;
+  bool first = true;
+  size_t events = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"schema\"") != std::string::npos) {
+      continue;  // header line
+    }
+    uint64_t slot = 0, ts = 0, dur = 0, a = 0, b = 0, c = 0, aux = 0,
+             tlabel = 0, olabel = 0;
+    std::string kind;
+    if (!FindNumber(line, "slot", &slot) || !FindNumber(line, "ts_ns", &ts) ||
+        !FindString(line, "kind", &kind)) {
+      continue;
+    }
+    FindNumber(line, "dur_ns", &dur);
+    FindNumber(line, "a", &a);
+    FindNumber(line, "b", &b);
+    FindNumber(line, "c", &c);
+    FindNumber(line, "aux", &aux);
+    FindNumber(line, "tlabel", &tlabel);
+    FindNumber(line, "olabel", &olabel);
+    // code is serialized as a signed int; reparse by hand.
+    std::string code_name;
+    {
+      size_t pos = line.find("\"code\":");
+      int64_t scode = 0;
+      if (pos != std::string::npos) {
+        scode = std::strtoll(line.c_str() + pos + 7, nullptr, 10);
+      }
+      code_name = std::string(
+          histar::StatusName(static_cast<histar::Status>(scode)));
+    }
+
+    std::string name = kind;
+    if (kind == "syscall") {
+      name = histar::SyscallKindName(static_cast<size_t>(aux));
+    } else if (kind == "store_commit") {
+      name = std::string("store_") +
+             histar::trace::StoreOpName(static_cast<uint8_t>(aux));
+    }
+
+    char buf[1024];
+    double ts_us = static_cast<double>(ts) / 1000.0;
+    double dur_us = static_cast<double>(dur) / 1000.0;
+    const char* ph = dur > 0 ? "X" : "i";
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"pid\":1,"
+        "\"tid\":%llu,\"ts\":%.3f%s%s,\"args\":{\"a\":%llu,\"b\":%llu,"
+        "\"c\":%llu,\"status\":\"%s\",\"tlabel\":%llu,\"olabel\":%llu}}",
+        first ? "" : ",\n", name.c_str(), kind.c_str(), ph,
+        static_cast<unsigned long long>(slot), ts_us,
+        dur > 0 ? ",\"dur\":" : ",\"s\":\"t\"",
+        dur > 0 ? std::to_string(dur_us).c_str() : "",
+        static_cast<unsigned long long>(a), static_cast<unsigned long long>(b),
+        static_cast<unsigned long long>(c), code_name.c_str(),
+        static_cast<unsigned long long>(tlabel),
+        static_cast<unsigned long long>(olabel));
+    out << buf;
+    first = false;
+    ++events;
+  }
+  out << "\n],\"displayTimeUnit\":\"ns\"}\n";
+  std::cerr << "tracefmt: " << events << " events\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 2 || (argc == 2 && std::strcmp(argv[1], "--help") == 0)) {
+    std::cerr << "usage: tracefmt [dump.json] > chrome_trace.json\n";
+    return 2;
+  }
+  if (argc == 2) {
+    std::ifstream f(argv[1]);
+    if (!f) {
+      std::cerr << "tracefmt: cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    return Run(f, std::cout);
+  }
+  return Run(std::cin, std::cout);
+}
