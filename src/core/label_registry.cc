@@ -29,11 +29,18 @@ size_t ClampShardCount(size_t requested) {
   return size_t{1} << FloorLog2(requested);
 }
 
+// Registry instances get a process-unique generation id (never 0 — 0 is
+// the "no generation recorded" sentinel in the flight recorder). Wrap at
+// 2^32 is theoretical: it would take four billion kernel constructions in
+// one process.
+std::atomic<uint32_t> g_next_instance_id{1};
+
 }  // namespace
 
 LabelRegistry::LabelRegistry(size_t shard_count)
     : shard_count_(ClampShardCount(shard_count)),
-      shard_bits_(FloorLog2(shard_count_)) {
+      shard_bits_(FloorLog2(shard_count_)),
+      instance_id_(g_next_instance_id.fetch_add(1, std::memory_order_relaxed)) {
   intern_shards_.reserve(shard_count_);
   result_shards_.reserve(shard_count_);
   for (size_t i = 0; i < shard_count_; ++i) {

@@ -90,13 +90,23 @@ class LabelRegistry {
   // comparison when disabled (the ablation bench toggles this).
   bool Leq(LabelId id1, LabelId id2);
 
-  // True iff `id` was handed out by THIS registry instance. Get/Leq on an
-  // unknown id abort (they can only mean memory corruption on a kernel
-  // path); consumers that may legitimately hold foreign ids — the flight
-  // recorder survives kernel teardown, so sys_trace_read can encounter
-  // events stamped under a previous registry — gate on Known first and
-  // treat unknown as "does not flow". Lock-free.
+  // True iff `id` falls inside the range of ids this instance has issued
+  // so far — a bounds check, NOT provenance: ids are dense per instance,
+  // so an id minted by a DIFFERENT registry usually collides numerically
+  // with a live one and passes. Get/Leq on an unknown id abort (they can
+  // only mean memory corruption on a kernel path); consumers that may
+  // legitimately hold foreign ids — the flight recorder survives kernel
+  // teardown, so sys_trace_read can encounter events stamped under a
+  // previous registry — gate on Known first and treat unknown as "does
+  // not flow", and additionally compare the event's recorded generation
+  // against instance_id() to reject the colliding common case. Lock-free.
   bool Known(LabelId id) const;
+
+  // Process-unique, never-zero id of this registry instance, assigned at
+  // construction. Stamped into every flight-recorder event as the label
+  // generation (trace::SetLabelGeneration) so readers can tell this
+  // instance's ids from a numerically-equal id of a prior instance.
+  uint32_t instance_id() const { return instance_id_; }
 
   // Non-interning comparisons for validating caller-supplied labels at the
   // syscall boundary. These create no registry entry and no memo slot, so a
@@ -260,6 +270,7 @@ class LabelRegistry {
 
   const size_t shard_count_;
   const size_t shard_bits_;
+  const uint32_t instance_id_;
 
   std::atomic<bool> enabled_{true};
   std::atomic<uint64_t> hits_{0};

@@ -32,7 +32,13 @@ inline void UnpackEvent(const uint64_t w[kEventWords], Event* e) {
   e->aux = static_cast<uint16_t>(w[5] >> 16);
   e->code = static_cast<int8_t>(static_cast<uint8_t>(w[5] >> 8));
   e->kind = static_cast<uint8_t>(w[5]);
+  e->gen = static_cast<uint32_t>(w[6]);
 }
+
+// The label generation stamped into every recorded event (trace.h): the
+// attached kernel's LabelRegistry instance id. Read-mostly — one relaxed
+// load per Append, written only at kernel construction.
+std::atomic<uint32_t> g_label_gen{0};
 
 // Fatal-dump path: seeded from HISTAR_TRACE_DUMP once, then overridable.
 Mutex g_dump_mu;
@@ -95,7 +101,8 @@ Recorder& Recorder::Global() {
 }
 
 SlotRing& Recorder::ForCurrentThread() {
-  size_t i = CurrentSlot();
+  size_t full = EpochDomain::ThreadSlot();
+  size_t i = full & (kTraceSlots - 1);
   SlotRing* r = rings_[i].load(std::memory_order_acquire);
   if (r == nullptr) {
     // First event from this slot: allocate and publish. The CAS loser
@@ -106,6 +113,25 @@ SlotRing& Recorder::ForCurrentThread() {
       r = fresh;
     } else {
       delete fresh;
+    }
+  }
+  // Aliasing watch (trace.h SlotRing): the ring remembers the unmasked
+  // slot id that claimed it. A write under a different unmasked id means
+  // masked ids are colliding (> kTraceSlots concurrently-live threads);
+  // flag the ring so readers withhold it — interleaved writers could
+  // otherwise publish an event mixing one request's payload with
+  // another's labels. The seq_cst fence orders the flag store ahead of
+  // this writer's event-word stores, so any reader that can observe the
+  // foreign words also observes the flag.
+  uint32_t me = static_cast<uint32_t>(full) + 1;
+  uint32_t cur = r->owner.load(std::memory_order_relaxed);
+  if (cur != me) {
+    if (cur != 0 ||
+        !r->owner.compare_exchange_strong(cur, me, std::memory_order_relaxed)) {
+      if (cur != me) {
+        r->multi_writer.store(1, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+      }
     }
   }
   return *r;
@@ -134,6 +160,8 @@ inline void Append(SlotRing& ring, uint64_t ts_ns, uint64_t a, uint64_t b,
   w[3].store(c, std::memory_order_relaxed);
   w[4].store(w4, std::memory_order_relaxed);
   w[5].store(w5, std::memory_order_relaxed);
+  w[6].store(g_label_gen.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
   ring.head.store(seq + 1, std::memory_order_release);
 }
 
@@ -148,36 +176,57 @@ void RecordSyscall(uint16_t syscall_kind, int8_t status_code, uint64_t self_or_b
                 static_cast<uint8_t>(EventKind::kSyscall)));
 }
 
-void FinishSyscallGroup(size_t count, uint64_t t0_ns, uint64_t t1_ns) {
-  if (count == 0) {
+uint64_t BeginSyscallGroup() {
+  return Recorder::Global().ForCurrentThread().head.load(
+      std::memory_order_relaxed);
+}
+
+void FinishSyscallGroup(uint64_t start_seq, uint64_t t0_ns, uint64_t t1_ns) {
+  SlotRing& ring = Recorder::Global().ForCurrentThread();
+  // Patch exactly the kSyscall events this group recorded: [start_seq,
+  // head). Non-syscall events (table-lock markers, epoch retires/advances,
+  // fault events recorded inside ExecLocked) interleave freely within a
+  // group and are skipped — the exact range means no scan cap to outgrow,
+  // so no event is left kDurPending forever. Same-thread read-modify of
+  // our own relaxed words is sound (single writer per ring).
+  uint64_t head = ring.head.load(std::memory_order_relaxed);
+  // A group larger than the ring overwrote its own oldest events; the
+  // surviving window is still entirely this group's, so clamping loses
+  // nothing and keeps the slot arithmetic in range.
+  uint64_t lo = head > kRingEvents ? head - kRingEvents : 0;
+  if (start_seq < lo) {
+    start_seq = lo;
+  }
+  // Pass 1: count the group's pending syscall events, so the amortized
+  // share divides by exactly what gets patched.
+  size_t n = 0;
+  for (uint64_t seq = start_seq; seq < head; ++seq) {
+    std::atomic<uint64_t>* w =
+        &ring.words[(seq & (kRingEvents - 1)) * kEventWords];
+    if (static_cast<uint8_t>(w[5].load(std::memory_order_relaxed)) ==
+            static_cast<uint8_t>(EventKind::kSyscall) &&
+        static_cast<uint32_t>(w[4].load(std::memory_order_relaxed) >> 32) ==
+            kDurPending) {
+      ++n;
+    }
+  }
+  if (n == 0) {
     return;
   }
-  SlotRing& ring = Recorder::Global().ForCurrentThread();
   uint64_t span = t1_ns >= t0_ns ? t1_ns - t0_ns : 0;
-  uint64_t per = span / count;
+  uint64_t per = span / n;
   uint32_t dur = per > 0xfffffffeull ? 0xfffffffeu : static_cast<uint32_t>(per);
-
-  // Patch the trailing `count` pending kSyscall events. Bounded backward
-  // scan: non-syscall events (table-lock markers etc.) recorded inside the
-  // group are skipped, an already-patched syscall event marks the previous
-  // group's end. Same-thread read-modify of our own relaxed words is sound.
-  uint64_t head = ring.head.load(std::memory_order_relaxed);
-  uint64_t lo = head > kRingEvents ? head - kRingEvents : 0;
-  size_t patched = 0;
-  size_t scanned = 0;
-  const size_t scan_cap = count + 16;
-  for (uint64_t seq = head; seq > lo && patched < count && scanned < scan_cap;
-       --seq) {
-    ++scanned;
+  // Pass 2: patch and feed the per-kind histograms.
+  for (uint64_t seq = start_seq; seq < head; ++seq) {
     std::atomic<uint64_t>* w =
-        &ring.words[((seq - 1) & (kRingEvents - 1)) * kEventWords];
+        &ring.words[(seq & (kRingEvents - 1)) * kEventWords];
     uint64_t w5 = w[5].load(std::memory_order_relaxed);
     if (static_cast<uint8_t>(w5) != static_cast<uint8_t>(EventKind::kSyscall)) {
       continue;
     }
     uint64_t w4 = w[4].load(std::memory_order_relaxed);
     if (static_cast<uint32_t>(w4 >> 32) != kDurPending) {
-      break;  // previous, already-closed group
+      continue;
     }
     w[4].store(PackW4(dur, static_cast<uint32_t>(w4)),
                std::memory_order_relaxed);
@@ -186,7 +235,6 @@ void FinishSyscallGroup(size_t count, uint64_t t0_ns, uint64_t t1_ns) {
     std::atomic<uint64_t>& cell = ring.sys_hist[row][HistBucket(dur)];
     cell.store(cell.load(std::memory_order_relaxed) + 1,
                std::memory_order_relaxed);
-    ++patched;
   }
 }
 
@@ -238,6 +286,13 @@ size_t Snapshot(std::vector<SlotEvent>* out, size_t max_per_slot) {
     if (ring == nullptr) {
       continue;
     }
+    // Aliased rings (two live writers, trace.h SlotRing) are withheld
+    // entirely: their events may pair one writer's payload with the
+    // other's labels, which no downstream flow check could catch.
+    if (ring->multi_writer.load(std::memory_order_acquire) != 0) {
+      continue;
+    }
+    const size_t ring_start = out->size();
     uint64_t head = ring->head.load(std::memory_order_acquire);
     uint64_t avail = head < kRingEvents ? head : kRingEvents;
     uint64_t take = avail < max_per_slot ? avail : max_per_slot;
@@ -249,10 +304,16 @@ size_t Snapshot(std::vector<SlotEvent>* out, size_t max_per_slot) {
       for (size_t i = 0; i < kEventWords; ++i) {
         w[i] = src[i].load(std::memory_order_relaxed);
       }
-      // Overwrite re-check: if the writer lapped this sequence while we
-      // copied, the words may be torn across two events — drop it.
+      // Overwrite re-check. The fence keeps the relaxed word loads above
+      // from being reordered past the head reload below. The writer
+      // stores the lapping event's words BEFORE publishing its head, so
+      // the words of `seq` are already suspect once head reaches
+      // seq + kRingEvents — hence >=, not >: at == the writer may be
+      // mid-store into this very slot, and a torn copy could pair a
+      // secret event's payload with a newer public event's labels.
+      std::atomic_thread_fence(std::memory_order_acquire);
       uint64_t head2 = ring->head.load(std::memory_order_acquire);
-      if (head2 > seq + kRingEvents) {
+      if (head2 >= seq + kRingEvents) {
         continue;
       }
       SlotEvent se;
@@ -264,6 +325,15 @@ size_t Snapshot(std::vector<SlotEvent>* out, size_t max_per_slot) {
       se.seq = seq;
       out->push_back(se);
       ++added;
+    }
+    // A second writer may have claimed this ring mid-copy; its interleaved
+    // stores are not defended by the single-writer lap check above, so
+    // discard whatever was collected. Pairs with the seq_cst fence in
+    // ForCurrentThread: a reader that saw foreign words also sees the flag.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (ring->multi_writer.load(std::memory_order_acquire) != 0) {
+      added -= out->size() - ring_start;
+      out->resize(ring_start);
     }
   }
   return added;
@@ -324,13 +394,13 @@ void DumpJson(std::ostream& os, size_t last_n_per_slot) {
         buf, sizeof(buf),
         "{\"slot\":%u,\"seq\":%llu,\"ts_ns\":%llu,\"kind\":\"%s\","
         "\"a\":%llu,\"b\":%llu,\"c\":%llu,\"dur_ns\":%u,"
-        "\"tlabel\":%u,\"olabel\":%u,\"code\":%d,\"aux\":%u}",
+        "\"tlabel\":%u,\"olabel\":%u,\"gen\":%u,\"code\":%d,\"aux\":%u}",
         se.slot, static_cast<unsigned long long>(se.seq),
         static_cast<unsigned long long>(e.ts_ns), EventKindName(e.kind),
         static_cast<unsigned long long>(e.a),
         static_cast<unsigned long long>(e.b),
         static_cast<unsigned long long>(e.c), e.dur_ns, e.tlabel, e.olabel,
-        static_cast<int>(e.code), static_cast<unsigned>(e.aux));
+        e.gen, static_cast<int>(e.code), static_cast<unsigned>(e.aux));
     os << buf << "\n";
   }
 }
@@ -352,8 +422,11 @@ void Reset() {
       continue;
     }
     // head = 0 makes every old event unreachable to Snapshot; the words
-    // themselves are overwritten lazily by the next writer.
+    // themselves are overwritten lazily by the next writer. The owner
+    // claim and aliasing flag restart with the ring's next writer.
     ring->head.store(0, std::memory_order_release);
+    ring->owner.store(0, std::memory_order_relaxed);
+    ring->multi_writer.store(0, std::memory_order_relaxed);
     for (size_t r = 0; r < kMaxSyscallHist; ++r) {
       for (size_t b = 0; b < kHistBuckets; ++b) {
         ring->sys_hist[r][b].store(0, std::memory_order_relaxed);
@@ -365,6 +438,14 @@ void Reset() {
       }
     }
   }
+}
+
+void SetLabelGeneration(uint32_t gen) {
+  g_label_gen.store(gen, std::memory_order_relaxed);
+}
+
+uint32_t LabelGeneration() {
+  return g_label_gen.load(std::memory_order_relaxed);
 }
 
 void SetFatalDumpPath(const std::string& path) {

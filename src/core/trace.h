@@ -118,14 +118,15 @@ struct Event {
   uint32_t dur_ns = 0;  // saturating; kDurPending until the group closes
   uint32_t tlabel = 0;  // acting thread's LabelId (0 = none recorded)
   uint32_t olabel = 0;  // last resolved object's LabelId (0 = none)
+  uint32_t gen = 0;     // label generation the ids belong to (see below)
   uint8_t kind = 0;     // EventKind
   int8_t code = 0;      // Status (or kind-specific small code)
   uint16_t aux = 0;     // syscall kind / StoreOp / kind-specific
 };
 
 // Packed layout: w0=ts, w1=a, w2=b, w3=c, w4=dur<<32|tlabel,
-// w5=olabel<<32|aux<<16|code<<8|kind.
-inline constexpr size_t kEventWords = 6;
+// w5=olabel<<32|aux<<16|code<<8|kind, w6=label generation (low 32 bits).
+inline constexpr size_t kEventWords = 7;
 
 // Group-amortized durations are patched in after the fact; until then the
 // event's dur reads as this sentinel (readers report it as 0).
@@ -155,11 +156,20 @@ inline constexpr size_t HistBucket(uint64_t ns) {
 // Single writer (the slot's current thread — slot ids are reused only
 // after the owning thread exits), any number of racing readers. Above
 // kTraceSlots concurrently-live threads the masked slot ids alias and
-// writers share rings: still well-defined (everything is atomic), but
-// interleaved events may garble each other — the same graceful
-// degradation the kernel's count stripes accept.
+// writers would share a ring; interleaved Append word stores could then
+// publish an event pairing one request's payload with another's labels,
+// which the read-side flow check must never be allowed to pass. The ring
+// therefore tracks its claiming writer: a store by a DIFFERENT unmasked
+// ThreadSlot id sets `multi_writer`, and Snapshot withholds the whole
+// ring (sticky until Reset) — degraded observability, never mixed labels.
 struct SlotRing {
   std::atomic<uint64_t> head{0};  // events ever recorded in this slot
+  // 1 + the unmasked EpochDomain::ThreadSlot() of the writer that claimed
+  // this ring (0 = unclaimed). Unmasked ids are dense and lowest-free-
+  // first, so a mismatch can only happen once concurrently-live threads
+  // exceed kTraceSlots — exactly the aliasing regime.
+  std::atomic<uint32_t> owner{0};
+  std::atomic<uint32_t> multi_writer{0};  // sticky; cleared only by Reset
   std::atomic<uint64_t> words[kRingEvents * kEventWords];
   std::atomic<uint64_t> sys_hist[kMaxSyscallHist][kHistBuckets];
   std::atomic<uint64_t> store_hist[kNumStoreOps][kHistBuckets];
@@ -190,6 +200,20 @@ class Recorder {
 
   std::atomic<SlotRing*> rings_[kTraceSlots] = {};
 };
+
+// ---- label generation -------------------------------------------------------
+//
+// LabelIds are dense per registry instance and registries intern in the
+// same order from boot, so an id alone is indistinguishable from the
+// numerically-equal id of a PREVIOUS kernel's registry — and the recorder
+// deliberately outlives kernels (crash-recovery flows reboot many in one
+// process). Every event is therefore stamped with the generation current
+// at record time (the attached kernel sets its LabelRegistry::instance_id
+// here at construction); sys_trace_read treats labeled events from any
+// other generation as "does not flow". Always compiled: the read side
+// needs the current value even when recording is compiled out.
+void SetLabelGeneration(uint32_t gen);
+uint32_t LabelGeneration();
 
 // ---- taint scratch ----------------------------------------------------------
 //
@@ -234,10 +258,18 @@ inline void StampObject(uint64_t oid, uint32_t label_id) {
 void RecordSyscall(uint16_t syscall_kind, int8_t status_code, uint64_t self_or_b,
                    uint64_t ts_ns);
 
-// Closes a syscall group of `count` events recorded between t0 and t1:
-// patches dur = (t1-t0)/count into the slot's trailing pending events and
-// feeds the per-kind latency histograms.
-void FinishSyscallGroup(size_t count, uint64_t t0_ns, uint64_t t1_ns);
+// Opens a syscall group: returns the calling slot's current head sequence,
+// to be handed back to FinishSyscallGroup. Cheap (one relaxed load).
+uint64_t BeginSyscallGroup();
+
+// Closes the syscall group opened at `start_seq`, executed between t0 and
+// t1: patches dur = (t1-t0)/n into exactly the n pending kSyscall events
+// recorded in [start_seq, head) and feeds the per-kind latency histograms.
+// Non-syscall events recorded inside the group (table-lock markers, epoch
+// advances/retires, fault events) are skipped with no bound on how many
+// may interleave — the exact range replaces the old bounded backward scan,
+// which stopped early and left events pending forever.
+void FinishSyscallGroup(uint64_t start_seq, uint64_t t0_ns, uint64_t t1_ns);
 
 // Generic event record (table locks, ring chains, epoch, faults). Reads
 // the clock itself when ts_ns == 0.
@@ -261,7 +293,8 @@ inline void ResetTaint() {}
 inline void StampThread(uint32_t) {}
 inline void StampObject(uint64_t, uint32_t) {}
 inline void RecordSyscall(uint16_t, int8_t, uint64_t, uint64_t) {}
-inline void FinishSyscallGroup(size_t, uint64_t, uint64_t) {}
+inline uint64_t BeginSyscallGroup() { return 0; }
+inline void FinishSyscallGroup(uint64_t, uint64_t, uint64_t) {}
 inline void RecordEvent(EventKind, uint64_t, uint64_t, uint64_t, int8_t = 0,
                         uint16_t = 0, uint32_t = 0, uint64_t = 0) {}
 inline void RecordStoreOp(StoreOp, int8_t, uint64_t, uint64_t, uint64_t, uint8_t) {}
@@ -279,10 +312,13 @@ struct SlotEvent {
 };
 
 // Copies up to `max_per_slot` of the most recent events from every active
-// slot (oldest first within a slot). Events overwritten while being copied
-// (ring wrap racing the reader) are dropped by re-checking head after the
-// copy, so returned events are never torn. Returns the number of events
-// appended.
+// slot (oldest first within a slot). Events the writer may have started
+// overwriting while being copied are dropped by re-checking head after
+// the copy — including the boundary case head == seq + kRingEvents, where
+// the writer stores the lapping event's words BEFORE publishing the new
+// head — so returned events are never torn. Rings flagged multi_writer
+// (slot-id aliasing past kTraceSlots live threads) are withheld entirely.
+// Returns the number of events appended.
 size_t Snapshot(std::vector<SlotEvent>* out, size_t max_per_slot = kRingEvents);
 
 // Sums a syscall kind's latency histogram across slots into
@@ -305,13 +341,17 @@ bool DumpToFile(const std::string& path, size_t last_n_per_slot = 64);
 // HISTAR_TRACE_DUMP environment variable seeds this on first use.
 void SetFatalDumpPath(const std::string& path);
 
-// Rewinds every slot ring (events AND histograms) to empty. The recorder
-// deliberately outlives kernel instances (crash-recovery flows reboot many
-// kernels in one process and want the whole history in one dump), so this
-// is NOT called at kernel construction; tests that need per-instance
-// isolation call it themselves. Events stamped under a previous instance's
-// label registry are handled at read time instead: sys_trace_read treats
-// ids its registry never issued as "does not flow" (LabelRegistry::Known).
+// Rewinds every slot ring (events AND histograms, plus the owner claim
+// and multi_writer flag) to empty. The recorder deliberately outlives
+// kernel instances (crash-recovery flows reboot many kernels in one
+// process and want the whole history in one dump), so this is NOT called
+// at kernel construction; tests that need per-instance isolation call it
+// themselves. Events stamped under a previous instance's label registry
+// are handled at read time instead: every event carries the label
+// generation it was recorded under (SetLabelGeneration), and
+// sys_trace_read treats labeled events from any other generation as
+// "does not flow" — id bounds alone cannot work, because registries
+// intern densely from boot and stale ids collide with live ones.
 // Not safe to race with writers — call only while nothing is recording.
 void Reset();
 

@@ -58,6 +58,13 @@ const Mapping* AddressSpace::Lookup(uint64_t va) const {
 }
 
 Kernel::Kernel(size_t table_shards) : table_(table_shards) {
+  // Flight-recorder events recorded while this kernel runs carry label ids
+  // from ITS registry; publishing the registry's instance id as the
+  // recorder's label generation is what lets sys_trace_read reject a stale
+  // event whose id numerically collides with a live one (ids are dense per
+  // instance, so collision — not Known() failure — is the common case
+  // after an in-process reboot).
+  trace::SetLabelGeneration(registry_.instance_id());
   // The root container: label {1}, quota ∞, never deallocated. Its "fake
   // parent" is labeled {3} in the paper; we model that by making the parent
   // id invalid and refusing get_parent on the root.
@@ -445,20 +452,27 @@ void Kernel::DoTraceRead(ObjectId self, uint32_t max_events, TraceReadRes* out) 
   trace::Snapshot(&snap);
   out->total = 0;
   out->withheld = 0;
+  const uint32_t gen = registry_.instance_id();
   for (const trace::SlotEvent& se : snap) {
     const trace::Event& e = se.event;
     ++out->total;
     // §3 observe rule, applied per event: BOTH recorded labels must flow
     // to the reader's raised label (equivalent to their join flowing —
     // Leq distributes over join on the left). Label id 0 means "no label
-    // recorded", which carries no information and always flows. An id this
-    // registry never handed out (the recorder outlives kernel instances, so
-    // events stamped under a previous instance's registry can linger — the
-    // crash-recovery tests reboot dozens of kernels in one process) cannot
-    // be interpreted, so it conservatively does not flow.
+    // recorded", which carries no information and always flows. A labeled
+    // event from a different label generation (the recorder outlives
+    // kernel instances, so events stamped under a previous instance's
+    // registry can linger — the crash-recovery tests reboot dozens of
+    // kernels in one process) cannot be interpreted: ids are dense per
+    // instance, so a stale id usually COLLIDES with a currently-issued id
+    // rather than failing Known(), and Leq against the colliding label
+    // would be checking the wrong label entirely. Different generation ⇒
+    // does not flow; Known() stays as the bounds check for malformed ids
+    // within the current generation.
+    const bool same_gen = e.gen == gen;
     auto flows = [&](LabelId l) {
       return l == kInvalidLabelId ||
-             (registry_.Known(l) && registry_.Leq(l, reader_hi));
+             (same_gen && registry_.Known(l) && registry_.Leq(l, reader_hi));
     };
     bool visible = flows(e.tlabel) && flows(e.olabel);
     if (!visible) {
@@ -482,6 +496,7 @@ void Kernel::DoTraceRead(ObjectId self, uint32_t max_events, TraceReadRes* out) 
     w.dur_ns = e.dur_ns;
     w.tlabel = e.tlabel;
     w.olabel = e.olabel;
+    w.gen = e.gen;
     w.kind = e.kind;
     w.code = static_cast<uint32_t>(static_cast<int32_t>(e.code));
     w.aux = e.aux;

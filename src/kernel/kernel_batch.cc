@@ -378,10 +378,11 @@ Status Kernel::SubmitBatch(ObjectId self, std::span<const SyscallReq> reqs,
     BatchPlan first = PlanOf(self, reqs[i]);
     if (!first.batchable) {
       uint64_t t0 = trace::RecordNowNs();
+      uint64_t g0 = trace::BeginSyscallGroup();
       trace::ResetTaint();
       ExecUnbatched(self, reqs[i], &res[i]);
       TraceOne(reqs[i], res[i], self, t0);
-      trace::FinishSyscallGroup(1, t0, trace::RecordNowNs());
+      trace::FinishSyscallGroup(g0, t0, trace::RecordNowNs());
       ++i;
       continue;
     }
@@ -396,6 +397,7 @@ Status Kernel::SubmitBatch(ObjectId self, std::span<const SyscallReq> reqs,
     // that, plus zero shared atomics in the recorder, is what keeps the
     // warm lock-free row inside the 5% gate (scripts/check_bench_pr10.sh).
     uint64_t t0 = trace::RecordNowNs();
+    uint64_t g0 = trace::BeginSyscallGroup();
     if (first.lockfree) {
       // Lock-free read group (PR 6): ZERO shard locks. The epoch guard pins
       // every published entry the group can reach; PublishedReadMode routes
@@ -434,7 +436,7 @@ Status Kernel::SubmitBatch(ObjectId self, std::span<const SyscallReq> reqs,
       trace::RecordEvent(trace::EventKind::kTableLock, mask,
                          exclusive ? 1 : 0, j - i, 0, 0, 0, t0);
     }
-    trace::FinishSyscallGroup(j - i, t0, trace::RecordNowNs());
+    trace::FinishSyscallGroup(g0, t0, trace::RecordNowNs());
     i = j;
   }
   return Status::kOk;
@@ -495,10 +497,11 @@ Status Kernel::SubmitChain(ObjectId self, std::span<RingOp> ops, std::span<Sysca
     BatchPlan first = PlanOf(self, ops[i].req);
     if (!first.batchable) {
       uint64_t t0 = trace::RecordNowNs();
+      uint64_t g0 = trace::BeginSyscallGroup();
       trace::ResetTaint();
       ExecUnbatched(self, ops[i].req, &res[i]);
       TraceOne(ops[i].req, res[i], self, t0);
-      trace::FinishSyscallGroup(1, t0, trace::RecordNowNs());
+      trace::FinishSyscallGroup(g0, t0, trace::RecordNowNs());
       ++i;
       continue;
     }
@@ -517,6 +520,7 @@ Status Kernel::SubmitChain(ObjectId self, std::span<RingOp> ops, std::span<Sysca
         [&](size_t k) { return RingSlotNamesIds(ops[k].to); }, /*split_lockfree=*/false, &mask,
         &exclusive, &new_ids);
     uint64_t t0 = trace::RecordNowNs();
+    uint64_t g0 = trace::BeginSyscallGroup();
     size_t executed = 0;
     {
       // One TableLock for the whole group: a linked get_len → read chain
@@ -544,7 +548,7 @@ Status Kernel::SubmitChain(ObjectId self, std::span<RingOp> ops, std::span<Sysca
     }
     trace::RecordEvent(trace::EventKind::kTableLock, mask, exclusive ? 1 : 0,
                        executed, 0, 0, 0, t0);
-    trace::FinishSyscallGroup(executed, t0, trace::RecordNowNs());
+    trace::FinishSyscallGroup(g0, t0, trace::RecordNowNs());
     i = j;
   }
   return Status::kOk;
@@ -791,13 +795,14 @@ Status Kernel::sys_gate_invoke(ObjectId self, ContainerEntry gate, const Label& 
   // recorded here since the fast path bypasses the dispatcher's loop.
   CountSyscalls(self, 1);
   uint64_t t0 = trace::RecordNowNs();
+  uint64_t g0 = trace::BeginSyscallGroup();
   trace::ResetTaint();
   Status st = DoGateInvoke(self, gate, request_label, request_clearance, verify_label);
 #if HISTAR_TRACE
   trace::RecordSyscall(static_cast<uint16_t>(ReqIndexOf<GateInvokeReq>()),
                        static_cast<int8_t>(st), self, t0);
-  trace::FinishSyscallGroup(1, t0, trace::NowNs());
 #endif
+  trace::FinishSyscallGroup(g0, t0, trace::RecordNowNs());
   return st;
 }
 

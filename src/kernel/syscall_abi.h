@@ -533,6 +533,7 @@ struct TraceEventWire {
   uint32_t kind = 0;  // trace::EventKind
   uint32_t code = 0;  // Status, two's complement
   uint32_t aux = 0;   // syscall kind / trace::StoreOp
+  uint32_t gen = 0;   // label generation the ids were minted under (trace.h)
 };
 struct TraceReadRes {
   Status status = Status::kInvalidArg;
@@ -742,7 +743,7 @@ inline auto AbiFields(RingWaitRes& r) { return std::tie(r.status); }
 inline auto AbiFields(RingReapRes& r) { return std::tie(r.status, r.completions); }
 inline auto AbiFields(TraceEventWire& e) {
   return std::tie(e.ts_ns, e.a, e.b, e.c, e.seq, e.slot, e.dur_ns, e.tlabel,
-                  e.olabel, e.kind, e.code, e.aux);
+                  e.olabel, e.kind, e.code, e.aux, e.gen);
 }
 inline auto AbiFields(TraceReadRes& r) {
   return std::tie(r.status, r.total, r.withheld, r.events);

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <sstream>
 #include <thread>
@@ -116,10 +117,11 @@ TEST(Recorder, FinishSyscallGroupPatchesAmortizedDurations) {
   const uint64_t t0 = 1000;
   const uint64_t t1 = t0 + 3 * 4096;  // 4096 ns per event, bucket 12
   ResetTaint();
+  uint64_t group = BeginSyscallGroup();
   RecordSyscall(kind, /*status=*/0, /*self_or_b=*/42, t0);
   RecordSyscall(kind, /*status=*/0, /*self_or_b=*/42, t0);
   RecordSyscall(kind, /*status=*/0, /*self_or_b=*/42, t0);
-  FinishSyscallGroup(3, t0, t1);
+  FinishSyscallGroup(group, t0, t1);
 
   uint64_t after[kHistBuckets] = {};
   SumSyscallHist(kind, after);
@@ -143,6 +145,7 @@ TEST(Recorder, PendingDurationReadsAsZero) {
   const size_t slot = Recorder::CurrentSlot();
   const uint64_t ts = 777777;
   ResetTaint();
+  uint64_t group = BeginSyscallGroup();
   RecordSyscall(kind, /*status=*/0, /*self_or_b=*/7, ts);
   // No FinishSyscallGroup: the in-ring sentinel must not leak to readers.
   std::vector<SlotEvent> all;
@@ -155,7 +158,86 @@ TEST(Recorder, PendingDurationReadsAsZero) {
     }
   }
   EXPECT_TRUE(found);
-  FinishSyscallGroup(1, ts, ts + 1);  // close it out for later tests
+  FinishSyscallGroup(group, ts, ts + 1);  // close it out for later tests
+}
+
+TEST(Recorder, GroupPatchingSurvivesUnboundedInterleavedEvents) {
+  // A dispatch group can interleave arbitrarily many non-syscall events
+  // (epoch retires/advances, fault events recorded inside ExecLocked)
+  // between its syscall events. The old bounded backward scan (count + 16)
+  // stopped early past 16 of them, leaving syscall events kDurPending
+  // forever and the histograms silently short; the exact [start, head)
+  // range must patch every one.
+  const uint16_t kind = kMaxSyscallHist - 3;
+  const size_t slot = Recorder::CurrentSlot();
+  uint64_t before[kHistBuckets] = {};
+  SumSyscallHist(kind, before);
+
+  const uint64_t t0 = 50000;
+  const uint64_t t1 = t0 + 2 * 1024;  // 1024 ns per syscall event
+  ResetTaint();
+  uint64_t group = BeginSyscallGroup();
+  RecordSyscall(kind, /*status=*/0, /*self_or_b=*/1, t0);
+  for (uint64_t i = 0; i < 40; ++i) {  // far past the old 16-event cap
+    RecordEvent(EventKind::kEpochRetire, /*a=*/i, /*b=*/0, /*c=*/0, 0, 0, 0, t0);
+  }
+  RecordSyscall(kind, /*status=*/0, /*self_or_b=*/2, t0);
+  FinishSyscallGroup(group, t0, t1);
+
+  uint64_t after[kHistBuckets] = {};
+  SumSyscallHist(kind, after);
+  EXPECT_EQ(after[HistBucket(1024)] - before[HistBucket(1024)], 2u);
+
+  std::vector<SlotEvent> all;
+  Snapshot(&all);
+  size_t patched = 0;
+  for (const SlotEvent& se : all) {
+    if (se.slot == slot &&
+        se.event.kind == static_cast<uint8_t>(EventKind::kSyscall) &&
+        se.event.aux == kind && se.event.ts_ns == t0) {
+      EXPECT_EQ(se.event.dur_ns, 1024u);
+      ++patched;
+    }
+  }
+  EXPECT_EQ(patched, 2u);
+}
+
+TEST(Recorder, SnapshotDropsTheEventTheWriterMayBeOverwriting) {
+  // The writer stores a lapping event's words BEFORE publishing the new
+  // head, so once head == seq + kRingEvents the slot holding `seq` is
+  // already suspect — a torn copy there could pair one event's payload
+  // with another's labels. The re-check must therefore drop at >=, not >:
+  // after exactly kRingEvents records the oldest event is withheld even
+  // though no overwrite happened, trading one event of history for the
+  // never-torn guarantee.
+  const uint64_t marker = 0x0FF8E7u;
+  const size_t slot = Recorder::CurrentSlot();
+  for (uint64_t i = 0; i < kRingEvents; ++i) {
+    RecordEvent(EventKind::kRingChain, /*a=*/i, /*b=*/0, /*c=*/marker);
+  }
+  std::vector<SlotEvent> mine = MineInSlot(marker, slot);
+  ASSERT_EQ(mine.size(), kRingEvents - 1);
+  EXPECT_EQ(mine.front().event.a, 1u);  // the boundary event was dropped
+  EXPECT_EQ(mine.back().event.a, kRingEvents - 1);
+}
+
+TEST(Recorder, EventsCarryTheLabelGeneration) {
+  const uint32_t prev = LabelGeneration();
+  SetLabelGeneration(48879);  // 0xBEEF
+  const uint64_t marker = 0x6E6123u;
+  const size_t slot = Recorder::CurrentSlot();
+  RecordEvent(EventKind::kFault, /*a=*/1, /*b=*/2, /*c=*/marker);
+  SetLabelGeneration(prev);
+
+  std::vector<SlotEvent> mine = MineInSlot(marker, slot);
+  ASSERT_FALSE(mine.empty());
+  EXPECT_EQ(mine.back().event.gen, 48879u);
+
+  // The crash dump carries it too (tracefmt and post-mortem tooling need
+  // it to pair label ids with the registry that minted them).
+  std::ostringstream os;
+  DumpJson(os);
+  EXPECT_NE(os.str().find("\"gen\":48879"), std::string::npos);
 }
 
 TEST(Recorder, StoreHistogramAndEventAgree) {
@@ -199,6 +281,71 @@ TEST(Dump, JsonLinesCarrySchemaAndEvents) {
     ++lines;
   }
   EXPECT_GE(lines, 2u);  // header + at least our event
+}
+
+// Runs last among the recorder tests: it floods the slot space and ends
+// with a Reset() to clear the sticky per-ring flags it provokes.
+TEST(Recorder, AliasedRingsAreWithheldFromSnapshots) {
+  // Drive concurrently-live threads past kTraceSlots so masked slot ids
+  // collide and rings acquire a second writer with a different unmasked
+  // id. Such rings must be withheld from snapshots (sticky multi_writer
+  // flag): interleaved writers could publish an event pairing one
+  // request's payload with another's labels, and the read-side flow check
+  // would then vouch for the wrong labels.
+  const uint64_t marker = 0xA11A5u;
+  const size_t kThreads = kTraceSlots + 8;
+  std::atomic<size_t> recorded{0};
+  std::atomic<bool> release{false};
+  std::vector<size_t> full_ids(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      full_ids[t] = EpochDomain::ThreadSlot();
+      RecordEvent(EventKind::kFault, /*a=*/t, /*b=*/0, /*c=*/marker);
+      recorded.fetch_add(1, std::memory_order_release);
+      // Stay registered until every thread has recorded, so all unmasked
+      // slot ids are live simultaneously (ids are freed on thread exit).
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  while (recorded.load(std::memory_order_acquire) < kThreads) {
+    std::this_thread::yield();
+  }
+  release.store(true, std::memory_order_release);
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  std::vector<SlotEvent> all;
+  Snapshot(&all);
+  // Slot ids are dense and all threads were live at once, so some got
+  // unmasked ids >= kTraceSlots — their masked rings belong to other
+  // writers and must deliver nothing at all.
+  size_t aliased_threads = 0;
+  for (size_t t = 0; t < kThreads; ++t) {
+    if (full_ids[t] < kTraceSlots) {
+      continue;
+    }
+    ++aliased_threads;
+    const uint32_t ring = static_cast<uint32_t>(full_ids[t] & (kTraceSlots - 1));
+    for (const SlotEvent& se : all) {
+      EXPECT_NE(se.slot, ring) << "aliased ring delivered events";
+    }
+  }
+  EXPECT_GE(aliased_threads, kThreads - kTraceSlots);
+  // Withholding is per-ring, not global: unaliased rings still deliver.
+  size_t delivered = 0;
+  for (const SlotEvent& se : all) {
+    if (se.event.c == marker) {
+      ++delivered;
+    }
+  }
+  EXPECT_GT(delivered, 0u);
+  // Clear the sticky flags for anything that runs after in this binary.
+  Reset();
 }
 
 TEST(Names, EventKindAndStoreOpTablesAreTotal) {

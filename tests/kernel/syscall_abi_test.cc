@@ -177,7 +177,7 @@ std::vector<SyscallRes> AllResSamples() {
       /*total=*/5,
       /*withheld=*/2,
       {TraceEventWire{1234567, 42, 7, 0, 99, 3, 4096, 5, 6, 1,
-                      static_cast<uint32_t>(-7), 12},
+                      static_cast<uint32_t>(-7), 12, /*gen=*/3},
        TraceEventWire{1234999, 8, 1, 2, 100, 3, 0, 0, 0, 4, 0, 0}}});
   return v;
 }

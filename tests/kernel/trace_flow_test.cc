@@ -138,6 +138,63 @@ TEST_F(TraceFlowTest, WithheldCountIsLabelSafeAndTotalsAgree) {
   }
 }
 
+TEST_F(TraceFlowTest, StaleGenerationEventsDoNotLeakAcrossReboot) {
+  // The recorder outlives kernel instances, but label ids are dense per
+  // registry: after an in-process reboot, an id stamped under the OLD
+  // registry numerically collides with whatever the NEW registry interned
+  // at that slot. Bounds alone (Known) therefore pass, and Leq would
+  // check the wrong label entirely — the per-event generation stamp is
+  // what keeps the stale secret event withheld.
+  CategoryId c = 0;
+  ObjectId seg = MakeSecretSegmentAndTouch(&c);
+
+  // Capture the secret label id the old kernel stamped on seg's events.
+  TraceReadRes priv = kernel_->sys_trace_read(init_, kTraceReadMaxEvents);
+  ASSERT_EQ(priv.status, Status::kOk);
+  uint32_t stale_label = 0;
+  for (const TraceEventWire& e : priv.events) {
+    if (e.kind == static_cast<uint32_t>(trace::EventKind::kSyscall) &&
+        e.a == seg && e.olabel != kInvalidLabelId) {
+      stale_label = e.olabel;
+    }
+  }
+  ASSERT_NE(stale_label, 0u);
+
+  // Reboot in-process: the recorder (and the stale events) survive.
+  kernel_ = std::make_unique<Kernel>();
+  ObjectId init2 =
+      kernel_->BootstrapThread(Label(Level::k1), Label(Level::k2), "init2");
+  ASSERT_NE(init2, kInvalidObject);
+  CurrentThread::Set(init2);
+
+  // Force the collision the generation check defends against: intern
+  // fresh labels until the stale id is a live id of the NEW registry.
+  // Every label created here is owned by init2, so if the stale event
+  // were (wrongly) interpreted against the colliding label, it would
+  // flow to init2 and be delivered.
+  for (int i = 0; i < 256 && !kernel_->label_registry().Known(stale_label); ++i) {
+    Result<CategoryId> nc = kernel_->sys_cat_create(init2);
+    ASSERT_TRUE(nc.ok());
+    MakeContainer(Label(Level::k1, {{nc.value(), Level::k3}}), kInvalidObject,
+                  1 << 20, 0, init2);
+  }
+  ASSERT_TRUE(kernel_->label_registry().Known(stale_label));
+
+  TraceReadRes res = kernel_->sys_trace_read(init2, kTraceReadMaxEvents);
+  ASSERT_EQ(res.status, Status::kOk);
+  // The old kernel's secret segment ops must not be delivered, even
+  // though their label id now passes Known() against the new registry.
+  EXPECT_EQ(CountEventsForObject(res, seg), 0u);
+  EXPECT_GE(res.withheld, 2u);  // at least the stale write and read
+  // Every delivered labeled event was minted under the CURRENT registry.
+  const uint32_t gen = kernel_->label_registry().instance_id();
+  for (const TraceEventWire& e : res.events) {
+    if (e.tlabel != kInvalidLabelId || e.olabel != kInvalidLabelId) {
+      EXPECT_EQ(e.gen, gen);
+    }
+  }
+}
+
 TEST_F(TraceFlowTest, UnknownThreadIsRejected) {
   TraceReadRes res = kernel_->sys_trace_read(ObjectId{0xdeadbeef});
   EXPECT_EQ(res.status, Status::kNotFound);
